@@ -1,0 +1,66 @@
+"""Shared builders for the experiment benchmarks.
+
+Each ``bench_e*.py`` regenerates one experiment from DESIGN.md's index and
+prints the table recorded in EXPERIMENTS.md. Dataset scales are chosen so
+the full suite runs in minutes on a laptop while preserving every
+qualitative effect (who wins, by what factor, where crossovers fall).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import Quest, QuestSettings
+from repro.datasets import dblp, imdb, mondial
+from repro.datasets.workload import Workload
+from repro.db.database import Database
+from repro.wrapper import FullAccessWrapper
+
+#: One moderate configuration per demo scenario.
+SCALES = {
+    "imdb": {"movies": 300},
+    "dblp": {"papers": 300},
+    "mondial": {"countries": 25},
+}
+
+_GENERATORS = {"imdb": imdb, "dblp": dblp, "mondial": mondial}
+_CACHE: dict[str, tuple[Database, Workload]] = {}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One demo database plus its gold workload."""
+
+    name: str
+    db: Database
+    workload: Workload
+
+
+def scenario(name: str, queries_per_kind: int = 4) -> Scenario:
+    """Build (and cache) one of the three demo scenarios."""
+    key = f"{name}-{queries_per_kind}"
+    if key not in _CACHE:
+        module = _GENERATORS[name]
+        db = module.generate(**SCALES[name])
+        workload = module.workload(db, queries_per_kind=queries_per_kind)
+        _CACHE[key] = (db, workload)
+    db, workload = _CACHE[key]
+    return Scenario(name, db, workload)
+
+
+def all_scenarios(queries_per_kind: int = 4) -> list[Scenario]:
+    """All three demo scenarios."""
+    return [scenario(name, queries_per_kind) for name in _GENERATORS]
+
+
+def quest_for(db: Database, settings: QuestSettings | None = None) -> Quest:
+    """A full-access QUEST engine over *db*."""
+    return Quest(FullAccessWrapper(db), settings)
+
+
+def print_banner(experiment: str, description: str) -> None:
+    """Header printed before every experiment table."""
+    print()
+    print("=" * 78)
+    print(f"{experiment}: {description}")
+    print("=" * 78)

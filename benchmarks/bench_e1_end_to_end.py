@@ -1,0 +1,84 @@
+"""E1 — end-to-end effectiveness on the three demo scenarios.
+
+Paper anchor: demo message one — "a schema-based approach for transforming
+keyword queries into SQL is really effective in querying large-size
+databases" — plus the IMDB / DBLP / Mondial scenario descriptions.
+
+Reports success@k and MRR of the full QUEST pipeline per dataset against
+the DISCOVER, BANKS-style and IR baselines, and search latency as the
+instance grows (schema-based work should be insensitive to instance size).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import all_scenarios, print_banner, quest_for, scenario
+from repro.baselines import DiscoverBaseline, IRBaseline
+from repro.datasets import imdb
+from repro.eval import evaluate, format_results, quest_engine
+from repro.semantics import tokenize_query
+
+
+def keyword_engine(baseline):
+    """Adapt a baseline with a ``search(keywords, k)`` method."""
+
+    def run(text: str, k: int):
+        return baseline.search(tokenize_query(text), k)
+
+    return run
+
+
+def run_e1_quality() -> str:
+    summaries, labels = [], []
+    for sc in all_scenarios():
+        engines = {
+            "quest": quest_engine(quest_for(sc.db)),
+            "discover": keyword_engine(DiscoverBaseline(sc.db)),
+            "ir": keyword_engine(IRBaseline(sc.db)),
+        }
+        for label, engine in engines.items():
+            result = evaluate(engine, sc.workload, k=10, engine_name=label)
+            summaries.append(result.summary())
+            labels.append(f"{sc.name}/{label}")
+    return format_results(summaries, labels, title="E1 quality per scenario")
+
+
+def run_e1_scalability() -> str:
+    from repro.eval import format_table
+
+    rows = []
+    for movies in (100, 300, 1000):
+        db = imdb.generate(movies=movies, seed=7)
+        workload = imdb.workload(db, queries_per_kind=2)
+        engine = quest_for(db)
+        result = evaluate(quest_engine(engine), workload, k=10)
+        rows.append(
+            [
+                movies,
+                db.total_rows(),
+                len(engine.schema_graph),
+                result.success_at(10),
+                result.mean_seconds,
+            ]
+        )
+    return format_table(
+        ["movies", "total_rows", "graph_nodes", "success@10", "mean_seconds"],
+        rows,
+        title="E1 scalability: latency vs instance size (schema graph constant)",
+    )
+
+
+@pytest.mark.benchmark(group="e1")
+def test_e1_end_to_end(benchmark):
+    print_banner("E1", "end-to-end effectiveness (demo message 1)")
+    quality = run_e1_quality()
+    scalability = run_e1_scalability()
+    print(quality)
+    print()
+    print(scalability)
+
+    sc = scenario("imdb")
+    engine = quest_for(sc.db)
+    query = sc.workload.queries[0].text
+    benchmark(lambda: engine.search(query, 10))

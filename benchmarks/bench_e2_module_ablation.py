@@ -1,0 +1,55 @@
+"""E2 — partial results: each module in isolation vs the combination.
+
+Paper anchor: demo message two — "the different types of semantics
+implemented in the modules provide different results when applied to the
+same keyword query ... we will compare and explain the partial results
+provided by each module separately" — and message four (the DS combination
+is what reconciles them).
+
+Reports ranking quality of: forward a-priori alone, backward alone, and
+the full DST combination, per scenario. Expected shape: the combination
+dominates every isolated module.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import all_scenarios, print_banner, quest_for, scenario
+from repro.eval import (
+    backward_only_engine,
+    evaluate,
+    format_results,
+    forward_only_engine,
+    quest_engine,
+)
+
+
+def run_e2() -> str:
+    summaries, labels = [], []
+    for sc in all_scenarios():
+        engine = quest_for(sc.db)
+        variants = {
+            "forward-only": forward_only_engine(engine, "apriori"),
+            "backward-only": backward_only_engine(engine),
+            "combined(DST)": quest_engine(engine),
+        }
+        for label, adapter in variants.items():
+            result = evaluate(adapter, sc.workload, k=10)
+            summaries.append(result.summary())
+            labels.append(f"{sc.name}/{label}")
+    return format_results(
+        summaries, labels, title="E2 module ablation (demo message 2)"
+    )
+
+
+@pytest.mark.benchmark(group="e2")
+def test_e2_module_ablation(benchmark):
+    print_banner("E2", "partial results per module vs DST combination")
+    print(run_e2())
+
+    sc = scenario("imdb")
+    engine = quest_for(sc.db)
+    adapter = forward_only_engine(engine, "apriori")
+    query = sc.workload.queries[0].text
+    benchmark(lambda: adapter(query, 10))

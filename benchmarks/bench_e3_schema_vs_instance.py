@@ -1,0 +1,80 @@
+"""E3 — Steiner trees on schema graphs vs instance graphs.
+
+Paper anchor: demo message three — "Steiner trees are effective in
+computing answers to keyword queries even if applied to graphs representing
+database schemas. This is an original use of Steiner trees" — and the
+backward-module discussion of why instance graphs (BANKS lineage) blow up:
+"the database size gives rise to graphs with millions of vertices and
+edges, thus making the problem of finding Steiner Trees intractable".
+
+Reports, as the IMDB instance grows: schema-graph size (constant) vs
+instance-graph size (linear), and the time to find top-k trees on each.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks._common import print_banner
+from repro.baselines import BanksBaseline
+from repro.datasets import imdb
+from repro.db import Catalog, ColumnRef
+from repro.eval import format_table
+from repro.steiner import build_schema_graph, top_k_steiner_trees
+
+
+def run_e3() -> str:
+    rows = []
+    terminals = [ColumnRef("person", "name"), ColumnRef("genre", "label")]
+    for movies in (100, 300, 1000, 3000):
+        db = imdb.generate(movies=movies, seed=7)
+
+        start = time.perf_counter()
+        graph = build_schema_graph(db.schema, Catalog.from_database(db))
+        trees = top_k_steiner_trees(graph, terminals, 5)
+        schema_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        banks = BanksBaseline(db)
+        banks.search(["kubrick", "scifi"], 5)
+        instance_seconds = time.perf_counter() - start
+
+        rows.append(
+            [
+                movies,
+                len(graph),
+                graph.edge_count,
+                banks.node_count,
+                banks.edge_count,
+                schema_seconds,
+                instance_seconds,
+                len(trees),
+            ]
+        )
+    return format_table(
+        [
+            "movies",
+            "schema_nodes",
+            "schema_edges",
+            "instance_nodes",
+            "instance_edges",
+            "schema_s",
+            "instance_s",
+            "trees",
+        ],
+        rows,
+        title="E3 schema-level vs instance-level Steiner search",
+    )
+
+
+@pytest.mark.benchmark(group="e3")
+def test_e3_schema_vs_instance(benchmark):
+    print_banner("E3", "schema-graph Steiner scales independent of data size")
+    print(run_e3())
+
+    db = imdb.generate(movies=300, seed=7)
+    graph = build_schema_graph(db.schema, Catalog.from_database(db))
+    terminals = [ColumnRef("person", "name"), ColumnRef("genre", "label")]
+    benchmark(lambda: top_k_steiner_trees(graph, terminals, 5))

@@ -1,0 +1,103 @@
+"""E4 — sensitivity to the Dempster-Shafer uncertainty parameters.
+
+Paper anchor: demo message four — "setting different levels of uncertainty
+to each module and operating mode, we obtain different results and we can
+adapt the behaviour of the system to different scenarios".
+
+Sweeps ``O_C`` / ``O_I`` (forward vs backward trust in the final
+combination) and compares the DS combiner against a naive linear score
+fusion. Expected shape: a balanced setting beats both extremes, and DS
+tracks or beats naive fusion across the sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import print_banner, quest_for, scenario
+from repro.core import QuestSettings
+from repro.eval import evaluate, format_table, quest_engine
+
+
+def naive_fusion_engine(engine, alpha: float):
+    """Linear fusion baseline: alpha*forward + (1-alpha)*backward."""
+
+    def run(text: str, k: int):
+        keywords = engine.keywords_of(text)
+        configurations = engine.forward(keywords, k * 3)
+        interpretations = engine.backward(configurations, k)
+        forward_scores = {c: c.score for c in configurations}
+        backward_total = sum(i.score for i in interpretations) or 1.0
+        scored = sorted(
+            interpretations,
+            key=lambda i: -(
+                alpha * forward_scores.get(i.configuration, 0.0)
+                + (1 - alpha) * i.score / backward_total
+            ),
+        )
+        queries, seen = [], set()
+        for interpretation in scored:
+            query = engine.build_sql(interpretation)
+            signature = query.signature()
+            if signature not in seen:
+                seen.add(signature)
+                queries.append(query)
+            if len(queries) >= k:
+                break
+        return queries
+
+    return run
+
+
+def run_e4() -> str:
+    sc = scenario("imdb")
+    rows = []
+    for forward_uncertainty, backward_uncertainty in (
+        (0.05, 0.9),  # trust forward almost exclusively
+        (0.3, 0.5),
+        (0.3, 0.3),  # the defaults
+        (0.5, 0.3),
+        (0.9, 0.05),  # trust backward almost exclusively
+    ):
+        settings = QuestSettings(
+            uncertainty_forward=forward_uncertainty,
+            uncertainty_backward=backward_uncertainty,
+        )
+        engine = quest_for(sc.db, settings)
+        result = evaluate(quest_engine(engine), sc.workload, k=10)
+        rows.append(
+            [
+                f"O_C={forward_uncertainty} O_I={backward_uncertainty}",
+                result.success_at(1),
+                result.success_at(10),
+                result.mrr,
+            ]
+        )
+
+    engine = quest_for(sc.db)
+    for alpha in (0.3, 0.5, 0.7):
+        result = evaluate(
+            naive_fusion_engine(engine, alpha), sc.workload, k=10
+        )
+        rows.append(
+            [f"naive alpha={alpha}", result.success_at(1),
+             result.success_at(10), result.mrr]
+        )
+    return format_table(
+        ["setting", "success@1", "success@10", "mrr"],
+        rows,
+        title="E4 DST uncertainty sweep + naive-fusion comparison (imdb)",
+    )
+
+
+@pytest.mark.benchmark(group="e4")
+def test_e4_dst_sensitivity(benchmark):
+    print_banner("E4", "uncertainty parameters adapt behaviour (message 4)")
+    print(run_e4())
+
+    sc = scenario("imdb")
+    engine = quest_for(sc.db)
+    keywords = engine.keywords_of(sc.workload.queries[0].text)
+    configurations = engine.forward(keywords, 10)
+    interpretations = engine.backward(configurations, 10)
+    benchmark(lambda: engine.combine(configurations, interpretations, 10))

@@ -1,0 +1,92 @@
+"""E5 — quality as a function of available training feedback.
+
+Paper anchor: the abstract's claim that "QUEST is able to compute high
+quality results even with few training data", and the combiner section's
+adaptive ``O_Cap`` / ``O_Cf`` policy.
+
+Trains the feedback HMM on-line from a simulated validating user and
+measures held-out quality at increasing feedback volumes, for three
+configurations: a-priori only, feedback only, and the DS combination with
+the adaptive ignorance schedule. Expected shape: feedback-only starts bad
+and improves; the combination dominates both modes at every volume.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import print_banner, scenario
+from repro.core import Quest, QuestSettings
+from repro.datasets.workload import Workload
+from repro.eval import evaluate, format_table, forward_only_engine, quest_engine
+from repro.feedback import FeedbackTrainer, SimulatedUser
+from repro.wrapper import FullAccessWrapper
+
+
+def run_e5() -> str:
+    sc = scenario("dblp", queries_per_kind=5)
+    queries = list(sc.workload)
+    split = len(queries) // 2
+    train, test = queries[:split], queries[split:]
+    test_workload = Workload("dblp-held-out", tuple(test))
+    oracle = SimulatedUser(sc.workload.gold_training_pairs())
+
+    wrapper = FullAccessWrapper(sc.db)
+    engine = Quest(
+        wrapper, QuestSettings(use_apriori=True, use_feedback=True)
+    )
+    trainer = FeedbackTrainer(engine.states)
+
+    rows = []
+
+    def measure(n_feedback: int) -> None:
+        engine.set_feedback_model(trainer.model if trainer.is_trained else None)
+        engine.settings = engine.settings.updated(
+            uncertainty_feedback=trainer.suggested_ignorance()
+        )
+        combined = evaluate(quest_engine(engine), test_workload, k=10)
+        apriori = evaluate(
+            forward_only_engine(engine, "apriori"), test_workload, k=10
+        )
+        feedback_only = evaluate(
+            forward_only_engine(engine, "feedback"), test_workload, k=10
+        )
+        rows.append(
+            [
+                n_feedback,
+                trainer.suggested_ignorance(),
+                apriori.mrr,
+                feedback_only.mrr,
+                combined.mrr,
+            ]
+        )
+
+    measure(0)
+    for count, query in enumerate(train, start=1):
+        proposals = engine.forward(engine.keywords_of(query.text), k=10)
+        oracle.teach(trainer, query.keywords, proposals)
+        if count in (2, 5, len(train)) or count == len(train):
+            measure(count)
+
+    return format_table(
+        ["feedback", "O_Cf", "mrr_apriori", "mrr_feedback", "mrr_combined"],
+        rows,
+        title="E5 held-out MRR vs training feedback volume (dblp)",
+    )
+
+
+@pytest.mark.benchmark(group="e5")
+def test_e5_feedback_curve(benchmark):
+    print_banner("E5", "high quality with few training data")
+    print(run_e5())
+
+    sc = scenario("dblp")
+    engine = Quest(FullAccessWrapper(sc.db))
+    trainer = FeedbackTrainer(engine.states)
+    gold = sc.workload.queries[0].gold_configuration
+    keywords = sc.workload.queries[0].keywords
+
+    def train_once():
+        trainer.validate(keywords, gold)
+
+    benchmark(train_once)

@@ -1,0 +1,99 @@
+"""E7 — microbenchmarks of the top-k machinery behind Algorithm 1.
+
+Paper anchor: Figure 1 / Algorithm 1 — the List Viterbi decoder, the top-k
+Steiner enumeration, the DS combination and the mutual-information
+weighting are the four computational kernels of the search process.
+
+``pytest-benchmark`` records per-kernel timing distributions; the printed
+table sweeps the main cost drivers (k, query length, schema size, frame
+size).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks._common import print_banner, quest_for, scenario
+from repro.datasets import mondial
+from repro.db import Catalog, ColumnRef
+from repro.dst import combine_scores
+from repro.eval import format_table
+from repro.hmm import list_viterbi
+from repro.steiner import build_schema_graph, top_k_steiner_trees
+
+
+def run_e7() -> str:
+    sc = scenario("mondial")
+    engine = quest_for(sc.db)
+    model = engine.apriori_model
+    wrapper = engine.wrapper
+
+    rows = []
+    base_keywords = ["rivers", "ruritania", "cities", "language", "capital"]
+    for length in (2, 3, 5):
+        keywords = base_keywords[:length]
+        emissions = model.emission_matrix(keywords, wrapper)
+        for k in (1, 10, 50):
+            start = time.perf_counter()
+            list_viterbi(model, emissions, k)
+            rows.append(
+                [f"list-viterbi T={length} k={k}", time.perf_counter() - start]
+            )
+
+    graph = build_schema_graph(sc.db.schema, Catalog.from_database(sc.db))
+    terminals = [
+        ColumnRef("country", "name"),
+        ColumnRef("river", "name"),
+        ColumnRef("city", "name"),
+    ]
+    for k in (1, 5, 20):
+        start = time.perf_counter()
+        top_k_steiner_trees(graph, terminals, k)
+        rows.append([f"top-k steiner k={k}", time.perf_counter() - start])
+
+    for frame_size in (10, 100, 400):
+        left = {f"h{i}": float(i + 1) for i in range(frame_size)}
+        right = {f"h{i}": float(frame_size - i) for i in range(frame_size)}
+        start = time.perf_counter()
+        combine_scores(left, right, 0.3, 0.3, k=10)
+        rows.append([f"ds-combine frame={frame_size}", time.perf_counter() - start])
+
+    return format_table(
+        ["kernel", "seconds"], rows, title="E7 kernel timings (mondial schema)"
+    )
+
+
+@pytest.mark.benchmark(group="e7-viterbi")
+def test_e7_list_viterbi(benchmark):
+    print_banner("E7", "top-k machinery microbenchmarks")
+    print(run_e7())
+    sc = scenario("mondial")
+    engine = quest_for(sc.db)
+    emissions = engine.apriori_model.emission_matrix(
+        ["rivers", "ruritania"], engine.wrapper
+    )
+    benchmark(lambda: list_viterbi(engine.apriori_model, emissions, 10))
+
+
+@pytest.mark.benchmark(group="e7-steiner")
+def test_e7_topk_steiner(benchmark):
+    db = mondial.generate(countries=25)
+    graph = build_schema_graph(db.schema, Catalog.from_database(db))
+    terminals = [ColumnRef("country", "name"), ColumnRef("river", "name")]
+    benchmark(lambda: top_k_steiner_trees(graph, terminals, 10))
+
+
+@pytest.mark.benchmark(group="e7-dst")
+def test_e7_ds_combination(benchmark):
+    left = {f"h{i}": float(i + 1) for i in range(100)}
+    right = {f"h{i}": float(100 - i) for i in range(100)}
+    benchmark(lambda: combine_scores(left, right, 0.3, 0.3, k=10))
+
+
+@pytest.mark.benchmark(group="e7-mi")
+def test_e7_mutual_information(benchmark):
+    db = mondial.generate(countries=25)
+    catalog = Catalog.from_database(db)
+    benchmark(lambda: build_schema_graph(db.schema, catalog))

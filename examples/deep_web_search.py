@@ -1,0 +1,77 @@
+"""Querying a hidden (Deep Web) source: no indexes, no statistics.
+
+QUEST's wrapper lets it query sources that only expose a schema and a
+query endpoint — no full-text indexes, no instance statistics. This example
+builds the Mondial-like geographic database, then queries it twice: once
+with full access and once through a hidden-source wrapper that may only
+use datatypes, regular expressions of admissible values, schema annotations
+and the ontology.
+
+Run with::
+
+    python examples/deep_web_search.py
+"""
+
+from repro import FullAccessWrapper, HiddenSourceWrapper, Quest, QuestSettings
+from repro.datasets import mondial
+from repro.wrapper import AnnotationSet, ColumnAnnotation, annotate_schema
+
+
+def show(engine: Quest, query: str, k: int = 3) -> None:
+    print(f'  "{query}"')
+    for rank, explanation in enumerate(engine.search(query, k), start=1):
+        print(f"    #{rank} {explanation}")
+    print()
+
+
+def main() -> None:
+    db = mondial.generate(countries=30, seed=23)
+    print(f"Remote source instance: {db}\n")
+
+    print("=== Full access (owned database, full-text indexes) ===")
+    full_engine = Quest(FullAccessWrapper(db))
+    show(full_engine, "ruritania cities")
+    show(full_engine, "language zubrowka")
+
+    print("=== Hidden source (Deep Web endpoint) ===")
+    # The setup phase for hidden sources: the user enriches the schema with
+    # regular expressions of admissible values and extra synonyms.
+    annotations = AnnotationSet(
+        table_synonyms={"country": ("land",)},
+        columns={
+            ("country", "name"): ColumnAnnotation(pattern=r"[A-Za-z ]+"),
+            ("country", "code"): ColumnAnnotation(pattern=r"[A-Z]{2,3}\d?"),
+            ("city", "population"): ColumnAnnotation(pattern=r"\d{4,9}"),
+        },
+    )
+    enriched = annotate_schema(db.schema, annotations)
+
+    # The engine never touches `db` directly: the wrapper only lets the
+    # final SQL through (simulating a web form / endpoint), and emission
+    # evidence comes from schema metadata alone.
+    hidden = HiddenSourceWrapper(enriched, remote_db=db)
+    hidden_engine = Quest(
+        hidden,
+        # No instance access: uniform join weights, and trust the forward
+        # evidence a bit more than the (less informed) backward evidence.
+        QuestSettings(
+            mutual_information_weights=False,
+            uncertainty_backward=0.5,
+        ),
+    )
+    print(f"wrapper: {hidden!r}\n")
+    # Hidden sources cannot tell which text column holds a value keyword,
+    # so more candidate explanations are generated and the endpoint's
+    # empty-result filtering does the disambiguation: ask for a larger k.
+    show(hidden_engine, "ruritania cities", k=10)
+    show(hidden_engine, "language zubrowka", k=10)
+
+    print(
+        "Note how the hidden engine still produces executable SQL with\n"
+        "sensible join paths, using only schema-level evidence - the\n"
+        "capability the paper highlights as unique to QUEST."
+    )
+
+
+if __name__ == "__main__":
+    main()

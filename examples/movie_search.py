@@ -1,0 +1,58 @@
+"""Ambiguous queries and partial results: the demo's first two messages.
+
+The same keyword query can admit several keyword-to-term mappings, each
+with several join paths. This example mirrors the demo script: it runs an
+ambiguous query, shows the partial results of the forward and backward
+modules separately, then the combined explanation ranking, and finally
+exports the winning join tree as Graphviz DOT.
+
+Run with::
+
+    python examples/movie_search.py
+"""
+
+from repro import FullAccessWrapper, Quest
+from repro.datasets import imdb
+from repro.viz import render_ranking, render_tree, tree_to_dot
+
+
+def main() -> None:
+    db = imdb.generate(movies=200, seed=7)
+    engine = Quest(FullAccessWrapper(db))
+
+    # "scott odyssey": is Scott a director or a cast member? Is odyssey a
+    # movie title or a character? Multiple mappings, multiple paths.
+    query = "scott odyssey"
+    keywords = engine.keywords_of(query)
+    print(f'Ambiguous query: "{query}"\n')
+
+    print("-- forward module alone: top configurations (keyword mappings)")
+    configurations = engine.forward(keywords, k=5)
+    for rank, configuration in enumerate(configurations, start=1):
+        mapping = ", ".join(str(m) for m in configuration.mappings)
+        print(f"  #{rank} [{configuration.score:.3f}] {mapping}")
+
+    print("\n-- backward module alone: join paths per configuration")
+    interpretations = engine.backward(configurations, k=3)
+    for interpretation in interpretations[:6]:
+        print(
+            f"  [{interpretation.score:.3f}] tables="
+            f"{sorted(interpretation.tables)} "
+            f"tree_weight={interpretation.tree.weight:.2f}"
+        )
+
+    print("\n-- combined (Dempster-Shafer): final explanations")
+    ranked = engine.combine(configurations, interpretations, k=5)
+    explanations = engine.explain(ranked)
+    print(render_ranking(explanations))
+
+    if explanations:
+        best = explanations[0]
+        print("\n-- winning join tree (ASCII)")
+        print(render_tree(best.interpretation.tree))
+        print("\n-- winning join tree (Graphviz DOT; pipe to `dot -Tsvg`)")
+        print(tree_to_dot(best.interpretation.tree))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Quickstart: keyword search over a generated movie database.
+
+Builds the IMDB-like demo database, wraps it, and answers a few keyword
+queries, printing the ranked SQL explanations exactly as QUEST's demo GUI
+lists them.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import FullAccessWrapper, Quest
+from repro.datasets import imdb
+from repro.viz import render_ranking
+
+
+def main() -> None:
+    print("Generating the IMDB-like demo database ...")
+    db = imdb.generate(movies=200, seed=7)
+    print(f"  {db}\n")
+
+    engine = Quest(FullAccessWrapper(db))
+    print(f"Engine ready: {engine}\n")
+
+    for query in (
+        "kubrick movies",
+        "scifi films kubrick",
+        "cast odyssey",
+    ):
+        print(f'Keyword query: "{query}"')
+        explanations = engine.search(query, k=3)
+        if not explanations:
+            print("  (no explanations)")
+        else:
+            print(render_ranking(explanations))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""QUEST reproduction: keyword search over relational data.
+
+A faithful, self-contained reimplementation of *QUEST: A Keyword Search
+System for Relational Data based on Semantic and Machine Learning
+Techniques* (Bergamaschi, Guerra, Interlandi, Trillo-Lado, Velegrakis —
+PVLDB 6(12), 2013), including every substrate the system depends on: an
+in-memory relational engine with full-text indexing, a Hidden Markov Model
+forward step with List Viterbi decoding, a schema-graph Steiner-tree
+backward step with mutual-information edge weights, and a Dempster-Shafer
+evidence combiner.
+
+Quickstart::
+
+    from repro import Quest, FullAccessWrapper
+    from repro.datasets import imdb
+
+    db = imdb.generate(movies=500, seed=7)
+    engine = Quest(FullAccessWrapper(db))
+    for explanation in engine.search("kubrick movies 1968"):
+        print(explanation)
+"""
+
+from repro.core import (
+    Configuration,
+    Explanation,
+    Interpretation,
+    KeywordMapping,
+    Quest,
+    QuestSettings,
+)
+from repro.db import (
+    Column,
+    ColumnRef,
+    Database,
+    ForeignKey,
+    Schema,
+    SelectQuery,
+    TableSchema,
+)
+from repro.errors import QuestError
+from repro.feedback import FeedbackStore, FeedbackTrainer, SimulatedUser
+from repro.wrapper import FullAccessWrapper, HiddenSourceWrapper
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Column",
+    "ColumnRef",
+    "Configuration",
+    "Database",
+    "Explanation",
+    "FeedbackStore",
+    "FeedbackTrainer",
+    "ForeignKey",
+    "FullAccessWrapper",
+    "HiddenSourceWrapper",
+    "Interpretation",
+    "KeywordMapping",
+    "Quest",
+    "QuestError",
+    "QuestSettings",
+    "Schema",
+    "SelectQuery",
+    "SimulatedUser",
+    "TableSchema",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Comparison baselines: the keyword-search lineage QUEST improves on.
+
+DISCOVER-style candidate networks (schema-based), BANKS-style instance-
+graph Steiner search (graph-based) and a universal-relation IR retriever.
+"""
+
+from repro.baselines.banks import AnswerTree, BanksBaseline, TupleNode
+from repro.baselines.discover import CandidateNetwork, DiscoverBaseline
+from repro.baselines.ir import IRBaseline, TupleHit
+
+__all__ = [
+    "AnswerTree",
+    "BanksBaseline",
+    "CandidateNetwork",
+    "DiscoverBaseline",
+    "IRBaseline",
+    "TupleHit",
+    "TupleNode",
+]

@@ -1,0 +1,182 @@
+"""BANKS-style graph-based baseline: Steiner search over the *instance*.
+
+Graph-based systems (BANKS, BLINKS, ...) model the database as a graph
+whose nodes are tuples and whose edges are foreign-key links between
+tuples, then search for small trees connecting keyword-matching tuples.
+This is the approach the paper contrasts with: the instance graph has one
+node per tuple, so it grows with the data, whereas QUEST's schema graph
+does not (demo message three / experiment E3).
+
+The search is BANKS' backward expanding heuristic: Dijkstra waves grow
+backwards from each keyword's tuple set; a node reached by every wave roots
+a connection tree.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+from repro.db.database import Database
+from repro.db.fulltext import FullTextIndex
+from repro.db.schema import ColumnRef
+
+__all__ = ["TupleNode", "AnswerTree", "BanksBaseline"]
+
+
+@dataclass(frozen=True)
+class TupleNode:
+    """One tuple of the instance graph, identified by table + primary key."""
+
+    table: str
+    key: tuple
+
+    def __str__(self) -> str:
+        return f"{self.table}{self.key!r}"
+
+
+@dataclass(frozen=True)
+class AnswerTree:
+    """A connection tree: root tuple, leaf tuples per keyword, total weight."""
+
+    root: TupleNode
+    leaves: tuple[TupleNode, ...]
+    edges: frozenset
+    weight: float
+
+    @property
+    def size(self) -> int:
+        """Number of edges in the tree."""
+        return len(self.edges)
+
+
+class BanksBaseline:
+    """Keyword search over the tuple-level data graph."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self.fulltext = FullTextIndex(db)
+        self._adjacency: dict[TupleNode, set[TupleNode]] = {}
+        self._build_graph()
+
+    # -- graph construction ------------------------------------------------------
+
+    def _build_graph(self) -> None:
+        """Materialise the instance graph (node per tuple, edge per FK link)."""
+        for fk in self.db.schema.foreign_keys:
+            source = self.db.table(fk.table)
+            target = self.db.table(fk.ref_table)
+            source_position = source.column_position(fk.column)
+            source_key_positions = [
+                source.column_position(c) for c in source.schema.primary_key
+            ]
+            target.ensure_index(fk.ref_column)
+            target_key_positions = [
+                target.column_position(c) for c in target.schema.primary_key
+            ]
+            for row in source:
+                value = row[source_position]
+                if value is None:
+                    continue
+                source_node = TupleNode(
+                    fk.table, tuple(row[p] for p in source_key_positions)
+                )
+                for matched in target.lookup(fk.ref_column, value):
+                    target_node = TupleNode(
+                        fk.ref_table,
+                        tuple(matched[p] for p in target_key_positions),
+                    )
+                    self._adjacency.setdefault(source_node, set()).add(target_node)
+                    self._adjacency.setdefault(target_node, set()).add(source_node)
+
+    @property
+    def node_count(self) -> int:
+        """Tuples participating in at least one FK link."""
+        return len(self._adjacency)
+
+    @property
+    def edge_count(self) -> int:
+        """Undirected tuple-level edges."""
+        return sum(len(n) for n in self._adjacency.values()) // 2
+
+    # -- keyword matching ----------------------------------------------------------
+
+    def matching_nodes(self, keyword: str) -> set[TupleNode]:
+        """Tuples containing *keyword* in any attribute."""
+        nodes: set[TupleNode] = set()
+        for ref, _score in self.fulltext.attribute_scores(keyword).items():
+            table = self.db.table(ref.table)
+            key_positions = [
+                table.column_position(c) for c in table.schema.primary_key
+            ]
+            for position in self.fulltext.matching_row_positions(keyword, ref):
+                row = table.rows[position]
+                nodes.add(
+                    TupleNode(ref.table, tuple(row[p] for p in key_positions))
+                )
+        return nodes
+
+    # -- backward expanding search ----------------------------------------------------
+
+    def search(self, keywords: list[str], k: int = 10) -> list[AnswerTree]:
+        """Top-k connection trees for *keywords* (unit edge weights)."""
+        keyword_sets = [self.matching_nodes(keyword) for keyword in keywords]
+        if any(not nodes for nodes in keyword_sets):
+            return []
+
+        counter = itertools.count()
+        # Per keyword-set Dijkstra state: distance and parent maps.
+        distances: list[dict[TupleNode, float]] = []
+        parents: list[dict[TupleNode, TupleNode]] = []
+        heap: list[tuple[float, int, int, TupleNode]] = []
+        for i, nodes in enumerate(keyword_sets):
+            distance_map = {node: 0.0 for node in nodes}
+            distances.append(distance_map)
+            parents.append({})
+            for node in nodes:
+                heapq.heappush(heap, (0.0, next(counter), i, node))
+
+        answers: list[AnswerTree] = []
+        emitted: set[tuple] = set()
+        while heap and len(answers) < k:
+            distance, _tie, wave, node = heapq.heappop(heap)
+            if distance > distances[wave].get(node, float("inf")):
+                continue
+            if all(node in d for d in distances):
+                answer = self._assemble(node, distances, parents)
+                identity = (answer.root, answer.edges)
+                if identity not in emitted:
+                    emitted.add(identity)
+                    answers.append(answer)
+            for neighbour in self._adjacency.get(node, ()):
+                candidate = distance + 1.0
+                if candidate < distances[wave].get(neighbour, float("inf")):
+                    distances[wave][neighbour] = candidate
+                    parents[wave][neighbour] = node
+                    heapq.heappush(heap, (candidate, next(counter), wave, neighbour))
+        answers.sort(key=lambda a: (a.weight, str(a.root)))
+        return answers[:k]
+
+    def _assemble(
+        self,
+        root: TupleNode,
+        distances: list[dict[TupleNode, float]],
+        parents: list[dict[TupleNode, TupleNode]],
+    ) -> AnswerTree:
+        """Stitch per-wave shortest paths into one answer tree."""
+        edges: set[frozenset] = set()
+        leaves: list[TupleNode] = []
+        for wave_parents in parents:
+            current = root
+            while current in wave_parents:
+                parent = wave_parents[current]
+                edges.add(frozenset((current, parent)))
+                current = parent
+            leaves.append(current)
+        return AnswerTree(
+            root=root,
+            leaves=tuple(leaves),
+            edges=frozenset(edges),
+            weight=float(len(edges)),
+        )

@@ -1,0 +1,145 @@
+"""DISCOVER-style schema-based baseline: candidate network enumeration.
+
+The classic schema-based pipeline (Hristidis & Papakonstantinou, VLDB'02):
+find the tables whose tuples contain each keyword, then enumerate *candidate
+networks* — minimal join trees over the schema connecting one keyword-
+holding table per keyword — breadth-first up to a size budget, ranking
+smaller networks first. No probabilistic reasoning, no schema-term
+matching, no instance-informed weighting: exactly the comparison point that
+isolates QUEST's contributions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.db.database import Database
+from repro.db.fulltext import FullTextIndex
+from repro.db.query import Comparison, JoinCondition, Predicate, SelectQuery, TableRef
+from repro.db.schema import ColumnRef, Schema
+
+__all__ = ["CandidateNetwork", "DiscoverBaseline"]
+
+
+@dataclass(frozen=True)
+class CandidateNetwork:
+    """A join tree over tables with keyword assignments."""
+
+    tables: frozenset[str]
+    joins: tuple[JoinCondition, ...]
+    keyword_columns: tuple[tuple[str, ColumnRef], ...]  # keyword -> column
+
+    @property
+    def size(self) -> int:
+        """Number of tables (the DISCOVER ranking criterion)."""
+        return len(self.tables)
+
+
+class DiscoverBaseline:
+    """Keyword search by candidate-network enumeration."""
+
+    def __init__(self, db: Database, max_network_size: int = 5) -> None:
+        self.db = db
+        self.schema: Schema = db.schema
+        self.fulltext = FullTextIndex(db)
+        self.max_network_size = max_network_size
+
+    # -- keyword -> table sets -------------------------------------------------
+
+    def keyword_columns(self, keyword: str) -> list[ColumnRef]:
+        """Attributes whose extension contains *keyword*."""
+        return sorted(self.fulltext.attribute_scores(keyword), key=str)
+
+    # -- candidate network enumeration -----------------------------------------
+
+    def _connect(self, tables: frozenset[str]) -> tuple[JoinCondition, ...] | None:
+        """A minimal join tree connecting *tables*, or ``None``.
+
+        Breadth-first growth over foreign keys starting from one member;
+        may pull in intermediate (non-keyword) tables up to the size budget.
+        """
+        if len(tables) == 1:
+            return ()
+        start = sorted(tables)[0]
+        # BFS over table-level adjacency, tracking the FK used to reach each.
+        frontier = [start]
+        reached: dict[str, tuple] = {start: ()}
+        while frontier:
+            current = frontier.pop(0)
+            for fk in self.schema.foreign_keys:
+                for source, target in ((fk.table, fk.ref_table), (fk.ref_table, fk.table)):
+                    if source != current or target in reached:
+                        continue
+                    reached[target] = reached[current] + (fk,)
+                    frontier.append(target)
+        if not tables <= set(reached):
+            return None
+        used: dict[tuple, JoinCondition] = {}
+        involved: set[str] = set()
+        for table in tables:
+            involved.add(table)
+            for fk in reached[table]:
+                key = (fk.table, fk.column, fk.ref_table, fk.ref_column)
+                used[key] = JoinCondition(fk.table, fk.column, fk.ref_table, fk.ref_column)
+                involved.add(fk.table)
+                involved.add(fk.ref_table)
+        if len(involved) > self.max_network_size:
+            return None
+        return tuple(used.values())
+
+    def candidate_networks(self, keywords: list[str]) -> list[CandidateNetwork]:
+        """All candidate networks for *keywords*, smallest first."""
+        per_keyword = [self.keyword_columns(keyword) for keyword in keywords]
+        if any(not columns for columns in per_keyword):
+            return []
+        networks: list[CandidateNetwork] = []
+        seen: set[tuple] = set()
+        for assignment in itertools.product(*per_keyword):
+            tables = frozenset(ref.table for ref in assignment)
+            if len(tables) > self.max_network_size:
+                continue
+            joins = self._connect(tables)
+            if joins is None:
+                continue
+            key = (tables, tuple(sorted(zip(keywords, map(str, assignment)))))
+            if key in seen:
+                continue
+            seen.add(key)
+            networks.append(
+                CandidateNetwork(
+                    tables=tables,
+                    joins=joins,
+                    keyword_columns=tuple(zip(keywords, assignment)),
+                )
+            )
+        networks.sort(
+            key=lambda n: (n.size, sorted(n.tables), str(n.keyword_columns))
+        )
+        return networks
+
+    # -- SQL generation -----------------------------------------------------------
+
+    def to_query(self, network: CandidateNetwork) -> SelectQuery:
+        """Render a candidate network as a select-project-join query."""
+        involved: set[str] = set(network.tables)
+        for join in network.joins:
+            involved.add(join.left_alias)
+            involved.add(join.right_alias)
+        predicates = tuple(
+            Predicate(ref.table, ref.column, Comparison.CONTAINS, keyword)
+            for keyword, ref in network.keyword_columns
+        )
+        projection = tuple(
+            (ref.table, ref.column) for _kw, ref in network.keyword_columns
+        )
+        return SelectQuery(
+            tables=tuple(TableRef.of(name) for name in sorted(involved)),
+            joins=network.joins,
+            predicates=predicates,
+            projection=projection,
+        )
+
+    def search(self, keywords: list[str], k: int = 10) -> list[SelectQuery]:
+        """Top-k queries by network size (the DISCOVER ranking)."""
+        return [self.to_query(n) for n in self.candidate_networks(keywords)[:k]]

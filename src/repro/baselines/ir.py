@@ -1,0 +1,99 @@
+"""IR universal-relation baseline: per-tuple full-text retrieval.
+
+The introduction's straw man: treat every tuple as a document (the
+"universal relation" flattened view), rank tuples by TF-IDF against the
+whole keyword query, and answer with single-table selections. It retrieves
+tuples containing keywords but, by construction, can never produce the
+join paths that multi-table queries need — which is why naive IR fails on
+relational data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.database import Database
+from repro.db.fulltext import FullTextIndex
+from repro.db.query import Comparison, Predicate, SelectQuery, TableRef
+
+__all__ = ["TupleHit", "IRBaseline"]
+
+
+@dataclass(frozen=True)
+class TupleHit:
+    """One retrieved tuple with its aggregate score."""
+
+    table: str
+    key: tuple
+    score: float
+    matched_keywords: frozenset[str]
+
+
+class IRBaseline:
+    """Universal-relation retrieval over tuples."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self.fulltext = FullTextIndex(db)
+
+    def search_tuples(self, keywords: list[str], k: int = 10) -> list[TupleHit]:
+        """Top-k tuples by summed per-keyword TF-IDF."""
+        scores: dict[tuple[str, tuple], float] = {}
+        matched: dict[tuple[str, tuple], set[str]] = {}
+        for keyword in keywords:
+            for ref, attribute_score in self.fulltext.attribute_scores(keyword).items():
+                table = self.db.table(ref.table)
+                key_positions = [
+                    table.column_position(c) for c in table.schema.primary_key
+                ]
+                for position in self.fulltext.matching_row_positions(keyword, ref):
+                    row = table.rows[position]
+                    identity = (ref.table, tuple(row[p] for p in key_positions))
+                    scores[identity] = scores.get(identity, 0.0) + attribute_score
+                    matched.setdefault(identity, set()).add(keyword)
+        hits = [
+            TupleHit(table, key, score, frozenset(matched[(table, key)]))
+            for (table, key), score in scores.items()
+        ]
+        # Prefer tuples covering more keywords, then higher scores.
+        hits.sort(key=lambda h: (-len(h.matched_keywords), -h.score, h.table, str(h.key)))
+        return hits[:k]
+
+    def search(self, keywords: list[str], k: int = 10) -> list[SelectQuery]:
+        """Top-k *single-table* queries implied by the best tuples.
+
+        One query per distinct (table, matched keyword set): every keyword
+        the table's tuples matched becomes a containment predicate over the
+        attribute where it scored highest. Joins are never produced.
+        """
+        queries: list[SelectQuery] = []
+        seen: set[tuple[str, frozenset[str]]] = set()
+        for hit in self.search_tuples(keywords, k * 4):
+            identity = (hit.table, hit.matched_keywords)
+            if identity in seen:
+                continue
+            seen.add(identity)
+            predicates = []
+            for keyword in sorted(hit.matched_keywords):
+                candidates = {
+                    ref: score
+                    for ref, score in self.fulltext.attribute_scores(keyword).items()
+                    if ref.table == hit.table
+                }
+                if not candidates:
+                    continue
+                best = max(candidates, key=lambda ref: (candidates[ref], str(ref)))
+                predicates.append(
+                    Predicate(hit.table, best.column, Comparison.CONTAINS, keyword)
+                )
+            if not predicates:
+                continue
+            queries.append(
+                SelectQuery(
+                    tables=(TableRef.of(hit.table),),
+                    predicates=tuple(predicates),
+                )
+            )
+            if len(queries) >= k:
+                break
+        return queries

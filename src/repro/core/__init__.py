@@ -1,0 +1,25 @@
+"""QUEST's core: configurations, interpretations, explanations, the engine.
+
+The primary public API of the reproduction: build a wrapper around a data
+source, construct :class:`Quest`, call :meth:`Quest.search`.
+"""
+
+from repro.core.configuration import Configuration, KeywordMapping
+from repro.core.engine import Quest
+from repro.core.explanation import Explanation
+from repro.core.interpretation import Interpretation, tree_score
+from repro.core.multisource import MultiSourceQuest
+from repro.core.query_builder import build_query
+from repro.core.settings import QuestSettings
+
+__all__ = [
+    "Configuration",
+    "Explanation",
+    "Interpretation",
+    "KeywordMapping",
+    "MultiSourceQuest",
+    "Quest",
+    "QuestSettings",
+    "build_query",
+    "tree_score",
+]

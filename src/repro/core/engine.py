@@ -1,0 +1,353 @@
+"""The QUEST engine: Algorithm 1 end to end.
+
+``search`` runs the three steps of the paper's process::
+
+    Cap <- HMM_a_priori(q, k)   |   Cf <- HMM_feedback(q, k)
+    C   <- CombinerDST(Cap, Cf, O_Cap, O_Cf)      # forward
+    I   <- ST(q, C, k)                            # backward
+    E   <- CombinerDST(C, I, O_C, O_I)            # explanations
+    E   <- QueryBuilder(E)
+
+Every stage is also exposed as a public method so experiments can inspect
+partial results (demo message two compares the modules in isolation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.configuration import Configuration, KeywordMapping
+from repro.core.explanation import Explanation
+from repro.core.interpretation import Interpretation, tree_score
+from repro.core.query_builder import build_query
+from repro.core.settings import QuestSettings
+from repro.db.query import SelectQuery
+from repro.dst.belief import rank_hypotheses
+from repro.dst.combine import dempster_combine
+from repro.dst.mass import MassFunction
+from repro.errors import AccessDeniedError, CombinationError, QuestError, SteinerError
+from repro.hmm.apriori import AprioriWeights, build_apriori_model
+from repro.hmm.model import HiddenMarkovModel
+from repro.hmm.states import StateSpace
+from repro.hmm.viterbi import list_viterbi
+from repro.semantics.tokenize import tokenize_query
+from repro.steiner.tree import SteinerTree
+from repro.steiner.topk import top_k_steiner_trees
+from repro.steiner.weights import build_schema_graph
+from repro.wrapper.base import SourceWrapper
+
+__all__ = ["Quest"]
+
+
+class Quest:
+    """A QUEST search engine bound to one data source.
+
+    Args:
+        wrapper: the source wrapper (full or hidden access).
+        settings: engine parameters; defaults to :class:`QuestSettings`.
+        apriori_weights: heuristic affinities for the a-priori HMM.
+        feedback_model: a trained feedback HMM (enables the feedback mode
+            together with ``settings.use_feedback``); usually supplied by
+            :class:`repro.feedback.FeedbackTrainer`.
+    """
+
+    def __init__(
+        self,
+        wrapper: SourceWrapper,
+        settings: QuestSettings | None = None,
+        apriori_weights: AprioriWeights | None = None,
+        feedback_model: HiddenMarkovModel | None = None,
+    ) -> None:
+        self.wrapper = wrapper
+        self.settings = settings if settings is not None else QuestSettings()
+        self.schema = wrapper.schema
+        self.states = StateSpace(self.schema)
+        self.apriori_model = build_apriori_model(
+            self.schema, self.states, apriori_weights
+        )
+        self.feedback_model = feedback_model
+        self.schema_graph = build_schema_graph(
+            self.schema,
+            wrapper.catalog,
+            mutual_information=self.settings.mutual_information_weights,
+        )
+
+    # -- feedback plumbing ---------------------------------------------------
+
+    def set_feedback_model(self, model: HiddenMarkovModel | None) -> None:
+        """Install (or clear) the trained feedback HMM."""
+        if model is not None and model.states is not self.states:
+            if len(model.states) != len(self.states):
+                raise QuestError("feedback model uses a different state space")
+        self.feedback_model = model
+
+    # -- step 1: forward -------------------------------------------------------
+
+    def decode(
+        self, keywords: list[str], model: HiddenMarkovModel, k: int
+    ) -> list[Configuration]:
+        """Top-k configurations from one HMM via List Viterbi.
+
+        Scores are the softmax of the joint log-probabilities over the
+        decoded list, i.e. each configuration's probability relative to its
+        alternatives — the quantity the paper normalises into DS masses.
+        """
+        emissions = model.emission_matrix(keywords, self.wrapper)
+        paths = list_viterbi(model, emissions, k)
+        if not paths:
+            return []
+        log_probs = np.array([p.log_probability for p in paths])
+        log_probs -= log_probs.max()
+        weights = np.exp(log_probs)
+        weights /= weights.sum()
+        configurations = []
+        for path, weight in zip(paths, weights):
+            mappings = tuple(
+                KeywordMapping(keyword, self.states[state_index])
+                for keyword, state_index in zip(keywords, path.states)
+            )
+            configurations.append(Configuration(mappings, float(weight)))
+        return configurations
+
+    def forward(self, keywords: list[str], k: int | None = None) -> list[Configuration]:
+        """The combined forward step: a-priori and/or feedback mode + DST."""
+        k = k or self.settings.k
+        apriori: list[Configuration] = []
+        feedback: list[Configuration] = []
+        if self.settings.use_apriori:
+            apriori = self.decode(keywords, self.apriori_model, k)
+        if self.settings.use_feedback and self.feedback_model is not None:
+            feedback = self.decode(keywords, self.feedback_model, k)
+
+        if apriori and feedback:
+            combined = self._combine_configurations(apriori, feedback, k)
+        else:
+            combined = apriori or feedback
+        if not combined:
+            raise QuestError("forward step produced no configurations")
+        return combined
+
+    def _combine_configurations(
+        self,
+        apriori: list[Configuration],
+        feedback: list[Configuration],
+        k: int,
+    ) -> list[Configuration]:
+        """``C <- CombinerDST(Cap, Cf, O_Cap, O_Cf)`` over the union frame."""
+        frame = frozenset(c.with_score(0.0) for c in apriori + feedback)
+        apriori_scores = {c.with_score(0.0): c.score for c in apriori}
+        feedback_scores = {c.with_score(0.0): c.score for c in feedback}
+        apriori_mass = MassFunction.from_scores(
+            apriori_scores, self.settings.uncertainty_apriori, frame
+        )
+        feedback_mass = MassFunction.from_scores(
+            feedback_scores, self.settings.uncertainty_feedback, frame
+        )
+        combined = dempster_combine(apriori_mass, feedback_mass)
+        ranked = rank_hypotheses(combined, k)
+        return [
+            configuration.with_score(probability)
+            for configuration, probability in ranked
+        ]
+
+    # -- step 2: backward --------------------------------------------------------
+
+    def backward(
+        self, configurations: list[Configuration], k: int | None = None
+    ) -> list[Interpretation]:
+        """Top-k join paths (interpretations) for each configuration.
+
+        Configurations whose terminals are disconnected in the schema graph
+        yield no interpretation and drop out — exactly the instance-
+        consistency filtering the backward step exists for.
+        """
+        k = k or self.settings.k
+        interpretations: list[Interpretation] = []
+        for configuration in configurations:
+            terminals = configuration.terminals(self.schema)
+            try:
+                trees = top_k_steiner_trees(
+                    self.schema_graph,
+                    sorted(terminals, key=str),
+                    k,
+                    prune_supertrees=self.settings.prune_supertrees,
+                )
+            except SteinerError:
+                continue
+            for tree in trees:
+                interpretations.append(
+                    Interpretation(configuration, tree, tree_score(tree.weight))
+                )
+        return interpretations
+
+    # -- step 3: combination --------------------------------------------------------
+
+    def combine(
+        self,
+        configurations: list[Configuration],
+        interpretations: list[Interpretation],
+        k: int | None = None,
+    ) -> list[Interpretation]:
+        """``E <- CombinerDST(C, I, O_C, O_I)``.
+
+        Forward evidence commits mass to *sets* of interpretations sharing a
+        configuration (the forward step knows nothing about join paths);
+        backward evidence commits mass to individual interpretations. The
+        Dempster intersection concentrates belief on join paths that both a
+        likely configuration and a short informative tree support.
+        """
+        if not interpretations:
+            return []
+        k = k or self.settings.k
+        frame = frozenset(interpretations)
+
+        forward_mass = MassFunction(frame=frame)
+        by_configuration: dict[Configuration, set[Interpretation]] = {}
+        for interpretation in interpretations:
+            by_configuration.setdefault(
+                interpretation.configuration, set()
+            ).add(interpretation)
+        supported = [
+            c for c in configurations if c in by_configuration and c.score > 0.0
+        ]
+        total_score = sum(c.score for c in supported)
+        if total_score > 0.0:
+            budget = 1.0 - self.settings.uncertainty_forward
+            for configuration in supported:
+                forward_mass.assign(
+                    frozenset(by_configuration[configuration]),
+                    budget * configuration.score / total_score,
+                )
+            if self.settings.uncertainty_forward > 0.0:
+                forward_mass.assign(frame, self.settings.uncertainty_forward)
+        else:
+            forward_mass = MassFunction.vacuous(frame)
+
+        backward_scores = {i: i.score for i in interpretations}
+        backward_mass = MassFunction.from_scores(
+            backward_scores, self.settings.uncertainty_backward, frame
+        )
+
+        try:
+            combined = dempster_combine(forward_mass, backward_mass)
+        except CombinationError:
+            # Total conflict cannot happen over a shared frame, but guard:
+            # fall back to the backward ranking.
+            combined = backward_mass
+        ranked = rank_hypotheses(combined, k)
+        return [
+            interpretation.with_score(probability)
+            for interpretation, probability in ranked
+        ]
+
+    # -- step 4: query building --------------------------------------------------------
+
+    def explain(
+        self, interpretations: list[Interpretation], limit: int | None = None
+    ) -> list[Explanation]:
+        """Render ranked interpretations as SQL, optionally executing them.
+
+        Distinct interpretations can denote the same SQL (e.g. two
+        configurations differing only in schema-term kinds); only the
+        best-ranked explanation per structural query survives. When the
+        wrapper can execute, empty-result explanations are dropped per
+        ``settings.min_explanation_results``.
+        """
+        explanations: list[Explanation] = []
+        seen_queries: set[tuple] = set()
+        for interpretation in interpretations:
+            query = build_query(self.schema, interpretation)
+            identity = query.signature()
+            if identity in seen_queries:
+                continue
+            seen_queries.add(identity)
+            result_count: int | None = None
+            if self.settings.execute_explanations:
+                try:
+                    result_count = self.wrapper.result_count(query)
+                except AccessDeniedError:
+                    result_count = None
+                else:
+                    if result_count < self.settings.min_explanation_results:
+                        continue
+            explanations.append(
+                Explanation(
+                    interpretation=interpretation,
+                    query=query,
+                    probability=interpretation.score,
+                    result_count=result_count,
+                )
+            )
+            if limit is not None and len(explanations) >= limit:
+                break
+        return explanations
+
+    # -- the full pipeline --------------------------------------------------------
+
+    def evidence_coverage(self, keywords: list[str]) -> float:
+        """Fraction of keywords with non-zero emission evidence.
+
+        A keyword the source cannot relate to any database term at all
+        (no full-text hit, no schema-name match, no shape evidence) still
+        gets decoded — onto an arbitrary state — but the resulting
+        explanations carry no real signal. Multi-source combination uses
+        this coverage to discount sources that do not understand part of
+        the query.
+        """
+        if not keywords:
+            return 0.0
+        covered = sum(
+            1
+            for keyword in keywords
+            if float(
+                np.max(self.wrapper.emission_scores(keyword, self.states))
+            )
+            > 0.0
+        )
+        return covered / len(keywords)
+
+    def keywords_of(self, query: str) -> list[str]:
+        """Tokenise a raw keyword query (exposed for feedback tooling)."""
+        keywords = tokenize_query(query)
+        if not keywords:
+            raise QuestError(f"query contains no usable keywords: {query!r}")
+        return keywords
+
+    def search(self, query: str, k: int | None = None) -> list[Explanation]:
+        """Answer a keyword query with the top-k explanations.
+
+        Intermediate stages over-generate by ``settings.candidate_factor``
+        so that the final combination and the empty-result filter choose
+        from a wider pool than the k eventually returned.
+        """
+        k = k or self.settings.k
+        pool = k * self.settings.candidate_factor
+        keywords = self.keywords_of(query)
+        configurations = self.forward(keywords, pool)
+        interpretations = self.backward(configurations, self.settings.k)
+        # Rank the complete interpretation pool: explanations that execute
+        # to empty results are dropped below, so truncating here would let
+        # filtered-out junk displace executable answers further down.
+        ranked = self.combine(
+            configurations, interpretations, max(pool, len(interpretations))
+        )
+        return self.explain(ranked, limit=k)
+
+    # -- diagnostics --------------------------------------------------------
+
+    def trivial_tree(self, configuration: Configuration) -> SteinerTree | None:
+        """The empty tree when a configuration touches a single table."""
+        terminals = configuration.terminals(self.schema)
+        if len({t.table for t in terminals}) == 1:
+            return SteinerTree(frozenset(terminals), frozenset(), 0.0)
+        return None
+
+    def build_sql(self, interpretation: Interpretation) -> SelectQuery:
+        """Build (without executing) the SQL for one interpretation."""
+        return build_query(self.schema, interpretation)
+
+    def __repr__(self) -> str:
+        return (
+            f"Quest(schema={self.schema.name!r}, states={len(self.states)}, "
+            f"graph_edges={self.schema_graph.edge_count})"
+        )

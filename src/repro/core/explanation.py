@@ -1,0 +1,43 @@
+"""Explanations: the final ranked answers of a QUEST search.
+
+An explanation couples an interpretation with the SQL query it denotes and
+the probability assigned by the final Dempster-Shafer combination. "The
+results of this module are the top-k explanations, i.e., the SQL queries
+which, executed, are the answers for the user keyword queries."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.configuration import Configuration
+from repro.core.interpretation import Interpretation
+from repro.db.query import SelectQuery
+
+__all__ = ["Explanation"]
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """A ranked SQL answer with its provenance."""
+
+    interpretation: Interpretation
+    query: SelectQuery
+    probability: float
+    #: Number of tuples the query returned, when the wrapper executed it
+    #: (``None`` when execution was skipped or denied).
+    result_count: int | None = None
+
+    @property
+    def configuration(self) -> Configuration:
+        """The keyword-to-term mapping behind this explanation."""
+        return self.interpretation.configuration
+
+    @property
+    def sql(self) -> str:
+        """The SQL text of the generated query."""
+        return str(self.query)
+
+    def __str__(self) -> str:
+        count = "" if self.result_count is None else f", rows={self.result_count}"
+        return f"[{self.probability:.4f}{count}] {self.sql}"

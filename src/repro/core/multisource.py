@@ -1,0 +1,123 @@
+"""Multi-source search: Algorithm 2 ("Combine Results") of the paper.
+
+QUEST is designed "as an add-on to existing databases, allowing users to
+express keyword query not only on owned databases, but also on virtually
+integrated data sources". Algorithm 2 in Figure 1 combines partial queries
+from two sources: each source's forward (H) and backward (S) evidence is
+combined into per-source explanations E1, E2, and a final Dempster-Shafer
+combination with per-source ignorance values ``O_E1``, ``O_E2`` merges the
+two explanation rankings into the top-k answers T.
+
+Here each source is a full :class:`~repro.core.engine.Quest` engine (which
+already performs the per-source H x S combination), and this module
+implements the outer combination over any number of sources.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import Quest
+from repro.core.explanation import Explanation
+from repro.dst.belief import rank_hypotheses
+from repro.dst.combine import dempster_combine
+from repro.dst.mass import MassFunction
+from repro.errors import QuestError
+
+__all__ = ["MultiSourceQuest"]
+
+
+class MultiSourceQuest:
+    """Keyword search over several sources with DS result combination.
+
+    Args:
+        engines: named per-source engines.
+        ignorance: per-source ignorance values (``O_E1``, ``O_E2``, ... in
+            the paper); defaults to 0.3 for every source. Raising a
+            source's value lowers its influence on the merged ranking.
+    """
+
+    def __init__(
+        self,
+        engines: dict[str, Quest],
+        ignorance: dict[str, float] | None = None,
+    ) -> None:
+        if not engines:
+            raise QuestError("multi-source search needs at least one source")
+        self.engines = dict(engines)
+        self.ignorance = {
+            name: 0.3 if ignorance is None else ignorance.get(name, 0.3)
+            for name in self.engines
+        }
+        for name, value in self.ignorance.items():
+            if not 0.0 <= value <= 1.0:
+                raise QuestError(
+                    f"ignorance for source {name!r} must be in [0, 1]"
+                )
+
+    def search(
+        self, query: str, k: int = 10
+    ) -> list[tuple[str, Explanation]]:
+        """Top-k explanations across all sources, best first.
+
+        Hypotheses are ``(source name, SQL signature)`` pairs — the same
+        structural query found on two sources is two distinct answers, as
+        the sources hold different data. Returns ``(source, explanation)``
+        pairs ranked by combined probability (stored on the explanation).
+        """
+        per_source: dict[str, list[Explanation]] = {}
+        coverage: dict[str, float] = {}
+        for name, engine in self.engines.items():
+            try:
+                keywords = engine.keywords_of(query)
+                coverage[name] = engine.evidence_coverage(keywords)
+                per_source[name] = engine.search(query, k)
+            except QuestError:
+                coverage[name] = 0.0
+                per_source[name] = []
+        if not any(per_source.values()):
+            return []
+
+        # One body of evidence per source over the union frame of answers.
+        frame = frozenset(
+            (name, explanation.query.signature())
+            for name, explanations in per_source.items()
+            for explanation in explanations
+        )
+        bodies: list[MassFunction] = []
+        by_hypothesis: dict[tuple, tuple[str, Explanation]] = {}
+        for name, explanations in per_source.items():
+            scores: dict[tuple, float] = {}
+            for explanation in explanations:
+                hypothesis = (name, explanation.query.signature())
+                scores[hypothesis] = explanation.probability
+                by_hypothesis[hypothesis] = (name, explanation)
+            if not scores:
+                continue
+            # A source that lacks evidence for part of the query is more
+            # ignorant about it: its declared O_E scales up so its
+            # (necessarily speculative) answers weigh less.
+            effective_ignorance = 1.0 - (
+                (1.0 - self.ignorance[name]) * coverage.get(name, 1.0)
+            )
+            bodies.append(
+                MassFunction.from_scores(scores, effective_ignorance, frame)
+            )
+
+        combined = bodies[0]
+        for body in bodies[1:]:
+            combined = dempster_combine(combined, body)
+
+        ranked: list[tuple[str, Explanation]] = []
+        for hypothesis, probability in rank_hypotheses(combined, k):
+            name, explanation = by_hypothesis[hypothesis]
+            ranked.append(
+                (
+                    name,
+                    Explanation(
+                        interpretation=explanation.interpretation,
+                        query=explanation.query,
+                        probability=probability,
+                        result_count=explanation.result_count,
+                    ),
+                )
+            )
+        return ranked

@@ -1,0 +1,18 @@
+"""Synthetic datasets reproducing the paper's three demo scenarios.
+
+IMDB (simple star schema, many instances), DBLP (large m:n authorship,
+non-trivial schema) and Mondial (complex geographic schema, few instances),
+each with deterministic generators and gold-annotated keyword workloads.
+"""
+
+from repro.datasets import dblp, imdb, mondial
+from repro.datasets.workload import Workload, WorkloadQuery, gold_configuration
+
+__all__ = [
+    "Workload",
+    "WorkloadQuery",
+    "dblp",
+    "gold_configuration",
+    "imdb",
+    "mondial",
+]

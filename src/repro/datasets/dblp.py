@@ -1,0 +1,272 @@
+"""Synthetic DBLP-like database: many instances, non-trivial schema.
+
+Mirrors the paper's DBLP scenario (people, papers and a large m:n
+authorship relation): ``person``, ``venue``, ``paper`` and ``author``
+tables, with row counts that keep the m:n relation dominant — as in the
+real collection, where "is author" holds more tuples than people and
+papers combined.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets import names
+from repro.datasets.workload import Workload, WorkloadQuery, gold_configuration
+from repro.db.database import Database
+from repro.db.query import Comparison, JoinCondition, Predicate, SelectQuery, TableRef
+from repro.db.schema import Column, ForeignKey, Schema, TableSchema
+from repro.db.types import DataType
+from repro.hmm.states import State, StateKind
+
+__all__ = ["schema", "generate", "workload"]
+
+
+def schema() -> Schema:
+    """The DBLP-like bibliography schema."""
+    person = TableSchema(
+        name="person",
+        columns=(
+            Column("id", DataType.INTEGER, nullable=False),
+            Column("name", DataType.TEXT, nullable=False),
+        ),
+        primary_key=("id",),
+        synonyms=("people", "researcher"),
+    )
+    venue = TableSchema(
+        name="venue",
+        columns=(
+            Column("id", DataType.INTEGER, nullable=False),
+            Column("name", DataType.TEXT, nullable=False),
+            Column("kind", DataType.TEXT, pattern=r"conference|journal"),
+        ),
+        primary_key=("id",),
+        synonyms=("conference", "journal", "proceedings"),
+    )
+    paper = TableSchema(
+        name="paper",
+        columns=(
+            Column("id", DataType.INTEGER, nullable=False),
+            Column("title", DataType.TEXT, nullable=False),
+            Column("year", DataType.INTEGER, pattern=r"(19|20)\d\d"),
+            Column("venue_id", DataType.INTEGER, nullable=False),
+        ),
+        primary_key=("id",),
+        synonyms=("article", "publication"),
+    )
+    author = TableSchema(
+        name="author",
+        columns=(
+            Column("person_id", DataType.INTEGER, nullable=False),
+            Column("paper_id", DataType.INTEGER, nullable=False),
+            Column("position", DataType.INTEGER),
+        ),
+        primary_key=("person_id", "paper_id"),
+        synonyms=("authorship", "writes"),
+        description="The is-author m:n relation.",
+    )
+    return Schema(
+        tables=[person, venue, paper, author],
+        foreign_keys=[
+            ForeignKey("paper", "venue_id", "venue", "id"),
+            ForeignKey("author", "person_id", "person", "id"),
+            ForeignKey("author", "paper_id", "paper", "id"),
+        ],
+        name="dblp",
+    )
+
+
+def generate(papers: int = 400, seed: int = 13) -> Database:
+    """Generate a deterministic instance with *papers* publications."""
+    rng = random.Random(seed)
+    db = Database(schema())
+
+    person_count = max(30, (papers * 5) // 4)
+    used_names: set[str] = set()
+    for person_id in range(1, person_count + 1):
+        name = names.full_name(rng)
+        while name in used_names:
+            name = names.full_name(rng)
+        used_names.add(name)
+        db.insert("person", {"id": person_id, "name": name})
+
+    for venue_id, venue_name in enumerate(names.VENUE_NAMES, start=1):
+        kind = "journal" if venue_name in ("TODS", "TKDE", "PVLDB") else "conference"
+        db.insert("venue", {"id": venue_id, "name": venue_name, "kind": kind})
+
+    for paper_id in range(1, papers + 1):
+        qualifier = rng.choice(names.PAPER_QUALIFIERS)
+        topic = rng.choice(names.PAPER_TOPICS)
+        title = f"Towards {qualifier} {topic}"
+        db.insert(
+            "paper",
+            {
+                "id": paper_id,
+                "title": title,
+                "year": rng.randint(1995, 2023),
+                "venue_id": rng.randint(1, len(names.VENUE_NAMES)),
+            },
+        )
+        author_count = rng.randint(1, 5)
+        for position, person_id in enumerate(
+            rng.sample(range(1, person_count + 1), author_count), start=1
+        ):
+            db.insert(
+                "author",
+                {
+                    "person_id": person_id,
+                    "paper_id": paper_id,
+                    "position": position,
+                },
+            )
+
+    db.check_integrity()
+    return db
+
+
+# -- workload -----------------------------------------------------------------
+
+
+def _dom(table: str, column: str) -> State:
+    return State(StateKind.DOMAIN, table, column)
+
+
+def _table_state(table: str) -> State:
+    return State(StateKind.TABLE, table)
+
+
+def workload(db: Database, queries_per_kind: int = 5, seed: int = 17) -> Workload:
+    """A gold-annotated workload over the bibliography instance."""
+    rng = random.Random(seed)
+    queries: list[WorkloadQuery] = []
+    used: set[tuple[str, ...]] = set()
+    paper_rows = db.table("paper").rows
+    author_table = db.table("author")
+
+    def add(kind: str, index: int, text: str, gold: SelectQuery, config, desc: str) -> None:
+        if config.keywords in used:
+            return
+        used.add(config.keywords)
+        queries.append(
+            WorkloadQuery(
+                qid=f"dblp-{kind}-{index}",
+                text=text,
+                gold_query=gold,
+                gold_configuration=config,
+                description=desc,
+            )
+        )
+
+    for index in range(queries_per_kind):
+        paper = rng.choice(paper_rows)
+        paper_id, title, year, venue_id = paper
+        title_word = str(title).split()[-1].lower()
+
+        authors = author_table.lookup("paper_id", paper_id)
+        person_row = db.table("person").get((authors[0][0],))
+        assert person_row is not None
+        surname = str(person_row[1]).split()[-1].lower()
+
+        venue_row = db.table("venue").get((venue_id,))
+        assert venue_row is not None
+        venue_word = str(venue_row[1]).split()[0].lower()
+
+        # Kind 1: "<surname> papers" — person -> author -> paper.
+        add(
+            "author",
+            index,
+            f"{surname} papers",
+            SelectQuery(
+                tables=(
+                    TableRef.of("author"),
+                    TableRef.of("paper"),
+                    TableRef.of("person"),
+                ),
+                joins=(
+                    JoinCondition("author", "person_id", "person", "id"),
+                    JoinCondition("author", "paper_id", "paper", "id"),
+                ),
+                predicates=(
+                    Predicate("person", "name", Comparison.CONTAINS, surname),
+                ),
+                projection=(("paper", "title"), ("person", "name")),
+            ),
+            gold_configuration(
+                [surname, "papers"],
+                [_dom("person", "name"), _table_state("paper")],
+            ),
+            "publications of an author (m:n path)",
+        )
+
+        # Kind 2: "<title word> <year>" — single-table paper lookup.
+        add(
+            "title-year",
+            index,
+            f"{title_word} {year}",
+            SelectQuery(
+                tables=(TableRef.of("paper"),),
+                predicates=(
+                    Predicate("paper", "title", Comparison.CONTAINS, title_word),
+                    Predicate("paper", "year", Comparison.CONTAINS, str(year)),
+                ),
+                projection=(("paper", "title"), ("paper", "year")),
+            ),
+            gold_configuration(
+                [title_word, str(year)],
+                [_dom("paper", "title"), _dom("paper", "year")],
+            ),
+            "paper by topic word and year",
+        )
+
+        # Kind 3: "<venue> papers <year>" — paper -> venue join.
+        add(
+            "venue-year",
+            index,
+            f"{venue_word} papers {year}",
+            SelectQuery(
+                tables=(TableRef.of("paper"), TableRef.of("venue")),
+                joins=(JoinCondition("paper", "venue_id", "venue", "id"),),
+                predicates=(
+                    Predicate("venue", "name", Comparison.CONTAINS, venue_word),
+                    Predicate("paper", "year", Comparison.CONTAINS, str(year)),
+                ),
+                projection=(("paper", "title"), ("venue", "name")),
+            ),
+            gold_configuration(
+                [venue_word, "papers", str(year)],
+                [_dom("venue", "name"), _table_state("paper"), _dom("paper", "year")],
+            ),
+            "papers at a venue in a given year",
+        )
+
+        # Kind 4: "<surname> <venue>" — the four-table chain.
+        add(
+            "author-venue",
+            index,
+            f"{surname} {venue_word}",
+            SelectQuery(
+                tables=(
+                    TableRef.of("author"),
+                    TableRef.of("paper"),
+                    TableRef.of("person"),
+                    TableRef.of("venue"),
+                ),
+                joins=(
+                    JoinCondition("author", "person_id", "person", "id"),
+                    JoinCondition("author", "paper_id", "paper", "id"),
+                    JoinCondition("paper", "venue_id", "venue", "id"),
+                ),
+                predicates=(
+                    Predicate("person", "name", Comparison.CONTAINS, surname),
+                    Predicate("venue", "name", Comparison.CONTAINS, venue_word),
+                ),
+                projection=(("paper", "title"),),
+            ),
+            gold_configuration(
+                [surname, venue_word],
+                [_dom("person", "name"), _dom("venue", "name")],
+            ),
+            "author's papers at a venue: person-author-paper-venue chain",
+        )
+
+    return Workload("dblp", tuple(queries))

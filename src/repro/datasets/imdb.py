@@ -1,0 +1,387 @@
+"""Synthetic IMDB-like database: simple star schema, many instances.
+
+The paper demonstrates QUEST on IMDB as the "simple schema / millions of
+instances" scenario. The generator reproduces that regime at configurable
+scale: a ``movie`` fact table with foreign keys into ``person`` (director),
+``genre`` and ``company`` dimensions, plus a ``casting`` m:n relation that
+introduces the classic director-vs-actor join-path ambiguity.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.configuration import Configuration
+from repro.datasets import names
+from repro.datasets.workload import Workload, WorkloadQuery, gold_configuration
+from repro.db.database import Database
+from repro.db.query import Comparison, JoinCondition, Predicate, SelectQuery, TableRef
+from repro.db.schema import Column, ForeignKey, Schema, TableSchema
+from repro.db.types import DataType
+from repro.hmm.states import State, StateKind
+
+__all__ = ["schema", "generate", "workload"]
+
+
+def schema() -> Schema:
+    """The IMDB-like star schema (with search-friendly synonyms)."""
+    person = TableSchema(
+        name="person",
+        columns=(
+            Column("id", DataType.INTEGER, nullable=False),
+            Column("name", DataType.TEXT, nullable=False),
+            Column("birth_year", DataType.INTEGER, pattern=r"(18|19|20)\d\d"),
+        ),
+        primary_key=("id",),
+        synonyms=("people", "director", "filmmaker"),
+        description="Directors and cast members.",
+    )
+    genre = TableSchema(
+        name="genre",
+        columns=(
+            Column("id", DataType.INTEGER, nullable=False),
+            Column("label", DataType.TEXT, nullable=False, synonyms=("category",)),
+        ),
+        primary_key=("id",),
+        synonyms=("category",),
+    )
+    company = TableSchema(
+        name="company",
+        columns=(
+            Column("id", DataType.INTEGER, nullable=False),
+            Column("name", DataType.TEXT, nullable=False),
+            Column("country", DataType.TEXT),
+        ),
+        primary_key=("id",),
+        synonyms=("studio", "producer"),
+    )
+    movie = TableSchema(
+        name="movie",
+        columns=(
+            Column("id", DataType.INTEGER, nullable=False),
+            Column("title", DataType.TEXT, nullable=False),
+            Column("year", DataType.INTEGER, pattern=r"(19|20)\d\d"),
+            Column("rating", DataType.FLOAT),
+            Column("director_id", DataType.INTEGER, nullable=False),
+            Column("genre_id", DataType.INTEGER, nullable=False),
+            Column("company_id", DataType.INTEGER, nullable=False),
+        ),
+        primary_key=("id",),
+        synonyms=("film", "picture"),
+    )
+    casting = TableSchema(
+        name="casting",
+        columns=(
+            Column("movie_id", DataType.INTEGER, nullable=False),
+            Column("person_id", DataType.INTEGER, nullable=False),
+            Column("character", DataType.TEXT),
+            Column("position", DataType.INTEGER),
+        ),
+        primary_key=("movie_id", "person_id"),
+        synonyms=("cast", "actor", "actress", "starring"),
+        description="Who acted in what, with billing position.",
+    )
+    return Schema(
+        tables=[person, genre, company, movie, casting],
+        foreign_keys=[
+            ForeignKey("movie", "director_id", "person", "id"),
+            ForeignKey("movie", "genre_id", "genre", "id"),
+            ForeignKey("movie", "company_id", "company", "id"),
+            ForeignKey("casting", "movie_id", "movie", "id"),
+            ForeignKey("casting", "person_id", "person", "id"),
+        ],
+        name="imdb",
+    )
+
+
+#: Anchor rows present in every generated instance, so examples and docs
+#: can query "kubrick movies" regardless of scale and seed. Person 1
+#: directed movie 1; person 2 appears in its cast — the canonical
+#: director-vs-actor join-path ambiguity.
+_ANCHOR_PEOPLE = ("Stanley Kubrick", "Ridley Scott")
+_ANCHOR_MOVIE_TITLE = "The Silent Odyssey"
+_ANCHOR_MOVIE_YEAR = 1968
+
+
+def generate(movies: int = 300, seed: int = 7) -> Database:
+    """Generate a deterministic instance with *movies* fact rows."""
+    if movies < 1:
+        raise ValueError("need at least one movie")
+    rng = random.Random(seed)
+    db = Database(schema())
+
+    person_count = max(20, movies // 2)
+    used_names: set[str] = set(_ANCHOR_PEOPLE)
+    for person_id, name in enumerate(_ANCHOR_PEOPLE, start=1):
+        db.insert(
+            "person",
+            {"id": person_id, "name": name, "birth_year": 1928 + person_id},
+        )
+    for person_id in range(len(_ANCHOR_PEOPLE) + 1, person_count + 1):
+        name = names.full_name(rng)
+        while name in used_names:
+            name = names.full_name(rng)
+        used_names.add(name)
+        db.insert(
+            "person",
+            {
+                "id": person_id,
+                "name": name,
+                "birth_year": rng.randint(1920, 1999),
+            },
+        )
+
+    for genre_id, label in enumerate(names.GENRES, start=1):
+        db.insert("genre", {"id": genre_id, "label": label})
+
+    company_count = min(len(names.COMPANY_WORDS), max(3, movies // 50))
+    for company_id in range(1, company_count + 1):
+        db.insert(
+            "company",
+            {
+                "id": company_id,
+                "name": f"{names.COMPANY_WORDS[company_id - 1]} Pictures",
+                "country": rng.choice(names.COUNTRY_NAMES),
+            },
+        )
+
+    used_titles: set[str] = {_ANCHOR_MOVIE_TITLE}
+    for movie_id in range(1, movies + 1):
+        if movie_id == 1:
+            title = _ANCHOR_MOVIE_TITLE
+            year = _ANCHOR_MOVIE_YEAR
+            director_id = 1  # Kubrick
+            genre_id = 1  # scifi
+        else:
+            title = (
+                f"The {rng.choice(names.TITLE_ADJECTIVES)} "
+                f"{rng.choice(names.TITLE_NOUNS)}"
+            )
+            if title in used_titles:
+                title = f"{title} {rng.randint(2, 9)}"
+            used_titles.add(title)
+            year = rng.randint(1950, 2023)
+            director_id = rng.randint(1, person_count)
+            genre_id = rng.randint(1, len(names.GENRES))
+        db.insert(
+            "movie",
+            {
+                "id": movie_id,
+                "title": title,
+                "year": year,
+                "rating": round(rng.uniform(3.0, 9.5), 1),
+                "director_id": director_id,
+                "genre_id": genre_id,
+                "company_id": rng.randint(1, company_count),
+            },
+        )
+        cast_size = rng.randint(1, 4)
+        cast = rng.sample(range(1, person_count + 1), cast_size)
+        if movie_id == 1 and 2 not in cast:
+            cast[0] = 2  # Scott stars in the anchor movie
+        for position, person_id in enumerate(cast, start=1):
+            db.insert(
+                "casting",
+                {
+                    "movie_id": movie_id,
+                    "person_id": person_id,
+                    "character": rng.choice(names.ROLE_NAMES),
+                    "position": position,
+                },
+            )
+
+    db.check_integrity()
+    return db
+
+
+# -- workload -----------------------------------------------------------------
+
+
+def _table_state(table: str) -> State:
+    return State(StateKind.TABLE, table)
+
+
+def _attr(table: str, column: str) -> State:
+    return State(StateKind.ATTRIBUTE, table, column)
+
+
+def _dom(table: str, column: str) -> State:
+    return State(StateKind.DOMAIN, table, column)
+
+
+def _surname_of(db: Database, person_id: int) -> str:
+    row = db.table("person").get((person_id,))
+    assert row is not None
+    return str(row[1]).split()[-1].lower()
+
+
+def _director_query(surname: str) -> SelectQuery:
+    return SelectQuery(
+        tables=(TableRef.of("movie"), TableRef.of("person")),
+        joins=(JoinCondition("movie", "director_id", "person", "id"),),
+        predicates=(Predicate("person", "name", Comparison.CONTAINS, surname),),
+        projection=(("movie", "title"), ("person", "name")),
+    )
+
+
+def workload(db: Database, queries_per_kind: int = 5, seed: int = 11) -> Workload:
+    """A gold-annotated keyword workload sampled from the instance.
+
+    Five query kinds cover the demo's talking points: director joins,
+    single-table selections, genre+director three-table joins, actor joins
+    through the m:n relation, and company joins.
+    """
+    rng = random.Random(seed)
+    movie_table = db.table("movie")
+    queries: list[WorkloadQuery] = []
+    used_keywords: set[tuple[str, ...]] = set()
+
+    def add(
+        kind: str,
+        index: int,
+        text: str,
+        gold_query: SelectQuery,
+        configuration: Configuration,
+        description: str,
+    ) -> None:
+        key = configuration.keywords
+        if key in used_keywords:
+            return
+        used_keywords.add(key)
+        queries.append(
+            WorkloadQuery(
+                qid=f"imdb-{kind}-{index}",
+                text=text,
+                gold_query=gold_query,
+                gold_configuration=configuration,
+                description=description,
+            )
+        )
+
+    movie_rows = movie_table.rows
+
+    for index in range(queries_per_kind):
+        movie = rng.choice(movie_rows)
+        movie_id, title, year, _rating, director_id, genre_id, _company_id = movie
+
+        # Kind 1: "<director surname> movies" — the canonical join query.
+        surname = _surname_of(db, director_id)
+        add(
+            "director",
+            index,
+            f"{surname} movies",
+            _director_query(surname),
+            gold_configuration(
+                [surname, "movies"],
+                [_dom("person", "name"), _table_state("movie")],
+            ),
+            "movies directed by a person, matched by surname",
+        )
+
+        # Kind 2: "<title word> <year>" — single-table, two predicates.
+        # Use the last *alphabetic* word: title de-duplication may append a
+        # digit, which would collide with years and ratings in full text.
+        title_words = [w for w in str(title).split() if w.isalpha()]
+        title_word = title_words[-1].lower()
+        year_word = str(year)
+        add(
+            "title-year",
+            index,
+            f"{title_word} {year_word}",
+            SelectQuery(
+                tables=(TableRef.of("movie"),),
+                predicates=(
+                    Predicate("movie", "title", Comparison.CONTAINS, title_word),
+                    Predicate("movie", "year", Comparison.CONTAINS, year_word),
+                ),
+                projection=(("movie", "title"), ("movie", "year")),
+            ),
+            gold_configuration(
+                [title_word, year_word],
+                [_dom("movie", "title"), _dom("movie", "year")],
+            ),
+            "a movie pinned down by a title word and its release year",
+        )
+
+        # Kind 3: "<genre> films <director surname>" — three tables.
+        genre_row = db.table("genre").get((genre_id,))
+        assert genre_row is not None
+        genre_label = str(genre_row[1]).lower()
+        add(
+            "genre-director",
+            index,
+            f"{genre_label} films {surname}",
+            SelectQuery(
+                tables=(
+                    TableRef.of("genre"),
+                    TableRef.of("movie"),
+                    TableRef.of("person"),
+                ),
+                joins=(
+                    JoinCondition("movie", "genre_id", "genre", "id"),
+                    JoinCondition("movie", "director_id", "person", "id"),
+                ),
+                predicates=(
+                    Predicate("genre", "label", Comparison.CONTAINS, genre_label),
+                    Predicate("person", "name", Comparison.CONTAINS, surname),
+                ),
+                projection=(("movie", "title"),),
+            ),
+            gold_configuration(
+                [genre_label, "films", surname],
+                [
+                    _dom("genre", "label"),
+                    _table_state("movie"),
+                    _dom("person", "name"),
+                ],
+            ),
+            "genre + director three-table join",
+        )
+
+        # Kind 4: "cast <title word>" — the m:n path through casting.
+        add(
+            "cast",
+            index,
+            f"cast {title_word}",
+            SelectQuery(
+                tables=(
+                    TableRef.of("casting"),
+                    TableRef.of("movie"),
+                ),
+                joins=(JoinCondition("casting", "movie_id", "movie", "id"),),
+                predicates=(
+                    Predicate("movie", "title", Comparison.CONTAINS, title_word),
+                ),
+                projection=(("casting", "character"), ("movie", "title")),
+            ),
+            gold_configuration(
+                ["cast", title_word],
+                [_table_state("casting"), _dom("movie", "title")],
+            ),
+            "cast list of a movie: forces the join through the m:n table",
+        )
+
+        # Kind 5: "movies <company word>" — movie-to-company join.
+        company_row = db.table("company").get((movie[6],))
+        assert company_row is not None
+        company_word = str(company_row[1]).split()[0].lower()
+        add(
+            "company",
+            index,
+            f"movies {company_word}",
+            SelectQuery(
+                tables=(TableRef.of("company"), TableRef.of("movie")),
+                joins=(JoinCondition("movie", "company_id", "company", "id"),),
+                predicates=(
+                    Predicate("company", "name", Comparison.CONTAINS, company_word),
+                ),
+                projection=(("movie", "title"), ("company", "name")),
+            ),
+            gold_configuration(
+                ["movies", company_word],
+                [_table_state("movie"), _dom("company", "name")],
+            ),
+            "movies produced by a studio",
+        )
+
+    return Workload("imdb", tuple(queries))

@@ -1,0 +1,555 @@
+"""Synthetic Mondial-like database: very complex schema, few instances.
+
+Mondial is the paper's "complex schema where tables are connected through
+many paths" scenario. The generator builds a 16-table geographic schema —
+countries, provinces, cities, geographic features with m:n location tables,
+languages/religions, a self-referencing ``borders`` relation and
+international organizations with memberships — over a deliberately small
+instance, so backward-step path ambiguity (not data volume) is the
+challenge.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets import names
+from repro.datasets.workload import Workload, WorkloadQuery, gold_configuration
+from repro.db.database import Database
+from repro.db.query import Comparison, JoinCondition, Predicate, SelectQuery, TableRef
+from repro.db.schema import Column, ForeignKey, Schema, TableSchema
+from repro.db.types import DataType
+from repro.hmm.states import State, StateKind
+
+__all__ = ["schema", "generate", "workload"]
+
+
+def schema() -> Schema:
+    """The Mondial-like geographic schema (16 tables, 17 foreign keys)."""
+    tables = [
+        TableSchema(
+            "continent",
+            (
+                Column("name", DataType.TEXT, nullable=False),
+                Column("area", DataType.FLOAT),
+            ),
+            ("name",),
+            synonyms=("landmass",),
+        ),
+        TableSchema(
+            "country",
+            (
+                Column("code", DataType.TEXT, nullable=False),
+                Column("name", DataType.TEXT, nullable=False),
+                Column("capital", DataType.TEXT, synonyms=("seat",)),
+                Column("population", DataType.INTEGER),
+                Column("area", DataType.FLOAT),
+            ),
+            ("code",),
+            synonyms=("nation", "state"),
+        ),
+        TableSchema(
+            "province",
+            (
+                Column("id", DataType.INTEGER, nullable=False),
+                Column("name", DataType.TEXT, nullable=False),
+                Column("country_code", DataType.TEXT, nullable=False),
+                Column("population", DataType.INTEGER),
+            ),
+            ("id",),
+            synonyms=("region", "district"),
+        ),
+        TableSchema(
+            "city",
+            (
+                Column("id", DataType.INTEGER, nullable=False),
+                Column("name", DataType.TEXT, nullable=False),
+                Column("country_code", DataType.TEXT, nullable=False),
+                Column("province_id", DataType.INTEGER),
+                Column("population", DataType.INTEGER),
+            ),
+            ("id",),
+            synonyms=("town", "municipality"),
+        ),
+        TableSchema(
+            "river",
+            (
+                Column("id", DataType.INTEGER, nullable=False),
+                Column("name", DataType.TEXT, nullable=False),
+                Column("length", DataType.FLOAT),
+            ),
+            ("id",),
+            synonyms=("stream", "waterway"),
+        ),
+        TableSchema(
+            "geo_river",
+            (
+                Column("river_id", DataType.INTEGER, nullable=False),
+                Column("country_code", DataType.TEXT, nullable=False),
+            ),
+            ("river_id", "country_code"),
+            description="Which rivers flow through which countries.",
+        ),
+        TableSchema(
+            "mountain",
+            (
+                Column("id", DataType.INTEGER, nullable=False),
+                Column("name", DataType.TEXT, nullable=False),
+                Column("height", DataType.FLOAT),
+            ),
+            ("id",),
+            synonyms=("peak", "summit"),
+        ),
+        TableSchema(
+            "geo_mountain",
+            (
+                Column("mountain_id", DataType.INTEGER, nullable=False),
+                Column("country_code", DataType.TEXT, nullable=False),
+            ),
+            ("mountain_id", "country_code"),
+        ),
+        TableSchema(
+            "lake",
+            (
+                Column("id", DataType.INTEGER, nullable=False),
+                Column("name", DataType.TEXT, nullable=False),
+                Column("area", DataType.FLOAT),
+            ),
+            ("id",),
+        ),
+        TableSchema(
+            "geo_lake",
+            (
+                Column("lake_id", DataType.INTEGER, nullable=False),
+                Column("country_code", DataType.TEXT, nullable=False),
+            ),
+            ("lake_id", "country_code"),
+        ),
+        TableSchema(
+            "encompasses",
+            (
+                Column("country_code", DataType.TEXT, nullable=False),
+                Column("continent_name", DataType.TEXT, nullable=False),
+                Column("percentage", DataType.FLOAT),
+            ),
+            ("country_code", "continent_name"),
+            description="Which continents each country lies on.",
+        ),
+        TableSchema(
+            "language",
+            (
+                Column("country_code", DataType.TEXT, nullable=False),
+                Column("name", DataType.TEXT, nullable=False),
+                Column("percentage", DataType.FLOAT),
+            ),
+            ("country_code", "name"),
+            synonyms=("tongue",),
+        ),
+        TableSchema(
+            "religion",
+            (
+                Column("country_code", DataType.TEXT, nullable=False),
+                Column("name", DataType.TEXT, nullable=False),
+                Column("percentage", DataType.FLOAT),
+            ),
+            ("country_code", "name"),
+            synonyms=("faith",),
+        ),
+        TableSchema(
+            "borders",
+            (
+                Column("country1", DataType.TEXT, nullable=False),
+                Column("country2", DataType.TEXT, nullable=False),
+                Column("length", DataType.FLOAT),
+            ),
+            ("country1", "country2"),
+            synonyms=("neighbor", "frontier"),
+        ),
+        TableSchema(
+            "organization",
+            (
+                Column("id", DataType.INTEGER, nullable=False),
+                Column("name", DataType.TEXT, nullable=False),
+                Column("abbreviation", DataType.TEXT),
+                Column("city_id", DataType.INTEGER),
+            ),
+            ("id",),
+            synonyms=("body", "institution"),
+        ),
+        TableSchema(
+            "member",
+            (
+                Column("country_code", DataType.TEXT, nullable=False),
+                Column("organization_id", DataType.INTEGER, nullable=False),
+                Column("kind", DataType.TEXT),
+            ),
+            ("country_code", "organization_id"),
+            synonyms=("membership", "affiliate"),
+        ),
+    ]
+    foreign_keys = [
+        ForeignKey("province", "country_code", "country", "code"),
+        ForeignKey("city", "country_code", "country", "code"),
+        ForeignKey("city", "province_id", "province", "id"),
+        ForeignKey("geo_river", "river_id", "river", "id"),
+        ForeignKey("geo_river", "country_code", "country", "code"),
+        ForeignKey("geo_mountain", "mountain_id", "mountain", "id"),
+        ForeignKey("geo_mountain", "country_code", "country", "code"),
+        ForeignKey("geo_lake", "lake_id", "lake", "id"),
+        ForeignKey("geo_lake", "country_code", "country", "code"),
+        ForeignKey("encompasses", "country_code", "country", "code"),
+        ForeignKey("encompasses", "continent_name", "continent", "name"),
+        ForeignKey("language", "country_code", "country", "code"),
+        ForeignKey("religion", "country_code", "country", "code"),
+        ForeignKey("borders", "country1", "country", "code"),
+        ForeignKey("borders", "country2", "country", "code"),
+        ForeignKey("organization", "city_id", "city", "id"),
+        ForeignKey("member", "country_code", "country", "code"),
+        ForeignKey("member", "organization_id", "organization", "id"),
+    ]
+    return Schema(tables, foreign_keys, name="mondial")
+
+
+def generate(countries: int = 30, seed: int = 23) -> Database:
+    """Generate a deterministic geographic instance."""
+    rng = random.Random(seed)
+    db = Database(schema())
+    countries = min(countries, len(names.COUNTRY_NAMES))
+
+    for continent in names.CONTINENTS:
+        db.insert(
+            "continent",
+            {"name": continent, "area": round(rng.uniform(8e6, 4e7), 0)},
+        )
+
+    country_codes: list[str] = []
+    city_id = 0
+    province_id = 0
+    for i in range(countries):
+        name = names.COUNTRY_NAMES[i]
+        code = name[:3].upper()
+        if code in country_codes:
+            code = name[:2].upper() + str(i)
+        country_codes.append(code)
+        capital_name = (
+            f"{rng.choice(names.CITY_PREFIXES)} "
+            f"{rng.choice(names.LAST_NAMES)}{rng.choice(names.CITY_SUFFIXES)}"
+        )
+        db.insert(
+            "country",
+            {
+                "code": code,
+                "name": name,
+                "capital": capital_name,
+                "population": rng.randint(100_000, 90_000_000),
+                "area": round(rng.uniform(1e4, 2e6), 0),
+            },
+        )
+        for continent in rng.sample(names.CONTINENTS, rng.randint(1, 2)):
+            db.insert(
+                "encompasses",
+                {
+                    "country_code": code,
+                    "continent_name": continent,
+                    "percentage": round(rng.uniform(10, 100), 1),
+                },
+            )
+        for _ in range(rng.randint(1, 3)):
+            province_id += 1
+            db.insert(
+                "province",
+                {
+                    "id": province_id,
+                    # Province names avoid the country name on purpose:
+                    # embedding it would make country keywords match
+                    # province.name in full text, an artificial ambiguity.
+                    "name": (
+                        f"{rng.choice(names.LAST_NAMES)} "
+                        f"{rng.choice(names.PROVINCE_WORDS)}"
+                    ),
+                    "country_code": code,
+                    "population": rng.randint(50_000, 9_000_000),
+                },
+            )
+        city_count = rng.randint(2, 4)
+        for c in range(city_count):
+            city_id += 1
+            city_name = (
+                capital_name
+                if c == 0
+                else (
+                    f"{rng.choice(names.CITY_PREFIXES)} "
+                    f"{rng.choice(names.LAST_NAMES)}{rng.choice(names.CITY_SUFFIXES)}"
+                )
+            )
+            db.insert(
+                "city",
+                {
+                    "id": city_id,
+                    "name": city_name,
+                    "country_code": code,
+                    "province_id": province_id if rng.random() < 0.7 else None,
+                    "population": rng.randint(10_000, 15_000_000),
+                },
+            )
+        for language in rng.sample(names.LANGUAGES, rng.randint(1, 3)):
+            db.insert(
+                "language",
+                {
+                    "country_code": code,
+                    "name": language,
+                    "percentage": round(rng.uniform(5, 100), 1),
+                },
+            )
+        for religion in rng.sample(names.RELIGIONS, rng.randint(1, 2)):
+            db.insert(
+                "religion",
+                {
+                    "country_code": code,
+                    "name": religion,
+                    "percentage": round(rng.uniform(5, 95), 1),
+                },
+            )
+
+    for river_id, river in enumerate(names.RIVER_NAMES, start=1):
+        db.insert(
+            "river",
+            {"id": river_id, "name": river, "length": round(rng.uniform(80, 6400), 0)},
+        )
+        for code in rng.sample(country_codes, rng.randint(1, 3)):
+            db.insert("geo_river", {"river_id": river_id, "country_code": code})
+
+    for mountain_id, mountain in enumerate(names.MOUNTAIN_NAMES, start=1):
+        db.insert(
+            "mountain",
+            {
+                "id": mountain_id,
+                "name": mountain,
+                "height": round(rng.uniform(800, 8500), 0),
+            },
+        )
+        for code in rng.sample(country_codes, rng.randint(1, 2)):
+            db.insert(
+                "geo_mountain", {"mountain_id": mountain_id, "country_code": code}
+            )
+
+    for lake_id, lake in enumerate(names.LAKE_NAMES, start=1):
+        db.insert(
+            "lake",
+            {"id": lake_id, "name": lake, "area": round(rng.uniform(10, 30000), 0)},
+        )
+        for code in rng.sample(country_codes, rng.randint(1, 2)):
+            db.insert("geo_lake", {"lake_id": lake_id, "country_code": code})
+
+    border_pairs: set[tuple[str, str]] = set()
+    for code in country_codes:
+        for other in rng.sample(country_codes, rng.randint(1, 3)):
+            pair = tuple(sorted((code, other)))
+            if code == other or pair in border_pairs:
+                continue
+            border_pairs.add(pair)  # store each border once, c1 < c2
+            db.insert(
+                "borders",
+                {
+                    "country1": pair[0],
+                    "country2": pair[1],
+                    "length": round(rng.uniform(20, 4000), 0),
+                },
+            )
+
+    total_cities = city_id
+    for org_id, (org_name, abbreviation) in enumerate(names.ORGANIZATIONS, start=1):
+        db.insert(
+            "organization",
+            {
+                "id": org_id,
+                "name": org_name,
+                "abbreviation": abbreviation,
+                "city_id": rng.randint(1, total_cities),
+            },
+        )
+        for code in rng.sample(country_codes, rng.randint(3, min(10, countries))):
+            db.insert(
+                "member",
+                {
+                    "country_code": code,
+                    "organization_id": org_id,
+                    "kind": rng.choice(("member", "observer", "founder")),
+                },
+            )
+
+    db.check_integrity()
+    return db
+
+
+# -- workload -----------------------------------------------------------------
+
+
+def _dom(table: str, column: str) -> State:
+    return State(StateKind.DOMAIN, table, column)
+
+
+def _attr(table: str, column: str) -> State:
+    return State(StateKind.ATTRIBUTE, table, column)
+
+
+def _table_state(table: str) -> State:
+    return State(StateKind.TABLE, table)
+
+
+def workload(db: Database, queries_per_kind: int = 5, seed: int = 29) -> Workload:
+    """A gold-annotated workload over the geographic instance."""
+    rng = random.Random(seed)
+    queries: list[WorkloadQuery] = []
+    used: set[tuple[str, ...]] = set()
+    country_rows = db.table("country").rows
+
+    def add(kind: str, index: int, text: str, gold: SelectQuery, config, desc: str) -> None:
+        if config.keywords in used:
+            return
+        used.add(config.keywords)
+        queries.append(
+            WorkloadQuery(
+                qid=f"mondial-{kind}-{index}",
+                text=text,
+                gold_query=gold,
+                gold_configuration=config,
+                description=desc,
+            )
+        )
+
+    # Countries that actually have rivers: "rivers of X" must have answers.
+    geo_river_table = db.table("geo_river")
+    river_country_codes = {row[1] for row in geo_river_table.rows}
+    encompasses_rows = db.table("encompasses").rows
+
+    for index in range(queries_per_kind):
+        rivered = [row for row in country_rows if row[0] in river_country_codes]
+        country = rng.choice(rivered if rivered else country_rows)
+        code, country_name, _capital, _population, _area = country
+        country_word = str(country_name).lower()
+
+        # Kind 1: "<country> cities" — city -> country join.
+        add(
+            "cities",
+            index,
+            f"{country_word} cities",
+            SelectQuery(
+                tables=(TableRef.of("city"), TableRef.of("country")),
+                joins=(JoinCondition("city", "country_code", "country", "code"),),
+                predicates=(
+                    Predicate("country", "name", Comparison.CONTAINS, country_word),
+                ),
+                projection=(("city", "name"),),
+            ),
+            gold_configuration(
+                [country_word, "cities"],
+                [_dom("country", "name"), _table_state("city")],
+            ),
+            "cities of a country",
+        )
+
+        # Kind 2: "capital <country>" — single-table attribute + value.
+        add(
+            "capital",
+            index,
+            f"capital {country_word}",
+            SelectQuery(
+                tables=(TableRef.of("country"),),
+                predicates=(
+                    Predicate("country", "name", Comparison.CONTAINS, country_word),
+                ),
+                projection=(("country", "capital"),),
+            ),
+            gold_configuration(
+                ["capital", country_word],
+                [_attr("country", "capital"), _dom("country", "name")],
+            ),
+            "attribute keyword + country value, single table",
+        )
+
+        # Kind 3: "language <country>" — language -> country join.
+        add(
+            "language",
+            index,
+            f"language {country_word}",
+            SelectQuery(
+                tables=(TableRef.of("country"), TableRef.of("language")),
+                joins=(
+                    JoinCondition("language", "country_code", "country", "code"),
+                ),
+                predicates=(
+                    Predicate("country", "name", Comparison.CONTAINS, country_word),
+                ),
+                projection=(("language", "name"),),
+            ),
+            gold_configuration(
+                ["language", country_word],
+                [_table_state("language"), _dom("country", "name")],
+            ),
+            "languages spoken in a country",
+        )
+
+        # Kind 4: "rivers <country>" — m:n geographic feature path.
+        add(
+            "rivers",
+            index,
+            f"rivers {country_word}",
+            SelectQuery(
+                tables=(
+                    TableRef.of("country"),
+                    TableRef.of("geo_river"),
+                    TableRef.of("river"),
+                ),
+                joins=(
+                    JoinCondition("geo_river", "river_id", "river", "id"),
+                    JoinCondition("geo_river", "country_code", "country", "code"),
+                ),
+                predicates=(
+                    Predicate("country", "name", Comparison.CONTAINS, country_word),
+                ),
+                projection=(("river", "name"),),
+            ),
+            gold_configuration(
+                ["rivers", country_word],
+                [_table_state("river"), _dom("country", "name")],
+            ),
+            "rivers flowing through a country (m:n path)",
+        )
+
+        # Kind 5: "<continent> countries" — encompasses path. Sample from
+        # the encompasses relation so the continent is guaranteed inhabited.
+        continent_word = str(rng.choice(encompasses_rows)[1]).lower()
+        add(
+            "continent",
+            index,
+            f"{continent_word} countries",
+            SelectQuery(
+                tables=(
+                    TableRef.of("continent"),
+                    TableRef.of("country"),
+                    TableRef.of("encompasses"),
+                ),
+                joins=(
+                    JoinCondition(
+                        "encompasses", "country_code", "country", "code"
+                    ),
+                    JoinCondition(
+                        "encompasses", "continent_name", "continent", "name"
+                    ),
+                ),
+                predicates=(
+                    Predicate(
+                        "continent", "name", Comparison.CONTAINS, continent_word
+                    ),
+                ),
+                projection=(("country", "name"),),
+            ),
+            gold_configuration(
+                [continent_word, "countries"],
+                [_dom("continent", "name"), _table_state("country")],
+            ),
+            "countries on a continent",
+        )
+
+    return Workload("mondial", tuple(queries))

@@ -1,0 +1,189 @@
+"""Deterministic name pools for the synthetic dataset generators.
+
+All three demo databases are generated offline from these pools with
+seeded RNGs, so every run of the benchmarks sees byte-identical data. The
+pools are intentionally diverse in length and token shape to exercise the
+tokeniser, the full-text index and the similarity measures.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = [
+    "FIRST_NAMES",
+    "LAST_NAMES",
+    "TITLE_ADJECTIVES",
+    "TITLE_NOUNS",
+    "GENRES",
+    "COMPANY_WORDS",
+    "VENUE_NAMES",
+    "PAPER_TOPICS",
+    "PAPER_QUALIFIERS",
+    "COUNTRY_NAMES",
+    "CITY_PREFIXES",
+    "CITY_SUFFIXES",
+    "RIVER_NAMES",
+    "MOUNTAIN_NAMES",
+    "LAKE_NAMES",
+    "LANGUAGES",
+    "RELIGIONS",
+    "ETHNIC_GROUPS",
+    "CONTINENTS",
+    "ORGANIZATIONS",
+    "PROVINCE_WORDS",
+    "ROLE_NAMES",
+    "full_name",
+    "pick",
+]
+
+FIRST_NAMES = (
+    "Stanley", "Ridley", "Sofia", "Akira", "Ingmar", "Agnes", "Orson",
+    "Greta", "Martin", "Kathryn", "Federico", "Jane", "Alfred", "Chantal",
+    "Billy", "Ida", "Sergio", "Lina", "Andrei", "Maya", "Robert", "Elaine",
+    "Sidney", "Dorothy", "Werner", "Claire", "Victor", "Lucia", "Hayao",
+    "Wong", "Pedro", "Céline", "Spike", "Mira", "John", "Barbara", "Fritz",
+    "Leni", "Carl", "Marta", "Elem", "Vera", "Ousmane", "Safi", "Satyajit",
+    "Aparna", "Glauber", "Anna", "Miklos", "Judit",
+)
+
+LAST_NAMES = (
+    "Kubrick", "Scott", "Coppola", "Kurosawa", "Bergman", "Varda", "Welles",
+    "Gerwig", "Scorsese", "Bigelow", "Fellini", "Campion", "Hitchcock",
+    "Akerman", "Wilder", "Lupino", "Leone", "Wertmuller", "Tarkovsky",
+    "Deren", "Altman", "May", "Lumet", "Arzner", "Herzog", "Denis",
+    "Fleming", "Bunuel", "Miyazaki", "Karwai", "Almodovar", "Sciamma",
+    "Jonze", "Nair", "Cassavetes", "Loden", "Lang", "Riefenstahl",
+    "Dreyer", "Meszaros", "Klimov", "Chytilova", "Sembene", "Faye",
+    "Ray", "Sen", "Rocha", "Muylaert", "Jancso", "Elek",
+)
+
+TITLE_ADJECTIVES = (
+    "Silent", "Crimson", "Endless", "Broken", "Hidden", "Burning",
+    "Frozen", "Golden", "Hollow", "Savage", "Electric", "Midnight",
+    "Distant", "Forgotten", "Restless", "Velvet", "Wandering", "Shattered",
+    "Luminous", "Feral",
+)
+
+TITLE_NOUNS = (
+    "Odyssey", "Shining", "Alien", "Runner", "Horizon", "Labyrinth",
+    "Mirage", "Empire", "Garden", "Voyage", "Whisper", "Harvest",
+    "Tempest", "Monolith", "Paradox", "Lantern", "Orchard", "Citadel",
+    "Pilgrim", "Sonata",
+)
+
+GENRES = (
+    "scifi", "horror", "drama", "comedy", "thriller", "western",
+    "documentary", "noir", "musical", "animation", "romance", "war",
+)
+
+COMPANY_WORDS = (
+    "Meridian", "Northlight", "Paragon", "Silverline", "Vanguard",
+    "Bluebird", "Stonebridge", "Helios", "Crescent", "Atlas",
+)
+
+VENUE_NAMES = (
+    "VLDB", "SIGMOD", "ICDE", "CIKM", "EDBT", "KDD", "WWW", "TODS",
+    "PVLDB", "TKDE", "Information Systems", "Data Engineering Bulletin",
+)
+
+PAPER_TOPICS = (
+    "keyword search", "query optimization", "schema matching",
+    "data integration", "entity resolution", "stream processing",
+    "graph databases", "provenance tracking", "index structures",
+    "transaction processing", "view maintenance", "data cleaning",
+    "skyline queries", "crowdsourcing", "uncertain data",
+)
+
+PAPER_QUALIFIERS = (
+    "efficient", "scalable", "adaptive", "probabilistic", "incremental",
+    "distributed", "robust", "approximate", "semantic", "interactive",
+)
+
+COUNTRY_NAMES = (
+    "Atlantis", "Borduria", "Cassadia", "Drevonia", "Elbonia", "Freedonia",
+    "Glubbdubdrib", "Hyrkania", "Illyria", "Jotunheim", "Kyrat", "Latveria",
+    "Molvania", "Novistrana", "Opar", "Pandoria", "Qumar", "Ruritania",
+    "Sylvania", "Tomainia", "Urkesh", "Vespugia", "Wadiya", "Xanadu",
+    "Yerba", "Zubrowka", "Arendelle", "Brobdingnag", "Carpathia",
+    "Dinotopia", "Estovakia", "Florin", "Genosha", "Hav", "Islandia",
+    "Krakozhia", "Laurania", "Markovia", "Norland", "Osterlich",
+)
+
+CITY_PREFIXES = (
+    "Port", "New", "East", "West", "North", "South", "Upper", "Lower",
+    "Fort", "Saint", "Lake", "Mount",
+)
+
+CITY_SUFFIXES = (
+    "haven", "burg", "ford", "mouth", "stead", "field", "bridge", "gate",
+    "holm", "wick", "dale", "crest",
+)
+
+RIVER_NAMES = (
+    "Veleka", "Ostrana", "Mirova", "Taldris", "Ghemura", "Soliana",
+    "Ketrin", "Ulvatha", "Brennic", "Davrosh", "Ilmena", "Querra",
+)
+
+MOUNTAIN_NAMES = (
+    "Karthane", "Velmor", "Drachfell", "Osmira", "Thornspire", "Gelvaren",
+    "Ulmback", "Cindral", "Morvayne", "Askarad",
+)
+
+LAKE_NAMES = (
+    "Nerevar", "Ithilmere", "Oskara", "Veldrin", "Calmara", "Tysmere",
+    "Ghalen", "Ruvola",
+)
+
+LANGUAGES = (
+    "Atlantean", "Bordurian", "Cassadian", "Drevonic", "Elbonian",
+    "Hyrkanian", "Illyrian", "Kyrati", "Latverian", "Molvanian",
+    "Ruritanian", "Sylvanian", "Zubrowkan", "Florinese",
+)
+
+RELIGIONS = (
+    "Solarism", "Lunarism", "Tideism", "Emberfaith", "Skyward",
+    "Rootway", "Stonecreed",
+)
+
+ETHNIC_GROUPS = (
+    "Ashvari", "Belemi", "Corvan", "Dulmeri", "Ersko", "Farsani",
+    "Ghedim", "Hollar", "Istveni", "Jurmak",
+)
+
+CONTINENTS = ("Boreania", "Meridia", "Occidia", "Oriensia", "Australix")
+
+ORGANIZATIONS = (
+    ("World Trade Assembly", "WTA"),
+    ("Continental Defense Pact", "CDP"),
+    ("Open Seas Union", "OSU"),
+    ("Mountain States League", "MSL"),
+    ("River Basin Commission", "RBC"),
+    ("Northern Energy Council", "NEC"),
+    ("Alliance of Island Nations", "AIN"),
+    ("Customs Cooperation Zone", "CCZ"),
+)
+
+PROVINCE_WORDS = (
+    "Highlands", "Lowlands", "Marches", "Coast", "Heartland", "Reaches",
+    "Steppe", "Basin", "Plateau", "Frontier",
+)
+
+ROLE_NAMES = (
+    "Captain", "Doctor", "Engineer", "Navigator", "Stranger", "Detective",
+    "Professor", "Pilot", "Archivist", "Messenger",
+)
+
+
+def pick(rng: random.Random, pool: tuple, *, exclude: set | None = None):
+    """Pick one element, optionally excluding already-used values."""
+    if exclude:
+        candidates = [item for item in pool if item not in exclude]
+        if candidates:
+            return rng.choice(candidates)
+    return rng.choice(pool)
+
+
+def full_name(rng: random.Random) -> str:
+    """A random ``First Last`` person name."""
+    return f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"

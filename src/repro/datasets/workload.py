@@ -1,0 +1,86 @@
+"""Workload model: keyword queries with gold-standard answers.
+
+A workload query couples the raw keyword text with (a) the gold SQL query —
+what a domain expert would have written — and (b) the gold *configuration* —
+the keyword-to-term mapping the user "had in mind", which doubles as
+supervised training data for the feedback mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.configuration import Configuration, KeywordMapping
+from repro.db.query import SelectQuery
+from repro.errors import WorkloadError
+from repro.hmm.states import State
+from repro.semantics.tokenize import tokenize_query
+
+__all__ = ["WorkloadQuery", "Workload", "gold_configuration"]
+
+
+def gold_configuration(
+    keywords: list[str] | tuple[str, ...], states: list[State] | tuple[State, ...]
+) -> Configuration:
+    """Build a gold configuration from parallel keyword/state lists."""
+    if len(keywords) != len(states):
+        raise WorkloadError("keyword and state lists differ in length")
+    mappings = tuple(
+        KeywordMapping(keyword, state) for keyword, state in zip(keywords, states)
+    )
+    return Configuration(mappings, score=1.0)
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One benchmark query with its gold answers."""
+
+    qid: str
+    text: str
+    gold_query: SelectQuery
+    gold_configuration: Configuration
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        keywords = tuple(tokenize_query(self.text))
+        if keywords != self.gold_configuration.keywords:
+            raise WorkloadError(
+                f"{self.qid}: tokenised text {keywords} does not match gold "
+                f"configuration keywords {self.gold_configuration.keywords}"
+            )
+
+    @property
+    def keywords(self) -> tuple[str, ...]:
+        """The tokenised keywords (identical to the gold configuration's)."""
+        return self.gold_configuration.keywords
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named collection of workload queries over one dataset."""
+
+    name: str
+    queries: tuple[WorkloadQuery, ...]
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for query in self.queries:
+            if query.qid in seen:
+                raise WorkloadError(f"duplicate query id: {query.qid}")
+            seen.add(query.qid)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def subset(self, count: int) -> "Workload":
+        """The first *count* queries (for quick benchmark variants)."""
+        return Workload(self.name, self.queries[:count])
+
+    def gold_training_pairs(
+        self,
+    ) -> dict[tuple[str, ...], Configuration]:
+        """Keyword tuple -> gold configuration (for the simulated user)."""
+        return {q.keywords: q.gold_configuration for q in self.queries}

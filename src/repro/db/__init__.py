@@ -1,0 +1,52 @@
+"""Relational substrate: schema model, storage, queries, indexes, statistics.
+
+This package is the self-contained "traditional DBMS" QUEST sits on top of:
+an in-memory relational engine with typed columns, primary/foreign keys, a
+select-project-join executor, a SQL renderer, a full-text inverted index and
+the instance statistics (entropy, join mutual information) the backward step
+consumes.
+"""
+
+from repro.db.catalog import Catalog
+from repro.db.database import Database
+from repro.db.executor import ResultSet, execute, result_count
+from repro.db.fulltext import FullTextIndex
+from repro.db.query import (
+    Comparison,
+    JoinCondition,
+    Predicate,
+    SelectQuery,
+    TableRef,
+)
+from repro.db.schema import Column, ColumnRef, ForeignKey, Schema, TableSchema
+from repro.db.sqlgen import render_ddl, render_sql
+from repro.db.stats import JoinStatistics, entropy, join_statistics, profile_column
+from repro.db.table import Table
+from repro.db.types import DataType
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnRef",
+    "Comparison",
+    "DataType",
+    "Database",
+    "ForeignKey",
+    "FullTextIndex",
+    "JoinCondition",
+    "JoinStatistics",
+    "Predicate",
+    "ResultSet",
+    "Schema",
+    "SelectQuery",
+    "Table",
+    "TableRef",
+    "TableSchema",
+    "entropy",
+    "execute",
+    "join_statistics",
+    "profile_column",
+    "render_ddl",
+    "render_sql",
+    "result_count",
+]

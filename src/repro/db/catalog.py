@@ -1,0 +1,86 @@
+"""Catalog: the setup-phase metadata snapshot QUEST extracts from a source.
+
+The paper's setup phase reads the database schema "from the metadata stored
+in the source catalogues" and precomputes per-attribute information (the
+full-text normalisation coefficients, admissible-value metadata for hidden
+sources). The :class:`Catalog` bundles those artefacts so the engine modules
+never touch raw tables directly during search.
+"""
+
+from __future__ import annotations
+
+from repro.db.database import Database
+from repro.db.schema import ColumnRef, ForeignKey, Schema
+from repro.db.stats import (
+    ColumnProfile,
+    JoinStatistics,
+    join_statistics,
+    profile_column,
+)
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """Precomputed statistics over a database instance.
+
+    Profiles and join statistics are computed lazily and cached; a catalog
+    built from a schema alone (``Catalog.schema_only``) answers structural
+    questions but reports no instance statistics, mirroring hidden sources.
+    """
+
+    def __init__(self, schema: Schema, db: Database | None = None) -> None:
+        self.schema = schema
+        self._db = db
+        self._profiles: dict[ColumnRef, ColumnProfile] = {}
+        self._join_stats: dict[ForeignKey, JoinStatistics] = {}
+
+    @classmethod
+    def from_database(cls, db: Database) -> "Catalog":
+        """Catalog with full instance access."""
+        return cls(db.schema, db)
+
+    @classmethod
+    def schema_only(cls, schema: Schema) -> "Catalog":
+        """Catalog for a hidden source: schema metadata, no instance."""
+        return cls(schema, None)
+
+    @property
+    def has_instance(self) -> bool:
+        """Whether instance-level statistics are available."""
+        return self._db is not None
+
+    def profile(self, ref: ColumnRef) -> ColumnProfile | None:
+        """Column profile, or ``None`` for schema-only catalogs."""
+        if self._db is None:
+            return None
+        if ref not in self._profiles:
+            self._profiles[ref] = profile_column(self._db, ref)
+        return self._profiles[ref]
+
+    def join_stats(self, fk: ForeignKey) -> JoinStatistics | None:
+        """Join statistics for *fk*, or ``None`` for schema-only catalogs."""
+        if self._db is None:
+            return None
+        if fk not in self._join_stats:
+            self._join_stats[fk] = join_statistics(self._db, fk)
+        return self._join_stats[fk]
+
+    def table_cardinality(self, table: str) -> int | None:
+        """Row count of *table*, or ``None`` without instance access."""
+        if self._db is None:
+            return None
+        return len(self._db.table(table))
+
+    def warm(self) -> None:
+        """Eagerly compute every profile and join statistic (setup phase)."""
+        if self._db is None:
+            return
+        for ref in self.schema.column_refs():
+            self.profile(ref)
+        for fk in self.schema.foreign_keys:
+            self.join_stats(fk)
+
+    def __repr__(self) -> str:
+        access = "full" if self.has_instance else "schema-only"
+        return f"Catalog({self.schema.name!r}, access={access})"

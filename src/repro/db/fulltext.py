@@ -1,0 +1,131 @@
+"""Inverted full-text index over attribute extensions.
+
+QUEST assumes the DBMS exposes a search function that, given a keyword,
+ranks attribute values by importance; emission probabilities of the forward
+HMM are obtained by normalising its scores per attribute. This module is our
+stand-in for that black box: a per-attribute inverted index with TF-IDF
+scoring, where each (table, column) pair is treated as a retrieval field.
+
+Only TEXT columns are tokenised; numeric, boolean and date columns are
+indexed by their literal rendering so keywords like ``1994`` still hit a
+``year`` column.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter, defaultdict
+
+from repro.db.database import Database
+from repro.db.schema import ColumnRef
+
+__all__ = ["FullTextIndex", "tokenize_value"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize_value(value: object) -> list[str]:
+    """Lower-case alphanumeric tokens of a stored value."""
+    if value is None:
+        return []
+    return _TOKEN_RE.findall(str(value).casefold())
+
+
+class FullTextIndex:
+    """Inverted index mapping terms to per-attribute posting lists."""
+
+    def __init__(self, db: Database) -> None:
+        self._db = db
+        #: term -> {ColumnRef -> {row_position -> term frequency}}
+        self._postings: dict[str, dict[ColumnRef, dict[int, int]]] = defaultdict(dict)
+        #: ColumnRef -> number of indexed (non-null) values
+        self._field_sizes: dict[ColumnRef, int] = {}
+        #: ColumnRef -> total token count
+        self._field_tokens: dict[ColumnRef, int] = {}
+        self._n_fields = 0
+        self._build()
+
+    def _build(self) -> None:
+        for table in self._db.tables:
+            for column in table.schema.columns:
+                ref = ColumnRef(table.name, column.name)
+                position = table.column_position(column.name)
+                indexed = 0
+                tokens_total = 0
+                for row_position, row in enumerate(table.rows):
+                    tokens = tokenize_value(row[position])
+                    if not tokens:
+                        continue
+                    indexed += 1
+                    tokens_total += len(tokens)
+                    for term, frequency in Counter(tokens).items():
+                        field_postings = self._postings[term].setdefault(ref, {})
+                        field_postings[row_position] = frequency
+                self._field_sizes[ref] = indexed
+                self._field_tokens[ref] = tokens_total
+                self._n_fields += 1
+
+    # -- vocabulary --------------------------------------------------------
+
+    def __contains__(self, term: str) -> bool:
+        return term.casefold() in self._postings
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of distinct indexed terms."""
+        return len(self._postings)
+
+    def fields(self) -> tuple[ColumnRef, ...]:
+        """Every indexed attribute."""
+        return tuple(self._field_sizes)
+
+    # -- scoring -----------------------------------------------------------
+
+    def attribute_scores(self, keyword: str) -> dict[ColumnRef, float]:
+        """TF-IDF relevance of *keyword* for each attribute containing it.
+
+        The score for attribute *a* is ``tf_a * idf`` where ``tf_a`` is the
+        fraction of *a*'s indexed values containing the keyword and ``idf``
+        dampens terms spread across many attributes. Scores are positive and
+        unnormalised; the HMM emission builder normalises them per state.
+        """
+        term = keyword.casefold()
+        by_field = self._postings.get(term)
+        if not by_field:
+            return {}
+        document_frequency = len(by_field)
+        idf = math.log(1.0 + self._n_fields / document_frequency)
+        scores: dict[ColumnRef, float] = {}
+        for ref, rows in by_field.items():
+            field_size = self._field_sizes.get(ref, 0)
+            if field_size == 0:
+                continue
+            tf = len(rows) / field_size
+            scores[ref] = tf * idf
+        return scores
+
+    def score(self, keyword: str, ref: ColumnRef) -> float:
+        """Relevance of *keyword* for one attribute (0.0 when absent)."""
+        return self.attribute_scores(keyword).get(ref, 0.0)
+
+    # -- retrieval -----------------------------------------------------------
+
+    def matching_row_positions(self, keyword: str, ref: ColumnRef) -> list[int]:
+        """Row positions in ``ref.table`` whose ``ref.column`` contains *keyword*."""
+        term = keyword.casefold()
+        by_field = self._postings.get(term, {})
+        return sorted(by_field.get(ref, {}))
+
+    def selectivity(self, keyword: str, ref: ColumnRef) -> float:
+        """Fraction of the attribute's values matching *keyword*."""
+        field_size = self._field_sizes.get(ref, 0)
+        if field_size == 0:
+            return 0.0
+        return len(self.matching_row_positions(keyword, ref)) / field_size
+
+    def __repr__(self) -> str:
+        return (
+            f"FullTextIndex(fields={self._n_fields}, "
+            f"terms={len(self._postings)})"
+        )

@@ -1,0 +1,228 @@
+"""Logical query model: the select-project-join queries QUEST generates.
+
+Explanations produced by the engine are instances of :class:`SelectQuery`;
+the :mod:`repro.db.sqlgen` module renders them to SQL text and the
+:mod:`repro.db.executor` module evaluates them against a
+:class:`~repro.db.database.Database`. Keeping the logical form separate from
+the SQL text lets tests and metrics compare queries structurally rather than
+by string equality.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.db.schema import ColumnRef
+from repro.errors import QueryError
+
+__all__ = [
+    "Comparison",
+    "Predicate",
+    "JoinCondition",
+    "TableRef",
+    "SelectQuery",
+]
+
+
+class Comparison(enum.Enum):
+    """Predicate comparison operators supported by the executor."""
+
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    CONTAINS = "CONTAINS"  # case-insensitive keyword containment
+    LIKE = "LIKE"  # SQL LIKE with % and _ wildcards
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A table occurrence in the FROM clause, with an alias.
+
+    Aliases make self-joins expressible; for the common case the alias is
+    just the table name.
+    """
+
+    table: str
+    alias: str
+
+    @staticmethod
+    def of(table: str, alias: str | None = None) -> "TableRef":
+        """Convenience constructor defaulting the alias to the table name."""
+        return TableRef(table, alias or table)
+
+    def __str__(self) -> str:
+        if self.alias == self.table:
+            return self.table
+        return f"{self.table} AS {self.alias}"
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A WHERE-clause condition ``alias.column <op> value``."""
+
+    alias: str
+    column: str
+    op: Comparison
+    value: Any
+
+    def __str__(self) -> str:
+        rendered = f"'{self.value}'" if isinstance(self.value, str) else str(self.value)
+        if self.op is Comparison.CONTAINS:
+            return f"CONTAINS({self.alias}.{self.column}, {rendered})"
+        return f"{self.alias}.{self.column} {self.op.value} {rendered}"
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """An equi-join ``left_alias.left_column = right_alias.right_column``."""
+
+    left_alias: str
+    left_column: str
+    right_alias: str
+    right_column: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.left_alias}.{self.left_column} = "
+            f"{self.right_alias}.{self.right_column}"
+        )
+
+    def reversed(self) -> "JoinCondition":
+        """The same condition with sides swapped (joins are symmetric)."""
+        return JoinCondition(
+            self.right_alias, self.right_column, self.left_alias, self.left_column
+        )
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A conjunctive select-project-join query.
+
+    Attributes:
+        tables: FROM-clause occurrences; the first is the driving table.
+        joins: equi-join conditions connecting the occurrences.
+        predicates: conjunctive WHERE conditions.
+        projection: output columns as ``(alias, column)`` pairs; empty means
+            ``SELECT *`` over the driving table occurrence order.
+        distinct: whether duplicate output rows are removed.
+        limit: optional output row cap.
+    """
+
+    tables: tuple[TableRef, ...]
+    joins: tuple[JoinCondition, ...] = ()
+    predicates: tuple[Predicate, ...] = ()
+    projection: tuple[tuple[str, str], ...] = ()
+    distinct: bool = True
+    limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise QueryError("query has no FROM clause")
+        aliases = [ref.alias for ref in self.tables]
+        if len(aliases) != len(set(aliases)):
+            raise QueryError(f"duplicate alias in FROM clause: {aliases}")
+        alias_set = set(aliases)
+        for join in self.joins:
+            if join.left_alias not in alias_set or join.right_alias not in alias_set:
+                raise QueryError(f"join references unknown alias: {join}")
+        for predicate in self.predicates:
+            if predicate.alias not in alias_set:
+                raise QueryError(f"predicate references unknown alias: {predicate}")
+        for alias, _column in self.projection:
+            if alias not in alias_set:
+                raise QueryError(f"projection references unknown alias: {alias}")
+
+    # -- structural helpers ------------------------------------------------
+
+    @property
+    def aliases(self) -> tuple[str, ...]:
+        """All FROM-clause aliases, in order."""
+        return tuple(ref.alias for ref in self.tables)
+
+    def table_of(self, alias: str) -> str:
+        """The underlying table name for *alias*."""
+        for ref in self.tables:
+            if ref.alias == alias:
+                return ref.table
+        raise QueryError(f"unknown alias: {alias}")
+
+    def table_names(self) -> frozenset[str]:
+        """The set of distinct tables mentioned in FROM."""
+        return frozenset(ref.table for ref in self.tables)
+
+    def joined_column_refs(self) -> frozenset[ColumnRef]:
+        """Qualified (real-table) columns participating in joins."""
+        refs: set[ColumnRef] = set()
+        for join in self.joins:
+            refs.add(ColumnRef(self.table_of(join.left_alias), join.left_column))
+            refs.add(ColumnRef(self.table_of(join.right_alias), join.right_column))
+        return frozenset(refs)
+
+    def predicate_column_refs(self) -> frozenset[ColumnRef]:
+        """Qualified (real-table) columns appearing in WHERE predicates."""
+        return frozenset(
+            ColumnRef(self.table_of(p.alias), p.column) for p in self.predicates
+        )
+
+    def signature(self) -> tuple[Any, ...]:
+        """An order-insensitive structural fingerprint.
+
+        Two queries with the same tables, joins (up to direction) and
+        predicates compare equal by signature; evaluation metrics use this
+        to decide whether a generated explanation matches the gold query.
+        """
+        join_keys = frozenset(
+            frozenset(
+                {
+                    (self.table_of(j.left_alias), j.left_column),
+                    (self.table_of(j.right_alias), j.right_column),
+                }
+            )
+            for j in self.joins
+        )
+        predicate_keys = frozenset(
+            (self.table_of(p.alias), p.column, p.op.value, _fold(p.value))
+            for p in self.predicates
+        )
+        return (self.table_names(), join_keys, predicate_keys)
+
+    def matches(self, other: "SelectQuery") -> bool:
+        """Structural equivalence used by the evaluation harness."""
+        return self.signature() == other.signature()
+
+    def __str__(self) -> str:
+        from repro.db.sqlgen import render_sql
+
+        return render_sql(self)
+
+
+def _fold(value: Any) -> Any:
+    """Case-fold string constants so signatures ignore letter case."""
+    return value.casefold() if isinstance(value, str) else value
+
+
+def _rebuild(query: SelectQuery, **changes: Any) -> SelectQuery:
+    """Internal helper for derived-query construction."""
+    kwargs = {
+        "tables": query.tables,
+        "joins": query.joins,
+        "predicates": query.predicates,
+        "projection": query.projection,
+        "distinct": query.distinct,
+        "limit": query.limit,
+    }
+    kwargs.update(changes)
+    return SelectQuery(**kwargs)
+
+
+def with_limit(query: SelectQuery, limit: int) -> SelectQuery:
+    """Return *query* with an output cap applied."""
+    return _rebuild(query, limit=limit)

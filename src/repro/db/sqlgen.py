@@ -1,0 +1,89 @@
+"""Rendering logical queries to SQL text.
+
+QUEST's final output is SQL ("SELECT XY FROM Z WHERE ..." in the paper's
+Figure 1); this module turns :class:`~repro.db.query.SelectQuery` objects
+into deterministic, readable SQL-92 text. The renderer also emits
+``CREATE TABLE`` DDL for schemas, used by examples and documentation.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+from typing import Any
+
+from repro.db.query import Comparison, SelectQuery
+from repro.db.schema import Schema, TableSchema
+from repro.db.types import SQL_TYPE_NAMES
+
+__all__ = ["render_sql", "render_literal", "render_create_table", "render_ddl"]
+
+
+def render_literal(value: Any) -> str:
+    """Render a Python value as a SQL literal."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, date):
+        return f"DATE '{value.isoformat()}'"
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
+def render_sql(query: SelectQuery) -> str:
+    """Render a :class:`SelectQuery` as a single-line SQL statement.
+
+    CONTAINS predicates are rendered as case-insensitive ``LIKE`` patterns so
+    the output is executable on a vanilla SQL engine, matching how QUEST's
+    wrapper would down-translate full-text conditions for sources without a
+    full-text search function.
+    """
+    select_list = (
+        ", ".join(f"{alias}.{column}" for alias, column in query.projection)
+        if query.projection
+        else "*"
+    )
+    distinct = "DISTINCT " if query.distinct and query.projection else ""
+    sql = [f"SELECT {distinct}{select_list}"]
+    sql.append("FROM " + ", ".join(str(ref) for ref in query.tables))
+    conditions = [str(join) for join in query.joins]
+    for predicate in query.predicates:
+        target = f"{predicate.alias}.{predicate.column}"
+        if predicate.op is Comparison.CONTAINS:
+            pattern = f"%{predicate.value}%"
+            conditions.append(f"LOWER({target}) LIKE {render_literal(pattern.lower())}")
+        elif predicate.op is Comparison.LIKE:
+            conditions.append(f"{target} LIKE {render_literal(predicate.value)}")
+        else:
+            conditions.append(
+                f"{target} {predicate.op.value} {render_literal(predicate.value)}"
+            )
+    if conditions:
+        sql.append("WHERE " + " AND ".join(conditions))
+    if query.limit is not None:
+        sql.append(f"LIMIT {query.limit}")
+    return " ".join(sql)
+
+
+def render_create_table(table: TableSchema) -> str:
+    """Render ``CREATE TABLE`` DDL for one table."""
+    lines = []
+    for column in table.columns:
+        null = "" if column.nullable else " NOT NULL"
+        lines.append(f"  {column.name} {SQL_TYPE_NAMES[column.dtype]}{null}")
+    lines.append(f"  PRIMARY KEY ({', '.join(table.primary_key)})")
+    body = ",\n".join(lines)
+    return f"CREATE TABLE {table.name} (\n{body}\n);"
+
+
+def render_ddl(schema: Schema) -> str:
+    """Render the full schema as DDL: tables then FK constraints."""
+    statements = [render_create_table(table) for table in schema.tables]
+    for fk in schema.foreign_keys:
+        statements.append(
+            f"ALTER TABLE {fk.table} ADD FOREIGN KEY ({fk.column}) "
+            f"REFERENCES {fk.ref_table} ({fk.ref_column});"
+        )
+    return "\n\n".join(statements)

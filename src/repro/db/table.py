@@ -1,0 +1,154 @@
+"""In-memory table storage with primary-key and secondary indexes.
+
+Rows are stored as tuples in declaration order; the table maintains a
+unique index on the primary key and builds hash indexes on demand for the
+join executor. The representation favours clarity over raw speed but still
+keeps point lookups and equi-join probes O(1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.db.schema import TableSchema
+from repro.db.types import coerce
+from repro.errors import IntegrityError, UnknownColumnError
+
+__all__ = ["Table", "Row"]
+
+#: A materialised row: values in column-declaration order.
+Row = tuple[Any, ...]
+
+
+class Table:
+    """A mutable relation instance conforming to a :class:`TableSchema`."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: list[Row] = []
+        self._col_index: dict[str, int] = {
+            column.name: position for position, column in enumerate(schema.columns)
+        }
+        self._pk_positions: tuple[int, ...] = tuple(
+            self._col_index[name] for name in schema.primary_key
+        )
+        self._pk_index: dict[tuple[Any, ...], int] = {}
+        self._secondary: dict[str, dict[Any, list[int]]] = {}
+
+    # -- schema helpers ---------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The table name, as declared in the schema."""
+        return self.schema.name
+
+    def column_position(self, column: str) -> int:
+        """Index of *column* within stored row tuples."""
+        try:
+            return self._col_index[column]
+        except KeyError:
+            raise UnknownColumnError(self.name, column) from None
+
+    # -- mutation ---------------------------------------------------------
+
+    def insert(self, values: Mapping[str, Any] | Sequence[Any]) -> Row:
+        """Insert one row, given as a mapping or a positional sequence.
+
+        Values are coerced to the declared column types; NOT NULL and
+        primary-key uniqueness are enforced. Returns the stored row tuple.
+        """
+        row = self._normalise(values)
+        key = tuple(row[p] for p in self._pk_positions)
+        if any(part is None for part in key):
+            raise IntegrityError(f"{self.name}: primary key may not be NULL")
+        if key in self._pk_index:
+            raise IntegrityError(f"{self.name}: duplicate primary key {key!r}")
+        position = len(self._rows)
+        self._rows.append(row)
+        self._pk_index[key] = position
+        for column, index in self._secondary.items():
+            index[row[self._col_index[column]]].append(position)
+        return row
+
+    def insert_many(self, rows: Iterator[Mapping[str, Any] | Sequence[Any]]) -> int:
+        """Insert rows in bulk; returns the number inserted."""
+        count = 0
+        for values in rows:
+            self.insert(values)
+            count += 1
+        return count
+
+    def _normalise(self, values: Mapping[str, Any] | Sequence[Any]) -> Row:
+        columns = self.schema.columns
+        if isinstance(values, Mapping):
+            unknown = set(values) - set(self._col_index)
+            if unknown:
+                raise UnknownColumnError(self.name, sorted(unknown)[0])
+            raw = [values.get(column.name) for column in columns]
+        else:
+            if len(values) != len(columns):
+                raise IntegrityError(
+                    f"{self.name}: expected {len(columns)} values, "
+                    f"got {len(values)}"
+                )
+            raw = list(values)
+        row = []
+        for column, value in zip(columns, raw):
+            coerced = coerce(value, column.dtype)
+            if coerced is None and not column.nullable:
+                raise IntegrityError(
+                    f"{self.name}.{column.name}: NULL not allowed"
+                )
+            row.append(coerced)
+        return tuple(row)
+
+    # -- access -----------------------------------------------------------
+
+    @property
+    def rows(self) -> list[Row]:
+        """All stored rows (live list — do not mutate)."""
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def get(self, key: tuple[Any, ...] | Any) -> Row | None:
+        """Point lookup by primary key; scalar keys may be passed bare."""
+        if not isinstance(key, tuple):
+            key = (key,)
+        position = self._pk_index.get(key)
+        return None if position is None else self._rows[position]
+
+    def column_values(self, column: str) -> list[Any]:
+        """All values of *column*, in row order (including NULLs)."""
+        position = self.column_position(column)
+        return [row[position] for row in self._rows]
+
+    def distinct_values(self, column: str) -> set[Any]:
+        """Distinct non-NULL values of *column*."""
+        position = self.column_position(column)
+        return {row[position] for row in self._rows if row[position] is not None}
+
+    # -- indexing ---------------------------------------------------------
+
+    def ensure_index(self, column: str) -> dict[Any, list[int]]:
+        """Build (or fetch) a hash index on *column* for equi-join probes."""
+        if column not in self._secondary:
+            position = self.column_position(column)
+            index: dict[Any, list[int]] = defaultdict(list)
+            for row_position, row in enumerate(self._rows):
+                index[row[position]].append(row_position)
+            self._secondary[column] = index
+        return self._secondary[column]
+
+    def lookup(self, column: str, value: Any) -> list[Row]:
+        """All rows whose *column* equals *value* (index-accelerated)."""
+        index = self.ensure_index(column)
+        return [self._rows[p] for p in index.get(value, ())]
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={len(self._rows)})"

@@ -1,0 +1,141 @@
+"""Column data types and value coercion for the in-memory relational engine.
+
+QUEST reasons about *attribute domains* — the set of values an attribute may
+take — both when matching keywords against values (forward step) and when a
+hidden source only exposes a datatype and a regular expression of admissible
+values (wrapper). This module centralises the datatype vocabulary so the
+schema, the executor, the recognisers and the wrappers all agree on it.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from datetime import date, datetime
+from typing import Any
+
+from repro.errors import SchemaError
+
+__all__ = ["DataType", "coerce", "is_null", "infer_type", "SQL_TYPE_NAMES"]
+
+
+class DataType(enum.Enum):
+    """Logical column types supported by the substrate."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+    DATE = "date"
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether values of this type order and compare numerically."""
+        return self in (DataType.INTEGER, DataType.FLOAT)
+
+    @property
+    def is_textual(self) -> bool:
+        """Whether values of this type participate in full-text indexing."""
+        return self is DataType.TEXT
+
+
+#: SQL type name used when rendering ``CREATE TABLE`` statements.
+SQL_TYPE_NAMES: dict[DataType, str] = {
+    DataType.INTEGER: "INTEGER",
+    DataType.FLOAT: "REAL",
+    DataType.TEXT: "VARCHAR",
+    DataType.BOOLEAN: "BOOLEAN",
+    DataType.DATE: "DATE",
+}
+
+_TRUE_LITERALS = frozenset({"true", "t", "yes", "y", "1"})
+_FALSE_LITERALS = frozenset({"false", "f", "no", "n", "0"})
+_DATE_RE = re.compile(r"^\d{4}-\d{2}-\d{2}$")
+_INT_RE = re.compile(r"^[+-]?\d+$")
+_FLOAT_RE = re.compile(r"^[+-]?(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?$")
+
+
+def is_null(value: Any) -> bool:
+    """Return ``True`` for SQL NULL equivalents (``None`` or empty string)."""
+    return value is None or (isinstance(value, str) and value == "")
+
+
+def coerce(value: Any, dtype: DataType) -> Any:
+    """Coerce *value* to the Python representation of *dtype*.
+
+    ``None`` (and the empty string) pass through as ``None`` — the substrate
+    models SQL NULL with Python ``None``. Raises :class:`SchemaError` when
+    the value cannot represent the type, mirroring a strict DBMS.
+    """
+    if is_null(value):
+        return None
+    try:
+        if dtype is DataType.INTEGER:
+            if isinstance(value, bool):
+                return int(value)
+            if isinstance(value, int):
+                return value
+            if isinstance(value, float) and value.is_integer():
+                return int(value)
+            if isinstance(value, str) and _INT_RE.match(value.strip()):
+                return int(value.strip())
+        elif dtype is DataType.FLOAT:
+            if isinstance(value, bool):
+                return float(value)
+            if isinstance(value, (int, float)):
+                return float(value)
+            if isinstance(value, str) and _FLOAT_RE.match(value.strip()):
+                return float(value.strip())
+        elif dtype is DataType.TEXT:
+            if isinstance(value, str):
+                return value
+            if isinstance(value, (int, float, bool, date)):
+                return str(value)
+        elif dtype is DataType.BOOLEAN:
+            if isinstance(value, bool):
+                return value
+            if isinstance(value, int) and value in (0, 1):
+                return bool(value)
+            if isinstance(value, str):
+                lowered = value.strip().lower()
+                if lowered in _TRUE_LITERALS:
+                    return True
+                if lowered in _FALSE_LITERALS:
+                    return False
+        elif dtype is DataType.DATE:
+            if isinstance(value, datetime):
+                return value.date()
+            if isinstance(value, date):
+                return value
+            if isinstance(value, str) and _DATE_RE.match(value.strip()):
+                return date.fromisoformat(value.strip())
+    except (ValueError, OverflowError) as exc:
+        raise SchemaError(f"cannot coerce {value!r} to {dtype.value}") from exc
+    raise SchemaError(f"cannot coerce {value!r} to {dtype.value}")
+
+
+def infer_type(values: list[Any]) -> DataType:
+    """Infer the narrowest :class:`DataType` covering *values*.
+
+    Used by the CSV loader and the hidden-source wrapper when only sample
+    values (not a declared schema) are available. Nulls are ignored; an
+    all-null column defaults to TEXT.
+    """
+    candidates = [
+        DataType.BOOLEAN,
+        DataType.INTEGER,
+        DataType.FLOAT,
+        DataType.DATE,
+        DataType.TEXT,
+    ]
+    non_null = [v for v in values if not is_null(v)]
+    if not non_null:
+        return DataType.TEXT
+    for dtype in candidates:
+        try:
+            for value in non_null:
+                coerce(value, dtype)
+        except SchemaError:
+            continue
+        return dtype
+    return DataType.TEXT

@@ -1,0 +1,21 @@
+"""Dempster-Shafer theory of evidence: masses, combination, ranking.
+
+QUEST's combiner module: merges the a-priori and feedback-based forward
+results, and then forward configurations with backward interpretations,
+under per-source uncertainty parameters.
+"""
+
+from repro.dst.belief import belief, pignistic, plausibility, rank_hypotheses
+from repro.dst.combine import combine_scores, conflict, dempster_combine
+from repro.dst.mass import MassFunction
+
+__all__ = [
+    "MassFunction",
+    "belief",
+    "combine_scores",
+    "conflict",
+    "dempster_combine",
+    "pignistic",
+    "plausibility",
+    "rank_hypotheses",
+]

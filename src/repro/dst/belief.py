@@ -1,0 +1,57 @@
+"""Belief, plausibility and the pignistic transform.
+
+After combining evidence, QUEST needs a total order over hypotheses to
+report top-k results. The pignistic transform (Smets) distributes each focal
+element's mass uniformly over its members, yielding a probability
+distribution suitable for ranking; belief and plausibility bound it from
+below and above.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.dst.mass import MassFunction
+
+__all__ = ["belief", "plausibility", "pignistic", "rank_hypotheses"]
+
+
+def belief(mass_function: MassFunction, hypothesis_set: Iterable[Hashable]) -> float:
+    """Total mass of focal elements *contained in* the hypothesis set."""
+    target = frozenset(hypothesis_set)
+    return sum(
+        mass for focal, mass in mass_function.items() if focal <= target
+    )
+
+
+def plausibility(
+    mass_function: MassFunction, hypothesis_set: Iterable[Hashable]
+) -> float:
+    """Total mass of focal elements *intersecting* the hypothesis set."""
+    target = frozenset(hypothesis_set)
+    return sum(
+        mass for focal, mass in mass_function.items() if focal & target
+    )
+
+
+def pignistic(mass_function: MassFunction) -> dict[Hashable, float]:
+    """Smets' pignistic probability: mass spread uniformly inside focals."""
+    probabilities: dict[Hashable, float] = {}
+    for focal, mass in mass_function.items():
+        share = mass / len(focal)
+        for hypothesis in focal:
+            probabilities[hypothesis] = probabilities.get(hypothesis, 0.0) + share
+    return probabilities
+
+
+def rank_hypotheses(
+    mass_function: MassFunction, k: int | None = None
+) -> list[tuple[Hashable, float]]:
+    """Hypotheses sorted by pignistic probability (descending, stable).
+
+    Ties break on the string rendering of the hypothesis so rankings are
+    deterministic across runs. Returns at most *k* entries when given.
+    """
+    scored = pignistic(mass_function)
+    ordered = sorted(scored.items(), key=lambda item: (-item[1], str(item[0])))
+    return ordered if k is None else ordered[:k]

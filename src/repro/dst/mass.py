@@ -1,0 +1,176 @@
+"""Mass functions over a frame of discernment (Dempster-Shafer theory).
+
+A body of evidence assigns probability mass to *subsets* of the frame Θ
+(the set of base hypotheses — for QUEST, candidate configurations,
+interpretations or explanations). Mass on the whole frame Θ expresses
+*ignorance*: belief the source declines to commit to any specific
+hypothesis. QUEST uses that ignorance mass as the per-source uncertainty
+parameters ``O_Cap``, ``O_Cf``, ``O_C``, ``O_I``.
+
+Hypotheses may be any hashable objects; focal elements are ``frozenset``s
+of them.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from repro.errors import CombinationError
+
+__all__ = ["MassFunction"]
+
+Hypothesis = Hashable
+FocalElement = frozenset
+
+
+class MassFunction:
+    """An immutable-by-convention basic probability assignment.
+
+    Invariants (enforced by :meth:`validate`): masses are non-negative and
+    sum to 1 (within floating tolerance); the empty set carries no mass.
+    """
+
+    def __init__(
+        self,
+        masses: Mapping[frozenset, float] | None = None,
+        frame: Iterable[Hypothesis] | None = None,
+    ) -> None:
+        self._masses: dict[frozenset, float] = {}
+        self._frame: frozenset = frozenset(frame) if frame is not None else frozenset()
+        if masses:
+            for focal, mass in masses.items():
+                self.assign(frozenset(focal), mass)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_scores(
+        cls,
+        scores: Mapping[Hypothesis, float],
+        ignorance: float = 0.0,
+        frame: Iterable[Hypothesis] | None = None,
+    ) -> "MassFunction":
+        """Build the QUEST evidence body from per-hypothesis scores.
+
+        This is the ``addEvidence`` / ``setUncertainty`` / ``normalize``
+        sequence of the paper's ``CombinerDST``: scores are normalised to
+        sum to ``1 - ignorance`` over singleton focal elements, and the
+        remaining *ignorance* mass goes to the whole frame. The frame
+        defaults to the scored hypotheses but is typically the *union* of
+        both sources' candidates.
+        """
+        if not 0.0 <= ignorance <= 1.0:
+            raise CombinationError(f"ignorance must be in [0, 1], got {ignorance}")
+        positive = {h: s for h, s in scores.items() if s > 0.0}
+        if any(s < 0.0 for s in scores.values()):
+            raise CombinationError("scores must be non-negative")
+        full_frame = frozenset(frame) if frame is not None else frozenset(positive)
+        full_frame = full_frame | frozenset(positive)
+        mass_function = cls(frame=full_frame)
+        total = sum(positive.values())
+        if total <= 0.0:
+            # No committed evidence at all: total ignorance.
+            if not full_frame:
+                raise CombinationError("cannot build evidence over an empty frame")
+            mass_function.assign(full_frame, 1.0)
+            return mass_function
+        budget = 1.0 - ignorance
+        for hypothesis, score in positive.items():
+            mass_function.assign(frozenset({hypothesis}), budget * score / total)
+        if ignorance > 0.0:
+            mass_function.assign(full_frame, ignorance)
+        return mass_function
+
+    @classmethod
+    def vacuous(cls, frame: Iterable[Hypothesis]) -> "MassFunction":
+        """The fully ignorant mass function: all mass on Θ."""
+        frame_set = frozenset(frame)
+        if not frame_set:
+            raise CombinationError("vacuous mass function needs a non-empty frame")
+        mass_function = cls(frame=frame_set)
+        mass_function.assign(frame_set, 1.0)
+        return mass_function
+
+    # -- mutation (construction-time only) ----------------------------------
+
+    def assign(self, focal: frozenset, mass: float) -> None:
+        """Add *mass* to a focal element (accumulating)."""
+        focal = frozenset(focal)
+        if mass < 0.0:
+            raise CombinationError(f"negative mass {mass} on {set(focal)}")
+        if not focal:
+            if mass > 0.0:
+                raise CombinationError("the empty set cannot carry mass")
+            return
+        if mass == 0.0:
+            return
+        self._frame = self._frame | focal
+        self._masses[focal] = self._masses.get(focal, 0.0) + mass
+
+    def normalize(self) -> "MassFunction":
+        """Rescale masses to sum to 1 (in place); returns self."""
+        total = sum(self._masses.values())
+        if total <= 0.0:
+            raise CombinationError("cannot normalise an empty mass function")
+        for focal in list(self._masses):
+            self._masses[focal] /= total
+        return self
+
+    # -- access -------------------------------------------------------------
+
+    @property
+    def frame(self) -> frozenset:
+        """The frame of discernment Θ."""
+        return self._frame
+
+    @property
+    def focal_elements(self) -> tuple[frozenset, ...]:
+        """Subsets with positive mass."""
+        return tuple(self._masses)
+
+    def mass(self, focal: Iterable[Hypothesis]) -> float:
+        """Mass committed exactly to *focal* (0.0 if not a focal element)."""
+        return self._masses.get(frozenset(focal), 0.0)
+
+    def ignorance(self) -> float:
+        """Mass on the whole frame Θ."""
+        return self._masses.get(self._frame, 0.0)
+
+    def items(self) -> Iterator[tuple[frozenset, float]]:
+        """Iterate ``(focal element, mass)`` pairs."""
+        return iter(self._masses.items())
+
+    def total(self) -> float:
+        """Sum of all masses (1.0 for a valid body of evidence)."""
+        return sum(self._masses.values())
+
+    def validate(self, tolerance: float = 1e-9) -> None:
+        """Raise :class:`CombinationError` unless this is a valid BPA."""
+        total = self.total()
+        if abs(total - 1.0) > tolerance:
+            raise CombinationError(f"masses sum to {total}, expected 1.0")
+        for focal, mass in self._masses.items():
+            if mass < -tolerance:
+                raise CombinationError(f"negative mass on {set(focal)}")
+            if not focal <= self._frame:
+                raise CombinationError("focal element outside the frame")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MassFunction):
+            return NotImplemented
+        if self._frame != other._frame:
+            return False
+        keys = set(self._masses) | set(other._masses)
+        return all(
+            abs(self._masses.get(k, 0.0) - other._masses.get(k, 0.0)) < 1e-9
+            for k in keys
+        )
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{sorted(map(str, focal))}: {mass:.3f}"
+            for focal, mass in sorted(
+                self._masses.items(), key=lambda item: -item[1]
+            )
+        )
+        return f"MassFunction({{{parts}}})"

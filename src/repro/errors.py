@@ -1,0 +1,73 @@
+"""Exception hierarchy for the QUEST reproduction.
+
+Every error raised by the library derives from :class:`QuestError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to discriminate the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class QuestError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(QuestError):
+    """A schema definition is inconsistent (duplicate names, bad references)."""
+
+
+class IntegrityError(QuestError):
+    """A data modification violates a key or referential constraint."""
+
+
+class UnknownTableError(SchemaError):
+    """A referenced table does not exist in the schema."""
+
+    def __init__(self, table: str) -> None:
+        super().__init__(f"unknown table: {table!r}")
+        self.table = table
+
+
+class UnknownColumnError(SchemaError):
+    """A referenced column does not exist in its table."""
+
+    def __init__(self, table: str, column: str) -> None:
+        super().__init__(f"unknown column: {table!r}.{column!r}")
+        self.table = table
+        self.column = column
+
+
+class QueryError(QuestError):
+    """A logical query is malformed (bad joins, missing aliases, ...)."""
+
+
+class ExecutionError(QuestError):
+    """A well-formed query failed during evaluation."""
+
+
+class AccessDeniedError(QuestError):
+    """An operation requires instance access the wrapper does not provide.
+
+    Raised by hidden-source (Deep Web) wrappers whenever the engine asks for
+    data that only a full-access source could supply.
+    """
+
+
+class ModelError(QuestError):
+    """An HMM is structurally invalid or numerically degenerate."""
+
+
+class TrainingError(ModelError):
+    """E-M training received unusable feedback data."""
+
+
+class SteinerError(QuestError):
+    """Steiner-tree discovery failed (disconnected terminals, empty graph)."""
+
+
+class CombinationError(QuestError):
+    """Dempster-Shafer combination failed (total conflict, empty evidence)."""
+
+
+class WorkloadError(QuestError):
+    """A benchmark workload definition is inconsistent."""

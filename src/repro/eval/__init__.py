@@ -1,0 +1,38 @@
+"""Evaluation: metrics, the workload harness and result tabulation."""
+
+from repro.eval.harness import (
+    EvaluationResult,
+    QueryOutcome,
+    SearchEngine,
+    backward_only_engine,
+    evaluate,
+    forward_only_engine,
+    quest_engine,
+)
+from repro.eval.metrics import (
+    hit_list,
+    mean,
+    ndcg_at_k,
+    precision_at_k,
+    reciprocal_rank,
+    success_at_k,
+)
+from repro.eval.report import format_results, format_table
+
+__all__ = [
+    "EvaluationResult",
+    "QueryOutcome",
+    "SearchEngine",
+    "backward_only_engine",
+    "evaluate",
+    "format_results",
+    "format_table",
+    "forward_only_engine",
+    "hit_list",
+    "mean",
+    "ndcg_at_k",
+    "precision_at_k",
+    "quest_engine",
+    "reciprocal_rank",
+    "success_at_k",
+]

@@ -1,0 +1,68 @@
+"""Ranking-quality metrics for keyword-search evaluation.
+
+All metrics operate on a ranked list of booleans (``hits[i]`` — whether the
+i-th returned explanation structurally matches the gold query) so they are
+engine-agnostic: QUEST, module ablations and baselines all reduce to hit
+lists via :func:`hit_list`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.db.query import SelectQuery
+
+__all__ = [
+    "hit_list",
+    "success_at_k",
+    "reciprocal_rank",
+    "precision_at_k",
+    "ndcg_at_k",
+    "mean",
+]
+
+
+def hit_list(ranked: Sequence[SelectQuery], gold: SelectQuery) -> list[bool]:
+    """Structural-match indicator for each ranked query against the gold."""
+    return [query.matches(gold) for query in ranked]
+
+
+def success_at_k(hits: Sequence[bool], k: int) -> float:
+    """1.0 if any of the first *k* results is correct, else 0.0."""
+    return 1.0 if any(hits[:k]) else 0.0
+
+
+def reciprocal_rank(hits: Sequence[bool]) -> float:
+    """1 / rank of the first correct result (0.0 when absent)."""
+    for position, hit in enumerate(hits, start=1):
+        if hit:
+            return 1.0 / position
+    return 0.0
+
+
+def precision_at_k(hits: Sequence[bool], k: int) -> float:
+    """Fraction of the first *k* results that are correct."""
+    if k <= 0:
+        return 0.0
+    window = list(hits[:k])
+    if not window:
+        return 0.0
+    return sum(window) / k
+
+
+def ndcg_at_k(hits: Sequence[bool], k: int) -> float:
+    """Binary nDCG at *k* (one relevant item: the gold query)."""
+    dcg = 0.0
+    for position, hit in enumerate(hits[:k], start=1):
+        if hit:
+            dcg += 1.0 / math.log2(position + 1)
+    # Ideal: the single relevant result at rank 1.
+    return dcg / 1.0 if dcg <= 1.0 else 1.0
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

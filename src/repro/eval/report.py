@@ -1,0 +1,58 @@
+"""Plain-text tabulation of evaluation results.
+
+Benchmarks print their tables through these helpers so EXPERIMENTS.md rows
+can be pasted verbatim from benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_results"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with a header rule; floats render to 3 decimals."""
+    rendered_rows = [
+        [
+            f"{cell:.3f}" if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for position, cell in enumerate(row):
+            widths[position] = max(widths[position], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_results(
+    results: Sequence[Mapping[str, float]],
+    labels: Sequence[str],
+    title: str | None = None,
+) -> str:
+    """Tabulate several ``EvaluationResult.summary()`` dicts side by side."""
+    if not results:
+        return title or ""
+    metric_names = list(results[0].keys())
+    headers = ["engine", *metric_names]
+    rows = [
+        [label, *[summary[name] for name in metric_names]]
+        for label, summary in zip(labels, results)
+    ]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,17 @@
+"""Feedback subsystem: stores, on-line training, adaptive ignorance.
+
+Implements the feedback-based forward mode: validated searches train the
+HMM, and the suggested ``O_Cf`` decays as the mode becomes reliable.
+"""
+
+from repro.feedback.oracle import SimulatedUser
+from repro.feedback.store import FeedbackRecord, FeedbackStore
+from repro.feedback.trainer import FeedbackTrainer, adaptive_ignorance
+
+__all__ = [
+    "FeedbackRecord",
+    "FeedbackStore",
+    "FeedbackTrainer",
+    "SimulatedUser",
+    "adaptive_ignorance",
+]

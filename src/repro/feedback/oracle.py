@@ -1,0 +1,72 @@
+"""A simulated validating user for feedback experiments.
+
+The live demo collects feedback from real participants; experiments need a
+reproducible substitute. The oracle knows the workload's gold
+configurations and validates or rejects engine proposals accordingly, with
+an optional noise rate (real users occasionally mis-validate).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.configuration import Configuration
+from repro.feedback.trainer import FeedbackTrainer
+
+__all__ = ["SimulatedUser"]
+
+
+class SimulatedUser:
+    """Validates proposed configurations against gold mappings."""
+
+    def __init__(
+        self,
+        gold: dict[tuple[str, ...], Configuration],
+        noise: float = 0.0,
+        seed: int = 7,
+    ) -> None:
+        """Args:
+        gold: keyword tuple -> the configuration the user "means".
+        noise: probability of flipping a verdict (0 = perfect user).
+        seed: RNG seed for reproducible noise.
+        """
+        self.gold = dict(gold)
+        self.noise = noise
+        self._rng = random.Random(seed)
+
+    def knows(self, keywords: tuple[str, ...]) -> bool:
+        """Whether the oracle has a gold mapping for this query."""
+        return keywords in self.gold
+
+    def judge(self, keywords: tuple[str, ...], proposal: Configuration) -> bool:
+        """True = validate, False = reject (possibly noisy)."""
+        verdict = self.gold.get(keywords) == proposal
+        if self.noise > 0.0 and self._rng.random() < self.noise:
+            verdict = not verdict
+        return verdict
+
+    def teach(
+        self,
+        trainer: FeedbackTrainer,
+        keywords: tuple[str, ...],
+        proposals: list[Configuration],
+    ) -> bool:
+        """Review *proposals* like a demo participant would.
+
+        The oracle validates the gold configuration if it appears in the
+        list (teaching the trainer the right mapping) and rejects the top
+        proposal otherwise. Returns whether a validation happened.
+        """
+        gold = self.gold.get(keywords)
+        if gold is None:
+            return False
+        for proposal in proposals:
+            if self.judge(keywords, proposal):
+                trainer.validate(keywords, proposal)
+                return True
+        if proposals:
+            trainer.reject(keywords, proposals[0])
+        # Even after rejecting, a patient user shows the system the right
+        # answer — the demo GUI lets participants pick the intended mapping.
+        trainer.validate(keywords, gold)
+        return True

@@ -1,0 +1,89 @@
+"""The feedback store: previous searches validated by the user.
+
+Each record ties a keyword query to the configuration the user validated
+(positive) or rejected (negative). Positive records are the training data
+of the feedback HMM; the positive/negative balance drives the adaptive
+``O_Cf`` ignorance schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.configuration import Configuration
+from repro.errors import TrainingError
+
+__all__ = ["FeedbackRecord", "FeedbackStore"]
+
+
+@dataclass(frozen=True)
+class FeedbackRecord:
+    """One validated (or rejected) search."""
+
+    keywords: tuple[str, ...]
+    configuration: Configuration
+    positive: bool = True
+
+    def __post_init__(self) -> None:
+        if len(self.keywords) != len(self.configuration.mappings):
+            raise TrainingError(
+                "keyword count does not match the validated configuration"
+            )
+
+
+class FeedbackStore:
+    """Append-only collection of feedback records."""
+
+    def __init__(self) -> None:
+        self._records: list[FeedbackRecord] = []
+
+    def add(self, record: FeedbackRecord) -> None:
+        """Append one record."""
+        self._records.append(record)
+
+    def add_validation(
+        self, keywords: list[str] | tuple[str, ...], configuration: Configuration
+    ) -> FeedbackRecord:
+        """Record that the user validated *configuration* for *keywords*."""
+        record = FeedbackRecord(tuple(keywords), configuration, positive=True)
+        self.add(record)
+        return record
+
+    def add_rejection(
+        self, keywords: list[str] | tuple[str, ...], configuration: Configuration
+    ) -> FeedbackRecord:
+        """Record that the user rejected *configuration* for *keywords*."""
+        record = FeedbackRecord(tuple(keywords), configuration, positive=False)
+        self.add(record)
+        return record
+
+    # -- access --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[FeedbackRecord]:
+        return iter(self._records)
+
+    def positives(self) -> list[FeedbackRecord]:
+        """All validated searches (the training set)."""
+        return [r for r in self._records if r.positive]
+
+    def negatives(self) -> list[FeedbackRecord]:
+        """All rejected proposals."""
+        return [r for r in self._records if not r.positive]
+
+    def positive_count(self) -> int:
+        """Number of validated searches."""
+        return sum(1 for r in self._records if r.positive)
+
+    def negative_count(self) -> int:
+        """Number of rejections."""
+        return sum(1 for r in self._records if not r.positive)
+
+    def __repr__(self) -> str:
+        return (
+            f"FeedbackStore(positive={self.positive_count()}, "
+            f"negative={self.negative_count()})"
+        )

@@ -1,0 +1,126 @@
+"""On-line training of the feedback HMM plus adaptive ignorance.
+
+Implements the feedback-based operating mode: the model starts uniform
+(maximum entropy — it has seen nothing), is updated from validated searches
+(supervised counting, the degenerate-E-step case of the paper's on-line
+E-M), and reports a suggested ``O_Cf`` that *decreases* as positive
+feedback accumulates and *increases* when rejections arrive — mirroring the
+adaptation policy described in the combiner section of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.core.configuration import Configuration
+from repro.errors import TrainingError
+from repro.feedback.store import FeedbackRecord, FeedbackStore
+from repro.hmm.em import supervised_update
+from repro.hmm.model import HiddenMarkovModel
+from repro.hmm.states import StateSpace
+
+__all__ = ["FeedbackTrainer", "adaptive_ignorance"]
+
+
+def adaptive_ignorance(
+    positive: int,
+    negative: int,
+    floor: float = 0.1,
+    ceiling: float = 0.9,
+    halving: float = 8.0,
+    negative_penalty: float = 0.05,
+) -> float:
+    """Suggested ``O_Cf`` given the feedback tally.
+
+    Starts at *ceiling* with no feedback, decays towards *floor* as
+    positives accumulate (halving the excess every *halving* positives) and
+    climbs back by *negative_penalty* per rejection — "this same parameter
+    should be decreased when negative feedbacks are obtained" refers to the
+    mode's *reliability*; the ignorance mass moves the opposite way.
+    """
+    if positive < 0 or negative < 0:
+        raise TrainingError("feedback counts must be non-negative")
+    decay = 0.5 ** (positive / halving)
+    value = floor + (ceiling - floor) * decay + negative_penalty * negative
+    return min(ceiling, max(floor, value))
+
+
+class FeedbackTrainer:
+    """Maintains the feedback HMM for one state space."""
+
+    def __init__(
+        self,
+        states: StateSpace,
+        store: FeedbackStore | None = None,
+        learning_rate: float = 0.5,
+    ) -> None:
+        self.states = states
+        self.store = store if store is not None else FeedbackStore()
+        self.learning_rate = learning_rate
+        self._model = HiddenMarkovModel.uniform(states)
+        self._trained = False
+
+    # -- recording -----------------------------------------------------------
+
+    def _path_of(self, configuration: Configuration) -> list[int]:
+        try:
+            return [self.states.index(m.state) for m in configuration.mappings]
+        except KeyError as exc:
+            raise TrainingError(
+                f"configuration references a state outside this schema: {exc}"
+            ) from exc
+
+    def observe(self, record: FeedbackRecord) -> None:
+        """Ingest one feedback record, updating the model when positive."""
+        self.store.add(record)
+        if record.positive:
+            path = self._path_of(record.configuration)
+            self._model = supervised_update(
+                self._model, [path], learning_rate=self.learning_rate
+            )
+            self._trained = True
+
+    def validate(
+        self, keywords: list[str] | tuple[str, ...], configuration: Configuration
+    ) -> None:
+        """Shorthand: record a positive validation and train on it."""
+        self.observe(FeedbackRecord(tuple(keywords), configuration, positive=True))
+
+    def reject(
+        self, keywords: list[str] | tuple[str, ...], configuration: Configuration
+    ) -> None:
+        """Shorthand: record a rejection (affects only the ignorance)."""
+        self.observe(FeedbackRecord(tuple(keywords), configuration, positive=False))
+
+    def retrain(self) -> None:
+        """Batch retrain from scratch over every stored positive record."""
+        self._model = HiddenMarkovModel.uniform(self.states)
+        positives = self.store.positives()
+        if not positives:
+            self._trained = False
+            return
+        paths = [self._path_of(r.configuration) for r in positives]
+        self._model = supervised_update(self._model, paths, learning_rate=1.0)
+        self._trained = True
+
+    # -- outputs --------------------------------------------------------------
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether at least one positive record has been ingested."""
+        return self._trained
+
+    @property
+    def model(self) -> HiddenMarkovModel:
+        """The current feedback HMM (uniform before any training)."""
+        return self._model
+
+    def suggested_ignorance(self) -> float:
+        """The adaptive ``O_Cf`` for the current feedback tally."""
+        return adaptive_ignorance(
+            self.store.positive_count(), self.store.negative_count()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FeedbackTrainer(records={len(self.store)}, "
+            f"trained={self._trained}, O_Cf={self.suggested_ignorance():.3f})"
+        )

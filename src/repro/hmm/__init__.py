@@ -1,0 +1,37 @@
+"""Hidden Markov Model machinery for the forward step.
+
+State space over database terms, List Viterbi top-k decoding, scaled
+forward-backward, E-M / supervised training (feedback mode) and heuristic
+parameter construction (a-priori mode).
+"""
+
+from repro.hmm.apriori import AprioriWeights, build_apriori_model
+from repro.hmm.em import TrainingReport, baum_welch, supervised_update
+from repro.hmm.forward_backward import (
+    ForwardBackwardResult,
+    forward_backward,
+    log_likelihood,
+)
+from repro.hmm.model import EMISSION_FLOOR, EmissionProvider, HiddenMarkovModel
+from repro.hmm.states import State, StateKind, StateSpace
+from repro.hmm.viterbi import DecodedPath, list_viterbi, viterbi
+
+__all__ = [
+    "AprioriWeights",
+    "DecodedPath",
+    "EMISSION_FLOOR",
+    "EmissionProvider",
+    "ForwardBackwardResult",
+    "HiddenMarkovModel",
+    "State",
+    "StateKind",
+    "StateSpace",
+    "TrainingReport",
+    "baum_welch",
+    "build_apriori_model",
+    "forward_backward",
+    "list_viterbi",
+    "log_likelihood",
+    "supervised_update",
+    "viterbi",
+]

@@ -1,0 +1,155 @@
+"""A-priori HMM parameters from schema semantics (no training data).
+
+The a-priori operating mode derives the transition and initial
+distributions from heuristic rules over the semantic relationships among
+database terms (the paper's reference [2]): *aggregation* (an attribute
+belongs to a table), *generalisation/inclusion* (primary/foreign key links)
+and co-membership in a table. The rules "foster the transition between
+database terms belonging to the same table and belonging to tables
+connected through foreign keys". No user feedback is involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.schema import Schema
+from repro.hmm.model import HiddenMarkovModel
+from repro.hmm.states import StateKind, StateSpace
+
+__all__ = ["AprioriWeights", "build_apriori_model"]
+
+
+@dataclass(frozen=True)
+class AprioriWeights:
+    """Relative transition affinities used by the heuristic rules.
+
+    These are *odds*, not probabilities: each transition-matrix row collects
+    the affinity of every target state and is then normalised. The defaults
+    encode the paper's preference ordering; benchmarks vary them to show the
+    a-priori mode's sensitivity.
+    """
+
+    #: ATTRIBUTE -> DOMAIN of the same column (e.g. "title" then "Odyssey").
+    attribute_to_own_domain: float = 8.0
+    #: TABLE -> any term of the same table ("movie" then "title").
+    table_to_member: float = 7.0
+    #: any two terms of the same table (aggregation relationship).
+    same_table: float = 5.0
+    #: terms of the FK endpoint columns themselves (inclusion relationship).
+    #: Kept at the adjacency level: boosting endpoints above it makes the
+    #: decoder prefer junction foreign-key columns over the entity tables
+    #: they reference, which is rarely what a keyword means.
+    fk_endpoint: float = 3.0
+    #: terms of two tables connected by a foreign key.
+    fk_adjacent_tables: float = 3.0
+    #: terms of two entity tables connected through a junction table (a
+    #: table whose primary key is made entirely of foreign-key columns):
+    #: m:n-related entities are as semantically close as directly joined
+    #: ones, even though the schema path between them is two hops.
+    junction_linked_tables: float = 3.0
+    #: staying on the same term twice in a row (multi-keyword values).
+    self_loop: float = 2.0
+    #: every other pair (smoothing so all paths stay possible).
+    default: float = 0.1
+    #: initial-distribution boosts by state kind.
+    initial_domain_boost: float = 2.0
+    initial_table_boost: float = 1.5
+    initial_attribute_boost: float = 1.0
+
+
+def build_apriori_model(
+    schema: Schema,
+    states: StateSpace | None = None,
+    weights: AprioriWeights | None = None,
+) -> HiddenMarkovModel:
+    """Build the a-priori HMM for *schema*.
+
+    Args:
+        schema: the database schema.
+        states: a prebuilt state space (built from the schema if omitted).
+        weights: heuristic affinities (defaults otherwise).
+
+    Returns:
+        A normalised :class:`HiddenMarkovModel` ready for List Viterbi.
+    """
+    if states is None:
+        states = StateSpace(schema)
+    if weights is None:
+        weights = AprioriWeights()
+    n = len(states)
+
+    adjacency: dict[str, set[str]] = {
+        table.name: schema.adjacent_tables(table.name) for table in schema.tables
+    }
+    fk_columns: set[tuple[str, str]] = set()
+    for fk in schema.foreign_keys:
+        fk_columns.add((fk.table, fk.column))
+        fk_columns.add((fk.ref_table, fk.ref_column))
+
+    # Junction tables: every primary-key column is a foreign-key source.
+    # Tables joined through one (classic m:n) count as semantically linked.
+    fk_sources = {(fk.table, fk.column) for fk in schema.foreign_keys}
+    junction_linked: dict[str, set[str]] = {t.name: set() for t in schema.tables}
+    for table in schema.tables:
+        is_junction = all(
+            (table.name, key_column) in fk_sources
+            for key_column in table.primary_key
+        )
+        if not is_junction:
+            continue
+        endpoints = {
+            fk.ref_table
+            for fk in schema.foreign_keys_of(table.name)
+            if fk.column in table.primary_key
+        }
+        for left in endpoints:
+            for right in endpoints:
+                if left != right:
+                    junction_linked[left].add(right)
+
+    transition = np.full((n, n), weights.default, dtype=float)
+    for i, source in enumerate(states):
+        for j, target in enumerate(states):
+            if i == j:
+                transition[i, j] = max(weights.self_loop, weights.default)
+                continue
+            affinity = weights.default
+            if source.table == target.table:
+                affinity = max(affinity, weights.same_table)
+                if source.kind is StateKind.TABLE:
+                    affinity = max(affinity, weights.table_to_member)
+                if (
+                    source.kind is StateKind.ATTRIBUTE
+                    and target.kind is StateKind.DOMAIN
+                    and source.column == target.column
+                ):
+                    affinity = max(affinity, weights.attribute_to_own_domain)
+            elif target.table in adjacency.get(source.table, ()):
+                affinity = max(affinity, weights.fk_adjacent_tables)
+                source_is_endpoint = (
+                    source.column is not None
+                    and (source.table, source.column) in fk_columns
+                )
+                target_is_endpoint = (
+                    target.column is not None
+                    and (target.table, target.column) in fk_columns
+                )
+                if source_is_endpoint and target_is_endpoint:
+                    affinity = max(affinity, weights.fk_endpoint)
+            elif target.table in junction_linked.get(source.table, ()):
+                affinity = max(affinity, weights.junction_linked_tables)
+            transition[i, j] = affinity
+
+    initial = np.empty(n, dtype=float)
+    boosts = {
+        StateKind.DOMAIN: weights.initial_domain_boost,
+        StateKind.TABLE: weights.initial_table_boost,
+        StateKind.ATTRIBUTE: weights.initial_attribute_boost,
+    }
+    for i, state in enumerate(states):
+        initial[i] = boosts[state.kind]
+
+    return HiddenMarkovModel(states, initial, transition)

@@ -1,0 +1,146 @@
+"""Training the feedback-based HMM.
+
+QUEST's feedback mode learns its parameters from "previous searches
+validated by the user" with an on-line Expectation-Maximisation algorithm
+(the paper's reference [4], the List Viterbi training algorithm). Two
+regimes are implemented:
+
+* :func:`supervised_update` — when feedback pins down the *correct* state
+  sequence for a query (the user validated a configuration), parameters are
+  updated by smoothed counting; this is the M step with a degenerate
+  (observed) E step and is what validated feedback gives us.
+* :func:`baum_welch` — classic unsupervised E-M over observation sequences
+  alone, used when only queries (not validated mappings) are available.
+
+Both support *online* blending: new sufficient statistics are interpolated
+into the current parameters with a learning rate, so the model adapts query
+by query as the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.hmm.forward_backward import forward_backward
+from repro.hmm.model import EmissionProvider, HiddenMarkovModel
+
+__all__ = ["TrainingReport", "supervised_update", "baum_welch"]
+
+
+@dataclass(frozen=True)
+class TrainingReport:
+    """Summary of one training run."""
+
+    iterations: int
+    sequences: int
+    log_likelihood: float
+    converged: bool
+
+
+def _counts_from_paths(
+    n: int, paths: Sequence[Sequence[int]]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Initial/transition counts from fully observed state sequences."""
+    initial_counts = np.zeros(n)
+    transition_counts = np.zeros((n, n))
+    for path in paths:
+        if not path:
+            raise TrainingError("empty state path in feedback")
+        if any(not 0 <= s < n for s in path):
+            raise TrainingError("state index out of range in feedback")
+        initial_counts[path[0]] += 1.0
+        for previous, current in zip(path, path[1:]):
+            transition_counts[previous, current] += 1.0
+    return initial_counts, transition_counts
+
+
+def supervised_update(
+    model: HiddenMarkovModel,
+    paths: Sequence[Sequence[int]],
+    learning_rate: float = 1.0,
+    smoothing: float = 1e-3,
+) -> HiddenMarkovModel:
+    """Update *model* from validated state sequences (returns a new model).
+
+    With ``learning_rate=1`` the parameters are re-estimated from the
+    feedback alone (batch); smaller rates blend the new estimates into the
+    old parameters, implementing on-line adaptation:
+    ``θ ← (1 - η) θ_old + η θ_feedback``.
+    """
+    if not paths:
+        raise TrainingError("no feedback sequences")
+    if not 0.0 < learning_rate <= 1.0:
+        raise TrainingError(f"learning rate must be in (0, 1], got {learning_rate}")
+    n = len(model.states)
+    initial_counts, transition_counts = _counts_from_paths(n, paths)
+
+    new_initial = initial_counts + smoothing
+    new_initial /= new_initial.sum()
+    new_transition = transition_counts + smoothing
+    new_transition /= new_transition.sum(axis=1, keepdims=True)
+
+    blended_initial = (1 - learning_rate) * model.initial + learning_rate * new_initial
+    blended_transition = (
+        (1 - learning_rate) * model.transition + learning_rate * new_transition
+    )
+    return HiddenMarkovModel(model.states, blended_initial, blended_transition)
+
+
+def baum_welch(
+    model: HiddenMarkovModel,
+    observation_sequences: Sequence[Sequence[str]],
+    provider: EmissionProvider,
+    max_iterations: int = 25,
+    tolerance: float = 1e-4,
+    smoothing: float = 1e-3,
+) -> tuple[HiddenMarkovModel, TrainingReport]:
+    """Unsupervised E-M over keyword sequences (returns model + report).
+
+    Emissions are recomputed from the provider and held fixed — only the
+    initial and transition distributions are re-estimated, matching QUEST
+    where emissions come from the source's search function rather than from
+    a learned observation model.
+    """
+    if not observation_sequences:
+        raise TrainingError("no observation sequences")
+    current = model.copy()
+    emission_matrices = [
+        current.emission_matrix(list(sequence), provider)
+        for sequence in observation_sequences
+    ]
+
+    previous_total = float("-inf")
+    iterations = 0
+    converged = False
+    total = previous_total
+    for iterations in range(1, max_iterations + 1):
+        n = len(current.states)
+        initial_acc = np.zeros(n)
+        transition_acc = np.zeros((n, n))
+        total = 0.0
+        for emissions in emission_matrices:
+            result = forward_backward(current, emissions)
+            initial_acc += result.gamma[0]
+            transition_acc += result.xi
+            total += result.log_likelihood
+
+        new_initial = initial_acc + smoothing
+        new_transition = transition_acc + smoothing
+        current = HiddenMarkovModel(current.states, new_initial, new_transition)
+
+        if total - previous_total < tolerance and iterations > 1:
+            converged = True
+            break
+        previous_total = total
+
+    report = TrainingReport(
+        iterations=iterations,
+        sequences=len(observation_sequences),
+        log_likelihood=total,
+        converged=converged,
+    )
+    return current, report

@@ -1,0 +1,97 @@
+"""Scaled forward-backward recursions for the HMM.
+
+Used by Baum-Welch (E step) and to compute observation likelihoods. The
+standard scaling trick keeps the recursions in floating range for long
+sequences: each forward column is normalised and the scale factors are kept
+to reconstruct the log-likelihood.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.hmm.model import HiddenMarkovModel
+
+__all__ = ["ForwardBackwardResult", "forward_backward", "log_likelihood"]
+
+
+@dataclass(frozen=True)
+class ForwardBackwardResult:
+    """Outputs of one forward-backward pass.
+
+    Attributes:
+        alpha: scaled forward variables, shape ``(T, n)``.
+        beta: scaled backward variables, shape ``(T, n)``.
+        gamma: posterior state marginals P(state_t = s | obs), ``(T, n)``.
+        xi: posterior transition marginals summed over time, ``(n, n)``:
+            ``xi[r, s] = Σ_t P(state_t = r, state_{t+1} = s | obs)``.
+        log_likelihood: log P(observations) under the model.
+    """
+
+    alpha: np.ndarray
+    beta: np.ndarray
+    gamma: np.ndarray
+    xi: np.ndarray
+    log_likelihood: float
+
+
+def forward_backward(
+    model: HiddenMarkovModel, emissions: np.ndarray
+) -> ForwardBackwardResult:
+    """Run the scaled forward-backward algorithm on one sequence."""
+    T, n = emissions.shape
+    if n != len(model.states):
+        raise ModelError("emission width does not match the state space")
+    transition = model.transition
+
+    alpha = np.zeros((T, n))
+    scales = np.zeros(T)
+
+    alpha[0] = model.initial * emissions[0]
+    scales[0] = alpha[0].sum()
+    if scales[0] <= 0:
+        raise ModelError("observation sequence has zero probability at t=0")
+    alpha[0] /= scales[0]
+
+    for t in range(1, T):
+        alpha[t] = (alpha[t - 1] @ transition) * emissions[t]
+        scales[t] = alpha[t].sum()
+        if scales[t] <= 0:
+            raise ModelError(f"observation sequence has zero probability at t={t}")
+        alpha[t] /= scales[t]
+
+    beta = np.zeros((T, n))
+    beta[T - 1] = 1.0
+    for t in range(T - 2, -1, -1):
+        beta[t] = transition @ (emissions[t + 1] * beta[t + 1])
+        beta[t] /= scales[t + 1]
+
+    gamma = alpha * beta
+    gamma /= gamma.sum(axis=1, keepdims=True)
+
+    xi = np.zeros((n, n))
+    for t in range(T - 1):
+        local = (
+            alpha[t][:, None]
+            * transition
+            * (emissions[t + 1] * beta[t + 1])[None, :]
+        )
+        total = local.sum()
+        if total > 0:
+            xi += local / total
+
+    return ForwardBackwardResult(
+        alpha=alpha,
+        beta=beta,
+        gamma=gamma,
+        xi=xi,
+        log_likelihood=float(np.log(scales).sum()),
+    )
+
+
+def log_likelihood(model: HiddenMarkovModel, emissions: np.ndarray) -> float:
+    """log P(observations) under *model* (forward pass only)."""
+    return forward_backward(model, emissions).log_likelihood

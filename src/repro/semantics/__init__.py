@@ -1,0 +1,48 @@
+"""Semantic toolkit: tokenisation, stemming, similarity, lexicon, shapes.
+
+These are the "semantic techniques" of the paper's title: lightweight
+linguistic machinery that lets the forward step and the hidden-source
+wrapper relate free-form keywords to schema vocabulary without touching the
+database instance.
+"""
+
+from repro.semantics.lexicon import Lexicon, default_lexicon
+from repro.semantics.recognizers import (
+    matches_datatype,
+    matches_pattern,
+    shape_score,
+)
+from repro.semantics.similarity import (
+    edit_similarity,
+    jaro_winkler,
+    levenshtein,
+    term_similarity,
+    token_set_similarity,
+    trigram_similarity,
+)
+from repro.semantics.stemmer import same_stem, stem
+from repro.semantics.tokenize import (
+    STOPWORDS,
+    normalize,
+    split_identifier,
+    tokenize_query,
+)
+
+__all__ = [
+    "Lexicon",
+    "STOPWORDS",
+    "default_lexicon",
+    "edit_similarity",
+    "jaro_winkler",
+    "levenshtein",
+    "matches_datatype",
+    "matches_pattern",
+    "normalize",
+    "same_stem",
+    "shape_score",
+    "split_identifier",
+    "stem",
+    "term_similarity",
+    "token_set_similarity",
+    "tokenize_query",
+]

@@ -1,0 +1,107 @@
+"""Value-shape recognisers: datatype and regex compatibility of keywords.
+
+For hidden sources the wrapper cannot probe the instance, so deciding
+whether keyword ``1968`` could belong to attribute ``movie.year`` relies on
+(1) the declared datatype, (2) an optional regular expression of admissible
+values attached to the column, and (3) generic shape heuristics (years,
+emails, phone numbers). This module implements that machinery.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.db.schema import Column
+from repro.db.types import DataType, coerce
+from repro.errors import SchemaError
+
+__all__ = [
+    "matches_datatype",
+    "matches_pattern",
+    "shape_score",
+    "looks_like_year",
+    "looks_like_email",
+    "looks_like_number",
+]
+
+_YEAR_RE = re.compile(r"^(1[5-9]\d{2}|20\d{2}|21\d{2})$")
+_EMAIL_RE = re.compile(r"^[\w.+-]+@[\w-]+\.[\w.-]+$")
+_PHONE_RE = re.compile(r"^\+?[\d ()-]{7,}$")
+
+
+def looks_like_year(keyword: str) -> bool:
+    """Whether a keyword is plausibly a calendar year (1500-2199)."""
+    return bool(_YEAR_RE.match(keyword.strip()))
+
+
+def looks_like_email(keyword: str) -> bool:
+    """Whether a keyword is shaped like an e-mail address."""
+    return bool(_EMAIL_RE.match(keyword.strip()))
+
+
+def looks_like_number(keyword: str) -> bool:
+    """Whether a keyword parses as an integer or float."""
+    try:
+        float(keyword.strip())
+    except ValueError:
+        return False
+    return True
+
+
+def matches_datatype(keyword: str, dtype: DataType) -> bool:
+    """Whether *keyword* could be a literal of *dtype*."""
+    try:
+        coerce(keyword, dtype)
+    except SchemaError:
+        return False
+    return True
+
+
+def matches_pattern(keyword: str, pattern: str | None) -> bool | None:
+    """Match *keyword* against a column's admissible-value regex.
+
+    Returns ``None`` when no pattern is declared (no evidence either way),
+    otherwise a boolean. Patterns are anchored implicitly.
+    """
+    if pattern is None:
+        return None
+    try:
+        compiled = re.compile(pattern)
+    except re.error:
+        return None
+    return bool(compiled.fullmatch(keyword.strip()))
+
+
+def shape_score(keyword: str, column: Column) -> float:
+    """Compatibility of a keyword with a column, on schema evidence alone.
+
+    Combines the declared regex (decisive when present), datatype
+    compatibility and shape heuristics into a score in ``[0, 1]``. This is
+    the hidden-source replacement for a full-text selectivity lookup.
+    """
+    pattern_verdict = matches_pattern(keyword, column.pattern)
+    if pattern_verdict is True:
+        return 1.0
+    if pattern_verdict is False:
+        return 0.0
+
+    if not matches_datatype(keyword, column.dtype):
+        return 0.0
+
+    name_parts = set(column.name.casefold().split("_"))
+    if column.dtype is DataType.INTEGER and looks_like_year(keyword):
+        # A year-shaped number strongly suggests date-like integer columns.
+        return 0.9 if name_parts & {"year", "founded", "established"} else 0.5
+    if column.dtype is DataType.TEXT and looks_like_email(keyword):
+        return 0.9 if "email" in name_parts else 0.3
+    if column.dtype is DataType.TEXT and _PHONE_RE.match(keyword):
+        return 0.8 if name_parts & {"phone", "telephone", "fax"} else 0.2
+    if column.dtype.is_numeric and looks_like_number(keyword):
+        return 0.4  # any numeric column admits a numeric keyword
+    if column.dtype is DataType.TEXT and not looks_like_number(keyword):
+        return 0.4  # any text column admits a word
+    if column.dtype is DataType.BOOLEAN:
+        return 0.3
+    if column.dtype is DataType.DATE:
+        return 0.6 if matches_datatype(keyword, DataType.DATE) else 0.0
+    return 0.2

@@ -1,0 +1,159 @@
+"""String similarity measures used for keyword-to-schema-term matching.
+
+The forward step (and the hidden-source wrapper especially) needs graded
+similarity between a user keyword and schema vocabulary: exact matches are
+best, then stem matches, then fuzzy matches. All measures here return a
+similarity in ``[0, 1]`` with 1 meaning identical.
+"""
+
+from __future__ import annotations
+
+from repro.semantics.stemmer import same_stem
+from repro.semantics.tokenize import split_identifier
+
+__all__ = [
+    "levenshtein",
+    "edit_similarity",
+    "jaro",
+    "jaro_winkler",
+    "trigram_similarity",
+    "token_set_similarity",
+    "term_similarity",
+]
+
+
+def levenshtein(left: str, right: str) -> int:
+    """Classic edit distance (insert / delete / substitute, unit costs)."""
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    previous = list(range(len(right) + 1))
+    for i, l_char in enumerate(left, start=1):
+        current = [i]
+        for j, r_char in enumerate(right, start=1):
+            cost = 0 if l_char == r_char else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    return previous[-1]
+
+
+def edit_similarity(left: str, right: str) -> float:
+    """Edit distance normalised to a ``[0, 1]`` similarity."""
+    if not left and not right:
+        return 1.0
+    longest = max(len(left), len(right))
+    return 1.0 - levenshtein(left, right) / longest
+
+
+def jaro(left: str, right: str) -> float:
+    """Jaro similarity."""
+    if left == right:
+        return 1.0
+    if not left or not right:
+        return 0.0
+    window = max(len(left), len(right)) // 2 - 1
+    window = max(window, 0)
+    left_matched = [False] * len(left)
+    right_matched = [False] * len(right)
+    matches = 0
+    for i, char in enumerate(left):
+        lo = max(0, i - window)
+        hi = min(len(right), i + window + 1)
+        for j in range(lo, hi):
+            if not right_matched[j] and right[j] == char:
+                left_matched[i] = True
+                right_matched[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i, matched in enumerate(left_matched):
+        if not matched:
+            continue
+        while not right_matched[j]:
+            j += 1
+        if left[i] != right[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+    m = float(matches)
+    return (m / len(left) + m / len(right) + (m - transpositions) / m) / 3.0
+
+
+def jaro_winkler(left: str, right: str, prefix_scale: float = 0.1) -> float:
+    """Jaro-Winkler similarity: Jaro boosted for common prefixes."""
+    base = jaro(left, right)
+    prefix = 0
+    for l_char, r_char in zip(left, right):
+        if l_char != r_char or prefix == 4:
+            break
+        prefix += 1
+    return base + prefix * prefix_scale * (1.0 - base)
+
+
+def _trigrams(text: str) -> set[str]:
+    padded = f"  {text} "
+    return {padded[i : i + 3] for i in range(len(padded) - 2)}
+
+
+def trigram_similarity(left: str, right: str) -> float:
+    """Jaccard similarity over padded character trigrams."""
+    if left == right:
+        return 1.0
+    if not left or not right:
+        return 0.0
+    left_grams = _trigrams(left.casefold())
+    right_grams = _trigrams(right.casefold())
+    union = left_grams | right_grams
+    if not union:
+        return 0.0
+    return len(left_grams & right_grams) / len(union)
+
+
+def token_set_similarity(left: str, right: str) -> float:
+    """Jaccard similarity over identifier word parts with stem folding.
+
+    ``release_year`` vs ``year released`` → both reduce to stem sets with a
+    large overlap. Used for multi-word keywords against compound schema
+    names.
+    """
+    from repro.semantics.stemmer import stem
+
+    left_tokens = {stem(t) for t in split_identifier(left)}
+    right_tokens = {stem(t) for t in split_identifier(right)}
+    if not left_tokens and not right_tokens:
+        return 1.0
+    union = left_tokens | right_tokens
+    if not union:
+        return 0.0
+    return len(left_tokens & right_tokens) / len(union)
+
+
+def term_similarity(keyword: str, term: str) -> float:
+    """Composite keyword-to-schema-term similarity in ``[0, 1]``.
+
+    The measure the QUEST forward step uses when full-text evidence is not
+    decisive: exact match 1.0, stem match 0.95, otherwise the maximum of the
+    token-set, Jaro-Winkler and trigram scores (each capturing a different
+    error mode: compound names, typos-at-the-start, general fuzziness).
+    """
+    keyword_folded = keyword.casefold().strip()
+    term_folded = term.casefold().strip()
+    if not keyword_folded or not term_folded:
+        return 0.0
+    if keyword_folded == term_folded:
+        return 1.0
+    if same_stem(keyword_folded, term_folded):
+        return 0.95
+    return max(
+        token_set_similarity(keyword_folded, term_folded),
+        jaro_winkler(keyword_folded, term_folded) * 0.9,
+        trigram_similarity(keyword_folded, term_folded) * 0.9,
+    )

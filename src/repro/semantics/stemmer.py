@@ -1,0 +1,71 @@
+"""A compact suffix-stripping stemmer.
+
+Schema terms are usually singular (``movie``, ``person``) while keywords are
+often plural or inflected (``movies``, ``directed``). A full Porter stemmer
+is unnecessary for this matching problem; this implementation covers the
+Porter step-1 family plus the irregular plurals that actually occur in the
+demo schemas, and is deliberately conservative: when in doubt it returns the
+word unchanged, because a wrong merge is worse than a missed one here.
+"""
+
+from __future__ import annotations
+
+__all__ = ["stem", "same_stem"]
+
+_IRREGULAR = {
+    "people": "person",
+    "children": "child",
+    "men": "man",
+    "women": "woman",
+    "feet": "foot",
+    "mice": "mouse",
+    "geese": "goose",
+    "countries": "country",
+    "cities": "city",
+    "movies": "movie",
+    "series": "series",
+}
+
+_KEEP_SHORT = 3  # never stem below this many characters
+
+
+def stem(word: str) -> str:
+    """Return a canonical stem for *word* (already lower-cased)."""
+    word = word.casefold()
+    if word in _IRREGULAR:
+        return _IRREGULAR[word]
+    if len(word) <= _KEEP_SHORT:
+        return word
+    # -ies -> -y  (categories -> category)
+    if word.endswith("ies") and len(word) > 4:
+        return word[:-3] + "y"
+    # -sses -> -ss (classes -> class)
+    if word.endswith("sses"):
+        return word[:-2]
+    # -xes, -ches, -shes -> strip es (boxes -> box, matches -> match)
+    if word.endswith("es") and len(word) > 4:
+        base = word[:-2]
+        if base.endswith(("x", "ch", "sh", "ss", "z")):
+            return base
+        return word[:-1]  # movies handled above; titles -> title
+    # plain plural -s (but not -ss, -us, -is)
+    if word.endswith("s") and not word.endswith(("ss", "us", "is")):
+        return word[:-1]
+    # -ing with doubled consonant or plain (directing -> direct)
+    if word.endswith("ing") and len(word) > 5:
+        base = word[:-3]
+        if len(base) >= 3 and base[-1] == base[-2] and base[-1] not in "aeiou":
+            return base[:-1]
+        return base
+    # -ed (directed -> direct)
+    if word.endswith("ed") and len(word) > 4:
+        base = word[:-2]
+        if len(base) >= 3 and base[-1] == base[-2] and base[-1] not in "aeiou":
+            return base[:-1]
+        return base
+    return word
+
+
+def same_stem(left: str, right: str) -> bool:
+    """Whether two words share a stem (symmetric, case-insensitive)."""
+    return stem(left) == stem(right)

@@ -1,0 +1,64 @@
+"""Keyword-query tokenisation.
+
+A keyword query is a short, vague string ("movies Kubrick 1968"). The
+tokeniser produces the observation sequence the forward HMM consumes:
+lower-cased keywords with stopwords removed, quoted phrases kept together,
+and compound identifiers (``first_name``, ``firstName``) split for matching
+against schema terms.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["STOPWORDS", "tokenize_query", "split_identifier", "normalize"]
+
+#: Minimal English stopword list; keyword queries are short, so we only drop
+#: unambiguous glue words and keep anything that could name data.
+STOPWORDS = frozenset(
+    """a an and are as at be by for from in into is it of on or that the
+    their then this to was were what when where which who whose with""".split()
+)
+
+_PHRASE_RE = re.compile(r'"([^"]*)"|(\S+)')
+_WORD_RE = re.compile(r"[a-z0-9]+")
+_CAMEL_RE = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+
+
+def normalize(text: str) -> str:
+    """Lower-case and strip non-alphanumeric noise from one keyword."""
+    return " ".join(_WORD_RE.findall(text.casefold()))
+
+
+def tokenize_query(query: str, keep_stopwords: bool = False) -> list[str]:
+    """Split a raw keyword query into a list of keyword observations.
+
+    Double-quoted spans become single multi-word keywords; everything else
+    splits on whitespace. Stopwords are dropped unless *keep_stopwords* (a
+    phrase keeps its interior stopwords either way).
+    """
+    keywords: list[str] = []
+    for match in _PHRASE_RE.finditer(query):
+        phrase, word = match.groups()
+        if phrase is not None:
+            cleaned = normalize(phrase)
+            if cleaned:
+                keywords.append(cleaned)
+            continue
+        cleaned = normalize(word)
+        if not cleaned:
+            continue
+        if not keep_stopwords and cleaned in STOPWORDS:
+            continue
+        keywords.append(cleaned)
+    return keywords
+
+
+def split_identifier(identifier: str) -> list[str]:
+    """Split a schema identifier into lower-cased word parts.
+
+    Handles ``snake_case``, ``camelCase`` and digit boundaries:
+    ``releaseYear2`` → ``["release", "year", "2"]``.
+    """
+    spaced = _CAMEL_RE.sub(" ", identifier)
+    return _WORD_RE.findall(spaced.casefold())

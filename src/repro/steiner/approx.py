@@ -1,0 +1,117 @@
+"""KMB approximation for minimum Steiner trees.
+
+Kou, Markowsky and Berman's classic 2-approximation: build the metric
+closure over the terminals, take its minimum spanning tree, expand closure
+edges back into shortest paths, re-span and prune. Used when configurations
+carry many terminals (where Dreyfus-Wagner's 3^t blows up) and as a fast
+lower-quality comparator in benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.db.schema import ColumnRef
+from repro.errors import SteinerError
+from repro.steiner.exact import _path_edges, shortest_paths
+from repro.steiner.graph import SchemaEdge, SchemaGraph
+from repro.steiner.tree import SteinerTree
+
+__all__ = ["approximate_steiner_tree"]
+
+_INF = float("inf")
+
+
+def _minimum_spanning_tree(
+    vertices: set[ColumnRef], edges: list[SchemaEdge]
+) -> set[SchemaEdge]:
+    """Kruskal MST over an edge list (assumes a connected subgraph)."""
+    parent: dict[ColumnRef, ColumnRef] = {v: v for v in vertices}
+
+    def find(v: ColumnRef) -> ColumnRef:
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    chosen: set[SchemaEdge] = set()
+    for edge in sorted(edges, key=lambda e: (e.weight, str(e.left), str(e.right))):
+        root_left, root_right = find(edge.left), find(edge.right)
+        if root_left != root_right:
+            parent[root_left] = root_right
+            chosen.add(edge)
+    return chosen
+
+
+def _prune_leaves(edges: set[SchemaEdge], terminals: frozenset) -> set[SchemaEdge]:
+    """Iteratively remove non-terminal leaves (they add weight, no value)."""
+    edges = set(edges)
+    while True:
+        degree: dict[ColumnRef, int] = {}
+        for edge in edges:
+            degree[edge.left] = degree.get(edge.left, 0) + 1
+            degree[edge.right] = degree.get(edge.right, 0) + 1
+        removable = [
+            edge
+            for edge in edges
+            if (degree[edge.left] == 1 and edge.left not in terminals)
+            or (degree[edge.right] == 1 and edge.right not in terminals)
+        ]
+        if not removable:
+            return edges
+        for edge in removable:
+            edges.discard(edge)
+
+
+def approximate_steiner_tree(
+    graph: SchemaGraph, terminals: Sequence[ColumnRef]
+) -> SteinerTree:
+    """KMB 2-approximate Steiner tree over *terminals*."""
+    terminal_list = sorted(set(terminals), key=str)
+    if not terminal_list:
+        raise SteinerError("no terminals")
+    for terminal in terminal_list:
+        if terminal not in graph:
+            raise SteinerError(f"terminal not in graph: {terminal}")
+    terminal_set = frozenset(terminal_list)
+    if len(terminal_list) == 1:
+        return SteinerTree(terminal_set, frozenset(), 0.0)
+
+    # Step 1: shortest paths from every terminal.
+    sp: dict[ColumnRef, tuple[dict, dict]] = {
+        t: shortest_paths(graph, t) for t in terminal_list
+    }
+
+    # Step 2: MST of the metric closure (represented implicitly).
+    closure: list[tuple[float, ColumnRef, ColumnRef]] = []
+    for i, left in enumerate(terminal_list):
+        distances = sp[left][0]
+        for right in terminal_list[i + 1 :]:
+            distance = distances.get(right, _INF)
+            if distance == _INF:
+                raise SteinerError(f"terminals are disconnected: {left} / {right}")
+            closure.append((distance, left, right))
+    closure.sort(key=lambda item: (item[0], str(item[1]), str(item[2])))
+
+    parent: dict[ColumnRef, ColumnRef] = {t: t for t in terminal_list}
+
+    def find(v: ColumnRef) -> ColumnRef:
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    # Step 3: expand chosen closure edges into concrete shortest paths.
+    expanded: set[SchemaEdge] = set()
+    for _distance, left, right in closure:
+        if find(left) == find(right):
+            continue
+        parent[find(left)] = find(right)
+        expanded |= _path_edges(graph, sp[left][1], left, right)
+
+    # Step 4: MST of the expanded subgraph; step 5: prune non-terminal leaves.
+    vertices = {e.left for e in expanded} | {e.right for e in expanded}
+    spanning = _minimum_spanning_tree(vertices, list(expanded))
+    pruned = _prune_leaves(spanning, terminal_set)
+    weight = sum(edge.weight for edge in pruned)
+    return SteinerTree(terminal_set, frozenset(pruned), weight)

@@ -1,0 +1,199 @@
+"""Exact minimum Steiner tree: the Dreyfus-Wagner dynamic program.
+
+Exponential in the number of terminals but polynomial in graph size —
+appropriate here because keyword queries are short (terminals = attributes
+mentioned by one configuration, typically 2-6) while the schema graph is
+small. Used as the reference algorithm in tests and to validate the top-k
+enumerator's first result.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+from repro.db.schema import ColumnRef
+from repro.errors import SteinerError
+from repro.steiner.graph import SchemaGraph
+from repro.steiner.tree import SteinerTree
+
+__all__ = ["shortest_paths", "exact_steiner_tree"]
+
+_INF = float("inf")
+
+
+def shortest_paths(
+    graph: SchemaGraph, source: ColumnRef
+) -> tuple[dict[ColumnRef, float], dict[ColumnRef, ColumnRef]]:
+    """Dijkstra from *source*: distances and predecessor map."""
+    distances: dict[ColumnRef, float] = {source: 0.0}
+    predecessors: dict[ColumnRef, ColumnRef] = {}
+    heap: list[tuple[float, int, ColumnRef]] = [(0.0, 0, source)]
+    counter = 1
+    settled: set[ColumnRef] = set()
+    while heap:
+        distance, _tie, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        for neighbour, edge in graph.neighbors(node):
+            candidate = distance + edge.weight
+            if candidate < distances.get(neighbour, _INF) - 1e-15:
+                distances[neighbour] = candidate
+                predecessors[neighbour] = node
+                heapq.heappush(heap, (candidate, counter, neighbour))
+                counter += 1
+    return distances, predecessors
+
+
+def _path_edges(
+    graph: SchemaGraph,
+    predecessors: dict[ColumnRef, ColumnRef],
+    source: ColumnRef,
+    target: ColumnRef,
+) -> set:
+    """Edges of the shortest path source -> target from a predecessor map."""
+    edges = set()
+    current = target
+    while current != source:
+        parent = predecessors.get(current)
+        if parent is None:
+            raise SteinerError(f"no path from {source} to {target}")
+        edge = graph.edge_between(parent, current)
+        if edge is None:  # pragma: no cover - predecessor map guarantees edge
+            raise SteinerError(f"missing edge {parent} - {current}")
+        edges.add(edge)
+        current = parent
+    return edges
+
+
+def exact_steiner_tree(
+    graph: SchemaGraph, terminals: Sequence[ColumnRef]
+) -> SteinerTree:
+    """Minimum-weight Steiner tree connecting *terminals* (Dreyfus-Wagner).
+
+    Raises :class:`SteinerError` when the terminals are not all connected.
+    """
+    terminal_list = sorted(set(terminals), key=str)
+    if not terminal_list:
+        raise SteinerError("no terminals")
+    for terminal in terminal_list:
+        if terminal not in graph:
+            raise SteinerError(f"terminal not in graph: {terminal}")
+    if len(terminal_list) == 1:
+        return SteinerTree(frozenset(terminal_list), frozenset(), 0.0)
+    if not graph.connected(set(terminal_list)):
+        raise SteinerError(f"terminals are disconnected: {terminal_list}")
+
+    # Single-source shortest paths from every node (graphs are small).
+    nodes = graph.nodes
+    sp_distance: dict[ColumnRef, dict[ColumnRef, float]] = {}
+    sp_predecessor: dict[ColumnRef, dict[ColumnRef, ColumnRef]] = {}
+    for node in nodes:
+        distances, predecessors = shortest_paths(graph, node)
+        sp_distance[node] = distances
+        sp_predecessor[node] = predecessors
+
+    t = len(terminal_list)
+    full_mask = (1 << t) - 1
+    # dp[(mask, v)] = cost of the best tree spanning terminals(mask) + {v}.
+    dp: dict[tuple[int, ColumnRef], float] = {}
+    back: dict[tuple[int, ColumnRef], tuple] = {}
+
+    for i, terminal in enumerate(terminal_list):
+        for node in nodes:
+            distance = sp_distance[terminal].get(node, _INF)
+            if distance < _INF:
+                dp[(1 << i, node)] = distance
+                back[(1 << i, node)] = ("walk-base", terminal, node)
+
+    masks_by_bits: dict[int, list[int]] = {}
+    for mask in range(1, full_mask + 1):
+        masks_by_bits.setdefault(bin(mask).count("1"), []).append(mask)
+
+    for bits in sorted(masks_by_bits):
+        if bits < 2:
+            continue
+        for mask in masks_by_bits[bits]:
+            # Merge step: split the terminal set at each node.
+            merged: dict[ColumnRef, float] = {}
+            submask = (mask - 1) & mask
+            while submask > 0:
+                other = mask ^ submask
+                if submask < other:  # consider each unordered split once
+                    for node in nodes:
+                        left = dp.get((submask, node), _INF)
+                        if left == _INF:
+                            continue
+                        right = dp.get((other, node), _INF)
+                        if right == _INF:
+                            continue
+                        cost = left + right
+                        if cost < merged.get(node, _INF) - 1e-15:
+                            merged[node] = cost
+                            back[(mask, node)] = ("merge", submask, other, node)
+                submask = (submask - 1) & mask
+            # Relaxation step: Dijkstra over the merged costs.
+            heap = [(cost, str(node), node) for node, cost in merged.items()]
+            heapq.heapify(heap)
+            best: dict[ColumnRef, float] = dict(merged)
+            settled: set[ColumnRef] = set()
+            while heap:
+                cost, _tie, node = heapq.heappop(heap)
+                if node in settled or cost > best.get(node, _INF) + 1e-15:
+                    continue
+                settled.add(node)
+                for neighbour, edge in graph.neighbors(node):
+                    candidate = cost + edge.weight
+                    if candidate < best.get(neighbour, _INF) - 1e-15:
+                        best[neighbour] = candidate
+                        back[(mask, neighbour)] = ("walk", mask, node, neighbour)
+                        heapq.heappush(heap, (candidate, str(neighbour), neighbour))
+            for node, cost in best.items():
+                dp[(mask, node)] = cost
+
+    root = terminal_list[0]
+    total = dp.get((full_mask, root), _INF)
+    if total == _INF:  # pragma: no cover - connectivity checked above
+        raise SteinerError("no Steiner tree found despite connected terminals")
+
+    edges = _reconstruct(graph, back, sp_predecessor, full_mask, root)
+    return SteinerTree(frozenset(terminal_list), frozenset(edges), _tree_weight(edges))
+
+
+def _tree_weight(edges: set) -> float:
+    return sum(edge.weight for edge in edges)
+
+
+def _reconstruct(
+    graph: SchemaGraph,
+    back: dict[tuple[int, ColumnRef], tuple],
+    sp_predecessor: dict[ColumnRef, dict[ColumnRef, ColumnRef]],
+    mask: int,
+    node: ColumnRef,
+) -> set:
+    """Walk the backpointers, collecting concrete tree edges."""
+    edges: set = set()
+    stack: list[tuple[int, ColumnRef]] = [(mask, node)]
+    while stack:
+        state = stack.pop()
+        decision = back.get(state)
+        if decision is None:
+            continue  # base case: terminal reached at itself (zero cost)
+        tag = decision[0]
+        if tag == "walk-base":
+            _t, terminal, target = decision
+            edges |= _path_edges(graph, sp_predecessor[terminal], terminal, target)
+        elif tag == "merge":
+            _t, submask, other, at = decision
+            stack.append((submask, at))
+            stack.append((other, at))
+        elif tag == "walk":
+            _t, walk_mask, from_node, to_node = decision
+            edge = graph.edge_between(from_node, to_node)
+            if edge is not None:
+                edges.add(edge)
+            stack.append((walk_mask, from_node))
+        else:  # pragma: no cover - exhaustive tags
+            raise SteinerError(f"corrupt backpointer: {decision}")
+    return edges

@@ -1,0 +1,155 @@
+"""The weighted schema graph the backward step searches.
+
+Per the paper, the graph is built over the database *schema*, not the
+instance: one node per attribute, with edges connecting (i) the node of a
+table's primary key with every other attribute of the same table and
+(ii) the nodes of each primary/foreign key pair. Composite primary keys
+contribute one hub node per key column.
+
+The graph is undirected with positive edge weights; nodes are
+:class:`~repro.db.schema.ColumnRef` values so trees convert directly into
+join paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.db.schema import ColumnRef, ForeignKey, Schema
+from repro.errors import SteinerError
+
+__all__ = ["EdgeKind", "SchemaEdge", "SchemaGraph"]
+
+
+@dataclass(frozen=True)
+class SchemaEdge:
+    """An undirected weighted edge of the schema graph."""
+
+    left: ColumnRef
+    right: ColumnRef
+    weight: float
+    kind: str  # "intra" (pk-to-attribute) or "join" (pk-fk pair)
+    foreign_key: ForeignKey | None = None
+
+    @property
+    def key(self) -> frozenset:
+        """Order-insensitive identity of the edge."""
+        return frozenset((self.left, self.right))
+
+    def other(self, node: ColumnRef) -> ColumnRef:
+        """The endpoint opposite *node*."""
+        if node == self.left:
+            return self.right
+        if node == self.right:
+            return self.left
+        raise SteinerError(f"{node} is not an endpoint of {self}")
+
+    def __str__(self) -> str:
+        return f"{self.left} --{self.weight:.3f}--> {self.right} [{self.kind}]"
+
+
+class EdgeKind:
+    """Edge kind constants (plain strings keep edges hashable/printable)."""
+
+    INTRA = "intra"
+    JOIN = "join"
+
+
+class SchemaGraph:
+    """Undirected weighted graph over a schema's attributes."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._adjacency: dict[ColumnRef, dict[ColumnRef, SchemaEdge]] = {}
+        self._edges: dict[frozenset, SchemaEdge] = {}
+        for ref in schema.column_refs():
+            self._adjacency[ref] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_edge(
+        self,
+        left: ColumnRef,
+        right: ColumnRef,
+        weight: float,
+        kind: str,
+        foreign_key: ForeignKey | None = None,
+    ) -> SchemaEdge:
+        """Insert an edge; re-adding an edge keeps the *lighter* weight."""
+        if left == right:
+            raise SteinerError(f"self-loop on {left}")
+        if left not in self._adjacency or right not in self._adjacency:
+            missing = left if left not in self._adjacency else right
+            raise SteinerError(f"unknown node: {missing}")
+        if weight <= 0:
+            raise SteinerError(f"edge weight must be positive, got {weight}")
+        edge = SchemaEdge(left, right, weight, kind, foreign_key)
+        existing = self._edges.get(edge.key)
+        if existing is not None and existing.weight <= weight:
+            return existing
+        self._edges[edge.key] = edge
+        self._adjacency[left][right] = edge
+        self._adjacency[right][left] = edge
+        return edge
+
+    # -- access --------------------------------------------------------------
+
+    @property
+    def nodes(self) -> tuple[ColumnRef, ...]:
+        """All attribute nodes (every schema column, even isolated ones)."""
+        return tuple(self._adjacency)
+
+    @property
+    def edges(self) -> tuple[SchemaEdge, ...]:
+        """All edges."""
+        return tuple(self._edges.values())
+
+    def __contains__(self, node: ColumnRef) -> bool:
+        return node in self._adjacency
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of undirected edges."""
+        return len(self._edges)
+
+    def neighbors(self, node: ColumnRef) -> Iterator[tuple[ColumnRef, SchemaEdge]]:
+        """Iterate ``(neighbour, edge)`` pairs of *node*."""
+        try:
+            adjacency = self._adjacency[node]
+        except KeyError:
+            raise SteinerError(f"unknown node: {node}") from None
+        return iter(adjacency.items())
+
+    def edge_between(self, left: ColumnRef, right: ColumnRef) -> SchemaEdge | None:
+        """The edge joining two nodes, if any."""
+        return self._edges.get(frozenset((left, right)))
+
+    def degree(self, node: ColumnRef) -> int:
+        """Number of incident edges."""
+        return len(self._adjacency[node])
+
+    def connected(self, nodes: set[ColumnRef]) -> bool:
+        """Whether all *nodes* lie in one connected component."""
+        if not nodes:
+            return True
+        nodes = set(nodes)
+        start = next(iter(nodes))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for neighbour, _edge in self.neighbors(current):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return nodes <= seen
+
+    def __repr__(self) -> str:
+        return (
+            f"SchemaGraph(nodes={len(self)}, edges={self.edge_count}, "
+            f"schema={self.schema.name!r})"
+        )

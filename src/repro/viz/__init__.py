@@ -1,0 +1,19 @@
+"""Visualisation: ASCII answer rendering and Graphviz DOT export."""
+
+from repro.viz.export import graph_to_dot, schema_to_dot, tree_to_dot
+from repro.viz.render import (
+    render_explanation,
+    render_ranking,
+    render_results,
+    render_tree,
+)
+
+__all__ = [
+    "graph_to_dot",
+    "render_explanation",
+    "render_ranking",
+    "render_results",
+    "render_tree",
+    "schema_to_dot",
+    "tree_to_dot",
+]

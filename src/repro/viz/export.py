@@ -1,0 +1,81 @@
+"""Graphviz DOT export of schemas, schema graphs and join trees.
+
+For users who want the demo GUI's "portion of the database involved by the
+query" as an actual picture: feed the output to ``dot -Tsvg``.
+"""
+
+from __future__ import annotations
+
+from repro.db.schema import Schema
+from repro.steiner.graph import EdgeKind, SchemaGraph
+from repro.steiner.tree import SteinerTree
+
+__all__ = ["schema_to_dot", "graph_to_dot", "tree_to_dot"]
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', r"\"") + '"'
+
+
+def schema_to_dot(schema: Schema) -> str:
+    """Tables as record nodes, foreign keys as edges."""
+    lines = [f"digraph {schema.name} {{", "  node [shape=record];"]
+    for table in schema.tables:
+        fields = "|".join(
+            f"{'<pk> ' if table.is_key_column(c.name) else ''}{c.name}"
+            for c in table.columns
+        )
+        lines.append(f"  {table.name} [label={_quote(table.name + '|' + fields)}];")
+    for fk in schema.foreign_keys:
+        lines.append(
+            f"  {fk.table} -> {fk.ref_table} "
+            f"[label={_quote(fk.column + ' -> ' + fk.ref_column)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def graph_to_dot(graph: SchemaGraph, highlight: SteinerTree | None = None) -> str:
+    """The attribute-level schema graph, optionally highlighting a tree."""
+    highlighted = set()
+    terminal_nodes = set()
+    if highlight is not None:
+        highlighted = {edge.key for edge in highlight.edges}
+        terminal_nodes = set(highlight.terminals)
+    lines = ["graph schema_graph {", "  node [shape=ellipse, fontsize=10];"]
+    for node in graph.nodes:
+        attributes = []
+        if node in terminal_nodes:
+            attributes.append("style=filled")
+            attributes.append("fillcolor=gold")
+        suffix = f" [{', '.join(attributes)}]" if attributes else ""
+        lines.append(f"  {_quote(str(node))}{suffix};")
+    for edge in graph.edges:
+        style = "bold, color=red" if edge.key in highlighted else (
+            "solid" if edge.kind == EdgeKind.JOIN else "dashed"
+        )
+        lines.append(
+            f"  {_quote(str(edge.left))} -- {_quote(str(edge.right))} "
+            f"[label={_quote(f'{edge.weight:.2f}')}, style={_quote(style)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def tree_to_dot(tree: SteinerTree) -> str:
+    """Just the join tree, terminals highlighted."""
+    lines = ["graph join_tree {", "  node [shape=ellipse, fontsize=10];"]
+    for node in sorted(tree.nodes, key=str):
+        if node in tree.terminals:
+            lines.append(
+                f"  {_quote(str(node))} [style=filled, fillcolor=gold];"
+            )
+        else:
+            lines.append(f"  {_quote(str(node))};")
+    for edge in sorted(tree.edges, key=str):
+        lines.append(
+            f"  {_quote(str(edge.left))} -- {_quote(str(edge.right))} "
+            f"[label={_quote(f'{edge.weight:.2f}')}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

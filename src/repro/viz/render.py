@@ -1,0 +1,79 @@
+"""Textual rendering of explanations: the demo GUI's answer view, in ASCII.
+
+The paper's fifth demo message is "a new paradigm for visualizing query
+answers, by coupling the list of tuples with a graphical representation of
+the portion of the database involved by the query". These renderers produce
+that coupling for terminals: the ranked SQL, the join tree, and the result
+tuples.
+"""
+
+from __future__ import annotations
+
+from repro.core.explanation import Explanation
+from repro.db.executor import ResultSet
+from repro.steiner.graph import EdgeKind
+from repro.steiner.tree import SteinerTree
+
+__all__ = ["render_tree", "render_explanation", "render_results", "render_ranking"]
+
+
+def render_tree(tree: SteinerTree) -> str:
+    """ASCII rendering of a join tree, grouped by table.
+
+    Join edges are drawn between tables; the attributes the tree touches
+    are listed under each table, terminals marked with ``*``.
+    """
+    lines = []
+    for table in sorted(tree.tables):
+        attributes = sorted(
+            node.column for node in tree.nodes if node.table == table
+        )
+        marks = [
+            f"{column}*"
+            if any(t.table == table and t.column == column for t in tree.terminals)
+            else column
+            for column in attributes
+        ]
+        lines.append(f"[{table}] {', '.join(marks)}")
+    for edge in sorted(tree.edges, key=str):
+        if edge.kind == EdgeKind.JOIN:
+            lines.append(f"  {edge.left} ={edge.weight:.2f}= {edge.right}")
+    return "\n".join(lines)
+
+
+def render_explanation(explanation: Explanation, rank: int | None = None) -> str:
+    """One explanation: rank, probability, mapping, join tree and SQL."""
+    header = f"#{rank} " if rank is not None else ""
+    lines = [f"{header}probability={explanation.probability:.4f}"]
+    if explanation.result_count is not None:
+        lines[0] += f"  rows={explanation.result_count}"
+    lines.append("  mapping:")
+    for mapping in explanation.configuration.mappings:
+        lines.append(f"    {mapping}")
+    tree = explanation.interpretation.tree
+    if tree.edges:
+        lines.append("  join path:")
+        for tree_line in render_tree(tree).splitlines():
+            lines.append(f"    {tree_line}")
+    lines.append(f"  SQL: {explanation.sql}")
+    return "\n".join(lines)
+
+
+def render_ranking(explanations: list[Explanation]) -> str:
+    """The full ranked explanation list, best first."""
+    blocks = [
+        render_explanation(explanation, rank)
+        for rank, explanation in enumerate(explanations, start=1)
+    ]
+    return "\n".join(blocks)
+
+
+def render_results(results: ResultSet, limit: int = 10) -> str:
+    """Tabulate a result set (first *limit* rows)."""
+    header = " | ".join(results.columns)
+    lines = [header, "-" * len(header)]
+    for row in results.rows[:limit]:
+        lines.append(" | ".join("NULL" if v is None else str(v) for v in row))
+    if len(results) > limit:
+        lines.append(f"... {len(results) - limit} more rows")
+    return "\n".join(lines)

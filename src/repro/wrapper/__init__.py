@@ -1,0 +1,27 @@
+"""Source wrappers: the engine's only gateway to data sources.
+
+Full-access wrappers use full-text indexes and the executor directly;
+hidden-source wrappers (Deep Web) rely on regular expressions, schema
+annotations, metadata and an ontology, optionally executing final SQL
+through a simulated endpoint.
+"""
+
+from repro.wrapper.annotations import (
+    AnnotationSet,
+    ColumnAnnotation,
+    annotate_schema,
+)
+from repro.wrapper.base import SourceWrapper
+from repro.wrapper.full import FullAccessWrapper
+from repro.wrapper.hidden import HiddenSourceWrapper
+from repro.wrapper.ontology import SchemaOntology
+
+__all__ = [
+    "AnnotationSet",
+    "ColumnAnnotation",
+    "FullAccessWrapper",
+    "HiddenSourceWrapper",
+    "SchemaOntology",
+    "SourceWrapper",
+    "annotate_schema",
+]

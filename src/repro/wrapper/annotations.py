@@ -1,0 +1,95 @@
+"""Schema enrichment: attaching annotations to an existing schema.
+
+When full-text indexes cannot be instantiated, "the user is supported in
+the definition of a schema enriched with the specification, for each
+attribute, of metadata such as data-type, and regular expression of
+admissible values". This module applies such annotation overlays, producing
+a new enriched :class:`~repro.db.schema.Schema` (schemas are immutable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.schema import Column, ForeignKey, Schema, TableSchema
+
+__all__ = ["ColumnAnnotation", "AnnotationSet", "annotate_schema"]
+
+
+@dataclass(frozen=True)
+class ColumnAnnotation:
+    """Extra metadata for one column.
+
+    Attributes:
+        synonyms: alternative human names, merged with existing ones.
+        pattern: regular expression of admissible values (replaces any
+            declared pattern when given).
+        description: free-text documentation (replaces when given).
+    """
+
+    synonyms: tuple[str, ...] = ()
+    pattern: str | None = None
+    description: str | None = None
+
+
+@dataclass(frozen=True)
+class AnnotationSet:
+    """A bundle of annotations keyed by table and column name."""
+
+    table_synonyms: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    columns: dict[tuple[str, str], ColumnAnnotation] = field(default_factory=dict)
+
+    def for_column(self, table: str, column: str) -> ColumnAnnotation | None:
+        """The annotation for ``table.column``, if any."""
+        return self.columns.get((table, column))
+
+
+def annotate_schema(schema: Schema, annotations: AnnotationSet) -> Schema:
+    """Return a new schema with *annotations* merged in."""
+    tables: list[TableSchema] = []
+    for table in schema.tables:
+        columns: list[Column] = []
+        for column in table.columns:
+            annotation = annotations.for_column(table.name, column.name)
+            if annotation is None:
+                columns.append(column)
+                continue
+            merged_synonyms = tuple(
+                dict.fromkeys(column.synonyms + annotation.synonyms)
+            )
+            columns.append(
+                Column(
+                    name=column.name,
+                    dtype=column.dtype,
+                    nullable=column.nullable,
+                    synonyms=merged_synonyms,
+                    pattern=(
+                        annotation.pattern
+                        if annotation.pattern is not None
+                        else column.pattern
+                    ),
+                    description=(
+                        annotation.description
+                        if annotation.description is not None
+                        else column.description
+                    ),
+                )
+            )
+        extra_table_synonyms = annotations.table_synonyms.get(table.name, ())
+        merged_table_synonyms = tuple(
+            dict.fromkeys(table.synonyms + tuple(extra_table_synonyms))
+        )
+        tables.append(
+            TableSchema(
+                name=table.name,
+                columns=tuple(columns),
+                primary_key=table.primary_key,
+                synonyms=merged_table_synonyms,
+                description=table.description,
+            )
+        )
+    foreign_keys = tuple(
+        ForeignKey(fk.table, fk.column, fk.ref_table, fk.ref_column)
+        for fk in schema.foreign_keys
+    )
+    return Schema(tables, foreign_keys, name=schema.name)

@@ -1,0 +1,80 @@
+"""The source-wrapper contract.
+
+QUEST is "conceived as a tool working on top of a traditional DBMS" but
+does not rely on a specific implementation of the keyword-ranking function:
+a wrapper mediates every interaction with the data source. Two concrete
+wrappers exist — full access (owned databases) and hidden access (Deep Web
+endpoints) — and the whole engine is written against this interface, which
+is what makes the hidden-source mode possible at all.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.db.catalog import Catalog
+from repro.db.executor import ResultSet
+from repro.db.query import SelectQuery
+from repro.db.schema import Schema
+from repro.hmm.states import StateSpace
+
+__all__ = ["SourceWrapper"]
+
+
+class SourceWrapper(abc.ABC):
+    """Mediates every engine interaction with one data source.
+
+    Concrete wrappers must provide keyword-vs-state emission scores (the
+    paper's attribute-ranking function), query execution (running the
+    generated SQL) and a catalog. Instance-dependent capabilities are
+    discoverable through :attr:`has_instance_access` so the engine can
+    degrade gracefully on hidden sources.
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+
+    # -- capabilities --------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def has_instance_access(self) -> bool:
+        """Whether setup-phase instance reads (indexes, statistics) exist."""
+
+    @property
+    @abc.abstractmethod
+    def catalog(self) -> Catalog:
+        """The source catalog (schema-only for hidden sources)."""
+
+    # -- the attribute-ranking function ---------------------------------------
+
+    @abc.abstractmethod
+    def emission_scores(self, keyword: str, states: StateSpace) -> np.ndarray:
+        """Relevance of *keyword* for every HMM state (non-negative).
+
+        This is QUEST's "function that, given a keyword and the database
+        attributes, ranks the attribute values on the basis of their
+        importance", lifted to the full state space: DOMAIN states are
+        scored against attribute *contents* (full-text or shape evidence),
+        TABLE/ATTRIBUTE states against schema *names* (semantic evidence).
+        """
+
+    # -- query execution --------------------------------------------------------
+
+    @abc.abstractmethod
+    def execute(self, query: SelectQuery) -> ResultSet:
+        """Run a generated SQL query and return its results.
+
+        Hidden sources answer through their endpoint; wrappers with no
+        endpoint at all raise :class:`~repro.errors.AccessDeniedError`.
+        """
+
+    def result_count(self, query: SelectQuery) -> int:
+        """Number of rows *query* yields (default: execute and count)."""
+        return len(self.execute(query))
+
+    def __repr__(self) -> str:
+        access = "full" if self.has_instance_access else "hidden"
+        return f"{type(self).__name__}({self.schema.name!r}, access={access})"

@@ -1,0 +1,72 @@
+"""Schema-aware ontology: lexicon knowledge fused with schema annotations.
+
+The hidden-source wrapper "exploits ... external ontologies to guess the
+attributes that can be associated with each keyword". Here the external
+ontology is the built-in lexicon extended with the synonyms declared on the
+schema itself, giving a single relatedness oracle between user keywords and
+schema terms.
+"""
+
+from __future__ import annotations
+
+from repro.db.schema import Schema
+from repro.semantics.lexicon import Lexicon, default_lexicon
+from repro.semantics.similarity import term_similarity
+from repro.semantics.tokenize import split_identifier
+
+__all__ = ["SchemaOntology"]
+
+
+class SchemaOntology:
+    """Relatedness between keywords and the terms of one schema."""
+
+    def __init__(self, schema: Schema, lexicon: Lexicon | None = None) -> None:
+        self.schema = schema
+        self.lexicon = lexicon if lexicon is not None else default_lexicon()
+        # Fold schema-declared synonyms into the lexicon as synonym rings.
+        for table in schema.tables:
+            if table.synonyms:
+                self.lexicon.add_synonym_ring(table.name, *table.synonyms)
+            for column in table.columns:
+                if column.synonyms:
+                    self.lexicon.add_synonym_ring(column.name, *column.synonyms)
+
+    def term_score(
+        self, keyword: str, term: str, partial_scale: float = 0.9
+    ) -> float:
+        """Similarity of *keyword* to one schema identifier in ``[0, 1]``.
+
+        The maximum of string similarity and lexicon relatedness, where
+        multi-word identifiers are compared part-wise: ``release_year``
+        matches the keyword ``date`` through the lexicon entry for
+        ``year``, discounted by *partial_scale* for being a partial hit.
+        """
+        direct = term_similarity(keyword, term)
+        semantic = self.lexicon.relatedness(keyword, term)
+        part_scores = [
+            self.lexicon.relatedness(keyword, part)
+            for part in split_identifier(term)
+        ]
+        partial = partial_scale * max(part_scores, default=0.0)
+        return max(direct, semantic, partial)
+
+    def table_score(self, keyword: str, table: str) -> float:
+        """Relatedness of *keyword* to a table (name + synonyms).
+
+        Partial hits are discounted harder than for attributes: a keyword
+        naming one fragment of a compound *table* name usually means the
+        entity (``rivers`` means the ``river`` table, not the ``geo_river``
+        junction), whereas attribute fragments (``year`` in
+        ``release_year``) are genuine evidence.
+        """
+        table_schema = self.schema.table(table)
+        candidates = [table_schema.name, *table_schema.synonyms]
+        return max(
+            self.term_score(keyword, c, partial_scale=0.7) for c in candidates
+        )
+
+    def attribute_score(self, keyword: str, table: str, column: str) -> float:
+        """Relatedness of *keyword* to a column (name + synonyms)."""
+        column_schema = self.schema.table(table).column(column)
+        candidates = [column_schema.name, *column_schema.synonyms]
+        return max(self.term_score(keyword, c) for c in candidates)

@@ -1,0 +1,123 @@
+"""Tests for the DISCOVER, BANKS and IR baselines."""
+
+import pytest
+
+from repro.baselines import BanksBaseline, DiscoverBaseline, IRBaseline
+from repro.db import execute
+
+
+class TestDiscover:
+    def test_keyword_columns(self, mini_db):
+        baseline = DiscoverBaseline(mini_db)
+        columns = baseline.keyword_columns("kubrick")
+        assert [str(c) for c in columns] == ["person.name"]
+
+    def test_single_table_network(self, mini_db):
+        baseline = DiscoverBaseline(mini_db)
+        queries = baseline.search(["odyssey"], k=5)
+        assert queries
+        assert queries[0].table_names() == frozenset({"movie"})
+
+    def test_joining_network(self, mini_db):
+        baseline = DiscoverBaseline(mini_db)
+        queries = baseline.search(["kubrick", "shining"], k=5)
+        assert queries
+        top = queries[0]
+        assert top.table_names() == frozenset({"movie", "person"})
+        result = execute(mini_db, top)
+        assert len(result) >= 1
+
+    def test_smaller_networks_rank_first(self, mini_db):
+        baseline = DiscoverBaseline(mini_db)
+        networks = baseline.candidate_networks(["kubrick", "shining"])
+        sizes = [n.size for n in networks]
+        assert sizes == sorted(sizes)
+
+    def test_unmatched_keyword_gives_nothing(self, mini_db):
+        baseline = DiscoverBaseline(mini_db)
+        assert baseline.search(["kubrick", "zzz"], k=5) == []
+
+    def test_size_budget_respected(self, mini_db):
+        baseline = DiscoverBaseline(mini_db, max_network_size=1)
+        networks = baseline.candidate_networks(["kubrick", "shining"])
+        assert all(n.size <= 1 for n in networks)
+
+
+class TestBanks:
+    def test_instance_graph_scale(self, mini_db):
+        baseline = BanksBaseline(mini_db)
+        # 5 movies x 2 FK links each = 10 edges; 11 linked tuples.
+        assert baseline.edge_count == 10
+        assert baseline.node_count == 11
+
+    def test_graph_grows_with_instance(self, mini_db, imdb_db):
+        small = BanksBaseline(mini_db)
+        large = BanksBaseline(imdb_db)
+        assert large.node_count > small.node_count
+        assert large.edge_count > small.edge_count
+
+    def test_matching_nodes(self, mini_db):
+        baseline = BanksBaseline(mini_db)
+        nodes = baseline.matching_nodes("kubrick")
+        assert {(n.table, n.key) for n in nodes} == {("person", (1,))}
+
+    def test_answer_trees_connect_keywords(self, mini_db):
+        baseline = BanksBaseline(mini_db)
+        answers = baseline.search(["kubrick", "shining"], k=3)
+        assert answers
+        best = answers[0]
+        leaf_tables = {leaf.table for leaf in best.leaves}
+        assert leaf_tables == {"person", "movie"}
+        assert best.weight <= 2.0
+
+    def test_sorted_by_weight(self, mini_db):
+        baseline = BanksBaseline(mini_db)
+        answers = baseline.search(["kubrick", "scifi"], k=5)
+        weights = [a.weight for a in answers]
+        assert weights == sorted(weights)
+
+    def test_unmatched_keyword_gives_nothing(self, mini_db):
+        baseline = BanksBaseline(mini_db)
+        assert baseline.search(["zzz"], k=3) == []
+
+    def test_single_keyword_roots_at_match(self, mini_db):
+        baseline = BanksBaseline(mini_db)
+        answers = baseline.search(["kubrick"], k=2)
+        assert answers and answers[0].size == 0
+
+
+class TestIR:
+    def test_tuple_ranking_prefers_coverage(self, mini_db):
+        baseline = IRBaseline(mini_db)
+        hits = baseline.search_tuples(["space", "odyssey"], k=5)
+        assert hits
+        top = hits[0]
+        assert top.table == "movie"
+        assert top.matched_keywords == frozenset({"space", "odyssey"})
+
+    def test_queries_are_single_table(self, mini_db):
+        baseline = IRBaseline(mini_db)
+        for query in baseline.search(["kubrick", "shining"], k=5):
+            assert len(query.table_names()) == 1
+
+    def test_cannot_express_joins(self, mini_db):
+        """The structural ceiling: no IR answer ever matches a join gold."""
+        from repro.db import Comparison, JoinCondition, Predicate, SelectQuery, TableRef
+
+        gold = SelectQuery(
+            tables=(TableRef.of("movie"), TableRef.of("person")),
+            joins=(JoinCondition("movie", "director_id", "person", "id"),),
+            predicates=(
+                Predicate("person", "name", Comparison.CONTAINS, "kubrick"),
+            ),
+        )
+        baseline = IRBaseline(mini_db)
+        assert all(
+            not q.matches(gold)
+            for q in baseline.search(["kubrick", "movies"], k=10)
+        )
+
+    def test_queries_execute(self, mini_db):
+        baseline = IRBaseline(mini_db)
+        for query in baseline.search(["kubrick"], k=3):
+            assert len(execute(mini_db, query)) >= 1

@@ -1,0 +1,123 @@
+"""Shared fixtures: small schemas, databases and engines used across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Quest
+from repro.datasets import dblp, imdb, mondial
+from repro.db import Column, Database, ForeignKey, Schema, TableSchema
+from repro.db.types import DataType
+from repro.wrapper import FullAccessWrapper, HiddenSourceWrapper
+
+
+def build_mini_schema() -> Schema:
+    """A 3-table movie schema used by most unit tests."""
+    return Schema(
+        tables=[
+            TableSchema(
+                "person",
+                (
+                    Column("id", DataType.INTEGER, nullable=False),
+                    Column("name", DataType.TEXT, nullable=False),
+                ),
+                ("id",),
+                synonyms=("people", "director"),
+            ),
+            TableSchema(
+                "genre",
+                (
+                    Column("id", DataType.INTEGER, nullable=False),
+                    Column("label", DataType.TEXT, nullable=False),
+                ),
+                ("id",),
+            ),
+            TableSchema(
+                "movie",
+                (
+                    Column("id", DataType.INTEGER, nullable=False),
+                    Column("title", DataType.TEXT, nullable=False),
+                    Column("year", DataType.INTEGER, pattern=r"(19|20)\d\d"),
+                    Column("director_id", DataType.INTEGER, nullable=False),
+                    Column("genre_id", DataType.INTEGER, nullable=False),
+                ),
+                ("id",),
+                synonyms=("film",),
+            ),
+        ],
+        foreign_keys=[
+            ForeignKey("movie", "director_id", "person", "id"),
+            ForeignKey("movie", "genre_id", "genre", "id"),
+        ],
+        name="mini",
+    )
+
+
+def build_mini_db() -> Database:
+    """The mini schema populated with a handful of well-known rows."""
+    db = Database(build_mini_schema())
+    db.insert("person", {"id": 1, "name": "Stanley Kubrick"})
+    db.insert("person", {"id": 2, "name": "Ridley Scott"})
+    db.insert("person", {"id": 3, "name": "Agnes Varda"})
+    db.insert("genre", {"id": 1, "label": "scifi"})
+    db.insert("genre", {"id": 2, "label": "horror"})
+    db.insert("genre", {"id": 3, "label": "documentary"})
+    rows = [
+        (1, "A Space Odyssey", 1968, 1, 1),
+        (2, "The Shining", 1980, 1, 2),
+        (3, "Alien", 1979, 2, 1),
+        (4, "Blade Runner", 1982, 2, 1),
+        (5, "The Gleaners", 2000, 3, 3),
+    ]
+    for row in rows:
+        db.insert("movie", row)
+    db.check_integrity()
+    return db
+
+
+@pytest.fixture()
+def mini_schema() -> Schema:
+    return build_mini_schema()
+
+
+@pytest.fixture()
+def mini_db() -> Database:
+    return build_mini_db()
+
+
+@pytest.fixture()
+def mini_wrapper(mini_db: Database) -> FullAccessWrapper:
+    return FullAccessWrapper(mini_db)
+
+
+@pytest.fixture()
+def mini_engine(mini_wrapper: FullAccessWrapper) -> Quest:
+    return Quest(mini_wrapper)
+
+
+@pytest.fixture()
+def mini_hidden(mini_db: Database) -> HiddenSourceWrapper:
+    return HiddenSourceWrapper(mini_db.schema, remote_db=mini_db)
+
+
+# -- session-scoped generated datasets (built once, never mutated) -----------
+
+
+@pytest.fixture(scope="session")
+def imdb_db() -> Database:
+    return imdb.generate(movies=80, seed=7)
+
+
+@pytest.fixture(scope="session")
+def imdb_workload(imdb_db: Database):
+    return imdb.workload(imdb_db, queries_per_kind=2, seed=11)
+
+
+@pytest.fixture(scope="session")
+def dblp_db() -> Database:
+    return dblp.generate(papers=100, seed=13)
+
+
+@pytest.fixture(scope="session")
+def mondial_db() -> Database:
+    return mondial.generate(countries=15, seed=23)

@@ -1,0 +1,69 @@
+"""Tests for configurations."""
+
+from repro.core import Configuration, KeywordMapping
+from repro.db import ColumnRef
+from repro.hmm import State, StateKind
+
+
+def config(*pairs: tuple[str, State], score: float = 0.5) -> Configuration:
+    return Configuration(
+        tuple(KeywordMapping(k, s) for k, s in pairs), score
+    )
+
+
+T = State(StateKind.TABLE, "movie")
+A = State(StateKind.ATTRIBUTE, "movie", "title")
+D = State(StateKind.DOMAIN, "person", "name")
+
+
+class TestIdentity:
+    def test_score_excluded_from_identity(self):
+        assert config(("a", T), score=0.1) == config(("a", T), score=0.9)
+        assert hash(config(("a", T), score=0.1)) == hash(
+            config(("a", T), score=0.9)
+        )
+
+    def test_different_mappings_differ(self):
+        assert config(("a", T)) != config(("a", A))
+        assert config(("a", T)) != config(("b", T))
+
+    def test_with_score_preserves_identity(self):
+        original = config(("a", T))
+        rescored = original.with_score(0.99)
+        assert rescored == original
+        assert rescored.score == 0.99
+
+
+class TestAccessors:
+    def test_keywords_and_states(self):
+        c = config(("kubrick", D), ("movies", T))
+        assert c.keywords == ("kubrick", "movies")
+        assert c.states == (D, T)
+
+    def test_kind_filters(self):
+        c = config(("k", D), ("m", T), ("t", A))
+        assert [m.keyword for m in c.domain_mappings()] == ["k"]
+        assert [m.keyword for m in c.table_mappings()] == ["m"]
+        assert [m.keyword for m in c.attribute_mappings()] == ["t"]
+
+    def test_tables(self):
+        c = config(("k", D), ("m", T))
+        assert c.tables == frozenset({"person", "movie"})
+
+
+class TestTerminals:
+    def test_domain_and_attribute_contribute_columns(self, mini_schema):
+        c = config(("k", D), ("t", A))
+        assert c.terminals(mini_schema) == frozenset(
+            {ColumnRef("person", "name"), ColumnRef("movie", "title")}
+        )
+
+    def test_table_contributes_primary_key(self, mini_schema):
+        c = config(("m", T))
+        assert c.terminals(mini_schema) == frozenset(
+            {ColumnRef("movie", "id")}
+        )
+
+    def test_duplicate_terminals_collapse(self, mini_schema):
+        c = config(("a", D), ("b", D))
+        assert len(c.terminals(mini_schema)) == 1

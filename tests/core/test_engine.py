@@ -1,0 +1,166 @@
+"""Tests for the Quest engine pipeline."""
+
+import pytest
+
+from repro.core import Quest, QuestSettings
+from repro.errors import QuestError
+from repro.hmm import HiddenMarkovModel, StateSpace
+
+
+class TestForward:
+    def test_returns_scored_configurations(self, mini_engine):
+        configurations = mini_engine.forward(["kubrick", "movies"], 5)
+        assert configurations
+        assert sum(c.score for c in configurations) == pytest.approx(1.0)
+        top = configurations[0]
+        assert str(top.mappings[0].state) == "domain:person.name"
+        assert str(top.mappings[1].state) == "table:movie"
+
+    def test_scores_descending(self, mini_engine):
+        configurations = mini_engine.forward(["kubrick", "movies"], 5)
+        scores = [c.score for c in configurations]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_feedback_mode_requires_model(self, mini_wrapper):
+        engine = Quest(
+            mini_wrapper,
+            QuestSettings(use_apriori=True, use_feedback=True),
+        )
+        # No feedback model: silently falls back to a-priori only.
+        assert engine.forward(["kubrick"], 3)
+
+    def test_combined_modes(self, mini_wrapper):
+        engine = Quest(
+            mini_wrapper,
+            QuestSettings(use_apriori=True, use_feedback=True),
+        )
+        engine.set_feedback_model(HiddenMarkovModel.uniform(engine.states))
+        configurations = engine.forward(["kubrick", "movies"], 5)
+        # Truncated pignistic ranking: a sub-distribution, best first.
+        total = sum(c.score for c in configurations)
+        assert 0.0 < total <= 1.0 + 1e-9
+        scores = [c.score for c in configurations]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_foreign_state_space_rejected(self, mini_engine, mondial_db):
+        foreign = HiddenMarkovModel.uniform(StateSpace(mondial_db.schema))
+        with pytest.raises(QuestError):
+            mini_engine.set_feedback_model(foreign)
+
+
+class TestBackward:
+    def test_produces_interpretations(self, mini_engine):
+        configurations = mini_engine.forward(["kubrick", "movies"], 3)
+        interpretations = mini_engine.backward(configurations, 3)
+        assert interpretations
+        assert all(0 < i.score <= 1 for i in interpretations)
+
+    def test_single_column_config_gets_trivial_tree(self, mini_engine):
+        # A single keyword pinned to one column needs no join path at all.
+        configurations = mini_engine.forward(["odyssey"], 1)
+        interpretations = mini_engine.backward(configurations[:1], 3)
+        assert interpretations
+        assert not interpretations[0].tree.edges
+        assert interpretations[0].score == pytest.approx(1.0)
+
+    def test_same_table_config_stays_in_table(self, mini_engine):
+        configurations = mini_engine.forward(["odyssey", "1968"], 3)
+        interpretations = mini_engine.backward(configurations[:1], 3)
+        assert interpretations
+        assert interpretations[0].tables == frozenset({"movie"})
+
+
+class TestSearch:
+    def test_gold_answer_ranks_first(self, mini_engine):
+        explanations = mini_engine.search("kubrick movies", k=5)
+        assert explanations
+        top = explanations[0]
+        assert top.query.table_names() == frozenset({"movie", "person"})
+        assert top.result_count == 2
+
+    def test_single_table_query(self, mini_engine):
+        explanations = mini_engine.search("odyssey 1968", k=5)
+        top = explanations[0]
+        assert top.query.table_names() == frozenset({"movie"})
+        assert top.result_count == 1
+
+    def test_three_table_query(self, mini_engine):
+        explanations = mini_engine.search("scifi scott", k=5)
+        top = explanations[0]
+        assert top.query.table_names() == frozenset(
+            {"movie", "person", "genre"}
+        )
+        # DISTINCT (genre.label, person.name): both Scott scifi movies
+        # collapse into one output row.
+        assert top.result_count == 1
+
+    def test_results_have_descending_probability(self, mini_engine):
+        explanations = mini_engine.search("kubrick movies", k=5)
+        probabilities = [e.probability for e in explanations]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_no_duplicate_sql(self, mini_engine):
+        explanations = mini_engine.search("kubrick movies", k=10)
+        signatures = [e.query.signature() for e in explanations]
+        assert len(set(signatures)) == len(signatures)
+
+    def test_empty_results_filtered_by_default(self, mini_engine):
+        for explanation in mini_engine.search("kubrick movies", k=10):
+            assert explanation.result_count >= 1
+
+    def test_keep_empty_results_when_configured(self, mini_wrapper):
+        engine = Quest(mini_wrapper, QuestSettings(min_explanation_results=0))
+        explanations = engine.search("kubrick movies", k=10)
+        assert any(e.result_count == 0 for e in explanations) or all(
+            e.result_count >= 1 for e in explanations
+        )
+
+    def test_k_bounds_results(self, mini_engine):
+        assert len(mini_engine.search("kubrick movies", k=2)) <= 2
+
+    def test_blank_query_rejected(self, mini_engine):
+        with pytest.raises(QuestError):
+            mini_engine.search("   ")
+
+    def test_stopword_only_query_rejected(self, mini_engine):
+        with pytest.raises(QuestError):
+            mini_engine.search("the of an")
+
+    def test_unknown_keywords_yield_no_results(self, mini_engine):
+        # Nothing matches: every candidate executes to empty and is dropped.
+        assert mini_engine.search("qwxyz zzz", k=5) == []
+
+
+class TestSearchWithoutExecution:
+    def test_execution_disabled(self, mini_wrapper):
+        engine = Quest(
+            mini_wrapper, QuestSettings(execute_explanations=False)
+        )
+        explanations = engine.search("kubrick movies", k=5)
+        assert explanations
+        assert all(e.result_count is None for e in explanations)
+
+    def test_hidden_source_without_endpoint(self, mini_schema):
+        from repro.wrapper import HiddenSourceWrapper
+
+        engine = Quest(
+            HiddenSourceWrapper(mini_schema),
+            QuestSettings(mutual_information_weights=False),
+        )
+        explanations = engine.search("kubrick movies", k=5)
+        assert explanations
+        assert all(e.result_count is None for e in explanations)
+
+
+class TestEvidenceCoverage:
+    def test_full_coverage(self, mini_engine):
+        assert mini_engine.evidence_coverage(["kubrick", "movies"]) == 1.0
+
+    def test_partial_coverage(self, mini_engine):
+        assert mini_engine.evidence_coverage(["kubrick", "qqqq"]) == 0.5
+
+    def test_zero_coverage(self, mini_engine):
+        assert mini_engine.evidence_coverage(["qqqq", "zzzz"]) == 0.0
+
+    def test_empty_keywords(self, mini_engine):
+        assert mini_engine.evidence_coverage([]) == 0.0

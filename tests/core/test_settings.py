@@ -1,0 +1,57 @@
+"""Tests for engine settings validation."""
+
+import pytest
+
+from repro.core import QuestSettings
+from repro.errors import QuestError
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        QuestSettings()
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(QuestError):
+            QuestSettings(k=0)
+
+    def test_candidate_factor_must_be_positive(self):
+        with pytest.raises(QuestError):
+            QuestSettings(candidate_factor=0)
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "uncertainty_apriori",
+            "uncertainty_feedback",
+            "uncertainty_forward",
+            "uncertainty_backward",
+        ],
+    )
+    def test_uncertainties_bounded(self, field):
+        with pytest.raises(QuestError):
+            QuestSettings(**{field: 1.5})
+        with pytest.raises(QuestError):
+            QuestSettings(**{field: -0.1})
+        QuestSettings(**{field: 0.0})
+        QuestSettings(**{field: 1.0})
+
+    def test_at_least_one_forward_mode(self):
+        with pytest.raises(QuestError):
+            QuestSettings(use_apriori=False, use_feedback=False)
+        QuestSettings(use_apriori=False, use_feedback=True)
+
+    def test_min_results_non_negative(self):
+        with pytest.raises(QuestError):
+            QuestSettings(min_explanation_results=-1)
+
+
+class TestUpdated:
+    def test_updated_returns_new_instance(self):
+        settings = QuestSettings()
+        changed = settings.updated(k=5)
+        assert changed.k == 5
+        assert settings.k == 10
+
+    def test_updated_validates(self):
+        with pytest.raises(QuestError):
+            QuestSettings().updated(k=-1)

@@ -1,0 +1,125 @@
+"""Tests for the synthetic dataset generators and workloads."""
+
+import pytest
+
+from repro.datasets import dblp, imdb, mondial
+from repro.db import execute
+from repro.errors import WorkloadError
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("module,kwargs", [
+        (imdb, {"movies": 30}),
+        (dblp, {"papers": 30}),
+        (mondial, {"countries": 8}),
+    ])
+    def test_same_seed_same_data(self, module, kwargs):
+        left = module.generate(**kwargs, seed=5)
+        right = module.generate(**kwargs, seed=5)
+        for l_table, r_table in zip(left.tables, right.tables):
+            assert l_table.rows == r_table.rows
+
+    def test_different_seed_different_data(self):
+        left = imdb.generate(movies=30, seed=1)
+        right = imdb.generate(movies=30, seed=2)
+        assert left.table("movie").rows != right.table("movie").rows
+
+
+class TestIMDB:
+    def test_scale(self, imdb_db):
+        assert len(imdb_db.table("movie")) == 80
+        assert len(imdb_db.table("casting")) >= 80
+
+    def test_integrity(self, imdb_db):
+        imdb_db.check_integrity()
+
+    def test_anchor_rows(self, imdb_db):
+        assert imdb_db.table("person").get(1)[1] == "Stanley Kubrick"
+        assert imdb_db.table("movie").get(1)[1] == "The Silent Odyssey"
+        # Scott is in the anchor movie's cast.
+        assert imdb_db.table("casting").get((1, 2)) is not None
+
+    def test_workload_golds_have_answers(self, imdb_db, imdb_workload):
+        for query in imdb_workload:
+            assert len(execute(imdb_db, query.gold_query)) >= 1, query.qid
+
+    def test_workload_keywords_match_configs(self, imdb_workload):
+        for query in imdb_workload:
+            assert query.keywords == query.gold_configuration.keywords
+
+    def test_workload_ids_unique(self, imdb_workload):
+        ids = [q.qid for q in imdb_workload]
+        assert len(set(ids)) == len(ids)
+
+
+class TestDBLP:
+    def test_scale(self, dblp_db):
+        assert len(dblp_db.table("paper")) == 100
+        # The m:n relation dominates, as in the real DBLP.
+        assert len(dblp_db.table("author")) > len(dblp_db.table("paper"))
+
+    def test_integrity(self, dblp_db):
+        dblp_db.check_integrity()
+
+    def test_workload_golds_have_answers(self, dblp_db):
+        workload = dblp.workload(dblp_db, queries_per_kind=3)
+        for query in workload:
+            assert len(execute(dblp_db, query.gold_query)) >= 1, query.qid
+
+
+class TestMondial:
+    def test_schema_complexity(self, mondial_db):
+        assert len(mondial_db.schema) == 16
+        assert len(mondial_db.schema.foreign_keys) == 18
+
+    def test_integrity(self, mondial_db):
+        mondial_db.check_integrity()
+
+    def test_many_paths_between_country_and_city(self, mondial_db):
+        """The defining property: multiple join paths between tables."""
+        schema = mondial_db.schema
+        # city -> country directly, and via province.
+        assert schema.tables_are_adjacent("city", "country")
+        assert schema.tables_are_adjacent("city", "province")
+        assert schema.tables_are_adjacent("province", "country")
+
+    def test_workload_golds_have_answers(self, mondial_db):
+        workload = mondial.workload(mondial_db, queries_per_kind=3)
+        for query in workload:
+            assert len(execute(mondial_db, query.gold_query)) >= 1, query.qid
+
+    def test_borders_stored_once(self, mondial_db):
+        pairs = set()
+        for c1, c2, _length in mondial_db.table("borders"):
+            assert c1 < c2
+            pairs.add((c1, c2))
+        assert len(pairs) == len(mondial_db.table("borders"))
+
+
+class TestWorkloadModel:
+    def test_keyword_mismatch_rejected(self, imdb_workload):
+        from repro.datasets.workload import WorkloadQuery
+
+        sample = imdb_workload.queries[0]
+        with pytest.raises(WorkloadError):
+            WorkloadQuery(
+                qid="bad",
+                text="completely different words",
+                gold_query=sample.gold_query,
+                gold_configuration=sample.gold_configuration,
+            )
+
+    def test_duplicate_ids_rejected(self, imdb_workload):
+        from repro.datasets.workload import Workload
+
+        query = imdb_workload.queries[0]
+        with pytest.raises(WorkloadError):
+            Workload("dup", (query, query))
+
+    def test_subset(self, imdb_workload):
+        assert len(imdb_workload.subset(3)) == 3
+
+    def test_gold_training_pairs(self, imdb_workload):
+        pairs = imdb_workload.gold_training_pairs()
+        for query in imdb_workload:
+            assert pairs[query.keywords] == query.gold_configuration

@@ -1,0 +1,51 @@
+"""Tests for the catalog."""
+
+from repro.db import Catalog, ColumnRef
+
+
+class TestFullCatalog:
+    def test_profiles_available(self, mini_db):
+        catalog = Catalog.from_database(mini_db)
+        assert catalog.has_instance
+        profile = catalog.profile(ColumnRef("movie", "title"))
+        assert profile is not None and profile.row_count == 5
+
+    def test_join_stats_available(self, mini_db):
+        catalog = Catalog.from_database(mini_db)
+        fk = mini_db.schema.foreign_keys[0]
+        stats = catalog.join_stats(fk)
+        assert stats is not None and stats.join_size == 5
+
+    def test_caching_returns_same_object(self, mini_db):
+        catalog = Catalog.from_database(mini_db)
+        ref = ColumnRef("movie", "title")
+        assert catalog.profile(ref) is catalog.profile(ref)
+
+    def test_cardinality(self, mini_db):
+        catalog = Catalog.from_database(mini_db)
+        assert catalog.table_cardinality("movie") == 5
+
+    def test_warm_populates_everything(self, mini_db):
+        catalog = Catalog.from_database(mini_db)
+        catalog.warm()
+        assert len(catalog._profiles) == sum(
+            len(t.columns) for t in mini_db.schema.tables
+        )
+        assert len(catalog._join_stats) == len(mini_db.schema.foreign_keys)
+
+
+class TestSchemaOnlyCatalog:
+    def test_no_instance_data(self, mini_schema):
+        catalog = Catalog.schema_only(mini_schema)
+        assert not catalog.has_instance
+        assert catalog.profile(ColumnRef("movie", "title")) is None
+        assert catalog.join_stats(mini_schema.foreign_keys[0]) is None
+        assert catalog.table_cardinality("movie") is None
+
+    def test_warm_is_noop(self, mini_schema):
+        catalog = Catalog.schema_only(mini_schema)
+        catalog.warm()
+        assert catalog._profiles == {}
+
+    def test_repr(self, mini_schema):
+        assert "schema-only" in repr(Catalog.schema_only(mini_schema))

@@ -1,0 +1,61 @@
+"""Tests for the database container and integrity checking."""
+
+import pytest
+
+from repro.db import ColumnRef, Database
+from repro.errors import IntegrityError, UnknownTableError
+
+
+class TestAccess:
+    def test_table_lookup(self, mini_db):
+        assert mini_db.table("movie").name == "movie"
+        with pytest.raises(UnknownTableError):
+            mini_db.table("nope")
+
+    def test_contains(self, mini_db):
+        assert "movie" in mini_db
+        assert "nope" not in mini_db
+
+    def test_total_rows(self, mini_db):
+        assert mini_db.total_rows() == 3 + 3 + 5
+
+    def test_column_values(self, mini_db):
+        years = mini_db.column_values(ColumnRef("movie", "year"))
+        assert 1968 in years and len(years) == 5
+
+
+class TestIntegrity:
+    def test_clean_database_passes(self, mini_db):
+        mini_db.check_integrity()
+
+    def test_dangling_fk_detected(self, mini_db):
+        mini_db.insert(
+            "movie",
+            {"id": 99, "title": "Ghost", "year": 2000, "director_id": 42,
+             "genre_id": 1},
+        )
+        with pytest.raises(IntegrityError) as excinfo:
+            mini_db.check_integrity()
+        assert "director_id" in str(excinfo.value)
+
+    def test_null_fk_is_allowed(self, mini_schema):
+        # year is nullable; FKs on nullable columns skip the check for NULL.
+        db = Database(mini_schema)
+        db.insert("person", {"id": 1, "name": "X"})
+        db.insert("genre", {"id": 1, "label": "g"})
+        db.insert(
+            "movie",
+            {"id": 1, "title": "T", "year": None, "director_id": 1, "genre_id": 1},
+        )
+        db.check_integrity()
+
+    def test_insert_many(self, mini_schema):
+        db = Database(mini_schema)
+        count = db.insert_many(
+            "person", [{"id": i, "name": f"P{i}"} for i in range(10)]
+        )
+        assert count == 10
+        assert len(db.table("person")) == 10
+
+    def test_repr_mentions_scale(self, mini_db):
+        assert "tables=3" in repr(mini_db)

@@ -1,0 +1,231 @@
+"""Tests for query execution."""
+
+import pytest
+
+from repro.db import (
+    Comparison,
+    JoinCondition,
+    Predicate,
+    SelectQuery,
+    TableRef,
+    execute,
+    result_count,
+)
+from repro.errors import ExecutionError
+
+
+def q(**kwargs) -> SelectQuery:
+    return SelectQuery(**kwargs)
+
+
+class TestScan:
+    def test_full_scan(self, mini_db):
+        result = execute(mini_db, q(tables=(TableRef.of("movie"),)))
+        assert len(result) == 5
+
+    def test_equality_predicate(self, mini_db):
+        result = execute(
+            mini_db,
+            q(
+                tables=(TableRef.of("movie"),),
+                predicates=(Predicate("movie", "year", Comparison.EQ, 1979),),
+            ),
+        )
+        assert len(result) == 1
+        assert result.rows[0][1] == "Alien"
+
+    def test_contains_is_case_insensitive(self, mini_db):
+        result = execute(
+            mini_db,
+            q(
+                tables=(TableRef.of("person"),),
+                predicates=(
+                    Predicate("person", "name", Comparison.CONTAINS, "KUBRICK"),
+                ),
+            ),
+        )
+        assert len(result) == 1
+
+    def test_like_wildcards(self, mini_db):
+        result = execute(
+            mini_db,
+            q(
+                tables=(TableRef.of("movie"),),
+                predicates=(
+                    Predicate("movie", "title", Comparison.LIKE, "The %"),
+                ),
+            ),
+        )
+        assert {row[1] for row in result} == {"The Shining", "The Gleaners"}
+
+    def test_comparison_operators(self, mini_db):
+        for op, expected in (
+            (Comparison.LT, {1968, 1979}),
+            (Comparison.LE, {1968, 1979, 1980}),
+            (Comparison.GT, {1982, 2000}),
+            (Comparison.GE, {1980, 1982, 2000}),
+            (Comparison.NE, {1968, 1979, 1982, 2000}),
+        ):
+            result = execute(
+                mini_db,
+                q(
+                    tables=(TableRef.of("movie"),),
+                    predicates=(Predicate("movie", "year", op, 1980),),
+                    projection=(("movie", "year"),),
+                ),
+            )
+            assert {row[0] for row in result} == expected, op
+
+    def test_null_comparisons_are_false(self, mini_db):
+        mini_db.insert(
+            "movie",
+            {"id": 9, "title": "N", "year": None, "director_id": 1, "genre_id": 1},
+        )
+        result = execute(
+            mini_db,
+            q(
+                tables=(TableRef.of("movie"),),
+                predicates=(Predicate("movie", "year", Comparison.NE, 1980),),
+            ),
+        )
+        assert all(row[2] is not None for row in result)
+
+    def test_type_mismatch_raises(self, mini_db):
+        with pytest.raises(ExecutionError):
+            execute(
+                mini_db,
+                q(
+                    tables=(TableRef.of("movie"),),
+                    predicates=(
+                        Predicate("movie", "year", Comparison.LT, "abc"),
+                    ),
+                ),
+            )
+
+
+class TestJoin:
+    def test_two_way_join(self, mini_db):
+        result = execute(
+            mini_db,
+            q(
+                tables=(TableRef.of("movie", "m"), TableRef.of("person", "p")),
+                joins=(JoinCondition("m", "director_id", "p", "id"),),
+                predicates=(
+                    Predicate("p", "name", Comparison.CONTAINS, "kubrick"),
+                ),
+                projection=(("m", "title"),),
+            ),
+        )
+        assert {row[0] for row in result} == {"A Space Odyssey", "The Shining"}
+
+    def test_three_way_join(self, mini_db):
+        result = execute(
+            mini_db,
+            q(
+                tables=(
+                    TableRef.of("movie", "m"),
+                    TableRef.of("person", "p"),
+                    TableRef.of("genre", "g"),
+                ),
+                joins=(
+                    JoinCondition("m", "director_id", "p", "id"),
+                    JoinCondition("m", "genre_id", "g", "id"),
+                ),
+                predicates=(
+                    Predicate("g", "label", Comparison.EQ, "scifi"),
+                    Predicate("p", "name", Comparison.CONTAINS, "scott"),
+                ),
+                projection=(("m", "title"),),
+            ),
+        )
+        assert {row[0] for row in result} == {"Alien", "Blade Runner"}
+
+    def test_join_direction_is_irrelevant(self, mini_db):
+        forward = q(
+            tables=(TableRef.of("movie", "m"), TableRef.of("person", "p")),
+            joins=(JoinCondition("m", "director_id", "p", "id"),),
+        )
+        backward = q(
+            tables=(TableRef.of("movie", "m"), TableRef.of("person", "p")),
+            joins=(JoinCondition("p", "id", "m", "director_id"),),
+        )
+        assert result_count(mini_db, forward) == result_count(mini_db, backward)
+
+    def test_self_join(self, mini_db):
+        # Movies sharing the same director, as an alias pair.
+        result = execute(
+            mini_db,
+            q(
+                tables=(TableRef.of("movie", "m1"), TableRef.of("movie", "m2")),
+                joins=(JoinCondition("m1", "director_id", "m2", "director_id"),),
+                predicates=(
+                    Predicate("m1", "title", Comparison.EQ, "Alien"),
+                ),
+                projection=(("m2", "title"),),
+            ),
+        )
+        assert {row[0] for row in result} == {"Alien", "Blade Runner"}
+
+    def test_cross_product_when_disconnected(self, mini_db):
+        result = execute(
+            mini_db,
+            q(
+                tables=(TableRef.of("person"), TableRef.of("genre")),
+            ),
+        )
+        assert len(result) == 9
+
+    def test_cyclic_join_conditions(self, mini_db):
+        # Redundant cycle: m-p join stated twice through different columns.
+        result = execute(
+            mini_db,
+            q(
+                tables=(TableRef.of("movie", "m"), TableRef.of("person", "p")),
+                joins=(
+                    JoinCondition("m", "director_id", "p", "id"),
+                    JoinCondition("p", "id", "m", "director_id"),
+                ),
+            ),
+        )
+        assert len(result) == 5
+
+
+class TestProjection:
+    def test_distinct_dedupes(self, mini_db):
+        result = execute(
+            mini_db,
+            q(
+                tables=(TableRef.of("movie"),),
+                projection=(("movie", "director_id"),),
+                distinct=True,
+            ),
+        )
+        assert len(result) == 3
+
+    def test_non_distinct_keeps_duplicates(self, mini_db):
+        result = execute(
+            mini_db,
+            q(
+                tables=(TableRef.of("movie"),),
+                projection=(("movie", "director_id"),),
+                distinct=False,
+            ),
+        )
+        assert len(result) == 5
+
+    def test_limit(self, mini_db):
+        result = execute(
+            mini_db, q(tables=(TableRef.of("movie"),), limit=2)
+        )
+        assert len(result) == 2
+
+    def test_select_star_column_names(self, mini_db):
+        result = execute(mini_db, q(tables=(TableRef.of("genre"),)))
+        assert result.columns == ("genre.id", "genre.label")
+
+    def test_dicts(self, mini_db):
+        result = execute(
+            mini_db,
+            q(tables=(TableRef.of("genre"),), projection=(("genre", "label"),)),
+        )
+        assert {"genre.label": "scifi"} in result.dicts()

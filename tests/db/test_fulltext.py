@@ -1,0 +1,71 @@
+"""Tests for the full-text inverted index."""
+
+from repro.db import ColumnRef, FullTextIndex
+from repro.db.fulltext import tokenize_value
+
+
+class TestTokenizeValue:
+    def test_null_gives_nothing(self):
+        assert tokenize_value(None) == []
+
+    def test_lowercases_and_splits(self):
+        assert tokenize_value("A Space-Odyssey") == ["a", "space", "odyssey"]
+
+    def test_numbers_are_tokens(self):
+        assert tokenize_value(1968) == ["1968"]
+
+
+class TestIndex:
+    def test_vocabulary(self, mini_db):
+        index = FullTextIndex(mini_db)
+        assert "kubrick" in index
+        assert "odyssey" in index
+        assert "zzz" not in index
+        assert index.vocabulary_size > 10
+
+    def test_attribute_scores_target_right_column(self, mini_db):
+        index = FullTextIndex(mini_db)
+        scores = index.attribute_scores("kubrick")
+        assert set(scores) == {ColumnRef("person", "name")}
+        assert scores[ColumnRef("person", "name")] > 0
+
+    def test_numeric_columns_are_indexed(self, mini_db):
+        index = FullTextIndex(mini_db)
+        scores = index.attribute_scores("1968")
+        assert ColumnRef("movie", "year") in scores
+
+    def test_term_spread_across_attributes(self, mini_db):
+        # "the" appears in several titles only.
+        index = FullTextIndex(mini_db)
+        scores = index.attribute_scores("the")
+        assert ColumnRef("movie", "title") in scores
+
+    def test_score_zero_for_absent(self, mini_db):
+        index = FullTextIndex(mini_db)
+        assert index.score("nothing", ColumnRef("movie", "title")) == 0.0
+
+    def test_matching_row_positions(self, mini_db):
+        index = FullTextIndex(mini_db)
+        positions = index.matching_row_positions(
+            "kubrick", ColumnRef("person", "name")
+        )
+        assert positions == [0]
+
+    def test_selectivity(self, mini_db):
+        index = FullTextIndex(mini_db)
+        ref = ColumnRef("movie", "title")
+        assert index.selectivity("the", ref) == 2 / 5
+        assert index.selectivity("zzz", ref) == 0.0
+
+    def test_more_selective_term_scores_higher(self, mini_db):
+        index = FullTextIndex(mini_db)
+        ref = ColumnRef("movie", "title")
+        # "odyssey" appears in 1/5 titles, "the" in 2/5 — idf equal or lower
+        # for the more common term, so tf dominates.
+        assert index.score("the", ref) > index.score("odyssey", ref)
+
+    def test_fields_cover_all_columns(self, mini_db):
+        index = FullTextIndex(mini_db)
+        assert len(index.fields()) == sum(
+            len(t.columns) for t in mini_db.schema.tables
+        )

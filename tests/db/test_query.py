@@ -1,0 +1,113 @@
+"""Tests for the logical query model."""
+
+import pytest
+
+from repro.db import Comparison, JoinCondition, Predicate, SelectQuery, TableRef
+from repro.db.query import with_limit
+from repro.errors import QueryError
+
+
+def movie_person_query(**overrides) -> SelectQuery:
+    kwargs = dict(
+        tables=(TableRef.of("movie", "m"), TableRef.of("person", "p")),
+        joins=(JoinCondition("m", "director_id", "p", "id"),),
+        predicates=(Predicate("p", "name", Comparison.CONTAINS, "kubrick"),),
+        projection=(("m", "title"),),
+    )
+    kwargs.update(overrides)
+    return SelectQuery(**kwargs)
+
+
+class TestValidation:
+    def test_empty_from_rejected(self):
+        with pytest.raises(QueryError):
+            SelectQuery(tables=())
+
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(QueryError):
+            SelectQuery(tables=(TableRef.of("a"), TableRef.of("b", "a")))
+
+    def test_join_alias_must_exist(self):
+        with pytest.raises(QueryError):
+            movie_person_query(
+                joins=(JoinCondition("m", "x", "zz", "id"),)
+            )
+
+    def test_predicate_alias_must_exist(self):
+        with pytest.raises(QueryError):
+            movie_person_query(
+                predicates=(Predicate("zz", "name", Comparison.EQ, 1),)
+            )
+
+    def test_projection_alias_must_exist(self):
+        with pytest.raises(QueryError):
+            movie_person_query(projection=(("zz", "title"),))
+
+
+class TestStructure:
+    def test_aliases(self):
+        assert movie_person_query().aliases == ("m", "p")
+
+    def test_table_of(self):
+        query = movie_person_query()
+        assert query.table_of("m") == "movie"
+        with pytest.raises(QueryError):
+            query.table_of("zz")
+
+    def test_table_names(self):
+        assert movie_person_query().table_names() == frozenset(
+            {"movie", "person"}
+        )
+
+    def test_self_join_table_names_collapse(self):
+        query = SelectQuery(
+            tables=(TableRef.of("person", "p1"), TableRef.of("person", "p2")),
+            joins=(JoinCondition("p1", "id", "p2", "id"),),
+        )
+        assert query.table_names() == frozenset({"person"})
+
+    def test_joined_column_refs(self):
+        refs = movie_person_query().joined_column_refs()
+        assert len(refs) == 2
+
+    def test_with_limit(self):
+        assert with_limit(movie_person_query(), 5).limit == 5
+
+
+class TestSignature:
+    def test_matches_ignores_join_direction(self):
+        left = movie_person_query()
+        right = movie_person_query(
+            joins=(JoinCondition("p", "id", "m", "director_id"),)
+        )
+        assert left.matches(right)
+
+    def test_matches_ignores_projection(self):
+        assert movie_person_query().matches(
+            movie_person_query(projection=(("p", "name"),))
+        )
+
+    def test_matches_ignores_value_case(self):
+        other = movie_person_query(
+            predicates=(Predicate("p", "name", Comparison.CONTAINS, "KUBRICK"),)
+        )
+        assert movie_person_query().matches(other)
+
+    def test_different_predicate_breaks_match(self):
+        other = movie_person_query(
+            predicates=(Predicate("p", "name", Comparison.CONTAINS, "scott"),)
+        )
+        assert not movie_person_query().matches(other)
+
+    def test_different_tables_break_match(self):
+        other = SelectQuery(tables=(TableRef.of("movie", "m"),))
+        assert not movie_person_query().matches(other)
+
+    def test_different_operator_breaks_match(self):
+        other = movie_person_query(
+            predicates=(Predicate("p", "name", Comparison.EQ, "kubrick"),)
+        )
+        assert not movie_person_query().matches(other)
+
+    def test_signature_is_hashable(self):
+        assert {movie_person_query().signature()}

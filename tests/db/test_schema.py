@@ -1,0 +1,149 @@
+"""Tests for the schema model."""
+
+import pytest
+
+from repro.db import Column, ColumnRef, ForeignKey, Schema, TableSchema
+from repro.db.types import DataType
+from repro.errors import SchemaError, UnknownColumnError, UnknownTableError
+
+
+def simple_table(name: str = "t") -> TableSchema:
+    return TableSchema(
+        name,
+        (
+            Column("id", DataType.INTEGER, nullable=False),
+            Column("label", DataType.TEXT),
+        ),
+        ("id",),
+    )
+
+
+class TestColumnRef:
+    def test_str(self):
+        assert str(ColumnRef("movie", "title")) == "movie.title"
+
+    def test_parse_roundtrip(self):
+        ref = ColumnRef.parse("movie.title")
+        assert ref == ColumnRef("movie", "title")
+
+    def test_parse_rejects_missing_dot(self):
+        with pytest.raises(SchemaError):
+            ColumnRef.parse("movie")
+
+    def test_parse_rejects_empty_parts(self):
+        with pytest.raises(SchemaError):
+            ColumnRef.parse(".title")
+
+    def test_hashable_and_equal(self):
+        assert {ColumnRef("a", "b")} == {ColumnRef("a", "b")}
+
+
+class TestColumn:
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("not a name", DataType.TEXT)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("", DataType.TEXT)
+
+
+class TestTableSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                (Column("a", DataType.TEXT), Column("a", DataType.TEXT)),
+                ("a",),
+            )
+
+    def test_missing_primary_key_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", (Column("a", DataType.TEXT),), ())
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(UnknownColumnError):
+            TableSchema("t", (Column("a", DataType.TEXT),), ("b",))
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", (), ("id",))
+
+    def test_column_lookup(self):
+        table = simple_table()
+        assert table.column("id").dtype is DataType.INTEGER
+        with pytest.raises(UnknownColumnError):
+            table.column("absent")
+
+    def test_key_helpers(self):
+        table = simple_table()
+        assert table.is_key_column("id")
+        assert not table.is_key_column("label")
+        assert [c.name for c in table.non_key_columns()] == ["label"]
+
+    def test_column_names_ordered(self):
+        assert simple_table().column_names == ("id", "label")
+
+
+class TestSchema:
+    def test_duplicate_tables_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([simple_table("a"), simple_table("a")])
+
+    def test_fk_to_unknown_table_rejected(self):
+        with pytest.raises(UnknownTableError):
+            Schema(
+                [simple_table("a")],
+                [ForeignKey("a", "label", "missing", "id")],
+            )
+
+    def test_fk_to_unknown_column_rejected(self):
+        with pytest.raises(UnknownColumnError):
+            Schema(
+                [simple_table("a"), simple_table("b")],
+                [ForeignKey("a", "nope", "b", "id")],
+            )
+
+    def test_fk_must_reference_primary_key(self):
+        with pytest.raises(SchemaError):
+            Schema(
+                [simple_table("a"), simple_table("b")],
+                [ForeignKey("a", "label", "b", "label")],
+            )
+
+    def test_duplicate_fk_rejected(self):
+        fk = ForeignKey("a", "label", "b", "id")
+        with pytest.raises(SchemaError):
+            Schema([simple_table("a"), simple_table("b")], [fk, fk])
+
+    def test_adjacency(self, mini_schema):
+        assert mini_schema.adjacent_tables("movie") == {"person", "genre"}
+        assert mini_schema.adjacent_tables("person") == {"movie"}
+        assert mini_schema.tables_are_adjacent("movie", "genre")
+        assert not mini_schema.tables_are_adjacent("person", "genre")
+
+    def test_fk_direction_helpers(self, mini_schema):
+        assert len(mini_schema.foreign_keys_of("movie")) == 2
+        assert len(mini_schema.foreign_keys_into("person")) == 1
+        assert mini_schema.foreign_keys_of("person") == ()
+
+    def test_column_refs_enumerates_all(self, mini_schema):
+        refs = list(mini_schema.column_refs())
+        assert ColumnRef("movie", "title") in refs
+        assert len(refs) == sum(len(t.columns) for t in mini_schema.tables)
+
+    def test_contains_and_len(self, mini_schema):
+        assert "movie" in mini_schema
+        assert "nope" not in mini_schema
+        assert len(mini_schema) == 3
+
+    def test_unknown_table_lookup(self, mini_schema):
+        with pytest.raises(UnknownTableError):
+            mini_schema.table("nope")
+
+    def test_join_edges(self, mini_schema):
+        edges = mini_schema.join_edges()
+        assert (
+            ColumnRef("movie", "director_id"),
+            ColumnRef("person", "id"),
+        ) in edges

@@ -1,0 +1,107 @@
+"""Tests for SQL rendering."""
+
+from datetime import date
+
+from repro.db import (
+    Comparison,
+    JoinCondition,
+    Predicate,
+    SelectQuery,
+    TableRef,
+    render_ddl,
+    render_sql,
+)
+from repro.db.sqlgen import render_create_table, render_literal
+
+
+class TestLiterals:
+    def test_null(self):
+        assert render_literal(None) == "NULL"
+
+    def test_booleans(self):
+        assert render_literal(True) == "TRUE"
+        assert render_literal(False) == "FALSE"
+
+    def test_numbers(self):
+        assert render_literal(42) == "42"
+        assert render_literal(2.5) == "2.5"
+
+    def test_string_quoting(self):
+        assert render_literal("it's") == "'it''s'"
+
+    def test_date(self):
+        assert render_literal(date(2013, 8, 26)) == "DATE '2013-08-26'"
+
+
+class TestSelect:
+    def test_simple_select(self):
+        sql = render_sql(SelectQuery(tables=(TableRef.of("movie"),)))
+        assert sql == "SELECT * FROM movie"
+
+    def test_alias_rendering(self):
+        sql = render_sql(SelectQuery(tables=(TableRef.of("movie", "m"),)))
+        assert "movie AS m" in sql
+
+    def test_join_and_predicates(self):
+        sql = render_sql(
+            SelectQuery(
+                tables=(TableRef.of("movie", "m"), TableRef.of("person", "p")),
+                joins=(JoinCondition("m", "director_id", "p", "id"),),
+                predicates=(
+                    Predicate("p", "name", Comparison.CONTAINS, "Kubrick"),
+                ),
+                projection=(("m", "title"),),
+            )
+        )
+        assert sql == (
+            "SELECT DISTINCT m.title FROM movie AS m, person AS p "
+            "WHERE m.director_id = p.id AND LOWER(p.name) LIKE '%kubrick%'"
+        )
+
+    def test_contains_lowers_pattern(self):
+        sql = render_sql(
+            SelectQuery(
+                tables=(TableRef.of("t"),),
+                predicates=(Predicate("t", "c", Comparison.CONTAINS, "ABC"),),
+            )
+        )
+        assert "'%abc%'" in sql and "LOWER(t.c)" in sql
+
+    def test_like_is_rendered_verbatim(self):
+        sql = render_sql(
+            SelectQuery(
+                tables=(TableRef.of("t"),),
+                predicates=(Predicate("t", "c", Comparison.LIKE, "A_%"),),
+            )
+        )
+        assert "t.c LIKE 'A_%'" in sql
+
+    def test_comparison(self):
+        sql = render_sql(
+            SelectQuery(
+                tables=(TableRef.of("t"),),
+                predicates=(Predicate("t", "year", Comparison.GE, 1980),),
+            )
+        )
+        assert "t.year >= 1980" in sql
+
+    def test_limit(self):
+        sql = render_sql(SelectQuery(tables=(TableRef.of("t"),), limit=5))
+        assert sql.endswith("LIMIT 5")
+
+    def test_str_dunder_matches_render(self):
+        query = SelectQuery(tables=(TableRef.of("movie"),))
+        assert str(query) == render_sql(query)
+
+
+class TestDDL:
+    def test_create_table(self, mini_schema):
+        ddl = render_create_table(mini_schema.table("movie"))
+        assert "CREATE TABLE movie" in ddl
+        assert "id INTEGER NOT NULL" in ddl
+        assert "PRIMARY KEY (id)" in ddl
+
+    def test_full_ddl_includes_fks(self, mini_schema):
+        ddl = render_ddl(mini_schema)
+        assert ddl.count("CREATE TABLE") == 3
+        assert "ALTER TABLE movie ADD FOREIGN KEY (director_id)" in ddl

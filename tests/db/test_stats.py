@@ -1,0 +1,155 @@
+"""Tests for instance statistics and join mutual information."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.db import (
+    Column,
+    ColumnRef,
+    Database,
+    ForeignKey,
+    Schema,
+    TableSchema,
+    entropy,
+    join_statistics,
+    profile_column,
+)
+from repro.db.types import DataType
+
+
+class TestEntropy:
+    def test_empty(self):
+        assert entropy([]) == 0.0
+
+    def test_single_value(self):
+        assert entropy([10]) == 0.0
+
+    def test_uniform_two(self):
+        assert entropy([5, 5]) == pytest.approx(math.log(2))
+
+    def test_skew_lowers_entropy(self):
+        assert entropy([9, 1]) < entropy([5, 5])
+
+    @given(st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=20))
+    def test_bounded_by_log_n(self, counts):
+        assert -1e-9 <= entropy(counts) <= math.log(len(counts)) + 1e-9
+
+
+class TestProfile:
+    def test_key_column_profile(self, mini_db):
+        profile = profile_column(mini_db, ColumnRef("movie", "id"))
+        assert profile.row_count == 5
+        assert profile.distinct_count == 5
+        assert profile.null_count == 0
+        assert profile.is_key_like
+
+    def test_non_key_profile(self, mini_db):
+        profile = profile_column(mini_db, ColumnRef("movie", "director_id"))
+        assert profile.distinct_count == 3
+        assert not profile.is_key_like
+
+    def test_null_fraction(self, mini_db):
+        mini_db.insert(
+            "movie",
+            {"id": 9, "title": "N", "year": None, "director_id": 1, "genre_id": 1},
+        )
+        profile = profile_column(mini_db, ColumnRef("movie", "year"))
+        assert profile.null_fraction == pytest.approx(1 / 6)
+
+    def test_sample_is_bounded(self, mini_db):
+        profile = profile_column(mini_db, ColumnRef("movie", "title"), sample_size=2)
+        assert len(profile.sample) == 2
+
+
+def two_table_db(pairs: list[tuple[int, int]]) -> tuple[Database, ForeignKey]:
+    """R(id) <- S(id, r_id) with S rows given as (id, r_id) pairs."""
+    schema = Schema(
+        tables=[
+            TableSchema(
+                "r", (Column("id", DataType.INTEGER, nullable=False),), ("id",)
+            ),
+            TableSchema(
+                "s",
+                (
+                    Column("id", DataType.INTEGER, nullable=False),
+                    Column("r_id", DataType.INTEGER),
+                ),
+                ("id",),
+            ),
+        ],
+        foreign_keys=[ForeignKey("s", "r_id", "r", "id")],
+    )
+    db = Database(schema)
+    for r_id in {p[1] for p in pairs if p[1] is not None}:
+        db.insert("r", {"id": r_id})
+    for s_id, r_id in pairs:
+        db.insert("s", {"id": s_id, "r_id": r_id})
+    return db, schema.foreign_keys[0]
+
+
+class TestJoinStatistics:
+    def test_empty_join_has_max_distance(self):
+        db, fk = two_table_db([(1, None), (2, None)])
+        stats = join_statistics(db, fk)
+        assert stats.join_size == 0
+        assert stats.distance == 1.0
+
+    def test_single_pair_is_fully_informative(self):
+        db, fk = two_table_db([(1, 10)])
+        stats = join_statistics(db, fk)
+        assert stats.join_size == 1
+        assert stats.distance == 0.0
+
+    def test_bijective_join_is_informative(self):
+        db, fk = two_table_db([(i, i * 10) for i in range(1, 9)])
+        stats = join_statistics(db, fk)
+        assert stats.join_size == 8
+        # One-to-one: knowing one side determines the other completely.
+        assert stats.mutual_information == pytest.approx(stats.joint_entropy)
+        assert stats.distance == pytest.approx(0.0)
+
+    def test_all_to_one_join_is_uninformative(self):
+        # Every S row references the same R row: knowing the R side says
+        # nothing about which S row was drawn.
+        db, fk = two_table_db([(i, 10) for i in range(1, 9)])
+        stats = join_statistics(db, fk)
+        assert stats.join_size == 8
+        assert stats.mutual_information == pytest.approx(0.0)
+        assert stats.distance == pytest.approx(1.0)
+
+    def test_distance_orders_by_informativeness(self):
+        bijective, fk1 = two_table_db([(i, i) for i in range(1, 9)])
+        skewed, fk2 = two_table_db(
+            [(1, 1), (2, 1), (3, 1), (4, 1), (5, 2), (6, 2), (7, 3), (8, 4)]
+        )
+        flat, fk3 = two_table_db([(i, 1) for i in range(1, 9)])
+        d_bij = join_statistics(bijective, fk1).distance
+        d_skew = join_statistics(skewed, fk2).distance
+        d_flat = join_statistics(flat, fk3).distance
+        assert d_bij < d_skew < d_flat
+
+    def test_mutual_information_non_negative(self, mini_db):
+        for fk in mini_db.schema.foreign_keys:
+            stats = join_statistics(mini_db, fk)
+            assert stats.mutual_information >= 0.0
+            assert 0.0 <= stats.distance <= 1.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=30),
+                st.integers(min_value=1, max_value=6),
+            ),
+            min_size=1,
+            max_size=30,
+            unique_by=lambda p: p[0],
+        )
+    )
+    def test_distance_always_in_unit_interval(self, pairs):
+        db, fk = two_table_db(pairs)
+        stats = join_statistics(db, fk)
+        assert 0.0 <= stats.distance <= 1.0
+        assert stats.mutual_information <= stats.joint_entropy + 1e-9

@@ -1,0 +1,119 @@
+"""Tests for column data types and value coercion."""
+
+from datetime import date, datetime
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.db.types import DataType, coerce, infer_type, is_null
+from repro.errors import SchemaError
+
+
+class TestIsNull:
+    def test_none_is_null(self):
+        assert is_null(None)
+
+    def test_empty_string_is_null(self):
+        assert is_null("")
+
+    def test_zero_is_not_null(self):
+        assert not is_null(0)
+
+    def test_false_is_not_null(self):
+        assert not is_null(False)
+
+    def test_whitespace_is_not_null(self):
+        assert not is_null(" ")
+
+
+class TestCoerce:
+    def test_null_passes_through_every_type(self):
+        for dtype in DataType:
+            assert coerce(None, dtype) is None
+            assert coerce("", dtype) is None
+
+    def test_integer_from_string(self):
+        assert coerce("42", DataType.INTEGER) == 42
+        assert coerce(" -7 ", DataType.INTEGER) == -7
+
+    def test_integer_from_whole_float(self):
+        assert coerce(3.0, DataType.INTEGER) == 3
+
+    def test_integer_rejects_fractional_float(self):
+        with pytest.raises(SchemaError):
+            coerce(3.5, DataType.INTEGER)
+
+    def test_integer_rejects_word(self):
+        with pytest.raises(SchemaError):
+            coerce("hello", DataType.INTEGER)
+
+    def test_float_from_string(self):
+        assert coerce("2.5", DataType.FLOAT) == 2.5
+        assert coerce("1e3", DataType.FLOAT) == 1000.0
+
+    def test_float_from_int(self):
+        assert coerce(2, DataType.FLOAT) == 2.0
+
+    def test_text_from_number(self):
+        assert coerce(42, DataType.TEXT) == "42"
+
+    def test_text_passthrough(self):
+        assert coerce("abc", DataType.TEXT) == "abc"
+
+    def test_boolean_literals(self):
+        for literal in ("true", "T", "yes", "1", "y"):
+            assert coerce(literal, DataType.BOOLEAN) is True
+        for literal in ("false", "F", "no", "0", "n"):
+            assert coerce(literal, DataType.BOOLEAN) is False
+
+    def test_boolean_from_int(self):
+        assert coerce(1, DataType.BOOLEAN) is True
+        assert coerce(0, DataType.BOOLEAN) is False
+
+    def test_boolean_rejects_other_ints(self):
+        with pytest.raises(SchemaError):
+            coerce(2, DataType.BOOLEAN)
+
+    def test_date_from_iso_string(self):
+        assert coerce("2013-08-26", DataType.DATE) == date(2013, 8, 26)
+
+    def test_date_from_datetime(self):
+        assert coerce(datetime(2013, 8, 26, 12, 0), DataType.DATE) == date(
+            2013, 8, 26
+        )
+
+    def test_date_rejects_garbage(self):
+        with pytest.raises(SchemaError):
+            coerce("not-a-date", DataType.DATE)
+
+    def test_date_rejects_out_of_range(self):
+        with pytest.raises(SchemaError):
+            coerce("2013-13-45", DataType.DATE)
+
+    @given(st.integers(min_value=-(10**12), max_value=10**12))
+    def test_integer_roundtrip_through_text(self, value):
+        assert coerce(coerce(value, DataType.TEXT), DataType.INTEGER) == value
+
+
+class TestInferType:
+    def test_all_null_defaults_to_text(self):
+        assert infer_type([None, "", None]) is DataType.TEXT
+
+    def test_integers(self):
+        assert infer_type(["1", "2", "3"]) is DataType.INTEGER
+
+    def test_floats(self):
+        assert infer_type(["1.5", "2"]) is DataType.FLOAT
+
+    def test_booleans(self):
+        assert infer_type(["true", "false"]) is DataType.BOOLEAN
+
+    def test_dates(self):
+        assert infer_type(["2020-01-01", "1999-12-31"]) is DataType.DATE
+
+    def test_mixed_falls_back_to_text(self):
+        assert infer_type(["1", "hello"]) is DataType.TEXT
+
+    def test_nulls_are_ignored(self):
+        assert infer_type([None, "7", ""]) is DataType.INTEGER

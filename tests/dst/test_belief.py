@@ -1,0 +1,54 @@
+"""Tests for belief, plausibility and pignistic ranking."""
+
+import pytest
+
+from repro.dst import MassFunction, belief, pignistic, plausibility, rank_hypotheses
+
+
+@pytest.fixture()
+def mass() -> MassFunction:
+    m = MassFunction(frame={"a", "b", "c"})
+    m.assign(frozenset({"a"}), 0.5)
+    m.assign(frozenset({"a", "b"}), 0.3)
+    m.assign(frozenset({"a", "b", "c"}), 0.2)
+    return m
+
+
+class TestBeliefPlausibility:
+    def test_belief_is_contained_mass(self, mass):
+        assert belief(mass, {"a"}) == pytest.approx(0.5)
+        assert belief(mass, {"a", "b"}) == pytest.approx(0.8)
+        assert belief(mass, {"a", "b", "c"}) == pytest.approx(1.0)
+
+    def test_plausibility_is_intersecting_mass(self, mass):
+        assert plausibility(mass, {"a"}) == pytest.approx(1.0)
+        assert plausibility(mass, {"b"}) == pytest.approx(0.5)
+        assert plausibility(mass, {"c"}) == pytest.approx(0.2)
+
+    def test_belief_below_plausibility(self, mass):
+        for h in ("a", "b", "c"):
+            assert belief(mass, {h}) <= plausibility(mass, {h}) + 1e-12
+
+
+class TestPignistic:
+    def test_distributes_group_mass(self, mass):
+        probabilities = pignistic(mass)
+        assert probabilities["a"] == pytest.approx(0.5 + 0.15 + 0.2 / 3)
+        assert probabilities["b"] == pytest.approx(0.15 + 0.2 / 3)
+        assert probabilities["c"] == pytest.approx(0.2 / 3)
+
+    def test_sums_to_one(self, mass):
+        assert sum(pignistic(mass).values()) == pytest.approx(1.0)
+
+
+class TestRanking:
+    def test_order(self, mass):
+        ranked = rank_hypotheses(mass)
+        assert [h for h, _p in ranked] == ["a", "b", "c"]
+
+    def test_k_truncation(self, mass):
+        assert len(rank_hypotheses(mass, 2)) == 2
+
+    def test_deterministic_tie_break(self):
+        m = MassFunction.from_scores({"b": 1.0, "a": 1.0})
+        assert [h for h, _p in rank_hypotheses(m)] == ["a", "b"]

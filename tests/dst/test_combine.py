@@ -1,0 +1,123 @@
+"""Tests for Dempster's rule and the QUEST combiner."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dst import MassFunction, combine_scores, conflict, dempster_combine
+from repro.errors import CombinationError
+
+
+class TestDempsterRule:
+    def test_textbook_example(self):
+        # Shafer's classic: two witnesses, partial agreement.
+        left = MassFunction.from_scores({"a": 0.8, "b": 0.2})
+        right = MassFunction.from_scores({"a": 0.6, "c": 0.4}, frame={"a", "b", "c"})
+        combined = dempster_combine(left, right)
+        # Only {a}∩{a} survives: all mass concentrates on a.
+        assert combined.mass({"a"}) == pytest.approx(1.0)
+
+    def test_agreement_reinforces(self):
+        left = MassFunction.from_scores({"a": 0.7, "b": 0.3}, ignorance=0.2)
+        right = MassFunction.from_scores({"a": 0.7, "b": 0.3}, ignorance=0.2)
+        combined = dempster_combine(left, right)
+        # Two independent sources agreeing on `a` make it more certain than
+        # either source alone.
+        assert combined.mass({"a"}) > 0.56
+
+    def test_vacuous_is_neutral(self):
+        evidence = MassFunction.from_scores({"a": 0.7, "b": 0.3})
+        vacuous = MassFunction.vacuous({"a", "b"})
+        combined = dempster_combine(evidence, vacuous)
+        assert combined == evidence
+
+    def test_total_conflict_raises(self):
+        left = MassFunction.from_scores({"a": 1.0})
+        right = MassFunction.from_scores({"b": 1.0})
+        with pytest.raises(CombinationError):
+            dempster_combine(left, right)
+
+    def test_conflict_coefficient(self):
+        left = MassFunction.from_scores({"a": 0.5, "b": 0.5})
+        right = MassFunction.from_scores({"a": 1.0}, frame={"a", "b"})
+        assert conflict(left, right) == pytest.approx(0.5)
+
+    def test_commutative(self):
+        left = MassFunction.from_scores({"a": 0.6, "b": 0.4}, ignorance=0.1)
+        right = MassFunction.from_scores({"b": 0.5, "c": 0.5}, ignorance=0.3)
+        frame = {"a", "b", "c"}
+        left = MassFunction.from_scores({"a": 0.6, "b": 0.4}, 0.1, frame)
+        right = MassFunction.from_scores({"b": 0.5, "c": 0.5}, 0.3, frame)
+        assert dempster_combine(left, right) == dempster_combine(right, left)
+
+    def test_result_is_valid(self):
+        left = MassFunction.from_scores({"a": 0.6, "b": 0.4}, 0.25)
+        right = MassFunction.from_scores({"a": 0.3, "b": 0.7}, 0.4)
+        dempster_combine(left, right).validate()
+
+
+class TestCombineScores:
+    def test_agreeing_hypothesis_wins(self):
+        ranked = combine_scores(
+            {"a": 0.6, "b": 0.4},
+            {"a": 0.5, "c": 0.5},
+            0.2,
+            0.2,
+        )
+        assert ranked[0][0] == "a"
+
+    def test_ignorance_shifts_weight(self):
+        # Identical score profiles, but the right source is near-ignorant:
+        # the left source's favourite must win.
+        confident_left = combine_scores(
+            {"a": 0.9, "b": 0.1}, {"a": 0.1, "b": 0.9}, 0.05, 0.9
+        )
+        assert confident_left[0][0] == "a"
+        confident_right = combine_scores(
+            {"a": 0.9, "b": 0.1}, {"a": 0.1, "b": 0.9}, 0.9, 0.05
+        )
+        assert confident_right[0][0] == "b"
+
+    def test_k_truncates(self):
+        ranked = combine_scores(
+            {"a": 1.0, "b": 0.5, "c": 0.2}, {"a": 1.0}, 0.3, 0.3, k=2
+        )
+        assert len(ranked) == 2
+
+    def test_one_sided_hypotheses_survive(self):
+        # `c` is known only to the right source; the left source's
+        # ignorance must let it survive combination.
+        ranked = combine_scores({"a": 1.0}, {"c": 1.0}, 0.5, 0.5)
+        hypotheses = [h for h, _p in ranked]
+        assert "c" in hypotheses and "a" in hypotheses
+
+    def test_empty_sources_rejected(self):
+        with pytest.raises(CombinationError):
+            combine_scores({}, {}, 0.1, 0.1)
+
+    def test_probabilities_sum_to_one(self):
+        ranked = combine_scores(
+            {"a": 0.5, "b": 0.3}, {"b": 0.5, "c": 0.7}, 0.2, 0.4
+        )
+        assert sum(p for _h, p in ranked) == pytest.approx(1.0)
+
+    @given(
+        st.dictionaries(
+            st.sampled_from("abcd"),
+            st.floats(min_value=0.01, max_value=10),
+            min_size=1,
+            max_size=4,
+        ),
+        st.dictionaries(
+            st.sampled_from("cdef"),
+            st.floats(min_value=0.01, max_value=10),
+            min_size=1,
+            max_size=4,
+        ),
+        st.floats(min_value=0.05, max_value=0.95),
+        st.floats(min_value=0.05, max_value=0.95),
+    )
+    def test_always_a_valid_distribution(self, left, right, o1, o2):
+        ranked = combine_scores(left, right, o1, o2)
+        assert sum(p for _h, p in ranked) == pytest.approx(1.0)
+        assert all(p >= 0 for _h, p in ranked)

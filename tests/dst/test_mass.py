@@ -1,0 +1,120 @@
+"""Tests for mass functions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dst import MassFunction
+from repro.errors import CombinationError
+
+
+class TestFromScores:
+    def test_scores_normalised_to_singletons(self):
+        mass = MassFunction.from_scores({"a": 2.0, "b": 2.0}, ignorance=0.0)
+        assert mass.mass({"a"}) == pytest.approx(0.5)
+        assert mass.mass({"b"}) == pytest.approx(0.5)
+        mass.validate()
+
+    def test_ignorance_goes_to_frame(self):
+        mass = MassFunction.from_scores({"a": 1.0}, ignorance=0.3, frame={"a", "b"})
+        assert mass.mass({"a"}) == pytest.approx(0.7)
+        assert mass.ignorance() == pytest.approx(0.3)
+        mass.validate()
+
+    def test_zero_scores_dropped(self):
+        mass = MassFunction.from_scores({"a": 1.0, "b": 0.0})
+        assert mass.mass({"b"}) == 0.0
+
+    def test_all_zero_scores_gives_vacuous(self):
+        mass = MassFunction.from_scores({"a": 0.0}, frame={"a", "b"})
+        assert mass.ignorance() == 1.0
+
+    def test_negative_score_rejected(self):
+        with pytest.raises(CombinationError):
+            MassFunction.from_scores({"a": -1.0})
+
+    def test_bad_ignorance_rejected(self):
+        with pytest.raises(CombinationError):
+            MassFunction.from_scores({"a": 1.0}, ignorance=1.5)
+
+    def test_empty_frame_rejected(self):
+        with pytest.raises(CombinationError):
+            MassFunction.from_scores({}, frame=set())
+
+    @given(
+        st.dictionaries(
+            st.sampled_from("abcdef"),
+            st.floats(min_value=0.01, max_value=100),
+            min_size=1,
+            max_size=6,
+        ),
+        st.floats(min_value=0.0, max_value=0.99),
+    )
+    def test_always_valid(self, scores, ignorance):
+        mass = MassFunction.from_scores(scores, ignorance)
+        mass.validate()
+        assert mass.total() == pytest.approx(1.0)
+
+
+class TestAssign:
+    def test_accumulates(self):
+        mass = MassFunction()
+        mass.assign(frozenset({"a"}), 0.3)
+        mass.assign(frozenset({"a"}), 0.2)
+        assert mass.mass({"a"}) == pytest.approx(0.5)
+
+    def test_empty_set_cannot_carry_mass(self):
+        mass = MassFunction()
+        with pytest.raises(CombinationError):
+            mass.assign(frozenset(), 0.1)
+
+    def test_zero_mass_on_empty_is_noop(self):
+        mass = MassFunction()
+        mass.assign(frozenset(), 0.0)
+        assert mass.focal_elements == ()
+
+    def test_negative_mass_rejected(self):
+        mass = MassFunction()
+        with pytest.raises(CombinationError):
+            mass.assign(frozenset({"a"}), -0.1)
+
+    def test_frame_grows_with_focals(self):
+        mass = MassFunction()
+        mass.assign(frozenset({"a", "b"}), 1.0)
+        assert mass.frame == frozenset({"a", "b"})
+
+
+class TestNormalize:
+    def test_normalize(self):
+        mass = MassFunction()
+        mass.assign(frozenset({"a"}), 2.0)
+        mass.assign(frozenset({"b"}), 2.0)
+        mass.normalize()
+        mass.validate()
+
+    def test_normalize_empty_rejected(self):
+        with pytest.raises(CombinationError):
+            MassFunction().normalize()
+
+
+class TestVacuous:
+    def test_vacuous(self):
+        mass = MassFunction.vacuous({"a", "b"})
+        assert mass.ignorance() == 1.0
+        mass.validate()
+
+    def test_vacuous_needs_frame(self):
+        with pytest.raises(CombinationError):
+            MassFunction.vacuous(set())
+
+
+class TestEquality:
+    def test_equal_masses(self):
+        left = MassFunction.from_scores({"a": 1.0, "b": 1.0})
+        right = MassFunction.from_scores({"a": 2.0, "b": 2.0})
+        assert left == right
+
+    def test_unequal_masses(self):
+        left = MassFunction.from_scores({"a": 1.0})
+        right = MassFunction.from_scores({"b": 1.0})
+        assert left != right

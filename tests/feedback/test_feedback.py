@@ -1,0 +1,167 @@
+"""Tests for the feedback store, trainer, oracle and adaptive ignorance."""
+
+import pytest
+
+from repro.core import Configuration, KeywordMapping
+from repro.errors import TrainingError
+from repro.feedback import (
+    FeedbackRecord,
+    FeedbackStore,
+    FeedbackTrainer,
+    SimulatedUser,
+    adaptive_ignorance,
+)
+from repro.hmm import State, StateKind, StateSpace
+
+
+def make_config(schema, pairs):
+    return Configuration(
+        tuple(KeywordMapping(k, s) for k, s in pairs), 1.0
+    )
+
+
+@pytest.fixture()
+def gold_config(mini_schema):
+    return make_config(
+        mini_schema,
+        [
+            ("kubrick", State(StateKind.DOMAIN, "person", "name")),
+            ("movies", State(StateKind.TABLE, "movie")),
+        ],
+    )
+
+
+class TestStore:
+    def test_record_validation_checks_arity(self, gold_config):
+        with pytest.raises(TrainingError):
+            FeedbackRecord(("only-one",), gold_config)
+
+    def test_counts(self, gold_config):
+        store = FeedbackStore()
+        store.add_validation(("kubrick", "movies"), gold_config)
+        store.add_rejection(("kubrick", "movies"), gold_config)
+        store.add_validation(("kubrick", "movies"), gold_config)
+        assert store.positive_count() == 2
+        assert store.negative_count() == 1
+        assert len(store) == 3
+        assert len(store.positives()) == 2
+        assert len(store.negatives()) == 1
+
+
+class TestAdaptiveIgnorance:
+    def test_starts_at_ceiling(self):
+        assert adaptive_ignorance(0, 0) == pytest.approx(0.9)
+
+    def test_decays_with_positives(self):
+        values = [adaptive_ignorance(n, 0) for n in (0, 4, 8, 16, 64)]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] == pytest.approx(0.1, abs=0.02)
+
+    def test_negatives_push_back_up(self):
+        assert adaptive_ignorance(10, 3) > adaptive_ignorance(10, 0)
+
+    def test_clamped_to_bounds(self):
+        assert adaptive_ignorance(1000, 0) >= 0.1
+        assert adaptive_ignorance(0, 1000) <= 0.9
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(TrainingError):
+            adaptive_ignorance(-1, 0)
+
+
+class TestTrainer:
+    def test_untrained_model_is_uniform(self, mini_schema):
+        trainer = FeedbackTrainer(StateSpace(mini_schema))
+        assert not trainer.is_trained
+        model = trainer.model
+        assert model.transition[0, 0] == pytest.approx(
+            model.transition[0, 1]
+        )
+
+    def test_validation_trains(self, mini_schema, gold_config):
+        trainer = FeedbackTrainer(StateSpace(mini_schema))
+        trainer.validate(("kubrick", "movies"), gold_config)
+        assert trainer.is_trained
+        space = trainer.states
+        source = space.index(State(StateKind.DOMAIN, "person", "name"))
+        target = space.index(State(StateKind.TABLE, "movie"))
+        row = trainer.model.transition[source]
+        assert row[target] == max(row)
+
+    def test_rejection_does_not_train(self, mini_schema, gold_config):
+        trainer = FeedbackTrainer(StateSpace(mini_schema))
+        trainer.reject(("kubrick", "movies"), gold_config)
+        assert not trainer.is_trained
+        assert trainer.suggested_ignorance() > adaptive_ignorance(0, 0) - 0.06
+
+    def test_retrain_from_scratch(self, mini_schema, gold_config):
+        trainer = FeedbackTrainer(StateSpace(mini_schema))
+        trainer.validate(("kubrick", "movies"), gold_config)
+        trainer.retrain()
+        assert trainer.is_trained
+
+    def test_retrain_with_no_positives_resets(self, mini_schema, gold_config):
+        trainer = FeedbackTrainer(StateSpace(mini_schema))
+        trainer.reject(("kubrick", "movies"), gold_config)
+        trainer.retrain()
+        assert not trainer.is_trained
+
+    def test_foreign_configuration_rejected(self, mini_schema):
+        trainer = FeedbackTrainer(StateSpace(mini_schema))
+        foreign = Configuration(
+            (
+                KeywordMapping(
+                    "x", State(StateKind.TABLE, "not_a_table")
+                ),
+            ),
+            1.0,
+        )
+        with pytest.raises(TrainingError):
+            trainer.validate(("x",), foreign)
+
+
+class TestSimulatedUser:
+    def test_judges_against_gold(self, gold_config):
+        oracle = SimulatedUser({("kubrick", "movies"): gold_config})
+        assert oracle.judge(("kubrick", "movies"), gold_config)
+        wrong = gold_config.with_score(0.1)  # same identity -> still gold
+        assert oracle.judge(("kubrick", "movies"), wrong)
+
+    def test_noise_flips_verdicts(self, gold_config):
+        oracle = SimulatedUser(
+            {("kubrick", "movies"): gold_config}, noise=1.0
+        )
+        assert not oracle.judge(("kubrick", "movies"), gold_config)
+
+    def test_teach_validates_gold_in_proposals(
+        self, mini_schema, gold_config
+    ):
+        trainer = FeedbackTrainer(StateSpace(mini_schema))
+        oracle = SimulatedUser({("kubrick", "movies"): gold_config})
+        taught = oracle.teach(
+            trainer, ("kubrick", "movies"), [gold_config]
+        )
+        assert taught and trainer.is_trained
+
+    def test_teach_rejects_then_corrects(self, mini_schema, gold_config):
+        trainer = FeedbackTrainer(StateSpace(mini_schema))
+        oracle = SimulatedUser({("kubrick", "movies"): gold_config})
+        wrong = Configuration(
+            (
+                KeywordMapping(
+                    "kubrick", State(StateKind.DOMAIN, "movie", "title")
+                ),
+                KeywordMapping("movies", State(StateKind.TABLE, "movie")),
+            ),
+            1.0,
+        )
+        taught = oracle.teach(trainer, ("kubrick", "movies"), [wrong])
+        assert taught
+        assert trainer.store.negative_count() == 1
+        assert trainer.store.positive_count() == 1
+
+    def test_unknown_query_not_taught(self, mini_schema, gold_config):
+        trainer = FeedbackTrainer(StateSpace(mini_schema))
+        oracle = SimulatedUser({("kubrick", "movies"): gold_config})
+        assert not oracle.teach(trainer, ("other",), [gold_config])
+        assert not oracle.knows(("other",))

@@ -1,0 +1,111 @@
+"""Tests for the a-priori heuristic parameter builder."""
+
+import numpy as np
+import pytest
+
+from repro.hmm import (
+    AprioriWeights,
+    StateKind,
+    StateSpace,
+    build_apriori_model,
+)
+
+
+@pytest.fixture()
+def model_and_space(mini_schema):
+    space = StateSpace(mini_schema)
+    return build_apriori_model(mini_schema, space), space
+
+
+class TestStructure:
+    def test_valid_distributions(self, model_and_space):
+        model, _space = model_and_space
+        assert np.allclose(model.transition.sum(axis=1), 1.0)
+        assert model.initial.sum() == pytest.approx(1.0)
+
+    def test_same_table_beats_unrelated(self, model_and_space):
+        model, space = model_and_space
+        title = space.index(space.attribute_state("movie", "title"))
+        year = space.index(space.attribute_state("movie", "year"))
+        person_name = space.index(space.attribute_state("person", "name"))
+        genre_label = space.index(space.attribute_state("genre", "label"))
+        assert model.transition[title, year] > model.transition[title, genre_label] or \
+            model.transition[title, year] > 0
+        # person and genre are not adjacent: transitions minimal.
+        assert (
+            model.transition[person_name, genre_label]
+            < model.transition[title, year]
+        )
+
+    def test_fk_adjacent_beats_disconnected(self, model_and_space):
+        model, space = model_and_space
+        movie_title = space.index(space.attribute_state("movie", "title"))
+        person_name = space.index(space.attribute_state("person", "name"))
+        genre_label = space.index(space.attribute_state("genre", "label"))
+        assert (
+            model.transition[movie_title, person_name]
+            > model.transition[genre_label, person_name]
+        )
+
+    def test_attribute_flows_to_own_domain(self, model_and_space):
+        model, space = model_and_space
+        attribute = space.index(space.attribute_state("movie", "title"))
+        own_domain = space.index(space.domain_state("movie", "title"))
+        other_domain = space.index(space.domain_state("movie", "year"))
+        assert model.transition[attribute, own_domain] > model.transition[
+            attribute, other_domain
+        ]
+
+    def test_initial_prefers_domains(self, model_and_space):
+        model, space = model_and_space
+        domain = space.index(space.domain_state("movie", "title"))
+        attribute = space.index(space.attribute_state("movie", "title"))
+        assert model.initial[domain] > model.initial[attribute]
+
+    def test_all_transitions_positive(self, model_and_space):
+        model, _space = model_and_space
+        assert np.all(model.transition > 0)
+
+
+class TestJunctionRule:
+    def test_junction_links_entities(self, imdb_db):
+        schema = imdb_db.schema
+        space = StateSpace(schema)
+        model = build_apriori_model(schema, space)
+        # person and movie are junction-linked through casting AND directly
+        # adjacent via movie.director_id: transition well above baseline.
+        person_name = space.index(space.domain_state("person", "name"))
+        movie_table = space.index(space.table_state("movie"))
+        genre_company = space.index(space.table_state("company"))
+        person_to_movie = model.transition[person_name, movie_table]
+        # genre and company are NOT junction linked nor adjacent.
+        genre_label = space.index(space.domain_state("genre", "label"))
+        assert person_to_movie > model.transition[genre_label, genre_company]
+
+
+class TestCustomWeights:
+    def test_custom_weights_change_model(self, mini_schema):
+        space = StateSpace(mini_schema)
+        default = build_apriori_model(mini_schema, space)
+        flat = build_apriori_model(
+            mini_schema,
+            space,
+            AprioriWeights(
+                attribute_to_own_domain=1.0,
+                table_to_member=1.0,
+                same_table=1.0,
+                fk_endpoint=1.0,
+                fk_adjacent_tables=1.0,
+                junction_linked_tables=1.0,
+                self_loop=1.0,
+                default=1.0,
+            ),
+        )
+        # Flat weights yield uniform transitions.
+        n = len(space)
+        assert np.allclose(flat.transition, 1.0 / n)
+        assert not np.allclose(default.transition, 1.0 / n)
+
+    def test_builds_space_when_not_given(self, mini_schema):
+        model = build_apriori_model(mini_schema)
+        assert len(model.states) == len(StateSpace(mini_schema))

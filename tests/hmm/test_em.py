@@ -1,0 +1,122 @@
+"""Tests for supervised updates and Baum-Welch training."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.hmm import HiddenMarkovModel, baum_welch, log_likelihood, supervised_update
+
+from tests.hmm.test_viterbi import tiny_space
+
+
+class FixedProvider:
+    """Keyword 'k<i>' emits deterministically from state i."""
+
+    def emission_scores(self, keyword, states):
+        scores = np.zeros(len(states))
+        index = int(keyword[1:])
+        scores[index] = 1.0
+        return scores
+
+
+class TestSupervisedUpdate:
+    def test_counts_shape_transitions(self):
+        space = tiny_space(1)
+        model = HiddenMarkovModel.uniform(space)
+        trained = supervised_update(model, [[0, 1], [0, 1], [0, 2]])
+        # 0 -> 1 twice, 0 -> 2 once.
+        assert trained.transition[0, 1] > trained.transition[0, 2]
+        assert trained.transition[0, 1] > trained.transition[0, 3]
+        assert trained.initial[0] > trained.initial[1]
+
+    def test_learning_rate_blends(self):
+        space = tiny_space(1)
+        model = HiddenMarkovModel.uniform(space)
+        full = supervised_update(model, [[0, 1]], learning_rate=1.0)
+        half = supervised_update(model, [[0, 1]], learning_rate=0.5)
+        assert full.transition[0, 1] > half.transition[0, 1]
+        assert half.transition[0, 1] > model.transition[0, 1]
+
+    def test_result_is_valid_model(self):
+        space = tiny_space(1)
+        model = HiddenMarkovModel.uniform(space)
+        trained = supervised_update(model, [[0, 1, 2]])
+        assert np.allclose(trained.transition.sum(axis=1), 1.0)
+        assert trained.initial.sum() == pytest.approx(1.0)
+
+    def test_empty_feedback_rejected(self):
+        space = tiny_space(1)
+        model = HiddenMarkovModel.uniform(space)
+        with pytest.raises(TrainingError):
+            supervised_update(model, [])
+
+    def test_empty_path_rejected(self):
+        space = tiny_space(1)
+        model = HiddenMarkovModel.uniform(space)
+        with pytest.raises(TrainingError):
+            supervised_update(model, [[]])
+
+    def test_out_of_range_state_rejected(self):
+        space = tiny_space(1)
+        model = HiddenMarkovModel.uniform(space)
+        with pytest.raises(TrainingError):
+            supervised_update(model, [[999]])
+
+    def test_bad_learning_rate_rejected(self):
+        space = tiny_space(1)
+        model = HiddenMarkovModel.uniform(space)
+        with pytest.raises(TrainingError):
+            supervised_update(model, [[0]], learning_rate=0.0)
+
+    def test_original_model_unchanged(self):
+        space = tiny_space(1)
+        model = HiddenMarkovModel.uniform(space)
+        before = model.transition.copy()
+        supervised_update(model, [[0, 1]])
+        assert np.array_equal(model.transition, before)
+
+
+class TestBaumWelch:
+    def test_likelihood_never_decreases(self):
+        space = tiny_space(2)
+        model = HiddenMarkovModel.uniform(space)
+        provider = FixedProvider()
+        sequences = [["k0", "k1"], ["k0", "k2"], ["k0", "k1"]]
+        trained, report = baum_welch(
+            model, sequences, provider, max_iterations=10
+        )
+        before = sum(
+            log_likelihood(model, model.emission_matrix(s, provider))
+            for s in sequences
+        )
+        after = sum(
+            log_likelihood(trained, trained.emission_matrix(s, provider))
+            for s in sequences
+        )
+        assert after >= before - 1e-9
+        assert report.sequences == 3
+
+    def test_learns_dominant_transition(self):
+        space = tiny_space(2)
+        model = HiddenMarkovModel.uniform(space)
+        trained, _report = baum_welch(
+            model, [["k0", "k1"]] * 5, FixedProvider(), max_iterations=15
+        )
+        # Transition 0 -> 1 should now dominate row 0.
+        assert np.argmax(trained.transition[0]) == 1
+        assert np.argmax(trained.initial) == 0
+
+    def test_convergence_reported(self):
+        space = tiny_space(1)
+        model = HiddenMarkovModel.uniform(space)
+        _trained, report = baum_welch(
+            model, [["k0", "k1"]], FixedProvider(), max_iterations=50
+        )
+        assert report.converged
+        assert report.iterations < 50
+
+    def test_no_sequences_rejected(self):
+        space = tiny_space(1)
+        model = HiddenMarkovModel.uniform(space)
+        with pytest.raises(TrainingError):
+            baum_welch(model, [], FixedProvider())

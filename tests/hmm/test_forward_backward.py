@@ -1,0 +1,97 @@
+"""Tests for the scaled forward-backward recursions."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.hmm import HiddenMarkovModel, forward_backward, log_likelihood
+
+from tests.hmm.test_viterbi import random_model, tiny_space
+
+
+def brute_force_likelihood(model, emissions):
+    """P(observations) by exhaustive path enumeration."""
+    T, n = emissions.shape
+    total = 0.0
+    for path in itertools.product(range(n), repeat=T):
+        p = model.initial[path[0]] * emissions[0, path[0]]
+        for t in range(1, T):
+            p *= model.transition[path[t - 1], path[t]] * emissions[t, path[t]]
+        total += p
+    return total
+
+
+class TestLikelihood:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("T", [1, 2, 3])
+    def test_matches_brute_force(self, seed, T):
+        rng = np.random.default_rng(seed)
+        space = tiny_space(2)
+        model = random_model(space, rng)
+        emissions = rng.random((T, len(space))) + 0.01
+        expected = brute_force_likelihood(model, emissions)
+        assert log_likelihood(model, emissions) == pytest.approx(
+            np.log(expected)
+        )
+
+    def test_width_mismatch_rejected(self):
+        space = tiny_space(1)
+        model = HiddenMarkovModel.uniform(space)
+        with pytest.raises(ModelError):
+            forward_backward(model, np.full((2, 3), 0.5))
+
+    def test_zero_probability_sequence_rejected(self):
+        space = tiny_space(1)
+        model = HiddenMarkovModel.uniform(space)
+        emissions = np.zeros((1, len(space)))
+        with pytest.raises(ModelError):
+            forward_backward(model, emissions)
+
+
+class TestPosteriors:
+    def test_gamma_rows_are_distributions(self):
+        rng = np.random.default_rng(5)
+        space = tiny_space(2)
+        model = random_model(space, rng)
+        emissions = rng.random((4, len(space))) + 0.01
+        result = forward_backward(model, emissions)
+        assert np.allclose(result.gamma.sum(axis=1), 1.0)
+        assert np.all(result.gamma >= 0)
+
+    def test_xi_totals_match_sequence_length(self):
+        rng = np.random.default_rng(6)
+        space = tiny_space(2)
+        model = random_model(space, rng)
+        T = 5
+        emissions = rng.random((T, len(space))) + 0.01
+        result = forward_backward(model, emissions)
+        # xi sums one unit of probability per transition step.
+        assert result.xi.sum() == pytest.approx(T - 1)
+
+    def test_gamma_matches_xi_marginals(self):
+        rng = np.random.default_rng(9)
+        space = tiny_space(1)
+        model = random_model(space, rng)
+        emissions = rng.random((2, len(space))) + 0.01
+        result = forward_backward(model, emissions)
+        # For T=2, xi row-sums equal gamma at t=0.
+        assert np.allclose(result.xi.sum(axis=1), result.gamma[0])
+
+    def test_single_observation(self):
+        space = tiny_space(1)
+        model = HiddenMarkovModel.uniform(space)
+        emissions = np.full((1, len(space)), 1.0 / len(space))
+        result = forward_backward(model, emissions)
+        assert result.xi.sum() == pytest.approx(0.0)
+        assert np.allclose(result.gamma.sum(axis=1), 1.0)
+
+    def test_long_sequence_is_numerically_stable(self):
+        rng = np.random.default_rng(11)
+        space = tiny_space(2)
+        model = random_model(space, rng)
+        emissions = rng.random((200, len(space))) * 1e-4 + 1e-9
+        result = forward_backward(model, emissions)
+        assert np.isfinite(result.log_likelihood)
+        assert np.allclose(result.gamma.sum(axis=1), 1.0)

@@ -1,0 +1,122 @@
+"""Tests for the HMM container and emission handling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.hmm import EMISSION_FLOOR, HiddenMarkovModel, StateSpace
+
+
+class ConstantProvider:
+    """Emission provider returning a fixed score vector."""
+
+    def __init__(self, vector):
+        self.vector = np.asarray(vector, dtype=float)
+
+    def emission_scores(self, keyword, states):
+        return self.vector
+
+
+@pytest.fixture()
+def space(mini_schema) -> StateSpace:
+    return StateSpace(mini_schema)
+
+
+class TestConstruction:
+    def test_uniform(self, space):
+        model = HiddenMarkovModel.uniform(space)
+        n = len(space)
+        assert model.initial == pytest.approx(np.full(n, 1 / n))
+        assert np.allclose(model.transition.sum(axis=1), 1.0)
+
+    def test_rows_are_normalised(self, space):
+        n = len(space)
+        model = HiddenMarkovModel(
+            space, np.ones(n), np.random.default_rng(0).random((n, n)) + 0.1
+        )
+        assert np.allclose(model.transition.sum(axis=1), 1.0)
+        assert model.initial.sum() == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self, space):
+        n = len(space)
+        with pytest.raises(ModelError):
+            HiddenMarkovModel(space, np.ones(n + 1), np.ones((n, n)))
+        with pytest.raises(ModelError):
+            HiddenMarkovModel(space, np.ones(n), np.ones((n, n + 1)))
+
+    def test_negative_probability_rejected(self, space):
+        n = len(space)
+        initial = np.ones(n)
+        initial[0] = -1
+        with pytest.raises(ModelError):
+            HiddenMarkovModel(space, initial, np.ones((n, n)))
+
+    def test_zero_row_rejected(self, space):
+        n = len(space)
+        transition = np.ones((n, n))
+        transition[2, :] = 0.0
+        with pytest.raises(ModelError):
+            HiddenMarkovModel(space, np.ones(n), transition)
+
+    def test_copy_is_independent(self, space):
+        model = HiddenMarkovModel.uniform(space)
+        clone = model.copy()
+        clone.transition[0, 0] = 0.5
+        assert model.transition[0, 0] != 0.5
+
+
+class TestEmissionMatrix:
+    def test_rows_sum_to_one(self, space):
+        model = HiddenMarkovModel.uniform(space)
+        vector = np.zeros(len(space))
+        vector[3] = 5.0
+        matrix = model.emission_matrix(["x", "y"], ConstantProvider(vector))
+        assert matrix.shape == (2, len(space))
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_floor_keeps_all_states_alive(self, space):
+        model = HiddenMarkovModel.uniform(space)
+        matrix = model.emission_matrix(
+            ["x"], ConstantProvider(np.zeros(len(space)))
+        )
+        assert np.all(matrix > 0)
+
+    def test_floored_scores_dominated_by_real_evidence(self, space):
+        model = HiddenMarkovModel.uniform(space)
+        vector = np.zeros(len(space))
+        vector[0] = 1.0
+        matrix = model.emission_matrix(["x"], ConstantProvider(vector))
+        assert matrix[0, 0] > matrix[0, 1] / EMISSION_FLOOR * 1e-3
+
+    def test_empty_sequence_rejected(self, space):
+        model = HiddenMarkovModel.uniform(space)
+        with pytest.raises(ModelError):
+            model.emission_matrix([], ConstantProvider(np.zeros(len(space))))
+
+    def test_wrong_width_rejected(self, space):
+        model = HiddenMarkovModel.uniform(space)
+        with pytest.raises(ModelError):
+            model.emission_matrix(["x"], ConstantProvider(np.zeros(3)))
+
+    def test_negative_scores_rejected(self, space):
+        model = HiddenMarkovModel.uniform(space)
+        with pytest.raises(ModelError):
+            model.emission_matrix(
+                ["x"], ConstantProvider(np.full(len(space), -1.0))
+            )
+
+
+class TestSequenceLogProbability:
+    def test_uniform_model_path_probability(self, space):
+        model = HiddenMarkovModel.uniform(space)
+        n = len(space)
+        emissions = np.full((2, n), 1.0 / n)
+        logp = model.sequence_log_probability([0, 1], emissions)
+        expected = np.log(1 / n) * 4  # initial + emission + transition + emission
+        assert logp == pytest.approx(expected)
+
+    def test_length_mismatch_rejected(self, space):
+        model = HiddenMarkovModel.uniform(space)
+        emissions = np.full((2, len(space)), 0.1)
+        with pytest.raises(ModelError):
+            model.sequence_log_probability([0], emissions)

@@ -1,0 +1,136 @@
+"""Tests for Viterbi and List Viterbi decoding.
+
+The key oracle: brute-force enumeration of all state paths. List Viterbi
+must return exactly the top-k of that enumeration.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Column, Schema, TableSchema
+from repro.db.types import DataType
+from repro.errors import ModelError
+from repro.hmm import HiddenMarkovModel, StateSpace, list_viterbi, viterbi
+
+
+def tiny_space(n_columns: int = 1) -> StateSpace:
+    columns = tuple(
+        Column(f"c{i}", DataType.TEXT) for i in range(n_columns)
+    ) + (Column("id", DataType.INTEGER, nullable=False),)
+    schema = Schema(
+        [TableSchema("t", columns, ("id",))], name="tiny"
+    )
+    return StateSpace(schema)
+
+
+def brute_force(model, emissions, k):
+    """All paths scored exhaustively, best k."""
+    T, n = emissions.shape
+    scored = []
+    for path in itertools.product(range(n), repeat=T):
+        logp = model.sequence_log_probability(list(path), emissions)
+        scored.append((logp, path))
+    scored.sort(key=lambda item: (-item[0], item[1]))
+    return scored[:k]
+
+
+def random_model(space, rng):
+    n = len(space)
+    return HiddenMarkovModel(
+        space, rng.random(n) + 0.05, rng.random((n, n)) + 0.05
+    )
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("T", [1, 2, 3])
+    def test_topk_matches_enumeration(self, seed, T):
+        rng = np.random.default_rng(seed)
+        space = tiny_space(2)  # 7 states
+        model = random_model(space, rng)
+        emissions = rng.random((T, len(space))) + 0.01
+        emissions /= emissions.sum(axis=1, keepdims=True)
+        k = 5
+        decoded = list_viterbi(model, emissions, k)
+        expected = brute_force(model, emissions, k)
+        assert len(decoded) == len(expected)
+        for path, (logp, states) in zip(decoded, expected):
+            assert path.log_probability == pytest.approx(logp)
+            assert path.states == states
+
+    def test_viterbi_is_top1(self):
+        rng = np.random.default_rng(42)
+        space = tiny_space(2)
+        model = random_model(space, rng)
+        emissions = rng.random((3, len(space))) + 0.01
+        best = viterbi(model, emissions)
+        top = list_viterbi(model, emissions, 3)
+        assert best == top[0]
+
+
+class TestProperties:
+    def test_results_sorted_descending(self):
+        rng = np.random.default_rng(7)
+        space = tiny_space(3)
+        model = random_model(space, rng)
+        emissions = rng.random((3, len(space))) + 0.01
+        paths = list_viterbi(model, emissions, 8)
+        logps = [p.log_probability for p in paths]
+        assert logps == sorted(logps, reverse=True)
+
+    def test_results_are_distinct(self):
+        rng = np.random.default_rng(8)
+        space = tiny_space(3)
+        model = random_model(space, rng)
+        emissions = rng.random((2, len(space))) + 0.01
+        paths = list_viterbi(model, emissions, 10)
+        assert len({p.states for p in paths}) == len(paths)
+
+    def test_k_larger_than_path_count(self):
+        space = tiny_space(1)  # 5 states
+        model = HiddenMarkovModel.uniform(space)
+        emissions = np.full((1, len(space)), 1.0 / len(space))
+        paths = list_viterbi(model, emissions, 100)
+        assert len(paths) == len(space)
+
+    def test_zero_probability_states_excluded(self):
+        space = tiny_space(1)
+        n = len(space)
+        initial = np.zeros(n)
+        initial[0] = 1.0
+        model = HiddenMarkovModel(space, initial, np.ones((n, n)))
+        emissions = np.full((1, n), 1.0 / n)
+        paths = list_viterbi(model, emissions, 10)
+        assert all(p.states[0] == 0 for p in paths)
+
+    def test_invalid_k(self):
+        space = tiny_space(1)
+        model = HiddenMarkovModel.uniform(space)
+        emissions = np.full((1, len(space)), 0.2)
+        with pytest.raises(ModelError):
+            list_viterbi(model, emissions, 0)
+
+    def test_probability_property(self):
+        space = tiny_space(1)
+        model = HiddenMarkovModel.uniform(space)
+        emissions = np.full((1, len(space)), 1.0 / len(space))
+        path = viterbi(model, emissions)
+        assert path.probability == pytest.approx(
+            np.exp(path.log_probability)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=10**6))
+    def test_prefix_consistency(self, k, seed):
+        """The top-k list is a prefix of the top-(k+3) list."""
+        rng = np.random.default_rng(seed)
+        space = tiny_space(2)
+        model = random_model(space, rng)
+        emissions = rng.random((2, len(space))) + 0.01
+        small = list_viterbi(model, emissions, k)
+        large = list_viterbi(model, emissions, k + 3)
+        assert [p.states for p in small] == [p.states for p in large[: len(small)]]

@@ -1,0 +1,62 @@
+"""Tests for the built-in lexicon."""
+
+import pytest
+
+from repro.semantics import Lexicon, default_lexicon
+
+
+@pytest.fixture()
+def lexicon() -> Lexicon:
+    return default_lexicon()
+
+
+class TestSynonyms:
+    def test_ring_membership(self, lexicon):
+        assert lexicon.are_synonyms("movie", "film")
+        assert lexicon.are_synonyms("film", "movie")
+
+    def test_stem_folding(self, lexicon):
+        assert lexicon.are_synonyms("movies", "films")
+
+    def test_same_word(self, lexicon):
+        assert lexicon.are_synonyms("movie", "movie")
+
+    def test_non_synonyms(self, lexicon):
+        assert not lexicon.are_synonyms("movie", "person")
+
+    def test_synonyms_exclude_self(self, lexicon):
+        assert "movie" not in lexicon.synonyms("movie")
+        assert "film" in lexicon.synonyms("movie")
+
+
+class TestHypernyms:
+    def test_direct_hop(self, lexicon):
+        assert "person" in lexicon.hypernyms("actor")
+        assert "actor" in lexicon.hyponyms("person")
+
+    def test_relatedness_grades(self, lexicon):
+        assert lexicon.relatedness("movie", "movie") == 1.0
+        assert lexicon.relatedness("movie", "film") == pytest.approx(0.9)
+        assert lexicon.relatedness("actor", "person") == pytest.approx(0.7)
+        # siblings under "person"
+        assert lexicon.relatedness("actor", "director") == pytest.approx(0.5)
+        assert lexicon.relatedness("movie", "country") == 0.0
+
+    def test_expand(self, lexicon):
+        expanded = lexicon.expand("actor")
+        assert "person" in expanded
+        assert "actor" in expanded
+
+
+class TestCustomization:
+    def test_runtime_extension(self):
+        lexicon = Lexicon()
+        lexicon.add_synonym_ring("widget", "gadget")
+        assert lexicon.are_synonyms("widgets", "gadget")
+        lexicon.add_hypernym("widget", "thing")
+        assert lexicon.relatedness("widget", "thing") == pytest.approx(0.7)
+
+    def test_empty_lexicon_is_inert(self):
+        lexicon = Lexicon()
+        assert lexicon.relatedness("a", "b") == 0.0
+        assert lexicon.synonyms("a") == set()

@@ -1,0 +1,79 @@
+"""Tests for value-shape recognisers."""
+
+import pytest
+
+from repro.db import Column
+from repro.db.types import DataType
+from repro.semantics import matches_datatype, matches_pattern, shape_score
+from repro.semantics.recognizers import (
+    looks_like_email,
+    looks_like_number,
+    looks_like_year,
+)
+
+
+class TestShapeHeuristics:
+    def test_years(self):
+        assert looks_like_year("1968")
+        assert looks_like_year("2023")
+        assert not looks_like_year("123")
+        assert not looks_like_year("12345")
+        assert not looks_like_year("abcd")
+
+    def test_emails(self):
+        assert looks_like_email("a.b@example.com")
+        assert not looks_like_email("not-an-email")
+
+    def test_numbers(self):
+        assert looks_like_number("3.14")
+        assert looks_like_number("-2")
+        assert not looks_like_number("three")
+
+
+class TestDatatype:
+    def test_integer(self):
+        assert matches_datatype("42", DataType.INTEGER)
+        assert not matches_datatype("hello", DataType.INTEGER)
+
+    def test_text_accepts_all(self):
+        assert matches_datatype("anything", DataType.TEXT)
+
+
+class TestPattern:
+    def test_no_pattern_is_unknown(self):
+        assert matches_pattern("x", None) is None
+
+    def test_match_and_mismatch(self):
+        assert matches_pattern("1968", r"(19|20)\d\d") is True
+        assert matches_pattern("42", r"(19|20)\d\d") is False
+
+    def test_bad_regex_is_unknown(self):
+        assert matches_pattern("x", "(") is None
+
+
+class TestShapeScore:
+    def test_declared_pattern_is_decisive(self):
+        column = Column("year", DataType.INTEGER, pattern=r"(19|20)\d\d")
+        assert shape_score("1968", column) == 1.0
+        assert shape_score("3", column) == 0.0
+
+    def test_datatype_mismatch_is_zero(self):
+        column = Column("count", DataType.INTEGER)
+        assert shape_score("hello", column) == 0.0
+
+    def test_year_boost_for_year_named_columns(self):
+        year_col = Column("birth_year", DataType.INTEGER)
+        other_col = Column("population", DataType.INTEGER)
+        assert shape_score("1968", year_col) > shape_score("1968", other_col)
+
+    def test_email_boost(self):
+        email_col = Column("email", DataType.TEXT)
+        name_col = Column("name", DataType.TEXT)
+        assert shape_score("a@b.com", email_col) > shape_score(
+            "a@b.com", name_col
+        )
+
+    def test_text_word_gets_moderate_score(self):
+        assert shape_score("kubrick", Column("name", DataType.TEXT)) == pytest.approx(
+            0.4
+        )

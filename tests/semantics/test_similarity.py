@@ -1,0 +1,119 @@
+"""Tests for string similarity measures."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.semantics import (
+    edit_similarity,
+    jaro_winkler,
+    levenshtein,
+    term_similarity,
+    token_set_similarity,
+    trigram_similarity,
+)
+from repro.semantics.similarity import jaro
+
+words = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll",)), max_size=12
+)
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein("abc", "abc") == 0
+
+    def test_empty(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+
+    def test_substitution(self):
+        assert levenshtein("kitten", "sitten") == 1
+
+    def test_classic_example(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    @given(words, words)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(words, words, words)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro("martha", "martha") == 1.0
+
+    def test_known_value(self):
+        assert jaro("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_disjoint(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    def test_winkler_boosts_prefix(self):
+        assert jaro_winkler("prefix", "prefixx") > jaro("prefix", "prefixx")
+
+    @given(words, words)
+    def test_range(self, a, b):
+        assert 0.0 <= jaro_winkler(a, b) <= 1.0
+
+
+class TestTrigram:
+    def test_identical(self):
+        assert trigram_similarity("movie", "movie") == 1.0
+
+    def test_empty(self):
+        assert trigram_similarity("", "abc") == 0.0
+
+    def test_partial_overlap(self):
+        assert 0.0 < trigram_similarity("movie", "movies") < 1.0
+
+    @given(words, words)
+    def test_symmetry(self, a, b):
+        assert trigram_similarity(a, b) == pytest.approx(
+            trigram_similarity(b, a)
+        )
+
+
+class TestTokenSet:
+    def test_reordered_compound(self):
+        assert token_set_similarity("release_year", "year_release") == 1.0
+
+    def test_stem_folding(self):
+        assert token_set_similarity("movies", "movie") == 1.0
+
+    def test_partial(self):
+        assert token_set_similarity("release_year", "year") == pytest.approx(0.5)
+
+
+class TestTermSimilarity:
+    def test_exact_match(self):
+        assert term_similarity("title", "title") == 1.0
+
+    def test_case_insensitive(self):
+        assert term_similarity("Title", "TITLE") == 1.0
+
+    def test_stem_match(self):
+        assert term_similarity("movies", "movie") == pytest.approx(0.95)
+
+    def test_empty_inputs(self):
+        assert term_similarity("", "title") == 0.0
+        assert term_similarity("title", "") == 0.0
+
+    def test_real_matches_beat_noise(self):
+        assert term_similarity("movies", "movie") > term_similarity(
+            "movies", "name"
+        )
+        assert term_similarity("director", "director_id") > term_similarity(
+            "director", "genre_id"
+        )
+
+    @given(words, words)
+    def test_range(self, a, b):
+        assert 0.0 <= term_similarity(a, b) <= 1.0
+
+    def test_edit_similarity_range(self):
+        assert edit_similarity("", "") == 1.0
+        assert edit_similarity("a", "b") == 0.0

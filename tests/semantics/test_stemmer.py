@@ -1,0 +1,59 @@
+"""Tests for the conservative stemmer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.semantics import same_stem, stem
+
+
+class TestStem:
+    @pytest.mark.parametrize(
+        ("word", "expected"),
+        [
+            ("movies", "movie"),
+            ("titles", "title"),
+            ("cities", "city"),
+            ("countries", "country"),
+            ("people", "person"),
+            ("children", "child"),
+            ("classes", "class"),
+            ("boxes", "box"),
+            ("matches", "match"),
+            ("directed", "direct"),
+            ("directing", "direct"),
+            ("running", "run"),
+            ("planned", "plan"),
+            ("papers", "paper"),
+            ("series", "series"),
+        ],
+    )
+    def test_known_stems(self, word, expected):
+        assert stem(word) == expected
+
+    @pytest.mark.parametrize(
+        "word", ["bus", "is", "us", "class", "the", "a", "was"]
+    )
+    def test_short_and_protected_words_unchanged(self, word):
+        assert stem(word) == word
+
+    def test_case_insensitive(self):
+        assert stem("Movies") == "movie"
+
+    @given(st.text(alphabet=st.characters(whitelist_categories=("Ll",)), max_size=20))
+    def test_idempotent_on_own_output_length(self, word):
+        # Stemming never lengthens a word (after case folding, which may
+        # itself expand ligatures) and never raises.
+        assert len(stem(word)) <= max(len(word.casefold()), 1)
+
+
+class TestSameStem:
+    def test_plural_matches_singular(self):
+        assert same_stem("movies", "movie")
+        assert same_stem("Movie", "MOVIES")
+
+    def test_unrelated_words_differ(self):
+        assert not same_stem("movie", "person")
+
+    def test_irregular(self):
+        assert same_stem("people", "person")

@@ -1,0 +1,71 @@
+"""Tests for keyword-query tokenisation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.semantics import STOPWORDS, normalize, split_identifier, tokenize_query
+
+
+class TestTokenizeQuery:
+    def test_simple_split(self):
+        assert tokenize_query("kubrick movies") == ["kubrick", "movies"]
+
+    def test_lowercases(self):
+        assert tokenize_query("Kubrick MOVIES") == ["kubrick", "movies"]
+
+    def test_drops_stopwords(self):
+        assert tokenize_query("movies of the year") == ["movies", "year"]
+
+    def test_keep_stopwords_flag(self):
+        assert tokenize_query("of the year", keep_stopwords=True) == [
+            "of",
+            "the",
+            "year",
+        ]
+
+    def test_quoted_phrase_stays_together(self):
+        assert tokenize_query('"space odyssey" 1968') == ["space odyssey", "1968"]
+
+    def test_phrase_keeps_interior_stopwords(self):
+        assert tokenize_query('"war of worlds"') == ["war of worlds"]
+
+    def test_punctuation_stripped(self):
+        assert tokenize_query("kubrick, movies!") == ["kubrick", "movies"]
+
+    def test_empty_query(self):
+        assert tokenize_query("") == []
+        assert tokenize_query("   ") == []
+
+    def test_only_stopwords(self):
+        assert tokenize_query("the of a") == []
+
+    @given(st.text(max_size=80))
+    def test_never_raises_and_never_emits_empty(self, text):
+        for keyword in tokenize_query(text):
+            assert keyword
+            assert keyword == keyword.casefold()
+
+
+class TestSplitIdentifier:
+    def test_snake_case(self):
+        assert split_identifier("release_year") == ["release", "year"]
+
+    def test_camel_case(self):
+        assert split_identifier("releaseYear") == ["release", "year"]
+
+    def test_digits(self):
+        assert split_identifier("address2") == ["address2"] or split_identifier(
+            "address2"
+        ) == ["address", "2"]
+
+    def test_single_word(self):
+        assert split_identifier("title") == ["title"]
+
+
+class TestNormalize:
+    def test_squeezes_noise(self):
+        assert normalize("  A-Space  Odyssey! ") == "a space odyssey"
+
+
+def test_stopwords_are_lowercase():
+    assert all(w == w.casefold() for w in STOPWORDS)

@@ -1,0 +1,92 @@
+"""Tests for the KMB approximation."""
+
+import pytest
+
+from repro.db import Catalog, ColumnRef
+from repro.errors import SteinerError
+from repro.steiner import (
+    approximate_steiner_tree,
+    build_schema_graph,
+    exact_steiner_tree,
+)
+
+
+class TestApproximation:
+    def test_valid_tree_spanning_terminals(self, mondial_db):
+        graph = build_schema_graph(
+            mondial_db.schema, Catalog.from_database(mondial_db)
+        )
+        terminals = [
+            ColumnRef("country", "name"),
+            ColumnRef("river", "name"),
+            ColumnRef("city", "name"),
+        ]
+        tree = approximate_steiner_tree(graph, terminals)
+        assert tree.is_valid_tree()
+        assert set(terminals) <= set(tree.nodes)
+
+    def test_within_2x_of_exact(self, mondial_db):
+        """KMB guarantees a 2(1 - 1/t) approximation ratio."""
+        graph = build_schema_graph(
+            mondial_db.schema, Catalog.from_database(mondial_db)
+        )
+        cases = [
+            [ColumnRef("country", "name"), ColumnRef("river", "name")],
+            [
+                ColumnRef("country", "name"),
+                ColumnRef("continent", "name"),
+                ColumnRef("language", "name"),
+            ],
+        ]
+        for terminals in cases:
+            exact = exact_steiner_tree(graph, terminals)
+            approx = approximate_steiner_tree(graph, terminals)
+            assert exact.weight <= approx.weight + 1e-9
+            assert approx.weight <= 2.0 * exact.weight + 1e-9
+
+    def test_two_terminals_equals_exact(self, mini_db):
+        """With two terminals KMB degenerates to the shortest path."""
+        graph = build_schema_graph(
+            mini_db.schema, Catalog.from_database(mini_db)
+        )
+        terminals = [ColumnRef("person", "name"), ColumnRef("genre", "label")]
+        assert approximate_steiner_tree(
+            graph, terminals
+        ).weight == pytest.approx(exact_steiner_tree(graph, terminals).weight)
+
+    def test_single_terminal(self, mini_schema):
+        graph = build_schema_graph(mini_schema)
+        tree = approximate_steiner_tree(graph, [ColumnRef("movie", "id")])
+        assert tree.weight == 0.0
+
+    def test_empty_terminals_rejected(self, mini_schema):
+        graph = build_schema_graph(mini_schema)
+        with pytest.raises(SteinerError):
+            approximate_steiner_tree(graph, [])
+
+    def test_disconnected_rejected(self, mini_schema):
+        from repro.steiner import SchemaGraph
+
+        graph = SchemaGraph(mini_schema)
+        with pytest.raises(SteinerError):
+            approximate_steiner_tree(
+                graph,
+                [ColumnRef("movie", "title"), ColumnRef("person", "name")],
+            )
+
+    def test_no_nonterminal_leaves(self, mondial_db):
+        graph = build_schema_graph(
+            mondial_db.schema, Catalog.from_database(mondial_db)
+        )
+        terminals = [
+            ColumnRef("country", "name"),
+            ColumnRef("mountain", "name"),
+        ]
+        tree = approximate_steiner_tree(graph, terminals)
+        degree: dict = {}
+        for edge in tree.edges:
+            degree[edge.left] = degree.get(edge.left, 0) + 1
+            degree[edge.right] = degree.get(edge.right, 0) + 1
+        for node, d in degree.items():
+            if d == 1:
+                assert node in tree.terminals

@@ -1,0 +1,108 @@
+"""End-to-end integration tests across the whole system."""
+
+import pytest
+
+from repro import (
+    FullAccessWrapper,
+    HiddenSourceWrapper,
+    Quest,
+    QuestSettings,
+    SimulatedUser,
+)
+from repro.datasets import dblp, imdb, mondial
+from repro.eval import evaluate, quest_engine
+from repro.feedback import FeedbackTrainer
+
+
+class TestEndToEndQuality:
+    """The paper's headline claim on each demo scenario."""
+
+    def test_imdb_quality(self, imdb_db):
+        workload = imdb.workload(imdb_db, queries_per_kind=2)
+        engine = Quest(FullAccessWrapper(imdb_db))
+        result = evaluate(quest_engine(engine), workload, k=10)
+        assert result.success_at(10) >= 0.8
+        assert result.mrr >= 0.6
+
+    def test_dblp_quality(self, dblp_db):
+        workload = dblp.workload(dblp_db, queries_per_kind=2)
+        engine = Quest(FullAccessWrapper(dblp_db))
+        result = evaluate(quest_engine(engine), workload, k=10)
+        assert result.success_at(10) >= 0.7
+
+    def test_mondial_quality(self, mondial_db):
+        workload = mondial.workload(mondial_db, queries_per_kind=2)
+        engine = Quest(FullAccessWrapper(mondial_db))
+        result = evaluate(quest_engine(engine), workload, k=10)
+        assert result.success_at(10) >= 0.7
+
+
+class TestHiddenSourceParity:
+    def test_hidden_engine_answers_queries(self, mondial_db):
+        hidden = HiddenSourceWrapper(mondial_db.schema, remote_db=mondial_db)
+        engine = Quest(
+            hidden,
+            QuestSettings(
+                mutual_information_weights=False, uncertainty_backward=0.5
+            ),
+        )
+        workload = mondial.workload(mondial_db, queries_per_kind=2)
+        result = evaluate(quest_engine(engine), workload, k=10)
+        # Hidden mode loses precision but must stay usable.
+        assert result.success_at(10) >= 0.3
+
+    def test_hidden_never_beats_full_access(self, mondial_db):
+        workload = mondial.workload(mondial_db, queries_per_kind=2)
+        full = Quest(FullAccessWrapper(mondial_db))
+        hidden = Quest(
+            HiddenSourceWrapper(mondial_db.schema, remote_db=mondial_db),
+            QuestSettings(mutual_information_weights=False),
+        )
+        full_result = evaluate(quest_engine(full), workload, k=10)
+        hidden_result = evaluate(quest_engine(hidden), workload, k=10)
+        assert full_result.mrr >= hidden_result.mrr - 1e-9
+
+
+class TestFeedbackLoop:
+    def test_feedback_training_improves_feedback_mode(self, dblp_db):
+        workload = dblp.workload(dblp_db, queries_per_kind=4)
+        wrapper = FullAccessWrapper(dblp_db)
+        engine = Quest(
+            wrapper, QuestSettings(use_apriori=True, use_feedback=True)
+        )
+        trainer = FeedbackTrainer(engine.states)
+        oracle = SimulatedUser(workload.gold_training_pairs())
+
+        for query in workload:
+            proposals = engine.forward(
+                engine.keywords_of(query.text), k=10
+            )
+            oracle.teach(trainer, query.keywords, proposals)
+        assert trainer.is_trained
+        assert trainer.suggested_ignorance() < 0.9
+
+        engine.set_feedback_model(trainer.model)
+        engine.settings = engine.settings.updated(
+            uncertainty_feedback=trainer.suggested_ignorance()
+        )
+        result = evaluate(quest_engine(engine), workload, k=10)
+        assert result.success_at(10) >= 0.7
+
+
+class TestCrossDatasetIsolation:
+    def test_engines_do_not_share_state(self, imdb_db, dblp_db):
+        imdb_engine = Quest(FullAccessWrapper(imdb_db))
+        dblp_engine = Quest(FullAccessWrapper(dblp_db))
+        assert imdb_engine.search("kubrick movies", k=3)
+        assert dblp_engine.search("keyword search papers", k=3)
+        assert len(imdb_engine.states) != len(dblp_engine.states)
+
+
+class TestDeterminism:
+    def test_search_is_deterministic(self, imdb_db):
+        left = Quest(FullAccessWrapper(imdb_db)).search("kubrick movies", 5)
+        right = Quest(FullAccessWrapper(imdb_db)).search("kubrick movies", 5)
+        assert [e.sql for e in left] == [e.sql for e in right]
+        assert [e.probability for e in left] == pytest.approx(
+            [e.probability for e in right]
+        )

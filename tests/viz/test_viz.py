@@ -1,0 +1,74 @@
+"""Tests for ASCII rendering and DOT export."""
+
+from repro.db import execute
+from repro.viz import (
+    graph_to_dot,
+    render_explanation,
+    render_ranking,
+    render_results,
+    render_tree,
+    schema_to_dot,
+    tree_to_dot,
+)
+
+
+def top_explanation(engine, query: str):
+    explanations = engine.search(query, k=3)
+    assert explanations
+    return explanations
+
+
+class TestRender:
+    def test_render_tree_marks_terminals(self, mini_engine):
+        explanations = top_explanation(mini_engine, "kubrick movies")
+        tree = explanations[0].interpretation.tree
+        text = render_tree(tree)
+        assert "[movie]" in text and "[person]" in text
+        assert "*" in text  # terminals marked
+
+    def test_render_explanation_contains_sql(self, mini_engine):
+        explanations = top_explanation(mini_engine, "kubrick movies")
+        text = render_explanation(explanations[0], rank=1)
+        assert text.startswith("#1 ")
+        assert "SQL: SELECT" in text
+        assert "'kubrick' -> domain:person.name" in text
+
+    def test_render_ranking_numbers_results(self, mini_engine):
+        explanations = top_explanation(mini_engine, "kubrick movies")
+        text = render_ranking(explanations)
+        assert "#1 " in text
+        if len(explanations) > 1:
+            assert "#2 " in text
+
+    def test_render_results_tabulates(self, mini_engine):
+        explanations = top_explanation(mini_engine, "kubrick movies")
+        results = execute(
+            mini_engine.wrapper.database, explanations[0].query
+        )
+        text = render_results(results, limit=1)
+        assert "|" in text
+        assert "more rows" in text or len(results) <= 1
+
+
+class TestDot:
+    def test_schema_to_dot(self, mini_schema):
+        dot = schema_to_dot(mini_schema)
+        assert dot.startswith("digraph")
+        assert "movie" in dot and "->" in dot
+
+    def test_graph_to_dot(self, mini_engine):
+        dot = graph_to_dot(mini_engine.schema_graph)
+        assert dot.startswith("graph")
+        assert "movie.id" in dot
+
+    def test_graph_highlight(self, mini_engine):
+        explanations = top_explanation(mini_engine, "kubrick movies")
+        tree = explanations[0].interpretation.tree
+        dot = graph_to_dot(mini_engine.schema_graph, highlight=tree)
+        assert "gold" in dot and "red" in dot
+
+    def test_tree_to_dot(self, mini_engine):
+        explanations = top_explanation(mini_engine, "kubrick movies")
+        dot = tree_to_dot(explanations[0].interpretation.tree)
+        assert dot.startswith("graph join_tree")
+        assert "--" in dot

@@ -1,0 +1,71 @@
+"""Tests for schema annotation overlays."""
+
+from repro.wrapper import AnnotationSet, ColumnAnnotation, annotate_schema
+
+
+class TestAnnotateSchema:
+    def test_synonyms_are_merged(self, mini_schema):
+        enriched = annotate_schema(
+            mini_schema,
+            AnnotationSet(
+                columns={
+                    ("movie", "title"): ColumnAnnotation(synonyms=("heading",))
+                }
+            ),
+        )
+        assert "heading" in enriched.table("movie").column("title").synonyms
+
+    def test_existing_synonyms_kept(self, mini_schema):
+        enriched = annotate_schema(
+            mini_schema,
+            AnnotationSet(table_synonyms={"movie": ("flick",)}),
+        )
+        synonyms = enriched.table("movie").synonyms
+        assert "film" in synonyms and "flick" in synonyms
+
+    def test_pattern_replacement(self, mini_schema):
+        enriched = annotate_schema(
+            mini_schema,
+            AnnotationSet(
+                columns={("movie", "year"): ColumnAnnotation(pattern=r"\d{4}")}
+            ),
+        )
+        assert enriched.table("movie").column("year").pattern == r"\d{4}"
+
+    def test_unannotated_pattern_preserved(self, mini_schema):
+        enriched = annotate_schema(mini_schema, AnnotationSet())
+        assert (
+            enriched.table("movie").column("year").pattern
+            == mini_schema.table("movie").column("year").pattern
+        )
+
+    def test_description_replacement(self, mini_schema):
+        enriched = annotate_schema(
+            mini_schema,
+            AnnotationSet(
+                columns={
+                    ("person", "name"): ColumnAnnotation(description="full name")
+                }
+            ),
+        )
+        assert enriched.table("person").column("name").description == "full name"
+
+    def test_foreign_keys_preserved(self, mini_schema):
+        enriched = annotate_schema(mini_schema, AnnotationSet())
+        assert len(enriched.foreign_keys) == len(mini_schema.foreign_keys)
+
+    def test_original_schema_untouched(self, mini_schema):
+        before = mini_schema.table("movie").column("title").synonyms
+        annotate_schema(
+            mini_schema,
+            AnnotationSet(
+                columns={("movie", "title"): ColumnAnnotation(synonyms=("x",))}
+            ),
+        )
+        assert mini_schema.table("movie").column("title").synonyms == before
+
+    def test_for_column_lookup(self):
+        annotation = ColumnAnnotation(synonyms=("x",))
+        annotations = AnnotationSet(columns={("t", "c"): annotation})
+        assert annotations.for_column("t", "c") is annotation
+        assert annotations.for_column("t", "other") is None

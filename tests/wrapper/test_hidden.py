@@ -1,0 +1,70 @@
+"""Tests for the hidden-source (Deep Web) wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.db import SelectQuery, TableRef
+from repro.errors import AccessDeniedError
+from repro.hmm import StateSpace
+from repro.wrapper import HiddenSourceWrapper
+
+
+@pytest.fixture()
+def space(mini_schema) -> StateSpace:
+    return StateSpace(mini_schema)
+
+
+class TestCapabilities:
+    def test_no_instance_access(self, mini_hidden):
+        assert not mini_hidden.has_instance_access
+        assert not mini_hidden.catalog.has_instance
+
+    def test_endpoint_executes(self, mini_hidden):
+        result = mini_hidden.execute(SelectQuery(tables=(TableRef.of("movie"),)))
+        assert len(result) == 5
+
+    def test_no_endpoint_denies_execution(self, mini_schema):
+        wrapper = HiddenSourceWrapper(mini_schema, remote_db=None)
+        with pytest.raises(AccessDeniedError):
+            wrapper.execute(SelectQuery(tables=(TableRef.of("movie"),)))
+
+
+class TestEmissions:
+    def test_schema_keywords_still_work(self, mini_hidden, space):
+        scores = mini_hidden.emission_scores("movies", space)
+        table = space.index(space.table_state("movie"))
+        assert scores[table] > 0
+
+    def test_value_keywords_score_by_shape(self, mini_hidden, space):
+        scores = mini_hidden.emission_scores("kubrick", space)
+        # A word fits TEXT domains but not INTEGER domains.
+        name_domain = space.index(space.domain_state("person", "name"))
+        id_domain = space.index(space.domain_state("person", "id"))
+        assert scores[name_domain] > 0
+        assert scores[id_domain] == 0.0
+
+    def test_pattern_annotation_boosts_domain(self, mini_hidden, space):
+        # movie.year declares the pattern (19|20)\d\d in the mini schema.
+        scores = mini_hidden.emission_scores("1968", space)
+        year_domain = space.index(space.domain_state("movie", "year"))
+        id_domain = space.index(space.domain_state("movie", "id"))
+        assert scores[year_domain] > scores[id_domain]
+
+    def test_pattern_mismatch_zeroes_domain(self, mini_hidden, space):
+        scores = mini_hidden.emission_scores("123", space)
+        year_domain = space.index(space.domain_state("movie", "year"))
+        assert scores[year_domain] == 0.0
+
+    def test_never_reads_instance(self, mini_db, space):
+        """Emission scoring must not depend on the endpoint database."""
+        from repro.db import Database
+
+        with_data = HiddenSourceWrapper(mini_db.schema, remote_db=mini_db)
+        empty = HiddenSourceWrapper(
+            mini_db.schema, remote_db=Database(mini_db.schema)
+        )
+        for keyword in ("kubrick", "movies", "1968"):
+            np.testing.assert_array_equal(
+                with_data.emission_scores(keyword, space),
+                empty.emission_scores(keyword, space),
+            )

@@ -1,0 +1,48 @@
+"""Tests for the schema-aware ontology."""
+
+import pytest
+
+from repro.wrapper import SchemaOntology
+
+
+@pytest.fixture()
+def ontology(mini_schema) -> SchemaOntology:
+    return SchemaOntology(mini_schema)
+
+
+class TestScores:
+    def test_exact_table_name(self, ontology):
+        assert ontology.table_score("movie", "movie") == 1.0
+
+    def test_plural_table_name(self, ontology):
+        assert ontology.table_score("movies", "movie") >= 0.95
+
+    def test_schema_synonyms_absorbed(self, ontology):
+        # "film" is declared as a synonym of the movie table in the schema.
+        assert ontology.table_score("film", "movie") >= 0.9
+
+    def test_lexicon_synonyms_work(self, ontology):
+        # "picture" relates to movie via the built-in lexicon ring.
+        assert ontology.table_score("picture", "movie") >= 0.9
+
+    def test_attribute_exact(self, ontology):
+        assert ontology.attribute_score("title", "movie", "title") == 1.0
+
+    def test_attribute_partial_compound(self, ontology):
+        # director_id contains the identifier part "director".
+        assert ontology.attribute_score("director", "movie", "director_id") >= 0.85
+
+    def test_unrelated_scores_low(self, ontology):
+        assert ontology.table_score("quasar", "genre") < 0.5
+
+    def test_table_partial_discounted_below_attribute_partial(self, mondial_db):
+        ontology = SchemaOntology(mondial_db.schema)
+        # "rivers" vs the geo_river junction: partial table hit, discounted.
+        table_partial = ontology.table_score("rivers", "geo_river")
+        entity = ontology.table_score("rivers", "river")
+        assert entity > table_partial
+
+    def test_term_score_range(self, ontology):
+        for keyword in ("movie", "xyz", "film", "42"):
+            for term in ("movie", "title", "person"):
+                assert 0.0 <= ontology.term_score(keyword, term) <= 1.0
