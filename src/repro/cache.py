@@ -1,0 +1,129 @@
+"""Thread-safe LRU caching with hit/miss accounting.
+
+A leaf module with no intra-package dependencies, so the low-level
+consumers (the source wrappers, the schema graph) can use it without
+depending on the orchestration layer. The staged search pipeline
+amortises work across queries through two instances of this cache:
+keyword emission vectors on the source wrapper and top-k Steiner results
+on the schema graph. Both sit on hot paths that may be exercised
+concurrently (the multi-source executor fans per-source searches out
+over threads), so every operation takes an internal lock.
+
+Counters are cumulative over the cache's lifetime; callers that want
+per-query deltas (:class:`~repro.pipeline.context.SearchTrace`) snapshot
+:attr:`LRUCache.stats` before and after and subtract.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+__all__ = ["CacheStats", "LRUCache"]
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of one cache's counters."""
+
+    hits: int = 0
+    misses: int = 0
+    size: int = 0
+    maxsize: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` calls counted."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def since(self, earlier: "CacheStats") -> "CacheStats":
+        """Counter deltas between *earlier* and this snapshot."""
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            size=self.size,
+            maxsize=self.maxsize,
+        )
+
+    def __str__(self) -> str:
+        return f"hits={self.hits} misses={self.misses} size={self.size}"
+
+
+class LRUCache:
+    """A bounded mapping evicting the least-recently-used entry.
+
+    ``get`` refreshes recency and counts a hit or miss; ``put`` inserts or
+    refreshes. All operations are O(1) and thread-safe.
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The cached value for *key*, counting a hit or a miss."""
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return default
+            self._data.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) *key*, evicting the oldest entry if full."""
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._data.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters (entries are preserved)."""
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership without touching recency or counters."""
+        with self._lock:
+            return key in self._data
+
+    @property
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._data),
+                maxsize=self.maxsize,
+            )
+
+    def __repr__(self) -> str:
+        return f"LRUCache({self.stats}, maxsize={self.maxsize})"

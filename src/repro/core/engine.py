@@ -8,33 +8,43 @@
     E   <- CombinerDST(C, I, O_C, O_I)            # explanations
     E   <- QueryBuilder(E)
 
-Every stage is also exposed as a public method so experiments can inspect
-partial results (demo message two compares the modules in isolation).
+Execution is delegated to a :class:`~repro.pipeline.runner.SearchPipeline`
+of composable stages (``repro.pipeline``); every stage is still exposed as
+a public method — ``forward``/``backward``/``combine``/``explain`` are thin
+wrappers over the corresponding stage — so experiments can inspect partial
+results exactly as before (demo message two compares the modules in
+isolation). Each full run leaves a :class:`~repro.pipeline.context.
+SearchTrace` on :attr:`Quest.last_trace` with per-stage timings, candidate
+counts and cache hit/miss deltas; ``search_many`` batches a workload
+through the same pipeline so the emission and Steiner caches amortise
+repeated work across queries.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.core.configuration import Configuration, KeywordMapping
 from repro.core.explanation import Explanation
-from repro.core.interpretation import Interpretation, tree_score
+from repro.core.interpretation import Interpretation
 from repro.core.query_builder import build_query
 from repro.core.settings import QuestSettings
 from repro.db.query import SelectQuery
-from repro.dst.belief import rank_hypotheses
-from repro.dst.combine import dempster_combine
-from repro.dst.mass import MassFunction
-from repro.errors import AccessDeniedError, CombinationError, QuestError, SteinerError
+from repro.errors import QuestError
 from repro.hmm.apriori import AprioriWeights, build_apriori_model
 from repro.hmm.model import HiddenMarkovModel
 from repro.hmm.states import StateSpace
 from repro.hmm.viterbi import list_viterbi
 from repro.semantics.tokenize import tokenize_query
 from repro.steiner.tree import SteinerTree
-from repro.steiner.topk import top_k_steiner_trees
 from repro.steiner.weights import build_schema_graph
 from repro.wrapper.base import SourceWrapper
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.pipeline.context import SearchTrace
+    from repro.pipeline.runner import SearchPipeline
 
 __all__ = ["Quest"]
 
@@ -49,6 +59,8 @@ class Quest:
         feedback_model: a trained feedback HMM (enables the feedback mode
             together with ``settings.use_feedback``); usually supplied by
             :class:`repro.feedback.FeedbackTrainer`.
+        pipeline: a custom stage composition; defaults to the canonical
+            ``Forward -> Backward -> Combine -> Explain`` pipeline.
     """
 
     def __init__(
@@ -57,7 +69,12 @@ class Quest:
         settings: QuestSettings | None = None,
         apriori_weights: AprioriWeights | None = None,
         feedback_model: HiddenMarkovModel | None = None,
+        pipeline: "SearchPipeline | None" = None,
     ) -> None:
+        # Imported here, not at module level: the pipeline stages import
+        # the core data types, so a module-level import would be circular.
+        from repro.pipeline.runner import SearchPipeline
+
         self.wrapper = wrapper
         self.settings = settings if settings is not None else QuestSettings()
         self.schema = wrapper.schema
@@ -71,6 +88,11 @@ class Quest:
             wrapper.catalog,
             mutual_information=self.settings.mutual_information_weights,
         )
+        self.pipeline = pipeline if pipeline is not None else SearchPipeline()
+        #: Diagnostics of the most recent full search (``None`` before any).
+        self.last_trace: "SearchTrace | None" = None
+        #: Traces of the most recent ``search_many`` batch.
+        self.batch_traces: list["SearchTrace"] = []
 
     # -- feedback plumbing ---------------------------------------------------
 
@@ -111,74 +133,15 @@ class Quest:
 
     def forward(self, keywords: list[str], k: int | None = None) -> list[Configuration]:
         """The combined forward step: a-priori and/or feedback mode + DST."""
-        k = k or self.settings.k
-        apriori: list[Configuration] = []
-        feedback: list[Configuration] = []
-        if self.settings.use_apriori:
-            apriori = self.decode(keywords, self.apriori_model, k)
-        if self.settings.use_feedback and self.feedback_model is not None:
-            feedback = self.decode(keywords, self.feedback_model, k)
-
-        if apriori and feedback:
-            combined = self._combine_configurations(apriori, feedback, k)
-        else:
-            combined = apriori or feedback
-        if not combined:
-            raise QuestError("forward step produced no configurations")
-        return combined
-
-    def _combine_configurations(
-        self,
-        apriori: list[Configuration],
-        feedback: list[Configuration],
-        k: int,
-    ) -> list[Configuration]:
-        """``C <- CombinerDST(Cap, Cf, O_Cap, O_Cf)`` over the union frame."""
-        frame = frozenset(c.with_score(0.0) for c in apriori + feedback)
-        apriori_scores = {c.with_score(0.0): c.score for c in apriori}
-        feedback_scores = {c.with_score(0.0): c.score for c in feedback}
-        apriori_mass = MassFunction.from_scores(
-            apriori_scores, self.settings.uncertainty_apriori, frame
-        )
-        feedback_mass = MassFunction.from_scores(
-            feedback_scores, self.settings.uncertainty_feedback, frame
-        )
-        combined = dempster_combine(apriori_mass, feedback_mass)
-        ranked = rank_hypotheses(combined, k)
-        return [
-            configuration.with_score(probability)
-            for configuration, probability in ranked
-        ]
+        return self.pipeline.forward(self, keywords, k or self.settings.k)
 
     # -- step 2: backward --------------------------------------------------------
 
     def backward(
         self, configurations: list[Configuration], k: int | None = None
     ) -> list[Interpretation]:
-        """Top-k join paths (interpretations) for each configuration.
-
-        Configurations whose terminals are disconnected in the schema graph
-        yield no interpretation and drop out — exactly the instance-
-        consistency filtering the backward step exists for.
-        """
-        k = k or self.settings.k
-        interpretations: list[Interpretation] = []
-        for configuration in configurations:
-            terminals = configuration.terminals(self.schema)
-            try:
-                trees = top_k_steiner_trees(
-                    self.schema_graph,
-                    sorted(terminals, key=str),
-                    k,
-                    prune_supertrees=self.settings.prune_supertrees,
-                )
-            except SteinerError:
-                continue
-            for tree in trees:
-                interpretations.append(
-                    Interpretation(configuration, tree, tree_score(tree.weight))
-                )
-        return interpretations
+        """Top-k join paths (interpretations) for each configuration."""
+        return self.pipeline.backward(self, configurations, k or self.settings.k)
 
     # -- step 3: combination --------------------------------------------------------
 
@@ -188,99 +151,18 @@ class Quest:
         interpretations: list[Interpretation],
         k: int | None = None,
     ) -> list[Interpretation]:
-        """``E <- CombinerDST(C, I, O_C, O_I)``.
-
-        Forward evidence commits mass to *sets* of interpretations sharing a
-        configuration (the forward step knows nothing about join paths);
-        backward evidence commits mass to individual interpretations. The
-        Dempster intersection concentrates belief on join paths that both a
-        likely configuration and a short informative tree support.
-        """
-        if not interpretations:
-            return []
-        k = k or self.settings.k
-        frame = frozenset(interpretations)
-
-        forward_mass = MassFunction(frame=frame)
-        by_configuration: dict[Configuration, set[Interpretation]] = {}
-        for interpretation in interpretations:
-            by_configuration.setdefault(
-                interpretation.configuration, set()
-            ).add(interpretation)
-        supported = [
-            c for c in configurations if c in by_configuration and c.score > 0.0
-        ]
-        total_score = sum(c.score for c in supported)
-        if total_score > 0.0:
-            budget = 1.0 - self.settings.uncertainty_forward
-            for configuration in supported:
-                forward_mass.assign(
-                    frozenset(by_configuration[configuration]),
-                    budget * configuration.score / total_score,
-                )
-            if self.settings.uncertainty_forward > 0.0:
-                forward_mass.assign(frame, self.settings.uncertainty_forward)
-        else:
-            forward_mass = MassFunction.vacuous(frame)
-
-        backward_scores = {i: i.score for i in interpretations}
-        backward_mass = MassFunction.from_scores(
-            backward_scores, self.settings.uncertainty_backward, frame
+        """``E <- CombinerDST(C, I, O_C, O_I)``."""
+        return self.pipeline.combine(
+            self, configurations, interpretations, k or self.settings.k
         )
-
-        try:
-            combined = dempster_combine(forward_mass, backward_mass)
-        except CombinationError:
-            # Total conflict cannot happen over a shared frame, but guard:
-            # fall back to the backward ranking.
-            combined = backward_mass
-        ranked = rank_hypotheses(combined, k)
-        return [
-            interpretation.with_score(probability)
-            for interpretation, probability in ranked
-        ]
 
     # -- step 4: query building --------------------------------------------------------
 
     def explain(
         self, interpretations: list[Interpretation], limit: int | None = None
     ) -> list[Explanation]:
-        """Render ranked interpretations as SQL, optionally executing them.
-
-        Distinct interpretations can denote the same SQL (e.g. two
-        configurations differing only in schema-term kinds); only the
-        best-ranked explanation per structural query survives. When the
-        wrapper can execute, empty-result explanations are dropped per
-        ``settings.min_explanation_results``.
-        """
-        explanations: list[Explanation] = []
-        seen_queries: set[tuple] = set()
-        for interpretation in interpretations:
-            query = build_query(self.schema, interpretation)
-            identity = query.signature()
-            if identity in seen_queries:
-                continue
-            seen_queries.add(identity)
-            result_count: int | None = None
-            if self.settings.execute_explanations:
-                try:
-                    result_count = self.wrapper.result_count(query)
-                except AccessDeniedError:
-                    result_count = None
-                else:
-                    if result_count < self.settings.min_explanation_results:
-                        continue
-            explanations.append(
-                Explanation(
-                    interpretation=interpretation,
-                    query=query,
-                    probability=interpretation.score,
-                    result_count=result_count,
-                )
-            )
-            if limit is not None and len(explanations) >= limit:
-                break
-        return explanations
+        """Render ranked interpretations as SQL, optionally executing them."""
+        return self.pipeline.explain(self, interpretations, limit)
 
     # -- the full pipeline --------------------------------------------------------
 
@@ -320,18 +202,53 @@ class Quest:
         so that the final combination and the empty-result filter choose
         from a wider pool than the k eventually returned.
         """
-        k = k or self.settings.k
-        pool = k * self.settings.candidate_factor
-        keywords = self.keywords_of(query)
-        configurations = self.forward(keywords, pool)
-        interpretations = self.backward(configurations, self.settings.k)
-        # Rank the complete interpretation pool: explanations that execute
-        # to empty results are dropped below, so truncating here would let
-        # filtered-out junk displace executable answers further down.
-        ranked = self.combine(
-            configurations, interpretations, max(pool, len(interpretations))
-        )
-        return self.explain(ranked, limit=k)
+        context = self.pipeline.run(self, query=query, k=k)
+        self.last_trace = context.trace
+        return context.explanations
+
+    def search_keywords(
+        self, keywords: Sequence[str], k: int | None = None
+    ) -> list[Explanation]:
+        """``search`` over pre-tokenised keywords.
+
+        Batch callers (multi-source search) tokenise a query once and fan
+        the keyword list out to every source engine through this entry
+        point, instead of re-tokenising per source.
+        """
+        context = self.pipeline.run(self, keywords=keywords, k=k)
+        self.last_trace = context.trace
+        return context.explanations
+
+    def search_many(
+        self,
+        queries: Sequence[str],
+        k: int | None = None,
+        strict: bool = True,
+    ) -> list[list[Explanation]]:
+        """Answer a workload of queries, amortising work across them.
+
+        Queries run back to back through the pipeline while the wrapper's
+        emission cache and the schema graph's Steiner cache persist, so a
+        workload with repeated keywords or terminal sets skips the
+        corresponding recomputation. Per-query diagnostics land in
+        :attr:`batch_traces`.
+
+        Args:
+            queries: raw query texts.
+            k: explanations per query (defaults to ``settings.k``).
+            strict: when ``False``, a query that raises (a
+                :class:`QuestError` or any wrapper failure) yields an
+                empty result list instead of aborting the batch.
+
+        Returns:
+            One ranked explanation list per query, in input order —
+            element-wise identical to calling :meth:`search` per query.
+        """
+        contexts = self.pipeline.run_many(self, queries, k=k, strict=strict)
+        self.batch_traces = [context.trace for context in contexts]
+        if contexts:
+            self.last_trace = contexts[-1].trace
+        return [context.explanations for context in contexts]
 
     # -- diagnostics --------------------------------------------------------
 

@@ -10,10 +10,20 @@ two explanation rankings into the top-k answers T.
 
 Here each source is a full :class:`~repro.core.engine.Quest` engine (which
 already performs the per-source H x S combination), and this module
-implements the outer combination over any number of sources.
+implements the outer combination over any number of sources. The query is
+tokenised exactly once; the per-source searches — independent by
+construction — fan out over a thread pool and their rankings are collected
+as each engine completes. The final Dempster-Shafer fold needs the union
+frame of every source's answers, so it runs after the last source reports,
+always in declaration order: results are bit-identical to a sequential run
+regardless of thread scheduling.
 """
 
 from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from typing import Sequence
 
 from repro.core.engine import Quest
 from repro.core.explanation import Explanation
@@ -21,8 +31,12 @@ from repro.dst.belief import rank_hypotheses
 from repro.dst.combine import dempster_combine
 from repro.dst.mass import MassFunction
 from repro.errors import QuestError
+from repro.semantics.tokenize import tokenize_query
 
 __all__ = ["MultiSourceQuest"]
+
+#: Upper bound on fan-out threads when the caller does not choose one.
+DEFAULT_MAX_WORKERS = 8
 
 
 class MultiSourceQuest:
@@ -33,16 +47,30 @@ class MultiSourceQuest:
         ignorance: per-source ignorance values (``O_E1``, ``O_E2``, ... in
             the paper); defaults to 0.3 for every source. Raising a
             source's value lowers its influence on the merged ranking.
+        max_workers: fan-out width for per-source searches; ``1`` forces
+            fully sequential execution (useful for debugging and for
+            differential tests against the threaded path). Defaults to
+            one thread per source, capped at ``DEFAULT_MAX_WORKERS``.
     """
 
     def __init__(
         self,
         engines: dict[str, Quest],
         ignorance: dict[str, float] | None = None,
+        max_workers: int | None = None,
     ) -> None:
         if not engines:
             raise QuestError("multi-source search needs at least one source")
+        if max_workers is not None and max_workers <= 0:
+            raise QuestError(f"max_workers must be positive, got {max_workers}")
         self.engines = dict(engines)
+        self.max_workers = max_workers
+        #: Lazily created and reused across searches so a workload pays
+        #: one thread-pool spin-up, not one per query. Creation is guarded
+        #: by a lock: concurrent first searches must not race two pools
+        #: into existence (the loser would leak its worker threads).
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
         self.ignorance = {
             name: 0.3 if ignorance is None else ignorance.get(name, 0.3)
             for name in self.engines
@@ -52,6 +80,74 @@ class MultiSourceQuest:
                 raise QuestError(
                     f"ignorance for source {name!r} must be in [0, 1]"
                 )
+
+    # -- per-source execution -------------------------------------------------
+
+    def _search_source(
+        self, name: str, keywords: list[str], k: int
+    ) -> tuple[float, list[Explanation]]:
+        """Coverage and ranked explanations of one source.
+
+        A source that cannot process the query (no configurations, ...)
+        contributes nothing rather than aborting the combination.
+        """
+        engine = self.engines[name]
+        try:
+            coverage = engine.evidence_coverage(keywords)
+            explanations = engine.search_keywords(keywords, k)
+        except QuestError:
+            return 0.0, []
+        return coverage, explanations
+
+    def _gather(
+        self, keywords: list[str], k: int
+    ) -> tuple[dict[str, float], dict[str, list[Explanation]]]:
+        """Run every source, threaded when more than one worker is allowed."""
+        coverage: dict[str, float] = {}
+        per_source: dict[str, list[Explanation]] = {}
+        workers = self.max_workers
+        if workers is None:
+            workers = min(len(self.engines), DEFAULT_MAX_WORKERS)
+        if workers == 1 or len(self.engines) == 1:
+            for name in self.engines:
+                coverage[name], per_source[name] = self._search_source(
+                    name, keywords, k
+                )
+            return coverage, per_source
+
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="quest-source"
+                )
+            executor = self._executor
+        futures = {
+            executor.submit(self._search_source, name, keywords, k): name
+            for name in self.engines
+        }
+        # Collect rankings as sources complete (fast engines are not
+        # held behind slow ones); the DS fold itself happens after the
+        # last one, over the union frame.
+        for future in as_completed(futures):
+            name = futures[future]
+            coverage[name], per_source[name] = future.result()
+        return coverage, per_source
+
+    def close(self) -> None:
+        """Shut down the shared executor (idempotent; optional — worker
+        threads are also reaped at interpreter exit)."""
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "MultiSourceQuest":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- the outer combination -------------------------------------------------
 
     def search(
         self, query: str, k: int = 10
@@ -63,16 +159,12 @@ class MultiSourceQuest:
         the sources hold different data. Returns ``(source, explanation)``
         pairs ranked by combined probability (stored on the explanation).
         """
-        per_source: dict[str, list[Explanation]] = {}
-        coverage: dict[str, float] = {}
-        for name, engine in self.engines.items():
-            try:
-                keywords = engine.keywords_of(query)
-                coverage[name] = engine.evidence_coverage(keywords)
-                per_source[name] = engine.search(query, k)
-            except QuestError:
-                coverage[name] = 0.0
-                per_source[name] = []
+        # Tokenise once for every source; the engines receive the keyword
+        # list directly instead of re-tokenising the raw text.
+        keywords = tokenize_query(query)
+        if not keywords:
+            return []
+        coverage, per_source = self._gather(keywords, k)
         if not any(per_source.values()):
             return []
 
@@ -84,7 +176,8 @@ class MultiSourceQuest:
         )
         bodies: list[MassFunction] = []
         by_hypothesis: dict[tuple, tuple[str, Explanation]] = {}
-        for name, explanations in per_source.items():
+        for name in self.engines:
+            explanations = per_source.get(name, [])
             scores: dict[tuple, float] = {}
             for explanation in explanations:
                 hypothesis = (name, explanation.query.signature())
@@ -121,3 +214,14 @@ class MultiSourceQuest:
                 )
             )
         return ranked
+
+    def search_many(
+        self, queries: Sequence[str], k: int = 10
+    ) -> list[list[tuple[str, Explanation]]]:
+        """Answer a workload of queries, one merged ranking per query.
+
+        Queries run back to back, so each source engine's emission and
+        Steiner caches warm across the workload exactly as in
+        :meth:`Quest.search_many`.
+        """
+        return [self.search(query, k) for query in queries]

@@ -82,6 +82,10 @@ class FullTextIndex:
 
     # -- scoring -----------------------------------------------------------
 
+    def _idf(self, by_field: dict[ColumnRef, dict[int, int]]) -> float:
+        """Inverse document frequency of a term given its posting map."""
+        return math.log(1.0 + self._n_fields / len(by_field))
+
     def attribute_scores(self, keyword: str) -> dict[ColumnRef, float]:
         """TF-IDF relevance of *keyword* for each attribute containing it.
 
@@ -94,8 +98,7 @@ class FullTextIndex:
         by_field = self._postings.get(term)
         if not by_field:
             return {}
-        document_frequency = len(by_field)
-        idf = math.log(1.0 + self._n_fields / document_frequency)
+        idf = self._idf(by_field)
         scores: dict[ColumnRef, float] = {}
         for ref, rows in by_field.items():
             field_size = self._field_sizes.get(ref, 0)
@@ -106,8 +109,22 @@ class FullTextIndex:
         return scores
 
     def score(self, keyword: str, ref: ColumnRef) -> float:
-        """Relevance of *keyword* for one attribute (0.0 when absent)."""
-        return self.attribute_scores(keyword).get(ref, 0.0)
+        """Relevance of *keyword* for one attribute (0.0 when absent).
+
+        A direct posting-map lookup — O(1) in the number of attributes the
+        term occurs in, unlike :meth:`attribute_scores` which materialises
+        the full per-attribute dict.
+        """
+        by_field = self._postings.get(keyword.casefold())
+        if not by_field:
+            return 0.0
+        rows = by_field.get(ref)
+        if not rows:
+            return 0.0
+        field_size = self._field_sizes.get(ref, 0)
+        if field_size == 0:
+            return 0.0
+        return (len(rows) / field_size) * self._idf(by_field)
 
     # -- retrieval -----------------------------------------------------------
 
@@ -118,11 +135,16 @@ class FullTextIndex:
         return sorted(by_field.get(ref, {}))
 
     def selectivity(self, keyword: str, ref: ColumnRef) -> float:
-        """Fraction of the attribute's values matching *keyword*."""
+        """Fraction of the attribute's values matching *keyword*.
+
+        Reads the posting map directly (no sort, no full-dict rebuild):
+        only the matching-row *count* is needed, not the positions.
+        """
         field_size = self._field_sizes.get(ref, 0)
         if field_size == 0:
             return 0.0
-        return len(self.matching_row_positions(keyword, ref)) / field_size
+        by_field = self._postings.get(keyword.casefold(), {})
+        return len(by_field.get(ref, ())) / field_size
 
     def __repr__(self) -> str:
         return (

@@ -6,6 +6,7 @@ from repro.eval.harness import (
     SearchEngine,
     backward_only_engine,
     evaluate,
+    evaluate_batch,
     forward_only_engine,
     quest_engine,
 )
@@ -25,6 +26,7 @@ __all__ = [
     "SearchEngine",
     "backward_only_engine",
     "evaluate",
+    "evaluate_batch",
     "format_results",
     "format_table",
     "forward_only_engine",

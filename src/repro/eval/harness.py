@@ -29,6 +29,7 @@ __all__ = [
     "QueryOutcome",
     "EvaluationResult",
     "evaluate",
+    "evaluate_batch",
     "quest_engine",
     "forward_only_engine",
     "backward_only_engine",
@@ -123,6 +124,39 @@ def evaluate(
                 query=query,
                 hits=tuple(hit_list(ranked, query.gold_query)),
                 seconds=elapsed,
+            )
+        )
+    return result
+
+
+def evaluate_batch(
+    quest: Quest,
+    workload: Workload | Sequence[WorkloadQuery],
+    k: int = 10,
+    engine_name: str = "quest-batch",
+) -> EvaluationResult:
+    """Evaluate a QUEST engine through its batch tier.
+
+    The whole workload goes through ``Quest.search_many`` in one go, so
+    the emission and Steiner caches warm across queries exactly as they
+    would under production traffic; per-query timings come from each run's
+    :class:`~repro.pipeline.context.SearchTrace` rather than an outer
+    stopwatch. Queries that fail (``context.error`` set) score as misses,
+    matching :func:`evaluate`.
+    """
+    workload_name = workload.name if isinstance(workload, Workload) else "ad-hoc"
+    queries = list(workload)
+    batches = quest.search_many(
+        [query.text for query in queries], k=k, strict=False
+    )
+    result = EvaluationResult(engine_name=engine_name, workload_name=workload_name)
+    for query, explanations, trace in zip(queries, batches, quest.batch_traces):
+        ranked = [explanation.query for explanation in explanations]
+        result.outcomes.append(
+            QueryOutcome(
+                query=query,
+                hits=tuple(hit_list(ranked, query.gold_query)),
+                seconds=trace.total_seconds,
             )
         )
     return result

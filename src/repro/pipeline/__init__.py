@@ -1,0 +1,35 @@
+"""The staged search pipeline and its cross-query caches.
+
+One query's state threads through composable ``Forward -> Backward ->
+Combine -> Explain`` stages as a :class:`SearchContext`; repeated work is
+amortised across queries by two :class:`LRUCache` instances (emission
+vectors on the source wrapper, Steiner results on the schema graph), with
+per-query hit/miss deltas surfaced in the :class:`SearchTrace` diagnostic.
+The cache itself lives in the leaf module :mod:`repro.cache` (re-exported
+here) so low-level consumers never depend on this package.
+"""
+
+from repro.cache import CacheStats, LRUCache
+from repro.pipeline.context import SearchContext, SearchTrace, StageReport
+from repro.pipeline.runner import SearchPipeline
+from repro.pipeline.stages import (
+    BackwardStage,
+    CombineStage,
+    ExplainStage,
+    ForwardStage,
+    PipelineStage,
+)
+
+__all__ = [
+    "BackwardStage",
+    "CacheStats",
+    "CombineStage",
+    "ExplainStage",
+    "ForwardStage",
+    "LRUCache",
+    "PipelineStage",
+    "SearchContext",
+    "SearchPipeline",
+    "SearchTrace",
+    "StageReport",
+]

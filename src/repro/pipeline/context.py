@@ -1,0 +1,141 @@
+"""Per-query state threaded through the staged search pipeline.
+
+A :class:`SearchContext` carries everything one query accumulates on its
+way through ``Forward -> Backward -> Combine -> Explain``: the tokenised
+keywords, the stage products (configurations, interpretations, ranked
+interpretations, explanations) and a :class:`SearchTrace` diagnostic with
+per-stage timings, candidate counts and cache hit/miss deltas.
+
+Only type names are imported from ``repro.core`` here, and only for the
+checker: at runtime this module must stay import-light because the core
+engine and the pipeline reference each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.cache import CacheStats
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.core.configuration import Configuration
+    from repro.core.explanation import Explanation
+    from repro.core.interpretation import Interpretation
+
+__all__ = ["SearchContext", "SearchTrace", "StageReport"]
+
+
+@dataclass(frozen=True)
+class StageReport:
+    """Timing and output size of one executed stage."""
+
+    stage: str
+    seconds: float
+    candidates: int
+
+    def __str__(self) -> str:
+        return f"{self.stage}: {self.candidates} candidates in {self.seconds:.4f}s"
+
+
+@dataclass
+class SearchTrace:
+    """Diagnostics of one pipeline run.
+
+    Attributes:
+        query: the raw query text (reconstructed from keywords when the
+            run was started from pre-tokenised keywords).
+        keywords: the tokenised query.
+        stages: one :class:`StageReport` per executed stage, in order.
+        emission_cache: emission-vector cache hits/misses during this run.
+        steiner_cache: Steiner-result cache hits/misses during this run.
+
+    The cache deltas are snapshots of the wrapper's / graph's *global*
+    counters taken around this run. When several runs share a wrapper or
+    graph concurrently (e.g. two engines on one wrapper inside a threaded
+    multi-source search), the interleaved counts are attributed to
+    whichever trace is active — per-query deltas are exact only for
+    single-threaded use of a given cache; results are unaffected either
+    way.
+    """
+
+    query: str
+    keywords: tuple[str, ...] = ()
+    stages: list[StageReport] = field(default_factory=list)
+    emission_cache: CacheStats = field(default_factory=CacheStats)
+    steiner_cache: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall time summed over the executed stages."""
+        return sum(report.seconds for report in self.stages)
+
+    def stage(self, name: str) -> StageReport:
+        """The report for stage *name* (raises ``KeyError`` if absent)."""
+        for report in self.stages:
+            if report.stage == name:
+                return report
+        raise KeyError(f"no stage named {name!r} in trace")
+
+    def summary(self) -> str:
+        """A one-line human-readable digest of the run."""
+        stages = " | ".join(
+            f"{r.stage}={r.candidates}@{r.seconds:.4f}s" for r in self.stages
+        )
+        return (
+            f"{self.query!r}: {stages} | "
+            f"emissions[{self.emission_cache}] steiner[{self.steiner_cache}]"
+        )
+
+
+@dataclass
+class SearchContext:
+    """One query's mutable state, produced stage by stage.
+
+    Attributes:
+        query: raw query text (``None`` when a stage runs standalone).
+        keywords: tokenised keywords, set before the forward stage.
+        k: number of explanations the search finally returns.
+        pool: forward-stage candidate budget (``k * candidate_factor``).
+        tree_k: Steiner trees enumerated per configuration.
+        rank_k: hypotheses kept by the combine stage; ``None`` means
+            "rank the full pool" (``max(pool, len(interpretations))``).
+        limit: cap on emitted explanations (``None`` = no cap).
+        configurations: forward-stage output.
+        interpretations: backward-stage output.
+        ranked: combine-stage output (re-scored interpretations).
+        explanations: explain-stage output — the final answers.
+        trace: per-stage diagnostics for this run.
+        error: the failure that aborted the run, when batch callers opt
+            into collecting errors instead of raising.
+    """
+
+    query: str | None = None
+    keywords: list[str] = field(default_factory=list)
+    k: int = 10
+    pool: int = 10
+    tree_k: int = 10
+    rank_k: int | None = None
+    limit: int | None = None
+    configurations: list["Configuration"] = field(default_factory=list)
+    interpretations: list["Interpretation"] = field(default_factory=list)
+    ranked: list["Interpretation"] = field(default_factory=list)
+    explanations: list["Explanation"] = field(default_factory=list)
+    trace: SearchTrace = field(default_factory=lambda: SearchTrace(query=""))
+    error: Exception | None = None
+
+    @classmethod
+    def for_query(
+        cls, query: str | None, keywords: list[str], k: int, pool: int, tree_k: int
+    ) -> "SearchContext":
+        """A context primed for a full pipeline run."""
+        text = query if query is not None else " ".join(keywords)
+        return cls(
+            query=query,
+            keywords=list(keywords),
+            k=k,
+            pool=pool,
+            tree_k=tree_k,
+            limit=k,
+            trace=SearchTrace(query=text, keywords=tuple(keywords)),
+        )

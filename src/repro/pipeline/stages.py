@@ -1,0 +1,270 @@
+"""The four composable stages of Algorithm 1.
+
+Each stage reads its inputs from a :class:`~repro.pipeline.context.
+SearchContext`, performs one step of the paper's process and writes its
+products back::
+
+    Forward   keywords            -> configurations   (HMM + DST)
+    Backward  configurations      -> interpretations  (top-k Steiner)
+    Combine   configs + interps   -> ranked           (DST over join paths)
+    Explain   ranked              -> explanations     (SQL + execution)
+
+The stage bodies are the engine logic that used to live inline in
+``Quest.forward`` / ``backward`` / ``combine`` / ``explain``; those methods
+are now thin wrappers that run a single stage, so the public API and its
+semantics are unchanged.
+
+Stages hold no per-query state — one instance can serve concurrent runs —
+and receive the :class:`~repro.core.engine.Quest` engine explicitly, which
+supplies the models, settings, schema graph and wrapper.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from repro.core.configuration import Configuration
+from repro.core.explanation import Explanation
+from repro.core.interpretation import Interpretation, tree_score
+from repro.core.query_builder import build_query
+from repro.dst.belief import rank_hypotheses
+from repro.dst.combine import dempster_combine
+from repro.dst.mass import MassFunction
+from repro.errors import AccessDeniedError, CombinationError, QuestError, SteinerError
+from repro.pipeline.context import SearchContext
+from repro.steiner.topk import top_k_steiner_trees
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.core.engine import Quest
+
+__all__ = [
+    "BackwardStage",
+    "CombineStage",
+    "ExplainStage",
+    "ForwardStage",
+    "PipelineStage",
+]
+
+
+class PipelineStage(abc.ABC):
+    """One step of the search pipeline."""
+
+    #: Stage identifier used in traces and for lookup on the pipeline.
+    name: str = "stage"
+
+    @abc.abstractmethod
+    def run(self, engine: "Quest", context: SearchContext) -> None:
+        """Execute the stage, mutating *context* in place."""
+
+    @abc.abstractmethod
+    def candidates(self, context: SearchContext) -> int:
+        """Size of this stage's output on *context* (for the trace)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class ForwardStage(PipelineStage):
+    """``C <- CombinerDST(Cap, Cf, O_Cap, O_Cf)`` — keywords to configurations."""
+
+    name = "forward"
+
+    def run(self, engine: "Quest", context: SearchContext) -> None:
+        settings = engine.settings
+        k = context.pool
+        apriori: list[Configuration] = []
+        feedback: list[Configuration] = []
+        if settings.use_apriori:
+            apriori = engine.decode(context.keywords, engine.apriori_model, k)
+        if settings.use_feedback and engine.feedback_model is not None:
+            feedback = engine.decode(context.keywords, engine.feedback_model, k)
+
+        if apriori and feedback:
+            combined = self._combine_modes(engine, apriori, feedback, k)
+        else:
+            combined = apriori or feedback
+        if not combined:
+            raise QuestError("forward step produced no configurations")
+        context.configurations = combined
+
+    def candidates(self, context: SearchContext) -> int:
+        return len(context.configurations)
+
+    @staticmethod
+    def _combine_modes(
+        engine: "Quest",
+        apriori: list[Configuration],
+        feedback: list[Configuration],
+        k: int,
+    ) -> list[Configuration]:
+        """DST combination of the a-priori and feedback decoders."""
+        frame = frozenset(c.with_score(0.0) for c in apriori + feedback)
+        apriori_scores = {c.with_score(0.0): c.score for c in apriori}
+        feedback_scores = {c.with_score(0.0): c.score for c in feedback}
+        apriori_mass = MassFunction.from_scores(
+            apriori_scores, engine.settings.uncertainty_apriori, frame
+        )
+        feedback_mass = MassFunction.from_scores(
+            feedback_scores, engine.settings.uncertainty_feedback, frame
+        )
+        combined = dempster_combine(apriori_mass, feedback_mass)
+        ranked = rank_hypotheses(combined, k)
+        return [
+            configuration.with_score(probability)
+            for configuration, probability in ranked
+        ]
+
+
+class BackwardStage(PipelineStage):
+    """``I <- ST(q, C, k)`` — configurations to join-path interpretations.
+
+    Configurations whose terminals are disconnected in the schema graph
+    yield no interpretation and drop out — exactly the instance-consistency
+    filtering the backward step exists for. Steiner enumeration goes
+    through the schema graph's result cache, so repeated terminal sets
+    (across configurations and across queries) are answered without
+    re-running the tree search.
+    """
+
+    name = "backward"
+
+    def run(self, engine: "Quest", context: SearchContext) -> None:
+        k = context.tree_k
+        interpretations: list[Interpretation] = []
+        for configuration in context.configurations:
+            terminals = configuration.terminals(engine.schema)
+            try:
+                trees = top_k_steiner_trees(
+                    engine.schema_graph,
+                    sorted(terminals, key=str),
+                    k,
+                    prune_supertrees=engine.settings.prune_supertrees,
+                )
+            except SteinerError:
+                continue
+            for tree in trees:
+                interpretations.append(
+                    Interpretation(configuration, tree, tree_score(tree.weight))
+                )
+        context.interpretations = interpretations
+
+    def candidates(self, context: SearchContext) -> int:
+        return len(context.interpretations)
+
+
+class CombineStage(PipelineStage):
+    """``E <- CombinerDST(C, I, O_C, O_I)`` — the final evidence combination.
+
+    Forward evidence commits mass to *sets* of interpretations sharing a
+    configuration (the forward step knows nothing about join paths);
+    backward evidence commits mass to individual interpretations. The
+    Dempster intersection concentrates belief on join paths that both a
+    likely configuration and a short informative tree support.
+    """
+
+    name = "combine"
+
+    def run(self, engine: "Quest", context: SearchContext) -> None:
+        interpretations = context.interpretations
+        if not interpretations:
+            context.ranked = []
+            return
+        # Rank the complete interpretation pool by default: explanations
+        # that execute to empty results are dropped by the explain stage,
+        # so truncating here would let filtered-out junk displace
+        # executable answers further down.
+        k = context.rank_k
+        if k is None:
+            k = max(context.pool, len(interpretations))
+        frame = frozenset(interpretations)
+
+        forward_mass = MassFunction(frame=frame)
+        by_configuration: dict[Configuration, set[Interpretation]] = {}
+        for interpretation in interpretations:
+            by_configuration.setdefault(
+                interpretation.configuration, set()
+            ).add(interpretation)
+        supported = [
+            c
+            for c in context.configurations
+            if c in by_configuration and c.score > 0.0
+        ]
+        total_score = sum(c.score for c in supported)
+        if total_score > 0.0:
+            budget = 1.0 - engine.settings.uncertainty_forward
+            for configuration in supported:
+                forward_mass.assign(
+                    frozenset(by_configuration[configuration]),
+                    budget * configuration.score / total_score,
+                )
+            if engine.settings.uncertainty_forward > 0.0:
+                forward_mass.assign(frame, engine.settings.uncertainty_forward)
+        else:
+            forward_mass = MassFunction.vacuous(frame)
+
+        backward_scores = {i: i.score for i in interpretations}
+        backward_mass = MassFunction.from_scores(
+            backward_scores, engine.settings.uncertainty_backward, frame
+        )
+
+        try:
+            combined = dempster_combine(forward_mass, backward_mass)
+        except CombinationError:
+            # Total conflict cannot happen over a shared frame, but guard:
+            # fall back to the backward ranking.
+            combined = backward_mass
+        ranked = rank_hypotheses(combined, k)
+        context.ranked = [
+            interpretation.with_score(probability)
+            for interpretation, probability in ranked
+        ]
+
+    def candidates(self, context: SearchContext) -> int:
+        return len(context.ranked)
+
+
+class ExplainStage(PipelineStage):
+    """``E <- QueryBuilder(E)`` — ranked interpretations to SQL answers.
+
+    Distinct interpretations can denote the same SQL (e.g. two
+    configurations differing only in schema-term kinds); only the
+    best-ranked explanation per structural query survives. When the
+    wrapper can execute, empty-result explanations are dropped per
+    ``settings.min_explanation_results``.
+    """
+
+    name = "explain"
+
+    def run(self, engine: "Quest", context: SearchContext) -> None:
+        explanations: list[Explanation] = []
+        seen_queries: set[tuple] = set()
+        for interpretation in context.ranked:
+            query = build_query(engine.schema, interpretation)
+            identity = query.signature()
+            if identity in seen_queries:
+                continue
+            seen_queries.add(identity)
+            result_count: int | None = None
+            if engine.settings.execute_explanations:
+                try:
+                    result_count = engine.wrapper.result_count(query)
+                except AccessDeniedError:
+                    result_count = None
+                else:
+                    if result_count < engine.settings.min_explanation_results:
+                        continue
+            explanations.append(
+                Explanation(
+                    interpretation=interpretation,
+                    query=query,
+                    probability=interpretation.score,
+                    result_count=result_count,
+                )
+            )
+            if context.limit is not None and len(explanations) >= context.limit:
+                break
+        context.explanations = explanations
+
+    def candidates(self, context: SearchContext) -> int:
+        return len(context.explanations)

@@ -16,10 +16,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
+from repro.cache import LRUCache
 from repro.db.schema import ColumnRef, ForeignKey, Schema
 from repro.errors import SteinerError
 
-__all__ = ["EdgeKind", "SchemaEdge", "SchemaGraph"]
+__all__ = ["EdgeKind", "SchemaEdge", "SchemaGraph", "STEINER_CACHE_SIZE"]
+
+#: Capacity of the per-graph Steiner-result cache. Terminal sets are drawn
+#: from configurations over one schema, so the working set is small; the
+#: bound only guards against adversarial workloads.
+STEINER_CACHE_SIZE = 512
 
 
 @dataclass(frozen=True)
@@ -63,6 +69,10 @@ class SchemaGraph:
         self.schema = schema
         self._adjacency: dict[ColumnRef, dict[ColumnRef, SchemaEdge]] = {}
         self._edges: dict[frozenset, SchemaEdge] = {}
+        #: Cross-query cache of top-k Steiner enumerations, keyed by
+        #: (frozen terminal set, k, pruning flags); consulted by
+        #: :func:`repro.steiner.topk.top_k_steiner_trees`.
+        self.steiner_cache = LRUCache(STEINER_CACHE_SIZE)
         for ref in schema.column_refs():
             self._adjacency[ref] = {}
 
@@ -88,6 +98,8 @@ class SchemaGraph:
         existing = self._edges.get(edge.key)
         if existing is not None and existing.weight <= weight:
             return existing
+        # The graph changed: cached Steiner enumerations are stale.
+        self.steiner_cache.clear()
         self._edges[edge.key] = edge
         self._adjacency[left][right] = edge
         self._adjacency[right][left] = edge

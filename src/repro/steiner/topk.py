@@ -13,6 +13,13 @@ As in QUEST, trees that duplicate or merely extend an already-emitted tree
 (i.e. contain a previously computed tree as a sub-tree while connecting the
 same terminals) are discarded, so the k results are structurally distinct
 join paths rather than one path plus k-1 padded variants.
+
+Enumeration results are memoised on the graph itself: a
+:class:`~repro.steiner.graph.SchemaGraph` carries a ``steiner_cache``
+keyed by the frozen terminal set (plus k and the pruning flags), so the
+same terminal combination — which recurs both across a query's
+configurations and across queries — is answered without re-running the
+search. Graph mutation invalidates the cache.
 """
 
 from __future__ import annotations
@@ -27,6 +34,10 @@ from repro.steiner.graph import SchemaGraph
 from repro.steiner.tree import SteinerTree
 
 __all__ = ["top_k_steiner_trees"]
+
+#: Cached marker for terminal sets known to be disconnected, so repeats
+#: skip the connectivity BFS too (and still raise, as the cold path does).
+_DISCONNECTED = object()
 
 
 def top_k_steiner_trees(
@@ -61,7 +72,19 @@ def top_k_steiner_trees(
     terminal_set = frozenset(terminal_list)
     if len(terminal_list) == 1:
         return [SteinerTree(terminal_set, frozenset(), 0.0)]
+
+    cache = getattr(graph, "steiner_cache", None)
+    cache_key = (terminal_set, k, prune_supertrees, max_pops)
+    if cache is not None:
+        cached = cache.get(cache_key)
+        if cached is _DISCONNECTED:
+            raise SteinerError(f"terminals are disconnected: {terminal_list}")
+        if cached is not None:
+            return list(cached)
+
     if not graph.connected(set(terminal_list)):
+        if cache is not None:
+            cache.put(cache_key, _DISCONNECTED)
         raise SteinerError(f"terminals are disconnected: {terminal_list}")
 
     full_mask = (1 << len(terminal_list)) - 1
@@ -145,4 +168,7 @@ def top_k_steiner_trees(
                     ),
                 )
 
+    if cache is not None:
+        # Trees are frozen; storing a tuple keeps cached results immutable.
+        cache.put(cache_key, tuple(results))
     return results

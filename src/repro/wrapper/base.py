@@ -4,8 +4,16 @@ QUEST is "conceived as a tool working on top of a traditional DBMS" but
 does not rely on a specific implementation of the keyword-ranking function:
 a wrapper mediates every interaction with the data source. Two concrete
 wrappers exist — full access (owned databases) and hidden access (Deep Web
-endpoints) — and the whole engine is written against this interface, which
+sources) — and the whole engine is written against this interface, which
 is what makes the hidden-source mode possible at all.
+
+Emission scoring is the per-keyword hot path of the forward step, and the
+score vector for a keyword depends only on the keyword and the (static)
+source — so the base class caches it: ``emission_scores`` is a concrete
+method that serves repeated keywords from a thread-safe LRU cache shared
+by every engine bound to the wrapper, and concrete wrappers implement the
+``compute_emission_scores`` hook instead. Cache hit/miss counters surface
+per query in the pipeline's ``SearchTrace``.
 """
 
 from __future__ import annotations
@@ -18,9 +26,14 @@ from repro.db.catalog import Catalog
 from repro.db.executor import ResultSet
 from repro.db.query import SelectQuery
 from repro.db.schema import Schema
+from repro.cache import CacheStats, LRUCache
 from repro.hmm.states import StateSpace
 
 __all__ = ["SourceWrapper"]
+
+#: Default emission-cache capacity: comfortably above the distinct-keyword
+#: count of any benchmark workload while bounding memory on open vocabularies.
+DEFAULT_EMISSION_CACHE_SIZE = 2048
 
 
 class SourceWrapper(abc.ABC):
@@ -33,8 +46,13 @@ class SourceWrapper(abc.ABC):
     degrade gracefully on hidden sources.
     """
 
-    def __init__(self, schema: Schema) -> None:
+    def __init__(
+        self,
+        schema: Schema,
+        emission_cache_size: int = DEFAULT_EMISSION_CACHE_SIZE,
+    ) -> None:
         self.schema = schema
+        self._emission_cache = LRUCache(emission_cache_size)
 
     # -- capabilities --------------------------------------------------------
 
@@ -51,7 +69,9 @@ class SourceWrapper(abc.ABC):
     # -- the attribute-ranking function ---------------------------------------
 
     @abc.abstractmethod
-    def emission_scores(self, keyword: str, states: StateSpace) -> np.ndarray:
+    def compute_emission_scores(
+        self, keyword: str, states: StateSpace
+    ) -> np.ndarray:
         """Relevance of *keyword* for every HMM state (non-negative).
 
         This is QUEST's "function that, given a keyword and the database
@@ -60,6 +80,35 @@ class SourceWrapper(abc.ABC):
         scored against attribute *contents* (full-text or shape evidence),
         TABLE/ATTRIBUTE states against schema *names* (semantic evidence).
         """
+
+    def emission_scores(self, keyword: str, states: StateSpace) -> np.ndarray:
+        """Cached emission vector for *keyword* over *states*.
+
+        The returned array is shared across callers and marked read-only;
+        consumers that need to modify it must copy first. The key carries
+        the full state tuple, not just its length: a vector is only ever
+        reused for a state space with identical content *and order* (a
+        foreign feedback model may legally carry a same-length space with
+        different ordering — see ``Quest.set_feedback_model``).
+        """
+        key = (keyword, states.states)
+        cached = self._emission_cache.get(key)
+        if cached is not None:
+            return cached
+        scores = np.asarray(self.compute_emission_scores(keyword, states))
+        scores.setflags(write=False)
+        self._emission_cache.put(key, scores)
+        return scores
+
+    @property
+    def emission_cache(self) -> LRUCache:
+        """The shared keyword -> emission-vector cache."""
+        return self._emission_cache
+
+    @property
+    def emission_cache_stats(self) -> CacheStats:
+        """Hit/miss counters of the emission cache."""
+        return self._emission_cache.stats
 
     # -- query execution --------------------------------------------------------
 

@@ -16,7 +16,7 @@ from repro.db.executor import ResultSet, execute
 from repro.db.fulltext import FullTextIndex
 from repro.db.query import SelectQuery
 from repro.hmm.states import StateKind, StateSpace
-from repro.wrapper.base import SourceWrapper
+from repro.wrapper.base import DEFAULT_EMISSION_CACHE_SIZE, SourceWrapper
 from repro.wrapper.ontology import SchemaOntology
 
 __all__ = ["FullAccessWrapper"]
@@ -38,8 +38,9 @@ class FullAccessWrapper(SourceWrapper):
         db: Database,
         ontology: SchemaOntology | None = None,
         fulltext: FullTextIndex | None = None,
+        emission_cache_size: int = DEFAULT_EMISSION_CACHE_SIZE,
     ) -> None:
-        super().__init__(db.schema)
+        super().__init__(db.schema, emission_cache_size=emission_cache_size)
         self._db = db
         self._fulltext = fulltext if fulltext is not None else FullTextIndex(db)
         self._catalog = Catalog.from_database(db)
@@ -69,7 +70,7 @@ class FullAccessWrapper(SourceWrapper):
 
     # -- emission scores ---------------------------------------------------------
 
-    def emission_scores(self, keyword: str, states: StateSpace) -> np.ndarray:
+    def compute_emission_scores(self, keyword: str, states: StateSpace) -> np.ndarray:
         """Full-text scores for DOMAIN states, ontology for schema states."""
         scores = np.zeros(len(states))
         domain_scores = self._fulltext.attribute_scores(keyword)

@@ -25,7 +25,7 @@ from repro.db.schema import Schema
 from repro.errors import AccessDeniedError
 from repro.hmm.states import StateKind, StateSpace
 from repro.semantics.recognizers import shape_score
-from repro.wrapper.base import SourceWrapper
+from repro.wrapper.base import DEFAULT_EMISSION_CACHE_SIZE, SourceWrapper
 from repro.wrapper.ontology import SchemaOntology
 
 __all__ = ["HiddenSourceWrapper"]
@@ -45,8 +45,9 @@ class HiddenSourceWrapper(SourceWrapper):
         schema: Schema,
         remote_db: Database | None = None,
         ontology: SchemaOntology | None = None,
+        emission_cache_size: int = DEFAULT_EMISSION_CACHE_SIZE,
     ) -> None:
-        super().__init__(schema)
+        super().__init__(schema, emission_cache_size=emission_cache_size)
         self._remote_db = remote_db
         self._catalog = Catalog.schema_only(schema)
         self._ontology = ontology if ontology is not None else SchemaOntology(schema)
@@ -63,7 +64,7 @@ class HiddenSourceWrapper(SourceWrapper):
 
     # -- emission scores ---------------------------------------------------------
 
-    def emission_scores(self, keyword: str, states: StateSpace) -> np.ndarray:
+    def compute_emission_scores(self, keyword: str, states: StateSpace) -> np.ndarray:
         """Regex / datatype / ontology evidence only — no instance reads.
 
         DOMAIN states combine the column's value-shape compatibility with a

@@ -1,0 +1,150 @@
+"""Cache-correctness tests: caching changes latency, never answers.
+
+Covers the ISSUE acceptance criteria: cold vs. warm ``Quest.search`` must
+be identical element-wise on the mondial workload, ``search_many`` must
+equal per-query ``search``, and the threaded multi-source path must equal
+serial execution.
+"""
+
+import pytest
+
+from repro.core import MultiSourceQuest, Quest
+from repro.datasets import mondial
+from repro.errors import QuestError
+from repro.wrapper import FullAccessWrapper, HiddenSourceWrapper
+
+
+@pytest.fixture(scope="module")
+def mondial_engine():
+    db = mondial.generate(countries=10, seed=23)
+    return Quest(FullAccessWrapper(db))
+
+
+@pytest.fixture(scope="module")
+def mondial_texts(mondial_engine):
+    workload = mondial.workload(
+        mondial_engine.wrapper.database, queries_per_kind=2, seed=23
+    )
+    return [query.text for query in workload]
+
+
+class TestColdVsWarm:
+    def test_repeated_search_is_identical_elementwise(
+        self, mondial_engine, mondial_texts
+    ):
+        cold = [mondial_engine.search(text) for text in mondial_texts]
+        warm = [mondial_engine.search(text) for text in mondial_texts]
+        for cold_ranked, warm_ranked in zip(cold, warm):
+            assert len(cold_ranked) == len(warm_ranked)
+            for cold_explanation, warm_explanation in zip(cold_ranked, warm_ranked):
+                assert cold_explanation == warm_explanation
+
+    def test_warm_pass_hits_both_caches(self, mondial_engine, mondial_texts):
+        mondial_engine.search_many(mondial_texts)  # ensure caches are primed
+        emissions_before = mondial_engine.wrapper.emission_cache_stats
+        steiner_before = mondial_engine.schema_graph.steiner_cache.stats
+        mondial_engine.search_many(mondial_texts)
+        emissions = mondial_engine.wrapper.emission_cache_stats.since(
+            emissions_before
+        )
+        steiner = mondial_engine.schema_graph.steiner_cache.stats.since(
+            steiner_before
+        )
+        assert emissions.hits > 0
+        assert emissions.misses == 0
+        assert steiner.hits > 0
+        assert steiner.misses == 0
+
+    def test_hidden_wrapper_shares_the_cache_layer(self, mondial_engine):
+        db = mondial_engine.wrapper.database
+        hidden = HiddenSourceWrapper(db.schema, remote_db=db)
+        engine = Quest(hidden)
+        cold = engine.search("capital ruritania")
+        before = hidden.emission_cache_stats
+        warm = engine.search("capital ruritania")
+        assert cold == warm
+        assert hidden.emission_cache_stats.since(before).misses == 0
+
+    def test_disconnected_terminals_cached_and_still_raise(self, mini_schema):
+        from repro.db.schema import ColumnRef
+        from repro.errors import SteinerError
+        from repro.steiner import SchemaGraph, top_k_steiner_trees
+
+        graph = SchemaGraph(mini_schema)  # no edges: everything disconnected
+        terminals = [ColumnRef("person", "name"), ColumnRef("movie", "title")]
+        with pytest.raises(SteinerError):
+            top_k_steiner_trees(graph, terminals, 3)
+        before = graph.steiner_cache.stats
+        with pytest.raises(SteinerError):
+            top_k_steiner_trees(graph, terminals, 3)
+        delta = graph.steiner_cache.stats.since(before)
+        assert delta.hits == 1
+        assert delta.misses == 0
+
+    def test_steiner_cache_invalidated_on_graph_mutation(self, mini_engine):
+        mini_engine.search("kubrick movies")
+        graph = mini_engine.schema_graph
+        assert len(graph.steiner_cache) > 0
+        edge = graph.edges[0]
+        graph.add_edge(edge.left, edge.right, edge.weight / 2, edge.kind)
+        assert len(graph.steiner_cache) == 0
+
+
+class TestSearchMany:
+    def test_search_many_equals_sequential_search(
+        self, mondial_engine, mondial_texts
+    ):
+        sequential = [mondial_engine.search(text) for text in mondial_texts]
+        batched = mondial_engine.search_many(mondial_texts)
+        assert batched == sequential
+        assert len(mondial_engine.batch_traces) == len(mondial_texts)
+
+    def test_search_many_strict_raises(self, mini_engine):
+        with pytest.raises(QuestError):
+            mini_engine.search_many(["kubrick", "???"])
+
+    def test_search_many_lax_scores_failures_empty(self, mini_engine):
+        results = mini_engine.search_many(["kubrick", "???"], strict=False)
+        assert results[0]
+        assert results[1] == []
+
+    def test_search_keywords_equals_search(self, mini_engine):
+        query = "kubrick movies"
+        assert mini_engine.search_keywords(
+            mini_engine.keywords_of(query)
+        ) == mini_engine.search(query)
+
+
+class TestThreadedMultiSource:
+    @pytest.fixture()
+    def sources(self, mondial_engine):
+        db = mondial_engine.wrapper.database
+        return {
+            "full": mondial_engine,
+            "hidden": Quest(HiddenSourceWrapper(db.schema, remote_db=db)),
+        }
+
+    def test_threaded_equals_serial(self, sources, mondial_texts):
+        serial = MultiSourceQuest(sources, max_workers=1)
+        threaded = MultiSourceQuest(sources, max_workers=4)
+        for text in mondial_texts[:4]:
+            assert threaded.search(text) == serial.search(text)
+
+    def test_threaded_path_is_deterministic(self, sources):
+        multi = MultiSourceQuest(sources, max_workers=4)
+        first = multi.search("capital ruritania")
+        for _ in range(3):
+            assert multi.search("capital ruritania") == first
+
+    def test_search_many_matches_search(self, sources, mondial_texts):
+        multi = MultiSourceQuest(sources)
+        texts = mondial_texts[:3]
+        assert multi.search_many(texts) == [multi.search(text) for text in texts]
+
+    def test_unparseable_query_yields_no_answers(self, sources):
+        multi = MultiSourceQuest(sources)
+        assert multi.search("???") == []
+
+    def test_max_workers_validated(self, sources):
+        with pytest.raises(QuestError):
+            MultiSourceQuest(sources, max_workers=0)
