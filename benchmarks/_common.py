@@ -8,13 +8,20 @@ qualitative effect (who wins, by what factor, where crossovers fall).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.core import Quest, QuestSettings
 from repro.datasets import dblp, imdb, mondial
 from repro.datasets.workload import Workload
 from repro.db.database import Database
+from repro.storage import create_backend
 from repro.wrapper import FullAccessWrapper
+
+#: Storage backend every benchmark engine runs on. Override with
+#: ``QUEST_BENCH_BACKEND=sqlite`` to push the whole suite through the
+#: SQLite backend (CI runs E7 that way as a parity smoke test).
+BENCH_BACKEND = os.environ.get("QUEST_BENCH_BACKEND", "memory")
 
 #: One moderate configuration per demo scenario.
 SCALES = {
@@ -53,9 +60,18 @@ def all_scenarios(queries_per_kind: int = 4) -> list[Scenario]:
     return [scenario(name, queries_per_kind) for name in _GENERATORS]
 
 
-def quest_for(db: Database, settings: QuestSettings | None = None) -> Quest:
-    """A full-access QUEST engine over *db*."""
-    return Quest(FullAccessWrapper(db), settings)
+def quest_for(
+    db: Database,
+    settings: QuestSettings | None = None,
+    backend: str | None = None,
+) -> Quest:
+    """A full-access QUEST engine over *db* on the chosen storage backend.
+
+    *backend* defaults to :data:`BENCH_BACKEND` (the
+    ``QUEST_BENCH_BACKEND`` environment variable, "memory" when unset).
+    """
+    chosen = backend if backend is not None else BENCH_BACKEND
+    return Quest(FullAccessWrapper(create_backend(chosen, db)), settings)
 
 
 def print_banner(experiment: str, description: str) -> None:

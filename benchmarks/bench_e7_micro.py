@@ -22,6 +22,7 @@ from repro.dst import combine_scores
 from repro.eval import format_table
 from repro.hmm import list_viterbi
 from repro.steiner import build_schema_graph, top_k_steiner_trees
+from repro.storage import BACKENDS
 
 
 def run_e7() -> str:
@@ -107,11 +108,47 @@ def run_e7_cache(queries: int = 10) -> str:
     )
 
 
+def run_e7_backends(queries: int = 10) -> str:
+    """The same workload through every storage backend, timed.
+
+    One engine per registered backend answers the same mondial queries
+    through ``Quest.search_many`` (cold pass, then warm pass over the
+    engine's caches). Backends guarantee score parity, so the ranked
+    outputs must be identical across engines — the printed parity row is
+    asserted by the tier-1 parity tests too; here it accompanies the
+    honest per-backend timing comparison.
+    """
+    sc = scenario("mondial")
+    texts = [q.text for q in sc.workload][:queries]
+    rows = []
+    outputs = {}
+    for name in sorted(BACKENDS):
+        engine = quest_for(sc.db, backend=name)
+        start = time.perf_counter()
+        cold = engine.search_many(texts)
+        cold_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        engine.search_many(texts)
+        warm_seconds = time.perf_counter() - start
+        outputs[name] = cold
+        rows.append([f"{name} cold pass seconds", f"{cold_seconds:.4f}"])
+        rows.append([f"{name} warm pass seconds", f"{warm_seconds:.4f}"])
+    reference = outputs[min(outputs)]
+    parity = all(result == reference for result in outputs.values())
+    rows.append(["rankings identical across backends", str(parity)])
+    return format_table(
+        ["backend comparison", "value"],
+        rows,
+        title=f"E7 storage backends ({len(texts)} mondial queries per engine)",
+    )
+
+
 @pytest.mark.benchmark(group="e7-viterbi")
 def test_e7_list_viterbi(benchmark):
     print_banner("E7", "top-k machinery microbenchmarks")
     print(run_e7())
     print(run_e7_cache())
+    print(run_e7_backends())
     sc = scenario("mondial")
     engine = quest_for(sc.db)
     emissions = engine.apriori_model.emission_matrix(

@@ -45,7 +45,7 @@ def empty_top_interpretation_rate(engine: Quest, workload) -> float:
         interpretations.sort(key=lambda i: -i.score)
         total += 1
         sql = engine.build_sql(interpretations[0])
-        if len(execute(engine.wrapper.database, sql)) == 0:
+        if len(engine.wrapper.execute(sql)) == 0:
             empty += 1
     return empty / total if total else 0.0
 

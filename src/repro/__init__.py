@@ -39,6 +39,12 @@ from repro.db import (
 )
 from repro.errors import QuestError
 from repro.feedback import FeedbackStore, FeedbackTrainer, SimulatedUser
+from repro.storage import (
+    MemoryBackend,
+    SQLiteBackend,
+    StorageBackend,
+    create_backend,
+)
 from repro.wrapper import FullAccessWrapper, HiddenSourceWrapper
 
 __version__ = "0.1.0"
@@ -56,12 +62,16 @@ __all__ = [
     "HiddenSourceWrapper",
     "Interpretation",
     "KeywordMapping",
+    "MemoryBackend",
     "Quest",
     "QuestError",
     "QuestSettings",
+    "SQLiteBackend",
     "Schema",
     "SelectQuery",
     "SimulatedUser",
+    "StorageBackend",
     "TableSchema",
+    "create_backend",
     "__version__",
 ]

@@ -6,13 +6,21 @@ each with deterministic generators and gold-annotated keyword workloads.
 """
 
 from repro.datasets import dblp, imdb, mondial
-from repro.datasets.workload import Workload, WorkloadQuery, gold_configuration
+from repro.datasets.workload import (
+    InstanceView,
+    Workload,
+    WorkloadQuery,
+    gold_configuration,
+    materialise,
+)
 
 __all__ = [
+    "InstanceView",
     "Workload",
     "WorkloadQuery",
     "dblp",
     "gold_configuration",
     "imdb",
+    "materialise",
     "mondial",
 ]

@@ -10,9 +10,16 @@ papers combined.
 from __future__ import annotations
 
 import random
+from typing import Any
 
 from repro.datasets import names
-from repro.datasets.workload import Workload, WorkloadQuery, gold_configuration
+from repro.datasets.workload import (
+    InstanceView,
+    Workload,
+    WorkloadQuery,
+    gold_configuration,
+    materialise,
+)
 from repro.db.database import Database
 from repro.db.query import Comparison, JoinCondition, Predicate, SelectQuery, TableRef
 from repro.db.schema import Column, ForeignKey, Schema, TableSchema
@@ -76,8 +83,19 @@ def schema() -> Schema:
     )
 
 
-def generate(papers: int = 400, seed: int = 13) -> Database:
-    """Generate a deterministic instance with *papers* publications."""
+def generate(
+    papers: int = 400,
+    seed: int = 13,
+    backend: str | None = None,
+    **backend_options: Any,
+):
+    """Generate a deterministic instance with *papers* publications.
+
+    With ``backend=None`` (default) returns the in-memory ``Database``;
+    with a :data:`repro.storage.BACKENDS` name ("memory", "sqlite") the
+    instance is loaded into that storage backend and the backend is
+    returned (``backend_options`` are forwarded, e.g. ``path=``).
+    """
     rng = random.Random(seed)
     db = Database(schema())
 
@@ -121,7 +139,7 @@ def generate(papers: int = 400, seed: int = 13) -> Database:
             )
 
     db.check_integrity()
-    return db
+    return materialise(db, backend, **backend_options)
 
 
 # -- workload -----------------------------------------------------------------
@@ -135,13 +153,17 @@ def _table_state(table: str) -> State:
     return State(StateKind.TABLE, table)
 
 
-def workload(db: Database, queries_per_kind: int = 5, seed: int = 17) -> Workload:
-    """A gold-annotated workload over the bibliography instance."""
+def workload(db: Any, queries_per_kind: int = 5, seed: int = 17) -> Workload:
+    """A gold-annotated workload over the bibliography instance.
+
+    *db* may be the in-memory database or any storage backend holding the
+    generated instance; rows are read through :class:`InstanceView`.
+    """
+    view = InstanceView(db)
     rng = random.Random(seed)
     queries: list[WorkloadQuery] = []
     used: set[tuple[str, ...]] = set()
-    paper_rows = db.table("paper").rows
-    author_table = db.table("author")
+    paper_rows = view.rows("paper")
 
     def add(kind: str, index: int, text: str, gold: SelectQuery, config, desc: str) -> None:
         if config.keywords in used:
@@ -162,12 +184,12 @@ def workload(db: Database, queries_per_kind: int = 5, seed: int = 17) -> Workloa
         paper_id, title, year, venue_id = paper
         title_word = str(title).split()[-1].lower()
 
-        authors = author_table.lookup("paper_id", paper_id)
-        person_row = db.table("person").get((authors[0][0],))
+        authors = view.lookup("author", "paper_id", paper_id)
+        person_row = view.get("person", authors[0][0])
         assert person_row is not None
         surname = str(person_row[1]).split()[-1].lower()
 
-        venue_row = db.table("venue").get((venue_id,))
+        venue_row = view.get("venue", venue_id)
         assert venue_row is not None
         venue_word = str(venue_row[1]).split()[0].lower()
 

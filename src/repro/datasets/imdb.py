@@ -10,10 +10,17 @@ introduces the classic director-vs-actor join-path ambiguity.
 from __future__ import annotations
 
 import random
+from typing import Any
 
 from repro.core.configuration import Configuration
 from repro.datasets import names
-from repro.datasets.workload import Workload, WorkloadQuery, gold_configuration
+from repro.datasets.workload import (
+    InstanceView,
+    Workload,
+    WorkloadQuery,
+    gold_configuration,
+    materialise,
+)
 from repro.db.database import Database
 from repro.db.query import Comparison, JoinCondition, Predicate, SelectQuery, TableRef
 from repro.db.schema import Column, ForeignKey, Schema, TableSchema
@@ -103,8 +110,19 @@ _ANCHOR_MOVIE_TITLE = "The Silent Odyssey"
 _ANCHOR_MOVIE_YEAR = 1968
 
 
-def generate(movies: int = 300, seed: int = 7) -> Database:
-    """Generate a deterministic instance with *movies* fact rows."""
+def generate(
+    movies: int = 300,
+    seed: int = 7,
+    backend: str | None = None,
+    **backend_options: Any,
+):
+    """Generate a deterministic instance with *movies* fact rows.
+
+    With ``backend=None`` (default) returns the in-memory ``Database``;
+    with a :data:`repro.storage.BACKENDS` name ("memory", "sqlite") the
+    instance is loaded into that storage backend and the backend is
+    returned (``backend_options`` are forwarded, e.g. ``path=``).
+    """
     if movies < 1:
         raise ValueError("need at least one movie")
     rng = random.Random(seed)
@@ -191,7 +209,7 @@ def generate(movies: int = 300, seed: int = 7) -> Database:
             )
 
     db.check_integrity()
-    return db
+    return materialise(db, backend, **backend_options)
 
 
 # -- workload -----------------------------------------------------------------
@@ -209,8 +227,8 @@ def _dom(table: str, column: str) -> State:
     return State(StateKind.DOMAIN, table, column)
 
 
-def _surname_of(db: Database, person_id: int) -> str:
-    row = db.table("person").get((person_id,))
+def _surname_of(view: InstanceView, person_id: int) -> str:
+    row = view.get("person", person_id)
     assert row is not None
     return str(row[1]).split()[-1].lower()
 
@@ -224,15 +242,16 @@ def _director_query(surname: str) -> SelectQuery:
     )
 
 
-def workload(db: Database, queries_per_kind: int = 5, seed: int = 11) -> Workload:
+def workload(db: Any, queries_per_kind: int = 5, seed: int = 11) -> Workload:
     """A gold-annotated keyword workload sampled from the instance.
 
     Five query kinds cover the demo's talking points: director joins,
     single-table selections, genre+director three-table joins, actor joins
-    through the m:n relation, and company joins.
+    through the m:n relation, and company joins. *db* may be the
+    in-memory database or any storage backend holding the instance.
     """
+    view = InstanceView(db)
     rng = random.Random(seed)
-    movie_table = db.table("movie")
     queries: list[WorkloadQuery] = []
     used_keywords: set[tuple[str, ...]] = set()
 
@@ -258,14 +277,14 @@ def workload(db: Database, queries_per_kind: int = 5, seed: int = 11) -> Workloa
             )
         )
 
-    movie_rows = movie_table.rows
+    movie_rows = view.rows("movie")
 
     for index in range(queries_per_kind):
         movie = rng.choice(movie_rows)
         movie_id, title, year, _rating, director_id, genre_id, _company_id = movie
 
         # Kind 1: "<director surname> movies" — the canonical join query.
-        surname = _surname_of(db, director_id)
+        surname = _surname_of(view, director_id)
         add(
             "director",
             index,
@@ -304,7 +323,7 @@ def workload(db: Database, queries_per_kind: int = 5, seed: int = 11) -> Workloa
         )
 
         # Kind 3: "<genre> films <director surname>" — three tables.
-        genre_row = db.table("genre").get((genre_id,))
+        genre_row = view.get("genre", genre_id)
         assert genre_row is not None
         genre_label = str(genre_row[1]).lower()
         add(
@@ -362,7 +381,7 @@ def workload(db: Database, queries_per_kind: int = 5, seed: int = 11) -> Workloa
         )
 
         # Kind 5: "movies <company word>" — movie-to-company join.
-        company_row = db.table("company").get((movie[6],))
+        company_row = view.get("company", movie[6])
         assert company_row is not None
         company_word = str(company_row[1]).split()[0].lower()
         add(

@@ -12,9 +12,16 @@ challenge.
 from __future__ import annotations
 
 import random
+from typing import Any
 
 from repro.datasets import names
-from repro.datasets.workload import Workload, WorkloadQuery, gold_configuration
+from repro.datasets.workload import (
+    InstanceView,
+    Workload,
+    WorkloadQuery,
+    gold_configuration,
+    materialise,
+)
 from repro.db.database import Database
 from repro.db.query import Comparison, JoinCondition, Predicate, SelectQuery, TableRef
 from repro.db.schema import Column, ForeignKey, Schema, TableSchema
@@ -210,8 +217,20 @@ def schema() -> Schema:
     return Schema(tables, foreign_keys, name="mondial")
 
 
-def generate(countries: int = 30, seed: int = 23) -> Database:
-    """Generate a deterministic geographic instance."""
+def generate(
+    countries: int = 30,
+    seed: int = 23,
+    backend: str | None = None,
+    **backend_options: Any,
+):
+    """Generate a deterministic geographic instance.
+
+    With ``backend=None`` (default) returns the in-memory ``Database``;
+    with a :data:`repro.storage.BACKENDS` name ("memory", "sqlite") the
+    instance is loaded into that storage backend and the backend is
+    returned (``backend_options`` are forwarded, e.g. ``path=`` for
+    SQLite persistence).
+    """
     rng = random.Random(seed)
     db = Database(schema())
     countries = min(countries, len(names.COUNTRY_NAMES))
@@ -379,7 +398,7 @@ def generate(countries: int = 30, seed: int = 23) -> Database:
             )
 
     db.check_integrity()
-    return db
+    return materialise(db, backend, **backend_options)
 
 
 # -- workload -----------------------------------------------------------------
@@ -397,12 +416,17 @@ def _table_state(table: str) -> State:
     return State(StateKind.TABLE, table)
 
 
-def workload(db: Database, queries_per_kind: int = 5, seed: int = 29) -> Workload:
-    """A gold-annotated workload over the geographic instance."""
+def workload(db: Any, queries_per_kind: int = 5, seed: int = 29) -> Workload:
+    """A gold-annotated workload over the geographic instance.
+
+    *db* may be the in-memory database or any storage backend holding the
+    generated instance; rows are read through :class:`InstanceView`.
+    """
+    view = InstanceView(db)
     rng = random.Random(seed)
     queries: list[WorkloadQuery] = []
     used: set[tuple[str, ...]] = set()
-    country_rows = db.table("country").rows
+    country_rows = view.rows("country")
 
     def add(kind: str, index: int, text: str, gold: SelectQuery, config, desc: str) -> None:
         if config.keywords in used:
@@ -419,9 +443,8 @@ def workload(db: Database, queries_per_kind: int = 5, seed: int = 29) -> Workloa
         )
 
     # Countries that actually have rivers: "rivers of X" must have answers.
-    geo_river_table = db.table("geo_river")
-    river_country_codes = {row[1] for row in geo_river_table.rows}
-    encompasses_rows = db.table("encompasses").rows
+    river_country_codes = {row[1] for row in view.rows("geo_river")}
+    encompasses_rows = view.rows("encompasses")
 
     for index in range(queries_per_kind):
         rivered = [row for row in country_rows if row[0] in river_country_codes]

@@ -4,19 +4,95 @@ A workload query couples the raw keyword text with (a) the gold SQL query —
 what a domain expert would have written — and (b) the gold *configuration* —
 the keyword-to-term mapping the user "had in mind", which doubles as
 supervised training data for the feedback mode.
+
+Workload *generators* sample gold queries from a loaded instance. They
+read rows through :class:`InstanceView`, which serves any storage — a
+plain :class:`~repro.db.database.Database` or a backend from
+:mod:`repro.storage` — so the same gold workload can be derived from
+whichever engine holds the data.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.core.configuration import Configuration, KeywordMapping
 from repro.db.query import SelectQuery
+from repro.db.table import Row
 from repro.errors import WorkloadError
 from repro.hmm.states import State
 from repro.semantics.tokenize import tokenize_query
 
-__all__ = ["WorkloadQuery", "Workload", "gold_configuration"]
+__all__ = [
+    "InstanceView",
+    "WorkloadQuery",
+    "Workload",
+    "gold_configuration",
+    "materialise",
+]
+
+
+class InstanceView:
+    """Read-only row access for workload generators, storage-agnostic.
+
+    Wraps anything exposing ``schema`` and ``table_rows(name)`` (both
+    ``Database`` and every ``StorageBackend`` do) and adds primary-key
+    point lookups through a locally built index, so generators need no
+    backend-specific lookup surface.
+    """
+
+    def __init__(self, source: Any) -> None:
+        self.schema = source.schema
+        self._source = source
+        self._pk_indexes: dict[str, dict[tuple, Row]] = {}
+        self._value_indexes: dict[tuple[str, str], dict[Any, list[Row]]] = {}
+
+    def rows(self, table: str) -> list[Row]:
+        """All rows of *table*, in insertion order."""
+        return self._source.table_rows(table)
+
+    def get(self, table: str, key: tuple | Any) -> Row | None:
+        """Point lookup by primary key; scalar keys may be passed bare."""
+        if not isinstance(key, tuple):
+            key = (key,)
+        index = self._pk_indexes.get(table)
+        if index is None:
+            table_schema = self.schema.table(table)
+            positions = [
+                table_schema.column_names.index(name)
+                for name in table_schema.primary_key
+            ]
+            index = {
+                tuple(row[p] for p in positions): row for row in self.rows(table)
+            }
+            self._pk_indexes[table] = index
+        return index.get(key)
+
+    def lookup(self, table: str, column: str, value: Any) -> list[Row]:
+        """All rows of *table* whose *column* equals *value*."""
+        index = self._value_indexes.get((table, column))
+        if index is None:
+            position = self.schema.table(table).column_names.index(column)
+            index = {}
+            for row in self.rows(table):
+                index.setdefault(row[position], []).append(row)
+            self._value_indexes[(table, column)] = index
+        return index.get(value, [])
+
+
+def materialise(db: Any, backend: str | None, **backend_options: Any) -> Any:
+    """Return *db* as-is, or loaded into the named storage backend.
+
+    Dataset generators funnel their ``backend=`` parameter through here:
+    ``None`` keeps the historical ``Database`` return type, a backend
+    name ("memory", "sqlite") returns the instance behind that engine.
+    """
+    if backend is None:
+        return db
+    from repro.storage import create_backend
+
+    return create_backend(backend, db, **backend_options)
 
 
 def gold_configuration(

@@ -5,14 +5,19 @@ in the source catalogues" and precomputes per-attribute information (the
 full-text normalisation coefficients, admissible-value metadata for hidden
 sources). The :class:`Catalog` bundles those artefacts so the engine modules
 never touch raw tables directly during search.
+
+Statistics are computed against the :class:`~repro.db.stats.InstanceSource`
+protocol — column extensions and row counts — so a catalog can sit on a
+plain :class:`~repro.db.database.Database` or on any storage backend from
+:mod:`repro.storage`, and reports identical numbers either way.
 """
 
 from __future__ import annotations
 
-from repro.db.database import Database
 from repro.db.schema import ColumnRef, ForeignKey, Schema
 from repro.db.stats import (
     ColumnProfile,
+    InstanceSource,
     JoinStatistics,
     join_statistics,
     profile_column,
@@ -29,16 +34,30 @@ class Catalog:
     questions but reports no instance statistics, mirroring hidden sources.
     """
 
-    def __init__(self, schema: Schema, db: Database | None = None) -> None:
+    def __init__(self, schema: Schema, source: InstanceSource | None = None) -> None:
         self.schema = schema
-        self._db = db
+        self._source = source
         self._profiles: dict[ColumnRef, ColumnProfile] = {}
         self._join_stats: dict[ForeignKey, JoinStatistics] = {}
+        self._stats_version = self._source_version()
+
+    def _source_version(self) -> int:
+        """Mutation counter of the source (0 for schema-only catalogs)."""
+        return getattr(self._source, "version", 0) if self._source else 0
+
+    def _invalidate_if_stale(self) -> None:
+        # Cached statistics never outlive the data they summarise — the
+        # same contract the emission cache and full-text index honour.
+        version = self._source_version()
+        if version != self._stats_version:
+            self._profiles.clear()
+            self._join_stats.clear()
+            self._stats_version = version
 
     @classmethod
-    def from_database(cls, db: Database) -> "Catalog":
-        """Catalog with full instance access."""
-        return cls(db.schema, db)
+    def from_database(cls, db: InstanceSource) -> "Catalog":
+        """Catalog with full instance access (a database or a backend)."""
+        return cls(db.schema, db)  # type: ignore[attr-defined]
 
     @classmethod
     def schema_only(cls, schema: Schema) -> "Catalog":
@@ -48,33 +67,35 @@ class Catalog:
     @property
     def has_instance(self) -> bool:
         """Whether instance-level statistics are available."""
-        return self._db is not None
+        return self._source is not None
 
     def profile(self, ref: ColumnRef) -> ColumnProfile | None:
         """Column profile, or ``None`` for schema-only catalogs."""
-        if self._db is None:
+        if self._source is None:
             return None
+        self._invalidate_if_stale()
         if ref not in self._profiles:
-            self._profiles[ref] = profile_column(self._db, ref)
+            self._profiles[ref] = profile_column(self._source, ref)
         return self._profiles[ref]
 
     def join_stats(self, fk: ForeignKey) -> JoinStatistics | None:
         """Join statistics for *fk*, or ``None`` for schema-only catalogs."""
-        if self._db is None:
+        if self._source is None:
             return None
+        self._invalidate_if_stale()
         if fk not in self._join_stats:
-            self._join_stats[fk] = join_statistics(self._db, fk)
+            self._join_stats[fk] = join_statistics(self._source, fk)
         return self._join_stats[fk]
 
     def table_cardinality(self, table: str) -> int | None:
         """Row count of *table*, or ``None`` without instance access."""
-        if self._db is None:
+        if self._source is None:
             return None
-        return len(self._db.table(table))
+        return self._source.row_count(table)
 
     def warm(self) -> None:
         """Eagerly compute every profile and join statistic (setup phase)."""
-        if self._db is None:
+        if self._source is None:
             return
         for ref in self.schema.column_refs():
             self.profile(ref)

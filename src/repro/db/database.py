@@ -47,6 +47,25 @@ class Database:
         """Total number of tuples stored across all tables."""
         return sum(len(table) for table in self._tables.values())
 
+    def row_count(self, name: str) -> int:
+        """Number of tuples stored in *name*."""
+        return len(self.table(name))
+
+    def table_rows(self, name: str) -> list[Row]:
+        """All rows of *name* in insertion order (live list — do not mutate)."""
+        return self.table(name).rows
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter summed over all tables.
+
+        Derived structures (the full-text index, storage backends) compare
+        this against the version they were built at to detect staleness —
+        the same invalidation contract the Steiner cache honours on
+        ``SchemaGraph.add_edge``.
+        """
+        return sum(table.version for table in self._tables.values())
+
     def column_values(self, ref: ColumnRef) -> list[Any]:
         """All values of the referenced column, in row order."""
         return self.table(ref.table).column_values(ref.column)

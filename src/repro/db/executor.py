@@ -17,16 +17,17 @@ executor is total over the query model.
 
 from __future__ import annotations
 
-import fnmatch
 import re
+from functools import lru_cache
 from typing import Any, Iterator
 
 from repro.db.database import Database
+from repro.db.fulltext import tokenize_value
 from repro.db.query import Comparison, JoinCondition, Predicate, SelectQuery
 from repro.db.table import Row, Table
 from repro.errors import ExecutionError
 
-__all__ = ["execute", "result_count", "ResultSet"]
+__all__ = ["execute", "result_count", "ResultSet", "contains_match", "like_match"]
 
 
 class ResultSet:
@@ -53,30 +54,85 @@ class ResultSet:
         return f"ResultSet(columns={self.columns}, rows={len(self.rows)})"
 
 
+@lru_cache(maxsize=1024)
 def _like_to_regex(pattern: str) -> re.Pattern[str]:
-    """Translate a SQL LIKE pattern (%, _) into an anchored regex."""
+    """Translate a SQL LIKE pattern into an anchored regex.
+
+    ``%`` matches any run of characters, ``_`` exactly one; a backslash
+    escapes the next character, so ``100\\%`` matches the literal string
+    ``100%``. The translation is direct — no fnmatch round trip — which
+    keeps ``*``/``?``/``[`` in patterns literal, as SQL requires. DOTALL
+    lets wildcards span newlines embedded in values.
+    """
     out = []
-    for char in pattern:
+    i = 0
+    while i < len(pattern):
+        char = pattern[i]
+        if char == "\\" and i + 1 < len(pattern):
+            out.append(re.escape(pattern[i + 1]))
+            i += 2
+            continue
         if char == "%":
             out.append(".*")
         elif char == "_":
             out.append(".")
         else:
             out.append(re.escape(char))
-    return re.compile("^" + "".join(out) + "$", re.IGNORECASE)
+        i += 1
+    return re.compile("^" + "".join(out) + "$", re.IGNORECASE | re.DOTALL)
+
+
+def like_match(value: Any, pattern: Any) -> bool:
+    """SQL LIKE over a stored value (NULL never matches).
+
+    Shared by the in-memory executor and the SQLite backend (registered
+    there as the ``QUEST_LIKE`` user function), so LIKE semantics are
+    identical across storage backends by construction.
+    """
+    if value is None:
+        return False
+    return bool(_like_to_regex(str(pattern)).match(str(value)))
+
+
+@lru_cache(maxsize=1024)
+def _keyword_tokens(keyword: str) -> list[str]:
+    # The keyword is a per-predicate constant evaluated once per row:
+    # cache its tokenisation so scans pay the regex once, not N times.
+    # Callers must not mutate the returned list.
+    return tokenize_value(keyword)
+
+
+def contains_match(value: Any, keyword: Any) -> bool:
+    """CONTAINS: the keyword's tokens occur contiguously in the value.
+
+    Matching is consistent with :func:`~repro.db.fulltext.tokenize_value`
+    — the same tokenisation the full-text index applies — so a keyword
+    matches a value through the executor exactly when it matches it
+    through the index: ``lake`` matches ``Blue Lake`` but no longer
+    matches ``Lakeland`` (a substring of a longer token). Multi-token
+    keywords match as a phrase (contiguous token run). A keyword with no
+    tokens at all (pure punctuation) matches nothing.
+    """
+    if value is None:
+        return False
+    needle = _keyword_tokens(str(keyword))
+    if not needle:
+        return False
+    haystack = tokenize_value(value)
+    span = len(needle)
+    return any(
+        haystack[start : start + span] == needle
+        for start in range(len(haystack) - span + 1)
+    )
 
 
 def _match(value: Any, predicate: Predicate) -> bool:
     """Evaluate one predicate against a single column value."""
     op = predicate.op
     if op is Comparison.CONTAINS:
-        if value is None:
-            return False
-        return str(predicate.value).casefold() in str(value).casefold()
+        return contains_match(value, predicate.value)
     if op is Comparison.LIKE:
-        if value is None:
-            return False
-        return bool(_like_to_regex(str(predicate.value)).match(str(value)))
+        return like_match(value, predicate.value)
     if value is None:
         return False  # SQL three-valued logic: NULL comparisons are not true
     other = predicate.value
@@ -278,8 +334,3 @@ def _project(
 def result_count(db: Database, query: SelectQuery) -> int:
     """Number of rows *query* returns (respecting DISTINCT and LIMIT)."""
     return len(execute(db, query))
-
-
-def glob_match(value: str, pattern: str) -> bool:
-    """Case-insensitive glob matching helper used by annotation wrappers."""
-    return fnmatch.fnmatch(value.casefold(), pattern.casefold())

@@ -9,13 +9,21 @@ scoring, where each (table, column) pair is treated as a retrieval field.
 Only TEXT columns are tokenised; numeric, boolean and date columns are
 indexed by their literal rendering so keywords like ``1994`` still hit a
 ``year`` column.
+
+The index stays correct under row inserts: tables are append-only, so
+:meth:`FullTextIndex.refresh` indexes only the rows added since the last
+build, and every read path checks the database's mutation counter first
+(lazy refresh — the same invalidation contract the Steiner cache honours
+on ``SchemaGraph.add_edge``).
 """
 
 from __future__ import annotations
 
 import math
 import re
+import threading
 from collections import Counter, defaultdict
+from contextlib import contextmanager
 
 from repro.db.database import Database
 from repro.db.schema import ColumnRef
@@ -43,18 +51,52 @@ class FullTextIndex:
         self._field_sizes: dict[ColumnRef, int] = {}
         #: ColumnRef -> total token count
         self._field_tokens: dict[ColumnRef, int] = {}
-        self._n_fields = 0
-        self._build()
+        #: table name -> number of rows already indexed
+        self._indexed_rows: dict[str, int] = {}
+        for table in db.tables:
+            for column in table.schema.columns:
+                ref = ColumnRef(table.name, column.name)
+                self._field_sizes[ref] = 0
+                self._field_tokens[ref] = 0
+            self._indexed_rows[table.name] = 0
+        self._n_fields = len(self._field_sizes)
+        # Built lazily: the first read triggers the initial refresh, so
+        # constructing an index (e.g. for an execute-only endpoint that
+        # never searches) costs nothing.
+        self._built_version = -1
+        self._lock = threading.RLock()
 
-    def _build(self) -> None:
+    def refresh(self) -> None:
+        """Index rows inserted since the last build.
+
+        Tables are append-only (the substrate supports no delete/update),
+        so refreshing reduces to scanning each table's tail — O(new rows),
+        not O(all rows). Safe to call at any time and from any thread
+        (wrappers are shared across threaded engines): the build is
+        serialised, and a second caller finds no unindexed tail left.
+        """
+        with self._lock:
+            self._refresh_locked()
+
+    def _refresh_locked(self) -> None:
+        # Snapshot the version (and each table's length) BEFORE scanning:
+        # a row inserted concurrently mid-scan then leaves the snapshot
+        # behind the live version, so the next read refreshes again
+        # instead of silently treating the unscanned row as indexed.
+        version = self._db.version
         for table in self._db.tables:
+            start = self._indexed_rows[table.name]
+            rows = table.rows
+            end = len(rows)
+            if start >= end:
+                continue
             for column in table.schema.columns:
                 ref = ColumnRef(table.name, column.name)
                 position = table.column_position(column.name)
                 indexed = 0
                 tokens_total = 0
-                for row_position, row in enumerate(table.rows):
-                    tokens = tokenize_value(row[position])
+                for row_position in range(start, end):
+                    tokens = tokenize_value(rows[row_position][position])
                     if not tokens:
                         continue
                     indexed += 1
@@ -62,19 +104,36 @@ class FullTextIndex:
                     for term, frequency in Counter(tokens).items():
                         field_postings = self._postings[term].setdefault(ref, {})
                         field_postings[row_position] = frequency
-                self._field_sizes[ref] = indexed
-                self._field_tokens[ref] = tokens_total
-                self._n_fields += 1
+                self._field_sizes[ref] += indexed
+                self._field_tokens[ref] += tokens_total
+            self._indexed_rows[table.name] = end
+        self._built_version = version
+
+    @contextmanager
+    def _reading(self):
+        """Serialise reads against refreshes (and refresh lazily first).
+
+        Read paths iterate the posting dicts a concurrent refresh would
+        mutate, so the whole read holds the same lock. Covers both the
+        lazy initial build (_built_version starts at -1, below any real
+        version) and later inserts.
+        """
+        with self._lock:
+            if self._built_version != self._db.version:
+                self._refresh_locked()
+            yield
 
     # -- vocabulary --------------------------------------------------------
 
     def __contains__(self, term: str) -> bool:
-        return term.casefold() in self._postings
+        with self._reading():
+            return term.casefold() in self._postings
 
     @property
     def vocabulary_size(self) -> int:
         """Number of distinct indexed terms."""
-        return len(self._postings)
+        with self._reading():
+            return len(self._postings)
 
     def fields(self) -> tuple[ColumnRef, ...]:
         """Every indexed attribute."""
@@ -94,19 +153,20 @@ class FullTextIndex:
         dampens terms spread across many attributes. Scores are positive and
         unnormalised; the HMM emission builder normalises them per state.
         """
-        term = keyword.casefold()
-        by_field = self._postings.get(term)
-        if not by_field:
-            return {}
-        idf = self._idf(by_field)
-        scores: dict[ColumnRef, float] = {}
-        for ref, rows in by_field.items():
-            field_size = self._field_sizes.get(ref, 0)
-            if field_size == 0:
-                continue
-            tf = len(rows) / field_size
-            scores[ref] = tf * idf
-        return scores
+        with self._reading():
+            term = keyword.casefold()
+            by_field = self._postings.get(term)
+            if not by_field:
+                return {}
+            idf = self._idf(by_field)
+            scores: dict[ColumnRef, float] = {}
+            for ref, rows in by_field.items():
+                field_size = self._field_sizes.get(ref, 0)
+                if field_size == 0:
+                    continue
+                tf = len(rows) / field_size
+                scores[ref] = tf * idf
+            return scores
 
     def score(self, keyword: str, ref: ColumnRef) -> float:
         """Relevance of *keyword* for one attribute (0.0 when absent).
@@ -115,24 +175,26 @@ class FullTextIndex:
         term occurs in, unlike :meth:`attribute_scores` which materialises
         the full per-attribute dict.
         """
-        by_field = self._postings.get(keyword.casefold())
-        if not by_field:
-            return 0.0
-        rows = by_field.get(ref)
-        if not rows:
-            return 0.0
-        field_size = self._field_sizes.get(ref, 0)
-        if field_size == 0:
-            return 0.0
-        return (len(rows) / field_size) * self._idf(by_field)
+        with self._reading():
+            by_field = self._postings.get(keyword.casefold())
+            if not by_field:
+                return 0.0
+            rows = by_field.get(ref)
+            if not rows:
+                return 0.0
+            field_size = self._field_sizes.get(ref, 0)
+            if field_size == 0:
+                return 0.0
+            return (len(rows) / field_size) * self._idf(by_field)
 
     # -- retrieval -----------------------------------------------------------
 
     def matching_row_positions(self, keyword: str, ref: ColumnRef) -> list[int]:
         """Row positions in ``ref.table`` whose ``ref.column`` contains *keyword*."""
-        term = keyword.casefold()
-        by_field = self._postings.get(term, {})
-        return sorted(by_field.get(ref, {}))
+        with self._reading():
+            term = keyword.casefold()
+            by_field = self._postings.get(term, {})
+            return sorted(by_field.get(ref, {}))
 
     def selectivity(self, keyword: str, ref: ColumnRef) -> float:
         """Fraction of the attribute's values matching *keyword*.
@@ -140,11 +202,12 @@ class FullTextIndex:
         Reads the posting map directly (no sort, no full-dict rebuild):
         only the matching-row *count* is needed, not the positions.
         """
-        field_size = self._field_sizes.get(ref, 0)
-        if field_size == 0:
-            return 0.0
-        by_field = self._postings.get(keyword.casefold(), {})
-        return len(by_field.get(ref, ())) / field_size
+        with self._reading():
+            field_size = self._field_sizes.get(ref, 0)
+            if field_size == 0:
+                return 0.0
+            by_field = self._postings.get(keyword.casefold(), {})
+            return len(by_field.get(ref, ())) / field_size
 
     def __repr__(self) -> str:
         return (

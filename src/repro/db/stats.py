@@ -20,17 +20,37 @@ from __future__ import annotations
 import math
 from collections import Counter
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
-from repro.db.database import Database
 from repro.db.schema import ColumnRef, ForeignKey
 
 __all__ = [
     "ColumnProfile",
+    "InstanceSource",
     "profile_column",
     "entropy",
     "JoinStatistics",
     "join_statistics",
 ]
+
+
+@runtime_checkable
+class InstanceSource(Protocol):
+    """The minimal instance surface statistics are computed from.
+
+    Both :class:`~repro.db.database.Database` and every storage backend
+    (:mod:`repro.storage`) satisfy it, so profiles and join statistics —
+    and therefore schema-graph weights — are identical however the
+    relations are stored.
+    """
+
+    def column_values(self, ref: ColumnRef) -> list[object]:
+        """All values of the referenced column, in row order."""
+        ...
+
+    def row_count(self, table: str) -> int:
+        """Number of tuples stored in *table*."""
+        ...
 
 
 def entropy(counts: list[int] | tuple[int, ...]) -> float:
@@ -71,7 +91,9 @@ class ColumnProfile:
         return non_null > 0 and self.distinct_count == non_null
 
 
-def profile_column(db: Database, ref: ColumnRef, sample_size: int = 8) -> ColumnProfile:
+def profile_column(
+    db: InstanceSource, ref: ColumnRef, sample_size: int = 8
+) -> ColumnProfile:
     """Compute a :class:`ColumnProfile` for one attribute."""
     values = db.column_values(ref)
     non_null = [v for v in values if v is not None]
@@ -112,23 +134,23 @@ class JoinStatistics:
         return min(1.0, max(0.0, 1.0 - ratio))
 
 
-def join_statistics(db: Database, fk: ForeignKey) -> JoinStatistics:
+def join_statistics(db: InstanceSource, fk: ForeignKey) -> JoinStatistics:
     """Compute :class:`JoinStatistics` for one foreign key.
 
     Degrees are obtained without materialising the join: each source row
     with foreign-key value ``v`` pairs with every target row keyed ``v``,
-    so per-tuple join degrees follow from the two value histograms.
+    so per-tuple join degrees follow from the two value histograms. Only
+    column extensions are read, so any :class:`InstanceSource` serves.
     """
-    source = db.table(fk.table)
-    target = db.table(fk.ref_table)
-    source_position = source.column_position(fk.column)
-    target_position = target.column_position(fk.ref_column)
-
     source_hist = Counter(
-        row[source_position] for row in source if row[source_position] is not None
+        value
+        for value in db.column_values(ColumnRef(fk.table, fk.column))
+        if value is not None
     )
     target_hist = Counter(
-        row[target_position] for row in target if row[target_position] is not None
+        value
+        for value in db.column_values(ColumnRef(fk.ref_table, fk.ref_column))
+        if value is not None
     )
 
     join_size = 0

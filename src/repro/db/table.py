@@ -15,10 +15,41 @@ from repro.db.schema import TableSchema
 from repro.db.types import coerce
 from repro.errors import IntegrityError, UnknownColumnError
 
-__all__ = ["Table", "Row"]
+__all__ = ["Table", "Row", "normalise_row"]
 
 #: A materialised row: values in column-declaration order.
 Row = tuple[Any, ...]
+
+
+def normalise_row(
+    schema: TableSchema, values: Mapping[str, Any] | Sequence[Any]
+) -> Row:
+    """Coerce a mapping or positional sequence into a typed row tuple.
+
+    Values are coerced to the declared column types and NOT NULL is
+    enforced. Shared by every storage backend so row-validation
+    semantics cannot drift between engines.
+    """
+    columns = schema.columns
+    if isinstance(values, Mapping):
+        unknown = set(values) - {column.name for column in columns}
+        if unknown:
+            raise UnknownColumnError(schema.name, sorted(unknown)[0])
+        raw = [values.get(column.name) for column in columns]
+    else:
+        if len(values) != len(columns):
+            raise IntegrityError(
+                f"{schema.name}: expected {len(columns)} values, "
+                f"got {len(values)}"
+            )
+        raw = list(values)
+    row = []
+    for column, value in zip(columns, raw):
+        coerced = coerce(value, column.dtype)
+        if coerced is None and not column.nullable:
+            raise IntegrityError(f"{schema.name}.{column.name}: NULL not allowed")
+        row.append(coerced)
+    return tuple(row)
 
 
 class Table:
@@ -27,6 +58,9 @@ class Table:
     def __init__(self, schema: TableSchema) -> None:
         self.schema = schema
         self._rows: list[Row] = []
+        #: Monotonic mutation counter; derived structures (full-text
+        #: indexes, backends) compare it to detect staleness.
+        self.version = 0
         self._col_index: dict[str, int] = {
             column.name: position for position, column in enumerate(schema.columns)
         }
@@ -67,6 +101,7 @@ class Table:
         position = len(self._rows)
         self._rows.append(row)
         self._pk_index[key] = position
+        self.version += 1
         for column, index in self._secondary.items():
             index[row[self._col_index[column]]].append(position)
         return row
@@ -80,28 +115,7 @@ class Table:
         return count
 
     def _normalise(self, values: Mapping[str, Any] | Sequence[Any]) -> Row:
-        columns = self.schema.columns
-        if isinstance(values, Mapping):
-            unknown = set(values) - set(self._col_index)
-            if unknown:
-                raise UnknownColumnError(self.name, sorted(unknown)[0])
-            raw = [values.get(column.name) for column in columns]
-        else:
-            if len(values) != len(columns):
-                raise IntegrityError(
-                    f"{self.name}: expected {len(columns)} values, "
-                    f"got {len(values)}"
-                )
-            raw = list(values)
-        row = []
-        for column, value in zip(columns, raw):
-            coerced = coerce(value, column.dtype)
-            if coerced is None and not column.nullable:
-                raise IntegrityError(
-                    f"{self.name}.{column.name}: NULL not allowed"
-                )
-            row.append(coerced)
-        return tuple(row)
+        return normalise_row(self.schema, values)
 
     # -- access -----------------------------------------------------------
 

@@ -6,6 +6,7 @@ from repro.eval.harness import (
     SearchEngine,
     backward_only_engine,
     evaluate,
+    evaluate_backends,
     evaluate_batch,
     forward_only_engine,
     quest_engine,
@@ -26,6 +27,7 @@ __all__ = [
     "SearchEngine",
     "backward_only_engine",
     "evaluate",
+    "evaluate_backends",
     "evaluate_batch",
     "format_results",
     "format_table",

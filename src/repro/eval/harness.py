@@ -13,7 +13,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.core.engine import Quest
+from repro.core.settings import QuestSettings
 from repro.datasets.workload import Workload, WorkloadQuery
+from repro.db.database import Database
 from repro.db.query import SelectQuery
 from repro.eval.metrics import (
     hit_list,
@@ -23,6 +25,7 @@ from repro.eval.metrics import (
     reciprocal_rank,
     success_at_k,
 )
+from repro.storage import create_backend
 
 __all__ = [
     "SearchEngine",
@@ -30,6 +33,7 @@ __all__ = [
     "EvaluationResult",
     "evaluate",
     "evaluate_batch",
+    "evaluate_backends",
     "quest_engine",
     "forward_only_engine",
     "backward_only_engine",
@@ -160,6 +164,32 @@ def evaluate_batch(
             )
         )
     return result
+
+
+def evaluate_backends(
+    database: Database,
+    workload: Workload | Sequence[WorkloadQuery],
+    backends: Sequence[str] = ("memory", "sqlite"),
+    k: int = 10,
+    settings: QuestSettings | None = None,
+) -> dict[str, EvaluationResult]:
+    """Run the same workload against one QUEST engine per storage backend.
+
+    Each backend gets a fresh engine over a fresh copy of *database*'s
+    contents, and the whole workload runs through the batch tier. Because
+    backends guarantee score parity, per-backend results differ only in
+    timing — the quality rows are a built-in cross-engine consistency
+    check, and the timings are the honest backend comparison.
+    """
+    from repro.wrapper.full import FullAccessWrapper
+
+    results: dict[str, EvaluationResult] = {}
+    for name in backends:
+        quest = Quest(FullAccessWrapper(create_backend(name, database)), settings)
+        results[name] = evaluate_batch(
+            quest, workload, k=k, engine_name=f"quest-{name}"
+        )
+    return results
 
 
 # -- engine adapters ---------------------------------------------------------

@@ -231,7 +231,9 @@ class ExplainStage(PipelineStage):
     configurations differing only in schema-term kinds); only the
     best-ranked explanation per structural query survives. When the
     wrapper can execute, empty-result explanations are dropped per
-    ``settings.min_explanation_results``.
+    ``settings.min_explanation_results``; the count runs backend-side
+    through ``wrapper.result_count`` (a ``COUNT(*)`` pushdown on SQL
+    backends — no result rows cross the storage boundary here).
     """
 
     name = "explain"

@@ -1,0 +1,74 @@
+"""Pluggable storage backends: where the relations live is a deployment choice.
+
+QUEST treats the DBMS as a black box that answers full-text ranking calls
+and executes generated SQL; this package makes that boundary explicit.
+:class:`StorageBackend` is the contract, :class:`MemoryBackend` is the
+original in-memory substrate extracted behind it, and
+:class:`SQLiteBackend` persists relations to SQLite with engine-side SQL
+execution and an FTS-backed inverted index. Both report bit-identical
+full-text scores and statistics for the same data, so rankings never
+depend on the backend (the parity tests in ``tests/storage`` assert it
+end to end).
+
+Pick a backend by name::
+
+    from repro.storage import create_backend
+
+    backend = create_backend("sqlite", db, path="quest.db")
+    engine = Quest(FullAccessWrapper(backend))
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.db.database import Database
+from repro.errors import QuestError
+from repro.storage.base import StorageBackend
+from repro.storage.memory import MemoryBackend
+from repro.storage.sqlite import SQLiteBackend
+
+__all__ = [
+    "BACKENDS",
+    "MemoryBackend",
+    "SQLiteBackend",
+    "StorageBackend",
+    "as_backend",
+    "create_backend",
+]
+
+#: Registry of available backends, keyed by the name loaders accept.
+BACKENDS: dict[str, type[StorageBackend]] = {
+    MemoryBackend.name: MemoryBackend,
+    SQLiteBackend.name: SQLiteBackend,
+}
+
+
+def create_backend(
+    name: str, database: Database, **kwargs: Any
+) -> StorageBackend:
+    """A named backend loaded with the contents of *database*.
+
+    Args:
+        name: a :data:`BACKENDS` key (``"memory"`` or ``"sqlite"``).
+        database: the in-memory instance to serve (the memory backend
+            wraps it; the SQLite backend copies it into SQLite).
+        kwargs: backend-specific options (e.g. ``path=`` for SQLite).
+    """
+    try:
+        factory = BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(BACKENDS))
+        raise QuestError(f"unknown storage backend {name!r} (known: {known})") from None
+    return factory.from_database(database, **kwargs)
+
+
+def as_backend(source: Database | StorageBackend) -> StorageBackend:
+    """Coerce *source* to a backend (databases wrap into memory backends)."""
+    if isinstance(source, StorageBackend):
+        return source
+    if isinstance(source, Database):
+        return MemoryBackend(source)
+    raise TypeError(
+        f"expected a Database or StorageBackend, got {type(source).__name__}"
+    )

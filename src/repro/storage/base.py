@@ -1,0 +1,183 @@
+"""The storage-backend contract: everything QUEST asks of its DBMS.
+
+QUEST is "conceived as a tool working on top of a traditional DBMS": the
+engine needs a schema catalog, a full-text search function it can turn
+into emission scores, a way to execute the generated SQL, and instance
+statistics for the backward step's edge weights. :class:`StorageBackend`
+names exactly that surface, so the whole engine — wrappers, pipeline,
+datasets, evaluation harness — is written against the protocol rather
+than against one concrete store.
+
+Two implementations ship: :class:`~repro.storage.memory.MemoryBackend`
+(the original in-memory ``Database`` + executor + ``FullTextIndex`` trio)
+and :class:`~repro.storage.sqlite.SQLiteBackend` (relations persisted to
+SQLite, SQL executed by SQLite, emission scores served from an inverted
+index stored in SQLite). Backends guarantee *score parity*: for the same
+loaded data, full-text scores, statistics and query result counts are
+identical across backends, so rankings never depend on where the bytes
+live (see ARCHITECTURE.md, "Storage backends").
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.db.catalog import Catalog
+from repro.db.executor import ResultSet
+from repro.db.query import SelectQuery
+from repro.db.schema import ColumnRef, Schema
+from repro.db.table import Row
+
+__all__ = ["StorageBackend"]
+
+
+class StorageBackend(abc.ABC):
+    """One engine's view of wherever the relations actually live.
+
+    The surface splits into five concerns, mirroring the paper's setup
+    and run-time phases:
+
+    - **catalog** — schema plus lazily-computed instance statistics;
+    - **row access** — ordered rows and column extensions (what the
+      statistics and the graph baselines read);
+    - **full-text search** — the keyword-vs-attribute ranking function
+      emission probabilities are normalised from;
+    - **execution** — running generated :class:`SelectQuery` plans;
+    - **mutation** — inserts plus a refresh hook keeping derived indexes
+      correct, mirroring the Steiner cache's ``add_edge`` invalidation.
+    """
+
+    #: Registry name of the backend ("memory", "sqlite", ...).
+    name: str = "backend"
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._catalog: Catalog | None = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    @abc.abstractmethod
+    def from_database(cls, database: Any, **kwargs: Any) -> "StorageBackend":
+        """Build a backend holding the contents of an in-memory database."""
+
+    # -- catalog -----------------------------------------------------------
+
+    @property
+    def catalog(self) -> Catalog:
+        """The source catalog (statistics computed through this backend)."""
+        if self._catalog is None:
+            self._catalog = Catalog(self.schema, self)
+        return self._catalog
+
+    # -- row access --------------------------------------------------------
+
+    @abc.abstractmethod
+    def table_rows(self, table: str) -> list[Row]:
+        """All rows of *table*, as typed tuples in insertion order."""
+
+    @abc.abstractmethod
+    def row_count(self, table: str) -> int:
+        """Number of tuples stored in *table*."""
+
+    def column_values(self, ref: ColumnRef) -> list[Any]:
+        """All values of the referenced column, in row order."""
+        position = self.schema.table(ref.table).column_names.index(ref.column)
+        return [row[position] for row in self.table_rows(ref.table)]
+
+    def total_rows(self) -> int:
+        """Total number of tuples stored across all tables."""
+        return sum(self.row_count(table.name) for table in self.schema.tables)
+
+    # -- mutation ----------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter.
+
+        Consumers caching anything derived from the instance (the
+        wrappers' emission-vector LRU) compare this between reads and
+        invalidate on change — the storage-layer mirror of the Steiner
+        cache's ``add_edge`` invalidation. Static sources may keep the
+        default constant.
+        """
+        return 0
+
+    @abc.abstractmethod
+    def insert(self, table: str, values: Mapping[str, Any] | Sequence[Any]) -> Row:
+        """Insert one row into *table*; returns the stored (typed) tuple.
+
+        Implementations keep their full-text structures consistent with
+        the insert, so searches after a mutation see the new rows.
+        """
+
+    def insert_many(
+        self, table: str, rows: Iterable[Mapping[str, Any] | Sequence[Any]]
+    ) -> int:
+        """Bulk-insert rows into *table*; returns the number inserted."""
+        count = 0
+        for values in rows:
+            self.insert(table, values)
+            count += 1
+        return count
+
+    @abc.abstractmethod
+    def refresh(self) -> None:
+        """Re-derive full-text structures after out-of-band mutation.
+
+        Inserts through the backend never require this; it exists for
+        data that changed behind the backend's back (a shared in-memory
+        ``Database`` mutated directly, a SQLite file written by another
+        process).
+        """
+
+    # -- full-text search --------------------------------------------------
+
+    @abc.abstractmethod
+    def attribute_scores(self, keyword: str) -> dict[ColumnRef, float]:
+        """TF-IDF relevance of *keyword* per attribute containing it."""
+
+    @abc.abstractmethod
+    def score(self, keyword: str, ref: ColumnRef) -> float:
+        """Relevance of *keyword* for one attribute (0.0 when absent)."""
+
+    @abc.abstractmethod
+    def selectivity(self, keyword: str, ref: ColumnRef) -> float:
+        """Fraction of the attribute's indexed values matching *keyword*."""
+
+    @abc.abstractmethod
+    def matching_row_positions(self, keyword: str, ref: ColumnRef) -> list[int]:
+        """Sorted row positions whose ``ref.column`` contains *keyword*."""
+
+    # -- execution ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def execute(self, query: SelectQuery) -> ResultSet:
+        """Evaluate *query* and materialise the results."""
+
+    def result_count(self, query: SelectQuery) -> int:
+        """Number of rows *query* yields (respecting DISTINCT and LIMIT).
+
+        Backends that can count without materialising (SQLite's
+        ``COUNT(*)`` pushdown) override this; the default executes and
+        counts.
+        """
+        return len(self.execute(query))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release any held resources (connections, file handles)."""
+
+    def __enter__(self) -> "StorageBackend":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.schema.name!r}, "
+            f"rows={self.total_rows()})"
+        )

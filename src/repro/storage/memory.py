@@ -1,0 +1,87 @@
+"""The in-memory storage backend: the original substrate, behind the protocol.
+
+``MemoryBackend`` is the extraction of the ``Database`` / ``executor`` /
+``FullTextIndex`` trio the engine was originally hard-wired to. It owns
+nothing new — it binds the three together and exposes them through the
+:class:`~repro.storage.base.StorageBackend` surface, so existing code
+keeps its exact behaviour (and its object identities: the wrapped
+``Database`` stays reachable for the instance-graph baselines and tests).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.db.database import Database
+from repro.db.executor import ResultSet, execute
+from repro.db.fulltext import FullTextIndex
+from repro.db.query import SelectQuery
+from repro.db.schema import ColumnRef
+from repro.db.table import Row
+from repro.storage.base import StorageBackend
+
+__all__ = ["MemoryBackend"]
+
+
+class MemoryBackend(StorageBackend):
+    """Relations stored as Python tuples, searched by the local executor."""
+
+    name = "memory"
+
+    def __init__(self, database: Database, fulltext: FullTextIndex | None = None) -> None:
+        super().__init__(database.schema)
+        self.database = database
+        self.fulltext = fulltext if fulltext is not None else FullTextIndex(database)
+
+    @classmethod
+    def from_database(cls, database: Database, **kwargs: Any) -> "MemoryBackend":
+        return cls(database, **kwargs)
+
+    # -- row access --------------------------------------------------------
+
+    def table_rows(self, table: str) -> list[Row]:
+        return self.database.table(table).rows
+
+    def row_count(self, table: str) -> int:
+        return len(self.database.table(table))
+
+    def column_values(self, ref: ColumnRef) -> list[Any]:
+        return self.database.column_values(ref)
+
+    # -- mutation ----------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        return self.database.version
+
+    def insert(self, table: str, values: Mapping[str, Any] | Sequence[Any]) -> Row:
+        # The full-text index refreshes lazily off the database's mutation
+        # counter, so no explicit invalidation is needed here.
+        return self.database.insert(table, values)
+
+    def insert_many(
+        self, table: str, rows: Iterable[Mapping[str, Any] | Sequence[Any]]
+    ) -> int:
+        return self.database.insert_many(table, rows)
+
+    def refresh(self) -> None:
+        self.fulltext.refresh()
+
+    # -- full-text search --------------------------------------------------
+
+    def attribute_scores(self, keyword: str) -> dict[ColumnRef, float]:
+        return self.fulltext.attribute_scores(keyword)
+
+    def score(self, keyword: str, ref: ColumnRef) -> float:
+        return self.fulltext.score(keyword, ref)
+
+    def selectivity(self, keyword: str, ref: ColumnRef) -> float:
+        return self.fulltext.selectivity(keyword, ref)
+
+    def matching_row_positions(self, keyword: str, ref: ColumnRef) -> list[int]:
+        return self.fulltext.matching_row_positions(keyword, ref)
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, query: SelectQuery) -> ResultSet:
+        return execute(self.database, query)

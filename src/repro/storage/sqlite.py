@@ -1,0 +1,620 @@
+"""SQLite storage backend: persistent relations, SQL pushdown, FTS scoring.
+
+Relations live in a SQLite database (a file or ``:memory:``); generated
+:class:`~repro.db.query.SelectQuery` plans are rendered to SQLite SQL by
+:func:`repro.db.sqlgen.render_sql` and executed by SQLite itself — joins,
+DISTINCT, LIMIT and result counting all happen engine-side. Emission
+scoring is served from an inverted index stored *in* SQLite:
+
+- ``_quest_postings(term, tbl, col, pos, tf)`` — the per-attribute
+  posting lists, built with the exact tokenisation of
+  :func:`repro.db.fulltext.tokenize_value`;
+- ``_quest_fields(tbl, col, indexed, tokens)`` — per-attribute document
+  counts (the TF normaliser);
+- ``_quest_fts`` — an FTS5 mirror of the token streams, used to
+  accelerate keyword-to-row retrieval when SQLite is compiled with FTS5
+  (the backend degrades to the posting table transparently when not).
+
+Scores are computed from SQL-aggregated integer counts with the same
+float arithmetic as :class:`~repro.db.fulltext.FullTextIndex`, so they
+are **bit-identical** to the memory backend's — which is what keeps
+rankings independent of the storage engine. FTS5's own BM25 ranking is
+deliberately not used: it would break that parity guarantee.
+
+Predicate semantics are shared too: the backend registers the executor's
+``contains_match``/``like_match`` as the ``QUEST_CONTAINS``/``QUEST_LIKE``
+SQL functions, so CONTAINS/LIKE mean the same thing in both engines by
+construction. Known deliberate divergences from the in-memory executor:
+result *row order* is unspecified (SQL semantics) — counts and row sets
+match for fully-consumed queries, but under a LIMIT that truncates, each
+backend keeps its own (deterministic) subset; and type-mismatched
+comparison predicates are rejected eagerly for the whole query rather
+than lazily per evaluated row (the engine itself only generates CONTAINS
+predicates, so neither divergence is reachable through a search).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+import re
+import sqlite3
+import threading
+from dataclasses import replace
+from datetime import date
+from typing import Any, Mapping, Sequence
+
+from repro.db.database import Database
+from repro.db.executor import ResultSet, contains_match, like_match
+from repro.db.fulltext import tokenize_value
+from repro.db.query import Comparison, SelectQuery
+from repro.db.schema import ColumnRef, Schema, TableSchema
+from repro.db.sqlgen import quote_identifier, render_sql
+from repro.db.table import Row, normalise_row
+from repro.db.types import DataType, coerce
+from repro.errors import ExecutionError, IntegrityError, UnknownTableError
+from repro.storage.base import StorageBackend
+
+__all__ = ["SQLiteBackend"]
+
+#: SQLite storage type per logical column type. BOOLEAN stores 0/1 and
+#: DATE stores ISO-8601 text (lexicographic order == chronological order),
+#: so native comparison operators behave like the in-memory executor's.
+_SQLITE_TYPES: dict[DataType, str] = {
+    DataType.INTEGER: "INTEGER",
+    DataType.FLOAT: "REAL",
+    DataType.TEXT: "TEXT",
+    DataType.BOOLEAN: "INTEGER",
+    DataType.DATE: "TEXT",
+}
+
+#: Python value types that compare against a column without a TypeError
+#: in the in-memory executor; anything else is a type mismatch.
+_COMPARABLE: dict[DataType, tuple[type, ...]] = {
+    DataType.INTEGER: (bool, int, float),
+    DataType.FLOAT: (bool, int, float),
+    DataType.TEXT: (str,),
+    DataType.BOOLEAN: (bool, int, float),
+    DataType.DATE: (date,),
+}
+
+_FTS_TERM_RE = re.compile(r"[a-z0-9]+$")
+
+_POSITION_COLUMN = "_quest_pos"
+
+
+def _encode(value: Any) -> Any:
+    """A Python value as stored in SQLite (bool -> int, date -> ISO text)."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, date):
+        return value.isoformat()
+    return value
+
+
+class SQLiteBackend(StorageBackend):
+    """Relations persisted to SQLite; search and execution pushed down."""
+
+    name = "sqlite"
+
+    def __init__(
+        self, schema: Schema, path: str = ":memory:", initialize: bool = True
+    ) -> None:
+        super().__init__(schema)
+        self.path = str(path)
+        # One connection guarded by a lock: the threaded multi-source tier
+        # may execute queries from worker threads.
+        self._lock = threading.RLock()
+        self._connection = sqlite3.connect(self.path, check_same_thread=False)
+        self._connection.isolation_level = None  # autocommit; we batch manually
+        self._connection.create_function(
+            "QUEST_CONTAINS", 2, self._contains_udf, deterministic=True
+        )
+        self._connection.create_function(
+            "QUEST_LIKE", 2, self._like_udf, deterministic=True
+        )
+        #: next insertion position per table (mirrors memory row positions)
+        self._positions: dict[str, int] = {}
+        #: bumped on every successful mutation (see StorageBackend.version)
+        self._version = 0
+        #: per-attribute indexed-document counts (the TF normaliser),
+        #: mirrored in memory so scoring needs one SQL query, not three.
+        self._field_sizes: dict[ColumnRef, int] = {
+            ColumnRef(table.name, column.name): 0
+            for table in schema.tables
+            for column in table.columns
+        }
+        self._n_fields = len(self._field_sizes)
+        if initialize:
+            self._create_tables()
+            self._fts_enabled = self._create_fts()
+            for table in schema.tables:
+                self._positions[table.name] = 0
+        else:
+            self._fts_enabled = self._table_exists("_quest_fts")
+            self._load_state()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_database(
+        cls, database: Database, path: str = ":memory:", **kwargs: Any
+    ) -> "SQLiteBackend":
+        """A fresh backend loaded with the contents of *database*."""
+        backend = cls(database.schema, path=path, **kwargs)
+        backend._bulk_load(database)
+        return backend
+
+    @classmethod
+    def open(cls, schema: Schema, path: str) -> "SQLiteBackend":
+        """Attach to an existing SQLite file previously built for *schema*."""
+        return cls(schema, path=path, initialize=False)
+
+    # -- DDL and state -----------------------------------------------------
+
+    def _create_tables(self) -> None:
+        cursor = self._connection.cursor()
+        cursor.execute("BEGIN")
+        for table in self.schema.tables:
+            cursor.execute(f"DROP TABLE IF EXISTS {quote_identifier(table.name)}")
+            cursor.execute(self._create_table_sql(table))
+        for name in ("_quest_postings", "_quest_fields"):
+            cursor.execute(f"DROP TABLE IF EXISTS {quote_identifier(name)}")
+        cursor.execute(
+            'CREATE TABLE "_quest_postings" ('
+            "term TEXT NOT NULL, tbl TEXT NOT NULL, col TEXT NOT NULL, "
+            "pos INTEGER NOT NULL, tf INTEGER NOT NULL, "
+            "PRIMARY KEY (term, tbl, col, pos))"
+        )
+        cursor.execute(
+            'CREATE TABLE "_quest_fields" ('
+            "tbl TEXT NOT NULL, col TEXT NOT NULL, "
+            "indexed INTEGER NOT NULL, tokens INTEGER NOT NULL, "
+            "PRIMARY KEY (tbl, col))"
+        )
+        cursor.executemany(
+            'INSERT INTO "_quest_fields" (tbl, col, indexed, tokens) VALUES (?, ?, 0, 0)',
+            [(ref.table, ref.column) for ref in self._field_sizes],
+        )
+        cursor.execute("COMMIT")
+
+    def _create_table_sql(self, table: TableSchema) -> str:
+        parts = []
+        for column in table.columns:
+            null = "" if column.nullable else " NOT NULL"
+            parts.append(
+                f"{quote_identifier(column.name)} {_SQLITE_TYPES[column.dtype]}{null}"
+            )
+        # An explicit position column (not rowid): an INTEGER PRIMARY KEY
+        # would alias rowid to the key value, losing insertion order.
+        parts.append(f"{quote_identifier(_POSITION_COLUMN)} INTEGER NOT NULL")
+        keys = ", ".join(quote_identifier(name) for name in table.primary_key)
+        parts.append(f"UNIQUE ({keys})")
+        return f"CREATE TABLE {quote_identifier(table.name)} ({', '.join(parts)})"
+
+    def _create_fts(self) -> bool:
+        try:
+            self._connection.execute('DROP TABLE IF EXISTS "_quest_fts"')
+            self._connection.execute(
+                'CREATE VIRTUAL TABLE "_quest_fts" USING fts5('
+                "tbl UNINDEXED, col UNINDEXED, pos UNINDEXED, doc)"
+            )
+        except sqlite3.OperationalError:
+            return False
+        return True
+
+    def _table_exists(self, name: str) -> bool:
+        row = self._connection.execute(
+            "SELECT 1 FROM sqlite_master WHERE name = ?", (name,)
+        ).fetchone()
+        return row is not None
+
+    def _load_state(self) -> None:
+        """Rehydrate counters from an existing file (``open`` path)."""
+        for table in self.schema.tables:
+            if not self._table_exists(table.name):
+                raise UnknownTableError(table.name)
+        self._reload_counters()
+
+    def _bulk_load(self, database: Database) -> None:
+        with self._lock:
+            cursor = self._connection.cursor()
+            cursor.execute("BEGIN")
+            try:
+                for table in database.tables:
+                    for row in table.rows:
+                        self._insert_row(cursor, table.schema, row)
+                cursor.execute("COMMIT")
+            except BaseException:
+                cursor.execute("ROLLBACK")
+                self._reload_counters()
+                raise
+            self._version += 1
+
+    # -- UDFs --------------------------------------------------------------
+
+    @staticmethod
+    def _contains_udf(value: Any, keyword: Any) -> int:
+        return 1 if contains_match(value, keyword) else 0
+
+    @staticmethod
+    def _like_udf(value: Any, pattern: Any) -> int:
+        return 1 if like_match(value, pattern) else 0
+
+    # -- mutation ----------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def insert(self, table: str, values: Mapping[str, Any] | Sequence[Any]) -> Row:
+        table_schema = self._table_schema(table)
+        row = self._normalise(table_schema, values)
+        with self._lock:
+            cursor = self._connection.cursor()
+            cursor.execute("BEGIN")
+            try:
+                self._insert_row(cursor, table_schema, row)
+                cursor.execute("COMMIT")
+            except BaseException:
+                cursor.execute("ROLLBACK")
+                self._reload_counters()
+                raise
+            self._version += 1
+        return row
+
+    # insert_many: the base class loops ``insert`` row by row, matching
+    # the memory backend's semantics exactly — a mid-batch failure keeps
+    # every row inserted before it. (``from_database`` bulk-loads in one
+    # transaction instead; a failure there discards the whole backend.)
+
+    def _table_schema(self, table: str) -> TableSchema:
+        try:
+            return self.schema.table(table)
+        except Exception:
+            raise UnknownTableError(table) from None
+
+    def _normalise(
+        self, table: TableSchema, values: Mapping[str, Any] | Sequence[Any]
+    ) -> Row:
+        """Coerce and validate one row (same contract as ``Table.insert``)."""
+        row = normalise_row(table, values)
+        by_name = dict(zip((column.name for column in table.columns), row))
+        if any(by_name[name] is None for name in table.primary_key):
+            raise IntegrityError(f"{table.name}: primary key may not be NULL")
+        return row
+
+    def _reload_counters(self) -> None:
+        """Restore the in-memory mirrors from SQL after a rollback.
+
+        ``_insert_row`` advances ``_positions``/``_field_sizes`` as it
+        goes; when its transaction rolls back, the stored tables are the
+        only truth, so the mirrors are re-read from them.
+        """
+        for table in self.schema.tables:
+            self._positions[table.name] = int(
+                self._connection.execute(
+                    f"SELECT COUNT(*) FROM {quote_identifier(table.name)}"
+                ).fetchone()[0]
+            )
+        for tbl, col, indexed in self._connection.execute(
+            'SELECT tbl, col, indexed FROM "_quest_fields"'
+        ):
+            self._field_sizes[ColumnRef(tbl, col)] = int(indexed)
+
+    def _insert_row(
+        self, cursor: sqlite3.Cursor, table: TableSchema, row: Row
+    ) -> None:
+        """Store one already-normalised row and index its tokens."""
+        position = self._positions[table.name]
+        column_list = ", ".join(
+            [quote_identifier(column.name) for column in table.columns]
+            + [quote_identifier(_POSITION_COLUMN)]
+        )
+        placeholders = ", ".join(["?"] * (len(table.columns) + 1))
+        try:
+            cursor.execute(
+                f"INSERT INTO {quote_identifier(table.name)} ({column_list}) "
+                f"VALUES ({placeholders})",
+                [_encode(value) for value in row] + [position],
+            )
+        except sqlite3.IntegrityError as exc:
+            raise IntegrityError(f"{table.name}: {exc}") from None
+        for column, value in zip(table.columns, row):
+            tokens = tokenize_value(value)
+            if not tokens:
+                continue
+            self._index_tokens(cursor, table.name, column.name, position, tokens)
+            cursor.execute(
+                'UPDATE "_quest_fields" SET indexed = indexed + 1, '
+                "tokens = tokens + ? WHERE tbl = ? AND col = ?",
+                (len(tokens), table.name, column.name),
+            )
+            self._field_sizes[ColumnRef(table.name, column.name)] += 1
+        self._positions[table.name] = position + 1
+
+    def _index_tokens(
+        self,
+        cursor: sqlite3.Cursor,
+        table: str,
+        column: str,
+        position: int,
+        tokens: list[str],
+    ) -> None:
+        """Record one value's token stream in the postings (and FTS mirror).
+
+        The single indexing path for both the insert route and the
+        ``refresh`` rebuild — the bit-parity guarantee depends on the two
+        never diverging.
+        """
+        cursor.executemany(
+            'INSERT INTO "_quest_postings" (term, tbl, col, pos, tf) '
+            "VALUES (?, ?, ?, ?, ?)",
+            [
+                (term, table, column, position, tf)
+                for term, tf in Counter(tokens).items()
+            ],
+        )
+        if self._fts_enabled:
+            cursor.execute(
+                'INSERT INTO "_quest_fts" (tbl, col, pos, doc) '
+                "VALUES (?, ?, ?, ?)",
+                (table, column, position, " ".join(tokens)),
+            )
+
+    def refresh(self) -> None:
+        """Rebuild the inverted index from the stored relations.
+
+        Inserts through the backend maintain the index synchronously;
+        this re-derivation exists for files written by another process.
+        """
+        with self._lock:
+            cursor = self._connection.cursor()
+            cursor.execute("BEGIN")
+            try:
+                cursor.execute('DELETE FROM "_quest_postings"')
+                cursor.execute('UPDATE "_quest_fields" SET indexed = 0, tokens = 0')
+                if self._fts_enabled:
+                    cursor.execute('DELETE FROM "_quest_fts"')
+                for ref in self._field_sizes:
+                    self._field_sizes[ref] = 0
+                for table in self.schema.tables:
+                    self._positions[table.name] = int(
+                        cursor.execute(
+                            f"SELECT COUNT(*) FROM {quote_identifier(table.name)}"
+                        ).fetchone()[0]
+                    )
+                    for column in table.columns:
+                        self._index_column(cursor, table, column.name)
+                cursor.execute("COMMIT")
+            except BaseException:
+                cursor.execute("ROLLBACK")
+                self._reload_counters()
+                raise
+            self._version += 1
+
+    def _index_column(
+        self, cursor: sqlite3.Cursor, table: TableSchema, column: str
+    ) -> None:
+        ref = ColumnRef(table.name, column)
+        dtype = table.column(column).dtype
+        rows = cursor.execute(
+            f"SELECT {quote_identifier(_POSITION_COLUMN)}, {quote_identifier(column)} "
+            f"FROM {quote_identifier(table.name)} ORDER BY {quote_identifier(_POSITION_COLUMN)}"
+        ).fetchall()
+        indexed = 0
+        tokens_total = 0
+        for position, stored in rows:
+            tokens = tokenize_value(coerce(stored, dtype))
+            if not tokens:
+                continue
+            indexed += 1
+            tokens_total += len(tokens)
+            self._index_tokens(cursor, table.name, column, position, tokens)
+        cursor.execute(
+            'UPDATE "_quest_fields" SET indexed = ?, tokens = ? '
+            "WHERE tbl = ? AND col = ?",
+            (indexed, tokens_total, table.name, column),
+        )
+        self._field_sizes[ref] = indexed
+
+    # -- row access --------------------------------------------------------
+
+    def table_rows(self, table: str) -> list[Row]:
+        table_schema = self._table_schema(table)
+        column_list = ", ".join(quote_identifier(column.name) for column in table_schema.columns)
+        with self._lock:
+            fetched = self._connection.execute(
+                f"SELECT {column_list} FROM {quote_identifier(table)} "
+                f"ORDER BY {quote_identifier(_POSITION_COLUMN)}"
+            ).fetchall()
+        dtypes = [column.dtype for column in table_schema.columns]
+        return [
+            tuple(coerce(value, dtype) for value, dtype in zip(row, dtypes))
+            for row in fetched
+        ]
+
+    def row_count(self, table: str) -> int:
+        self._table_schema(table)
+        with self._lock:
+            row = self._connection.execute(
+                f"SELECT COUNT(*) FROM {quote_identifier(table)}"
+            ).fetchone()
+        return int(row[0])
+
+    def column_values(self, ref: ColumnRef) -> list[Any]:
+        dtype = self._table_schema(ref.table).column(ref.column).dtype
+        with self._lock:
+            fetched = self._connection.execute(
+                f"SELECT {quote_identifier(ref.column)} FROM {quote_identifier(ref.table)} "
+                f"ORDER BY {quote_identifier(_POSITION_COLUMN)}"
+            ).fetchall()
+        return [coerce(row[0], dtype) for row in fetched]
+
+    # -- full-text search --------------------------------------------------
+
+    def _idf(self, field_count: int) -> float:
+        # Same expression as FullTextIndex._idf, over the same integers:
+        # scores stay bit-identical across backends.
+        return math.log(1.0 + self._n_fields / field_count)
+
+    def attribute_scores(self, keyword: str) -> dict[ColumnRef, float]:
+        """TF-IDF relevance per attribute, from SQL-aggregated counts."""
+        term = keyword.casefold()
+        with self._lock:
+            grouped = self._connection.execute(
+                'SELECT tbl, col, COUNT(*) FROM "_quest_postings" '
+                "WHERE term = ? GROUP BY tbl, col",
+                (term,),
+            ).fetchall()
+        if not grouped:
+            return {}
+        idf = self._idf(len(grouped))
+        scores: dict[ColumnRef, float] = {}
+        for tbl, col, count in grouped:
+            ref = ColumnRef(tbl, col)
+            field_size = self._field_sizes.get(ref, 0)
+            if field_size == 0:
+                continue
+            scores[ref] = (count / field_size) * idf
+        return scores
+
+    def score(self, keyword: str, ref: ColumnRef) -> float:
+        term = keyword.casefold()
+        field_size = self._field_sizes.get(ref, 0)
+        if field_size == 0:
+            return 0.0
+        with self._lock:
+            matches = self._connection.execute(
+                'SELECT COUNT(*) FROM "_quest_postings" '
+                "WHERE term = ? AND tbl = ? AND col = ?",
+                (term, ref.table, ref.column),
+            ).fetchone()[0]
+            if not matches:
+                return 0.0
+            fields = self._connection.execute(
+                'SELECT COUNT(*) FROM (SELECT 1 FROM "_quest_postings" '
+                "WHERE term = ? GROUP BY tbl, col)",
+                (term,),
+            ).fetchone()[0]
+        return (matches / field_size) * self._idf(fields)
+
+    def selectivity(self, keyword: str, ref: ColumnRef) -> float:
+        field_size = self._field_sizes.get(ref, 0)
+        if field_size == 0:
+            return 0.0
+        with self._lock:
+            matches = self._connection.execute(
+                'SELECT COUNT(*) FROM "_quest_postings" '
+                "WHERE term = ? AND tbl = ? AND col = ?",
+                (keyword.casefold(), ref.table, ref.column),
+            ).fetchone()[0]
+        return matches / field_size
+
+    def matching_row_positions(self, keyword: str, ref: ColumnRef) -> list[int]:
+        term = keyword.casefold()
+        with self._lock:
+            if self._fts_enabled and _FTS_TERM_RE.fullmatch(term):
+                rows = self._connection.execute(
+                    'SELECT pos FROM "_quest_fts" '
+                    'WHERE "_quest_fts" MATCH ? AND tbl = ? AND col = ? '
+                    "ORDER BY pos",
+                    (f'doc:"{term}"', ref.table, ref.column),
+                ).fetchall()
+            else:
+                rows = self._connection.execute(
+                    'SELECT pos FROM "_quest_postings" '
+                    "WHERE term = ? AND tbl = ? AND col = ? ORDER BY pos",
+                    (term, ref.table, ref.column),
+                ).fetchall()
+        return [int(row[0]) for row in rows]
+
+    @property
+    def fts_enabled(self) -> bool:
+        """Whether the FTS5 retrieval accelerator is active."""
+        return self._fts_enabled
+
+    # -- execution ---------------------------------------------------------
+
+    def _prepare(self, query: SelectQuery) -> tuple[str, tuple[tuple[str, DataType], ...]]:
+        """Validate, expand and render *query* for SQLite execution."""
+        for predicate in query.predicates:
+            if predicate.value is None or predicate.op in (
+                Comparison.CONTAINS,
+                Comparison.LIKE,
+            ):
+                continue
+            dtype = self.schema.table(query.table_of(predicate.alias)).column(
+                predicate.column
+            ).dtype
+            # Every cross-type comparison is rejected eagerly. Ordering
+            # mismatches raise in the in-memory executor too; EQ/NE
+            # mismatches are silent there (never/always true per non-null
+            # row) but cannot be reproduced here — SQLite's type affinity
+            # would coerce e.g. the '1994' in ``year = '1994'`` and
+            # *match*, and dates stored as ISO text would equal str
+            # constants. Failing loudly beats silently diverging.
+            if not isinstance(predicate.value, _COMPARABLE[dtype]):
+                raise ExecutionError(
+                    f"type mismatch evaluating {predicate}: {predicate.value!r}"
+                )
+        if query.projection:
+            targets = list(query.projection)
+            prepared = query
+        else:
+            # The in-memory executor projects every column of every alias
+            # (and applies DISTINCT to those full-width rows); expanding
+            # the projection reproduces that, including column labels.
+            targets = [
+                (alias, column)
+                for alias in query.aliases
+                for column in self.schema.table(query.table_of(alias)).column_names
+            ]
+            prepared = replace(query, projection=tuple(targets))
+        dtypes = tuple(
+            (
+                f"{alias}.{column}",
+                self.schema.table(query.table_of(alias)).column(column).dtype,
+            )
+            for alias, column in targets
+        )
+        return render_sql(prepared, dialect="sqlite", schema=self.schema), dtypes
+
+    def execute(self, query: SelectQuery) -> ResultSet:
+        sql, columns = self._prepare(query)
+        with self._lock:
+            try:
+                fetched = self._connection.execute(sql).fetchall()
+            except sqlite3.Error as exc:
+                raise ExecutionError(f"sqlite error for {sql!r}: {exc}") from exc
+        dtypes = [dtype for _name, dtype in columns]
+        rows = [
+            tuple(coerce(value, dtype) for value, dtype in zip(row, dtypes))
+            for row in fetched
+        ]
+        return ResultSet(tuple(name for name, _dtype in columns), rows)
+
+    def result_count(self, query: SelectQuery) -> int:
+        """Count results engine-side — no rows cross the boundary."""
+        sql, _columns = self._prepare(query)
+        with self._lock:
+            try:
+                row = self._connection.execute(
+                    f"SELECT COUNT(*) FROM ({sql})"
+                ).fetchone()
+            except sqlite3.Error as exc:
+                raise ExecutionError(f"sqlite error for {sql!r}: {exc}") from exc
+        return int(row[0])
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            self._connection.close()
+
+    def __repr__(self) -> str:
+        fts = "fts5" if self._fts_enabled else "emulated"
+        return (
+            f"SQLiteBackend({self.schema.name!r}, path={self.path!r}, "
+            f"index={fts})"
+        )

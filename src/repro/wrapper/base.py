@@ -53,6 +53,16 @@ class SourceWrapper(abc.ABC):
     ) -> None:
         self.schema = schema
         self._emission_cache = LRUCache(emission_cache_size)
+        self._emission_version = self._source_version()
+
+    def _source_version(self) -> int:
+        """Mutation counter of the underlying source (0 when static).
+
+        Wrappers over mutable backends override this; the emission cache
+        is dropped whenever the counter moves, so cached vectors never
+        outlive the data they were scored against.
+        """
+        return 0
 
     # -- capabilities --------------------------------------------------------
 
@@ -91,6 +101,10 @@ class SourceWrapper(abc.ABC):
         foreign feedback model may legally carry a same-length space with
         different ordering — see ``Quest.set_feedback_model``).
         """
+        version = self._source_version()
+        if version != self._emission_version:
+            self._emission_cache.clear()
+            self._emission_version = version
         key = (keyword, states.states)
         cached = self._emission_cache.get(key)
         if cached is not None:

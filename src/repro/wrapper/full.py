@@ -1,9 +1,16 @@
 """Full-access wrapper: owned databases with full-text indexes.
 
 The setup phase instantiates a full-text index over every attribute and
-warms the catalog; at run time DOMAIN states are scored with the index's
+warms the catalog; at run time DOMAIN states are scored with the backend's
 search function (the paper's preferred evidence), schema states with the
-ontology, and generated SQL runs directly on the engine's executor.
+ontology, and generated SQL runs on the backend's engine.
+
+The wrapper binds to a :class:`~repro.storage.base.StorageBackend` rather
+than to one concrete store: pass a plain
+:class:`~repro.db.database.Database` (wrapped into a
+:class:`~repro.storage.memory.MemoryBackend` for compatibility) or any
+backend from :mod:`repro.storage` — rankings are identical either way,
+because backends guarantee score parity.
 """
 
 from __future__ import annotations
@@ -12,10 +19,12 @@ import numpy as np
 
 from repro.db.catalog import Catalog
 from repro.db.database import Database
-from repro.db.executor import ResultSet, execute
+from repro.db.executor import ResultSet
 from repro.db.fulltext import FullTextIndex
 from repro.db.query import SelectQuery
+from repro.errors import QuestError
 from repro.hmm.states import StateKind, StateSpace
+from repro.storage import MemoryBackend, StorageBackend, as_backend
 from repro.wrapper.base import DEFAULT_EMISSION_CACHE_SIZE, SourceWrapper
 from repro.wrapper.ontology import SchemaOntology
 
@@ -31,24 +40,36 @@ _SIMILARITY_CUTOFF = 0.78
 
 
 class FullAccessWrapper(SourceWrapper):
-    """Wrapper over a fully accessible :class:`~repro.db.database.Database`."""
+    """Wrapper over a fully accessible storage backend."""
 
     def __init__(
         self,
-        db: Database,
+        source: Database | StorageBackend,
         ontology: SchemaOntology | None = None,
         fulltext: FullTextIndex | None = None,
         emission_cache_size: int = DEFAULT_EMISSION_CACHE_SIZE,
     ) -> None:
-        super().__init__(db.schema, emission_cache_size=emission_cache_size)
-        self._db = db
-        self._fulltext = fulltext if fulltext is not None else FullTextIndex(db)
-        self._catalog = Catalog.from_database(db)
+        if fulltext is not None:
+            if not isinstance(source, Database):
+                raise QuestError(
+                    "a prebuilt FullTextIndex only applies to a plain "
+                    "Database source; backends own their index"
+                )
+            backend: StorageBackend = MemoryBackend(source, fulltext=fulltext)
+        else:
+            backend = as_backend(source)
+        # Set before super().__init__: the base class snapshots the
+        # source version for emission-cache invalidation.
+        self._backend = backend
+        super().__init__(backend.schema, emission_cache_size=emission_cache_size)
         self._ontology = (
-            ontology if ontology is not None else SchemaOntology(db.schema)
+            ontology if ontology is not None else SchemaOntology(backend.schema)
         )
 
     # -- capabilities --------------------------------------------------------
+
+    def _source_version(self) -> int:
+        return self._backend.version
 
     @property
     def has_instance_access(self) -> bool:
@@ -56,24 +77,45 @@ class FullAccessWrapper(SourceWrapper):
 
     @property
     def catalog(self) -> Catalog:
-        return self._catalog
+        return self._backend.catalog
+
+    @property
+    def backend(self) -> StorageBackend:
+        """The storage backend this wrapper mediates access to."""
+        return self._backend
 
     @property
     def fulltext(self) -> FullTextIndex:
-        """The full-text index (exposed for baselines and diagnostics)."""
-        return self._fulltext
+        """The in-process full-text index (memory backends only).
+
+        Exposed for baselines and diagnostics; backends that serve search
+        engine-side (SQLite) have no in-process index to hand out.
+        """
+        fulltext = getattr(self._backend, "fulltext", None)
+        if fulltext is None:
+            raise QuestError(
+                f"backend {self._backend.name!r} has no in-process full-text "
+                "index; use the backend's search methods instead"
+            )
+        return fulltext
 
     @property
     def database(self) -> Database:
-        """The underlying database (exposed for baselines and tests)."""
-        return self._db
+        """The underlying database (memory backends only; for baselines/tests)."""
+        database = getattr(self._backend, "database", None)
+        if database is None:
+            raise QuestError(
+                f"backend {self._backend.name!r} does not expose an in-memory "
+                "Database; go through the StorageBackend protocol instead"
+            )
+        return database
 
     # -- emission scores ---------------------------------------------------------
 
     def compute_emission_scores(self, keyword: str, states: StateSpace) -> np.ndarray:
         """Full-text scores for DOMAIN states, ontology for schema states."""
         scores = np.zeros(len(states))
-        domain_scores = self._fulltext.attribute_scores(keyword)
+        domain_scores = self._backend.attribute_scores(keyword)
         for position, state in enumerate(states):
             if state.kind is StateKind.DOMAIN:
                 ref = state.column_ref
@@ -93,4 +135,8 @@ class FullAccessWrapper(SourceWrapper):
     # -- execution -----------------------------------------------------------------
 
     def execute(self, query: SelectQuery) -> ResultSet:
-        return execute(self._db, query)
+        return self._backend.execute(query)
+
+    def result_count(self, query: SelectQuery) -> int:
+        """Count backend-side: SQLite answers with ``COUNT(*)``, no rows move."""
+        return self._backend.result_count(query)

@@ -19,12 +19,13 @@ import numpy as np
 
 from repro.db.catalog import Catalog
 from repro.db.database import Database
-from repro.db.executor import ResultSet, execute
+from repro.db.executor import ResultSet
 from repro.db.query import SelectQuery
 from repro.db.schema import Schema
 from repro.errors import AccessDeniedError
 from repro.hmm.states import StateKind, StateSpace
 from repro.semantics.recognizers import shape_score
+from repro.storage import StorageBackend, as_backend
 from repro.wrapper.base import DEFAULT_EMISSION_CACHE_SIZE, SourceWrapper
 from repro.wrapper.ontology import SchemaOntology
 
@@ -43,12 +44,15 @@ class HiddenSourceWrapper(SourceWrapper):
     def __init__(
         self,
         schema: Schema,
-        remote_db: Database | None = None,
+        remote_db: Database | StorageBackend | None = None,
         ontology: SchemaOntology | None = None,
         emission_cache_size: int = DEFAULT_EMISSION_CACHE_SIZE,
     ) -> None:
         super().__init__(schema, emission_cache_size=emission_cache_size)
-        self._remote_db = remote_db
+        # The endpoint may be any storage backend — the Deep Web source's
+        # engine is as much a deployment choice as the owned sources' —
+        # but setup-phase reads stay forbidden either way.
+        self._remote = as_backend(remote_db) if remote_db is not None else None
         self._catalog = Catalog.schema_only(schema)
         self._ontology = ontology if ontology is not None else SchemaOntology(schema)
 
@@ -101,8 +105,16 @@ class HiddenSourceWrapper(SourceWrapper):
 
     def execute(self, query: SelectQuery) -> ResultSet:
         """Run *query* through the endpoint, if one is configured."""
-        if self._remote_db is None:
+        if self._remote is None:
             raise AccessDeniedError(
                 f"source {self.schema.name!r} has no query endpoint"
             )
-        return execute(self._remote_db, query)
+        return self._remote.execute(query)
+
+    def result_count(self, query: SelectQuery) -> int:
+        """Count through the endpoint (backend-side when it can)."""
+        if self._remote is None:
+            raise AccessDeniedError(
+                f"source {self.schema.name!r} has no query endpoint"
+            )
+        return self._remote.result_count(query)

@@ -2,13 +2,28 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core import Quest
 from repro.datasets import dblp, imdb, mondial
 from repro.db import Column, Database, ForeignKey, Schema, TableSchema
 from repro.db.types import DataType
+from repro.storage import create_backend
 from repro.wrapper import FullAccessWrapper, HiddenSourceWrapper
+
+#: Storage backend the engine-level tests run on. CI sets
+#: ``QUEST_TEST_BACKEND=sqlite`` in one matrix leg so the engine suite
+#: (pipeline, caching, integration, eval, multi-source) exercises the
+#: SQLite backend end to end. Build full-access wrappers for shared
+#: read-only databases through :func:`backend_for` to honour it.
+TEST_BACKEND = os.environ.get("QUEST_TEST_BACKEND", "memory")
+
+
+def backend_for(db: Database):
+    """The configured test backend, freshly loaded with *db*'s contents."""
+    return create_backend(TEST_BACKEND, db)
 
 
 def build_mini_schema() -> Schema:
@@ -87,7 +102,7 @@ def mini_db() -> Database:
 
 @pytest.fixture()
 def mini_wrapper(mini_db: Database) -> FullAccessWrapper:
-    return FullAccessWrapper(mini_db)
+    return FullAccessWrapper(backend_for(mini_db))
 
 
 @pytest.fixture()

@@ -6,7 +6,7 @@ from repro.core import MultiSourceQuest, Quest
 from repro.errors import QuestError
 from repro.wrapper import FullAccessWrapper
 
-from tests.conftest import build_mini_db
+from tests.conftest import backend_for, build_mini_db
 
 
 @pytest.fixture()
@@ -20,8 +20,8 @@ def two_sources(mini_db):
          "director_id": 4, "genre_id": 3},
     )
     return {
-        "alpha": Quest(FullAccessWrapper(mini_db)),
-        "beta": Quest(FullAccessWrapper(other)),
+        "alpha": Quest(FullAccessWrapper(backend_for(mini_db))),
+        "beta": Quest(FullAccessWrapper(backend_for(other))),
     }
 
 
@@ -87,7 +87,7 @@ class TestMultiSource:
 
     def test_single_source_degenerates_gracefully(self, mini_db):
         multi = MultiSourceQuest(
-            {"only": Quest(FullAccessWrapper(mini_db))}
+            {"only": Quest(FullAccessWrapper(backend_for(mini_db)))}
         )
         ranked = multi.search("kubrick movies", k=5)
         assert ranked

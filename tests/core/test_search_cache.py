@@ -13,18 +13,22 @@ from repro.datasets import mondial
 from repro.errors import QuestError
 from repro.wrapper import FullAccessWrapper, HiddenSourceWrapper
 
-
-@pytest.fixture(scope="module")
-def mondial_engine():
-    db = mondial.generate(countries=10, seed=23)
-    return Quest(FullAccessWrapper(db))
+from tests.conftest import backend_for
 
 
 @pytest.fixture(scope="module")
-def mondial_texts(mondial_engine):
-    workload = mondial.workload(
-        mondial_engine.wrapper.database, queries_per_kind=2, seed=23
-    )
+def mondial_cache_db():
+    return mondial.generate(countries=10, seed=23)
+
+
+@pytest.fixture(scope="module")
+def mondial_engine(mondial_cache_db):
+    return Quest(FullAccessWrapper(backend_for(mondial_cache_db)))
+
+
+@pytest.fixture(scope="module")
+def mondial_texts(mondial_cache_db):
+    workload = mondial.workload(mondial_cache_db, queries_per_kind=2, seed=23)
     return [query.text for query in workload]
 
 
@@ -55,8 +59,8 @@ class TestColdVsWarm:
         assert steiner.hits > 0
         assert steiner.misses == 0
 
-    def test_hidden_wrapper_shares_the_cache_layer(self, mondial_engine):
-        db = mondial_engine.wrapper.database
+    def test_hidden_wrapper_shares_the_cache_layer(self, mondial_cache_db):
+        db = mondial_cache_db
         hidden = HiddenSourceWrapper(db.schema, remote_db=db)
         engine = Quest(hidden)
         cold = engine.search("capital ruritania")
@@ -117,8 +121,8 @@ class TestSearchMany:
 
 class TestThreadedMultiSource:
     @pytest.fixture()
-    def sources(self, mondial_engine):
-        db = mondial_engine.wrapper.database
+    def sources(self, mondial_engine, mondial_cache_db):
+        db = mondial_cache_db
         return {
             "full": mondial_engine,
             "hidden": Quest(HiddenSourceWrapper(db.schema, remote_db=db)),

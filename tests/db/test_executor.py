@@ -1,16 +1,25 @@
 """Tests for query execution."""
 
+import datetime
+
 import pytest
 
 from repro.db import (
+    Column,
     Comparison,
+    Database,
+    ForeignKey,
     JoinCondition,
     Predicate,
+    Schema,
     SelectQuery,
     TableRef,
+    TableSchema,
     execute,
     result_count,
 )
+from repro.db.executor import contains_match, like_match
+from repro.db.types import DataType
 from repro.errors import ExecutionError
 
 
@@ -229,3 +238,225 @@ class TestProjection:
             q(tables=(TableRef.of("genre"),), projection=(("genre", "label"),)),
         )
         assert {"genre.label": "scifi"} in result.dicts()
+
+    def test_limit_applies_after_distinct(self, mini_db):
+        # 3 distinct director_ids over 5 movies: LIMIT must count
+        # de-duplicated rows, not scanned ones.
+        result = execute(
+            mini_db,
+            q(
+                tables=(TableRef.of("movie"),),
+                projection=(("movie", "director_id"),),
+                distinct=True,
+                limit=2,
+            ),
+        )
+        assert len(result) == 2
+        assert len({row[0] for row in result}) == 2
+
+    def test_limit_larger_than_distinct_pool(self, mini_db):
+        result = execute(
+            mini_db,
+            q(
+                tables=(TableRef.of("movie"),),
+                projection=(("movie", "director_id"),),
+                distinct=True,
+                limit=50,
+            ),
+        )
+        assert len(result) == 3
+
+    def test_non_distinct_limit_keeps_duplicates(self, mini_db):
+        result = execute(
+            mini_db,
+            q(
+                tables=(TableRef.of("movie"),),
+                projection=(("movie", "director_id"),),
+                distinct=False,
+                limit=4,
+            ),
+        )
+        assert len(result) == 4
+
+
+class TestPredicateHelpers:
+    def test_like_escape_percent(self):
+        assert like_match("100%", "100\\%")
+        assert not like_match("100x", "100\\%")
+        assert like_match("100x", "100%")
+
+    def test_like_escape_underscore(self):
+        assert like_match("a_b", "a\\_b")
+        assert not like_match("axb", "a\\_b")
+        assert like_match("axb", "a_b")
+
+    def test_like_escaped_backslash(self):
+        assert like_match("a\\b", "a\\\\b")
+
+    def test_like_glob_metacharacters_are_literal(self):
+        # fnmatch would treat these as wildcards; SQL LIKE must not.
+        assert not like_match("abc", "a*c")
+        assert not like_match("abc", "a?c")
+        assert like_match("a*c", "a*c")
+        assert like_match("a[b]c", "a[b]c")
+
+    def test_like_wildcards_span_newlines(self):
+        assert like_match("first\nsecond", "first%second")
+
+    def test_contains_matches_whole_tokens(self):
+        assert contains_match("Blue Lake", "lake")
+        assert contains_match("Blue Lake", "LAKE")
+        # substring of a longer token: the full-text index would not
+        # report it, so the executor must not either
+        assert not contains_match("Lakeland", "lake")
+
+    def test_contains_multi_token_phrase(self):
+        assert contains_match("Stanley Kubrick", "stanley kubrick")
+        assert not contains_match("Stanley Kubrick", "kubrick stanley")
+        assert contains_match("The Blue Lake Hotel", "blue lake")
+
+    def test_contains_non_text_values_render_like_the_index(self):
+        assert contains_match(1968, "1968")
+        assert contains_match(datetime.date(1994, 5, 1), "1994")
+        assert not contains_match(None, "1968")
+
+    def test_contains_tokenless_keyword_never_matches(self):
+        assert not contains_match("anything", "???")
+        assert not contains_match("anything", "")
+
+
+def _typed_db() -> Database:
+    schema = Schema(
+        tables=[
+            TableSchema(
+                "events",
+                (
+                    Column("id", DataType.INTEGER, nullable=False),
+                    Column("day", DataType.DATE),
+                    Column("open", DataType.BOOLEAN),
+                ),
+                ("id",),
+            ),
+            TableSchema(
+                "halls",
+                (
+                    Column("id", DataType.INTEGER, nullable=False),
+                    Column("name", DataType.TEXT, nullable=False),
+                ),
+                ("id",),
+            ),
+        ],
+        foreign_keys=[],
+        name="typed",
+    )
+    db = Database(schema)
+    db.insert("events", {"id": 1, "day": "2020-01-10", "open": True})
+    db.insert("events", {"id": 2, "day": "2021-06-01", "open": False})
+    db.insert("events", {"id": 3, "day": None, "open": None})
+    db.insert("halls", {"id": 1, "name": "North"})
+    db.insert("halls", {"id": 2, "name": "South"})
+    return db
+
+
+class TestTypedComparisons:
+    def test_date_range_predicates(self):
+        db = _typed_db()
+        result = execute(
+            db,
+            q(
+                tables=(TableRef.of("events"),),
+                predicates=(
+                    Predicate(
+                        "events", "day", Comparison.GE, datetime.date(2021, 1, 1)
+                    ),
+                ),
+                projection=(("events", "id"),),
+            ),
+        )
+        assert {row[0] for row in result} == {2}
+
+    def test_date_equality(self):
+        db = _typed_db()
+        result = execute(
+            db,
+            q(
+                tables=(TableRef.of("events"),),
+                predicates=(
+                    Predicate(
+                        "events", "day", Comparison.EQ, datetime.date(2020, 1, 10)
+                    ),
+                ),
+            ),
+        )
+        assert len(result) == 1
+
+    def test_boolean_equality(self):
+        db = _typed_db()
+        for flag, expected in ((True, {1}), (False, {2})):
+            result = execute(
+                db,
+                q(
+                    tables=(TableRef.of("events"),),
+                    predicates=(Predicate("events", "open", Comparison.EQ, flag),),
+                    projection=(("events", "id"),),
+                ),
+            )
+            assert {row[0] for row in result} == expected
+
+    def test_null_typed_values_never_compare(self):
+        db = _typed_db()
+        result = execute(
+            db,
+            q(
+                tables=(TableRef.of("events"),),
+                predicates=(
+                    Predicate("events", "open", Comparison.NE, True),
+                ),
+                projection=(("events", "id"),),
+            ),
+        )
+        assert {row[0] for row in result} == {2}  # id 3 is NULL, excluded
+
+    def test_disconnected_three_way_cross_product(self):
+        # events x halls with no join: 3 * 2 = 6 combinations.
+        db = _typed_db()
+        result = execute(
+            db,
+            q(tables=(TableRef.of("events"), TableRef.of("halls"))),
+        )
+        assert len(result) == 6
+
+    def test_partially_connected_from_falls_back_to_cross_product(self, mini_db):
+        # movie-person are joined; genre floats free -> join result x 3.
+        joined = execute(
+            mini_db,
+            q(
+                tables=(TableRef.of("movie", "m"), TableRef.of("person", "p")),
+                joins=(JoinCondition("m", "director_id", "p", "id"),),
+            ),
+        )
+        with_free_alias = execute(
+            mini_db,
+            q(
+                tables=(
+                    TableRef.of("movie", "m"),
+                    TableRef.of("person", "p"),
+                    TableRef.of("genre", "g"),
+                ),
+                joins=(JoinCondition("m", "director_id", "p", "id"),),
+            ),
+        )
+        assert len(with_free_alias) == len(joined) * 3
+
+    def test_cross_product_respects_local_predicates(self, mini_db):
+        result = execute(
+            mini_db,
+            q(
+                tables=(TableRef.of("person"), TableRef.of("genre")),
+                predicates=(
+                    Predicate("person", "name", Comparison.CONTAINS, "kubrick"),
+                    Predicate("genre", "label", Comparison.EQ, "scifi"),
+                ),
+            ),
+        )
+        assert len(result) == 1

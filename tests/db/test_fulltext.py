@@ -69,3 +69,62 @@ class TestIndex:
         assert len(index.fields()) == sum(
             len(t.columns) for t in mini_db.schema.tables
         )
+
+
+class TestRefresh:
+    """The index stays correct under row inserts (mutation satellite)."""
+
+    def test_reads_see_rows_inserted_after_build(self, mini_db):
+        index = FullTextIndex(mini_db)
+        assert "akerman" not in index
+        mini_db.insert("person", {"id": 9, "name": "Chantal Akerman"})
+        # no explicit refresh: reads lazily notice the stale version
+        assert "akerman" in index
+        assert index.matching_row_positions(
+            "akerman", ColumnRef("person", "name")
+        ) == [3]
+
+    def test_incremental_equals_full_rebuild(self, mini_db):
+        incremental = FullTextIndex(mini_db)
+        incremental.attribute_scores("kubrick")  # force the initial build
+        mini_db.insert("person", {"id": 9, "name": "Chantal Akerman"})
+        mini_db.insert(
+            "movie",
+            {
+                "id": 9,
+                "title": "The Kubrick Documentary",
+                "year": 2001,
+                "director_id": 9,
+                "genre_id": 3,
+            },
+        )
+        rebuilt = FullTextIndex(mini_db)  # built fresh over the final state
+        for keyword in ("kubrick", "akerman", "documentary", "2001", "the"):
+            assert incremental.attribute_scores(
+                keyword
+            ) == rebuilt.attribute_scores(keyword), keyword
+            for ref in (ColumnRef("person", "name"), ColumnRef("movie", "title")):
+                assert incremental.matching_row_positions(
+                    keyword, ref
+                ) == rebuilt.matching_row_positions(keyword, ref)
+                assert incremental.selectivity(
+                    keyword, ref
+                ) == rebuilt.selectivity(keyword, ref)
+
+    def test_selectivity_denominator_tracks_inserts(self, mini_db):
+        index = FullTextIndex(mini_db)
+        ref = ColumnRef("movie", "title")
+        assert index.selectivity("the", ref) == 2 / 5
+        mini_db.insert(
+            "movie",
+            {"id": 9, "title": "The Return", "year": 2002, "director_id": 1,
+             "genre_id": 1},
+        )
+        assert index.selectivity("the", ref) == 3 / 6
+
+    def test_explicit_refresh_is_idempotent(self, mini_db):
+        index = FullTextIndex(mini_db)
+        before = index.attribute_scores("kubrick")
+        index.refresh()
+        index.refresh()
+        assert index.attribute_scores("kubrick") == before

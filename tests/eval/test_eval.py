@@ -57,7 +57,9 @@ class TestHarness:
         from repro.eval import quest_engine
         from repro.wrapper import FullAccessWrapper
 
-        engine = Quest(FullAccessWrapper(imdb_db))
+        from tests.conftest import backend_for
+
+        engine = Quest(FullAccessWrapper(backend_for(imdb_db)))
         result = evaluate(
             quest_engine(engine), imdb_workload, k=10, engine_name="quest"
         )
@@ -95,7 +97,9 @@ class TestHarness:
         from repro.eval import backward_only_engine, forward_only_engine
         from repro.wrapper import FullAccessWrapper
 
-        engine = Quest(FullAccessWrapper(imdb_db))
+        from tests.conftest import backend_for
+
+        engine = Quest(FullAccessWrapper(backend_for(imdb_db)))
         for adapter in (
             forward_only_engine(engine, "apriori"),
             backward_only_engine(engine),
@@ -108,7 +112,9 @@ class TestHarness:
         from repro.eval import forward_only_engine
         from repro.wrapper import FullAccessWrapper
 
-        engine = Quest(FullAccessWrapper(imdb_db))
+        from tests.conftest import backend_for
+
+        engine = Quest(FullAccessWrapper(backend_for(imdb_db)))
         adapter = forward_only_engine(engine, "feedback")
         result = evaluate(adapter, imdb_workload.subset(2), k=5)
         assert result.success_at(5) == 0.0

@@ -1,0 +1,381 @@
+"""Backend parity and behaviour tests for the storage subsystem.
+
+The contract under test: for the same loaded data, every backend reports
+bit-identical full-text scores, identical statistics and identical query
+result counts — so rankings never depend on where the bytes live.
+"""
+
+import math
+
+import pytest
+
+from repro.core import Quest
+from repro.datasets import mondial
+from repro.db import (
+    ColumnRef,
+    Comparison,
+    JoinCondition,
+    Predicate,
+    SelectQuery,
+    TableRef,
+)
+from repro.errors import ExecutionError, IntegrityError, QuestError
+from repro.eval import evaluate_backends
+from repro.storage import (
+    BACKENDS,
+    MemoryBackend,
+    SQLiteBackend,
+    StorageBackend,
+    as_backend,
+    create_backend,
+)
+from repro.wrapper import FullAccessWrapper
+
+from tests.conftest import build_mini_db
+
+KEYWORDS = ["kubrick", "scott", "scifi", "alien", "1979", "the", "shining", "absent"]
+REFS = [
+    ColumnRef("movie", "title"),
+    ColumnRef("person", "name"),
+    ColumnRef("genre", "label"),
+    ColumnRef("movie", "year"),
+]
+
+
+@pytest.fixture()
+def mini_backends():
+    db = build_mini_db()
+    return {name: create_backend(name, db) for name in BACKENDS}
+
+
+class TestRegistry:
+    def test_known_backends(self):
+        assert set(BACKENDS) == {"memory", "sqlite"}
+
+    def test_unknown_backend_rejected(self, mini_db):
+        with pytest.raises(QuestError, match="unknown storage backend"):
+            create_backend("duckdb", mini_db)
+
+    def test_as_backend_wraps_database(self, mini_db):
+        backend = as_backend(mini_db)
+        assert isinstance(backend, MemoryBackend)
+        assert backend.database is mini_db
+
+    def test_as_backend_passes_backends_through(self, mini_db):
+        backend = MemoryBackend(mini_db)
+        assert as_backend(backend) is backend
+
+    def test_as_backend_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            as_backend(object())
+
+
+class TestRowParity:
+    def test_rows_and_counts_match(self, mini_backends):
+        memory, sqlite = mini_backends["memory"], mini_backends["sqlite"]
+        for table in memory.schema.table_names:
+            assert memory.table_rows(table) == sqlite.table_rows(table)
+            assert memory.row_count(table) == sqlite.row_count(table)
+        assert memory.total_rows() == sqlite.total_rows()
+
+    def test_column_values_round_trip_types(self, mini_backends):
+        for ref in REFS:
+            values = {
+                name: backend.column_values(ref)
+                for name, backend in mini_backends.items()
+            }
+            assert values["memory"] == values["sqlite"]
+            # types round-trip, not just reprs
+            for left, right in zip(values["memory"], values["sqlite"]):
+                assert type(left) is type(right)
+
+
+class TestFullTextParity:
+    def test_attribute_scores_bit_identical(self, mini_backends):
+        memory, sqlite = mini_backends["memory"], mini_backends["sqlite"]
+        for keyword in KEYWORDS:
+            left, right = (
+                memory.attribute_scores(keyword),
+                sqlite.attribute_scores(keyword),
+            )
+            assert left == right  # exact float equality is the contract
+            for ref, score in left.items():
+                assert math.isfinite(score) and score > 0.0
+
+    def test_point_scores_and_selectivity(self, mini_backends):
+        memory, sqlite = mini_backends["memory"], mini_backends["sqlite"]
+        for keyword in KEYWORDS:
+            for ref in REFS:
+                assert memory.score(keyword, ref) == sqlite.score(keyword, ref)
+                assert memory.selectivity(keyword, ref) == sqlite.selectivity(
+                    keyword, ref
+                )
+
+    def test_matching_row_positions(self, mini_backends):
+        memory, sqlite = mini_backends["memory"], mini_backends["sqlite"]
+        for keyword in KEYWORDS:
+            for ref in REFS:
+                assert memory.matching_row_positions(
+                    keyword, ref
+                ) == sqlite.matching_row_positions(keyword, ref)
+
+    def test_punctuated_terms_fall_back_identically(self, mini_backends):
+        memory, sqlite = mini_backends["memory"], mini_backends["sqlite"]
+        ref = ColumnRef("person", "name")
+        for term in ["kubrick's", "a b", ""]:
+            assert memory.matching_row_positions(
+                term, ref
+            ) == sqlite.matching_row_positions(term, ref)
+
+
+class TestExecutionParity:
+    QUERIES = [
+        SelectQuery(tables=(TableRef.of("movie"),)),
+        SelectQuery(
+            tables=(TableRef.of("movie", "m"), TableRef.of("person", "p")),
+            joins=(JoinCondition("m", "director_id", "p", "id"),),
+            predicates=(Predicate("p", "name", Comparison.CONTAINS, "KUBRICK"),),
+            projection=(("m", "title"),),
+        ),
+        SelectQuery(
+            tables=(TableRef.of("movie"),),
+            predicates=(Predicate("movie", "title", Comparison.LIKE, "The %"),),
+        ),
+        SelectQuery(
+            tables=(TableRef.of("movie"),),
+            predicates=(Predicate("movie", "year", Comparison.GE, 1980),),
+            projection=(("movie", "year"),),
+            distinct=True,
+        ),
+        SelectQuery(tables=(TableRef.of("person"), TableRef.of("genre"))),
+        SelectQuery(
+            tables=(TableRef.of("movie", "m1"), TableRef.of("movie", "m2")),
+            joins=(JoinCondition("m1", "director_id", "m2", "director_id"),),
+            predicates=(Predicate("m1", "title", Comparison.EQ, "Alien"),),
+            projection=(("m2", "title"),),
+        ),
+    ]
+
+    def test_result_sets_match(self, mini_backends):
+        memory, sqlite = mini_backends["memory"], mini_backends["sqlite"]
+        for query in self.QUERIES:
+            left, right = memory.execute(query), sqlite.execute(query)
+            assert left.columns == right.columns
+            assert sorted(map(str, left.rows)) == sorted(map(str, right.rows))
+            assert memory.result_count(query) == sqlite.result_count(query)
+
+    def test_limit_counts_match(self, mini_backends):
+        memory, sqlite = mini_backends["memory"], mini_backends["sqlite"]
+        query = SelectQuery(tables=(TableRef.of("movie"),), limit=2)
+        assert memory.result_count(query) == sqlite.result_count(query) == 2
+
+    def test_type_mismatch_raises_on_both(self, mini_backends):
+        query = SelectQuery(
+            tables=(TableRef.of("movie"),),
+            predicates=(Predicate("movie", "year", Comparison.LT, "abc"),),
+        )
+        for backend in mini_backends.values():
+            with pytest.raises(ExecutionError):
+                backend.execute(query)
+
+
+class TestStatisticsParity:
+    def test_profiles_and_join_stats(self, mini_backends):
+        memory, sqlite = mini_backends["memory"], mini_backends["sqlite"]
+        for ref in memory.schema.column_refs():
+            assert memory.catalog.profile(ref) == sqlite.catalog.profile(ref)
+        for fk in memory.schema.foreign_keys:
+            assert memory.catalog.join_stats(fk) == sqlite.catalog.join_stats(fk)
+        for table in memory.schema.table_names:
+            assert memory.catalog.table_cardinality(
+                table
+            ) == sqlite.catalog.table_cardinality(table)
+
+
+class TestMutation:
+    def test_insert_keeps_search_consistent(self, mini_backends):
+        for backend in mini_backends.values():
+            assert backend.attribute_scores("akerman") == {}
+            backend.insert("person", {"id": 9, "name": "Chantal Akerman"})
+            scores = backend.attribute_scores("akerman")
+            assert scores and ColumnRef("person", "name") in scores
+        memory, sqlite = mini_backends["memory"], mini_backends["sqlite"]
+        assert memory.attribute_scores("akerman") == sqlite.attribute_scores(
+            "akerman"
+        )
+        assert memory.table_rows("person") == sqlite.table_rows("person")
+
+    def test_insert_many_counts(self, mini_backends):
+        rows = [
+            {"id": 21, "name": "Greta Gerwig"},
+            {"id": 22, "name": "Wes Anderson"},
+        ]
+        for backend in mini_backends.values():
+            assert backend.insert_many("person", rows) == 2
+            assert backend.row_count("person") == 5
+
+    def test_duplicate_primary_key_raises(self, mini_backends):
+        for backend in mini_backends.values():
+            with pytest.raises(IntegrityError):
+                backend.insert("person", {"id": 1, "name": "Duplicate"})
+
+    def test_not_null_enforced(self, mini_backends):
+        for backend in mini_backends.values():
+            with pytest.raises(IntegrityError):
+                backend.insert("person", {"id": 30, "name": None})
+
+    def test_failed_batch_keeps_prefix_on_both_backends(self, mini_backends):
+        # A mid-batch failure keeps the rows inserted before it — on
+        # every backend — so the stores never silently diverge.
+        rows = [
+            {"id": 60, "name": "Claire Denis"},
+            {"id": 1, "name": "Duplicate Key"},
+        ]
+        for backend in mini_backends.values():
+            with pytest.raises(IntegrityError):
+                backend.insert_many("person", rows)
+        memory, sqlite = mini_backends["memory"], mini_backends["sqlite"]
+        assert memory.table_rows("person") == sqlite.table_rows("person")
+        assert memory.row_count("person") == 4  # prefix row landed
+
+    def test_scores_exact_after_failed_insert(self, mini_backends):
+        # A rolled-back insert must not corrupt the TF normalisers.
+        for backend in mini_backends.values():
+            with pytest.raises(IntegrityError):
+                backend.insert("person", {"id": 1, "name": "Kubrick Clone"})
+        memory, sqlite = mini_backends["memory"], mini_backends["sqlite"]
+        ref = ColumnRef("person", "name")
+        assert sqlite.selectivity("kubrick", ref) == 1 / 3
+        assert memory.attribute_scores("kubrick") == sqlite.attribute_scores(
+            "kubrick"
+        )
+
+    def test_version_advances_on_insert(self, mini_backends):
+        for backend in mini_backends.values():
+            before = backend.version
+            backend.insert("person", {"id": 40, "name": "Jane Campion"})
+            assert backend.version > before
+
+    def test_live_engine_sees_inserts_without_manual_invalidation(self):
+        # The wrapper's emission LRU is keyed to the backend version, so
+        # emission evidence after a mutation must reflect the new rows
+        # even though the keyword's vector was already cached.
+        for name in BACKENDS:
+            backend = create_backend(name, build_mini_db())
+            engine = Quest(FullAccessWrapper(backend))
+            assert engine.evidence_coverage(["tarkovsky"]) == 0.0
+            backend.insert("person", {"id": 50, "name": "Andrei Tarkovsky"})
+            assert engine.evidence_coverage(["tarkovsky"]) == 1.0, name
+
+
+class TestSQLitePersistence:
+    def test_round_trip_through_file(self, tmp_path):
+        db = build_mini_db()
+        path = str(tmp_path / "mini.db")
+        original = SQLiteBackend.from_database(db, path=path)
+        expected_scores = original.attribute_scores("kubrick")
+        expected_rows = original.table_rows("movie")
+        original.close()
+
+        reopened = SQLiteBackend.open(db.schema, path)
+        assert reopened.table_rows("movie") == expected_rows
+        assert reopened.attribute_scores("kubrick") == expected_scores
+        reopened.close()
+
+    def test_refresh_rebuilds_index(self):
+        db = build_mini_db()
+        backend = SQLiteBackend.from_database(db)
+        before = backend.attribute_scores("kubrick")
+        backend.refresh()
+        assert backend.attribute_scores("kubrick") == before
+
+    def test_repr_reports_index_kind(self):
+        backend = SQLiteBackend.from_database(build_mini_db())
+        assert "SQLiteBackend" in repr(backend)
+        assert ("fts5" in repr(backend)) == backend.fts_enabled
+
+
+class TestWrapperBinding:
+    def test_wrapper_accepts_backend(self, mini_db):
+        for name in BACKENDS:
+            wrapper = FullAccessWrapper(create_backend(name, mini_db))
+            assert isinstance(wrapper.backend, StorageBackend)
+            assert wrapper.catalog.has_instance
+
+    def test_database_property_gated_by_backend(self, mini_db):
+        memory = FullAccessWrapper(create_backend("memory", mini_db))
+        assert memory.database is mini_db
+        sqlite = FullAccessWrapper(create_backend("sqlite", mini_db))
+        with pytest.raises(QuestError):
+            sqlite.database
+        with pytest.raises(QuestError):
+            sqlite.fulltext
+
+    def test_prebuilt_fulltext_requires_database_source(self, mini_db):
+        backend = create_backend("sqlite", mini_db)
+        from repro.db import FullTextIndex
+
+        with pytest.raises(QuestError):
+            FullAccessWrapper(backend, fulltext=FullTextIndex(mini_db))
+
+
+class TestSearchParity:
+    """The acceptance criterion: identical rankings through the full engine."""
+
+    @pytest.fixture(scope="class")
+    def mondial_setup(self):
+        db = mondial.generate(countries=10, seed=23)
+        texts = [
+            q.text for q in mondial.workload(db, queries_per_kind=2, seed=23)
+        ]
+        return db, texts
+
+    def test_search_many_rankings_identical(self, mondial_setup):
+        db, texts = mondial_setup
+        results = {}
+        for name in BACKENDS:
+            engine = Quest(FullAccessWrapper(create_backend(name, db)))
+            results[name] = engine.search_many(texts)
+        assert results["memory"] == results["sqlite"]
+        assert any(results["memory"])  # the workload actually answers
+
+    def test_evaluate_backends_agree_on_quality(self, mondial_setup):
+        db, texts = mondial_setup
+        workload = mondial.workload(db, queries_per_kind=2, seed=23)
+        per_backend = evaluate_backends(db, workload, k=5)
+        summaries = {
+            name: {
+                metric: value
+                for metric, value in result.summary().items()
+                if metric != "mean_seconds"  # timing is the one honest delta
+            }
+            for name, result in per_backend.items()
+        }
+        assert summaries["memory"] == summaries["sqlite"]
+
+    def test_workload_derivable_from_any_backend(self, mondial_setup):
+        db, _texts = mondial_setup
+        backend = create_backend("sqlite", db)
+        from_db = mondial.workload(db, queries_per_kind=2, seed=23)
+        from_backend = mondial.workload(backend, queries_per_kind=2, seed=23)
+        assert [q.text for q in from_db] == [q.text for q in from_backend]
+        assert [q.gold_query for q in from_db] == [
+            q.gold_query for q in from_backend
+        ]
+
+
+class TestDatasetLoaders:
+    def test_generate_backend_parameter(self):
+        backend = mondial.generate(countries=5, seed=23, backend="sqlite")
+        assert isinstance(backend, SQLiteBackend)
+        database = mondial.generate(countries=5, seed=23)
+        memory = mondial.generate(countries=5, seed=23, backend="memory")
+        assert isinstance(memory, MemoryBackend)
+        for table in database.schema.table_names:
+            assert backend.table_rows(table) == database.table_rows(table)
+
+    def test_generate_backend_options_forwarded(self, tmp_path):
+        path = str(tmp_path / "mondial.db")
+        backend = mondial.generate(countries=5, seed=23, backend="sqlite", path=path)
+        assert backend.path == path
+        assert backend.row_count("country") == 5

@@ -13,26 +13,28 @@ from repro.datasets import dblp, imdb, mondial
 from repro.eval import evaluate, quest_engine
 from repro.feedback import FeedbackTrainer
 
+from tests.conftest import backend_for
+
 
 class TestEndToEndQuality:
     """The paper's headline claim on each demo scenario."""
 
     def test_imdb_quality(self, imdb_db):
         workload = imdb.workload(imdb_db, queries_per_kind=2)
-        engine = Quest(FullAccessWrapper(imdb_db))
+        engine = Quest(FullAccessWrapper(backend_for(imdb_db)))
         result = evaluate(quest_engine(engine), workload, k=10)
         assert result.success_at(10) >= 0.8
         assert result.mrr >= 0.6
 
     def test_dblp_quality(self, dblp_db):
         workload = dblp.workload(dblp_db, queries_per_kind=2)
-        engine = Quest(FullAccessWrapper(dblp_db))
+        engine = Quest(FullAccessWrapper(backend_for(dblp_db)))
         result = evaluate(quest_engine(engine), workload, k=10)
         assert result.success_at(10) >= 0.7
 
     def test_mondial_quality(self, mondial_db):
         workload = mondial.workload(mondial_db, queries_per_kind=2)
-        engine = Quest(FullAccessWrapper(mondial_db))
+        engine = Quest(FullAccessWrapper(backend_for(mondial_db)))
         result = evaluate(quest_engine(engine), workload, k=10)
         assert result.success_at(10) >= 0.7
 
@@ -53,7 +55,7 @@ class TestHiddenSourceParity:
 
     def test_hidden_never_beats_full_access(self, mondial_db):
         workload = mondial.workload(mondial_db, queries_per_kind=2)
-        full = Quest(FullAccessWrapper(mondial_db))
+        full = Quest(FullAccessWrapper(backend_for(mondial_db)))
         hidden = Quest(
             HiddenSourceWrapper(mondial_db.schema, remote_db=mondial_db),
             QuestSettings(mutual_information_weights=False),
@@ -66,7 +68,7 @@ class TestHiddenSourceParity:
 class TestFeedbackLoop:
     def test_feedback_training_improves_feedback_mode(self, dblp_db):
         workload = dblp.workload(dblp_db, queries_per_kind=4)
-        wrapper = FullAccessWrapper(dblp_db)
+        wrapper = FullAccessWrapper(backend_for(dblp_db))
         engine = Quest(
             wrapper, QuestSettings(use_apriori=True, use_feedback=True)
         )
@@ -91,8 +93,8 @@ class TestFeedbackLoop:
 
 class TestCrossDatasetIsolation:
     def test_engines_do_not_share_state(self, imdb_db, dblp_db):
-        imdb_engine = Quest(FullAccessWrapper(imdb_db))
-        dblp_engine = Quest(FullAccessWrapper(dblp_db))
+        imdb_engine = Quest(FullAccessWrapper(backend_for(imdb_db)))
+        dblp_engine = Quest(FullAccessWrapper(backend_for(dblp_db)))
         assert imdb_engine.search("kubrick movies", k=3)
         assert dblp_engine.search("keyword search papers", k=3)
         assert len(imdb_engine.states) != len(dblp_engine.states)
@@ -100,8 +102,8 @@ class TestCrossDatasetIsolation:
 
 class TestDeterminism:
     def test_search_is_deterministic(self, imdb_db):
-        left = Quest(FullAccessWrapper(imdb_db)).search("kubrick movies", 5)
-        right = Quest(FullAccessWrapper(imdb_db)).search("kubrick movies", 5)
+        left = Quest(FullAccessWrapper(backend_for(imdb_db))).search("kubrick movies", 5)
+        right = Quest(FullAccessWrapper(backend_for(imdb_db))).search("kubrick movies", 5)
         assert [e.sql for e in left] == [e.sql for e in right]
         assert [e.probability for e in left] == pytest.approx(
             [e.probability for e in right]

@@ -1,6 +1,5 @@
 """Tests for ASCII rendering and DOT export."""
 
-from repro.db import execute
 from repro.viz import (
     graph_to_dot,
     render_explanation,
@@ -42,9 +41,7 @@ class TestRender:
 
     def test_render_results_tabulates(self, mini_engine):
         explanations = top_explanation(mini_engine, "kubrick movies")
-        results = execute(
-            mini_engine.wrapper.database, explanations[0].query
-        )
+        results = mini_engine.wrapper.execute(explanations[0].query)
         text = render_results(results, limit=1)
         assert "|" in text
         assert "more rows" in text or len(results) <= 1
