@@ -1,0 +1,21 @@
+"""Integer-bitmask helpers shared by the numeric kernels.
+
+A leaf module (no intra-package dependencies): both the Dempster-Shafer
+focal-element encoding (:mod:`repro.dst.mass`) and the bitmask Steiner
+enumeration (:mod:`repro.steiner.topk`) iterate set bits of Python
+integers of arbitrary width.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["iter_bits"]
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of a non-negative *mask*, lowest first."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low

@@ -15,7 +15,7 @@ from repro.hmm.states import State, StateKind
 __all__ = ["KeywordMapping", "Configuration"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class KeywordMapping:
     """One keyword mapped to one database term."""
 
@@ -26,9 +26,13 @@ class KeywordMapping:
         return f"{self.keyword!r} -> {self.state}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Configuration:
     """A complete mapping of a keyword query into database terms.
+
+    Slotted (as are :class:`KeywordMapping`, the interpretations and the
+    explanations): the forward pool allocates ``k * candidate_factor`` of
+    these per query, so per-instance ``__dict__``s are measurable.
 
     ``score`` is the confidence the producing component attached (List
     Viterbi probability, or a DS pignistic probability after combination).

@@ -115,7 +115,9 @@ class Quest:
         alternatives — the quantity the paper normalises into DS masses.
         """
         emissions = model.emission_matrix(keywords, self.wrapper)
-        paths = list_viterbi(model, emissions, k)
+        paths = list_viterbi(
+            model, emissions, k, vectorized=self.settings.vectorized_viterbi
+        )
         if not paths:
             return []
         log_probs = np.array([p.log_probability for p in paths])

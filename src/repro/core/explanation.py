@@ -17,7 +17,7 @@ from repro.db.query import SelectQuery
 __all__ = ["Explanation"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Explanation:
     """A ranked SQL answer with its provenance."""
 

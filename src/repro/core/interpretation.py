@@ -30,7 +30,7 @@ def tree_score(weight: float) -> float:
     return 1.0 / (1.0 + max(0.0, weight))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Interpretation:
     """One join path materialising one configuration.
 

@@ -29,7 +29,7 @@ from repro.core.engine import Quest
 from repro.core.explanation import Explanation
 from repro.dst.belief import rank_hypotheses
 from repro.dst.combine import dempster_combine
-from repro.dst.mass import MassFunction
+from repro.dst.mass import FrameInterning, MassFunction
 from repro.errors import QuestError
 from repro.semantics.tokenize import tokenize_query
 
@@ -174,6 +174,15 @@ class MultiSourceQuest:
             for name, explanations in per_source.items()
             for explanation in explanations
         )
+        # One shared interning for the whole combination chain (no
+        # per-combine re-encoding). The bitmask loop runs only when every
+        # participating engine opted in: a single reference-kernels engine
+        # flips the whole chain to the reference loop, so flag-based
+        # bisection covers multi-source combinations too.
+        interning = FrameInterning(frame)
+        bitmask = all(
+            engine.settings.bitmask_dst for engine in self.engines.values()
+        )
         bodies: list[MassFunction] = []
         by_hypothesis: dict[tuple, tuple[str, Explanation]] = {}
         for name in self.engines:
@@ -192,12 +201,14 @@ class MultiSourceQuest:
                 (1.0 - self.ignorance[name]) * coverage.get(name, 1.0)
             )
             bodies.append(
-                MassFunction.from_scores(scores, effective_ignorance, frame)
+                MassFunction.from_scores(
+                    scores, effective_ignorance, frame, interning=interning
+                )
             )
 
         combined = bodies[0]
         for body in bodies[1:]:
-            combined = dempster_combine(combined, body)
+            combined = dempster_combine(combined, body, bitmask=bitmask)
 
         ranked: list[tuple[str, Explanation]] = []
         for hypothesis, probability in rank_hypotheses(combined, k):

@@ -54,6 +54,16 @@ class QuestSettings:
             query returns fewer rows than this. The default of 1 enforces
             the paper's requirement to "consider only join-paths actually
             existing in the database instance"; 0 keeps empty answers.
+        vectorized_viterbi: decode configurations with the numpy tensor
+            List Viterbi kernel; ``False`` selects the per-cell pure-Python
+            reference. Results are identical — the flag exists for parity
+            checks (``tests/perf``) and the regression harness's
+            reference-kernel baseline.
+        bitmask_dst: run Dempster combinations over integer focal bitmasks
+            instead of frozensets. Same identical-results contract.
+        fast_steiner: enumerate Steiner trees on the integer-interned
+            graph snapshot (bitmask edge/node/terminal sets). Same
+            identical-results contract.
     """
 
     k: int = 10
@@ -68,6 +78,27 @@ class QuestSettings:
     prune_supertrees: bool = True
     execute_explanations: bool = True
     min_explanation_results: int = 1
+    vectorized_viterbi: bool = True
+    bitmask_dst: bool = True
+    fast_steiner: bool = True
+
+    @classmethod
+    def reference_kernels(cls, **changes: object) -> "QuestSettings":
+        """Settings running every kernel on its pure-Python reference path.
+
+        The parity tests and :mod:`benchmarks.regression` build engines
+        from this to prove the optimised kernels change latency, never
+        answers. *changes* override any field — including the kernel flags
+        themselves, so one kernel at a time can be re-enabled when
+        bisecting a discrepancy (e.g. ``reference_kernels(bitmask_dst=True)``).
+        """
+        flags: dict[str, object] = {
+            "vectorized_viterbi": False,
+            "bitmask_dst": False,
+            "fast_steiner": False,
+        }
+        flags.update(changes)
+        return cls(**flags)  # type: ignore[arg-type]
 
     def __post_init__(self) -> None:
         if self.k <= 0:

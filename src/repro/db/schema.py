@@ -21,10 +21,24 @@ __all__ = ["Column", "ForeignKey", "TableSchema", "Schema", "ColumnRef"]
 
 @dataclass(frozen=True)
 class ColumnRef:
-    """A fully qualified reference to a column, ``table.column``."""
+    """A fully qualified reference to a column, ``table.column``.
+
+    ``ColumnRef``s key every hot dictionary in the engine — schema-graph
+    adjacency, shortest-path maps, full-text postings — so the hash of the
+    two-string tuple is computed once at construction and cached rather
+    than recomputed per lookup. The cached value equals what the generated
+    dataclass ``__hash__`` would return.
+    """
 
     table: str
     column: str
+    _hash: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.table, self.column)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         return f"{self.table}.{self.column}"

@@ -7,9 +7,10 @@ under per-source uncertainty parameters.
 
 from repro.dst.belief import belief, pignistic, plausibility, rank_hypotheses
 from repro.dst.combine import combine_scores, conflict, dempster_combine
-from repro.dst.mass import MassFunction
+from repro.dst.mass import FrameInterning, MassFunction
 
 __all__ = [
+    "FrameInterning",
     "MassFunction",
     "belief",
     "combine_scores",

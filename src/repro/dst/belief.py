@@ -5,6 +5,12 @@ report top-k results. The pignistic transform (Smets) distributes each focal
 element's mass uniformly over its members, yielding a probability
 distribution suitable for ranking; belief and plausibility bound it from
 below and above.
+
+All three consume the mass function's focal *bitmasks* directly (see
+:class:`~repro.dst.mass.FrameInterning`): subset and intersection tests are
+integer operations, a focal's cardinality is a popcount, and hypotheses are
+enumerated in interned-bit order — deterministic regardless of how the
+focal sets were built.
 """
 
 from __future__ import annotations
@@ -18,9 +24,11 @@ __all__ = ["belief", "plausibility", "pignistic", "rank_hypotheses"]
 
 def belief(mass_function: MassFunction, hypothesis_set: Iterable[Hashable]) -> float:
     """Total mass of focal elements *contained in* the hypothesis set."""
-    target = frozenset(hypothesis_set)
+    target = mass_function.interning.partial_mask(hypothesis_set)
     return sum(
-        mass for focal, mass in mass_function.items() if focal <= target
+        mass
+        for focal, mass in mass_function.mask_items()
+        if not focal & ~target
     )
 
 
@@ -28,18 +36,19 @@ def plausibility(
     mass_function: MassFunction, hypothesis_set: Iterable[Hashable]
 ) -> float:
     """Total mass of focal elements *intersecting* the hypothesis set."""
-    target = frozenset(hypothesis_set)
+    target = mass_function.interning.partial_mask(hypothesis_set)
     return sum(
-        mass for focal, mass in mass_function.items() if focal & target
+        mass for focal, mass in mass_function.mask_items() if focal & target
     )
 
 
 def pignistic(mass_function: MassFunction) -> dict[Hashable, float]:
     """Smets' pignistic probability: mass spread uniformly inside focals."""
     probabilities: dict[Hashable, float] = {}
-    for focal, mass in mass_function.items():
-        share = mass / len(focal)
-        for hypothesis in focal:
+    iter_hypotheses = mass_function.interning.iter_hypotheses
+    for focal, mass in mass_function.mask_items():
+        share = mass / focal.bit_count()
+        for hypothesis in iter_hypotheses(focal):
             probabilities[hypothesis] = probabilities.get(hypothesis, 0.0) + share
     return probabilities
 

@@ -6,6 +6,20 @@ masses multiply on intersecting focal elements and the conflicting mass
 ``CombinerDST`` wraps this rule with QUEST-specific plumbing: per-source
 score normalisation and per-source ignorance (``setUncertainty``), exactly
 as in Algorithm 1.
+
+Two implementations of the combination loop share one contract:
+
+* the bitmask path (the default) aligns both operands onto one
+  :class:`~repro.dst.mass.FrameInterning` and walks parallel
+  ``(bitmask, mass)`` arrays, so every focal intersection is a single
+  integer ``&`` — no frozenset allocation per pair. Zero-probability
+  products are skipped before any intersection work.
+* the reference path (``bitmask=False``, kept as the executable
+  specification and parity oracle) iterates the public frozenset views.
+
+Both accumulate products in the same nested order, so the resulting masses
+are bit-identical float for float; ``QuestSettings.bitmask_dst`` selects
+the path engine-wide.
 """
 
 from __future__ import annotations
@@ -13,43 +27,129 @@ from __future__ import annotations
 from typing import Hashable, Mapping
 
 from repro.dst.belief import rank_hypotheses
-from repro.dst.mass import MassFunction
+from repro.dst.mass import FrameInterning, MassFunction
 from repro.errors import CombinationError
 
 __all__ = ["dempster_combine", "combine_scores", "conflict"]
 
 
-def conflict(left: MassFunction, right: MassFunction) -> float:
-    """The conflict coefficient K: mass landing on the empty set."""
+def _aligned_right_items(
+    left: MassFunction, right: MassFunction
+) -> list[tuple[int, float]]:
+    """Right-hand mask items re-encoded against the left interning.
+
+    When both operands already share one interning (the common case — see
+    :func:`combine_scores` and the pipeline stages) this is free; otherwise
+    the right side's focal bitmasks are translated once, extending the left
+    interning append-only (existing masks stay valid).
+    """
+    interning = left.interning
+    if right.interning is interning:
+        return list(right.mask_items())
+    remap = interning.mask_of
+    members = right.interning.members
+    return [(remap(members(mask)), mass) for mask, mass in right.mask_items()]
+
+
+def _aligned_frame_mask(left: MassFunction, right: MassFunction) -> int:
+    """The right operand's frame mask, encoded against the left interning."""
+    if right.interning is left.interning:
+        return right.frame_mask
+    return left.interning.mask_of(right.interning.members(right.frame_mask))
+
+
+def conflict(
+    left: MassFunction, right: MassFunction, bitmask: bool = True
+) -> float:
+    """The conflict coefficient K: mass landing on the empty set.
+
+    A pure query: unlike :func:`dempster_combine` it never grows either
+    operand's interning — right-hand focals are projected onto the left
+    interning's *known* hypotheses, which is sufficient because a
+    hypothesis the left side never interned cannot intersect any left
+    focal.
+    """
+    if not bitmask:
+        total = 0.0
+        for left_focal, left_mass in left.items():
+            for right_focal, right_mass in right.items():
+                product = left_mass * right_mass
+                if product == 0.0:
+                    continue
+                if not left_focal & right_focal:
+                    total += product
+        return total
+    if right.interning is left.interning:
+        right_items = list(right.mask_items())
+    else:
+        project = left.interning.partial_mask
+        members = right.interning.members
+        right_items = [
+            (project(members(mask)), mass) for mask, mass in right.mask_items()
+        ]
     total = 0.0
-    for left_focal, left_mass in left.items():
-        for right_focal, right_mass in right.items():
-            if not left_focal & right_focal:
-                total += left_mass * right_mass
+    for left_mask, left_mass in left.mask_items():
+        for right_mask, right_mass in right_items:
+            product = left_mass * right_mass
+            if product == 0.0:
+                continue
+            if not left_mask & right_mask:
+                total += product
     return total
 
 
-def dempster_combine(left: MassFunction, right: MassFunction) -> MassFunction:
+def dempster_combine(
+    left: MassFunction, right: MassFunction, bitmask: bool = True
+) -> MassFunction:
     """Dempster's rule of combination.
 
     Raises :class:`CombinationError` on total conflict (K = 1), where the
     rule is undefined. Frames are unioned: QUEST builds both sources over
     the union of their candidate sets, so focal elements intersect exactly
     on shared candidates.
+
+    The result shares the *left* operand's interning; when the operands'
+    internings differ, the left interning is extended (append-only —
+    existing masks stay valid) with the right side's hypotheses.
+
+    Args:
+        left: first body of evidence.
+        right: second body of evidence.
+        bitmask: run the integer-bitmask loop (the default); ``False``
+            selects the frozenset reference loop. Results are identical.
     """
-    combined = MassFunction(frame=left.frame | right.frame)
+    # Both branches build the result against the *left* interning: for the
+    # reference loop only the frame mask needs translating — the masses
+    # themselves are re-interned focal by focal as they are assigned, and
+    # per-hypothesis sums do not depend on bit numbering.
+    combined = MassFunction(interning=left.interning)
+    combined._frame_mask = left.frame_mask | _aligned_frame_mask(left, right)
     conflicting = 0.0
-    for left_focal, left_mass in left.items():
-        for right_focal, right_mass in right.items():
-            intersection = left_focal & right_focal
-            product = left_mass * right_mass
-            if product == 0.0:
-                continue
-            if intersection:
-                combined.assign(intersection, product)
-            else:
-                conflicting += product
-    if not combined.focal_elements:
+    if bitmask:
+        right_items = _aligned_right_items(left, right)
+        masses = combined._masses
+        for left_mask, left_mass in left.mask_items():
+            for right_mask, right_mass in right_items:
+                product = left_mass * right_mass
+                if product == 0.0:
+                    continue
+                intersection = left_mask & right_mask
+                if intersection:
+                    masses[intersection] = masses.get(intersection, 0.0) + product
+                else:
+                    conflicting += product
+    else:
+        for left_focal, left_mass in left.items():
+            for right_focal, right_mass in right.items():
+                product = left_mass * right_mass
+                if product == 0.0:
+                    continue
+                intersection = left_focal & right_focal
+                if intersection:
+                    combined.assign(intersection, product)
+                else:
+                    conflicting += product
+    if not combined._masses:
         raise CombinationError(
             f"total conflict (K={conflicting:.6f}): sources share no hypothesis"
         )
@@ -64,13 +164,16 @@ def combine_scores(
     left_ignorance: float,
     right_ignorance: float,
     k: int | None = None,
+    bitmask: bool = True,
 ) -> list[tuple[Hashable, float]]:
     """The paper's ``CombinerDST`` in one call.
 
     Both score sets become bodies of evidence over the *union* frame (so a
     hypothesis known to only one source survives through the other's
     ignorance mass), are weighted by their ignorance parameters, combined
-    with Dempster's rule, and ranked by pignistic probability.
+    with Dempster's rule, and ranked by pignistic probability. One
+    hypothesis interning is shared by both bodies and the result, so no
+    frame is re-encoded mid-combination.
 
     Args:
         left_scores: hypothesis -> positive score, first source.
@@ -80,6 +183,8 @@ def combine_scores(
             source influences the outcome *less*.
         right_ignorance: same for the second source.
         k: optional cut-off for the returned ranking.
+        bitmask: combination-loop implementation (see
+            :func:`dempster_combine`).
 
     Returns:
         ``(hypothesis, probability)`` pairs, best first.
@@ -87,7 +192,12 @@ def combine_scores(
     if not left_scores and not right_scores:
         raise CombinationError("both sources are empty")
     frame = frozenset(left_scores) | frozenset(right_scores)
-    left_mass = MassFunction.from_scores(left_scores, left_ignorance, frame)
-    right_mass = MassFunction.from_scores(right_scores, right_ignorance, frame)
-    combined = dempster_combine(left_mass, right_mass)
+    interning = FrameInterning(frame)
+    left_mass = MassFunction.from_scores(
+        left_scores, left_ignorance, frame, interning=interning
+    )
+    right_mass = MassFunction.from_scores(
+        right_scores, right_ignorance, frame, interning=interning
+    )
+    combined = dempster_combine(left_mass, right_mass, bitmask=bitmask)
     return rank_hypotheses(combined, k)

@@ -14,7 +14,12 @@ from repro.hmm.forward_backward import (
 )
 from repro.hmm.model import EMISSION_FLOOR, EmissionProvider, HiddenMarkovModel
 from repro.hmm.states import State, StateKind, StateSpace
-from repro.hmm.viterbi import DecodedPath, list_viterbi, viterbi
+from repro.hmm.viterbi import (
+    DecodedPath,
+    list_viterbi,
+    list_viterbi_reference,
+    viterbi,
+)
 
 __all__ = [
     "AprioriWeights",
@@ -31,6 +36,7 @@ __all__ = [
     "build_apriori_model",
     "forward_backward",
     "list_viterbi",
+    "list_viterbi_reference",
     "log_likelihood",
     "supervised_update",
     "viterbi",

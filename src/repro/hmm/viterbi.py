@@ -6,6 +6,27 @@ sequences for an observation sequence. QUEST uses it to enumerate the top-k
 configurations with their confidence values. We implement the *parallel*
 LVA: dynamic programming where every (time, state) cell keeps its k best
 partial paths.
+
+Two implementations share one contract and return identical results:
+
+``list_viterbi_reference``
+    The per-cell heap formulation: every ``(time, state)`` cell holds up to
+    ``k`` ``(log-probability, path-tuple)`` entries, extended predecessor by
+    predecessor in pure Python. Retained as the executable specification
+    and exercised by the ``tests/perf`` parity suite.
+
+``list_viterbi`` (vectorised, the default)
+    The same dynamic program over numpy ``(n, k)`` score tensors and
+    ``(T, n, k)`` backpointer tensors: each step broadcasts every
+    predecessor cell against the transition matrix at once and selects each
+    cell's k-best by a stable argsort, so the per-candidate Python loop (and
+    its path-tuple allocations) disappears. Scores are bit-identical — the
+    float additions happen in the same association order — and ties on
+    equal log-probabilities are resolved exactly like the reference
+    (selection keeps generation order, output sorts tied paths
+    lexicographically), reconstructing paths from backpointers only for the
+    tied entries. Disable per call with ``vectorized=False`` or engine-wide
+    with ``QuestSettings.vectorized_viterbi``.
 """
 
 from __future__ import annotations
@@ -18,12 +39,12 @@ import numpy as np
 from repro.errors import ModelError
 from repro.hmm.model import HiddenMarkovModel
 
-__all__ = ["DecodedPath", "viterbi", "list_viterbi"]
+__all__ = ["DecodedPath", "viterbi", "list_viterbi", "list_viterbi_reference"]
 
 _NEG_INF = float("-inf")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DecodedPath:
     """One decoded state sequence with its joint log-probability."""
 
@@ -47,8 +68,22 @@ def viterbi(model: HiddenMarkovModel, emissions: np.ndarray) -> DecodedPath:
     return paths[0]
 
 
-def list_viterbi(
+def _check_inputs(
     model: HiddenMarkovModel, emissions: np.ndarray, k: int
+) -> tuple[int, int]:
+    if k <= 0:
+        raise ModelError(f"k must be positive, got {k}")
+    T, n = emissions.shape
+    if n != len(model.states):
+        raise ModelError("emission width does not match the state space")
+    return T, n
+
+
+def list_viterbi(
+    model: HiddenMarkovModel,
+    emissions: np.ndarray,
+    k: int,
+    vectorized: bool = True,
 ) -> list[DecodedPath]:
     """Top-*k* most likely state sequences (parallel List Viterbi).
 
@@ -58,16 +93,113 @@ def list_viterbi(
             :meth:`HiddenMarkovModel.emission_matrix`).
         k: number of sequences to return (fewer if the model admits fewer
             paths with non-zero probability).
+        vectorized: run the numpy tensor kernel (the default); ``False``
+            falls back to :func:`list_viterbi_reference`.
 
     Returns:
         Decoded paths sorted by descending log-probability. Ties break on
         the state tuple for determinism.
     """
-    if k <= 0:
-        raise ModelError(f"k must be positive, got {k}")
-    T, n = emissions.shape
-    if n != len(model.states):
-        raise ModelError("emission width does not match the state space")
+    if not vectorized:
+        return list_viterbi_reference(model, emissions, k)
+    T, n = _check_inputs(model, emissions, k)
+
+    log_initial = _log(model.initial)
+    log_transition = _log(model.transition)
+    log_emissions = _log(emissions)
+
+    # scores[s, j]: log-probability of cell s's j-th ranked partial path
+    # (-inf marks an empty slot). Slot 0 of the first step is the only
+    # occupied rank: one path per state.
+    scores = np.full((n, k), _NEG_INF)
+    scores[:, 0] = log_initial + log_emissions[0]
+    # Backpointers for t >= 1: entry (t, s, j) extends the partial path at
+    # cell (t-1, bp_state[t, s, j]) rank bp_rank[t, s, j] by state s.
+    bp_state = np.zeros((T, n, k), dtype=np.int32)
+    bp_rank = np.zeros((T, n, k), dtype=np.int32)
+
+    def path_of(t: int, s: int, j: int) -> tuple[int, ...]:
+        """Reconstruct the state tuple of entry (t, s, j) from backpointers."""
+        reverse = []
+        while t > 0:
+            reverse.append(s)
+            s, j = int(bp_state[t, s, j]), int(bp_rank[t, s, j])
+            t -= 1
+        reverse.append(s)
+        return tuple(reversed(reverse))
+
+    for t in range(1, T):
+        # candidates[s, r * k + i] = scores[r, i] + transition[r, s] + emit.
+        # The association order matches the reference's `logp + step + emit`
+        # so every float is bit-identical.
+        candidates = (
+            scores[:, None, :] + log_transition[:, :, None]
+        ) + log_emissions[t][None, :, None]
+        candidates = candidates.transpose(1, 0, 2).reshape(n, n * k)
+        # Stable descending sort = heapq.nlargest over candidates in
+        # generation order (r ascending, rank ascending): equal scores keep
+        # their generation order, exactly like the reference's selection.
+        order = np.argsort(-candidates, axis=1, kind="stable")[:, :k]
+        scores = np.take_along_axis(candidates, order, axis=1)
+        bp_state[t] = order // k
+        bp_rank[t] = order % k
+        # The reference sorts each cell by (-logp, path): among equal
+        # scores, paths ascend lexicographically. The stable selection
+        # already orders same-predecessor ties correctly (predecessor cells
+        # are path-sorted inductively), so only cells with ties need the
+        # explicit path comparison.
+        tied = np.nonzero(
+            (scores[:, :-1] == scores[:, 1:]) & (scores[:, :-1] > _NEG_INF)
+        )[0]
+        for s in np.unique(tied):
+            row = scores[s]
+            j = 0
+            while j < k - 1:
+                end = j + 1
+                while end < k and row[end] == row[j] and row[j] > _NEG_INF:
+                    end += 1
+                if end - j > 1:
+                    group = sorted(
+                        range(j, end),
+                        key=lambda idx: path_of(
+                            t - 1, int(bp_state[t, s, idx]), int(bp_rank[t, s, idx])
+                        ),
+                    )
+                    bp_state[t, s, j:end] = bp_state[t, s, group]
+                    bp_rank[t, s, j:end] = bp_rank[t, s, group]
+                j = end
+
+    # Final ranking over every occupied cell entry: the reference sorts all
+    # of them by (-logp, path). Select the k best by score (plus everything
+    # tied with the k-th) and let the path tuples order the ties.
+    flat = scores.reshape(-1)
+    finite = np.nonzero(flat > _NEG_INF)[0]
+    if finite.size == 0:
+        return []
+    ranked = finite[np.argsort(-flat[finite], kind="stable")]
+    if ranked.size > k:
+        cutoff = flat[ranked[k - 1]]
+        keep = int(np.searchsorted(-flat[ranked], -cutoff, side="right"))
+        ranked = ranked[:keep]
+    finals = [
+        (float(flat[idx]), path_of(T - 1, int(idx) // k, int(idx) % k))
+        for idx in ranked
+    ]
+    finals.sort(key=lambda c: (-c[0], c[1]))
+    return [
+        DecodedPath(states=path, log_probability=logp) for logp, path in finals[:k]
+    ]
+
+
+def list_viterbi_reference(
+    model: HiddenMarkovModel, emissions: np.ndarray, k: int
+) -> list[DecodedPath]:
+    """The pure-Python parallel LVA (executable specification).
+
+    Kept verbatim as the parity oracle for the vectorised kernel; see the
+    module docstring. Semantics are identical to :func:`list_viterbi`.
+    """
+    T, n = _check_inputs(model, emissions, k)
 
     log_initial = _log(model.initial)
     log_transition = _log(model.transition)

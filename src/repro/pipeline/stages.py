@@ -30,7 +30,7 @@ from repro.core.interpretation import Interpretation, tree_score
 from repro.core.query_builder import build_query
 from repro.dst.belief import rank_hypotheses
 from repro.dst.combine import dempster_combine
-from repro.dst.mass import MassFunction
+from repro.dst.mass import FrameInterning, MassFunction
 from repro.errors import AccessDeniedError, CombinationError, QuestError, SteinerError
 from repro.pipeline.context import SearchContext
 from repro.steiner.topk import top_k_steiner_trees
@@ -102,13 +102,25 @@ class ForwardStage(PipelineStage):
         frame = frozenset(c.with_score(0.0) for c in apriori + feedback)
         apriori_scores = {c.with_score(0.0): c.score for c in apriori}
         feedback_scores = {c.with_score(0.0): c.score for c in feedback}
+        # One shared interning: both bodies and their combination encode
+        # focal bitmasks against the same hypothesis->bit mapping, so the
+        # combine never re-interns a frame mid-flight.
+        interning = FrameInterning(frame)
         apriori_mass = MassFunction.from_scores(
-            apriori_scores, engine.settings.uncertainty_apriori, frame
+            apriori_scores,
+            engine.settings.uncertainty_apriori,
+            frame,
+            interning=interning,
         )
         feedback_mass = MassFunction.from_scores(
-            feedback_scores, engine.settings.uncertainty_feedback, frame
+            feedback_scores,
+            engine.settings.uncertainty_feedback,
+            frame,
+            interning=interning,
         )
-        combined = dempster_combine(apriori_mass, feedback_mass)
+        combined = dempster_combine(
+            apriori_mass, feedback_mass, bitmask=engine.settings.bitmask_dst
+        )
         ranked = rank_hypotheses(combined, k)
         return [
             configuration.with_score(probability)
@@ -140,6 +152,7 @@ class BackwardStage(PipelineStage):
                     sorted(terminals, key=str),
                     k,
                     prune_supertrees=engine.settings.prune_supertrees,
+                    interned=engine.settings.fast_steiner,
                 )
             except SteinerError:
                 continue
@@ -178,8 +191,11 @@ class CombineStage(PipelineStage):
         if k is None:
             k = max(context.pool, len(interpretations))
         frame = frozenset(interpretations)
+        # Shared hypothesis interning for both evidence bodies (see
+        # ForwardStage._combine_modes).
+        interning = FrameInterning(frame)
 
-        forward_mass = MassFunction(frame=frame)
+        forward_mass = MassFunction(frame=frame, interning=interning)
         by_configuration: dict[Configuration, set[Interpretation]] = {}
         for interpretation in interpretations:
             by_configuration.setdefault(
@@ -201,15 +217,20 @@ class CombineStage(PipelineStage):
             if engine.settings.uncertainty_forward > 0.0:
                 forward_mass.assign(frame, engine.settings.uncertainty_forward)
         else:
-            forward_mass = MassFunction.vacuous(frame)
+            forward_mass = MassFunction.vacuous(frame, interning=interning)
 
         backward_scores = {i: i.score for i in interpretations}
         backward_mass = MassFunction.from_scores(
-            backward_scores, engine.settings.uncertainty_backward, frame
+            backward_scores,
+            engine.settings.uncertainty_backward,
+            frame,
+            interning=interning,
         )
 
         try:
-            combined = dempster_combine(forward_mass, backward_mass)
+            combined = dempster_combine(
+                forward_mass, backward_mass, bitmask=engine.settings.bitmask_dst
+            )
         except CombinationError:
             # Total conflict cannot happen over a shared frame, but guard:
             # fall back to the backward ranking.

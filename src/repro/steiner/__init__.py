@@ -6,8 +6,12 @@ enumeration with sub-tree pruning in the style of Ding et al.
 """
 
 from repro.steiner.approx import approximate_steiner_tree
-from repro.steiner.exact import exact_steiner_tree, shortest_paths
-from repro.steiner.graph import EdgeKind, SchemaEdge, SchemaGraph
+from repro.steiner.exact import (
+    exact_steiner_tree,
+    exact_steiner_tree_reference,
+    shortest_paths,
+)
+from repro.steiner.graph import CompactGraph, EdgeKind, SchemaEdge, SchemaGraph
 from repro.steiner.topk import top_k_steiner_trees
 from repro.steiner.tree import SteinerTree
 from repro.steiner.weights import (
@@ -18,6 +22,7 @@ from repro.steiner.weights import (
 )
 
 __all__ = [
+    "CompactGraph",
     "EdgeKind",
     "INTRA_TABLE_WEIGHT",
     "MIN_EDGE_WEIGHT",
@@ -28,6 +33,7 @@ __all__ = [
     "approximate_steiner_tree",
     "build_schema_graph",
     "exact_steiner_tree",
+    "exact_steiner_tree_reference",
     "shortest_paths",
     "top_k_steiner_trees",
 ]

@@ -13,7 +13,7 @@ from typing import Sequence
 
 from repro.db.schema import ColumnRef
 from repro.errors import SteinerError
-from repro.steiner.exact import _path_edges, shortest_paths
+from repro.steiner.exact import _path_edges, _tree_weight, shortest_paths
 from repro.steiner.graph import SchemaEdge, SchemaGraph
 from repro.steiner.tree import SteinerTree
 
@@ -64,9 +64,16 @@ def _prune_leaves(edges: set[SchemaEdge], terminals: frozenset) -> set[SchemaEdg
 
 
 def approximate_steiner_tree(
-    graph: SchemaGraph, terminals: Sequence[ColumnRef]
+    graph: SchemaGraph, terminals: Sequence[ColumnRef], cached: bool = True
 ) -> SteinerTree:
-    """KMB 2-approximate Steiner tree over *terminals*."""
+    """KMB 2-approximate Steiner tree over *terminals*.
+
+    Per-terminal shortest paths come from the graph's all-pairs cache
+    (:meth:`~repro.steiner.graph.SchemaGraph.shortest_paths_from`), so
+    repeated terminal sets — and terminals shared with the Dreyfus-Wagner
+    DP — pay for each Dijkstra once per graph mutation. ``cached=False``
+    recomputes them locally (identical maps, benchmark comparator).
+    """
     terminal_list = sorted(set(terminals), key=str)
     if not terminal_list:
         raise SteinerError("no terminals")
@@ -79,7 +86,8 @@ def approximate_steiner_tree(
 
     # Step 1: shortest paths from every terminal.
     sp: dict[ColumnRef, tuple[dict, dict]] = {
-        t: shortest_paths(graph, t) for t in terminal_list
+        t: graph.shortest_paths_from(t) if cached else shortest_paths(graph, t)
+        for t in terminal_list
     }
 
     # Step 2: MST of the metric closure (represented implicitly).
@@ -113,5 +121,6 @@ def approximate_steiner_tree(
     vertices = {e.left for e in expanded} | {e.right for e in expanded}
     spanning = _minimum_spanning_tree(vertices, list(expanded))
     pruned = _prune_leaves(spanning, terminal_set)
-    weight = sum(edge.weight for edge in pruned)
-    return SteinerTree(terminal_set, frozenset(pruned), weight)
+    # Canonical-order sum: see _tree_weight (set iteration order must not
+    # leak into the reported weight's last ulp).
+    return SteinerTree(terminal_set, frozenset(pruned), _tree_weight(pruned))

@@ -5,6 +5,16 @@ appropriate here because keyword queries are short (terminals = attributes
 mentioned by one configuration, typically 2-6) while the schema graph is
 small. Used as the reference algorithm in tests and to validate the top-k
 enumerator's first result.
+
+The default :func:`exact_steiner_tree` runs the DP over integers: nodes
+interned through :meth:`~repro.steiner.graph.SchemaGraph.compact`, terminal
+subsets as bitmasks indexing flat per-mask cost lists, and the base-case
+shortest paths served from the graph's all-pairs cache (shared with the
+KMB approximation and warm across calls until the graph mutates).
+``interned=False`` selects :func:`exact_steiner_tree_reference`, the
+original dict-of-``(mask, ColumnRef)`` formulation that recomputes every
+Dijkstra locally — retained as the executable specification for the
+``tests/perf`` parity suite. Both produce identical trees.
 """
 
 from __future__ import annotations
@@ -17,7 +27,7 @@ from repro.errors import SteinerError
 from repro.steiner.graph import SchemaGraph
 from repro.steiner.tree import SteinerTree
 
-__all__ = ["shortest_paths", "exact_steiner_tree"]
+__all__ = ["shortest_paths", "exact_steiner_tree", "exact_steiner_tree_reference"]
 
 _INF = float("inf")
 
@@ -25,7 +35,15 @@ _INF = float("inf")
 def shortest_paths(
     graph: SchemaGraph, source: ColumnRef
 ) -> tuple[dict[ColumnRef, float], dict[ColumnRef, ColumnRef]]:
-    """Dijkstra from *source*: distances and predecessor map."""
+    """Dijkstra from *source*: distances and predecessor map.
+
+    Determinism: when two shortest paths to a node tie on weight (exact
+    float equality), the predecessor whose ``str(node)`` sorts first wins —
+    so the predecessor map (and every tree expanded from it) depends only
+    on the graph, never on neighbour iteration order. An earlier version
+    compared against ``distance - 1e-15``, which silently kept whichever
+    near-equal predecessor happened to be relaxed first.
+    """
     distances: dict[ColumnRef, float] = {source: 0.0}
     predecessors: dict[ColumnRef, ColumnRef] = {}
     heap: list[tuple[float, int, ColumnRef]] = [(0.0, 0, source)]
@@ -38,11 +56,16 @@ def shortest_paths(
         settled.add(node)
         for neighbour, edge in graph.neighbors(node):
             candidate = distance + edge.weight
-            if candidate < distances.get(neighbour, _INF) - 1e-15:
+            current = distances.get(neighbour, _INF)
+            if candidate < current:
                 distances[neighbour] = candidate
                 predecessors[neighbour] = node
                 heapq.heappush(heap, (candidate, counter, neighbour))
                 counter += 1
+            elif candidate == current and str(node) < str(
+                predecessors[neighbour]
+            ):
+                predecessors[neighbour] = node
     return distances, predecessors
 
 
@@ -67,19 +90,181 @@ def _path_edges(
     return edges
 
 
-def exact_steiner_tree(
+def _checked_terminals(
     graph: SchemaGraph, terminals: Sequence[ColumnRef]
-) -> SteinerTree:
-    """Minimum-weight Steiner tree connecting *terminals* (Dreyfus-Wagner).
-
-    Raises :class:`SteinerError` when the terminals are not all connected.
-    """
+) -> list[ColumnRef]:
     terminal_list = sorted(set(terminals), key=str)
     if not terminal_list:
         raise SteinerError("no terminals")
     for terminal in terminal_list:
         if terminal not in graph:
             raise SteinerError(f"terminal not in graph: {terminal}")
+    return terminal_list
+
+
+def exact_steiner_tree(
+    graph: SchemaGraph, terminals: Sequence[ColumnRef], interned: bool = True
+) -> SteinerTree:
+    """Minimum-weight Steiner tree connecting *terminals* (Dreyfus-Wagner).
+
+    Raises :class:`SteinerError` when the terminals are not all connected.
+    ``interned=False`` runs :func:`exact_steiner_tree_reference` instead;
+    the results are identical.
+    """
+    if not interned:
+        return exact_steiner_tree_reference(graph, terminals)
+    terminal_list = _checked_terminals(graph, terminals)
+    if len(terminal_list) == 1:
+        return SteinerTree(frozenset(terminal_list), frozenset(), 0.0)
+    if not graph.connected(set(terminal_list)):
+        raise SteinerError(f"terminals are disconnected: {terminal_list}")
+
+    compact = graph.compact()
+    n = len(compact)
+    name_rank = compact.name_rank
+    neighbors = compact.neighbors
+    terminal_indices = [compact.index[t] for t in terminal_list]
+
+    t = len(terminal_list)
+    full_mask = (1 << t) - 1
+    # dp[mask][v] = cost of the best tree spanning terminals(mask) + {v};
+    # one flat list per terminal-subset bitmask instead of a dict keyed by
+    # (mask, ColumnRef).
+    dp: dict[int, list[float]] = {}
+    back: dict[tuple[int, int], tuple] = {}
+
+    for i, terminal_index in enumerate(terminal_indices):
+        distances, _predecessors = compact.dijkstra(terminal_index)
+        bit = 1 << i
+        dp[bit] = list(distances)
+        for node in range(n):
+            if distances[node] < _INF:
+                back[(bit, node)] = ("walk-base", i, node)
+
+    masks_by_bits: dict[int, list[int]] = {}
+    for mask in range(1, full_mask + 1):
+        masks_by_bits.setdefault(mask.bit_count(), []).append(mask)
+
+    for bits in sorted(masks_by_bits):
+        if bits < 2:
+            continue
+        for mask in masks_by_bits[bits]:
+            # Merge step: split the terminal set at each node.
+            merged = [_INF] * n
+            submask = (mask - 1) & mask
+            while submask > 0:
+                other = mask ^ submask
+                if submask < other:  # consider each unordered split once
+                    left_row = dp[submask]
+                    right_row = dp[other]
+                    for node in range(n):
+                        left = left_row[node]
+                        if left == _INF:
+                            continue
+                        right = right_row[node]
+                        if right == _INF:
+                            continue
+                        cost = left + right
+                        if cost < merged[node] - 1e-15:
+                            merged[node] = cost
+                            back[(mask, node)] = ("merge", submask, other, node)
+                submask = (submask - 1) & mask
+            # Relaxation step: Dijkstra over the merged costs.
+            heap = [
+                (cost, name_rank[node], node)
+                for node, cost in enumerate(merged)
+                if cost < _INF
+            ]
+            heapq.heapify(heap)
+            best = list(merged)
+            settled = [False] * n
+            while heap:
+                cost, _tie, node = heapq.heappop(heap)
+                if settled[node] or cost > best[node] + 1e-15:
+                    continue
+                settled[node] = True
+                for neighbour, weight, _edge_position in neighbors[node]:
+                    candidate = cost + weight
+                    if candidate < best[neighbour] - 1e-15:
+                        best[neighbour] = candidate
+                        back[(mask, neighbour)] = ("walk", mask, node, neighbour)
+                        heapq.heappush(
+                            heap, (candidate, name_rank[neighbour], neighbour)
+                        )
+            dp[mask] = best
+
+    root = terminal_indices[0]
+    total = dp[full_mask][root]
+    if total == _INF:  # pragma: no cover - connectivity checked above
+        raise SteinerError("no Steiner tree found despite connected terminals")
+
+    edges = _reconstruct_interned(
+        graph, compact, back, terminal_indices, full_mask, root
+    )
+    return SteinerTree(frozenset(terminal_list), frozenset(edges), _tree_weight(edges))
+
+
+def _reconstruct_interned(
+    graph: SchemaGraph,
+    compact,
+    back: dict[tuple[int, int], tuple],
+    terminal_indices: list[int],
+    mask: int,
+    node: int,
+) -> set:
+    """Walk the interned backpointers, collecting concrete tree edges."""
+    nodes = compact.nodes
+    edges: set = set()
+    stack: list[tuple[int, int]] = [(mask, node)]
+    while stack:
+        state = stack.pop()
+        decision = back.get(state)
+        if decision is None:
+            continue  # base case: terminal reached at itself (zero cost)
+        tag = decision[0]
+        if tag == "walk-base":
+            _t, terminal_position, target = decision
+            source_index = terminal_indices[terminal_position]
+            _distances, predecessors = compact.dijkstra(source_index)
+            current = target
+            while current != source_index:
+                parent = predecessors[current]
+                if parent < 0:  # pragma: no cover - base cases are reachable
+                    raise SteinerError(
+                        f"no path from {nodes[source_index]} to {nodes[target]}"
+                    )
+                edge = graph.edge_between(nodes[parent], nodes[current])
+                if edge is None:  # pragma: no cover - predecessors imply edges
+                    raise SteinerError(
+                        f"missing edge {nodes[parent]} - {nodes[current]}"
+                    )
+                edges.add(edge)
+                current = parent
+        elif tag == "merge":
+            _t, submask, other, at = decision
+            stack.append((submask, at))
+            stack.append((other, at))
+        elif tag == "walk":
+            _t, walk_mask, from_node, to_node = decision
+            edge = graph.edge_between(nodes[from_node], nodes[to_node])
+            if edge is not None:
+                edges.add(edge)
+            stack.append((walk_mask, from_node))
+        else:  # pragma: no cover - exhaustive tags
+            raise SteinerError(f"corrupt backpointer: {decision}")
+    return edges
+
+
+def exact_steiner_tree_reference(
+    graph: SchemaGraph, terminals: Sequence[ColumnRef]
+) -> SteinerTree:
+    """The dict-based Dreyfus-Wagner DP (executable specification).
+
+    Recomputes every single-source Dijkstra locally and keys the DP by
+    ``(terminal bitmask, ColumnRef)``; kept as the parity oracle for
+    :func:`exact_steiner_tree`.
+    """
+    terminal_list = _checked_terminals(graph, terminals)
     if len(terminal_list) == 1:
         return SteinerTree(frozenset(terminal_list), frozenset(), 0.0)
     if not graph.connected(set(terminal_list)):
@@ -162,7 +347,13 @@ def exact_steiner_tree(
 
 
 def _tree_weight(edges: set) -> float:
-    return sum(edge.weight for edge in edges)
+    # Sum in a canonical edge order: reconstruction builds the edge *set*
+    # in implementation-dependent order, and float addition order would
+    # otherwise leak into the reported weight's last ulp.
+    return sum(
+        edge.weight
+        for edge in sorted(edges, key=lambda e: (str(e.left), str(e.right)))
+    )
 
 
 def _reconstruct(

@@ -9,10 +9,22 @@ contribute one hub node per key column.
 The graph is undirected with positive edge weights; nodes are
 :class:`~repro.db.schema.ColumnRef` values so trees convert directly into
 join paths.
+
+Two derived structures are cached on the graph and invalidated whenever
+:meth:`SchemaGraph.add_edge` mutates it:
+
+* a :class:`CompactGraph` — nodes interned to small integers with
+  array-shaped adjacency, the representation every optimised Steiner
+  kernel (Dreyfus-Wagner DP, top-k enumeration, Dijkstra) runs on;
+* the all-pairs shortest-path cache (:meth:`SchemaGraph.shortest_paths_from`)
+  feeding both the KMB approximation and the Dreyfus-Wagner base cases, so
+  one graph answers every per-source Dijkstra exactly once between
+  mutations.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -20,7 +32,13 @@ from repro.cache import LRUCache
 from repro.db.schema import ColumnRef, ForeignKey, Schema
 from repro.errors import SteinerError
 
-__all__ = ["EdgeKind", "SchemaEdge", "SchemaGraph", "STEINER_CACHE_SIZE"]
+__all__ = [
+    "CompactGraph",
+    "EdgeKind",
+    "SchemaEdge",
+    "SchemaGraph",
+    "STEINER_CACHE_SIZE",
+]
 
 #: Capacity of the per-graph Steiner-result cache. Terminal sets are drawn
 #: from configurations over one schema, so the working set is small; the
@@ -62,6 +80,112 @@ class EdgeKind:
     JOIN = "join"
 
 
+_INF = float("inf")
+
+
+class CompactGraph:
+    """An immutable integer-interned snapshot of a :class:`SchemaGraph`.
+
+    Nodes are interned to ``0..n-1`` in the graph's node order and edges to
+    ``0..m-1`` in edge-insertion order, so Steiner kernels can carry node
+    sets, edge sets and terminal subsets as integer bitmasks and index flat
+    lists instead of hashing :class:`~repro.db.schema.ColumnRef` values.
+    ``name_rank`` orders nodes by ``str(node)`` — the deterministic
+    tie-break every shortest-path predecessor choice uses.
+
+    Obtain instances through :meth:`SchemaGraph.compact`; they are rebuilt
+    lazily after graph mutation.
+    """
+
+    __slots__ = (
+        "nodes",
+        "index",
+        "name_rank",
+        "neighbors",
+        "edge_list",
+        "edge_index",
+        "edge_node_masks",
+        "_dijkstra_cache",
+    )
+
+    def __init__(self, graph: "SchemaGraph") -> None:
+        self.nodes: tuple[ColumnRef, ...] = tuple(graph._adjacency)
+        self.index: dict[ColumnRef, int] = {
+            node: i for i, node in enumerate(self.nodes)
+        }
+        names = [str(node) for node in self.nodes]
+        order = sorted(range(len(self.nodes)), key=names.__getitem__)
+        self.name_rank = [0] * len(self.nodes)
+        for rank, i in enumerate(order):
+            self.name_rank[i] = rank
+        self.edge_list: tuple[SchemaEdge, ...] = tuple(graph._edges.values())
+        self.edge_index: dict[frozenset, int] = {
+            edge.key: i for i, edge in enumerate(self.edge_list)
+        }
+        #: per node: [(neighbour index, edge weight, edge index), ...]
+        #: preserving the adjacency iteration order of the backing graph;
+        #: materialise edges through :attr:`edge_list` when needed.
+        self.neighbors: list[list[tuple[int, float, int]]] = [
+            [
+                (self.index[neighbour], edge.weight, self.edge_index[edge.key])
+                for neighbour, edge in adjacency.items()
+            ]
+            for adjacency in graph._adjacency.values()
+        ]
+        #: per edge: the bitmask of its two endpoint node indices.
+        self.edge_node_masks: list[int] = [
+            (1 << self.index[edge.left]) | (1 << self.index[edge.right])
+            for edge in self.edge_list
+        ]
+        self._dijkstra_cache: dict[int, tuple[list[float], list[int]]] = {}
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def dijkstra(self, source: int) -> tuple[list[float], list[int]]:
+        """Single-source shortest paths from a node index (cached).
+
+        Returns ``(distances, predecessors)`` as index-aligned lists;
+        unreachable nodes carry ``inf`` / ``-1``. Predecessor ties on
+        equal path weight break toward the predecessor whose ``str(node)``
+        sorts first, making the maps independent of adjacency order (see
+        :func:`repro.steiner.exact.shortest_paths`).
+        """
+        cached = self._dijkstra_cache.get(source)
+        if cached is not None:
+            return cached
+        n = len(self.nodes)
+        distances = [_INF] * n
+        predecessors = [-1] * n
+        distances[source] = 0.0
+        heap: list[tuple[float, int, int]] = [(0.0, 0, source)]
+        counter = 1
+        settled = [False] * n
+        name_rank = self.name_rank
+        neighbors = self.neighbors
+        while heap:
+            distance, _tie, node = heapq.heappop(heap)
+            if settled[node]:
+                continue
+            settled[node] = True
+            for neighbour, weight, _edge_position in neighbors[node]:
+                candidate = distance + weight
+                current = distances[neighbour]
+                if candidate < current:
+                    distances[neighbour] = candidate
+                    predecessors[neighbour] = node
+                    heapq.heappush(heap, (candidate, counter, neighbour))
+                    counter += 1
+                elif candidate == current and (
+                    predecessors[neighbour] < 0
+                    or name_rank[node] < name_rank[predecessors[neighbour]]
+                ):
+                    predecessors[neighbour] = node
+        result = (distances, predecessors)
+        self._dijkstra_cache[source] = result
+        return result
+
+
 class SchemaGraph:
     """Undirected weighted graph over a schema's attributes."""
 
@@ -73,6 +197,11 @@ class SchemaGraph:
         #: (frozen terminal set, k, pruning flags); consulted by
         #: :func:`repro.steiner.topk.top_k_steiner_trees`.
         self.steiner_cache = LRUCache(STEINER_CACHE_SIZE)
+        #: Lazily built integer-interned snapshot (see :meth:`compact`).
+        self._compact: CompactGraph | None = None
+        #: Per-source shortest-path maps keyed by source node (the all-
+        #: pairs cache the KMB approximation and Dreyfus-Wagner feed from).
+        self._sp_cache: dict[ColumnRef, tuple[dict, dict]] = {}
         for ref in schema.column_refs():
             self._adjacency[ref] = {}
 
@@ -98,12 +227,23 @@ class SchemaGraph:
         existing = self._edges.get(edge.key)
         if existing is not None and existing.weight <= weight:
             return existing
-        # The graph changed: cached Steiner enumerations are stale.
-        self.steiner_cache.clear()
+        # The graph changed: cached Steiner enumerations, the interned
+        # snapshot and the shortest-path cache are all stale.
+        self.reset_derived_caches()
         self._edges[edge.key] = edge
         self._adjacency[left][right] = edge
         self._adjacency[right][left] = edge
         return edge
+
+    def reset_derived_caches(self) -> None:
+        """Drop every structure derived from the current topology.
+
+        Called by :meth:`add_edge` on mutation; also used by the perf
+        harness to force cold-cache kernel measurements.
+        """
+        self.steiner_cache.clear()
+        self._compact = None
+        self._sp_cache.clear()
 
     # -- access --------------------------------------------------------------
 
@@ -139,6 +279,47 @@ class SchemaGraph:
     def edge_between(self, left: ColumnRef, right: ColumnRef) -> SchemaEdge | None:
         """The edge joining two nodes, if any."""
         return self._edges.get(frozenset((left, right)))
+
+    # -- derived caches ------------------------------------------------------
+
+    def compact(self) -> CompactGraph:
+        """The integer-interned snapshot (rebuilt lazily after mutation)."""
+        if self._compact is None:
+            self._compact = CompactGraph(self)
+        return self._compact
+
+    def shortest_paths_from(
+        self, source: ColumnRef
+    ) -> tuple[dict[ColumnRef, float], dict[ColumnRef, ColumnRef]]:
+        """Cached single-source shortest paths (distances, predecessors).
+
+        Identical in content to
+        :func:`repro.steiner.exact.shortest_paths` but memoised on the
+        graph: the first call per source runs one interned Dijkstra, later
+        calls (other terminals of the same configuration, other
+        configurations, other queries) are dictionary lookups until
+        :meth:`add_edge` invalidates the cache.
+        """
+        cached = self._sp_cache.get(source)
+        if cached is not None:
+            return cached
+        compact = self.compact()
+        try:
+            source_index = compact.index[source]
+        except KeyError:
+            raise SteinerError(f"unknown node: {source}") from None
+        raw_distances, raw_predecessors = compact.dijkstra(source_index)
+        nodes = compact.nodes
+        distances: dict[ColumnRef, float] = {}
+        predecessors: dict[ColumnRef, ColumnRef] = {}
+        for i, distance in enumerate(raw_distances):
+            if distance < float("inf"):
+                distances[nodes[i]] = distance
+                if raw_predecessors[i] >= 0:
+                    predecessors[nodes[i]] = nodes[raw_predecessors[i]]
+        result = (distances, predecessors)
+        self._sp_cache[source] = result
+        return result
 
     def degree(self, node: ColumnRef) -> int:
         """Number of incident edges."""

@@ -14,12 +14,23 @@ As in QUEST, trees that duplicate or merely extend an already-emitted tree
 same terminals) are discarded, so the k results are structurally distinct
 join paths rather than one path plus k-1 padded variants.
 
+The default (``interned=True``) search runs entirely on integers: nodes,
+edges and terminals are interned through
+:meth:`~repro.steiner.graph.SchemaGraph.compact`, and every tree in flight
+is a pair of bitmasks (edge set, node set). Growing a tree is a bitwise
+OR, the cycle check is a bit test, merge disjointness is ``a & b == 0``
+and the sub-tree redundancy filter is ``prior & sig == prior`` — no
+frozenset is allocated until a finished tree is emitted. The pop/push
+sequence is exactly that of the original frozenset formulation (retained
+as the ``interned=False`` reference and parity oracle), so both return
+identical trees in identical order.
+
 Enumeration results are memoised on the graph itself: a
 :class:`~repro.steiner.graph.SchemaGraph` carries a ``steiner_cache``
-keyed by the frozen terminal set (plus k and the pruning flags), so the
-same terminal combination — which recurs both across a query's
-configurations and across queries — is answered without re-running the
-search. Graph mutation invalidates the cache.
+keyed by the frozen terminal set (plus k, the pruning flags and the
+implementation), so the same terminal combination — which recurs both
+across a query's configurations and across queries — is answered without
+re-running the search. Graph mutation invalidates the cache.
 """
 
 from __future__ import annotations
@@ -28,6 +39,7 @@ import heapq
 import itertools
 from typing import Sequence
 
+from repro.bits import iter_bits
 from repro.db.schema import ColumnRef
 from repro.errors import SteinerError
 from repro.steiner.graph import SchemaGraph
@@ -46,6 +58,7 @@ def top_k_steiner_trees(
     k: int,
     prune_supertrees: bool = True,
     max_pops: int = 200_000,
+    interned: bool = True,
 ) -> list[SteinerTree]:
     """Enumerate up to *k* cheapest Steiner trees connecting *terminals*.
 
@@ -57,6 +70,8 @@ def top_k_steiner_trees(
             emitted tree as a sub-tree (QUEST's redundancy filter); set to
             ``False`` to enumerate raw k-best trees.
         max_pops: safety valve on queue pops for adversarial graphs.
+        interned: run the bitmask search (the default); ``False`` selects
+            the frozenset reference implementation. Results are identical.
 
     Returns:
         Trees in increasing weight order (possibly fewer than *k*).
@@ -74,7 +89,7 @@ def top_k_steiner_trees(
         return [SteinerTree(terminal_set, frozenset(), 0.0)]
 
     cache = getattr(graph, "steiner_cache", None)
-    cache_key = (terminal_set, k, prune_supertrees, max_pops)
+    cache_key = (terminal_set, k, prune_supertrees, max_pops, interned)
     if cache is not None:
         cached = cache.get(cache_key)
         if cached is _DISCONNECTED:
@@ -87,6 +102,133 @@ def top_k_steiner_trees(
             cache.put(cache_key, _DISCONNECTED)
         raise SteinerError(f"terminals are disconnected: {terminal_list}")
 
+    search = _search_interned if interned else _search_reference
+    results = search(graph, terminal_list, terminal_set, k, prune_supertrees, max_pops)
+
+    if cache is not None:
+        # Trees are frozen; storing a tuple keeps cached results immutable.
+        cache.put(cache_key, tuple(results))
+    return results
+
+
+def _search_interned(
+    graph: SchemaGraph,
+    terminal_list: list[ColumnRef],
+    terminal_set: frozenset,
+    k: int,
+    prune_supertrees: bool,
+    max_pops: int,
+) -> list[SteinerTree]:
+    """The bitmask DPBF search (every in-flight tree is two integers)."""
+    compact = graph.compact()
+    node_index = compact.index
+    neighbors = compact.neighbors
+    edge_list = compact.edge_list
+
+    full_mask = (1 << len(terminal_list)) - 1
+    terminal_bit = {node_index[t]: 1 << i for i, t in enumerate(terminal_list)}
+
+    counter = itertools.count()
+    #: heap entries: (cost, tiebreak, root index, terminal mask, edge mask,
+    #: node mask) — comparisons never pass the unique tiebreak.
+    heap: list[tuple[float, int, int, int, int, int]] = []
+    #: per (root, terminal mask): (cost, edge mask, node mask) accepted so
+    #: far (bounded by k).
+    accepted: dict[tuple[int, int], list[tuple[float, int, int]]] = {}
+
+    for node, bit in terminal_bit.items():
+        heapq.heappush(heap, (0.0, next(counter), node, bit, 0, 1 << node))
+
+    results: list[SteinerTree] = []
+    emitted_signatures: list[int] = []
+    seen_results: set[int] = set()
+    pops = 0
+
+    while heap and len(results) < k and pops < max_pops:
+        cost, _tie, root, mask, edges, tree_nodes = heapq.heappop(heap)
+        pops += 1
+        state = (root, mask)
+        bucket = accepted.setdefault(state, [])
+        if len(bucket) >= k or any(edges == prior for _c, prior, _n in bucket):
+            continue
+        bucket.append((cost, edges, tree_nodes))
+
+        if mask == full_mask:
+            if edges in seen_results:
+                continue
+            candidate = SteinerTree(
+                terminal_set,
+                frozenset(edge_list[i] for i in iter_bits(edges)),
+                cost,
+            )
+            if not candidate.is_valid_tree():
+                continue
+            if prune_supertrees and any(
+                prior & edges == prior for prior in emitted_signatures
+            ):
+                continue
+            seen_results.add(edges)
+            emitted_signatures.append(edges)
+            results.append(candidate)
+            continue
+
+        # Grow: extend the tree along one incident edge.
+        for neighbour, weight, edge_position in neighbors[root]:
+            edge_bit = 1 << edge_position
+            if edges & edge_bit:
+                continue
+            # Re-entering an existing node would close a cycle.
+            if tree_nodes & (1 << neighbour):
+                continue
+            heapq.heappush(
+                heap,
+                (
+                    cost + weight,
+                    next(counter),
+                    neighbour,
+                    mask | terminal_bit.get(neighbour, 0),
+                    edges | edge_bit,
+                    tree_nodes | (1 << neighbour),
+                ),
+            )
+
+        # Merge: combine with accepted trees sharing this root and
+        # covering a disjoint terminal subset.
+        for (other_root, other_mask), other_bucket in accepted.items():
+            if other_root != root or other_mask & mask:
+                continue
+            for other_cost, other_edges, other_nodes in other_bucket:
+                if edges & other_edges:
+                    continue  # overlapping edges: cost would be wrong
+                heapq.heappush(
+                    heap,
+                    (
+                        cost + other_cost,
+                        next(counter),
+                        root,
+                        mask | other_mask,
+                        edges | other_edges,
+                        tree_nodes | other_nodes,
+                    ),
+                )
+
+    return results
+
+
+def _search_reference(
+    graph: SchemaGraph,
+    terminal_list: list[ColumnRef],
+    terminal_set: frozenset,
+    k: int,
+    prune_supertrees: bool,
+    max_pops: int,
+) -> list[SteinerTree]:
+    """The frozenset DPBF search (executable specification).
+
+    Kept verbatim as the parity oracle for :func:`_search_interned`: the
+    two searches generate the same pop/push sequence, so results match
+    tree for tree.
+    """
     full_mask = (1 << len(terminal_list)) - 1
     terminal_bit = {t: 1 << i for i, t in enumerate(terminal_list)}
 
@@ -168,7 +310,4 @@ def top_k_steiner_trees(
                     ),
                 )
 
-    if cache is not None:
-        # Trees are frozen; storing a tuple keeps cached results immutable.
-        cache.put(cache_key, tuple(results))
     return results

@@ -18,9 +18,13 @@ from repro.steiner.graph import EdgeKind, SchemaEdge
 __all__ = ["SteinerTree"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SteinerTree:
     """An undirected tree connecting a set of terminal attributes.
+
+    Slotted: the backward step materialises one instance per enumerated
+    tree per configuration, so the per-instance ``__dict__`` is worth
+    dropping on this hot path.
 
     Attributes:
         terminals: the attributes the tree was required to connect.

@@ -1,0 +1,81 @@
+"""End-to-end ranking identity: optimised kernels vs reference kernels.
+
+The whole point of the numeric rewrites is that they change latency, never
+answers: a full mondial ``search_many`` workload must return *identical*
+explanation lists — same SQL, same probabilities float for float, same
+order — whether the engine decodes/enumerates/combines on the optimised
+paths or on the retained pure-Python references.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Quest, QuestSettings
+from repro.datasets import mondial
+from repro.wrapper import FullAccessWrapper
+
+from tests.conftest import backend_for
+
+
+@pytest.fixture(scope="module")
+def mondial_pair():
+    db = mondial.generate(countries=10, seed=29)
+    workload = mondial.workload(db, queries_per_kind=2, seed=31)
+    optimised = Quest(FullAccessWrapper(backend_for(db)))
+    reference = Quest(
+        FullAccessWrapper(backend_for(db)), QuestSettings.reference_kernels()
+    )
+    return workload, optimised, reference
+
+
+def test_reference_kernels_settings_flip_all_flags():
+    settings = QuestSettings.reference_kernels()
+    assert not settings.vectorized_viterbi
+    assert not settings.bitmask_dst
+    assert not settings.fast_steiner
+    defaults = QuestSettings()
+    assert defaults.vectorized_viterbi
+    assert defaults.bitmask_dst
+    assert defaults.fast_steiner
+
+
+def test_search_many_rankings_identical(mondial_pair):
+    workload, optimised, reference = mondial_pair
+    texts = [q.text for q in workload][:8]
+    fast = optimised.search_many(texts, strict=False)
+    slow = reference.search_many(texts, strict=False)
+    assert len(fast) == len(slow)
+    for fast_answers, slow_answers in zip(fast, slow):
+        assert len(fast_answers) == len(slow_answers)
+        for fast_explanation, slow_explanation in zip(fast_answers, slow_answers):
+            assert fast_explanation.sql == slow_explanation.sql
+            assert (
+                fast_explanation.probability == slow_explanation.probability
+            )  # bit identity
+            assert (
+                fast_explanation.result_count == slow_explanation.result_count
+            )
+            assert fast_explanation == slow_explanation
+
+
+def test_stage_products_identical(mondial_pair):
+    """Per-stage outputs (not just final answers) agree on both paths."""
+    workload, optimised, reference = mondial_pair
+    keywords = optimised.keywords_of(next(iter(workload)).text)
+    fast_configurations = optimised.forward(keywords)
+    slow_configurations = reference.forward(keywords)
+    assert fast_configurations == slow_configurations
+    assert [c.score for c in fast_configurations] == [
+        c.score for c in slow_configurations
+    ]
+    fast_interpretations = optimised.backward(fast_configurations)
+    slow_interpretations = reference.backward(slow_configurations)
+    assert fast_interpretations == slow_interpretations
+    assert [i.tree.weight for i in fast_interpretations] == [
+        i.tree.weight for i in slow_interpretations
+    ]
+    fast_ranked = optimised.combine(fast_configurations, fast_interpretations)
+    slow_ranked = reference.combine(slow_configurations, slow_interpretations)
+    assert fast_ranked == slow_ranked
+    assert [i.score for i in fast_ranked] == [i.score for i in slow_ranked]

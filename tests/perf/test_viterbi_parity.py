@@ -1,0 +1,117 @@
+"""Parity: the vectorised List Viterbi kernel against the reference.
+
+The contract is *bit identity*: on any model and emission matrix, the
+numpy kernel must return the same paths with the same log-probabilities
+(float for float) in the same order as the pure-Python reference —
+including selection and ordering of exactly-tied paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hmm.model import HiddenMarkovModel
+from repro.hmm.states import StateSpace
+from repro.hmm.viterbi import list_viterbi, list_viterbi_reference, viterbi
+
+
+class _States:
+    """A stand-in state space: the kernels only need ``len``."""
+
+    def __init__(self, n: int) -> None:
+        self._n = n
+
+    def __len__(self) -> int:
+        return self._n
+
+
+def _random_problem(seed: int):
+    """A random HMM + emission matrix, mixing generic and tie-heavy cases."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 7))
+    T = int(rng.integers(1, 6))
+    k = int(rng.integers(1, 9))
+    mode = seed % 3
+    if mode == 0:
+        # Generic position: distinct probabilities, no ties.
+        initial = rng.random(n) + 0.05
+        transition = rng.random((n, n)) + 0.05
+        emissions = rng.random((T, n)) + 0.05
+    elif mode == 1:
+        # Tie-heavy: probabilities drawn from a tiny pool, plus hard zeros
+        # (-inf log-probabilities) to exercise pruning.
+        pool = np.array([0.0, 0.5, 1.0])
+        initial = rng.choice(pool, n) + 0.01
+        transition = rng.choice(pool, (n, n))
+        transition = transition + (transition.sum(axis=1, keepdims=True) == 0)
+        emissions = rng.choice(pool, (T, n))
+        if not emissions.sum():
+            emissions[0, 0] = 1.0
+    else:
+        # Maximum degeneracy: every path ties with every other.
+        initial = np.ones(n)
+        transition = np.ones((n, n))
+        emissions = np.ones((T, n))
+    if mode != 2 and rng.random() < 0.3:
+        emissions[rng.integers(0, T), rng.integers(0, n)] = 0.0
+    model = HiddenMarkovModel(_States(n), initial, transition)
+    row_sums = np.maximum(emissions.sum(axis=1, keepdims=True), 1e-300)
+    return model, emissions / row_sums, k
+
+
+@settings(max_examples=150, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**9))
+def test_vectorized_matches_reference(seed: int):
+    model, emissions, k = _random_problem(seed)
+    reference = list_viterbi_reference(model, emissions, k)
+    vectorized = list_viterbi(model, emissions, k, vectorized=True)
+    assert len(vectorized) == len(reference)
+    for fast, slow in zip(vectorized, reference):
+        assert fast.states == slow.states
+        assert fast.log_probability == slow.log_probability  # bit identity
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**9))
+def test_explicit_fallback_is_the_reference(seed: int):
+    model, emissions, k = _random_problem(seed)
+    fallback = list_viterbi(model, emissions, k, vectorized=False)
+    assert fallback == list_viterbi_reference(model, emissions, k)
+
+
+def test_degenerate_ties_order_lexicographically():
+    """All-uniform model: every sequence ties, order must be path-lex."""
+    n, T, k = 3, 3, 8
+    model = HiddenMarkovModel(_States(n), np.ones(n), np.ones((n, n)))
+    emissions = np.full((T, n), 1.0 / n)
+    paths = list_viterbi(model, emissions, k)
+    assert [p.states for p in paths] == sorted(p.states for p in paths)
+    assert paths == list_viterbi_reference(model, emissions, k)
+
+
+def test_single_best_path_agrees(mini_engine):
+    """End-to-end smoke on a real engine's a-priori model."""
+    model = mini_engine.apriori_model
+    emissions = model.emission_matrix(
+        ["matrix", "reeves"], mini_engine.wrapper
+    )
+    assert viterbi(model, emissions) == list_viterbi_reference(model, emissions, 1)[0]
+
+
+def test_state_space_width_checked():
+    model = HiddenMarkovModel(_States(2), np.ones(2), np.ones((2, 2)))
+    from repro.errors import ModelError
+
+    with pytest.raises(ModelError):
+        list_viterbi(model, np.ones((2, 3)), 2)
+    with pytest.raises(ModelError):
+        list_viterbi(model, np.ones((2, 2)), 0)
+
+
+def test_statespace_is_compatible(mini_schema):
+    """The fake used above matches the real StateSpace contract."""
+    states = StateSpace(mini_schema)
+    assert len(states) > 0
