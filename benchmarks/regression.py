@@ -9,6 +9,18 @@ kernels; ``reference`` = the retained pure-Python paths via
   independent (they never touch the backend) and are measured once.
 * **cold_search** — a fresh-engine ``search_many`` pass per storage
   backend (cold caches), with per-stage trace seconds and cache counters.
+* **index** — full-text index lifecycle on a larger (imdb) instance:
+  ``fulltext-build`` (cold build + seal; columnar vs dict layout) and
+  ``fulltext-load`` (re-attaching the saved ``.npz`` artifact, the
+  warm-process path that skips the build). The artifact lives in
+  ``--index-cache`` so CI can carry it between steps/runs.
+* **batch_throughput** — ``search_many`` wall time serial vs forked
+  process-pool (``workers-N``), with queries/sec. Recorded, not gated:
+  the win depends on the runner's core count (reported alongside).
+
+``--profile`` skips measurement entirely and prints a per-stage cProfile
+(top 20 by cumulative time) of one cold query instead, so the next
+optimisation PR starts from data.
 
 Each entry records raw runs, the median and the minimum. Results land in
 ``BENCH_e7.json``; the committed file is the baseline. With a baseline
@@ -38,9 +50,13 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
+import os
+import pstats
 import statistics
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -51,9 +67,12 @@ for entry in (str(REPO_ROOT), str(REPO_ROOT / "src")):
 
 from benchmarks._common import scenario  # noqa: E402
 from repro.core import Quest, QuestSettings  # noqa: E402
+from repro.datasets import imdb  # noqa: E402
 from repro.db import Catalog, ColumnRef  # noqa: E402
+from repro.db.fulltext import FullTextIndex  # noqa: E402
 from repro.dst import combine_scores  # noqa: E402
 from repro.hmm import list_viterbi  # noqa: E402
+from repro.pipeline.context import SearchContext  # noqa: E402
 from repro.steiner import (  # noqa: E402
     approximate_steiner_tree,
     build_schema_graph,
@@ -72,8 +91,20 @@ COLD_SEARCH_ENTRY = "cold-search per-query"
 NOISE_FLOOR_S = 0.002
 
 
-def _settings(optimized: bool) -> QuestSettings:
-    return QuestSettings() if optimized else QuestSettings.reference_kernels()
+#: Scale of the index-lifecycle measurements: large enough that the
+#: build-vs-load gap reflects real row counts, small enough for CI.
+INDEX_SCALE = {"movies": 1000, "seed": 7}
+#: Fork width of the parallel batch-throughput entry. At least 2 so the
+#: fork machinery is always exercised and honestly timed — on a 1-cpu
+#: machine that records a slowdown, which is the truth of the matter
+#: (the entry reports the cpu count alongside and is never gated).
+BATCH_WORKERS = max(2, min(4, os.cpu_count() or 1))
+
+
+def _settings(optimized: bool, columnar: bool = True) -> QuestSettings:
+    if not optimized:
+        return QuestSettings.reference_kernels()
+    return QuestSettings(columnar_index=columnar)
 
 
 def _stats_of(runs: list[float]) -> dict[str, object]:
@@ -172,8 +203,110 @@ def _kernel_measurements(sc) -> dict[str, dict[str, object]]:
     }
 
 
+def _index_measurements(repeats: int, cache_dir: Path) -> dict[str, dict[str, dict]]:
+    """Index lifecycle entries: cold build+seal vs artifact load.
+
+    Build interleaves the columnar ("optimized") and dict ("reference")
+    layouts; load interleaves re-attaching the ``.npz`` artifact in each
+    layout (the reference side pays the dict rehydration). The artifact is
+    created through ``load_or_build``, so a cached copy from a previous
+    run/step is validated and reused rather than rebuilt.
+    """
+    db = imdb.generate(**INDEX_SCALE)
+    rows = db.total_rows()
+    artifact = cache_dir / "imdb-fulltext.npz"
+    FullTextIndex.load_or_build(artifact, db)
+
+    def build(optimized: bool):
+        FullTextIndex(db, columnar=optimized).warm()
+
+    def load(optimized: bool):
+        FullTextIndex.load(artifact, db, columnar=optimized)
+
+    def variants(fn):
+        return {
+            kernelset: (lambda optimized=(kernelset == "optimized"): fn(optimized))
+            for kernelset in KERNELSETS
+        }
+
+    entries: dict[str, dict[str, dict]] = {kernelset: {} for kernelset in KERNELSETS}
+    measurements = {
+        f"fulltext-build rows={rows}": variants(build),
+        f"fulltext-load rows={rows}": variants(load),
+    }
+    for name, pair in measurements.items():
+        for kernelset, stats in _measure_pair(pair, repeats).items():
+            entries[kernelset][name] = stats
+    return {
+        kernelset: {"entries": kernel_entries}
+        for kernelset, kernel_entries in entries.items()
+    }
+
+
+def _batch_throughput(sc, repeats: int, columnar: bool) -> dict:
+    """Serial vs forked-process ``search_many`` wall time (not gated).
+
+    Fresh engine per run (cold caches both sides — the forked pool cannot
+    share cache warm-up across workers, so a warm serial engine would be
+    an unfair baseline). Whether the fork wins depends on the runner's
+    cores; the count is recorded so readers can interpret the numbers.
+    """
+    texts = [q.text for q in sc.workload]
+    modes = {"workers-1": 1, f"workers-{BATCH_WORKERS}": BATCH_WORKERS}
+    runs: dict[str, list[float]] = {mode: [] for mode in modes}
+    for _ in range(repeats):
+        for mode, workers in modes.items():
+            engine = Quest(
+                FullAccessWrapper(create_backend("memory", sc.db)),
+                _settings(True, columnar),
+            )
+            start = time.perf_counter()
+            engine.search_many(texts, workers=workers)
+            runs[mode].append(time.perf_counter() - start)
+    report: dict[str, object] = {
+        "cpus": os.cpu_count(),
+        "queries": len(texts),
+    }
+    for mode, times in runs.items():
+        report[mode] = {
+            **_stats_of(times),
+            "queries_per_second": len(texts) / statistics.median(times),
+        }
+    serial = statistics.median(runs["workers-1"])
+    parallel = statistics.median(runs[f"workers-{BATCH_WORKERS}"])
+    report["parallel_speedup"] = serial / parallel
+    return report
+
+
+def profile_cold_query(backend: str, columnar: bool) -> None:
+    """Per-stage cProfile of one cold query (top 20 by cumulative time)."""
+    sc = scenario("mondial")
+    engine = Quest(
+        FullAccessWrapper(create_backend(backend, sc.db)),
+        _settings(True, columnar),
+    )
+    text = next(iter(sc.workload)).text
+    keywords = engine.keywords_of(text)
+    settings = engine.settings
+    context = SearchContext.for_query(
+        query=text,
+        keywords=keywords,
+        k=settings.k,
+        pool=settings.k * settings.candidate_factor,
+        tree_k=settings.k,
+    )
+    print(f"profiling cold query {text!r} on backend {backend!r}")
+    for stage in engine.pipeline.stages:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        stage.run(engine, context)
+        profiler.disable()
+        print(f"\n== stage: {stage.name} " + "=" * 50)
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+
+
 def _cold_search(
-    sc, backend: str, repeats: int, queries: int
+    sc, backend: str, repeats: int, queries: int, columnar: bool = True
 ) -> dict[str, dict[str, object]]:
     """Fresh-engine ``search_many`` per kernelset (cold caches, interleaved)."""
     texts = [q.text for q in sc.workload][:queries]
@@ -183,7 +316,7 @@ def _cold_search(
         for kernelset in KERNELSETS:
             engine = Quest(
                 FullAccessWrapper(create_backend(backend, sc.db)),
-                _settings(kernelset == "optimized"),
+                _settings(kernelset == "optimized", columnar),
             )
             start = time.perf_counter()
             engine.search_many(texts)
@@ -219,9 +352,15 @@ def _cold_search(
 
 
 def run_suite(
-    backends: list[str], repeats: int, queries: int, smoke: bool
+    backends: list[str],
+    repeats: int,
+    queries: int,
+    smoke: bool,
+    columnar: bool = True,
+    index_cache: Path | None = None,
 ) -> dict:
-    """Measure kernels (once) and per-backend cold searches."""
+    """Measure kernels (once), per-backend cold searches, the index
+    lifecycle and batch throughput."""
     sc = scenario("mondial")
     print("-- measuring kernels (interleaved kernel sets) ...", flush=True)
     kernel_entries: dict[str, dict[str, dict]] = {
@@ -237,31 +376,45 @@ def run_suite(
     cold_search: dict[str, dict] = {}
     for backend in backends:
         print(f"-- measuring cold-search {backend} ...", flush=True)
-        cold_search[backend] = _cold_search(sc, backend, repeats, queries)
+        cold_search[backend] = _cold_search(sc, backend, repeats, queries, columnar)
+    print("-- measuring index build/load ...", flush=True)
+    if index_cache is None:
+        with tempfile.TemporaryDirectory() as scratch:
+            index = _index_measurements(repeats, Path(scratch))
+    else:
+        index_cache.mkdir(parents=True, exist_ok=True)
+        index = _index_measurements(repeats, index_cache)
+    print("-- measuring batch throughput ...", flush=True)
+    batch = _batch_throughput(sc, repeats, columnar)
     return {
         "workload": "e7-micro",
         "smoke": smoke,
         "repeats": repeats,
         "queries": queries,
+        "columnar_index": columnar,
         "kernels": kernels,
         "cold_search": cold_search,
+        "index": index,
+        "batch_throughput": batch,
     }
 
 
 def _entry_pairs(report: dict):
     """Yield every comparable entry as ``(label, {kernelset: entry})``."""
-    kernels = report.get("kernels", {})
-    names: set[str] = set()
-    for kernelset in kernels.values():
-        names.update(kernelset.get("entries", {}))
-    for name in sorted(names):
-        yield (
-            f"kernel/{name}",
-            {
-                kernelset: kernels.get(kernelset, {}).get("entries", {}).get(name)
-                for kernelset in KERNELSETS
-            },
-        )
+    for section in ("kernels", "index"):
+        groups = report.get(section, {})
+        names: set[str] = set()
+        for kernelset in groups.values():
+            names.update(kernelset.get("entries", {}))
+        prefix = "kernel" if section == "kernels" else "index"
+        for name in sorted(names):
+            yield (
+                f"{prefix}/{name}",
+                {
+                    kernelset: groups.get(kernelset, {}).get("entries", {}).get(name)
+                    for kernelset in KERNELSETS
+                },
+            )
     for backend, kernelsets in report.get("cold_search", {}).items():
         yield (
             f"{backend}/{COLD_SEARCH_ENTRY}",
@@ -340,6 +493,42 @@ def speedup_report(current: dict, baseline: dict | None) -> str:
             )
     if ratios:
         lines.append(f"  median entry speedup: {statistics.median(ratios):.2f}x")
+    for backend, kernelsets in current.get("cold_search", {}).items():
+        fast_stages = (kernelsets.get("optimized") or {}).get("stage_seconds", {})
+        slow_stages = (kernelsets.get("reference") or {}).get("stage_seconds", {})
+        fast_forward = fast_stages.get("forward")
+        slow_forward = slow_stages.get("forward")
+        if fast_forward and slow_forward:
+            lines.append(
+                f"  [{backend}] forward stage-seconds: {slow_forward:.3f}s -> "
+                f"{fast_forward:.3f}s ({slow_forward / fast_forward:.2f}x)"
+            )
+    index = current.get("index", {}).get("optimized", {}).get("entries", {})
+    build = next(
+        (e for name, e in index.items() if name.startswith("fulltext-build")), None
+    )
+    load = next(
+        (e for name, e in index.items() if name.startswith("fulltext-load")), None
+    )
+    if build and load:
+        lines.append(
+            f"  index artifact load vs cold build: "
+            f"{build['median_s'] * 1e3:.1f}ms build -> "
+            f"{load['median_s'] * 1e3:.1f}ms load "
+            f"({build['median_s'] / load['median_s']:.1f}x faster warm start)"
+        )
+    batch = current.get("batch_throughput", {})
+    if batch:
+        parallel_mode = f"workers-{BATCH_WORKERS}"
+        serial = batch.get("workers-1", {})
+        parallel = batch.get(parallel_mode, {})
+        if serial and parallel:
+            lines.append(
+                f"  batch throughput ({batch.get('cpus')} cpus): "
+                f"{serial['queries_per_second']:.1f} q/s serial, "
+                f"{parallel['queries_per_second']:.1f} q/s {parallel_mode} "
+                f"({batch.get('parallel_speedup', 0.0):.2f}x)"
+            )
     if baseline is not None:
         for backend, kernelsets in current.get("cold_search", {}).items():
             now = _stat(kernelsets.get("optimized"), "median_s")
@@ -405,13 +594,43 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="write this run to --baseline and skip the comparison",
     )
+    parser.add_argument(
+        "--no-columnar",
+        action="store_true",
+        help="run the optimized kernelset with columnar_index disabled "
+        "(CI matrix leg proving the per-keyword emission path stays healthy)",
+    )
+    parser.add_argument(
+        "--index-cache",
+        type=Path,
+        default=None,
+        help="directory holding the .npz index artifacts (reused across "
+        "runs when the data still matches; CI caches it between steps)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-stage cProfile (top 20 by cumtime) of one cold "
+        "query instead of running the measurement suite",
+    )
     args = parser.parse_args(argv)
 
     backends = [b.strip() for b in args.backends.split(",") if b.strip()]
     repeats = 3 if args.smoke else args.repeats
     queries = args.queries
 
-    current = run_suite(backends, repeats, queries, args.smoke)
+    if args.profile:
+        profile_cold_query(backends[0], not args.no_columnar)
+        return 0
+
+    current = run_suite(
+        backends,
+        repeats,
+        queries,
+        args.smoke,
+        columnar=not args.no_columnar,
+        index_cache=args.index_cache,
+    )
 
     baseline = None
     if args.baseline.exists():

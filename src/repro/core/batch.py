@@ -1,0 +1,125 @@
+"""Fork-based process-pool execution for CPU-bound batch fan-out.
+
+``search_many`` workloads are embarrassingly parallel — per-query answers
+never depend on cross-query cache state — but Python threads cannot run
+the numeric kernels concurrently. This module provides the one primitive
+both batch tiers (:meth:`Quest.search_many`,
+:meth:`MultiSourceQuest.search_many`) build on: map a worker function
+over items in ``fork``-spawned processes that *inherit* the engine
+through copy-on-write memory instead of pickling it.
+
+The inheritance trick is what makes arbitrary engines shippable: a
+:class:`Quest` holds locks, an open SQLite connection, numpy models — a
+pickle round trip is fragile, a fork copy is free. The payload is parked
+in a module global immediately before the pool forks and every child
+reads it back through :func:`payload`; only the (small) work items and
+results cross the process boundary.
+
+Consequences callers must respect:
+
+- only available where ``fork`` is (Linux, most BSDs); callers fall back
+  to sequential execution elsewhere (:func:`fork_available`);
+- thread pools do not survive a fork — objects holding one must shut it
+  down before fanning out (``MultiSourceQuest`` does);
+- children see a *snapshot*: cache warm-up inside a worker is invisible
+  to the parent, and file-backed stores shared with the parent should
+  not be written from workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Sequence
+
+from repro.errors import QuestError
+
+__all__ = ["fork_available", "in_worker", "payload", "run_forked"]
+
+#: The object forked workers inherit; set only for the duration of one
+#: :func:`run_forked` call.
+_PAYLOAD: Any = None
+#: Serialises concurrent batches: the payload global must belong to
+#: exactly one in-flight pool, or two threads' workers would cross-wire
+#: engines. Held for the whole fan-out.
+_PAYLOAD_LOCK = threading.Lock()
+#: True only inside a forked worker (set by the pool initializer after
+#: the fork). Distinguishes a nested fan-out attempt — refused, the
+#: child's copy of the pool machinery is unusable — from a concurrent
+#: sibling thread's batch, which simply waits its turn on the lock.
+_IN_WORKER = False
+
+
+def fork_available() -> bool:
+    """Whether this platform can fork worker processes."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def in_worker() -> bool:
+    """Whether this process is a forked batch worker.
+
+    Batch entry points check this (alongside :func:`fork_available`) and
+    fall back to sequential execution — a worker forking its own pool
+    would copy half-consumed pool machinery.
+    """
+    return _IN_WORKER
+
+
+def payload() -> Any:
+    """The inherited payload, from inside a forked worker."""
+    if _PAYLOAD is None:
+        raise QuestError("no forked batch is active")
+    return _PAYLOAD
+
+
+def _mark_worker() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def _invoke(packed: tuple[Callable[[Any], Any], Any]) -> Any:
+    worker, item = packed
+    return worker(item)
+
+
+def run_forked(
+    context: Any,
+    worker: Callable[[Any], Any],
+    items: Sequence[Any],
+    workers: int,
+) -> list[Any]:
+    """``[worker(item) for item in items]`` across forked processes.
+
+    *context* is parked in the module global before the pool forks, so
+    *worker* — which must be a module-level function, it crosses the
+    process boundary by qualified name — reads it via :func:`payload`.
+    Results come back in input order; a worker exception propagates to
+    the caller (cancelling the remaining items), matching the strict
+    sequential semantics.
+    """
+    global _PAYLOAD
+    if not fork_available():  # pragma: no cover - platform dependent
+        raise QuestError("forked batch execution needs the 'fork' start method")
+    if _IN_WORKER:
+        # Backstop only: batch entry points check in_worker() and run
+        # sequentially instead of calling this from a forked worker.
+        raise QuestError("forked batches do not nest")
+    with _PAYLOAD_LOCK:
+        _PAYLOAD = context
+        try:
+            width = max(1, min(workers, len(items)))
+            with ProcessPoolExecutor(
+                max_workers=width,
+                mp_context=multiprocessing.get_context("fork"),
+                initializer=_mark_worker,
+            ) as pool:
+                return list(
+                    pool.map(
+                        _invoke,
+                        [(worker, item) for item in items],
+                        chunksize=max(1, len(items) // (width * 4)),
+                    )
+                )
+        finally:
+            _PAYLOAD = None

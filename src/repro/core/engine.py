@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from repro.core.batch import fork_available, in_worker, payload, run_forked
 from repro.core.configuration import Configuration, KeywordMapping
 from repro.core.explanation import Explanation
 from repro.core.interpretation import Interpretation
@@ -106,15 +107,28 @@ class Quest:
     # -- step 1: forward -------------------------------------------------------
 
     def decode(
-        self, keywords: list[str], model: HiddenMarkovModel, k: int
+        self,
+        keywords: list[str],
+        model: HiddenMarkovModel,
+        k: int,
+        emissions: np.ndarray | None = None,
     ) -> list[Configuration]:
         """Top-k configurations from one HMM via List Viterbi.
 
         Scores are the softmax of the joint log-probabilities over the
         decoded list, i.e. each configuration's probability relative to its
         alternatives — the quantity the paper normalises into DS masses.
+
+        *emissions* lets the forward stage decode the a-priori and
+        feedback models from one shared emission matrix (the matrix
+        depends only on the provider and the state space, not on model
+        parameters); when omitted it is computed here, batched per
+        ``settings.columnar_index``.
         """
-        emissions = model.emission_matrix(keywords, self.wrapper)
+        if emissions is None:
+            emissions = model.emission_matrix(
+                keywords, self.wrapper, batched=self.settings.columnar_index
+            )
         paths = list_viterbi(
             model, emissions, k, vectorized=self.settings.vectorized_viterbi
         )
@@ -180,6 +194,9 @@ class Quest:
         """
         if not keywords:
             return 0.0
+        if self.settings.columnar_index:
+            matrix = self.wrapper.emission_matrix(list(keywords), self.states)
+            return int(np.count_nonzero(matrix.max(axis=1) > 0.0)) / len(keywords)
         covered = sum(
             1
             for keyword in keywords
@@ -226,6 +243,7 @@ class Quest:
         queries: Sequence[str],
         k: int | None = None,
         strict: bool = True,
+        workers: int | None = None,
     ) -> list[list[Explanation]]:
         """Answer a workload of queries, amortising work across them.
 
@@ -235,17 +253,41 @@ class Quest:
         corresponding recomputation. Per-query diagnostics land in
         :attr:`batch_traces`.
 
+        With *workers* > 1 (default: ``settings.batch_workers``) the
+        queries fan out over that many forked processes instead — the
+        CPU-bound batch-throughput mode. Workers inherit the engine by
+        fork (nothing is pickled but queries and results) and their
+        caches warm independently, so answers stay element-wise identical
+        to the sequential run; platforms without ``fork`` fall back to
+        sequential execution.
+
         Args:
             queries: raw query texts.
             k: explanations per query (defaults to ``settings.k``).
             strict: when ``False``, a query that raises (a
                 :class:`QuestError` or any wrapper failure) yields an
                 empty result list instead of aborting the batch.
+            workers: process-pool width for this batch, overriding
+                ``settings.batch_workers``.
 
         Returns:
             One ranked explanation list per query, in input order —
             element-wise identical to calling :meth:`search` per query.
         """
+        if workers is None:
+            workers = self.settings.batch_workers
+        if (
+            workers > 1
+            and len(queries) > 1
+            and fork_available()
+            and not in_worker()
+        ):
+            items = [(query, k, strict) for query in queries]
+            results = run_forked(self, _forked_search_one, items, workers)
+            self.batch_traces = [trace for _explanations, trace in results]
+            if results:
+                self.last_trace = results[-1][1]
+            return [explanations for explanations, _trace in results]
         contexts = self.pipeline.run_many(self, queries, k=k, strict=strict)
         self.batch_traces = [context.trace for context in contexts]
         if contexts:
@@ -270,3 +312,14 @@ class Quest:
             f"Quest(schema={self.schema.name!r}, states={len(self.states)}, "
             f"graph_edges={self.schema_graph.edge_count})"
         )
+
+
+def _forked_search_one(
+    item: tuple[str, int | None, bool],
+) -> tuple[list[Explanation], object]:
+    """One query of a forked ``search_many`` batch (module-level so it
+    crosses the process boundary by name; the engine arrives by fork)."""
+    query, k, strict = item
+    engine: Quest = payload()
+    context = engine.pipeline.run_many(engine, [query], k=k, strict=strict)[0]
+    return context.explanations, context.trace

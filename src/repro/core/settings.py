@@ -64,6 +64,18 @@ class QuestSettings:
         fast_steiner: enumerate Steiner trees on the integer-interned
             graph snapshot (bitmask edge/node/terminal sets). Same
             identical-results contract.
+        columnar_index: score a query's keywords against the state space
+            through the wrapper's batched ``emission_matrix`` (keyword
+            deduplication + one columnar-index pass); ``False`` selects
+            the retained per-keyword dict-walk reference. Same
+            identical-results contract as the kernel flags.
+        batch_workers: process-pool width for ``search_many`` batch
+            fan-out. ``1`` (the default) runs queries sequentially in
+            process; ``N > 1`` forks N workers for CPU-bound multi-query
+            throughput (results stay element-wise identical — per-query
+            answers never depend on cross-query cache state). Requires
+            the ``fork`` start method; platforms without it fall back to
+            sequential execution.
     """
 
     k: int = 10
@@ -81,6 +93,8 @@ class QuestSettings:
     vectorized_viterbi: bool = True
     bitmask_dst: bool = True
     fast_steiner: bool = True
+    columnar_index: bool = True
+    batch_workers: int = 1
 
     @classmethod
     def reference_kernels(cls, **changes: object) -> "QuestSettings":
@@ -96,6 +110,7 @@ class QuestSettings:
             "vectorized_viterbi": False,
             "bitmask_dst": False,
             "fast_steiner": False,
+            "columnar_index": False,
         }
         flags.update(changes)
         return cls(**flags)  # type: ignore[arg-type]
@@ -115,6 +130,10 @@ class QuestSettings:
             raise QuestError("at least one forward operating mode must be enabled")
         if self.min_explanation_results < 0:
             raise QuestError("min_explanation_results must be non-negative")
+        if self.batch_workers <= 0:
+            raise QuestError(
+                f"batch_workers must be positive, got {self.batch_workers}"
+            )
 
     def updated(self, **changes: object) -> "QuestSettings":
         """A copy with *changes* applied (validates the result)."""

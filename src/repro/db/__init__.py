@@ -10,7 +10,7 @@ consumes.
 from repro.db.catalog import Catalog
 from repro.db.database import Database
 from repro.db.executor import ResultSet, execute, result_count
-from repro.db.fulltext import FullTextIndex
+from repro.db.fulltext import ColumnarPostings, FullTextIndex
 from repro.db.query import (
     Comparison,
     JoinCondition,
@@ -28,6 +28,7 @@ __all__ = [
     "Catalog",
     "Column",
     "ColumnRef",
+    "ColumnarPostings",
     "Comparison",
     "DataType",
     "Database",

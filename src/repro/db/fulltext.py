@@ -15,22 +15,55 @@ The index stays correct under row inserts: tables are append-only, so
 build, and every read path checks the database's mutation counter first
 (lazy refresh — the same invalidation contract the Steiner cache honours
 on ``SchemaGraph.add_edge``).
+
+Two storage layouts back the read paths:
+
+* the **dict layout** — term -> {field -> {row -> tf}} nested dicts, the
+  mutable structure incremental refreshes append into. Retained verbatim
+  as the reference path (``FullTextIndex(db, columnar=False)``).
+* the **columnar layout** (the default) — a :class:`ColumnarPostings`
+  snapshot sealed from the dicts after each refresh: an interned
+  vocabulary plus CSR-style numpy arrays (per-term entry offsets, field
+  ids, match counts, row positions), with per-field document-frequency
+  vectors. Scoring becomes array slicing, whole queries can be scored in
+  one :meth:`ColumnarPostings.emission_block` pass, and the snapshot is
+  immutable — reads run lock-free on it after a single version check.
+
+Both layouts compute scores from the same integers with the same float
+operations, so they are **bit-identical** (asserted by the hypothesis
+parity suite in ``tests/perf/test_index_parity.py``).
+
+The columnar snapshot is also a **persistable artifact**: ``save(path)``
+writes one ``.npz`` file (arrays + a JSON catalog header), ``load(path,
+db)`` re-attaches it to a database after validating the header against the
+live schema and mutation counter — a warm process skips the whole build.
 """
 
 from __future__ import annotations
 
+import json
 import math
 import re
 import threading
+import zipfile
+import zlib
 from collections import Counter, defaultdict
 from contextlib import contextmanager
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
 
 from repro.db.database import Database
 from repro.db.schema import ColumnRef
+from repro.errors import IndexArtifactError
 
-__all__ = ["FullTextIndex", "tokenize_value"]
+__all__ = ["ColumnarPostings", "FullTextIndex", "tokenize_value"]
 
 _TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: Artifact format identifier; bumped whenever the array layout changes.
+_ARTIFACT_FORMAT = "quest-fulltext-v1"
 
 
 def tokenize_value(value: object) -> list[str]:
@@ -40,13 +73,306 @@ def tokenize_value(value: object) -> list[str]:
     return _TOKEN_RE.findall(str(value).casefold())
 
 
+class ColumnarPostings:
+    """An immutable CSR-style snapshot of the inverted index.
+
+    Layout (all arrays numpy, row positions sorted within an entry):
+
+    - ``vocabulary``: term -> term id (terms sorted lexicographically);
+    - ``term_offsets[t] : term_offsets[t + 1]`` — the slice of *entries*
+      (one entry per (term, field) pair holding the term) for term ``t``;
+    - ``entry_fields`` / ``entry_counts`` — field id and matching-row
+      count of each entry (fields ascending within a term);
+    - ``entry_offsets[e] : entry_offsets[e + 1]`` — the slice of
+      ``row_positions`` / ``row_tfs`` for entry ``e``;
+    - ``field_sizes`` / ``field_tokens`` — per-field indexed-value and
+      token counts (the TF normaliser), in schema field order.
+
+    Scores are computed from the same integers with the same operations
+    as the dict layout (``count / field_size`` then ``* idf``), so every
+    float is bit-identical to the reference path.
+    """
+
+    __slots__ = (
+        "vocabulary",
+        "term_offsets",
+        "entry_fields",
+        "entry_counts",
+        "entry_offsets",
+        "row_positions",
+        "row_tfs",
+        "field_sizes",
+        "field_tokens",
+        "fields",
+        "field_ids",
+        "n_fields",
+    )
+
+    def __init__(
+        self,
+        vocabulary: dict[str, int],
+        term_offsets: np.ndarray,
+        entry_fields: np.ndarray,
+        entry_counts: np.ndarray,
+        entry_offsets: np.ndarray,
+        row_positions: np.ndarray,
+        row_tfs: np.ndarray,
+        field_sizes: np.ndarray,
+        field_tokens: np.ndarray,
+        fields: tuple[ColumnRef, ...],
+    ) -> None:
+        self.vocabulary = vocabulary
+        self.term_offsets = term_offsets
+        self.entry_fields = entry_fields
+        self.entry_counts = entry_counts
+        self.entry_offsets = entry_offsets
+        self.row_positions = row_positions
+        self.row_tfs = row_tfs
+        self.field_sizes = field_sizes
+        self.field_tokens = field_tokens
+        self.fields = fields
+        self.field_ids = {ref: i for i, ref in enumerate(fields)}
+        self.n_fields = len(fields)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_postings(
+        cls,
+        postings: dict[str, dict[ColumnRef, dict[int, int]]],
+        field_sizes: dict[ColumnRef, int],
+        field_tokens: dict[ColumnRef, int],
+    ) -> "ColumnarPostings":
+        """Seal the mutable dict layout into an immutable snapshot."""
+        fields = tuple(field_sizes)
+        field_ids = {ref: i for i, ref in enumerate(fields)}
+        terms = sorted(postings)
+        vocabulary = {term: i for i, term in enumerate(terms)}
+        term_offsets = np.zeros(len(terms) + 1, dtype=np.int64)
+        entry_fields: list[int] = []
+        entry_counts: list[int] = []
+        entry_offsets: list[int] = [0]
+        position_chunks: list[list[int]] = []
+        tf_chunks: list[list[int]] = []
+        total_rows = 0
+        for t, term in enumerate(terms):
+            by_field = postings[term]
+            for field_id in sorted(field_ids[ref] for ref in by_field):
+                rows = by_field[fields[field_id]]
+                entry_fields.append(field_id)
+                entry_counts.append(len(rows))
+                ordered = sorted(rows)
+                position_chunks.append(ordered)
+                tf_chunks.append([rows[p] for p in ordered])
+                total_rows += len(rows)
+                entry_offsets.append(total_rows)
+            term_offsets[t + 1] = len(entry_fields)
+        return cls(
+            vocabulary=vocabulary,
+            term_offsets=term_offsets,
+            entry_fields=np.asarray(entry_fields, dtype=np.int32),
+            entry_counts=np.asarray(entry_counts, dtype=np.int64),
+            entry_offsets=np.asarray(entry_offsets, dtype=np.int64),
+            row_positions=np.asarray(
+                [p for chunk in position_chunks for p in chunk], dtype=np.int64
+            ),
+            row_tfs=np.asarray(
+                [f for chunk in tf_chunks for f in chunk], dtype=np.int64
+            ),
+            field_sizes=np.asarray(
+                [field_sizes[ref] for ref in fields], dtype=np.int64
+            ),
+            field_tokens=np.asarray(
+                [field_tokens[ref] for ref in fields], dtype=np.int64
+            ),
+            fields=fields,
+        )
+
+    def to_postings(
+        self,
+    ) -> dict[str, dict[ColumnRef, dict[int, int]]]:
+        """Rebuild the mutable dict layout (for incremental refresh after
+        a pure artifact load, and for the ``columnar=False`` reference)."""
+        postings: dict[str, dict[ColumnRef, dict[int, int]]] = defaultdict(dict)
+        for term, t in self.vocabulary.items():
+            by_field = postings[term]
+            for e in range(int(self.term_offsets[t]), int(self.term_offsets[t + 1])):
+                ref = self.fields[int(self.entry_fields[e])]
+                lo, hi = int(self.entry_offsets[e]), int(self.entry_offsets[e + 1])
+                by_field[ref] = {
+                    int(p): int(f)
+                    for p, f in zip(self.row_positions[lo:hi], self.row_tfs[lo:hi])
+                }
+        return postings
+
+    # -- scoring -----------------------------------------------------------
+
+    def _term_entries(self, term: str) -> slice | None:
+        t = self.vocabulary.get(term)
+        if t is None:
+            return None
+        return slice(int(self.term_offsets[t]), int(self.term_offsets[t + 1]))
+
+    def _entry_of(self, term: str, ref: ColumnRef) -> int | None:
+        """Index of the (term, field) entry, or ``None`` when absent.
+
+        The single lookup behind every scalar read path: binary search of
+        the field id within the term's entry slice (fields are stored
+        ascending per term).
+        """
+        entries = self._term_entries(term)
+        field_id = self.field_ids.get(ref)
+        if entries is None or field_id is None:
+            return None
+        e = entries.start + int(
+            np.searchsorted(self.entry_fields[entries], field_id)
+        )
+        if e >= entries.stop or int(self.entry_fields[e]) != field_id:
+            return None
+        return e
+
+    def _idf(self, entry_count: int) -> float:
+        # Same expression over the same integers as the dict layout.
+        return math.log(1.0 + self.n_fields / entry_count)
+
+    def attribute_scores(self, keyword: str) -> dict[ColumnRef, float]:
+        """TF-IDF relevance of *keyword* per attribute (array slicing)."""
+        entries = self._term_entries(keyword.casefold())
+        if entries is None:
+            return {}
+        fields = self.entry_fields[entries]
+        sizes = self.field_sizes[fields]
+        # int64 / int64 -> float64 matches Python's int / int division;
+        # the subsequent `* idf` keeps the reference association order.
+        values = (self.entry_counts[entries] / sizes) * self._idf(
+            entries.stop - entries.start
+        )
+        return {
+            self.fields[int(field)]: float(value)
+            for field, value, size in zip(fields, values, sizes)
+            if size > 0
+        }
+
+    def score(self, keyword: str, ref: ColumnRef) -> float:
+        """Relevance of *keyword* for one attribute (0.0 when absent)."""
+        term = keyword.casefold()
+        e = self._entry_of(term, ref)
+        if e is None:
+            return 0.0
+        field_size = int(self.field_sizes[self.field_ids[ref]])
+        if field_size == 0:
+            return 0.0
+        entries = self._term_entries(term)
+        assert entries is not None
+        return (int(self.entry_counts[e]) / field_size) * self._idf(
+            entries.stop - entries.start
+        )
+
+    def selectivity(self, keyword: str, ref: ColumnRef) -> float:
+        """Fraction of the attribute's values matching *keyword*."""
+        e = self._entry_of(keyword.casefold(), ref)
+        if e is None:
+            return 0.0
+        field_size = int(self.field_sizes[self.field_ids[ref]])
+        if field_size == 0:
+            return 0.0
+        return int(self.entry_counts[e]) / field_size
+
+    def matching_row_positions(self, keyword: str, ref: ColumnRef) -> list[int]:
+        """Sorted row positions of *keyword* in ``ref`` (stored sorted)."""
+        e = self._entry_of(keyword.casefold(), ref)
+        if e is None:
+            return []
+        lo, hi = int(self.entry_offsets[e]), int(self.entry_offsets[e + 1])
+        return [int(p) for p in self.row_positions[lo:hi]]
+
+    def emission_block(
+        self, keywords: Sequence[str], refs: Sequence[ColumnRef]
+    ) -> np.ndarray:
+        """Scores of every keyword against every requested attribute.
+
+        The batched form of :meth:`attribute_scores`: one ``(len(keywords),
+        len(refs))`` float matrix filled by array slicing per keyword — the
+        vectorised pass the forward stage scores a whole query with. Cell
+        values are bit-identical to ``attribute_scores(kw).get(ref, 0.0)``.
+        """
+        ref_ids = np.asarray(
+            [self.field_ids.get(ref, -1) for ref in refs], dtype=np.int64
+        )
+        # Scatter per-keyword field scores into a dense per-field row, then
+        # gather the requested columns: O(nnz + len(refs)) per keyword.
+        out = np.zeros((len(keywords), len(refs)))
+        row = np.zeros(self.n_fields + 1)  # slot -1 absorbs unknown refs
+        for i, keyword in enumerate(keywords):
+            entries = self._term_entries(keyword.casefold())
+            if entries is None:
+                continue
+            fields = self.entry_fields[entries]
+            row[fields] = (
+                self.entry_counts[entries] / self.field_sizes[fields]
+            ) * self._idf(entries.stop - entries.start)
+            out[i] = row[ref_ids]
+            row[fields] = 0.0
+        return out
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self.vocabulary)
+
+    # -- persistence -------------------------------------------------------
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """The snapshot's array payload (for ``np.savez``)."""
+        return {
+            "terms": np.asarray(list(self.vocabulary), dtype=str),
+            "term_offsets": self.term_offsets,
+            "entry_fields": self.entry_fields,
+            "entry_counts": self.entry_counts,
+            "entry_offsets": self.entry_offsets,
+            "row_positions": self.row_positions,
+            "row_tfs": self.row_tfs,
+            "field_sizes": self.field_sizes,
+            "field_tokens": self.field_tokens,
+        }
+
+    @classmethod
+    def from_arrays(
+        cls, data: dict[str, np.ndarray], fields: tuple[ColumnRef, ...]
+    ) -> "ColumnarPostings":
+        """Rehydrate a snapshot from a saved array payload."""
+        terms = [str(t) for t in data["terms"]]
+        return cls(
+            vocabulary={term: i for i, term in enumerate(terms)},
+            term_offsets=np.asarray(data["term_offsets"], dtype=np.int64),
+            entry_fields=np.asarray(data["entry_fields"], dtype=np.int32),
+            entry_counts=np.asarray(data["entry_counts"], dtype=np.int64),
+            entry_offsets=np.asarray(data["entry_offsets"], dtype=np.int64),
+            row_positions=np.asarray(data["row_positions"], dtype=np.int64),
+            row_tfs=np.asarray(data["row_tfs"], dtype=np.int64),
+            field_sizes=np.asarray(data["field_sizes"], dtype=np.int64),
+            field_tokens=np.asarray(data["field_tokens"], dtype=np.int64),
+            fields=fields,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarPostings(terms={len(self.vocabulary)}, "
+            f"entries={len(self.entry_fields)}, fields={self.n_fields})"
+        )
+
+
 class FullTextIndex:
     """Inverted index mapping terms to per-attribute posting lists."""
 
-    def __init__(self, db: Database) -> None:
+    def __init__(self, db: Database, columnar: bool = True) -> None:
         self._db = db
-        #: term -> {ColumnRef -> {row_position -> term frequency}}
+        self._columnar = columnar
+        #: term -> {ColumnRef -> {row_position -> term frequency}} — the
+        #: mutable layout refreshes append into. Empty (and flagged
+        #: unhydrated) right after an artifact load; rebuilt from the
+        #: snapshot only if a later mutation needs appending.
         self._postings: dict[str, dict[ColumnRef, dict[int, int]]] = defaultdict(dict)
+        self._postings_hydrated = True
         #: ColumnRef -> number of indexed (non-null) values
         self._field_sizes: dict[ColumnRef, int] = {}
         #: ColumnRef -> total token count
@@ -60,11 +386,18 @@ class FullTextIndex:
                 self._field_tokens[ref] = 0
             self._indexed_rows[table.name] = 0
         self._n_fields = len(self._field_sizes)
+        #: The sealed columnar layout; None = stale (resealed on demand).
+        self._snapshot: ColumnarPostings | None = None
         # Built lazily: the first read triggers the initial refresh, so
         # constructing an index (e.g. for an execute-only endpoint that
         # never searches) costs nothing.
         self._built_version = -1
         self._lock = threading.RLock()
+
+    @property
+    def columnar(self) -> bool:
+        """Whether reads are served from the columnar snapshot."""
+        return self._columnar
 
     def refresh(self) -> None:
         """Index rows inserted since the last build.
@@ -78,18 +411,39 @@ class FullTextIndex:
         with self._lock:
             self._refresh_locked()
 
+    def warm(self) -> None:
+        """Force the build now (refresh + seal the columnar snapshot).
+
+        Reads do this lazily; endpoints that want the cost paid at setup
+        time (and the index-build benchmark) call it explicitly.
+        """
+        with self._lock:
+            self._refresh_locked()
+            if self._columnar and self._snapshot is None:
+                self._seal_locked()
+
     def _refresh_locked(self) -> None:
         # Snapshot the version (and each table's length) BEFORE scanning:
         # a row inserted concurrently mid-scan then leaves the snapshot
         # behind the live version, so the next read refreshes again
         # instead of silently treating the unscanned row as indexed.
         version = self._db.version
+        if version == self._built_version:
+            return
+        if not self._postings_hydrated:
+            # Loaded from an artifact and now mutated: rebuild the mutable
+            # layout from the snapshot once, then append normally.
+            assert self._snapshot is not None
+            self._postings = defaultdict(dict, self._snapshot.to_postings())
+            self._postings_hydrated = True
+        changed = False
         for table in self._db.tables:
             start = self._indexed_rows[table.name]
             rows = table.rows
             end = len(rows)
             if start >= end:
                 continue
+            changed = True
             for column in table.schema.columns:
                 ref = ColumnRef(table.name, column.name)
                 position = table.column_position(column.name)
@@ -107,31 +461,67 @@ class FullTextIndex:
                 self._field_sizes[ref] += indexed
                 self._field_tokens[ref] += tokens_total
             self._indexed_rows[table.name] = end
+        if changed:
+            self._snapshot = None  # stale: resealed on the next read
         self._built_version = version
+
+    def _seal_locked(self) -> None:
+        self._snapshot = ColumnarPostings.from_postings(
+            self._postings, self._field_sizes, self._field_tokens
+        )
+
+    # -- read-path plumbing ------------------------------------------------
+
+    def _current(self) -> ColumnarPostings | None:
+        """One version check, then the refreshed columnar snapshot.
+
+        Every public read calls this exactly once: the mutation counter is
+        compared (and a lazy refresh run) under the lock a single time,
+        and columnar reads then proceed lock-free on the immutable
+        snapshot. Returns ``None`` when the index runs in dict mode — the
+        caller falls back to the reference path under :meth:`_reading`.
+        """
+        if not self._columnar:
+            return None
+        with self._lock:
+            self._refresh_locked()
+            if self._snapshot is None:
+                self._seal_locked()
+            return self._snapshot
 
     @contextmanager
     def _reading(self):
-        """Serialise reads against refreshes (and refresh lazily first).
+        """Serialise dict-layout reads against refreshes (lazily refreshing).
 
-        Read paths iterate the posting dicts a concurrent refresh would
-        mutate, so the whole read holds the same lock. Covers both the
-        lazy initial build (_built_version starts at -1, below any real
-        version) and later inserts.
+        Dict read paths iterate the posting dicts a concurrent refresh
+        would mutate, so the whole read holds the lock; the version
+        counter is checked once on entry. Covers both the lazy initial
+        build (_built_version starts at -1, below any real version) and
+        later inserts.
         """
         with self._lock:
-            if self._built_version != self._db.version:
-                self._refresh_locked()
+            self._refresh_locked()
+            if not self._postings_hydrated:
+                assert self._snapshot is not None
+                self._postings = defaultdict(dict, self._snapshot.to_postings())
+                self._postings_hydrated = True
             yield
 
     # -- vocabulary --------------------------------------------------------
 
     def __contains__(self, term: str) -> bool:
+        snapshot = self._current()
+        if snapshot is not None:
+            return term.casefold() in snapshot.vocabulary
         with self._reading():
             return term.casefold() in self._postings
 
     @property
     def vocabulary_size(self) -> int:
         """Number of distinct indexed terms."""
+        snapshot = self._current()
+        if snapshot is not None:
+            return snapshot.vocabulary_size
         with self._reading():
             return len(self._postings)
 
@@ -153,6 +543,9 @@ class FullTextIndex:
         dampens terms spread across many attributes. Scores are positive and
         unnormalised; the HMM emission builder normalises them per state.
         """
+        snapshot = self._current()
+        if snapshot is not None:
+            return snapshot.attribute_scores(keyword)
         with self._reading():
             term = keyword.casefold()
             by_field = self._postings.get(term)
@@ -168,13 +561,42 @@ class FullTextIndex:
                 scores[ref] = tf * idf
             return scores
 
+    def attribute_scores_many(
+        self, keywords: Sequence[str]
+    ) -> list[dict[ColumnRef, float]]:
+        """Per-keyword :meth:`attribute_scores`, one version check total."""
+        snapshot = self._current()
+        if snapshot is not None:
+            return [snapshot.attribute_scores(keyword) for keyword in keywords]
+        with self._reading():
+            return [self.attribute_scores(keyword) for keyword in keywords]
+
+    def emission_block(
+        self, keywords: Sequence[str], refs: Sequence[ColumnRef]
+    ) -> np.ndarray:
+        """Batched keyword-vs-attribute score matrix (see
+        :meth:`ColumnarPostings.emission_block`); works in both layouts."""
+        snapshot = self._current()
+        if snapshot is not None:
+            return snapshot.emission_block(keywords, refs)
+        out = np.zeros((len(keywords), len(refs)))
+        with self._reading():
+            for i, keyword in enumerate(keywords):
+                scores = self.attribute_scores(keyword)
+                if scores:
+                    out[i] = [scores.get(ref, 0.0) for ref in refs]
+        return out
+
     def score(self, keyword: str, ref: ColumnRef) -> float:
         """Relevance of *keyword* for one attribute (0.0 when absent).
 
-        A direct posting-map lookup — O(1) in the number of attributes the
-        term occurs in, unlike :meth:`attribute_scores` which materialises
-        the full per-attribute dict.
+        A direct posting lookup — O(log entries) in the columnar layout,
+        O(1) dict probes in the reference layout — unlike
+        :meth:`attribute_scores` which materialises the full dict.
         """
+        snapshot = self._current()
+        if snapshot is not None:
+            return snapshot.score(keyword, ref)
         with self._reading():
             by_field = self._postings.get(keyword.casefold())
             if not by_field:
@@ -191,6 +613,9 @@ class FullTextIndex:
 
     def matching_row_positions(self, keyword: str, ref: ColumnRef) -> list[int]:
         """Row positions in ``ref.table`` whose ``ref.column`` contains *keyword*."""
+        snapshot = self._current()
+        if snapshot is not None:
+            return snapshot.matching_row_positions(keyword, ref)
         with self._reading():
             term = keyword.casefold()
             by_field = self._postings.get(term, {})
@@ -199,9 +624,12 @@ class FullTextIndex:
     def selectivity(self, keyword: str, ref: ColumnRef) -> float:
         """Fraction of the attribute's values matching *keyword*.
 
-        Reads the posting map directly (no sort, no full-dict rebuild):
+        Reads the postings directly (no sort, no full-dict rebuild):
         only the matching-row *count* is needed, not the positions.
         """
+        snapshot = self._current()
+        if snapshot is not None:
+            return snapshot.selectivity(keyword, ref)
         with self._reading():
             field_size = self._field_sizes.get(ref, 0)
             if field_size == 0:
@@ -209,8 +637,130 @@ class FullTextIndex:
             by_field = self._postings.get(keyword.casefold(), {})
             return len(by_field.get(ref, ())) / field_size
 
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the built index to *path* as one ``.npz`` artifact.
+
+        The artifact holds the columnar arrays plus a JSON catalog header
+        (schema name, field list, per-table indexed row counts, source
+        mutation counter) that :meth:`load` validates against the live
+        database — a stale artifact is refused, never silently served.
+        """
+        with self._lock:
+            self._refresh_locked()
+            if self._snapshot is None:
+                self._seal_locked()
+            snapshot = self._snapshot
+            header = {
+                "format": _ARTIFACT_FORMAT,
+                "schema": self._db.schema.name,
+                "fields": [str(ref) for ref in self._field_sizes],
+                "indexed_rows": dict(self._indexed_rows),
+                "source_version": self._built_version,
+            }
+        assert snapshot is not None
+        with open(path, "wb") as handle:
+            np.savez(
+                handle,
+                header=np.asarray(json.dumps(header, sort_keys=True)),
+                **snapshot.arrays(),
+            )
+
+    @classmethod
+    def load(
+        cls, path: str | Path, db: Database, columnar: bool = True
+    ) -> "FullTextIndex":
+        """Attach a saved artifact to *db*, skipping the build entirely.
+
+        Raises :class:`~repro.errors.IndexArtifactError` when the artifact
+        does not describe *db*'s current state: wrong format, wrong
+        schema, different field set, or a mutation-counter / row-count
+        mismatch (the database moved since the artifact was written).
+        """
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                header = json.loads(str(data["header"]))
+                arrays = {
+                    name: data[name] for name in data.files if name != "header"
+                }
+        except (
+            OSError,
+            KeyError,
+            ValueError,
+            zipfile.BadZipFile,  # truncated/corrupt archive (a cache casualty)
+            zlib.error,  # truncated member payload
+        ) as exc:
+            raise IndexArtifactError(f"unreadable index artifact {path}: {exc}") from exc
+        if header.get("format") != _ARTIFACT_FORMAT:
+            raise IndexArtifactError(
+                f"index artifact {path} has format {header.get('format')!r}, "
+                f"expected {_ARTIFACT_FORMAT!r}"
+            )
+        if header.get("schema") != db.schema.name:
+            raise IndexArtifactError(
+                f"index artifact {path} was built for schema "
+                f"{header.get('schema')!r}, not {db.schema.name!r}"
+            )
+        index = cls(db, columnar=columnar)
+        fields = [str(ref) for ref in index._field_sizes]
+        if header.get("fields") != fields:
+            raise IndexArtifactError(
+                f"index artifact {path} covers a different field set"
+            )
+        indexed_rows = header.get("indexed_rows", {})
+        for table in db.tables:
+            if indexed_rows.get(table.name) != len(table.rows):
+                raise IndexArtifactError(
+                    f"index artifact {path} indexed "
+                    f"{indexed_rows.get(table.name)} rows of {table.name!r}, "
+                    f"database holds {len(table.rows)}"
+                )
+        if header.get("source_version") != db.version:
+            raise IndexArtifactError(
+                f"index artifact {path} was built at database version "
+                f"{header.get('source_version')}, database is at {db.version}"
+            )
+        snapshot = ColumnarPostings.from_arrays(arrays, tuple(index._field_sizes))
+        index._snapshot = snapshot
+        index._field_sizes = dict(
+            zip(snapshot.fields, (int(s) for s in snapshot.field_sizes))
+        )
+        index._field_tokens = dict(
+            zip(snapshot.fields, (int(t) for t in snapshot.field_tokens))
+        )
+        index._indexed_rows = {name: int(n) for name, n in indexed_rows.items()}
+        index._built_version = int(header["source_version"])
+        # The dict layout is rebuilt from the snapshot only when needed:
+        # lazily on the next mutation (columnar mode) or right now
+        # (dict mode, whose reads walk the dicts).
+        index._postings_hydrated = False
+        if not columnar:
+            index._postings = defaultdict(dict, snapshot.to_postings())
+            index._postings_hydrated = True
+        return index
+
+    @classmethod
+    def load_or_build(
+        cls, path: str | Path, db: Database, columnar: bool = True
+    ) -> "FullTextIndex":
+        """Load the artifact at *path* if it matches *db*, else build and
+        (re)write it — the warm-process entry point and what CI's cached
+        index step calls."""
+        artifact = Path(path)
+        if artifact.exists():
+            try:
+                return cls.load(artifact, db, columnar=columnar)
+            except IndexArtifactError:
+                pass
+        index = cls(db, columnar=columnar)
+        index.warm()
+        index.save(artifact)
+        return index
+
     def __repr__(self) -> str:
+        layout = "columnar" if self._columnar else "dict"
         return (
-            f"FullTextIndex(fields={self._n_fields}, "
-            f"terms={len(self._postings)})"
+            f"FullTextIndex(fields={self._n_fields}, layout={layout}, "
+            f"built_version={self._built_version})"
         )

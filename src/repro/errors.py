@@ -71,3 +71,13 @@ class CombinationError(QuestError):
 
 class WorkloadError(QuestError):
     """A benchmark workload definition is inconsistent."""
+
+
+class IndexArtifactError(QuestError):
+    """A persisted index artifact is unreadable or stale.
+
+    Raised by :meth:`repro.db.fulltext.FullTextIndex.load` when the
+    ``.npz`` artifact's catalog header does not describe the live
+    database (format, schema, field set, row counts or mutation counter
+    mismatch) — a stale index must be rebuilt, never silently served.
+    """

@@ -17,7 +17,12 @@ import numpy as np
 from repro.errors import ModelError
 from repro.hmm.states import StateSpace
 
-__all__ = ["EmissionProvider", "HiddenMarkovModel", "EMISSION_FLOOR"]
+__all__ = [
+    "BatchedEmissionProvider",
+    "EmissionProvider",
+    "HiddenMarkovModel",
+    "EMISSION_FLOOR",
+]
 
 #: Smoothing floor so every state can emit every keyword with tiny
 #: probability; without it a single unmatched keyword annihilates all paths.
@@ -29,6 +34,16 @@ class EmissionProvider(Protocol):
 
     def emission_scores(self, keyword: str, states: StateSpace) -> np.ndarray:
         """Non-negative relevance of *keyword* for each state (unnormalised)."""
+        ...  # pragma: no cover - protocol
+
+
+class BatchedEmissionProvider(EmissionProvider, Protocol):
+    """A provider that can score a whole observation sequence at once."""
+
+    def emission_matrix(
+        self, keywords: Sequence[str], states: StateSpace
+    ) -> np.ndarray:
+        """Raw ``(T, n)`` scores, rows bit-identical to ``emission_scores``."""
         ...  # pragma: no cover - protocol
 
 
@@ -97,7 +112,10 @@ class HiddenMarkovModel:
     # -- emissions -----------------------------------------------------------
 
     def emission_matrix(
-        self, keywords: Sequence[str], provider: EmissionProvider
+        self,
+        keywords: Sequence[str],
+        provider: EmissionProvider,
+        batched: bool = True,
     ) -> np.ndarray:
         """Emission probabilities for an observation sequence.
 
@@ -106,10 +124,33 @@ class HiddenMarkovModel:
         to one across states. Normalising per keyword implements the paper's
         setup-phase coefficient: raw search-function scores are turned into
         quantities usable as probabilities.
+
+        With *batched* (the default), a provider exposing ``emission_matrix``
+        (see :class:`BatchedEmissionProvider` — the source wrappers do)
+        scores the whole sequence in one deduplicated pass; ``batched=False``
+        retains the per-keyword reference walk (the
+        ``QuestSettings.columnar_index`` flag selects between them).
+        Normalisation happens per row in both cases, in the same operation
+        order, so the resulting matrices are bit-identical.
         """
         n = len(self.states)
         if not keywords:
             raise ModelError("empty observation sequence")
+        batch = getattr(provider, "emission_matrix", None) if batched else None
+        if batch is not None:
+            raw = np.asarray(batch(keywords, self.states), dtype=float)
+            if raw.shape != (len(keywords), n):
+                raise ModelError(
+                    f"provider returned shape {raw.shape}, "
+                    f"expected ({len(keywords)}, {n})"
+                )
+            if np.any(raw < 0):
+                raise ModelError("negative emission score in batched matrix")
+            matrix = np.empty((len(keywords), n), dtype=float)
+            for t in range(len(keywords)):
+                scores = raw[t] + EMISSION_FLOOR
+                matrix[t] = scores / scores.sum()
+            return matrix
         matrix = np.empty((len(keywords), n), dtype=float)
         for t, keyword in enumerate(keywords):
             scores = np.asarray(provider.emission_scores(keyword, self.states))

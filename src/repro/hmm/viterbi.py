@@ -19,14 +19,18 @@ Two implementations share one contract and return identical results:
     The same dynamic program over numpy ``(n, k)`` score tensors and
     ``(T, n, k)`` backpointer tensors: each step broadcasts every
     predecessor cell against the transition matrix at once and selects each
-    cell's k-best by a stable argsort, so the per-candidate Python loop (and
-    its path-tuple allocations) disappears. Scores are bit-identical — the
-    float additions happen in the same association order — and ties on
-    equal log-probabilities are resolved exactly like the reference
-    (selection keeps generation order, output sorts tied paths
-    lexicographically), reconstructing paths from backpointers only for the
-    tied entries. Disable per call with ``vectorized=False`` or engine-wide
-    with ``QuestSettings.vectorized_viterbi``.
+    cell's k-best with a partition-bounded stable sort, so the
+    per-candidate Python loop (and its path-tuple allocations) disappears.
+    Scores are bit-identical — the float additions happen in the same
+    association order — and ties on equal log-probabilities are resolved
+    exactly like the reference (selection keeps generation order, output
+    sorts tied paths lexicographically) by maintaining a per-entry
+    *lexicographic rank* inductively instead of materialising path tuples:
+    a path is the predecessor's path plus one state, so comparing
+    (predecessor rank, state) pairs compares full paths. Paths are
+    reconstructed from backpointers only for the k sequences returned.
+    Disable per call with ``vectorized=False`` or engine-wide with
+    ``QuestSettings.vectorized_viterbi``.
 """
 
 from __future__ import annotations
@@ -79,6 +83,28 @@ def _check_inputs(
     return T, n
 
 
+def _stable_topk_rows(candidates: np.ndarray, k: int) -> np.ndarray:
+    """Per-row indices of the k best candidates, stable-descending.
+
+    Equivalent to ``np.argsort(-candidates, axis=1, kind="stable")[:, :k]``
+    — among equal scores, lower candidate indices (generation order) win —
+    but computed with ``np.partition``: the per-row k-th value bounds the
+    survivors (at least k per row by construction), and one flat
+    three-key sort of the survivors by (row, descending score, ascending
+    index) reproduces the stable order; the first k of each row block are
+    the selection.
+    """
+    n, m = candidates.shape
+    if m <= k:
+        return np.argsort(-candidates, axis=1, kind="stable")
+    cutoffs = np.partition(candidates, m - k, axis=1)[:, m - k]
+    rows, cols = np.nonzero(candidates >= cutoffs[:, None])
+    values = candidates[rows, cols]
+    order = np.lexsort((cols, -values, rows))
+    starts = np.searchsorted(rows[order], np.arange(n))
+    return cols[order[(starts[:, None] + np.arange(k)).ravel()]].reshape(n, k)
+
+
 def list_viterbi(
     model: HiddenMarkovModel,
     emissions: np.ndarray,
@@ -117,6 +143,18 @@ def list_viterbi(
     # cell (t-1, bp_state[t, s, j]) rank bp_rank[t, s, j] by state s.
     bp_state = np.zeros((T, n, k), dtype=np.int32)
     bp_rank = np.zeros((T, n, k), dtype=np.int32)
+    # lexrank[s, j]: position of entry (s, j)'s path in the lexicographic
+    # order over ALL current entries. Every occupied entry holds a
+    # distinct path (within a cell, entries extend distinct predecessor
+    # entries; across cells, paths differ in their last state), so this
+    # is a strict total order — equal-score ties are resolved by
+    # comparing these integers instead of materialised path tuples.
+    # Inductive invariant: path(a) < path(b) iff, comparing their
+    # predecessor ranks first and their own states second,
+    # (lexrank'[pred(a)], state(a)) < (lexrank'[pred(b)], state(b)).
+    lexrank = np.full((n, k), n * k, dtype=np.int64)
+    lexrank[:, 0] = np.arange(n)  # t = 0: the path (s,) sorts by s
+    row_states = np.repeat(np.arange(n), k)  # state of each flat (s, j) slot
 
     def path_of(t: int, s: int, j: int) -> tuple[int, ...]:
         """Reconstruct the state tuple of entry (t, s, j) from backpointers."""
@@ -129,65 +167,73 @@ def list_viterbi(
         return tuple(reversed(reverse))
 
     for t in range(1, T):
-        # candidates[s, r * k + i] = scores[r, i] + transition[r, s] + emit.
-        # The association order matches the reference's `logp + step + emit`
-        # so every float is bit-identical.
+        # Only occupied predecessor entries generate candidates (at the
+        # first step that is one per state, a 30x narrower matrix than
+        # the full (n, n*k)); flatnonzero of the row-major scores yields
+        # them exactly in the reference's generation order (r ascending,
+        # rank ascending).
+        occupied = np.flatnonzero(scores.reshape(-1) > _NEG_INF)
+        if occupied.size == 0:
+            return []
+        occupied_state = occupied // k
+        occupied_rank = occupied % k
+        # candidates[s, j] = scores[r_j, i_j] + transition[r_j, s] + emit.
+        # IEEE addition commutes bit-exactly, so the target-major
+        # `(step + logp) + emit` equals the reference's
+        # `(logp + step) + emit` float for float.
         candidates = (
-            scores[:, None, :] + log_transition[:, :, None]
-        ) + log_emissions[t][None, :, None]
-        candidates = candidates.transpose(1, 0, 2).reshape(n, n * k)
-        # Stable descending sort = heapq.nlargest over candidates in
-        # generation order (r ascending, rank ascending): equal scores keep
-        # their generation order, exactly like the reference's selection.
-        order = np.argsort(-candidates, axis=1, kind="stable")[:, :k]
-        scores = np.take_along_axis(candidates, order, axis=1)
-        bp_state[t] = order // k
-        bp_rank[t] = order % k
-        # The reference sorts each cell by (-logp, path): among equal
-        # scores, paths ascend lexicographically. The stable selection
-        # already orders same-predecessor ties correctly (predecessor cells
-        # are path-sorted inductively), so only cells with ties need the
-        # explicit path comparison.
-        tied = np.nonzero(
-            (scores[:, :-1] == scores[:, 1:]) & (scores[:, :-1] > _NEG_INF)
-        )[0]
-        for s in np.unique(tied):
-            row = scores[s]
-            j = 0
-            while j < k - 1:
-                end = j + 1
-                while end < k and row[end] == row[j] and row[j] > _NEG_INF:
-                    end += 1
-                if end - j > 1:
-                    group = sorted(
-                        range(j, end),
-                        key=lambda idx: path_of(
-                            t - 1, int(bp_state[t, s, idx]), int(bp_rank[t, s, idx])
-                        ),
-                    )
-                    bp_state[t, s, j:end] = bp_state[t, s, group]
-                    bp_rank[t, s, j:end] = bp_rank[t, s, group]
-                j = end
+            log_transition.T[:, occupied_state]
+            + scores.reshape(-1)[occupied][None, :]
+        ) + log_emissions[t][:, None]
+        # Stable descending selection = heapq.nlargest over candidates in
+        # generation order: among equal scores the first-generated
+        # survive, exactly like the reference.
+        width = min(k, occupied.size)
+        order = _stable_topk_rows(candidates, k)[:, :width]
+        selected = np.take_along_axis(candidates, order, axis=1)
+        pred_state = occupied_state[order]
+        pred_ranks = occupied_rank[order]
+        # The reference sorts each cell by (-logp, path): among the
+        # selected equal scores, paths ascend lexicographically — which,
+        # within one cell (same final state), is exactly ascending
+        # predecessor lexrank. One flat three-key sort applies it to
+        # every cell at once.
+        pred_lex = lexrank.reshape(-1)[occupied][order]
+        flat_rows = (
+            row_states if width == k else np.repeat(np.arange(n), width)
+        )
+        resort = np.lexsort((pred_lex.ravel(), -selected.ravel(), flat_rows))
+        scores = np.full((n, k), _NEG_INF)
+        scores[:, :width] = selected.ravel()[resort].reshape(n, width)
+        bp_state[t, :, :width] = pred_state.ravel()[resort].reshape(n, width)
+        bp_rank[t, :, :width] = pred_ranks.ravel()[resort].reshape(n, width)
+        # Re-rank for the next step: order every entry by (predecessor
+        # path, own state); empty slots key past every real path.
+        keys = np.full(n * k, np.iinfo(np.int64).max)
+        filled = (
+            np.arange(n)[:, None] * k + np.arange(width)[None, :]
+        ).ravel()
+        keys[filled] = np.where(
+            scores.reshape(-1)[filled] > _NEG_INF,
+            pred_lex.ravel()[resort] * n + flat_rows,
+            np.iinfo(np.int64).max,
+        )
+        flat_order = np.argsort(keys, kind="stable")
+        lexrank = np.empty(n * k, dtype=np.int64)
+        lexrank[flat_order] = np.arange(n * k)
+        lexrank = lexrank.reshape(n, k)
 
     # Final ranking over every occupied cell entry: the reference sorts all
-    # of them by (-logp, path). Select the k best by score (plus everything
-    # tied with the k-th) and let the path tuples order the ties.
+    # of them by (-logp, path) — here (-logp, lexrank) — and keeps k.
     flat = scores.reshape(-1)
-    finite = np.nonzero(flat > _NEG_INF)[0]
-    if finite.size == 0:
-        return []
-    ranked = finite[np.argsort(-flat[finite], kind="stable")]
-    if ranked.size > k:
-        cutoff = flat[ranked[k - 1]]
-        keep = int(np.searchsorted(-flat[ranked], -cutoff, side="right"))
-        ranked = ranked[:keep]
-    finals = [
-        (float(flat[idx]), path_of(T - 1, int(idx) // k, int(idx) % k))
-        for idx in ranked
-    ]
-    finals.sort(key=lambda c: (-c[0], c[1]))
+    ranked = np.lexsort((lexrank.reshape(-1), -flat))
+    ranked = ranked[flat[ranked] > _NEG_INF][:k]
     return [
-        DecodedPath(states=path, log_probability=logp) for logp, path in finals[:k]
+        DecodedPath(
+            states=path_of(T - 1, int(idx) // k, int(idx) % k),
+            log_probability=float(flat[idx]),
+        )
+        for idx in ranked
     ]
 
 

@@ -75,10 +75,33 @@ class ForwardStage(PipelineStage):
         k = context.pool
         apriori: list[Configuration] = []
         feedback: list[Configuration] = []
-        if settings.use_apriori:
-            apriori = engine.decode(context.keywords, engine.apriori_model, k)
-        if settings.use_feedback and engine.feedback_model is not None:
-            feedback = engine.decode(context.keywords, engine.feedback_model, k)
+        run_apriori = settings.use_apriori
+        run_feedback = settings.use_feedback and engine.feedback_model is not None
+        # The emission matrix depends on the provider and the state space
+        # only — when both operating modes decode over the same state
+        # tuple, they share one (batched, deduplicated) matrix instead of
+        # scoring the query twice. A foreign feedback model with its own
+        # state ordering keeps its own matrix.
+        shared = None
+        if (
+            run_apriori
+            and run_feedback
+            and engine.feedback_model.states.states
+            == engine.apriori_model.states.states
+        ):
+            shared = engine.apriori_model.emission_matrix(
+                context.keywords,
+                engine.wrapper,
+                batched=settings.columnar_index,
+            )
+        if run_apriori:
+            apriori = engine.decode(
+                context.keywords, engine.apriori_model, k, emissions=shared
+            )
+        if run_feedback:
+            feedback = engine.decode(
+                context.keywords, engine.feedback_model, k, emissions=shared
+            )
 
         if apriori and feedback:
             combined = self._combine_modes(engine, apriori, feedback, k)

@@ -21,7 +21,10 @@ live (see ARCHITECTURE.md, "Storage backends").
 from __future__ import annotations
 
 import abc
+from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
 
 from repro.db.catalog import Catalog
 from repro.db.executor import ResultSet
@@ -137,6 +140,53 @@ class StorageBackend(abc.ABC):
     @abc.abstractmethod
     def attribute_scores(self, keyword: str) -> dict[ColumnRef, float]:
         """TF-IDF relevance of *keyword* per attribute containing it."""
+
+    def attribute_scores_many(
+        self, keywords: Sequence[str]
+    ) -> list[dict[ColumnRef, float]]:
+        """Per-keyword :meth:`attribute_scores` for a whole query at once.
+
+        The batched entry point of the forward stage's emission scoring:
+        backends that can amortise work across keywords (the columnar
+        in-memory index, one grouped SQL query on SQLite) override this;
+        the default simply loops. Cell values are bit-identical to the
+        per-keyword calls either way.
+        """
+        return [self.attribute_scores(keyword) for keyword in keywords]
+
+    def emission_block(
+        self, keywords: Sequence[str], refs: Sequence[ColumnRef]
+    ) -> np.ndarray:
+        """Dense ``(len(keywords), len(refs))`` score matrix.
+
+        Row *i*, column *j* equals ``attribute_scores(keywords[i]).get(
+        refs[j], 0.0)`` bit for bit — this is the array the vectorised
+        emission path writes straight into the HMM's DOMAIN-state columns.
+        """
+        block = np.zeros((len(keywords), len(refs)))
+        for i, scores in enumerate(self.attribute_scores_many(keywords)):
+            if scores:
+                block[i] = [scores.get(ref, 0.0) for ref in refs]
+        return block
+
+    # -- index artifacts ---------------------------------------------------
+
+    def save_index(self, path: str | Path) -> bool:
+        """Persist the backend's derived search index to *path*.
+
+        Returns ``False`` when the backend has no separable index artifact
+        (SQLite's inverted index already lives in its database file).
+        """
+        return False
+
+    def load_index(self, path: str | Path) -> bool:
+        """Re-attach a saved index artifact, skipping the build.
+
+        Raises :class:`~repro.errors.IndexArtifactError` on a stale or
+        foreign artifact; returns ``False`` when the backend does not use
+        separable index artifacts.
+        """
+        return False
 
     @abc.abstractmethod
     def score(self, keyword: str, ref: ColumnRef) -> float:

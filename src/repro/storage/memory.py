@@ -10,7 +10,10 @@ keeps its exact behaviour (and its object identities: the wrapped
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
 
 from repro.db.database import Database
 from repro.db.executor import ResultSet, execute
@@ -71,6 +74,31 @@ class MemoryBackend(StorageBackend):
 
     def attribute_scores(self, keyword: str) -> dict[ColumnRef, float]:
         return self.fulltext.attribute_scores(keyword)
+
+    def attribute_scores_many(
+        self, keywords: Sequence[str]
+    ) -> list[dict[ColumnRef, float]]:
+        return self.fulltext.attribute_scores_many(keywords)
+
+    def emission_block(
+        self, keywords: Sequence[str], refs: Sequence[ColumnRef]
+    ) -> np.ndarray:
+        return self.fulltext.emission_block(keywords, refs)
+
+    # -- index artifacts ---------------------------------------------------
+
+    def save_index(self, path: str | Path) -> bool:
+        """Persist the full-text index as a ``.npz`` artifact."""
+        self.fulltext.save(path)
+        return True
+
+    def load_index(self, path: str | Path) -> bool:
+        """Replace the index with the artifact at *path* (validated
+        against the wrapped database — see :meth:`FullTextIndex.load`)."""
+        self.fulltext = FullTextIndex.load(
+            path, self.database, columnar=self.fulltext.columnar
+        )
+        return True
 
     def score(self, keyword: str, ref: ColumnRef) -> float:
         return self.fulltext.score(keyword, ref)

@@ -36,6 +36,7 @@ predicates, so neither divergence is reachable through a search).
 from __future__ import annotations
 
 import math
+import os
 from collections import Counter
 import re
 import sqlite3
@@ -105,14 +106,8 @@ class SQLiteBackend(StorageBackend):
         # One connection guarded by a lock: the threaded multi-source tier
         # may execute queries from worker threads.
         self._lock = threading.RLock()
-        self._connection = sqlite3.connect(self.path, check_same_thread=False)
-        self._connection.isolation_level = None  # autocommit; we batch manually
-        self._connection.create_function(
-            "QUEST_CONTAINS", 2, self._contains_udf, deterministic=True
-        )
-        self._connection.create_function(
-            "QUEST_LIKE", 2, self._like_udf, deterministic=True
-        )
+        self._conn = self._connect()
+        self._pid = os.getpid()
         #: next insertion position per table (mirrors memory row positions)
         self._positions: dict[str, int] = {}
         #: bumped on every successful mutation (see StorageBackend.version)
@@ -133,6 +128,32 @@ class SQLiteBackend(StorageBackend):
         else:
             self._fts_enabled = self._table_exists("_quest_fts")
             self._load_state()
+
+    def _connect(self) -> sqlite3.Connection:
+        connection = sqlite3.connect(self.path, check_same_thread=False)
+        connection.isolation_level = None  # autocommit; we batch manually
+        connection.create_function(
+            "QUEST_CONTAINS", 2, self._contains_udf, deterministic=True
+        )
+        connection.create_function(
+            "QUEST_LIKE", 2, self._like_udf, deterministic=True
+        )
+        return connection
+
+    @property
+    def _connection(self) -> sqlite3.Connection:
+        """The live connection, reopened after a fork for file-backed stores.
+
+        SQLite forbids carrying a connection across ``fork()`` — workers
+        of the forked batch tier would otherwise share the parent's open
+        file description. ``:memory:`` databases are exempt: fork copies
+        the whole in-process store, so the child's connection is private
+        (and reconnecting would open an empty database).
+        """
+        if self._pid != os.getpid() and self.path != ":memory:":
+            self._conn = self._connect()
+            self._pid = os.getpid()
+        return self._conn
 
     # -- construction ------------------------------------------------------
 
@@ -478,6 +499,44 @@ class SQLiteBackend(StorageBackend):
                 continue
             scores[ref] = (count / field_size) * idf
         return scores
+
+    def attribute_scores_many(
+        self, keywords: Sequence[str]
+    ) -> list[dict[ColumnRef, float]]:
+        """Batched :meth:`attribute_scores`: one grouped SQL query for the
+        whole keyword list instead of one round trip per keyword."""
+        terms = [keyword.casefold() for keyword in keywords]
+        unique = list(dict.fromkeys(terms))
+        if not unique:
+            return []
+        placeholders = ", ".join("?" * len(unique))
+        with self._lock:
+            grouped = self._connection.execute(
+                'SELECT term, tbl, col, COUNT(*) FROM "_quest_postings" '
+                f"WHERE term IN ({placeholders}) GROUP BY term, tbl, col",
+                unique,
+            ).fetchall()
+        entries: dict[str, list[tuple[str, str, int]]] = {t: [] for t in unique}
+        for term, tbl, col, count in grouped:
+            entries[term].append((tbl, col, count))
+        by_term: dict[str, dict[ColumnRef, float]] = {}
+        for term in unique:
+            rows = entries[term]
+            if not rows:
+                by_term[term] = {}
+                continue
+            # Same integers, same operations as attribute_scores: the
+            # per-term entry count feeds the idf, count / field_size the tf.
+            idf = self._idf(len(rows))
+            scores: dict[ColumnRef, float] = {}
+            for tbl, col, count in rows:
+                ref = ColumnRef(tbl, col)
+                field_size = self._field_sizes.get(ref, 0)
+                if field_size == 0:
+                    continue
+                scores[ref] = (count / field_size) * idf
+            by_term[term] = scores
+        return [by_term[term] for term in terms]
 
     def score(self, keyword: str, ref: ColumnRef) -> float:
         term = keyword.casefold()

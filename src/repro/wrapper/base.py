@@ -19,6 +19,7 @@ per query in the pipeline's ``SearchTrace``.
 from __future__ import annotations
 
 import abc
+from typing import Sequence
 
 import numpy as np
 
@@ -91,6 +92,28 @@ class SourceWrapper(abc.ABC):
         TABLE/ATTRIBUTE states against schema *names* (semantic evidence).
         """
 
+    def compute_emission_matrix(
+        self, keywords: Sequence[str], states: StateSpace
+    ) -> np.ndarray:
+        """Scores of several keywords against the state space, ``(K, n)``.
+
+        The batched form of :meth:`compute_emission_scores`. Wrappers able
+        to amortise work across a query's keywords (the full-access
+        wrapper scores all of them against the columnar index in one
+        pass) override this; the default loops the scalar hook. Rows are
+        bit-identical to the per-keyword calls in either case.
+        """
+        return np.array(
+            [self.compute_emission_scores(keyword, states) for keyword in keywords]
+        )
+
+    def _cache_sync(self) -> None:
+        """Drop cached emission vectors when the source mutated."""
+        version = self._source_version()
+        if version != self._emission_version:
+            self._emission_cache.clear()
+            self._emission_version = version
+
     def emission_scores(self, keyword: str, states: StateSpace) -> np.ndarray:
         """Cached emission vector for *keyword* over *states*.
 
@@ -101,10 +124,7 @@ class SourceWrapper(abc.ABC):
         foreign feedback model may legally carry a same-length space with
         different ordering — see ``Quest.set_feedback_model``).
         """
-        version = self._source_version()
-        if version != self._emission_version:
-            self._emission_cache.clear()
-            self._emission_version = version
+        self._cache_sync()
         key = (keyword, states.states)
         cached = self._emission_cache.get(key)
         if cached is not None:
@@ -113,6 +133,39 @@ class SourceWrapper(abc.ABC):
         scores.setflags(write=False)
         self._emission_cache.put(key, scores)
         return scores
+
+    def emission_matrix(
+        self, keywords: Sequence[str], states: StateSpace
+    ) -> np.ndarray:
+        """Raw emission scores for a whole observation sequence, ``(T, n)``.
+
+        The batched forward-stage entry point. Keywords are deduplicated
+        first — a repeated keyword in one query pays a single cache probe
+        and a single scoring pass, while its per-position rows in the
+        returned matrix are preserved — and every distinct keyword missing
+        from the cache is scored in one :meth:`compute_emission_matrix`
+        call instead of K independent walks. Rows are the exact vectors
+        :meth:`emission_scores` returns (and are cached as such), so the
+        batched and per-keyword paths are bit-identical.
+        """
+        self._cache_sync()
+        key_states = states.states
+        vectors: dict[str, np.ndarray] = {}
+        misses: list[str] = []
+        for keyword in dict.fromkeys(keywords):
+            cached = self._emission_cache.get((keyword, key_states))
+            if cached is None:
+                misses.append(keyword)
+            else:
+                vectors[keyword] = cached
+        if misses:
+            block = np.asarray(self.compute_emission_matrix(misses, states))
+            for keyword, row in zip(misses, block):
+                scores = np.ascontiguousarray(row)
+                scores.setflags(write=False)
+                self._emission_cache.put((keyword, key_states), scores)
+                vectors[keyword] = scores
+        return np.stack([vectors[keyword] for keyword in keywords])
 
     @property
     def emission_cache(self) -> LRUCache:

@@ -15,6 +15,8 @@ because backends guarantee score parity.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.db.catalog import Catalog
@@ -65,6 +67,10 @@ class FullAccessWrapper(SourceWrapper):
         self._ontology = (
             ontology if ontology is not None else SchemaOntology(backend.schema)
         )
+        #: Per-state-space index arrays for the batched emission path,
+        #: keyed by the state tuple (an engine has one space; a foreign
+        #: feedback model may add a second — the dict stays tiny).
+        self._state_layouts: dict[tuple, tuple] = {}
 
     # -- capabilities --------------------------------------------------------
 
@@ -131,6 +137,59 @@ class FullAccessWrapper(SourceWrapper):
                 if similarity >= _SIMILARITY_CUTOFF:
                     scores[position] = similarity * _SCHEMA_TERM_SCALE
         return scores
+
+    def _state_layout(self, states: StateSpace) -> tuple:
+        """Cached split of a state space into DOMAIN and schema positions."""
+        key = states.states
+        layout = self._state_layouts.get(key)
+        if layout is None:
+            domain_positions: list[int] = []
+            domain_refs: list = []
+            schema_states: list[tuple[int, object]] = []
+            for position, state in enumerate(states):
+                if state.kind is StateKind.DOMAIN:
+                    domain_positions.append(position)
+                    domain_refs.append(state.column_ref)
+                else:
+                    schema_states.append((position, state))
+            layout = (
+                np.asarray(domain_positions, dtype=np.int64),
+                tuple(domain_refs),
+                tuple(schema_states),
+            )
+            self._state_layouts[key] = layout
+        return layout
+
+    def compute_emission_matrix(
+        self, keywords: Sequence[str], states: StateSpace
+    ) -> np.ndarray:
+        """All keywords against all states in one vectorised pass.
+
+        DOMAIN columns are filled from the backend's batched
+        :meth:`~repro.storage.base.StorageBackend.emission_block` (columnar
+        array slicing on the memory backend, one grouped SQL query on
+        SQLite) instead of one ``attribute_scores`` dict walk per keyword;
+        schema states go through the (memoised) ontology exactly like the
+        per-keyword hook, so the matrix rows are bit-identical to
+        :meth:`compute_emission_scores`.
+        """
+        domain_positions, domain_refs, schema_states = self._state_layout(states)
+        matrix = np.zeros((len(keywords), len(states)))
+        if len(domain_positions):
+            matrix[:, domain_positions] = self._backend.emission_block(
+                keywords, domain_refs
+            )
+        for row, keyword in zip(matrix, keywords):
+            for position, state in schema_states:
+                if state.kind is StateKind.TABLE:
+                    similarity = self._ontology.table_score(keyword, state.table)
+                else:  # ATTRIBUTE
+                    similarity = self._ontology.attribute_score(
+                        keyword, state.table, state.column
+                    )
+                if similarity >= _SIMILARITY_CUTOFF:
+                    row[position] = similarity * _SCHEMA_TERM_SCALE
+        return matrix
 
     # -- execution -----------------------------------------------------------------
 

@@ -9,6 +9,7 @@ schema terms.
 
 from __future__ import annotations
 
+from repro.cache import LRUCache
 from repro.db.schema import Schema
 from repro.semantics.lexicon import Lexicon, default_lexicon
 from repro.semantics.similarity import term_similarity
@@ -16,9 +17,22 @@ from repro.semantics.tokenize import split_identifier
 
 __all__ = ["SchemaOntology"]
 
+#: Capacity of the per-ontology term-score memo: schema vocabularies are
+#: small (tens of identifiers), so this comfortably holds every
+#: (keyword, identifier) pair of a large keyword workload.
+_SCORE_CACHE_SIZE = 16384
+
 
 class SchemaOntology:
-    """Relatedness between keywords and the terms of one schema."""
+    """Relatedness between keywords and the terms of one schema.
+
+    Scores are memoised per ``(keyword, term, partial_scale)``: the same
+    identifier ("name", "id") recurs across many tables, so one keyword's
+    emission pass asks for far fewer distinct scores than it has states.
+    The lexicon is therefore treated as frozen once the ontology exists —
+    add synonym rings *before* constructing it (or call
+    :meth:`clear_score_cache` after mutating).
+    """
 
     def __init__(self, schema: Schema, lexicon: Lexicon | None = None) -> None:
         self.schema = schema
@@ -30,6 +44,11 @@ class SchemaOntology:
             for column in table.columns:
                 if column.synonyms:
                     self.lexicon.add_synonym_ring(column.name, *column.synonyms)
+        self._score_cache = LRUCache(_SCORE_CACHE_SIZE)
+
+    def clear_score_cache(self) -> None:
+        """Drop memoised scores (call after mutating the lexicon)."""
+        self._score_cache.clear()
 
     def term_score(
         self, keyword: str, term: str, partial_scale: float = 0.9
@@ -41,6 +60,10 @@ class SchemaOntology:
         matches the keyword ``date`` through the lexicon entry for
         ``year``, discounted by *partial_scale* for being a partial hit.
         """
+        key = (keyword, term, partial_scale)
+        cached = self._score_cache.get(key)
+        if cached is not None:
+            return cached
         direct = term_similarity(keyword, term)
         semantic = self.lexicon.relatedness(keyword, term)
         part_scores = [
@@ -48,7 +71,9 @@ class SchemaOntology:
             for part in split_identifier(term)
         ]
         partial = partial_scale * max(part_scores, default=0.0)
-        return max(direct, semantic, partial)
+        score = max(direct, semantic, partial)
+        self._score_cache.put(key, score)
+        return score
 
     def table_score(self, keyword: str, table: str) -> float:
         """Relatedness of *keyword* to a table (name + synonyms).

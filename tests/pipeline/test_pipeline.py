@@ -181,13 +181,22 @@ class TestPipelineComposition:
         # Like the evaluate() loop, a lax batch must score ANY per-query
         # failure as a miss, not just library errors.
         original = type(engine.wrapper).compute_emission_scores
+        original_batch = type(engine.wrapper).compute_emission_matrix
 
         def flaky(self, keyword, states):
             if keyword == "poison":
                 raise ValueError("wrapper blew up")
             return original(self, keyword, states)
 
+        def flaky_batch(self, keywords, states):
+            if "poison" in keywords:
+                raise ValueError("wrapper blew up")
+            return original_batch(self, keywords, states)
+
         monkeypatch.setattr(type(engine.wrapper), "compute_emission_scores", flaky)
+        monkeypatch.setattr(
+            type(engine.wrapper), "compute_emission_matrix", flaky_batch
+        )
         contexts = engine.pipeline.run_many(
             engine, ["kubrick", "poison"], strict=False
         )
