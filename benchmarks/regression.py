@@ -17,6 +17,11 @@ kernels; ``reference`` = the retained pure-Python paths via
 * **batch_throughput** — ``search_many`` wall time serial vs forked
   process-pool (``workers-N``), with queries/sec. Recorded, not gated:
   the win depends on the runner's core count (reported alongside).
+* **service_throughput** — concurrent ``QuestService`` wall time over a
+  warm engine: N threads replaying the workload with request coalescing
+  off vs on (an identical-query storm collapses onto one pipeline run
+  per burst), with requests/sec and the service's own executed/coalesced
+  counters. Recorded, not gated (thread scheduling is runner-dependent).
 
 ``--profile`` skips measurement entirely and prints a per-stage cProfile
 (top 20 by cumulative time) of one cold query instead, so the next
@@ -99,6 +104,9 @@ INDEX_SCALE = {"movies": 1000, "seed": 7}
 #: machine that records a slowdown, which is the truth of the matter
 #: (the entry reports the cpu count alongside and is never gated).
 BATCH_WORKERS = max(2, min(4, os.cpu_count() or 1))
+#: Thread count of the service-throughput storm (the acceptance
+#: criterion's ">= 8 concurrent callers" scenario).
+SERVICE_THREADS = 8
 
 
 def _settings(optimized: bool, columnar: bool = True) -> QuestSettings:
@@ -278,6 +286,65 @@ def _batch_throughput(sc, repeats: int, columnar: bool) -> dict:
     return report
 
 
+def _service_throughput(sc, repeats: int, columnar: bool) -> dict:
+    """Concurrent ``QuestService`` storm, coalescing off vs on (not gated).
+
+    One engine, warmed over the workload first (this measures the
+    serving tier, not cold cache builds). Each run fires
+    ``SERVICE_THREADS`` threads through the service; every query text is
+    enqueued once per thread *consecutively*, so identical requests are
+    in flight together — exactly the burst shape coalescing exists for.
+    The result cache stays off in both modes: with it on, every repeat
+    after the first is a cache hit and nothing distinguishes the modes.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.service import QuestService, ServiceSettings
+
+    texts = [q.text for q in sc.workload]
+    engine = Quest(
+        FullAccessWrapper(create_backend("memory", sc.db)),
+        _settings(True, columnar),
+    )
+    engine.search_many(texts)  # warm the emission/Steiner caches
+    jobs = [text for text in texts for _ in range(SERVICE_THREADS)]
+    report: dict[str, object] = {
+        "cpus": os.cpu_count(),
+        "threads": SERVICE_THREADS,
+        "queries": len(texts),
+        "requests_per_run": len(jobs),
+    }
+    medians: dict[str, float] = {}
+    for mode, coalesce in (("uncoalesced", False), ("coalesced", True)):
+        service = QuestService(
+            engine,
+            ServiceSettings(
+                coalesce=coalesce,
+                cache_results=False,
+                max_concurrent=SERVICE_THREADS,
+                max_queue=len(jobs),
+            ),
+        )
+        runs: list[float] = []
+        for _ in range(repeats):
+            with ThreadPoolExecutor(max_workers=SERVICE_THREADS) as pool:
+                start = time.perf_counter()
+                list(pool.map(service.search, jobs))
+                runs.append(time.perf_counter() - start)
+        snapshot = service.metrics()
+        stats = _stats_of(runs)
+        medians[mode] = stats["median_s"]  # type: ignore[assignment]
+        report[mode] = {
+            **stats,
+            "requests_per_second": len(jobs) / medians[mode],
+            "executed": snapshot.executed,
+            "coalesced": snapshot.coalesced,
+            "shed": snapshot.shed,
+        }
+    report["coalesce_speedup"] = medians["uncoalesced"] / medians["coalesced"]
+    return report
+
+
 def profile_cold_query(backend: str, columnar: bool) -> None:
     """Per-stage cProfile of one cold query (top 20 by cumulative time)."""
     sc = scenario("mondial")
@@ -386,6 +453,8 @@ def run_suite(
         index = _index_measurements(repeats, index_cache)
     print("-- measuring batch throughput ...", flush=True)
     batch = _batch_throughput(sc, repeats, columnar)
+    print("-- measuring service throughput ...", flush=True)
+    service = _service_throughput(sc, repeats, columnar)
     return {
         "workload": "e7-micro",
         "smoke": smoke,
@@ -396,6 +465,7 @@ def run_suite(
         "cold_search": cold_search,
         "index": index,
         "batch_throughput": batch,
+        "service_throughput": service,
     }
 
 
@@ -529,6 +599,20 @@ def speedup_report(current: dict, baseline: dict | None) -> str:
                 f"{parallel['queries_per_second']:.1f} q/s {parallel_mode} "
                 f"({batch.get('parallel_speedup', 0.0):.2f}x)"
             )
+    service = current.get("service_throughput", {})
+    if service:
+        uncoalesced = service.get("uncoalesced", {})
+        coalesced = service.get("coalesced", {})
+        if uncoalesced and coalesced:
+            lines.append(
+                f"  service throughput ({service.get('threads')} threads): "
+                f"{uncoalesced['requests_per_second']:.1f} req/s uncoalesced, "
+                f"{coalesced['requests_per_second']:.1f} req/s coalesced "
+                f"({service.get('coalesce_speedup', 0.0):.2f}x; "
+                f"{coalesced.get('executed', 0)} engine runs answered "
+                f"{coalesced.get('executed', 0) + coalesced.get('coalesced', 0)}"
+                " requests)"
+            )
     if baseline is not None:
         for backend, kernelsets in current.get("cold_search", {}).items():
             now = _stat(kernelsets.get("optimized"), "median_s")
@@ -613,6 +697,13 @@ def main(argv: list[str] | None = None) -> int:
         help="print a per-stage cProfile (top 20 by cumtime) of one cold "
         "query instead of running the measurement suite",
     )
+    parser.add_argument(
+        "--service-only",
+        action="store_true",
+        help="measure only the service_throughput section (CI concurrency "
+        "smoke); timings are recorded, not gated — the only failure is "
+        "an identical-query storm that never coalesces",
+    )
     args = parser.parse_args(argv)
 
     backends = [b.strip() for b in args.backends.split(",") if b.strip()]
@@ -621,6 +712,24 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.profile:
         profile_cold_query(backends[0], not args.no_columnar)
+        return 0
+
+    if args.service_only:
+        service = _service_throughput(
+            scenario("mondial"), repeats, not args.no_columnar
+        )
+        print(json.dumps(service, indent=2, sort_keys=True))
+        coalesced = service["coalesced"]
+        # The smoke's one hard claim: the storm coalesced — identical
+        # in-flight requests shared pipeline runs instead of repeating them.
+        if not coalesced["coalesced"]:
+            print("ERROR: the identical-query storm never coalesced")
+            return 1
+        print(
+            f"coalesce speedup: {service['coalesce_speedup']:.2f}x "
+            f"({coalesced['executed']} engine runs for "
+            f"{service['requests_per_run'] * repeats} requests)"
+        )
         return 0
 
     current = run_suite(

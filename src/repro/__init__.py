@@ -37,8 +37,9 @@ from repro.db import (
     SelectQuery,
     TableSchema,
 )
-from repro.errors import QuestError
+from repro.errors import QuestError, ServiceOverloadedError
 from repro.feedback import FeedbackStore, FeedbackTrainer, SimulatedUser
+from repro.service import QuestService, ServiceSettings
 from repro.storage import (
     MemoryBackend,
     SQLiteBackend,
@@ -65,8 +66,11 @@ __all__ = [
     "MemoryBackend",
     "Quest",
     "QuestError",
+    "QuestService",
     "QuestSettings",
     "SQLiteBackend",
+    "ServiceOverloadedError",
+    "ServiceSettings",
     "Schema",
     "SelectQuery",
     "SimulatedUser",

@@ -9,21 +9,44 @@ on the schema graph. Both sit on hot paths that may be exercised
 concurrently (the multi-source executor fans per-source searches out
 over threads), so every operation takes an internal lock.
 
-Counters are cumulative over the cache's lifetime; callers that want
-per-query deltas (:class:`~repro.pipeline.context.SearchTrace`) snapshot
-:attr:`LRUCache.stats` before and after and subtract.
+Counters are cumulative over the cache's lifetime. Callers that want
+*exact* per-operation deltas install a :class:`CacheRecorder` for the
+duration of the operation (:func:`recording`): every ``get`` on any
+cache additionally credits the hit or miss to the recorder active in the
+calling thread's context, keyed by the cache's *label*. Because the
+recorder travels in a :mod:`contextvars` context variable, two threads
+searching through one shared cache each see only their own lookups —
+this is what makes :class:`~repro.pipeline.context.SearchTrace` cache
+deltas exact under concurrency, where before/after snapshots of the
+global counters would interleave.
 """
 
 from __future__ import annotations
 
+import contextvars
 import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Hashable
+from typing import Any, Hashable, Iterator
 
-__all__ = ["CacheStats", "LRUCache"]
+from repro.forksafe import register_lock_holder
+
+__all__ = ["CacheRecorder", "CacheStats", "LRUCache", "recording"]
 
 _MISSING = object()
+
+
+def _reset_cache_lock(cache: "LRUCache") -> None:
+    cache._lock = threading.Lock()
+
+#: The recorder lookups are credited to, if any. Context-local: a
+#: pipeline run installs its recorder around its stages only, and worker
+#: threads (which start from a fresh context) never inherit another
+#: thread's recorder.
+_RECORDER: contextvars.ContextVar["CacheRecorder | None"] = contextvars.ContextVar(
+    "quest_cache_recorder", default=None
+)
 
 
 @dataclass(frozen=True)
@@ -59,21 +82,79 @@ class CacheStats:
         return f"hits={self.hits} misses={self.misses} size={self.size}"
 
 
+class CacheRecorder:
+    """Accumulates cache lookups for one logical operation, per label.
+
+    Installed via :func:`recording`; every :meth:`LRUCache.get` executed
+    while the recorder is active credits its hit or miss here as well as
+    to the cache's cumulative counters. A recorder belongs to the one
+    operation (one pipeline run) that installed it and is only ever
+    touched from that operation's thread, so it needs no lock.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: dict[str, list[int]] = {}
+
+    def record(self, label: str, hit: bool) -> None:
+        """Credit one lookup on the cache labelled *label*."""
+        counts = self._counts.get(label)
+        if counts is None:
+            counts = self._counts[label] = [0, 0]
+        counts[0 if hit else 1] += 1
+
+    def stats(self, label: str) -> CacheStats:
+        """Recorded hits/misses for *label* (zeros when never touched)."""
+        counts = self._counts.get(label)
+        if counts is None:
+            return CacheStats()
+        return CacheStats(hits=counts[0], misses=counts[1])
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{label}: hits={c[0]} misses={c[1]}"
+            for label, c in sorted(self._counts.items())
+        )
+        return f"CacheRecorder({inner})"
+
+
+@contextmanager
+def recording(recorder: CacheRecorder) -> Iterator[CacheRecorder]:
+    """Install *recorder* as this context's lookup recorder.
+
+    Nested recordings shadow the outer recorder for their extent (the
+    outer one resumes afterwards); lookups on threads other than the
+    installing one are unaffected.
+    """
+    token = _RECORDER.set(recorder)
+    try:
+        yield recorder
+    finally:
+        _RECORDER.reset(token)
+
+
 class LRUCache:
     """A bounded mapping evicting the least-recently-used entry.
 
     ``get`` refreshes recency and counts a hit or miss; ``put`` inserts or
-    refreshes. All operations are O(1) and thread-safe.
+    refreshes. All operations are O(1) and thread-safe. *label* names the
+    cache to an active :class:`CacheRecorder` ("emission", "steiner", ...)
+    so per-operation attribution can tell co-resident caches apart.
     """
 
-    def __init__(self, maxsize: int = 1024) -> None:
+    def __init__(self, maxsize: int = 1024, label: str = "cache") -> None:
         if maxsize <= 0:
             raise ValueError(f"maxsize must be positive, got {maxsize}")
         self.maxsize = maxsize
+        self.label = label
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        # The batch tier forks while sibling threads may sit inside this
+        # lock; forked children get a fresh one (see repro.forksafe).
+        register_lock_holder(self, _reset_cache_lock)
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """The cached value for *key*, counting a hit or a miss."""
@@ -81,10 +162,13 @@ class LRUCache:
             value = self._data.get(key, _MISSING)
             if value is _MISSING:
                 self._misses += 1
-                return default
-            self._data.move_to_end(key)
-            self._hits += 1
-            return value
+            else:
+                self._data.move_to_end(key)
+                self._hits += 1
+        recorder = _RECORDER.get()
+        if recorder is not None:
+            recorder.record(self.label, value is not _MISSING)
+        return default if value is _MISSING else value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert (or refresh) *key*, evicting the oldest entry if full."""

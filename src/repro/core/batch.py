@@ -42,7 +42,9 @@ __all__ = ["fork_available", "in_worker", "payload", "run_forked"]
 _PAYLOAD: Any = None
 #: Serialises concurrent batches: the payload global must belong to
 #: exactly one in-flight pool, or two threads' workers would cross-wire
-#: engines. Held for the whole fan-out.
+#: engines. Acquired non-blocking — a sibling thread that loses the race
+#: gets ``None`` from :func:`run_forked` and falls back to its
+#: sequential loop instead of queueing behind a long fan-out.
 _PAYLOAD_LOCK = threading.Lock()
 #: True only inside a forked worker (set by the pool initializer after
 #: the fork). Distinguishes a nested fan-out attempt — refused, the
@@ -88,7 +90,8 @@ def run_forked(
     worker: Callable[[Any], Any],
     items: Sequence[Any],
     workers: int,
-) -> list[Any]:
+    prefork: Callable[[], None] | None = None,
+) -> list[Any] | None:
     """``[worker(item) for item in items]`` across forked processes.
 
     *context* is parked in the module global before the pool forks, so
@@ -97,6 +100,17 @@ def run_forked(
     Results come back in input order; a worker exception propagates to
     the caller (cancelling the remaining items), matching the strict
     sequential semantics.
+
+    Returns ``None`` when a sibling thread's forked batch already owns
+    the payload global. The lock is acquired *non-blocking*: every
+    caller has a sequential loop to fall back to, and degrading to it
+    immediately beats stalling a latency-bounded request behind another
+    batch's minutes-long fan-out.
+
+    *prefork* runs after the lock is won but before any process forks —
+    the hook for teardown that must precede a fork (shutting down thread
+    pools, which do not survive one) and that would be wasted work on
+    the contended path where no fork happens.
     """
     global _PAYLOAD
     if not fork_available():  # pragma: no cover - platform dependent
@@ -105,7 +119,11 @@ def run_forked(
         # Backstop only: batch entry points check in_worker() and run
         # sequentially instead of calling this from a forked worker.
         raise QuestError("forked batches do not nest")
-    with _PAYLOAD_LOCK:
+    if not _PAYLOAD_LOCK.acquire(blocking=False):
+        return None
+    try:
+        if prefork is not None:
+            prefork()
         _PAYLOAD = context
         try:
             width = max(1, min(workers, len(items)))
@@ -123,3 +141,5 @@ def run_forked(
                 )
         finally:
             _PAYLOAD = None
+    finally:
+        _PAYLOAD_LOCK.release()

@@ -13,15 +13,24 @@ of composable stages (``repro.pipeline``); every stage is still exposed as
 a public method — ``forward``/``backward``/``combine``/``explain`` are thin
 wrappers over the corresponding stage — so experiments can inspect partial
 results exactly as before (demo message two compares the modules in
-isolation). Each full run leaves a :class:`~repro.pipeline.context.
-SearchTrace` on :attr:`Quest.last_trace` with per-stage timings, candidate
-counts and cache hit/miss deltas; ``search_many`` batches a workload
-through the same pipeline so the emission and Steiner caches amortise
-repeated work across queries.
+isolation).
+
+Diagnostics are *returned*, not parked on the engine: ``search_context``
+(and ``search_many_contexts``) hand back the full
+:class:`~repro.pipeline.context.SearchContext`, whose ``trace`` carries
+per-stage timings, candidate counts and exact cache hit/miss deltas for
+that one run. This is what makes one shared engine safe for concurrent
+callers — nothing about a query's result or its diagnostics lives in
+shared mutable engine state. :attr:`Quest.last_trace` and
+:attr:`Quest.batch_traces` survive as deprecated, lock-guarded mirrors
+for single-threaded callers; ``search_many`` batches a workload through
+the same pipeline so the emission and Steiner caches amortise repeated
+work across queries.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -34,6 +43,7 @@ from repro.core.query_builder import build_query
 from repro.core.settings import QuestSettings
 from repro.db.query import SelectQuery
 from repro.errors import QuestError
+from repro.forksafe import register_lock_holder
 from repro.hmm.apriori import AprioriWeights, build_apriori_model
 from repro.hmm.model import HiddenMarkovModel
 from repro.hmm.states import StateSpace
@@ -44,7 +54,7 @@ from repro.steiner.weights import build_schema_graph
 from repro.wrapper.base import SourceWrapper
 
 if TYPE_CHECKING:  # pragma: no cover - hints only
-    from repro.pipeline.context import SearchTrace
+    from repro.pipeline.context import SearchContext, SearchTrace
     from repro.pipeline.runner import SearchPipeline
 
 __all__ = ["Quest"]
@@ -83,26 +93,102 @@ class Quest:
         self.apriori_model = build_apriori_model(
             self.schema, self.states, apriori_weights
         )
-        self.feedback_model = feedback_model
+        self.feedback_model: HiddenMarkovModel | None = None
         self.schema_graph = build_schema_graph(
             self.schema,
             wrapper.catalog,
             mutual_information=self.settings.mutual_information_weights,
         )
         self.pipeline = pipeline if pipeline is not None else SearchPipeline()
-        #: Diagnostics of the most recent full search (``None`` before any).
-        self.last_trace: "SearchTrace | None" = None
-        #: Traces of the most recent ``search_many`` batch.
-        self.batch_traces: list["SearchTrace"] = []
+        #: Guards the deprecated trace mirrors and the feedback revision.
+        self._state_lock = threading.Lock()
+        register_lock_holder(self, _reset_engine_lock)
+        self._last_trace: "SearchTrace | None" = None
+        self._batch_traces: list["SearchTrace"] = []
+        #: Bumped on every feedback-model change; part of :attr:`version`.
+        self._feedback_revision = 0
+        if feedback_model is not None:
+            # Through the setter, so the constructor cannot bypass the
+            # foreign-state-space validation.
+            self.set_feedback_model(feedback_model)
+
+    # -- trace mirrors (deprecated) ------------------------------------------
+
+    @property
+    def last_trace(self) -> "SearchTrace | None":
+        """Diagnostics of the most recent full search (``None`` before any).
+
+        .. deprecated:: Shared mutable state — under concurrent callers
+           this is whichever search finished last. Use the trace on the
+           :class:`~repro.pipeline.context.SearchContext` returned by
+           :meth:`search_context` instead; the mirror is kept (lock
+           guarded) for single-threaded API compatibility.
+        """
+        with self._state_lock:
+            return self._last_trace
+
+    @property
+    def batch_traces(self) -> list["SearchTrace"]:
+        """Traces of the most recent ``search_many`` batch (a copy).
+
+        .. deprecated:: Same caveat as :attr:`last_trace` — prefer the
+           contexts returned by :meth:`search_many_contexts`.
+        """
+        with self._state_lock:
+            return list(self._batch_traces)
+
+    def _publish_trace(self, trace: "SearchTrace") -> None:
+        with self._state_lock:
+            self._last_trace = trace
+
+    def _publish_batch(self, traces: Sequence["SearchTrace"]) -> None:
+        with self._state_lock:
+            self._batch_traces = list(traces)
+            if traces:
+                self._last_trace = traces[-1]
 
     # -- feedback plumbing ---------------------------------------------------
 
     def set_feedback_model(self, model: HiddenMarkovModel | None) -> None:
-        """Install (or clear) the trained feedback HMM."""
+        """Install (or clear) the trained feedback HMM.
+
+        The model must be trained over *this* engine's state space: the
+        same states in the same order (decoded state indexes are
+        positional). A foreign space is rejected even when its length
+        happens to match — emission vectors and transition rows would
+        silently score the wrong terms.
+        """
         if model is not None and model.states is not self.states:
-            if len(model.states) != len(self.states):
+            if (
+                len(model.states) != len(self.states)
+                or model.states.states != self.states.states
+            ):
                 raise QuestError("feedback model uses a different state space")
-        self.feedback_model = model
+        with self._state_lock:
+            self.feedback_model = model
+            self._feedback_revision += 1
+
+    # -- result-affecting state version --------------------------------------
+
+    @property
+    def version(self) -> tuple:
+        """Revision of every result-affecting mutable input.
+
+        ``(feedback revision, source mutation counter, schema-graph
+        revision, settings)`` — any change through the engine's own
+        mutation surfaces (source writes, ``set_feedback_model``,
+        ``add_edge``, reassigning :attr:`settings`) moves at least one
+        component, so the serving tier's result cache cannot serve
+        across them. Out-of-band surgery on engine internals (e.g.
+        swapping :attr:`pipeline` for one with different semantics) is
+        not tracked; the serving tier's TTL bounds that exposure.
+        """
+        return (
+            self._feedback_revision,
+            self.wrapper.source_version,
+            self.schema_graph.version,
+            self.settings,
+        )
 
     # -- step 1: forward -------------------------------------------------------
 
@@ -214,6 +300,26 @@ class Quest:
             raise QuestError(f"query contains no usable keywords: {query!r}")
         return keywords
 
+    def search_context(
+        self,
+        query: str | None = None,
+        keywords: Sequence[str] | None = None,
+        k: int | None = None,
+    ) -> "SearchContext":
+        """Answer one query, returning its full :class:`SearchContext`.
+
+        The concurrency-safe entry point: everything the run produced —
+        explanations, intermediate stage products and the exact
+        :class:`~repro.pipeline.context.SearchTrace` — comes back on the
+        returned context, owned solely by the caller. Any number of
+        threads may call this on one shared engine; the deprecated
+        :attr:`last_trace` mirror is still refreshed (under a lock) for
+        old single-threaded callers.
+        """
+        context = self.pipeline.run(self, query=query, keywords=keywords, k=k)
+        self._publish_trace(context.trace)
+        return context
+
     def search(self, query: str, k: int | None = None) -> list[Explanation]:
         """Answer a keyword query with the top-k explanations.
 
@@ -221,9 +327,7 @@ class Quest:
         so that the final combination and the empty-result filter choose
         from a wider pool than the k eventually returned.
         """
-        context = self.pipeline.run(self, query=query, k=k)
-        self.last_trace = context.trace
-        return context.explanations
+        return self.search_context(query=query, k=k).explanations
 
     def search_keywords(
         self, keywords: Sequence[str], k: int | None = None
@@ -234,9 +338,7 @@ class Quest:
         the keyword list out to every source engine through this entry
         point, instead of re-tokenising per source.
         """
-        context = self.pipeline.run(self, keywords=keywords, k=k)
-        self.last_trace = context.trace
-        return context.explanations
+        return self.search_context(keywords=keywords, k=k).explanations
 
     def search_many(
         self,
@@ -284,15 +386,31 @@ class Quest:
         ):
             items = [(query, k, strict) for query in queries]
             results = run_forked(self, _forked_search_one, items, workers)
-            self.batch_traces = [trace for _explanations, trace in results]
-            if results:
-                self.last_trace = results[-1][1]
-            return [explanations for explanations, _trace in results]
-        contexts = self.pipeline.run_many(self, queries, k=k, strict=strict)
-        self.batch_traces = [context.trace for context in contexts]
-        if contexts:
-            self.last_trace = contexts[-1].trace
+            if results is not None:
+                self._publish_batch([trace for _explanations, trace in results])
+                return [explanations for explanations, _trace in results]
+            # A sibling thread's forked batch holds the fork machinery:
+            # degrade to the sequential loop instead of blocking on it.
+        contexts = self.search_many_contexts(queries, k=k, strict=strict)
         return [context.explanations for context in contexts]
+
+    def search_many_contexts(
+        self,
+        queries: Sequence[str],
+        k: int | None = None,
+        strict: bool = True,
+    ) -> list["SearchContext"]:
+        """``search_many`` returning one :class:`SearchContext` per query.
+
+        The concurrency-safe batch entry point (always in-process and
+        sequential — contexts carry every intermediate product, which is
+        more than the forked tier ships back): callers own the returned
+        contexts outright, and each context's trace is exact for its
+        query. The deprecated mirrors are refreshed under the lock.
+        """
+        contexts = self.pipeline.run_many(self, queries, k=k, strict=strict)
+        self._publish_batch([context.trace for context in contexts])
+        return contexts
 
     # -- diagnostics --------------------------------------------------------
 
@@ -312,6 +430,10 @@ class Quest:
             f"Quest(schema={self.schema.name!r}, states={len(self.states)}, "
             f"graph_edges={self.schema_graph.edge_count})"
         )
+
+
+def _reset_engine_lock(engine: "Quest") -> None:
+    engine._state_lock = threading.Lock()
 
 
 def _forked_search_one(

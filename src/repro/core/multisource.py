@@ -32,9 +32,18 @@ from repro.dst.belief import rank_hypotheses
 from repro.dst.combine import dempster_combine
 from repro.dst.mass import FrameInterning, MassFunction
 from repro.errors import QuestError
+from repro.forksafe import register_lock_holder
 from repro.semantics.tokenize import tokenize_query
 
 __all__ = ["MultiSourceQuest"]
+
+
+def _reset_multisource_lock(quest: "MultiSourceQuest") -> None:
+    # Thread pools do not survive a fork either: a pool snapshot in the
+    # child has no worker threads, so drop it for lazy recreation.
+    quest._executor_lock = threading.Lock()
+    quest._executor = None
+    quest._executor_width = 0
 
 #: Upper bound on fan-out threads when the caller does not choose one.
 DEFAULT_MAX_WORKERS = 8
@@ -81,7 +90,12 @@ class MultiSourceQuest:
         #: by a lock: concurrent first searches must not race two pools
         #: into existence (the loser would leak its worker threads).
         self._executor: ThreadPoolExecutor | None = None
+        #: Width the live executor was created with; when the effective
+        #: width changes (``max_workers`` reassigned, engines added) the
+        #: stale pool is replaced instead of silently reused.
+        self._executor_width = 0
         self._executor_lock = threading.Lock()
+        register_lock_holder(self, _reset_multisource_lock)
         self.ignorance = {
             name: 0.3 if ignorance is None else ignorance.get(name, 0.3)
             for name in self.engines
@@ -126,16 +140,34 @@ class MultiSourceQuest:
                 )
             return coverage, per_source
 
-        with self._executor_lock:
-            if self._executor is None:
-                self._executor = ThreadPoolExecutor(
-                    max_workers=workers, thread_name_prefix="quest-source"
+        futures: dict | None = None
+        for _attempt in range(3):
+            executor = self._ensure_executor(workers)
+            partial: dict = {}
+            try:
+                for name in self.engines:
+                    partial[
+                        executor.submit(self._search_source, name, keywords, k)
+                    ] = name
+                futures = partial
+                break
+            except RuntimeError:
+                # The pool was swapped out (width change) or shut down
+                # (close()) by a sibling thread between capture and
+                # submit. Cancel whatever made it in (queued tasks are
+                # dropped; running ones finish and are discarded) and
+                # retry the whole batch on the fresh pool.
+                for future in partial:
+                    future.cancel()
+                futures = None
+        if futures is None:
+            # Pathological churn on the executor: answer sequentially
+            # rather than loop forever.
+            for name in self.engines:
+                coverage[name], per_source[name] = self._search_source(
+                    name, keywords, k
                 )
-            executor = self._executor
-        futures = {
-            executor.submit(self._search_source, name, keywords, k): name
-            for name in self.engines
-        }
+            return coverage, per_source
         # Collect rankings as sources complete (fast engines are not
         # held behind slow ones); the DS fold itself happens after the
         # last one, over the union frame.
@@ -144,13 +176,49 @@ class MultiSourceQuest:
             coverage[name], per_source[name] = future.result()
         return coverage, per_source
 
+    def _ensure_executor(self, workers: int) -> ThreadPoolExecutor:
+        """The shared pool, (re)created at the effective width.
+
+        A pool released by :meth:`close` or built at a different width is
+        replaced; the stale pool is shut down without waiting (work
+        already on it completes, new submissions are refused — sibling
+        searches holding the old reference retry in :meth:`_gather`).
+        """
+        stale: ThreadPoolExecutor | None = None
+        with self._executor_lock:
+            if self._executor is None or self._executor_width != workers:
+                stale, self._executor = self._executor, ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="quest-source"
+                )
+                self._executor_width = workers
+            executor = self._executor
+        if stale is not None:
+            stale.shutdown(wait=False)
+        return executor
+
     def close(self) -> None:
         """Shut down the shared executor (idempotent; optional — worker
         threads are also reaped at interpreter exit)."""
         with self._executor_lock:
             executor, self._executor = self._executor, None
+            self._executor_width = 0
         if executor is not None:
             executor.shutdown(wait=True)
+
+    @property
+    def version(self) -> tuple:
+        """Combined result-affecting revision over every source engine.
+
+        Mirrors :attr:`Quest.version` for the serving tier: any mutation
+        that could change a merged ranking moves this — a source
+        engine's own version, the set of sources, or the per-source
+        ignorance values (a documented knob callers may reassign
+        directly, so it is keyed by content rather than by a counter).
+        """
+        return (
+            tuple(sorted(self.ignorance.items())),
+            tuple((name, engine.version) for name, engine in self.engines.items()),
+        )
 
     def __enter__(self) -> "MultiSourceQuest":
         return self
@@ -258,16 +326,23 @@ class MultiSourceQuest:
             and fork_available()
             and not in_worker()
         ):
-            # Thread pools do not survive a fork: release the shared
-            # executor first (it is lazily recreated on the next
-            # threaded search, in the parent and in every worker).
-            self.close()
-            return run_forked(
+            # Thread pools do not survive a fork: the prefork hook
+            # releases the shared executor once the fork is actually
+            # happening (it is lazily recreated on the next threaded
+            # search, in the parent and in every worker) — a contended
+            # attempt that degrades to the sequential loop must not
+            # tear down and rebuild the pool for nothing.
+            results = run_forked(
                 self,
                 _forked_multi_search_one,
                 [(query, k) for query in queries],
                 workers,
+                prefork=self.close,
             )
+            if results is not None:
+                return results
+            # A sibling thread's forked batch owns the fork machinery:
+            # degrade to the sequential loop instead of blocking on it.
         return [self.search(query, k) for query in queries]
 
 

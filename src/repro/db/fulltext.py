@@ -57,10 +57,15 @@ import numpy as np
 from repro.db.database import Database
 from repro.db.schema import ColumnRef
 from repro.errors import IndexArtifactError
+from repro.forksafe import register_lock_holder
 
 __all__ = ["ColumnarPostings", "FullTextIndex", "tokenize_value"]
 
 _TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def _reset_fulltext_lock(index: "FullTextIndex") -> None:
+    index._lock = threading.RLock()
 
 #: Artifact format identifier; bumped whenever the array layout changes.
 _ARTIFACT_FORMAT = "quest-fulltext-v1"
@@ -393,6 +398,10 @@ class FullTextIndex:
         # never searches) costs nothing.
         self._built_version = -1
         self._lock = threading.RLock()
+        # The batch tier forks while sibling searches may sit inside
+        # this lock (every columnar read enters it); forked children get
+        # a fresh one (see repro.forksafe).
+        register_lock_holder(self, _reset_fulltext_lock)
 
     @property
     def columnar(self) -> bool:

@@ -73,6 +73,20 @@ class WorkloadError(QuestError):
     """A benchmark workload definition is inconsistent."""
 
 
+class ServiceError(QuestError):
+    """A serving-tier (``repro.service``) operation failed."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service shed a request under admission control.
+
+    Raised by :meth:`repro.service.QuestService.search` when every
+    execution slot is busy and the waiting queue is full — a fast-fail so
+    latency-bounded callers can retry elsewhere instead of queueing
+    unboundedly.
+    """
+
+
 class IndexArtifactError(QuestError):
     """A persisted index artifact is unreadable or stale.
 

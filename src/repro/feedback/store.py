@@ -8,13 +8,19 @@ of the feedback HMM; the positive/negative balance drives the adaptive
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Iterator
 
 from repro.core.configuration import Configuration
 from repro.errors import TrainingError
+from repro.forksafe import register_lock_holder
 
 __all__ = ["FeedbackRecord", "FeedbackStore"]
+
+
+def _reset_store_lock(store: "FeedbackStore") -> None:
+    store._lock = threading.Lock()
 
 
 @dataclass(frozen=True)
@@ -33,14 +39,23 @@ class FeedbackRecord:
 
 
 class FeedbackStore:
-    """Append-only collection of feedback records."""
+    """Append-only collection of feedback records.
+
+    Thread-safe: the serving tier records validations while trainers
+    iterate snapshots, so every access goes through an internal lock and
+    iteration walks a point-in-time copy — a concurrent ``add`` never
+    invalidates an in-progress loop.
+    """
 
     def __init__(self) -> None:
         self._records: list[FeedbackRecord] = []
+        self._lock = threading.Lock()
+        register_lock_holder(self, _reset_store_lock)
 
     def add(self, record: FeedbackRecord) -> None:
         """Append one record."""
-        self._records.append(record)
+        with self._lock:
+            self._records.append(record)
 
     def add_validation(
         self, keywords: list[str] | tuple[str, ...], configuration: Configuration
@@ -60,27 +75,34 @@ class FeedbackStore:
 
     # -- access --------------------------------------------------------------
 
+    def snapshot(self) -> tuple[FeedbackRecord, ...]:
+        """A point-in-time copy of every record, in insertion order."""
+        with self._lock:
+            return tuple(self._records)
+
     def __len__(self) -> int:
-        return len(self._records)
+        with self._lock:
+            return len(self._records)
 
     def __iter__(self) -> Iterator[FeedbackRecord]:
-        return iter(self._records)
+        """Iterate a snapshot — safe against concurrent appends."""
+        return iter(self.snapshot())
 
     def positives(self) -> list[FeedbackRecord]:
         """All validated searches (the training set)."""
-        return [r for r in self._records if r.positive]
+        return [r for r in self.snapshot() if r.positive]
 
     def negatives(self) -> list[FeedbackRecord]:
         """All rejected proposals."""
-        return [r for r in self._records if not r.positive]
+        return [r for r in self.snapshot() if not r.positive]
 
     def positive_count(self) -> int:
         """Number of validated searches."""
-        return sum(1 for r in self._records if r.positive)
+        return sum(1 for r in self.snapshot() if r.positive)
 
     def negative_count(self) -> int:
         """Number of rejections."""
-        return sum(1 for r in self._records if not r.positive)
+        return sum(1 for r in self.snapshot() if not r.positive)
 
     def __repr__(self) -> str:
         return (

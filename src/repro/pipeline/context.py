@@ -50,13 +50,13 @@ class SearchTrace:
         emission_cache: emission-vector cache hits/misses during this run.
         steiner_cache: Steiner-result cache hits/misses during this run.
 
-    The cache deltas are snapshots of the wrapper's / graph's *global*
-    counters taken around this run. When several runs share a wrapper or
-    graph concurrently (e.g. two engines on one wrapper inside a threaded
-    multi-source search), the interleaved counts are attributed to
-    whichever trace is active — per-query deltas are exact only for
-    single-threaded use of a given cache; results are unaffected either
-    way.
+    The cache deltas are *exact per run*: the pipeline installs a
+    context-local :class:`~repro.cache.CacheRecorder` around its stages,
+    so every lookup on the shared caches is credited to the run that
+    issued it. Concurrent runs sharing a wrapper or graph (threaded
+    multi-source search, the serving tier) each see only their own
+    counts; the ``size``/``maxsize`` fields describe the shared cache at
+    the moment the run completed.
     """
 
     query: str

@@ -5,7 +5,11 @@ canonical ``Forward -> Backward -> Combine -> Explain``) and drives one
 query's :class:`~repro.pipeline.context.SearchContext` through them,
 recording per-stage wall time and candidate counts plus the emission- and
 Steiner-cache hit/miss deltas into the context's
-:class:`~repro.pipeline.context.SearchTrace`.
+:class:`~repro.pipeline.context.SearchTrace`. The deltas come from a
+context-local :class:`~repro.cache.CacheRecorder` installed around the
+stages — every cache lookup is credited to the run that issued it, so the
+per-query counts stay exact even when concurrent runs share one wrapper
+or schema graph (global before/after snapshots would interleave).
 
 ``run_many`` is the batch entry point behind ``Quest.search_many``: it
 replays the pipeline per query while the wrapper- and graph-level caches
@@ -18,7 +22,7 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING, Sequence
 
-from repro.cache import CacheStats
+from repro.cache import CacheRecorder, CacheStats, recording
 from repro.errors import QuestError
 from repro.pipeline.context import SearchContext, SearchTrace, StageReport
 from repro.pipeline.stages import (
@@ -98,26 +102,46 @@ class SearchPipeline:
         return context
 
     def execute(self, engine: "Quest", context: SearchContext) -> SearchContext:
-        """Run every stage over an already-primed context, tracing as we go."""
+        """Run every stage over an already-primed context, tracing as we go.
+
+        Cache attribution is exact per run: a context-local
+        :class:`~repro.cache.CacheRecorder` is installed around the
+        stages, so each lookup on the shared emission/Steiner caches is
+        credited to the run that issued it — concurrent runs on one
+        engine (or one wrapper shared by several engines) cannot leak
+        counts into each other's traces.
+        """
         emission_cache = getattr(engine.wrapper, "emission_cache", None)
         steiner_cache = getattr(engine.schema_graph, "steiner_cache", None)
-        emissions_before = _cache_stats(emission_cache)
-        steiner_before = _cache_stats(steiner_cache)
-        for stage in self.stages:
-            start = time.perf_counter()
-            stage.run(engine, context)
-            context.trace.stages.append(
-                StageReport(
-                    stage=stage.name,
-                    seconds=time.perf_counter() - start,
-                    candidates=stage.candidates(context),
+        recorder = CacheRecorder()
+        with recording(recorder):
+            for stage in self.stages:
+                start = time.perf_counter()
+                stage.run(engine, context)
+                context.trace.stages.append(
+                    StageReport(
+                        stage=stage.name,
+                        seconds=time.perf_counter() - start,
+                        candidates=stage.candidates(context),
+                    )
                 )
-            )
-        context.trace.emission_cache = _cache_stats(emission_cache).since(
-            emissions_before
+        # Hits/misses are the recorder's exact per-run counts; size and
+        # maxsize describe the shared cache at completion time.
+        emission_now = _cache_stats(emission_cache)
+        steiner_now = _cache_stats(steiner_cache)
+        emission_delta = recorder.stats(getattr(emission_cache, "label", "emission"))
+        steiner_delta = recorder.stats(getattr(steiner_cache, "label", "steiner"))
+        context.trace.emission_cache = CacheStats(
+            hits=emission_delta.hits,
+            misses=emission_delta.misses,
+            size=emission_now.size,
+            maxsize=emission_now.maxsize,
         )
-        context.trace.steiner_cache = _cache_stats(steiner_cache).since(
-            steiner_before
+        context.trace.steiner_cache = CacheStats(
+            hits=steiner_delta.hits,
+            misses=steiner_delta.misses,
+            size=steiner_now.size,
+            maxsize=steiner_now.maxsize,
         )
         return context
 

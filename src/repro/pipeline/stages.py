@@ -75,8 +75,13 @@ class ForwardStage(PipelineStage):
         k = context.pool
         apriori: list[Configuration] = []
         feedback: list[Configuration] = []
+        # Snapshot the feedback model ONCE: a concurrent
+        # set_feedback_model (a mutation the serving tier supports and
+        # versions) must not swap it to None between our checks and the
+        # decode — this whole run uses the model it first observed.
+        feedback_model = engine.feedback_model
         run_apriori = settings.use_apriori
-        run_feedback = settings.use_feedback and engine.feedback_model is not None
+        run_feedback = settings.use_feedback and feedback_model is not None
         # The emission matrix depends on the provider and the state space
         # only — when both operating modes decode over the same state
         # tuple, they share one (batched, deduplicated) matrix instead of
@@ -86,7 +91,7 @@ class ForwardStage(PipelineStage):
         if (
             run_apriori
             and run_feedback
-            and engine.feedback_model.states.states
+            and feedback_model.states.states
             == engine.apriori_model.states.states
         ):
             shared = engine.apriori_model.emission_matrix(
@@ -100,7 +105,7 @@ class ForwardStage(PipelineStage):
             )
         if run_feedback:
             feedback = engine.decode(
-                context.keywords, engine.feedback_model, k, emissions=shared
+                context.keywords, feedback_model, k, emissions=shared
             )
 
         if apriori and feedback:

@@ -1,0 +1,28 @@
+"""The serving tier: concurrent, latency-bounded query answering.
+
+``QuestService`` wraps one engine (single- or multi-source) with the
+tiers an interactive deployment needs — TTL'd result caching, in-flight
+request coalescing, admission control with fast-fail shedding, and an
+operator metrics snapshot. See :mod:`repro.service.service` for the
+full story.
+"""
+
+from repro.errors import ServiceError, ServiceOverloadedError
+from repro.service.admission import AdmissionController
+from repro.service.metrics import MetricsSnapshot, ServiceMetrics
+from repro.service.result_cache import TTLResultCache
+from repro.service.service import QuestService, ServiceResponse, ServiceSettings
+from repro.service.singleflight import SingleFlight
+
+__all__ = [
+    "AdmissionController",
+    "MetricsSnapshot",
+    "QuestService",
+    "ServiceError",
+    "ServiceMetrics",
+    "ServiceOverloadedError",
+    "ServiceResponse",
+    "ServiceSettings",
+    "SingleFlight",
+    "TTLResultCache",
+]

@@ -1,0 +1,81 @@
+"""Admission control: bounded concurrency, bounded queue, fast-fail shed.
+
+A production front door must degrade predictably: at most *max_concurrent*
+searches execute at once, at most *max_queue* more may wait for a slot,
+and anything beyond that is shed immediately with
+:class:`~repro.errors.ServiceOverloadedError` — an overloaded service
+that answers "try elsewhere" in microseconds is strictly better than one
+that accepts everything and answers nothing within its latency budget.
+
+Scope: these bounds govern *computations*. Coalescing followers never
+enter the house — they park on their leader's flight (costing only the
+caller thread that would block anyway, never extra engine work) and are
+reported separately via the ``coalesce_waiting`` metrics gauge.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import ServiceOverloadedError
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Semaphore-backed concurrency gate with a bounded waiting room.
+
+    ``admit()`` is a context manager wrapped around one search execution:
+    it first claims one of ``max_concurrent + max_queue`` *presence*
+    slots without blocking (failure = shed), then blocks on one of
+    ``max_concurrent`` *execution* slots — so at most ``max_queue``
+    admitted requests are ever waiting, and every request past the house
+    limit fails fast instead of queueing unboundedly.
+    """
+
+    def __init__(self, max_concurrent: int, max_queue: int) -> None:
+        if max_concurrent <= 0:
+            raise ValueError(
+                f"max_concurrent must be positive, got {max_concurrent}"
+            )
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be non-negative, got {max_queue}")
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self._presence = threading.Semaphore(max_concurrent + max_queue)
+        self._execution = threading.Semaphore(max_concurrent)
+        self._gauge_lock = threading.Lock()
+        self._admitted = 0
+
+    @property
+    def admitted(self) -> int:
+        """Requests currently inside the house (executing or queued)."""
+        with self._gauge_lock:
+            return self._admitted
+
+    @contextmanager
+    def admit(self) -> Iterator[None]:
+        """Hold one execution slot for the body's duration.
+
+        Raises :class:`ServiceOverloadedError` without blocking when the
+        house (execution slots + waiting room) is full.
+        """
+        if not self._presence.acquire(blocking=False):
+            raise ServiceOverloadedError(
+                f"service overloaded: {self.max_concurrent} executing and "
+                f"{self.max_queue} queued requests already admitted"
+            )
+        with self._gauge_lock:
+            self._admitted += 1
+        try:
+            self._execution.acquire()
+            try:
+                yield
+            finally:
+                self._execution.release()
+        finally:
+            with self._gauge_lock:
+                self._admitted -= 1
+            self._presence.release()

@@ -1,0 +1,104 @@
+"""TTL'd LRU result cache for the serving tier.
+
+Completed rankings are cached under ``(keywords, k, engine version)``
+for a bounded time. Freshness is belt and braces: the engine *version*
+in the key already moves on any result-affecting mutation (source
+writes, schema-graph changes, feedback-model swaps), so a stale entry is
+simply never looked up again; the TTL bounds how long dead entries (and
+any mutation a wrapper fails to version) can linger, and the LRU bound
+caps memory.
+
+A monotonic clock is injected for testability (``clock=`` in the
+constructor); production uses :func:`time.monotonic`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+__all__ = ["TTLResultCache"]
+
+_MISSING = object()
+
+
+class TTLResultCache:
+    """A bounded mapping whose entries expire *ttl* seconds after insert.
+
+    Thread-safe; all operations are O(1) amortised (expired entries are
+    reaped lazily on access and on insert).
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 256,
+        ttl: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl}")
+        self.maxsize = maxsize
+        self.ttl = ttl
+        self._clock = clock
+        #: key -> (expiry deadline, value); insertion/refresh order = LRU.
+        self._data: OrderedDict[Hashable, tuple[float, Any]] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The live cached value for *key*; expired entries count as misses."""
+        now = self._clock()
+        with self._lock:
+            entry = self._data.get(key, _MISSING)
+            if entry is not _MISSING:
+                deadline, value = entry
+                if deadline > now:
+                    self._data.move_to_end(key)
+                    self._hits += 1
+                    return value
+                del self._data[key]
+            self._misses += 1
+            return default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) *key* with a fresh TTL."""
+        now = self._clock()
+        with self._lock:
+            self._data[key] = (now + self.ttl, value)
+            self._data.move_to_end(key)
+            # Reap expired entries from the cold end before evicting live
+            # ones: they sit oldest-first unless refreshed.
+            while self._data:
+                oldest = next(iter(self._data))
+                if self._data[oldest][0] > now:
+                    break
+                del self._data[oldest]
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    @property
+    def counters(self) -> tuple[int, int]:
+        """Cumulative ``(hits, misses)``."""
+        with self._lock:
+            return self._hits, self._misses
+
+    def __repr__(self) -> str:
+        hits, misses = self.counters
+        return (
+            f"TTLResultCache(size={len(self)}, maxsize={self.maxsize}, "
+            f"ttl={self.ttl}, hits={hits}, misses={misses})"
+        )

@@ -1,0 +1,321 @@
+"""``QuestService``: a thread-safe serving front door over one engine.
+
+The engines themselves are now safe for concurrent callers (searches
+return their own :class:`~repro.pipeline.context.SearchContext`; the
+shared caches attribute hits exactly), but *safe* is not *production*:
+an interactive keyword-search service — the deployment scenario QUEST
+assumes — also needs the traffic-shaping tiers this class layers on
+top of a :class:`~repro.core.engine.Quest` (or
+:class:`~repro.core.multisource.MultiSourceQuest`):
+
+1. **Result cache** — completed rankings are served from a TTL'd LRU
+   keyed on ``(keywords, k, engine version)``; any result-affecting
+   mutation moves the engine version, so stale answers are unreachable
+   by construction.
+2. **Request coalescing** — identical in-flight ``(keywords, k)``
+   requests share one pipeline run through a singleflight map: a burst
+   of a hot query costs one computation.
+3. **Admission control** — at most ``max_concurrent`` searches execute,
+   at most ``max_queue`` wait; everything beyond fails fast with
+   :class:`~repro.errors.ServiceOverloadedError`.
+4. **Metrics** — counters, windowed QPS and p50/p95 latency via
+   :meth:`QuestService.metrics`.
+
+Requests are tokenised before keying, so ``"capital  Ruritania"`` and
+``"capital ruritania"`` coalesce. Answers are rank-identical to calling
+the engine directly — every tier changes *when* and *how often* the
+engine runs, never what it returns.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import QuestError, ServiceOverloadedError
+from repro.semantics.tokenize import tokenize_query
+from repro.service.admission import AdmissionController
+from repro.service.metrics import DEFAULT_WINDOW, MetricsSnapshot, ServiceMetrics
+from repro.service.result_cache import TTLResultCache
+from repro.service.singleflight import SingleFlight
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.pipeline.context import SearchTrace
+
+__all__ = ["QuestService", "ServiceResponse", "ServiceSettings"]
+
+#: Fallback answer size for engines without a ``settings.k`` (the
+#: multi-source combiner), matching its own ``search`` default.
+DEFAULT_K = 10
+
+
+@dataclass(frozen=True)
+class ServiceSettings:
+    """Serving-tier knobs (the engine's own knobs live on the engine).
+
+    Attributes:
+        k: default answers per query; ``None`` defers to the engine
+            (``Quest.settings.k``, or 10 for multi-source).
+        max_concurrent: searches executing at once.
+        max_queue: admitted searches allowed to wait for a slot; the
+            next request past ``max_concurrent + max_queue`` is shed.
+        coalesce: share one computation among identical in-flight
+            requests.
+        cache_results: serve repeated queries from the TTL'd result
+            cache.
+        result_ttl_s: seconds a cached ranking stays servable.
+        result_cache_size: rankings retained (LRU beyond that).
+        metrics_window: completed requests kept for quantiles/QPS.
+    """
+
+    k: int | None = None
+    max_concurrent: int = 8
+    max_queue: int = 32
+    coalesce: bool = True
+    cache_results: bool = True
+    result_ttl_s: float = 30.0
+    result_cache_size: int = 256
+    metrics_window: int = DEFAULT_WINDOW
+
+    def __post_init__(self) -> None:
+        if self.k is not None and self.k <= 0:
+            raise QuestError(f"k must be positive, got {self.k}")
+        if self.max_concurrent <= 0:
+            raise QuestError(
+                f"max_concurrent must be positive, got {self.max_concurrent}"
+            )
+        if self.max_queue < 0:
+            raise QuestError(
+                f"max_queue must be non-negative, got {self.max_queue}"
+            )
+        if self.result_ttl_s <= 0:
+            raise QuestError(
+                f"result_ttl_s must be positive, got {self.result_ttl_s}"
+            )
+        if self.result_cache_size <= 0:
+            raise QuestError(
+                f"result_cache_size must be positive, got {self.result_cache_size}"
+            )
+        if self.metrics_window <= 0:
+            raise QuestError(
+                f"metrics_window must be positive, got {self.metrics_window}"
+            )
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """One answered search and where the answer came from.
+
+    Attributes:
+        query: the raw request text.
+        keywords: the tokenised request (the coalescing/cache key).
+        k: answers requested.
+        explanations: the ranked answers (``(source, Explanation)``
+            pairs when the engine is multi-source).
+        trace: the exact per-run diagnostics of the pipeline run that
+            produced this ranking — shared (by design) among the
+            coalesced/cached responses that ranking also answered;
+            ``None`` for multi-source engines, which have no single
+            trace.
+        source: ``"engine"`` (this request ran the pipeline),
+            ``"coalesced"`` (joined another request's run) or
+            ``"cache"`` (TTL result cache).
+        latency_s: wall time this request spent in the service.
+    """
+
+    query: str
+    keywords: tuple[str, ...]
+    k: int
+    explanations: tuple[Any, ...]
+    trace: "SearchTrace | None"
+    source: str
+    latency_s: float
+
+    @property
+    def cached(self) -> bool:
+        return self.source == "cache"
+
+    @property
+    def coalesced(self) -> bool:
+        return self.source == "coalesced"
+
+
+@dataclass(frozen=True)
+class _Computed:
+    """What one engine run produced (the cached/shared unit)."""
+
+    explanations: tuple[Any, ...]
+    trace: "SearchTrace | None"
+
+
+class QuestService:
+    """Concurrent, latency-bounded query answering over one engine.
+
+    Args:
+        engine: a :class:`Quest` or :class:`MultiSourceQuest` (anything
+            with a ``search``-shaped surface; engines exposing
+            ``search_context`` additionally get per-response traces,
+            and a ``version`` property keys cache freshness).
+        settings: serving-tier knobs; defaults to
+            :class:`ServiceSettings`.
+        clock: monotonic time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        settings: ServiceSettings | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.engine = engine
+        self.settings = settings if settings is not None else ServiceSettings()
+        self._admission = AdmissionController(
+            self.settings.max_concurrent, self.settings.max_queue
+        )
+        self._flights = SingleFlight()
+        self._results = TTLResultCache(
+            maxsize=self.settings.result_cache_size,
+            ttl=self.settings.result_ttl_s,
+            clock=clock,
+        )
+        self._metrics = ServiceMetrics(
+            window=self.settings.metrics_window, clock=clock
+        )
+        self._clock = clock
+
+    # -- the front door ------------------------------------------------------
+
+    def search(self, query: str, k: int | None = None) -> ServiceResponse:
+        """Answer one query through the serving tiers.
+
+        Thread-safe; any number of callers may be in flight. Raises
+        :class:`ServiceOverloadedError` when admission control sheds the
+        request (also for followers whose leader was shed — they were
+        promised that computation), and propagates engine failures
+        (e.g. :class:`QuestError` for an unusable query) unchanged.
+        """
+        start = self._clock()
+        self._metrics.record_request()
+        try:
+            if k is not None and k <= 0:
+                raise QuestError(f"k must be positive, got {k}")
+            keywords = self._keywords_of(query)
+            k = k if k is not None else self._default_k()
+            key = (keywords, k, self._engine_version())
+
+            if self.settings.cache_results:
+                hit = self._results.get(key)
+                if hit is not None:
+                    return self._respond(query, keywords, k, hit, "cache", start)
+
+            def compute() -> _Computed:
+                try:
+                    with self._admission.admit():
+                        computed = self._run_engine(query, keywords, k)
+                except ServiceOverloadedError:
+                    # Count the shed where admission refused it — once.
+                    # Followers re-raising the leader's error must not
+                    # inflate the counter (they never entered admission).
+                    self._metrics.record_shed()
+                    raise
+                # Publish before the flight key is released (we are still
+                # the leader here): a same-key request arriving between
+                # flight release and a later put would find neither the
+                # flight nor the cache and redundantly re-run the engine.
+                if self.settings.cache_results:
+                    self._results.put(key, computed)
+                return computed
+
+            if self.settings.coalesce:
+                computed, shared = self._flights.do(key, compute)
+            else:
+                computed, shared = compute(), False
+            source = "coalesced" if shared else "engine"
+            return self._respond(query, keywords, k, computed, source, start)
+        except ServiceOverloadedError:
+            # Already counted at the admission point (exactly once per
+            # refusal, whether one caller or a coalesced burst saw it).
+            raise
+        except BaseException:
+            self._metrics.record_error()
+            raise
+
+    def metrics(self) -> MetricsSnapshot:
+        """A point-in-time snapshot of the serving-tier metrics."""
+        return self._metrics.snapshot(
+            in_flight=self._admission.admitted,
+            coalesce_waiting=self._flights.waiting(),
+        )
+
+    def invalidate(self) -> None:
+        """Drop every cached ranking (mutations do this implicitly via
+        the engine version; this is the operator's big hammer)."""
+        self._results.clear()
+
+    # -- internals -----------------------------------------------------------
+
+    def _default_k(self) -> int:
+        if self.settings.k is not None:
+            return self.settings.k
+        engine_settings = getattr(self.engine, "settings", None)
+        return getattr(engine_settings, "k", None) or DEFAULT_K
+
+    def _keywords_of(self, query: str) -> tuple[str, ...]:
+        """Tokenise through the engine's own helper when it has one, so
+        the coalescing/cache key always matches the keywords the engine
+        actually searches."""
+        keywords_of = getattr(self.engine, "keywords_of", None)
+        if keywords_of is not None:
+            return tuple(keywords_of(query))
+        keywords = tuple(tokenize_query(query))
+        if not keywords:
+            raise QuestError(f"query contains no usable keywords: {query!r}")
+        return keywords
+
+    def _engine_version(self) -> Any:
+        return getattr(self.engine, "version", 0)
+
+    def _run_engine(
+        self, query: str, keywords: tuple[str, ...], k: int
+    ) -> _Computed:
+        search_context = getattr(self.engine, "search_context", None)
+        if search_context is not None:
+            context = search_context(keywords=list(keywords), k=k)
+            return _Computed(tuple(context.explanations), context.trace)
+        # Multi-source (or any foreign) engine: no per-run trace surface.
+        return _Computed(tuple(self.engine.search(query, k)), None)
+
+    def _respond(
+        self,
+        query: str,
+        keywords: tuple[str, ...],
+        k: int,
+        computed: _Computed,
+        source: str,
+        start: float,
+    ) -> ServiceResponse:
+        latency = self._clock() - start
+        self._metrics.record_completion(
+            latency,
+            executed=source == "engine",
+            coalesced=source == "coalesced",
+            # None = the result cache was never consulted for this request.
+            cache_hit=(source == "cache") if self.settings.cache_results else None,
+        )
+        return ServiceResponse(
+            query=query,
+            keywords=keywords,
+            k=k,
+            explanations=computed.explanations,
+            trace=computed.trace,
+            source=source,
+            latency_s=latency,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"QuestService({self.engine!r}, "
+            f"max_concurrent={self.settings.max_concurrent}, "
+            f"max_queue={self.settings.max_queue})"
+        )

@@ -1,0 +1,109 @@
+"""Request coalescing: identical in-flight calls share one computation.
+
+The classic *singleflight* primitive (named after Go's
+``golang.org/x/sync/singleflight``): the first caller for a key becomes
+the **leader** and runs the function; callers arriving with the same key
+while the leader is in flight become **followers** and block until the
+leader publishes — one computation, many answers. The serving tier keys
+flights on ``(keywords, k, engine version)``, so a burst of identical
+queries (a hot search term, a retry storm) costs the engine exactly one
+pipeline run.
+
+Errors propagate to everyone: if the leader raises, every follower of
+that flight re-raises the same exception — a follower was promised *this*
+computation's result, and silently recomputing would defeat the
+admission-control bound the leader ran under.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Hashable
+
+__all__ = ["SingleFlight"]
+
+_PENDING = object()
+
+
+class _Flight:
+    """One in-flight computation and its synchronisation point."""
+
+    __slots__ = ("done", "value", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: Any = _PENDING
+        self.error: BaseException | None = None
+
+
+class SingleFlight:
+    """Deduplicates concurrent calls per key.
+
+    Thread-safe; keys must be hashable. A flight exists only while its
+    leader runs — once published, the key is released and the *next*
+    caller leads a fresh computation (result reuse across time is the
+    result cache's job, not this class's).
+    """
+
+    def __init__(self) -> None:
+        self._flights: dict[Hashable, _Flight] = {}
+        self._lock = threading.Lock()
+        self._waiting = 0
+
+    def in_flight(self) -> int:
+        """Number of distinct keys currently being computed."""
+        with self._lock:
+            return len(self._flights)
+
+    def waiting(self) -> int:
+        """Followers currently parked behind a leader.
+
+        Followers deliberately bypass admission control (their cost is
+        the caller thread that is parked anyway, not engine work), so
+        this gauge is how an operator sees a hot-key backlog that the
+        admission house counters cannot.
+        """
+        with self._lock:
+            return self._waiting
+
+    def do(self, key: Hashable, fn: Callable[[], Any]) -> tuple[Any, bool]:
+        """Run ``fn()`` once per concurrent burst of *key*.
+
+        Returns ``(value, shared)`` — ``shared`` is ``True`` for
+        followers that received the leader's value without computing.
+        Raises whatever the leader's ``fn`` raised, in the leader and in
+        every follower. Followers re-raise the *same* exception instance
+        (the semantics of a shared :class:`concurrent.futures.Future`),
+        so concurrently formatted tracebacks may interleave frames from
+        sibling raise sites — acceptable for diagnostics, and it keeps
+        the exception's type and payload intact for ``except`` clauses.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            leader = flight is None
+            if leader:
+                flight = self._flights[key] = _Flight()
+        if not leader:
+            with self._lock:
+                self._waiting += 1
+            try:
+                flight.done.wait()
+            finally:
+                with self._lock:
+                    self._waiting -= 1
+            if flight.error is not None:
+                raise flight.error
+            return flight.value, True
+        try:
+            flight.value = fn()
+        except BaseException as error:
+            flight.error = error
+            raise
+        finally:
+            # Release the key *before* waking followers: a caller that
+            # arrives after publication must start a fresh flight, never
+            # observe a completed one as joinable.
+            with self._lock:
+                self._flights.pop(key, None)
+            flight.done.set()
+        return flight.value, False

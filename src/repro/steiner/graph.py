@@ -25,12 +25,18 @@ Two derived structures are cached on the graph and invalidated whenever
 from __future__ import annotations
 
 import heapq
+import threading
 from dataclasses import dataclass
 from typing import Iterator
 
 from repro.cache import LRUCache
 from repro.db.schema import ColumnRef, ForeignKey, Schema
 from repro.errors import SteinerError
+from repro.forksafe import register_lock_holder
+
+
+def _reset_graph_lock(graph: "SchemaGraph") -> None:
+    graph._derived_lock = threading.Lock()
 
 __all__ = [
     "CompactGraph",
@@ -196,12 +202,25 @@ class SchemaGraph:
         #: Cross-query cache of top-k Steiner enumerations, keyed by
         #: (frozen terminal set, k, pruning flags); consulted by
         #: :func:`repro.steiner.topk.top_k_steiner_trees`.
-        self.steiner_cache = LRUCache(STEINER_CACHE_SIZE)
+        self.steiner_cache = LRUCache(STEINER_CACHE_SIZE, label="steiner")
+        #: Monotonic topology revision: bumped whenever derived caches are
+        #: invalidated (``add_edge`` / explicit resets). Part of
+        #: ``Quest.version``, which keys the serving tier's result cache.
+        self.version = 0
+        #: Makes the version bump + derived-cache invalidation atomic
+        #: against snapshot retention in :meth:`compact` — without it a
+        #: builder could install a pre-mutation snapshot *after* the
+        #: reset cleared it, pinning stale topology under the new version.
+        self._derived_lock = threading.Lock()
+        register_lock_holder(self, _reset_graph_lock)
         #: Lazily built integer-interned snapshot (see :meth:`compact`).
         self._compact: CompactGraph | None = None
-        #: Per-source shortest-path maps keyed by source node (the all-
-        #: pairs cache the KMB approximation and Dreyfus-Wagner feed from).
-        self._sp_cache: dict[ColumnRef, tuple[dict, dict]] = {}
+        #: Per-source shortest-path maps keyed by (source node, topology
+        #: revision) — the all-pairs cache the KMB approximation and
+        #: Dreyfus-Wagner feed from. The revision in the key keeps a map
+        #: computed over the old topology but stored after a concurrent
+        #: mutation unreachable.
+        self._sp_cache: dict[tuple[ColumnRef, int], tuple[dict, dict]] = {}
         for ref in schema.column_refs():
             self._adjacency[ref] = {}
 
@@ -224,15 +243,27 @@ class SchemaGraph:
         if weight <= 0:
             raise SteinerError(f"edge weight must be positive, got {weight}")
         edge = SchemaEdge(left, right, weight, kind, foreign_key)
-        existing = self._edges.get(edge.key)
-        if existing is not None and existing.weight <= weight:
-            return existing
-        # The graph changed: cached Steiner enumerations, the interned
-        # snapshot and the shortest-path cache are all stale.
-        self.reset_derived_caches()
-        self._edges[edge.key] = edge
-        self._adjacency[left][right] = edge
-        self._adjacency[right][left] = edge
+        # The keep-the-lighter-edge guard, the mutation, the version
+        # bump and the cache invalidation form ONE critical section
+        # (shared with the snapshot build in :meth:`compact`), so no
+        # lock holder ever pairs a new version with the old topology —
+        # and concurrent re-adds of one key cannot race past the guard
+        # and keep the heavier edge. The per-node adjacency
+        # dicts are replaced copy-on-write (O(degree)) because lock-free
+        # readers iterate them mid-search (``neighbors()`` in the
+        # reference kernels) and must keep their consistent pre-mutation
+        # view; ``_edges`` is inserted in place — its only concurrent
+        # read shapes (``.get``, one-shot ``tuple(values())``) are
+        # GIL-atomic, and a full copy would make bulk construction
+        # quadratic in the edge count.
+        with self._derived_lock:
+            existing = self._edges.get(edge.key)
+            if existing is not None and existing.weight <= weight:
+                return existing
+            self._edges[edge.key] = edge
+            self._adjacency[left] = {**self._adjacency[left], right: edge}
+            self._adjacency[right] = {**self._adjacency[right], left: edge}
+            self._invalidate_derived()
         return edge
 
     def reset_derived_caches(self) -> None:
@@ -241,6 +272,12 @@ class SchemaGraph:
         Called by :meth:`add_edge` on mutation; also used by the perf
         harness to force cold-cache kernel measurements.
         """
+        with self._derived_lock:
+            self._invalidate_derived()
+
+    def _invalidate_derived(self) -> None:
+        """Bump the revision and drop derived caches (lock held)."""
+        self.version += 1
         self.steiner_cache.clear()
         self._compact = None
         self._sp_cache.clear()
@@ -283,10 +320,20 @@ class SchemaGraph:
     # -- derived caches ------------------------------------------------------
 
     def compact(self) -> CompactGraph:
-        """The integer-interned snapshot (rebuilt lazily after mutation)."""
-        if self._compact is None:
-            self._compact = CompactGraph(self)
-        return self._compact
+        """The integer-interned snapshot (rebuilt lazily after mutation).
+
+        Built under the same lock :meth:`add_edge` mutates under, so a
+        snapshot always reflects one coherent topology (never a
+        mid-mutation state) and a stale build can never be installed
+        after an invalidation cleared it.
+        """
+        snapshot = self._compact
+        if snapshot is None:
+            with self._derived_lock:
+                snapshot = self._compact
+                if snapshot is None:
+                    snapshot = self._compact = CompactGraph(self)
+        return snapshot
 
     def shortest_paths_from(
         self, source: ColumnRef
@@ -300,7 +347,8 @@ class SchemaGraph:
         configurations, other queries) are dictionary lookups until
         :meth:`add_edge` invalidates the cache.
         """
-        cached = self._sp_cache.get(source)
+        version = self.version
+        cached = self._sp_cache.get((source, version))
         if cached is not None:
             return cached
         compact = self.compact()
@@ -318,7 +366,7 @@ class SchemaGraph:
                 if raw_predecessors[i] >= 0:
                     predecessors[nodes[i]] = nodes[raw_predecessors[i]]
         result = (distances, predecessors)
-        self._sp_cache[source] = result
+        self._sp_cache[(source, version)] = result
         return result
 
     def degree(self, node: ColumnRef) -> int:

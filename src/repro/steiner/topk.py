@@ -89,7 +89,18 @@ def top_k_steiner_trees(
         return [SteinerTree(terminal_set, frozenset(), 0.0)]
 
     cache = getattr(graph, "steiner_cache", None)
-    cache_key = (terminal_set, k, prune_supertrees, max_pops, interned)
+    # The topology revision observed *before* the search is part of the
+    # key: trees enumerated over the old topology but stored after a
+    # concurrent add_edge (which bumps the version and clears the cache)
+    # land under the old version, unreachable to post-mutation readers.
+    cache_key = (
+        terminal_set,
+        k,
+        prune_supertrees,
+        max_pops,
+        interned,
+        getattr(graph, "version", 0),
+    )
     if cache is not None:
         cached = cache.get(cache_key)
         if cached is _DISCONNECTED:

@@ -50,6 +50,7 @@ from repro.db.executor import ResultSet, contains_match, like_match
 from repro.db.fulltext import tokenize_value
 from repro.db.query import Comparison, SelectQuery
 from repro.db.schema import ColumnRef, Schema, TableSchema
+from repro.forksafe import register_lock_holder
 from repro.db.sqlgen import quote_identifier, render_sql
 from repro.db.table import Row, normalise_row
 from repro.db.types import DataType, coerce
@@ -93,6 +94,10 @@ def _encode(value: Any) -> Any:
     return value
 
 
+def _reset_sqlite_lock(backend: "SQLiteBackend") -> None:
+    backend._lock = threading.RLock()
+
+
 class SQLiteBackend(StorageBackend):
     """Relations persisted to SQLite; search and execution pushed down."""
 
@@ -104,8 +109,11 @@ class SQLiteBackend(StorageBackend):
         super().__init__(schema)
         self.path = str(path)
         # One connection guarded by a lock: the threaded multi-source tier
-        # may execute queries from worker threads.
+        # may execute queries from worker threads. Forked children get a
+        # fresh lock (see repro.forksafe) — and a fresh connection too,
+        # via the existing per-pid reconnect in _connection().
         self._lock = threading.RLock()
+        register_lock_holder(self, _reset_sqlite_lock)
         self._conn = self._connect()
         self._pid = os.getpid()
         #: next insertion position per table (mirrors memory row positions)

@@ -19,6 +19,7 @@ per query in the pipeline's ``SearchTrace``.
 from __future__ import annotations
 
 import abc
+import threading
 from typing import Sequence
 
 import numpy as np
@@ -28,9 +29,14 @@ from repro.db.executor import ResultSet
 from repro.db.query import SelectQuery
 from repro.db.schema import Schema
 from repro.cache import CacheStats, LRUCache
+from repro.forksafe import register_lock_holder
 from repro.hmm.states import StateSpace
 
 __all__ = ["SourceWrapper"]
+
+
+def _reset_wrapper_lock(wrapper: "SourceWrapper") -> None:
+    wrapper._emission_sync_lock = threading.Lock()
 
 #: Default emission-cache capacity: comfortably above the distinct-keyword
 #: count of any benchmark workload while bounding memory on open vocabularies.
@@ -53,8 +59,10 @@ class SourceWrapper(abc.ABC):
         emission_cache_size: int = DEFAULT_EMISSION_CACHE_SIZE,
     ) -> None:
         self.schema = schema
-        self._emission_cache = LRUCache(emission_cache_size)
+        self._emission_cache = LRUCache(emission_cache_size, label="emission")
         self._emission_version = self._source_version()
+        self._emission_sync_lock = threading.Lock()
+        register_lock_holder(self, _reset_wrapper_lock)
 
     def _source_version(self) -> int:
         """Mutation counter of the underlying source (0 when static).
@@ -107,12 +115,25 @@ class SourceWrapper(abc.ABC):
             [self.compute_emission_scores(keyword, states) for keyword in keywords]
         )
 
-    def _cache_sync(self) -> None:
-        """Drop cached emission vectors when the source mutated."""
+    def _cache_sync(self) -> int:
+        """The observed source version, dropping cached vectors on mutation.
+
+        The returned version is folded into the cache keys of the read
+        that observed it: a vector computed from pre-mutation data but
+        *stored* after a concurrent mutation (and after another thread's
+        sync cleared the cache) lands under the old version's key, where
+        no post-mutation reader can find it — the clear-then-stale-put
+        race cannot poison the cache.
+        """
         version = self._source_version()
-        if version != self._emission_version:
-            self._emission_cache.clear()
-            self._emission_version = version
+        with self._emission_sync_lock:
+            # Adopt only *forward* moves (mutation counters are
+            # monotonic): a thread resuming with a stale read must not
+            # write the version backwards and trigger clear ping-pong.
+            if version > self._emission_version:
+                self._emission_cache.clear()
+                self._emission_version = version
+        return version
 
     def emission_scores(self, keyword: str, states: StateSpace) -> np.ndarray:
         """Cached emission vector for *keyword* over *states*.
@@ -122,10 +143,11 @@ class SourceWrapper(abc.ABC):
         the full state tuple, not just its length: a vector is only ever
         reused for a state space with identical content *and order* (a
         foreign feedback model may legally carry a same-length space with
-        different ordering — see ``Quest.set_feedback_model``).
+        different ordering — see ``Quest.set_feedback_model``) — plus the
+        source version observed at lookup time (see :meth:`_cache_sync`).
         """
-        self._cache_sync()
-        key = (keyword, states.states)
+        version = self._cache_sync()
+        key = (keyword, states.states, version)
         cached = self._emission_cache.get(key)
         if cached is not None:
             return cached
@@ -148,12 +170,12 @@ class SourceWrapper(abc.ABC):
         :meth:`emission_scores` returns (and are cached as such), so the
         batched and per-keyword paths are bit-identical.
         """
-        self._cache_sync()
+        version = self._cache_sync()
         key_states = states.states
         vectors: dict[str, np.ndarray] = {}
         misses: list[str] = []
         for keyword in dict.fromkeys(keywords):
-            cached = self._emission_cache.get((keyword, key_states))
+            cached = self._emission_cache.get((keyword, key_states, version))
             if cached is None:
                 misses.append(keyword)
             else:
@@ -163,9 +185,18 @@ class SourceWrapper(abc.ABC):
             for keyword, row in zip(misses, block):
                 scores = np.ascontiguousarray(row)
                 scores.setflags(write=False)
-                self._emission_cache.put((keyword, key_states), scores)
+                self._emission_cache.put((keyword, key_states, version), scores)
                 vectors[keyword] = scores
         return np.stack([vectors[keyword] for keyword in keywords])
+
+    @property
+    def source_version(self) -> int:
+        """Public mutation counter of the underlying source.
+
+        The serving tier folds this into ``Quest.version`` so a cached
+        service result can never outlive the data it was computed from.
+        """
+        return self._source_version()
 
     @property
     def emission_cache(self) -> LRUCache:

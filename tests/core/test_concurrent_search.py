@@ -1,0 +1,389 @@
+"""Thread-stress suite: one shared engine, many concurrent callers.
+
+Covers the concurrency contract of this PR's tentpole: N threads x M
+queries on a single shared ``Quest`` must produce rankings identical to
+sequential runs, every returned context must carry its *own* exact trace
+(no shared-counter attribution, no cross-talk), and the serving tier
+(``QuestService``) must keep that identity while demonstrably coalescing
+identical in-flight requests — plus the satellite fixes: the forked batch
+tier degrading (not blocking) under sibling contention and the
+``FeedbackStore`` staying safe under concurrent append/iterate.
+"""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core import MultiSourceQuest, Quest
+from repro.core.batch import fork_available
+from repro.datasets import mondial
+from repro.errors import ServiceOverloadedError
+from repro.feedback import FeedbackStore
+from repro.pipeline.runner import SearchPipeline
+from repro.service import QuestService, ServiceSettings
+from repro.wrapper import FullAccessWrapper, HiddenSourceWrapper
+
+from tests.conftest import backend_for
+
+THREADS = 8
+
+
+@pytest.fixture(scope="module")
+def stress_db():
+    return mondial.generate(countries=10, seed=31)
+
+
+@pytest.fixture(scope="module")
+def stress_texts(stress_db):
+    workload = mondial.workload(stress_db, queries_per_kind=2, seed=31)
+    return [query.text for query in workload]
+
+
+@pytest.fixture()
+def stress_engine(stress_db):
+    return Quest(FullAccessWrapper(backend_for(stress_db)))
+
+
+def _run_threaded(fn, jobs, threads=THREADS):
+    """Run ``fn(job)`` for every job across *threads*, preserving order."""
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        return list(pool.map(fn, jobs))
+
+
+class SlowPipeline(SearchPipeline):
+    """A pipeline whose runs take a guaranteed-visible amount of time,
+    so tests can arrange requests to overlap deterministically."""
+
+    def __init__(self, delay=0.2):
+        super().__init__()
+        self.delay = delay
+
+    def run(self, engine, query=None, keywords=None, k=None):
+        time.sleep(self.delay)
+        return super().run(engine, query=query, keywords=keywords, k=k)
+
+
+class TestConcurrentEngineIdentity:
+    def test_threads_match_sequential_rankings(self, stress_engine, stress_texts):
+        expected = {
+            text: stress_engine.search(text) for text in stress_texts
+        }
+        # Every thread replays the whole workload against the shared
+        # engine: N threads x M queries, all interleaving on the shared
+        # emission/Steiner caches.
+        jobs = [text for text in stress_texts for _ in range(THREADS)]
+        results = _run_threaded(
+            lambda text: (text, stress_engine.search(text)), jobs
+        )
+        for text, ranked in results:
+            assert ranked == expected[text]
+
+    def test_contexts_carry_own_results_without_crosstalk(
+        self, stress_engine, stress_texts
+    ):
+        jobs = [text for text in stress_texts for _ in range(THREADS)]
+        contexts = _run_threaded(
+            lambda text: stress_engine.search_context(text), jobs
+        )
+        for text, context in zip(jobs, contexts):
+            assert context.query == text
+            assert context.trace.query == text
+            assert tuple(context.keywords) == context.trace.keywords
+            # Every run traced its own full stage sequence.
+            assert [r.stage for r in context.trace.stages] == [
+                stage.name for stage in stress_engine.pipeline.stages
+            ]
+
+    def test_warm_trace_deltas_exact_under_concurrency(
+        self, stress_engine, stress_texts
+    ):
+        stress_engine.search_many(stress_texts)  # prime both caches
+        expected = {}
+        for text in stress_texts:
+            trace = stress_engine.search_context(text).trace
+            expected[text] = (
+                (trace.emission_cache.hits, trace.emission_cache.misses),
+                (trace.steiner_cache.hits, trace.steiner_cache.misses),
+            )
+        jobs = [text for text in stress_texts for _ in range(THREADS)]
+        contexts = _run_threaded(
+            lambda text: stress_engine.search_context(text), jobs
+        )
+        for text, context in zip(jobs, contexts):
+            emission_expected, steiner_expected = expected[text]
+            trace = context.trace
+            assert (
+                trace.emission_cache.hits,
+                trace.emission_cache.misses,
+            ) == emission_expected
+            assert (
+                trace.steiner_cache.hits,
+                trace.steiner_cache.misses,
+            ) == steiner_expected
+            # Warm caches: a concurrent run must never observe a miss.
+            assert trace.emission_cache.misses == 0
+            assert trace.steiner_cache.misses == 0
+
+    def test_cold_attribution_partitions_global_counters(
+        self, stress_engine, stress_texts
+    ):
+        """Per-trace deltas must sum exactly to the global counter motion.
+
+        The old snapshot-subtraction scheme double-counted interleaved
+        lookups (overlapping before/after windows); the context-local
+        recorder partitions them."""
+        emissions_before = stress_engine.wrapper.emission_cache_stats
+        steiner_before = stress_engine.schema_graph.steiner_cache.stats
+        contexts = _run_threaded(
+            lambda text: stress_engine.search_context(text), stress_texts
+        )
+        emissions = stress_engine.wrapper.emission_cache_stats.since(
+            emissions_before
+        )
+        steiner = stress_engine.schema_graph.steiner_cache.stats.since(
+            steiner_before
+        )
+        traces = [context.trace for context in contexts]
+        assert sum(t.emission_cache.hits for t in traces) == emissions.hits
+        assert sum(t.emission_cache.misses for t in traces) == emissions.misses
+        assert sum(t.steiner_cache.hits for t in traces) == steiner.hits
+        assert sum(t.steiner_cache.misses for t in traces) == steiner.misses
+
+    def test_multisource_threads_match_serial(self, stress_db, stress_texts):
+        engines = {
+            "full": Quest(FullAccessWrapper(backend_for(stress_db))),
+            "hidden": Quest(
+                HiddenSourceWrapper(stress_db.schema, remote_db=stress_db)
+            ),
+        }
+        multi = MultiSourceQuest(engines, max_workers=4)
+        expected = {text: multi.search(text) for text in stress_texts[:4]}
+        jobs = [text for text in stress_texts[:4] for _ in range(4)]
+        results = _run_threaded(lambda text: (text, multi.search(text)), jobs)
+        for text, ranked in results:
+            assert ranked == expected[text]
+
+
+class TestServiceConcurrency:
+    def test_service_matches_sequential_engine_with_own_traces(
+        self, stress_db, stress_texts
+    ):
+        engine = Quest(FullAccessWrapper(backend_for(stress_db)))
+        expected = {text: engine.search(text) for text in stress_texts}
+        service = QuestService(engine)
+        jobs = [text for text in stress_texts for _ in range(THREADS)]
+        responses = _run_threaded(lambda text: service.search(text), jobs)
+        for text, response in zip(jobs, responses):
+            assert list(response.explanations) == expected[text]
+            assert response.trace is not None
+            assert response.trace.query == text
+        snapshot = service.metrics()
+        assert snapshot.requests == len(jobs)
+        assert snapshot.completed == len(jobs)
+        # The serving tiers absorbed the bulk of the duplicate traffic.
+        # (No hard per-query bound: a request preempted between its
+        # cache miss and its flight join can legally lead a second
+        # computation for an already-answered key.)
+        assert snapshot.executed < len(jobs)
+        assert snapshot.coalesced + snapshot.cache_hits == len(jobs) - snapshot.executed
+
+    def test_coalescing_collapses_identical_inflight_queries(self, stress_db):
+        engine = Quest(
+            FullAccessWrapper(backend_for(stress_db)), pipeline=SlowPipeline()
+        )
+        service = QuestService(
+            engine, ServiceSettings(cache_results=False)
+        )
+        barrier = threading.Barrier(THREADS)
+
+        def storm(_index):
+            barrier.wait()
+            return service.search("capital ruritania")
+
+        responses = _run_threaded(storm, range(THREADS))
+        rankings = {tuple(r.explanations) for r in responses}
+        assert len(rankings) == 1
+        snapshot = service.metrics()
+        assert snapshot.requests == THREADS
+        # All followers entered while the leader's 200ms run was in
+        # flight: exactly one pipeline execution served all of them.
+        assert snapshot.executed == 1
+        assert snapshot.coalesced == THREADS - 1
+        assert sum(1 for r in responses if r.source == "engine") == 1
+        assert sum(1 for r in responses if r.coalesced) == THREADS - 1
+
+    def test_admission_control_sheds_fast(self, stress_db, stress_texts):
+        engine = Quest(
+            FullAccessWrapper(backend_for(stress_db)), pipeline=SlowPipeline()
+        )
+        service = QuestService(
+            engine,
+            ServiceSettings(
+                max_concurrent=1,
+                max_queue=0,
+                cache_results=False,
+                coalesce=False,  # every request must face admission alone
+            ),
+        )
+        barrier = threading.Barrier(6)
+        texts = (stress_texts * 6)[:6]
+
+        def request(text):
+            barrier.wait()
+            try:
+                return ("ok", service.search(text))
+            except ServiceOverloadedError:
+                return ("shed", None)
+
+        outcomes = _run_threaded(request, texts, threads=6)
+        shed = sum(1 for kind, _r in outcomes if kind == "shed")
+        completed = sum(1 for kind, _r in outcomes if kind == "ok")
+        assert shed > 0  # the house was full, someone was refused
+        assert completed >= 1  # the slot holder answered
+        assert shed + completed == 6
+        snapshot = service.metrics()
+        assert snapshot.shed == shed
+        assert snapshot.completed == completed
+
+    def test_cached_results_invalidated_by_engine_mutation(self, stress_db):
+        engine = Quest(FullAccessWrapper(backend_for(stress_db)))
+        service = QuestService(engine)
+        first = service.search("capital ruritania")
+        assert service.search("capital ruritania").cached
+        version_before = engine.version
+        engine.schema_graph.reset_derived_caches()
+        assert engine.version != version_before
+        refreshed = service.search("capital ruritania")
+        assert refreshed.source == "engine"  # the stale key is unreachable
+        assert list(refreshed.explanations) == list(first.explanations)
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs the fork start method")
+class TestForkedBatchContention:
+    def test_run_forked_yields_under_contention(self):
+        from repro.core import batch
+
+        assert batch._PAYLOAD_LOCK.acquire(timeout=5)
+        try:
+            assert (
+                batch.run_forked(object(), _identity_worker, [1, 2, 3], 2)
+                is None
+            )
+        finally:
+            batch._PAYLOAD_LOCK.release()
+
+    def test_forked_batch_survives_sibling_holding_a_cache_lock(
+        self, stress_engine, stress_texts
+    ):
+        # A sibling thread may sit inside a cache lock at the instant the
+        # batch tier forks; the child would inherit the lock in a locked
+        # state with no owner. repro.forksafe re-initialises registered
+        # locks post-fork, so the workers must complete regardless.
+        expected = stress_engine.search_many(stress_texts[:4])
+        lock = stress_engine.wrapper.emission_cache._lock
+        assert lock.acquire(timeout=5)
+        try:
+            results = stress_engine.search_many(stress_texts[:4], workers=2)
+        finally:
+            lock.release()
+        assert results == expected
+
+    def test_forked_batch_survives_sibling_inside_the_fulltext_lock(
+        self, stress_db, stress_texts
+    ):
+        # Every columnar read enters FullTextIndex._lock, so a COLD
+        # engine's forked workers must not inherit it held. An RLock is
+        # reentrant for the forking thread, so the holder has to be a
+        # sibling thread for this to bite.
+        from repro.core import Quest
+        from repro.errors import QuestError
+        from repro.wrapper import FullAccessWrapper
+
+        expected = Quest(FullAccessWrapper(backend_for(stress_db))).search_many(
+            stress_texts[:4]
+        )
+        cold = Quest(FullAccessWrapper(backend_for(stress_db)))
+        try:
+            lock = cold.wrapper.fulltext._lock
+        except QuestError:
+            pytest.skip("backend has no in-process full-text index")
+        held = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with lock:
+                held.set()
+                release.wait(120)
+
+        sibling = threading.Thread(target=holder)
+        sibling.start()
+        assert held.wait(5)
+        try:
+            results = cold.search_many(stress_texts[:4], workers=2)
+        finally:
+            release.set()
+            sibling.join(5)
+        assert results == expected
+
+    def test_search_many_degrades_to_sequential_under_contention(
+        self, stress_engine, stress_texts
+    ):
+        from repro.core import batch
+
+        expected = stress_engine.search_many(stress_texts[:4])
+        assert batch._PAYLOAD_LOCK.acquire(timeout=5)
+        try:
+            start = time.perf_counter()
+            results = stress_engine.search_many(stress_texts[:4], workers=2)
+            elapsed = time.perf_counter() - start
+        finally:
+            batch._PAYLOAD_LOCK.release()
+        assert results == expected
+        # It ran (sequentially) instead of parking on the sibling's lock.
+        assert elapsed < 60.0
+        assert len(stress_engine.batch_traces) == 4
+
+
+def _identity_worker(item):  # pragma: no cover - never reached (lock held)
+    return item
+
+
+class TestFeedbackStoreConcurrency:
+    def test_concurrent_append_and_snapshot_iteration(self, mini_engine):
+        configuration = mini_engine.forward(["kubrick"], 1)[0]
+        store = FeedbackStore()
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            for index in range(200):
+                if index % 3:
+                    store.add_validation(["kubrick"], configuration)
+                else:
+                    store.add_rejection(["kubrick"], configuration)
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    seen = list(store)
+                    assert store.positive_count() + store.negative_count() >= 0
+                    for record in seen:
+                        assert record.keywords == ("kubrick",)
+                except BaseException as error:  # pragma: no cover
+                    errors.append(error)
+                    return
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        writers = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in readers + writers:
+            thread.start()
+        for thread in writers:
+            thread.join()
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert not errors
+        assert len(store) == 4 * 200
+        assert store.positive_count() + store.negative_count() == len(store)

@@ -47,6 +47,57 @@ class TestForward:
         with pytest.raises(QuestError):
             mini_engine.set_feedback_model(foreign)
 
+    def test_same_length_foreign_state_space_rejected(self, mini_engine):
+        # Regression: a foreign space used to slip through whenever its
+        # *length* matched — state indexes are positional, so a renamed
+        # schema of identical shape would silently score the wrong terms.
+        from repro.db import Column, Schema, TableSchema
+        from repro.db.types import DataType
+
+        def renamed(schema: Schema) -> Schema:
+            return Schema(
+                tables=[
+                    TableSchema(
+                        f"x{table.name}",
+                        tuple(
+                            Column(f"x{column.name}", DataType.TEXT)
+                            for column in table.columns
+                        ),
+                        (f"x{table.columns[0].name}",),
+                    )
+                    for table in schema.tables
+                ]
+            )
+
+        foreign_space = StateSpace(renamed(mini_engine.schema))
+        assert len(foreign_space) == len(mini_engine.states)
+        with pytest.raises(QuestError):
+            mini_engine.set_feedback_model(
+                HiddenMarkovModel.uniform(foreign_space)
+            )
+
+    def test_constructor_validates_feedback_model_too(
+        self, mini_wrapper, mondial_db
+    ):
+        foreign = HiddenMarkovModel.uniform(StateSpace(mondial_db.schema))
+        with pytest.raises(QuestError):
+            Quest(mini_wrapper, feedback_model=foreign)
+
+    def test_equal_content_state_space_accepted(self, mini_engine):
+        # A *distinct* space object over the same schema carries the same
+        # states in the same order: positionally interchangeable, accepted.
+        twin = StateSpace(mini_engine.schema)
+        assert twin is not mini_engine.states
+        mini_engine.set_feedback_model(HiddenMarkovModel.uniform(twin))
+        assert mini_engine.feedback_model is not None
+
+    def test_feedback_model_swap_moves_engine_version(self, mini_engine):
+        before = mini_engine.version
+        mini_engine.set_feedback_model(
+            HiddenMarkovModel.uniform(mini_engine.states)
+        )
+        assert mini_engine.version != before
+
 
 class TestBackward:
     def test_produces_interpretations(self, mini_engine):

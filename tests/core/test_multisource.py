@@ -92,3 +92,41 @@ class TestMultiSource:
         ranked = multi.search("kubrick movies", k=5)
         assert ranked
         assert all(name == "only" for name, _e in ranked)
+
+
+class TestExecutorLifecycle:
+    def test_pool_recreated_when_width_changes(self, two_sources):
+        # Regression: the lazily created executor used to pin the width
+        # computed at first search, silently ignoring later max_workers
+        # changes (and pools released by close()).
+        multi = MultiSourceQuest(two_sources, max_workers=2)
+        baseline = multi.search("kubrick movies", k=5)
+        assert multi._executor is not None
+        assert multi._executor._max_workers == 2
+
+        multi.max_workers = 4
+        assert multi.search("kubrick movies", k=5) == baseline
+        assert multi._executor._max_workers == 4
+
+        multi.max_workers = 3
+        assert multi.search("kubrick movies", k=5) == baseline
+        assert multi._executor._max_workers == 3
+        multi.close()
+
+    def test_pool_recreated_after_close(self, two_sources):
+        multi = MultiSourceQuest(two_sources, max_workers=2)
+        baseline = multi.search("kubrick movies", k=5)
+        multi.close()
+        assert multi._executor is None
+        assert multi.search("kubrick movies", k=5) == baseline
+        assert multi._executor is not None
+        assert multi._executor._max_workers == 2
+        multi.close()
+
+    def test_stable_width_reuses_the_pool(self, two_sources):
+        multi = MultiSourceQuest(two_sources, max_workers=2)
+        multi.search("kubrick movies", k=5)
+        pool = multi._executor
+        multi.search("movies", k=5)
+        assert multi._executor is pool
+        multi.close()

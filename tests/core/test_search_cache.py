@@ -93,6 +93,88 @@ class TestColdVsWarm:
         graph.add_edge(edge.left, edge.right, edge.weight / 2, edge.kind)
         assert len(graph.steiner_cache) == 0
 
+    def test_stale_emission_put_after_mutation_is_unreachable(self, mini_db):
+        # The clear-then-stale-put race: a vector computed from
+        # pre-mutation data but stored *after* a concurrent mutation
+        # (and after another reader's sync cleared the cache) must not
+        # be servable. Simulated deterministically: the first compute
+        # mutates the backend and triggers a sync mid-flight, then
+        # returns its stale pre-mutation scores.
+        import numpy as np
+
+        from repro.storage import create_backend
+        from repro.wrapper import FullAccessWrapper
+
+        backend = create_backend("memory", mini_db)
+        wrapper = FullAccessWrapper(backend)
+        from repro.hmm.states import StateSpace
+
+        states = StateSpace(mini_db.schema)
+        original = wrapper.compute_emission_scores
+        tripped = []
+
+        def compute_and_mutate(keyword, space):
+            scores = original(keyword, space)
+            if keyword == "godzilla" and not tripped:
+                tripped.append(True)
+                backend.insert(
+                    "movie",
+                    {"id": 99, "title": "Godzilla", "year": 1954,
+                     "director_id": 1, "genre_id": 1},
+                )
+                # A concurrent reader syncs: clears the cache, adopts
+                # the new version — while our stale result is in flight.
+                wrapper.emission_scores("kubrick", states)
+            return scores
+
+        wrapper.compute_emission_scores = compute_and_mutate
+        stale = wrapper.emission_scores("godzilla", states)
+        assert float(np.max(stale)) == 0.0  # computed pre-insert
+        fresh = wrapper.emission_scores("godzilla", states)
+        assert float(np.max(fresh)) > 0.0  # stale put was unreachable
+
+    def test_add_edge_mutates_topology_before_version_bump(self, mini_engine):
+        # Ordering regression: if the version bumped before the
+        # adjacency mutation, a reader in the window would pair the NEW
+        # version with the OLD topology and poison the caches under the
+        # new version permanently.
+        graph = mini_engine.schema_graph
+        edge = graph.edges[0]
+        seen = {}
+        original_invalidate = graph._invalidate_derived
+
+        def spying_invalidate():
+            seen["weight_at_bump"] = graph.edge_between(
+                edge.left, edge.right
+            ).weight
+            original_invalidate()
+
+        graph._invalidate_derived = spying_invalidate
+        try:
+            graph.add_edge(edge.left, edge.right, edge.weight / 2, edge.kind)
+        finally:
+            graph._invalidate_derived = original_invalidate
+        assert seen["weight_at_bump"] == edge.weight / 2
+
+    def test_stale_steiner_put_after_mutation_is_unreachable(self, mini_engine):
+        from repro.steiner import top_k_steiner_trees
+
+        graph = mini_engine.schema_graph
+        configurations = mini_engine.forward(["kubrick", "movies"], 3)
+        terminals = sorted(
+            configurations[0].terminals(mini_engine.schema), key=str
+        )
+        before = top_k_steiner_trees(graph, terminals, 3)
+        stale_key = next(iter(graph.steiner_cache._data))
+        edge = graph.edges[0]
+        graph.add_edge(edge.left, edge.right, edge.weight / 2, edge.kind)
+        # An in-flight enumeration finishing now would put under the old
+        # version's key; post-mutation lookups must not see it.
+        graph.steiner_cache.put(stale_key, ("poisoned",))
+        after = top_k_steiner_trees(graph, terminals, 3)
+        assert after != ("poisoned",)
+        assert {t.terminals for t in after} == {t.terminals for t in before}
+
 
 class TestSearchMany:
     def test_search_many_equals_sequential_search(
