@@ -174,6 +174,29 @@ def _kernel_measurements(sc) -> dict[str, dict[str, object]]:
         graph.reset_derived_caches()
         exact_steiner_tree(graph, terminals, interned=optimized)
 
+    # The plan-cache entry: overlapping terminal sets solved back to
+    # back, the shape a query workload's configurations produce. The
+    # optimized side shares Dreyfus-Wagner subset rows (and the batched
+    # distance rows) across the sets through the plan cache; the
+    # reference side recomputes every table from scratch per set.
+    overlap_sets = [
+        terminals,
+        terminals[:2],
+        [terminals[0], terminals[2]],
+        terminals,
+    ]
+
+    def warm_overlap(optimized: bool):
+        graph.reset_derived_caches()
+        for subset in overlap_sets:
+            exact_steiner_tree(
+                graph,
+                subset,
+                interned=optimized,
+                batched=optimized,
+                plan_cache=optimized,
+            )
+
     # KMB is measured *steady-state*: the optimisation is the per-graph
     # shortest-path cache, so the optimized side answers from the warm
     # cache (primed by the measurement warmup) while the reference side
@@ -197,6 +220,7 @@ def _kernel_measurements(sc) -> dict[str, dict[str, object]]:
         ),
         "top-k-steiner k=10": variants(cold_topk),
         "exact-steiner t=3": variants(cold_exact),
+        "exact-steiner warm-overlap": variants(warm_overlap),
         "kmb-approx t=3 steady": variants(steady_kmb),
         "ds-combine frame=100": variants(
             lambda optimized: combine_scores(
@@ -375,7 +399,13 @@ def profile_cold_query(backend: str, columnar: bool) -> None:
 def _cold_search(
     sc, backend: str, repeats: int, queries: int, columnar: bool = True
 ) -> dict[str, dict[str, object]]:
-    """Fresh-engine ``search_many`` per kernelset (cold caches, interleaved)."""
+    """Fresh-engine ``search_many`` per kernelset (cold caches, interleaved).
+
+    ``stage_seconds`` values are normalised **per query** (like the
+    top-level medians), so they stay comparable across runs with
+    different workload sizes and read directly against the per-query
+    acceptance targets.
+    """
     texts = [q.text for q in sc.workload][:queries]
     per_query: dict[str, list[float]] = {kernelset: [] for kernelset in KERNELSETS}
     details: dict[str, dict] = {kernelset: {} for kernelset in KERNELSETS}
@@ -396,8 +426,13 @@ def _cold_search(
                     stage_seconds[report.stage] = (
                         stage_seconds.get(report.stage, 0.0) + report.seconds
                     )
+            stage_seconds = {
+                stage: seconds / len(texts)
+                for stage, seconds in stage_seconds.items()
+            }
             emissions = engine.wrapper.emission_cache_stats
             steiner = engine.schema_graph.steiner_cache.stats
+            subsets = engine.schema_graph.plan_cache.stats
             details[kernelset] = {
                 "stage_seconds": stage_seconds,
                 "cache": {
@@ -406,6 +441,10 @@ def _cold_search(
                         "misses": emissions.misses,
                     },
                     "steiner": {"hits": steiner.hits, "misses": steiner.misses},
+                    "steiner-subset": {
+                        "hits": subsets.hits,
+                        "misses": subsets.misses,
+                    },
                 },
             }
     return {
@@ -469,6 +508,22 @@ def run_suite(
     }
 
 
+def _stage_entry(entry: dict | None, stage: str) -> dict | None:
+    """A per-stage pseudo-entry derived from a cold-search entry.
+
+    ``stage_seconds`` carries one per-query number per stage (the last
+    interleaved repetition), so median and min coincide; ``queries`` is
+    copied so the workload-size comparability guard applies to stages
+    exactly as it does to the whole-query entry.
+    """
+    if not entry:
+        return None
+    seconds = (entry.get("stage_seconds") or {}).get(stage)
+    if seconds is None:
+        return None
+    return {"median_s": seconds, "min_s": seconds, "queries": entry.get("queries")}
+
+
 def _entry_pairs(report: dict):
     """Yield every comparable entry as ``(label, {kernelset: entry})``."""
     for section in ("kernels", "index"):
@@ -490,6 +545,20 @@ def _entry_pairs(report: dict):
             f"{backend}/{COLD_SEARCH_ENTRY}",
             {kernelset: kernelsets.get(kernelset) for kernelset in KERNELSETS},
         )
+        # Per-stage pseudo-entries, so a regression hiding inside one
+        # stage (the backward Steiner pass, the explain counts) is gated
+        # even when the whole-query median absorbs it.
+        stage_names: set[str] = set()
+        for entry in kernelsets.values():
+            stage_names.update((entry or {}).get("stage_seconds", {}))
+        for stage in sorted(stage_names):
+            yield (
+                f"{backend}/stage-{stage} per-query",
+                {
+                    kernelset: _stage_entry(kernelsets.get(kernelset), stage)
+                    for kernelset in KERNELSETS
+                },
+            )
 
 
 def _stat(entry: dict | None, key: str) -> float | None:
@@ -704,6 +773,13 @@ def main(argv: list[str] | None = None) -> int:
         "smoke); timings are recorded, not gated — the only failure is "
         "an identical-query storm that never coalesces",
     )
+    parser.add_argument(
+        "--backward-only",
+        action="store_true",
+        help="CI smoke of the backward stage alone: one cold-search pass "
+        "per backend, gating only the backward per-query stage seconds "
+        "(optimized must beat reference) — fast enough for every PR",
+    )
     args = parser.parse_args(argv)
 
     backends = [b.strip() for b in args.backends.split(",") if b.strip()]
@@ -731,6 +807,38 @@ def main(argv: list[str] | None = None) -> int:
             f"{service['requests_per_run'] * repeats} requests)"
         )
         return 0
+
+    if args.backward_only:
+        sc = scenario("mondial")
+        failed = False
+        for backend in backends:
+            result = _cold_search(
+                sc, backend, repeats, queries, not args.no_columnar
+            )
+            fast = result["optimized"]["stage_seconds"].get("backward")
+            slow = result["reference"]["stage_seconds"].get("backward")
+            subsets = result["optimized"]["cache"]["steiner-subset"]
+            if not fast or not slow:
+                print(f"ERROR: [{backend}] no backward stage timings")
+                failed = True
+                continue
+            print(
+                f"[{backend}] backward per-query: reference {slow * 1e3:.3f}ms "
+                f"-> optimized {fast * 1e3:.3f}ms ({slow / fast:.2f}x); "
+                f"subset cache hits={subsets['hits']} misses={subsets['misses']}"
+            )
+            # The one hard claim: the optimized backward stage is not
+            # slower than the reference path beyond tolerance. An
+            # absolute target would gate on machine speed; this gates on
+            # the optimisation still existing.
+            if fast > slow * (1.0 + args.tolerance):
+                print(
+                    f"ERROR: [{backend}] optimized backward stage "
+                    f"({fast * 1e3:.3f}ms) slower than reference "
+                    f"({slow * 1e3:.3f}ms) beyond {args.tolerance:.0%}"
+                )
+                failed = True
+        return 1 if failed else 0
 
     current = run_suite(
         backends,

@@ -30,6 +30,7 @@ work across queries.
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import TYPE_CHECKING, Sequence
 
@@ -376,8 +377,20 @@ class Quest:
             One ranked explanation list per query, in input order —
             element-wise identical to calling :meth:`search` per query.
         """
+        note: str | None = None
         if workers is None:
             workers = self.settings.batch_workers
+            # An implicit pool width degrades to sequential on a 1-CPU
+            # host: forking buys no parallelism without a second core,
+            # and the fork itself costs a copy-on-write address space
+            # per worker. An explicit ``workers=`` argument is honoured
+            # as given (benchmarks measure the pool itself).
+            if workers > 1 and os.cpu_count() == 1:
+                note = (
+                    f"batch fan-out degraded to sequential: "
+                    f"settings.batch_workers={workers} on a single-CPU host"
+                )
+                workers = 1
         if (
             workers > 1
             and len(queries) > 1
@@ -392,6 +405,9 @@ class Quest:
             # A sibling thread's forked batch holds the fork machinery:
             # degrade to the sequential loop instead of blocking on it.
         contexts = self.search_many_contexts(queries, k=k, strict=strict)
+        if note is not None:
+            for context in contexts:
+                context.trace.notes.append(note)
         return [context.explanations for context in contexts]
 
     def search_many_contexts(

@@ -69,13 +69,33 @@ class QuestSettings:
             deduplication + one columnar-index pass); ``False`` selects
             the retained per-keyword dict-walk reference. Same
             identical-results contract as the kernel flags.
+        batched_shortest_paths: fill the shortest-path cache for all of a
+            query's terminals with one vectorised multi-source pass over
+            the compact graph instead of one Dijkstra per terminal;
+            ``False`` selects the per-source reference. The cached rows
+            are bit-identical either way — same identical-results
+            contract as the kernel flags.
+        steiner_plan_cache: reuse Dreyfus-Wagner subset tables (and the
+            backward stage's per-terminal distance rows) across queries
+            through the schema graph's revision-stamped plan cache;
+            ``False`` recomputes every row from scratch. Hit/miss
+            counters surface as ``SearchTrace.steiner_subset_cache``.
+        sql_pushdown: when the wrapper's backend supports it, answer the
+            backward stage's connectivity prefilter with a recursive CTE
+            over the mirrored edge relation, and size explanations with
+            a bounded ``COUNT(*) ... LIMIT`` probe instead of an exact
+            count; ``False`` keeps everything in-process. Reported
+            results and counts are identical either way.
         batch_workers: process-pool width for ``search_many`` batch
             fan-out. ``1`` (the default) runs queries sequentially in
             process; ``N > 1`` forks N workers for CPU-bound multi-query
             throughput (results stay element-wise identical — per-query
             answers never depend on cross-query cache state). Requires
             the ``fork`` start method; platforms without it fall back to
-            sequential execution.
+            sequential execution. On single-CPU hosts an implicit width
+            from this setting degrades to sequential (forking buys
+            nothing without a second core); an explicit ``workers=``
+            argument to ``search_many`` is honoured as given.
     """
 
     k: int = 10
@@ -94,6 +114,9 @@ class QuestSettings:
     bitmask_dst: bool = True
     fast_steiner: bool = True
     columnar_index: bool = True
+    batched_shortest_paths: bool = True
+    steiner_plan_cache: bool = True
+    sql_pushdown: bool = True
     batch_workers: int = 1
 
     @classmethod
@@ -111,6 +134,9 @@ class QuestSettings:
             "bitmask_dst": False,
             "fast_steiner": False,
             "columnar_index": False,
+            "batched_shortest_paths": False,
+            "steiner_plan_cache": False,
+            "sql_pushdown": False,
         }
         flags.update(changes)
         return cls(**flags)  # type: ignore[arg-type]

@@ -148,42 +148,67 @@ class ColumnarPostings:
         field_sizes: dict[ColumnRef, int],
         field_tokens: dict[ColumnRef, int],
     ) -> "ColumnarPostings":
-        """Seal the mutable dict layout into an immutable snapshot."""
+        """Seal the mutable dict layout into an immutable snapshot.
+
+        The row-level work is vectorised: the Python pass only flattens
+        the per-entry position maps into flat lists (C-level ``extend``
+        over dict views, insertion order), then one global lexsort under
+        (entry rank, position) replaces the per-entry ``sorted`` +
+        flatten. The final arrays are identical to the sealed layout the
+        per-entry loop produced.
+        """
         fields = tuple(field_sizes)
         field_ids = {ref: i for i, ref in enumerate(fields)}
         terms = sorted(postings)
         vocabulary = {term: i for i, term in enumerate(terms)}
-        term_offsets = np.zeros(len(terms) + 1, dtype=np.int64)
-        entry_fields: list[int] = []
-        entry_counts: list[int] = []
-        entry_offsets: list[int] = [0]
-        position_chunks: list[list[int]] = []
-        tf_chunks: list[list[int]] = []
-        total_rows = 0
+        entry_term: list[int] = []
+        entry_field: list[int] = []
+        entry_rows: list[int] = []
+        flat_positions: list[int] = []
+        flat_tfs: list[int] = []
         for t, term in enumerate(terms):
-            by_field = postings[term]
-            for field_id in sorted(field_ids[ref] for ref in by_field):
-                rows = by_field[fields[field_id]]
-                entry_fields.append(field_id)
-                entry_counts.append(len(rows))
-                ordered = sorted(rows)
-                position_chunks.append(ordered)
-                tf_chunks.append([rows[p] for p in ordered])
-                total_rows += len(rows)
-                entry_offsets.append(total_rows)
-            term_offsets[t + 1] = len(entry_fields)
+            for ref, rows in postings[term].items():
+                entry_term.append(t)
+                entry_field.append(field_ids[ref])
+                entry_rows.append(len(rows))
+                flat_positions.extend(rows.keys())
+                flat_tfs.extend(rows.values())
+        n_entries = len(entry_term)
+        entry_terms = np.asarray(entry_term, dtype=np.int64)
+        raw_fields = np.asarray(entry_field, dtype=np.int64)
+        counts = np.asarray(entry_rows, dtype=np.int64)
+        # Entries ordered by (term, field id). The outer loop already
+        # emits terms in vocabulary order, so the (stable) lexsort only
+        # has to settle field order within each term.
+        entry_order = np.lexsort((raw_fields, entry_terms))
+        sorted_counts = counts[entry_order]
+        entry_offsets = np.zeros(n_entries + 1, dtype=np.int64)
+        np.cumsum(sorted_counts, out=entry_offsets[1:])
+        term_offsets = np.zeros(len(terms) + 1, dtype=np.int64)
+        np.cumsum(np.bincount(entry_terms, minlength=len(terms)), out=term_offsets[1:])
+        if flat_positions:
+            positions = np.asarray(flat_positions, dtype=np.int64)
+            tfs = np.asarray(flat_tfs, dtype=np.int64)
+            # Each flattened row keeps its entry's *final* rank, so one
+            # global sort under (entry rank, position) both places the
+            # entries in (term, field) order and sorts positions
+            # ascending within each entry.
+            entry_rank = np.empty(n_entries, dtype=np.int64)
+            entry_rank[entry_order] = np.arange(n_entries)
+            row_order = np.lexsort((positions, np.repeat(entry_rank, counts)))
+            row_positions = positions[row_order]
+            row_tfs = tfs[row_order]
+        else:
+            row_positions = np.empty(0, dtype=np.int64)
+            row_tfs = np.empty(0, dtype=np.int64)
         return cls(
             vocabulary=vocabulary,
             term_offsets=term_offsets,
-            entry_fields=np.asarray(entry_fields, dtype=np.int32),
-            entry_counts=np.asarray(entry_counts, dtype=np.int64),
-            entry_offsets=np.asarray(entry_offsets, dtype=np.int64),
-            row_positions=np.asarray(
-                [p for chunk in position_chunks for p in chunk], dtype=np.int64
-            ),
-            row_tfs=np.asarray(
-                [f for chunk in tf_chunks for f in chunk], dtype=np.int64
-            ),
+            entry_fields=raw_fields[entry_order].astype(np.int32),
+            entry_counts=sorted_counts,
+            entry_offsets=entry_offsets,
+            row_positions=row_positions,
+            row_tfs=row_tfs,
             field_sizes=np.asarray(
                 [field_sizes[ref] for ref in fields], dtype=np.int64
             ),

@@ -49,6 +49,10 @@ class SearchTrace:
         stages: one :class:`StageReport` per executed stage, in order.
         emission_cache: emission-vector cache hits/misses during this run.
         steiner_cache: Steiner-result cache hits/misses during this run.
+        steiner_subset_cache: Steiner *plan*-cache (Dreyfus-Wagner subset
+            rows and singleton distance rows) hits/misses during this run.
+        notes: free-form engine decisions recorded for this run (e.g. the
+            batch fan-out degrading to sequential on a single-CPU host).
 
     The cache deltas are *exact per run*: the pipeline installs a
     context-local :class:`~repro.cache.CacheRecorder` around its stages,
@@ -64,6 +68,8 @@ class SearchTrace:
     stages: list[StageReport] = field(default_factory=list)
     emission_cache: CacheStats = field(default_factory=CacheStats)
     steiner_cache: CacheStats = field(default_factory=CacheStats)
+    steiner_subset_cache: CacheStats = field(default_factory=CacheStats)
+    notes: list[str] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
@@ -84,7 +90,8 @@ class SearchTrace:
         )
         return (
             f"{self.query!r}: {stages} | "
-            f"emissions[{self.emission_cache}] steiner[{self.steiner_cache}]"
+            f"emissions[{self.emission_cache}] steiner[{self.steiner_cache}] "
+            f"subsets[{self.steiner_subset_cache}]"
         )
 
 

@@ -165,22 +165,61 @@ class BackwardStage(PipelineStage):
     through the schema graph's result cache, so repeated terminal sets
     (across configurations and across queries) are answered without
     re-running the tree search.
+
+    The connectivity prefilter is answered once per run for *all*
+    configurations, through whichever capability the settings enable:
+
+    - ``batched_shortest_paths`` / ``steiner_plan_cache``: per-terminal
+      distance rows come from one vectorised multi-source pass (reusing
+      rows already in the plan cache), and connectivity is a finite-ness
+      check on them;
+    - else ``sql_pushdown`` (and a backend with graph pushdown):
+      reachable component sets come from recursive CTEs over the
+      backend's mirrored edge relation, one per distinct component
+      touched;
+    - neither: each ``top_k_steiner_trees`` call checks for itself, as
+      the reference kernels always did.
+
+    Whichever mode answers, the surviving configurations — and the trees
+    enumerated for them — are identical: connectivity has one answer, and
+    the Steiner call is told ``assume_connected`` only when the prefilter
+    has already established it.
     """
 
     name = "backward"
 
     def run(self, engine: "Quest", context: SearchContext) -> None:
         k = context.tree_k
+        settings = engine.settings
+        configs = [
+            (configuration, sorted(configuration.terminals(engine.schema), key=str))
+            for configuration in context.configurations
+        ]
+        terminal_sets = [terminals for _configuration, terminals in configs]
+        backend = getattr(engine.wrapper, "backend", None)
+        if settings.batched_shortest_paths or settings.steiner_plan_cache:
+            connected = self._prefilter_batched(engine, terminal_sets)
+        elif (
+            settings.sql_pushdown
+            and backend is not None
+            and getattr(backend, "supports_graph_pushdown", False)
+        ):
+            connected = self._prefilter_pushdown(engine, backend, terminal_sets)
+        else:
+            connected = [None] * len(configs)
+
         interpretations: list[Interpretation] = []
-        for configuration in context.configurations:
-            terminals = configuration.terminals(engine.schema)
+        for (configuration, terminals), is_connected in zip(configs, connected):
+            if is_connected is False:
+                continue
             try:
                 trees = top_k_steiner_trees(
                     engine.schema_graph,
-                    sorted(terminals, key=str),
+                    terminals,
                     k,
-                    prune_supertrees=engine.settings.prune_supertrees,
-                    interned=engine.settings.fast_steiner,
+                    prune_supertrees=settings.prune_supertrees,
+                    interned=settings.fast_steiner,
+                    assume_connected=bool(is_connected),
                 )
             except SteinerError:
                 continue
@@ -189,6 +228,102 @@ class BackwardStage(PipelineStage):
                     Interpretation(configuration, tree, tree_score(tree.weight))
                 )
         context.interpretations = interpretations
+
+    @staticmethod
+    def _prefilter_pushdown(
+        engine: "Quest", backend, terminal_sets: list[list]
+    ) -> list[bool | None]:
+        """Per-configuration connectivity via backend reachability CTEs.
+
+        Component sets are fetched once per distinct component touched
+        this run (every member indexes the same set afterwards), so the
+        number of round-trips is bounded by the number of components, not
+        configurations. ``None`` marks sets the Steiner call must judge
+        itself (empty, or containing unknown terminals).
+        """
+        graph = engine.schema_graph
+        component_of: dict = {}
+        verdicts: list[bool | None] = []
+        for terminals in terminal_sets:
+            if not terminals or any(t not in graph for t in terminals):
+                verdicts.append(None)
+                continue
+            if len(terminals) == 1:
+                verdicts.append(True)
+                continue
+            first = terminals[0]
+            component = component_of.get(first)
+            if component is None:
+                component = backend.connected_nodes(graph, first)
+                for node in component:
+                    component_of[node] = component
+            verdicts.append(all(t in component for t in terminals))
+        return verdicts
+
+    @staticmethod
+    def _prefilter_batched(
+        engine: "Quest", terminal_sets: list[list]
+    ) -> list[bool | None]:
+        """Per-configuration connectivity from batched distance rows.
+
+        All of the run's terminals get their single-source distance rows
+        in one :meth:`~repro.steiner.graph.CompactGraph.distance_matrix`
+        pass (``batched_shortest_paths``), stored as singleton rows in
+        the plan cache when ``steiner_plan_cache`` is on — so the rows
+        the prefilter reads are the very rows Dreyfus-Wagner base cases
+        reuse later. A set is connected iff every member's distance from
+        the first member is finite.
+        """
+        from repro.steiner.plancache import PlanEntry
+
+        graph = engine.schema_graph
+        settings = engine.settings
+        compact = graph.compact()
+        index = compact.index
+        known = sorted(
+            {t for terminals in terminal_sets for t in terminals if t in index},
+            key=str,
+        )
+        row_of: dict = {}
+        if known:
+            cache = graph.plan_cache if settings.steiner_plan_cache else None
+            if cache is not None:
+                cache.trim()
+                missing = []
+                for terminal in known:
+                    entry = cache.get(frozenset((index[terminal],)))
+                    if entry is None:
+                        missing.append(terminal)
+                    else:
+                        row_of[terminal] = entry.costs
+            else:
+                missing = list(known)
+            if missing:
+                indices = [index[t] for t in missing]
+                if settings.batched_shortest_paths:
+                    distances, _predecessors = compact.distance_matrix(indices)
+                    rows = [distances[i].tolist() for i in range(len(missing))]
+                else:
+                    rows = [compact.dijkstra(i)[0] for i in indices]
+                for terminal, row in zip(missing, rows):
+                    row_of[terminal] = row
+                    if cache is not None:
+                        cache.put(
+                            frozenset((index[terminal],)),
+                            PlanEntry(costs=tuple(row)),
+                        )
+
+        verdicts: list[bool | None] = []
+        infinity = float("inf")
+        for terminals in terminal_sets:
+            if not terminals or any(t not in index for t in terminals):
+                verdicts.append(None)
+                continue
+            row = row_of[terminals[0]]
+            verdicts.append(
+                all(row[index[t]] < infinity for t in terminals[1:])
+            )
+        return verdicts
 
     def candidates(self, context: SearchContext) -> int:
         return len(context.interpretations)
@@ -283,11 +418,27 @@ class ExplainStage(PipelineStage):
     ``settings.min_explanation_results``; the count runs backend-side
     through ``wrapper.result_count`` (a ``COUNT(*)`` pushdown on SQL
     backends — no result rows cross the storage boundary here).
+
+    With ``settings.sql_pushdown`` and a count-pushdown backend, the
+    drop decision runs as a *bounded* probe first — "are there at least
+    ``min_explanation_results`` rows?" stops scanning at that many —
+    and only surviving explanations pay for the exact count. The probe
+    is decision-equivalent (``bounded < limit`` iff ``exact < limit``),
+    and the user-visible ``result_count`` is always the exact value.
     """
 
     name = "explain"
 
     def run(self, engine: "Quest", context: SearchContext) -> None:
+        settings = engine.settings
+        backend = getattr(engine.wrapper, "backend", None)
+        probe_limit = settings.min_explanation_results
+        use_probe = (
+            settings.sql_pushdown
+            and probe_limit > 0
+            and backend is not None
+            and getattr(backend, "supports_count_pushdown", False)
+        )
         explanations: list[Explanation] = []
         seen_queries: set[tuple] = set()
         for interpretation in context.ranked:
@@ -297,13 +448,19 @@ class ExplainStage(PipelineStage):
                 continue
             seen_queries.add(identity)
             result_count: int | None = None
-            if engine.settings.execute_explanations:
+            if settings.execute_explanations:
                 try:
-                    result_count = engine.wrapper.result_count(query)
+                    if use_probe:
+                        probe = engine.wrapper.result_count(query, probe_limit)
+                        if probe < probe_limit:
+                            continue
+                        result_count = engine.wrapper.result_count(query)
+                    else:
+                        result_count = engine.wrapper.result_count(query)
                 except AccessDeniedError:
                     result_count = None
                 else:
-                    if result_count < engine.settings.min_explanation_results:
+                    if result_count < settings.min_explanation_results:
                         continue
             explanations.append(
                 Explanation(

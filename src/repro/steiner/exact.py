@@ -25,6 +25,7 @@ from typing import Sequence
 from repro.db.schema import ColumnRef
 from repro.errors import SteinerError
 from repro.steiner.graph import SchemaGraph
+from repro.steiner.plancache import PlanEntry
 from repro.steiner.tree import SteinerTree
 
 __all__ = ["shortest_paths", "exact_steiner_tree", "exact_steiner_tree_reference"]
@@ -103,13 +104,25 @@ def _checked_terminals(
 
 
 def exact_steiner_tree(
-    graph: SchemaGraph, terminals: Sequence[ColumnRef], interned: bool = True
+    graph: SchemaGraph,
+    terminals: Sequence[ColumnRef],
+    interned: bool = True,
+    batched: bool = True,
+    plan_cache: bool = True,
 ) -> SteinerTree:
     """Minimum-weight Steiner tree connecting *terminals* (Dreyfus-Wagner).
 
     Raises :class:`SteinerError` when the terminals are not all connected.
     ``interned=False`` runs :func:`exact_steiner_tree_reference` instead;
-    the results are identical.
+    the results are identical. *batched* serves the base-case shortest
+    paths from one multi-source :meth:`~repro.steiner.graph.CompactGraph.
+    distance_matrix` pass instead of per-terminal Dijkstras, and
+    *plan_cache* reuses DP subset rows cached on the graph across calls
+    (so overlapping terminal sets skip the shared subproblems) — both are
+    pure work-placement changes; every cost and tree is bit-identical
+    either way, because subset rows are canonical: terminals sorted by
+    ``str`` make a subset's split enumeration, tie-breaks and relaxation
+    order independent of the enclosing query.
     """
     if not interned:
         return exact_steiner_tree_reference(graph, terminals)
@@ -125,21 +138,40 @@ def exact_steiner_tree(
     neighbors = compact.neighbors
     terminal_indices = [compact.index[t] for t in terminal_list]
 
+    cache = getattr(graph, "plan_cache", None) if plan_cache else None
+    if cache is not None:
+        # Whole-cache eviction only ever happens here, between DP runs, so
+        # a run's back-pointer chains can never be partially evicted.
+        cache.trim()
+
     t = len(terminal_list)
     full_mask = (1 << t) - 1
-    # dp[mask][v] = cost of the best tree spanning terminals(mask) + {v};
-    # one flat list per terminal-subset bitmask instead of a dict keyed by
-    # (mask, ColumnRef).
-    dp: dict[int, list[float]] = {}
-    back: dict[tuple[int, int], tuple] = {}
+    #: per local mask: the query-independent identity of the terminal
+    #: subset (frozen node indices) — the plan-cache key and the currency
+    #: of cached back-pointers.
+    subset_of: dict[int, frozenset] = {
+        mask: frozenset(
+            terminal_indices[i] for i in range(t) if mask >> i & 1
+        )
+        for mask in range(1, full_mask + 1)
+    }
+    #: per local mask: that subset's cost row (and back-pointers).
+    rows: dict[int, PlanEntry] = {}
+
+    if batched:
+        # One multi-source pass fills the per-source cache for every
+        # terminal that still needs it.
+        compact.distance_matrix(terminal_indices)
 
     for i, terminal_index in enumerate(terminal_indices):
-        distances, _predecessors = compact.dijkstra(terminal_index)
         bit = 1 << i
-        dp[bit] = list(distances)
-        for node in range(n):
-            if distances[node] < _INF:
-                back[(bit, node)] = ("walk-base", i, node)
+        entry = cache.get(subset_of[bit]) if cache is not None else None
+        if entry is None:
+            distances, _predecessors = compact.dijkstra(terminal_index)
+            entry = PlanEntry(costs=tuple(distances))
+            if cache is not None:
+                cache.put(subset_of[bit], entry)
+        rows[bit] = entry
 
     masks_by_bits: dict[int, list[int]] = {}
     for mask in range(1, full_mask + 1):
@@ -149,14 +181,23 @@ def exact_steiner_tree(
         if bits < 2:
             continue
         for mask in masks_by_bits[bits]:
+            subset = subset_of[mask]
+            entry = cache.get(subset) if cache is not None else None
+            if entry is not None:
+                # A cached row implies its whole derivation is cached
+                # (rows are stored children-first and eviction is
+                # all-or-nothing), so reconstruction can follow it.
+                rows[mask] = entry
+                continue
             # Merge step: split the terminal set at each node.
             merged = [_INF] * n
+            back_row: dict[int, tuple] = {}
             submask = (mask - 1) & mask
             while submask > 0:
                 other = mask ^ submask
                 if submask < other:  # consider each unordered split once
-                    left_row = dp[submask]
-                    right_row = dp[other]
+                    left_row = rows[submask].costs
+                    right_row = rows[other].costs
                     for node in range(n):
                         left = left_row[node]
                         if left == _INF:
@@ -167,7 +208,12 @@ def exact_steiner_tree(
                         cost = left + right
                         if cost < merged[node] - 1e-15:
                             merged[node] = cost
-                            back[(mask, node)] = ("merge", submask, other, node)
+                            back_row[node] = (
+                                "merge",
+                                subset_of[submask],
+                                subset_of[other],
+                                node,
+                            )
                 submask = (submask - 1) & mask
             # Relaxation step: Dijkstra over the merged costs.
             heap = [
@@ -187,51 +233,49 @@ def exact_steiner_tree(
                     candidate = cost + weight
                     if candidate < best[neighbour] - 1e-15:
                         best[neighbour] = candidate
-                        back[(mask, neighbour)] = ("walk", mask, node, neighbour)
+                        back_row[neighbour] = ("walk", subset, node, neighbour)
                         heapq.heappush(
                             heap, (candidate, name_rank[neighbour], neighbour)
                         )
-            dp[mask] = best
+            entry = PlanEntry(costs=tuple(best), back=back_row)
+            rows[mask] = entry
+            if cache is not None:
+                cache.put(subset, entry)
 
     root = terminal_indices[0]
-    total = dp[full_mask][root]
+    total = rows[full_mask].costs[root]
     if total == _INF:  # pragma: no cover - connectivity checked above
         raise SteinerError("no Steiner tree found despite connected terminals")
 
-    edges = _reconstruct_interned(
-        graph, compact, back, terminal_indices, full_mask, root
-    )
+    by_subset = {subset_of[mask]: entry for mask, entry in rows.items()}
+    edges = _reconstruct_interned(graph, compact, by_subset, subset_of[full_mask], root)
     return SteinerTree(frozenset(terminal_list), frozenset(edges), _tree_weight(edges))
 
 
 def _reconstruct_interned(
     graph: SchemaGraph,
     compact,
-    back: dict[tuple[int, int], tuple],
-    terminal_indices: list[int],
-    mask: int,
+    by_subset: dict[frozenset, PlanEntry],
+    subset: frozenset,
     node: int,
 ) -> set:
-    """Walk the interned backpointers, collecting concrete tree edges."""
+    """Walk the subset-keyed backpointers, collecting concrete tree edges."""
     nodes = compact.nodes
     edges: set = set()
-    stack: list[tuple[int, int]] = [(mask, node)]
+    stack: list[tuple[frozenset, int]] = [(subset, node)]
     while stack:
-        state = stack.pop()
-        decision = back.get(state)
-        if decision is None:
-            continue  # base case: terminal reached at itself (zero cost)
-        tag = decision[0]
-        if tag == "walk-base":
-            _t, terminal_position, target = decision
-            source_index = terminal_indices[terminal_position]
+        current_subset, at = stack.pop()
+        if len(current_subset) == 1:
+            # Base case: walk the shortest-path predecessors back to the
+            # subset's single terminal.
+            (source_index,) = current_subset
             _distances, predecessors = compact.dijkstra(source_index)
-            current = target
+            current = at
             while current != source_index:
                 parent = predecessors[current]
                 if parent < 0:  # pragma: no cover - base cases are reachable
                     raise SteinerError(
-                        f"no path from {nodes[source_index]} to {nodes[target]}"
+                        f"no path from {nodes[source_index]} to {nodes[at]}"
                     )
                 edge = graph.edge_between(nodes[parent], nodes[current])
                 if edge is None:  # pragma: no cover - predecessors imply edges
@@ -240,16 +284,22 @@ def _reconstruct_interned(
                     )
                 edges.add(edge)
                 current = parent
-        elif tag == "merge":
-            _t, submask, other, at = decision
-            stack.append((submask, at))
-            stack.append((other, at))
+            continue
+        back = by_subset[current_subset].back
+        decision = back.get(at) if back is not None else None
+        if decision is None:  # pragma: no cover - finite rows carry pointers
+            continue
+        tag = decision[0]
+        if tag == "merge":
+            _t, left_subset, right_subset, join = decision
+            stack.append((left_subset, join))
+            stack.append((right_subset, join))
         elif tag == "walk":
-            _t, walk_mask, from_node, to_node = decision
+            _t, walk_subset, from_node, to_node = decision
             edge = graph.edge_between(nodes[from_node], nodes[to_node])
             if edge is not None:
                 edges.add(edge)
-            stack.append((walk_mask, from_node))
+            stack.append((walk_subset, from_node))
         else:  # pragma: no cover - exhaustive tags
             raise SteinerError(f"corrupt backpointer: {decision}")
     return edges

@@ -27,12 +27,15 @@ from __future__ import annotations
 import heapq
 import threading
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Sequence
+
+import numpy as np
 
 from repro.cache import LRUCache
 from repro.db.schema import ColumnRef, ForeignKey, Schema
 from repro.errors import SteinerError
 from repro.forksafe import register_lock_holder
+from repro.steiner.plancache import SteinerPlanCache
 
 
 def _reset_graph_lock(graph: "SchemaGraph") -> None:
@@ -112,6 +115,7 @@ class CompactGraph:
         "edge_index",
         "edge_node_masks",
         "_dijkstra_cache",
+        "_edge_arrays",
     )
 
     def __init__(self, graph: "SchemaGraph") -> None:
@@ -144,9 +148,101 @@ class CompactGraph:
             for edge in self.edge_list
         ]
         self._dijkstra_cache: dict[int, tuple[list[float], list[int]]] = {}
+        #: Lazily-built directed edge arrays for the batched multi-source
+        #: pass (see :meth:`distance_matrix`).
+        self._edge_arrays: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     def __len__(self) -> int:
         return len(self.nodes)
+
+    def _directed_edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(source, destination, weight) arrays, one row per direction."""
+        arrays = self._edge_arrays
+        if arrays is None:
+            src: list[int] = []
+            dst: list[int] = []
+            weights: list[float] = []
+            for node, adjacency in enumerate(self.neighbors):
+                for neighbour, weight, _edge_position in adjacency:
+                    src.append(node)
+                    dst.append(neighbour)
+                    weights.append(weight)
+            arrays = self._edge_arrays = (
+                np.asarray(src, dtype=np.int64),
+                np.asarray(dst, dtype=np.int64),
+                np.asarray(weights, dtype=np.float64),
+            )
+        return arrays
+
+    def distance_matrix(
+        self, sources: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """All-source shortest paths in one vectorised pass.
+
+        Returns ``(distances, predecessors)`` arrays of shape
+        ``(len(sources), n)``, row-aligned with *sources*; unreachable
+        cells carry ``inf`` / ``-1``. Every row is **bit-identical** to
+        :meth:`dijkstra` for the same source:
+
+        - distances: synchronous Bellman-Ford rounds relax every directed
+          edge with the same left-to-right float sums Dijkstra performs;
+          positive weights make float path sums non-decreasing under
+          extension, so the fixpoint is the minimum over simple paths —
+          exactly Dijkstra's value.
+        - predecessors: Dijkstra's tie rule resolves to "the neighbour
+          with the smallest ``name_rank`` among those whose settled
+          distance plus the edge weight *exactly* equals the final
+          distance"; that closed form is evaluated directly here.
+
+        Computed rows are stored in the per-source :meth:`dijkstra` cache
+        (as lists), so later scalar calls are hits.
+        """
+        n = len(self.nodes)
+        wanted = [s for s in dict.fromkeys(sources) if s not in self._dijkstra_cache]
+        if wanted:
+            esrc, edst, ew = self._directed_edges()
+            k = len(wanted)
+            # (n, k) layout: scatter-min by destination works on the rows.
+            dist = np.full((n, k), _INF)
+            dist[wanted, np.arange(k)] = 0.0
+            if len(esrc):
+                col_w = ew[:, None]
+                for _ in range(n):
+                    before = dist.copy()
+                    np.minimum.at(dist, edst, dist[esrc] + col_w)
+                    if np.array_equal(dist, before):
+                        break
+                # Predecessor extraction: min name_rank over edges whose
+                # relaxation is exactly tight (finite sources only — an
+                # inf + w == inf tie must not give unreachable nodes a
+                # predecessor).
+                rank = np.asarray(self.name_rank, dtype=np.int64)
+                tight = (dist[esrc] + col_w == dist[edst]) & np.isfinite(dist[esrc])
+                pred_rank = np.full((n, k), n, dtype=np.int64)
+                np.minimum.at(
+                    pred_rank, edst, np.where(tight, rank[esrc][:, None], n)
+                )
+                node_of_rank = np.empty(n, dtype=np.int64)
+                node_of_rank[rank] = np.arange(n)
+                preds = np.where(
+                    pred_rank < n,
+                    node_of_rank[np.minimum(pred_rank, n - 1)],
+                    -1,
+                )
+            else:
+                preds = np.full((n, k), -1, dtype=np.int64)
+            for j, source in enumerate(wanted):
+                self._dijkstra_cache[source] = (
+                    dist[:, j].tolist(),
+                    [int(p) for p in preds[:, j]],
+                )
+        distances = np.empty((len(sources), n))
+        predecessors = np.empty((len(sources), n), dtype=np.int64)
+        for row, source in enumerate(sources):
+            cached_d, cached_p = self._dijkstra_cache[source]
+            distances[row] = cached_d
+            predecessors[row] = cached_p
+        return distances, predecessors
 
     def dijkstra(self, source: int) -> tuple[list[float], list[int]]:
         """Single-source shortest paths from a node index (cached).
@@ -203,6 +299,11 @@ class SchemaGraph:
         #: (frozen terminal set, k, pruning flags); consulted by
         #: :func:`repro.steiner.topk.top_k_steiner_trees`.
         self.steiner_cache = LRUCache(STEINER_CACHE_SIZE, label="steiner")
+        #: Cross-query cache of Dreyfus-Wagner subset rows and singleton
+        #: distance rows, keyed by frozen node-index subsets (see
+        #: :mod:`repro.steiner.plancache`); superset/overlap queries reuse
+        #: the shared rows. Cleared with the other derived caches.
+        self.plan_cache = SteinerPlanCache()
         #: Monotonic topology revision: bumped whenever derived caches are
         #: invalidated (``add_edge`` / explicit resets). Part of
         #: ``Quest.version``, which keys the serving tier's result cache.
@@ -279,6 +380,7 @@ class SchemaGraph:
         """Bump the revision and drop derived caches (lock held)."""
         self.version += 1
         self.steiner_cache.clear()
+        self.plan_cache.clear()
         self._compact = None
         self._sp_cache.clear()
 
@@ -368,6 +470,25 @@ class SchemaGraph:
         result = (distances, predecessors)
         self._sp_cache[(source, version)] = result
         return result
+
+    def prefetch_shortest_paths(self, sources: Sequence[ColumnRef]) -> None:
+        """Warm the per-source shortest-path cache in one batched pass.
+
+        One :meth:`CompactGraph.distance_matrix` call over every source at
+        once, instead of one Dijkstra per later
+        :meth:`shortest_paths_from` call. Rows land in the same per-source
+        cache, bit-identical to the scalar path, so this only moves
+        *when* the work happens.
+        """
+        compact = self.compact()
+        indices = []
+        for source in sources:
+            index = compact.index.get(source)
+            if index is None:
+                raise SteinerError(f"unknown node: {source}")
+            indices.append(index)
+        if indices:
+            compact.distance_matrix(indices)
 
     def degree(self, node: ColumnRef) -> int:
         """Number of incident edges."""

@@ -1,0 +1,102 @@
+"""Bounded join-path candidate enumeration (the in-memory contract).
+
+The backward step's candidate space is "acyclic join paths between two
+schema-graph attributes, up to a hop bound". This module defines the
+engine-neutral contract for enumerating them, and its in-memory
+implementation; :class:`~repro.storage.sqlite.SQLiteBackend` implements
+the same contract with a bounded recursive CTE plus window functions over
+an edge relation, and the two are required to return **identical** lists
+(``tests`` assert it pair for pair).
+
+Determinism contract (what makes cross-engine identity possible):
+
+- a path's cost is the *left-to-right* float sum of its edge weights —
+  the same IEEE-754 fold a SQL ``p.cost + e.weight`` recursion performs;
+- paths are encoded as ``/node/node/.../`` strings of ``str(node)``
+  (node names are SQL-safe identifiers that never contain ``/``), and
+  ties on cost order by that string — byte order and codepoint order
+  agree on these names;
+- per pair, the ``k`` first paths under ``(cost, path string)`` are kept.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.db.schema import ColumnRef
+from repro.errors import SteinerError
+from repro.steiner.graph import SchemaGraph
+
+__all__ = ["JoinPath", "encode_path", "enumerate_join_paths"]
+
+#: One candidate: (node names source..target in order, left-fold cost).
+JoinPath = tuple[tuple[str, ...], float]
+
+
+def encode_path(names: Sequence[str]) -> str:
+    """The ``/a/b/c/`` encoding shared with the SQL recursion."""
+    return "/" + "/".join(names) + "/"
+
+
+def decode_path(encoded: str) -> tuple[str, ...]:
+    """Inverse of :func:`encode_path`."""
+    return tuple(encoded.strip("/").split("/"))
+
+
+def enumerate_join_paths(
+    graph: SchemaGraph,
+    pairs: Sequence[tuple[ColumnRef, ColumnRef]],
+    k: int,
+    max_hops: int,
+) -> list[list[JoinPath]]:
+    """Up to *k* cheapest acyclic paths per (source, target) pair.
+
+    Paths carry at most *max_hops* edges; a ``source == target`` pair
+    yields the trivial zero-cost path. Ordering per pair is
+    ``(cost, encoded path)`` — see the module contract.
+    """
+    if k <= 0:
+        raise SteinerError(f"k must be positive, got {k}")
+    if max_hops < 0:
+        raise SteinerError(f"max_hops must be non-negative, got {max_hops}")
+    compact = graph.compact()
+    index = compact.index
+    nodes = compact.nodes
+    names = [str(node) for node in nodes]
+    #: per node: [(neighbour, weight)] — adjacency iteration order does
+    #: not matter, the final sort is total.
+    adjacency = [
+        [(neighbour, weight) for neighbour, weight, _edge in incident]
+        for incident in compact.neighbors
+    ]
+
+    results: list[list[JoinPath]] = []
+    for source, target in pairs:
+        source_index = index.get(source)
+        target_index = index.get(target)
+        if source_index is None or target_index is None:
+            missing = source if source_index is None else target
+            raise SteinerError(f"unknown node: {missing}")
+        found: list[tuple[float, str, tuple[str, ...]]] = []
+        # Exhaustive bounded DFS over simple paths; the schema graph is
+        # small and max_hops keeps the frontier bounded.
+        stack: list[tuple[int, float, tuple[int, ...]]] = [
+            (source_index, 0.0, (source_index,))
+        ]
+        while stack:
+            node, cost, path = stack.pop()
+            if node == target_index:
+                path_names = tuple(names[i] for i in path)
+                found.append((cost, encode_path(path_names), path_names))
+            if len(path) - 1 >= max_hops:
+                continue
+            on_path = set(path)
+            for neighbour, weight in adjacency[node]:
+                if neighbour in on_path:
+                    continue
+                # Left-fold accumulation: the SQL recursion's
+                # ``p.cost + e.weight``, step for step.
+                stack.append((neighbour, cost + weight, path + (neighbour,)))
+        found.sort(key=lambda item: (item[0], item[1]))
+        results.append([(path_names, cost) for cost, _enc, path_names in found[:k]])
+    return results

@@ -1,0 +1,142 @@
+"""The subset-reusing Steiner plan cache.
+
+The Dreyfus-Wagner DP computes one optimal-cost row per *terminal
+subset* — and those rows are query-independent: with terminals
+canonically ordered (sorted by ``str``), a subset's merge-split
+enumeration order, its tie-breaks and its relaxation heap order depend
+only on the subset itself and the topology, never on which query asked.
+This cache keys the rows by the frozen set of interned node indices, so
+a query whose terminals form a superset (or overlap) of an earlier
+query's reuses the shared rows instead of recomputing them; the steiner
+LRU by contrast only ever hits on *exact* terminal sets.
+
+Two row shapes are stored:
+
+- singleton subsets ``{t}`` — the per-source shortest-path distance row
+  (the DP base case, also serving the backward stage's batched
+  connectivity prefilter);
+- larger subsets — the DP cost row plus the back-pointer decisions
+  reconstruction walks, with child states referenced by subset (so a
+  cached row means its whole derivation is cached).
+
+Lifetime mirrors the other derived caches: the owning
+:class:`~repro.steiner.graph.SchemaGraph` clears the cache on every
+topology mutation, so rows never outlive the topology they were computed
+over. Eviction is a whole-cache clear performed only *between* DP runs
+(:meth:`SteinerPlanCache.trim`): partial LRU eviction could orphan a
+back-pointer chain mid-reconstruction.
+
+Lookups are credited to the active :class:`~repro.cache.CacheRecorder`
+under the label ``"steiner-subset"``, which is how subset-hit counters
+surface in :class:`~repro.pipeline.context.SearchTrace`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.cache import CacheStats, record_lookup
+from repro.forksafe import register_lock_holder
+
+__all__ = ["PlanEntry", "SteinerPlanCache", "PLAN_CACHE_MAX_ENTRIES"]
+
+#: Whole-cache clear threshold (checked between DP runs). Subsets are
+#: drawn from configurations over one schema, so real working sets stay
+#: tiny; the bound only guards adversarial workloads.
+PLAN_CACHE_MAX_ENTRIES = 4096
+
+#: The recorder label subset-row lookups are credited under.
+PLAN_CACHE_LABEL = "steiner-subset"
+
+
+def _reset_plan_cache_lock(cache: "SteinerPlanCache") -> None:
+    cache._lock = threading.Lock()
+
+
+@dataclass(frozen=True)
+class PlanEntry:
+    """One terminal subset's cached DP row.
+
+    Attributes:
+        costs: per node index, the optimal cost of a tree spanning the
+            subset's terminals plus that node (``inf`` when unreachable).
+        back: per node index, the reconstruction decision that produced
+            the cost — ``("merge", subset, subset, node)`` or
+            ``("walk", subset, from, to)`` with child subsets as
+            frozensets of node indices. ``None`` for singleton subsets,
+            whose reconstruction walks the shortest-path predecessors.
+    """
+
+    costs: tuple[float, ...]
+    back: dict[int, tuple] | None = None
+
+
+class SteinerPlanCache:
+    """Subset-keyed Dreyfus-Wagner rows shared across queries."""
+
+    label = PLAN_CACHE_LABEL
+
+    def __init__(self, max_entries: int = PLAN_CACHE_MAX_ENTRIES) -> None:
+        self.max_entries = max_entries
+        self._rows: dict[frozenset, PlanEntry] = {}
+        self._hits = 0
+        self._misses = 0
+        self._lock = threading.Lock()
+        # Forked batch workers get a fresh lock (see repro.forksafe).
+        register_lock_holder(self, _reset_plan_cache_lock)
+
+    def get(self, subset: frozenset) -> PlanEntry | None:
+        """The cached row for *subset*, counting a hit or a miss."""
+        with self._lock:
+            entry = self._rows.get(subset)
+            if entry is None:
+                self._misses += 1
+            else:
+                self._hits += 1
+        record_lookup(self.label, entry is not None)
+        return entry
+
+    def peek(self, subset: frozenset) -> PlanEntry | None:
+        """The cached row without touching counters (diagnostics)."""
+        with self._lock:
+            return self._rows.get(subset)
+
+    def put(self, subset: frozenset, entry: PlanEntry) -> None:
+        """Store one subset row (rows are immutable once stored)."""
+        with self._lock:
+            self._rows[subset] = entry
+
+    def trim(self) -> None:
+        """Clear everything if over budget — called *between* DP runs only,
+        so a run's back-pointer chains are never partially evicted."""
+        with self._lock:
+            if len(self._rows) > self.max_entries:
+                self._rows.clear()
+
+    def clear(self) -> None:
+        """Drop every row (counters are preserved)."""
+        with self._lock:
+            self._rows.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._rows)
+
+    def __contains__(self, subset: frozenset) -> bool:
+        with self._lock:
+            return subset in self._rows
+
+    @property
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._rows),
+                maxsize=self.max_entries,
+            )
+
+    def __repr__(self) -> str:
+        return f"SteinerPlanCache({self.stats}, max_entries={self.max_entries})"

@@ -59,6 +59,7 @@ def top_k_steiner_trees(
     prune_supertrees: bool = True,
     max_pops: int = 200_000,
     interned: bool = True,
+    assume_connected: bool = False,
 ) -> list[SteinerTree]:
     """Enumerate up to *k* cheapest Steiner trees connecting *terminals*.
 
@@ -72,6 +73,10 @@ def top_k_steiner_trees(
         max_pops: safety valve on queue pops for adversarial graphs.
         interned: run the bitmask search (the default); ``False`` selects
             the frozenset reference implementation. Results are identical.
+        assume_connected: skip the connectivity BFS. Only pass ``True``
+            when the caller has already established that the terminals
+            share a component (the backward stage's batched prefilter);
+            results are then identical to the checked path.
 
     Returns:
         Trees in increasing weight order (possibly fewer than *k*).
@@ -108,7 +113,7 @@ def top_k_steiner_trees(
         if cached is not None:
             return list(cached)
 
-    if not graph.connected(set(terminal_list)):
+    if not assume_connected and not graph.connected(set(terminal_list)):
         if cache is not None:
             cache.put(cache_key, _DISCONNECTED)
         raise SteinerError(f"terminals are disconnected: {terminal_list}")
@@ -137,18 +142,25 @@ def _search_interned(
     edge_list = compact.edge_list
 
     full_mask = (1 << len(terminal_list)) - 1
-    terminal_bit = {node_index[t]: 1 << i for i, t in enumerate(terminal_list)}
+    #: per node index: the terminal bit it carries (0 for Steiner nodes) —
+    #: a flat list, indexed on the grow inner loop.
+    terminal_bit = [0] * len(compact)
+    for i, t in enumerate(terminal_list):
+        terminal_bit[node_index[t]] = 1 << i
 
     counter = itertools.count()
     #: heap entries: (cost, tiebreak, root index, terminal mask, edge mask,
     #: node mask) — comparisons never pass the unique tiebreak.
     heap: list[tuple[float, int, int, int, int, int]] = []
-    #: per (root, terminal mask): (cost, edge mask, node mask) accepted so
-    #: far (bounded by k).
-    accepted: dict[tuple[int, int], list[tuple[float, int, int]]] = {}
+    #: per root, per terminal mask: (cost, edge mask, node mask) accepted
+    #: so far (bounded by k). Indexing by root first keeps the merge scan
+    #: to the one root that can produce merges; insertion order within a
+    #: root matches the flat dict's, so the push sequence is unchanged.
+    accepted: dict[int, dict[int, list[tuple[float, int, int]]]] = {}
 
-    for node, bit in terminal_bit.items():
-        heapq.heappush(heap, (0.0, next(counter), node, bit, 0, 1 << node))
+    for i, t in enumerate(terminal_list):
+        node = node_index[t]
+        heapq.heappush(heap, (0.0, next(counter), node, 1 << i, 0, 1 << node))
 
     results: list[SteinerTree] = []
     emitted_signatures: list[int] = []
@@ -158,8 +170,12 @@ def _search_interned(
     while heap and len(results) < k and pops < max_pops:
         cost, _tie, root, mask, edges, tree_nodes = heapq.heappop(heap)
         pops += 1
-        state = (root, mask)
-        bucket = accepted.setdefault(state, [])
+        by_mask = accepted.get(root)
+        if by_mask is None:
+            by_mask = accepted[root] = {}
+        bucket = by_mask.get(mask)
+        if bucket is None:
+            bucket = by_mask[mask] = []
         if len(bucket) >= k or any(edges == prior for _c, prior, _n in bucket):
             continue
         bucket.append((cost, edges, tree_nodes))
@@ -167,12 +183,11 @@ def _search_interned(
         if mask == full_mask:
             if edges in seen_results:
                 continue
-            candidate = SteinerTree(
-                terminal_set,
-                frozenset(edge_list[i] for i in iter_bits(edges)),
-                cost,
-            )
-            if not candidate.is_valid_tree():
+            # Grown/merged states are connected by construction and
+            # ``tree_nodes`` is exactly the edge-endpoint set, so a cycle
+            # (node-overlapping merge) is the only reachable validity
+            # failure — the edge count alone decides it.
+            if edges.bit_count() != tree_nodes.bit_count() - 1:
                 continue
             if prune_supertrees and any(
                 prior & edges == prior for prior in emitted_signatures
@@ -180,7 +195,13 @@ def _search_interned(
                 continue
             seen_results.add(edges)
             emitted_signatures.append(edges)
-            results.append(candidate)
+            results.append(
+                SteinerTree(
+                    terminal_set,
+                    frozenset(edge_list[i] for i in iter_bits(edges)),
+                    cost,
+                )
+            )
             continue
 
         # Grow: extend the tree along one incident edge.
@@ -197,7 +218,7 @@ def _search_interned(
                     cost + weight,
                     next(counter),
                     neighbour,
-                    mask | terminal_bit.get(neighbour, 0),
+                    mask | terminal_bit[neighbour],
                     edges | edge_bit,
                     tree_nodes | (1 << neighbour),
                 ),
@@ -205,8 +226,8 @@ def _search_interned(
 
         # Merge: combine with accepted trees sharing this root and
         # covering a disjoint terminal subset.
-        for (other_root, other_mask), other_bucket in accepted.items():
-            if other_root != root or other_mask & mask:
+        for other_mask, other_bucket in by_mask.items():
+            if other_mask & mask:
                 continue
             for other_cost, other_edges, other_nodes in other_bucket:
                 if edges & other_edges:

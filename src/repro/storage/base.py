@@ -54,6 +54,16 @@ class StorageBackend(abc.ABC):
     #: Registry name of the backend ("memory", "sqlite", ...).
     name: str = "backend"
 
+    #: Whether the backend can evaluate schema-graph reachability and
+    #: join-path enumeration engine-side (see :meth:`connected_nodes` /
+    #: :meth:`join_path_candidates`). Backends without it still answer
+    #: both through the shared in-memory implementations.
+    supports_graph_pushdown: bool = False
+
+    #: Whether :meth:`result_count` with a *limit* probes engine-side
+    #: (``COUNT(*)`` over a ``LIMIT`` subquery) instead of materialising.
+    supports_count_pushdown: bool = False
+
     def __init__(self, schema: Schema) -> None:
         self.schema = schema
         self._catalog: Catalog | None = None
@@ -206,14 +216,63 @@ class StorageBackend(abc.ABC):
     def execute(self, query: SelectQuery) -> ResultSet:
         """Evaluate *query* and materialise the results."""
 
-    def result_count(self, query: SelectQuery) -> int:
+    def result_count(self, query: SelectQuery, limit: int | None = None) -> int:
         """Number of rows *query* yields (respecting DISTINCT and LIMIT).
 
-        Backends that can count without materialising (SQLite's
-        ``COUNT(*)`` pushdown) override this; the default executes and
-        counts.
+        With *limit*, the count is bounded: the returned value is
+        ``min(exact count, limit)`` — enough to answer "are there at
+        least *limit* rows?" without counting further. Backends that can
+        count without materialising (SQLite's ``COUNT(*)`` pushdown, with
+        a ``LIMIT`` subquery for the bounded form) override this; the
+        default executes and counts.
         """
-        return len(self.execute(query))
+        count = len(self.execute(query))
+        return count if limit is None else min(count, limit)
+
+    # -- schema-graph pushdown ---------------------------------------------
+
+    def connected_nodes(self, graph: Any, start: Any) -> set:
+        """Every schema-graph node reachable from *start*.
+
+        The backward stage's connectivity prefilter. The default runs the
+        shared in-memory traversal; backends with graph pushdown
+        (:attr:`supports_graph_pushdown`) answer with a recursive CTE
+        over an edge relation instead. Either way the returned set is
+        identical — reachability has one answer.
+        """
+        compact = graph.compact()
+        start_index = compact.index.get(start)
+        if start_index is None:
+            return set()
+        seen = {start_index}
+        frontier = [start_index]
+        neighbors = compact.neighbors
+        while frontier:
+            current = frontier.pop()
+            for neighbour, _weight, _edge in neighbors[current]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return {compact.nodes[i] for i in seen}
+
+    def join_path_candidates(
+        self,
+        graph: Any,
+        pairs: Sequence[tuple[ColumnRef, ColumnRef]],
+        k: int,
+        max_hops: int,
+    ) -> list[list[tuple[tuple[str, ...], float]]]:
+        """Up to *k* cheapest acyclic join paths per (source, target) pair.
+
+        The candidate-enumeration contract of
+        :mod:`repro.steiner.paths`: backends with graph pushdown push the
+        enumeration into a bounded recursive CTE; the default delegates
+        to the in-memory enumerator. Both orderings and costs are
+        required to be identical (tested pair for pair on both backends).
+        """
+        from repro.steiner.paths import enumerate_join_paths
+
+        return enumerate_join_paths(graph, pairs, k, max_hops)
 
     # -- lifecycle ---------------------------------------------------------
 

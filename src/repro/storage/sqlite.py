@@ -102,6 +102,8 @@ class SQLiteBackend(StorageBackend):
     """Relations persisted to SQLite; search and execution pushed down."""
 
     name = "sqlite"
+    supports_graph_pushdown = True
+    supports_count_pushdown = True
 
     def __init__(
         self, schema: Schema, path: str = ":memory:", initialize: bool = True
@@ -128,6 +130,9 @@ class SQLiteBackend(StorageBackend):
             for column in table.columns
         }
         self._n_fields = len(self._field_sizes)
+        #: (graph identity, topology revision) currently mirrored into the
+        #: ``_quest_graph_edges`` relation (see :meth:`sync_schema_graph`).
+        self._graph_sync: tuple[int, int] | None = None
         if initialize:
             self._create_tables()
             self._fts_enabled = self._create_fts()
@@ -601,6 +606,139 @@ class SQLiteBackend(StorageBackend):
         """Whether the FTS5 retrieval accelerator is active."""
         return self._fts_enabled
 
+    # -- schema-graph pushdown ---------------------------------------------
+
+    def sync_schema_graph(self, graph: Any) -> None:
+        """Mirror *graph* into the ``_quest_graph_edges`` relation.
+
+        One row per edge direction — ``(src, dst, weight)`` with nodes
+        keyed by ``str(ColumnRef)`` — so reachability and path
+        enumeration run as plain SQL over an adjacency relation. The
+        mirror is keyed on (graph identity, topology revision) and
+        rebuilt only when either moves; re-syncing an unchanged graph is
+        one tuple comparison. The mirror is derived state: refreshing it
+        does NOT bump :attr:`version` (no instance data changed).
+        """
+        key = (id(graph), getattr(graph, "version", 0))
+        with self._lock:
+            if self._graph_sync == key:
+                return
+            rows = [
+                (str(edge.left), str(edge.right), float(edge.weight))
+                for edge in graph.edges
+            ]
+            cursor = self._connection.cursor()
+            cursor.execute("BEGIN")
+            try:
+                cursor.execute(
+                    'CREATE TABLE IF NOT EXISTS "_quest_graph_edges" ('
+                    "src TEXT NOT NULL, dst TEXT NOT NULL, "
+                    "weight REAL NOT NULL, PRIMARY KEY (src, dst))"
+                )
+                cursor.execute('DELETE FROM "_quest_graph_edges"')
+                cursor.executemany(
+                    'INSERT INTO "_quest_graph_edges" (src, dst, weight) '
+                    "VALUES (?, ?, ?)",
+                    rows + [(dst, src, weight) for src, dst, weight in rows],
+                )
+                cursor.execute("COMMIT")
+            except BaseException:
+                cursor.execute("ROLLBACK")
+                raise
+            self._graph_sync = key
+
+    def connected_nodes(self, graph: Any, start: Any) -> set:
+        """Reachable nodes by recursive CTE over the mirrored edges."""
+        compact = graph.compact()
+        if start not in compact.index:
+            return set()
+        self.sync_schema_graph(graph)
+        with self._lock:
+            fetched = self._connection.execute(
+                "WITH RECURSIVE reach(node) AS ("
+                "  SELECT ?"
+                "  UNION"
+                '  SELECT e.dst FROM "_quest_graph_edges" e'
+                "  JOIN reach r ON e.src = r.node"
+                ") SELECT node FROM reach",
+                (str(start),),
+            ).fetchall()
+        by_name = {str(node): node for node in compact.nodes}
+        return {by_name[name] for (name,) in fetched if name in by_name}
+
+    def join_path_candidates(
+        self,
+        graph: Any,
+        pairs: Sequence[tuple[ColumnRef, ColumnRef]],
+        k: int,
+        max_hops: int,
+    ) -> list[list[tuple[tuple[str, ...], float]]]:
+        """Candidate join paths by bounded recursive CTE + window ranking.
+
+        Same contract (and identical output, cost for cost) as
+        :func:`repro.steiner.paths.enumerate_join_paths`: the recursion
+        accumulates ``p.cost + e.weight`` — the contract's left-to-right
+        IEEE-754 fold — the visited-set is the ``/a/b/`` path string, and
+        ``ROW_NUMBER() OVER (PARTITION BY pair ORDER BY cost, path)``
+        keeps the k cheapest per pair engine-side.
+        """
+        from repro.errors import SteinerError
+        from repro.steiner.paths import decode_path
+
+        if k <= 0:
+            raise SteinerError(f"k must be positive, got {k}")
+        if max_hops < 0:
+            raise SteinerError(f"max_hops must be non-negative, got {max_hops}")
+        compact = graph.compact()
+        for source, target in pairs:
+            if source not in compact.index or target not in compact.index:
+                missing = source if source not in compact.index else target
+                raise SteinerError(f"unknown node: {missing}")
+        if not pairs:
+            return []
+        self.sync_schema_graph(graph)
+        endpoint_rows = ", ".join(["(?, ?, ?)"] * len(pairs))
+        parameters: list[Any] = []
+        for pair_id, (source, target) in enumerate(pairs):
+            parameters.extend((pair_id, str(source), str(target)))
+        sql = (
+            "WITH RECURSIVE"
+            f" endpoints(pair_id, src, dst) AS (VALUES {endpoint_rows}),"
+            " paths(pair_id, dst, node, path, cost, hops) AS ("
+            "  SELECT pair_id, dst, src, '/' || src || '/', 0.0, 0"
+            "  FROM endpoints"
+            "  UNION ALL"
+            "  SELECT p.pair_id, p.dst, e.dst, p.path || e.dst || '/',"
+            "         p.cost + e.weight, p.hops + 1"
+            '  FROM paths p JOIN "_quest_graph_edges" e ON e.src = p.node'
+            "  WHERE p.hops < ?"
+            "    AND instr(p.path, '/' || e.dst || '/') = 0"
+            " ),"
+            " ranked AS ("
+            "  SELECT pair_id, path, cost,"
+            "         ROW_NUMBER() OVER ("
+            "           PARTITION BY pair_id ORDER BY cost, path"
+            "         ) AS rank"
+            "  FROM paths WHERE node = dst"
+            " )"
+            " SELECT pair_id, path, cost FROM ranked"
+            " WHERE rank <= ? ORDER BY pair_id, rank"
+        )
+        parameters.extend((max_hops, k))
+        with self._lock:
+            try:
+                fetched = self._connection.execute(sql, parameters).fetchall()
+            except sqlite3.Error as exc:
+                raise ExecutionError(
+                    f"sqlite error enumerating join paths: {exc}"
+                ) from exc
+        results: list[list[tuple[tuple[str, ...], float]]] = [
+            [] for _ in pairs
+        ]
+        for pair_id, path, cost in fetched:
+            results[int(pair_id)].append((decode_path(path), float(cost)))
+        return results
+
     # -- execution ---------------------------------------------------------
 
     def _prepare(self, query: SelectQuery) -> tuple[str, tuple[tuple[str, DataType], ...]]:
@@ -661,14 +799,22 @@ class SQLiteBackend(StorageBackend):
         ]
         return ResultSet(tuple(name for name, _dtype in columns), rows)
 
-    def result_count(self, query: SelectQuery) -> int:
-        """Count results engine-side — no rows cross the boundary."""
+    def result_count(self, query: SelectQuery, limit: int | None = None) -> int:
+        """Count results engine-side — no rows cross the boundary.
+
+        With *limit*, the scan stops after that many rows (``COUNT(*)``
+        over a ``LIMIT`` subquery): the bounded probe behind the explain
+        stage's "at least N rows?" filter, where stopping at N beats
+        counting a large result exactly.
+        """
         sql, _columns = self._prepare(query)
+        if limit is not None:
+            counted = f"SELECT COUNT(*) FROM (SELECT * FROM ({sql}) LIMIT {int(limit)})"
+        else:
+            counted = f"SELECT COUNT(*) FROM ({sql})"
         with self._lock:
             try:
-                row = self._connection.execute(
-                    f"SELECT COUNT(*) FROM ({sql})"
-                ).fetchone()
+                row = self._connection.execute(counted).fetchone()
             except sqlite3.Error as exc:
                 raise ExecutionError(f"sqlite error for {sql!r}: {exc}") from exc
         return int(row[0])
