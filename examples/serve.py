@@ -1,0 +1,109 @@
+"""Serving QUEST over HTTP: a preforked multi-worker fleet.
+
+Builds the Mondial-like demo database, persists its columnar full-text
+index as one ``.npz`` artifact, then forks N serving workers that mmap
+the shared artifact (one set of physical pages for the whole fleet) and
+answer keyword queries over a tiny JSON-over-HTTP protocol::
+
+    GET /search?q=ruritania+rivers&k=5   # ranked explanations
+    GET /metrics                         # service + quota counters
+    GET /healthz                         # liveness
+    GET /readyz                          # readiness (503 while draining)
+
+Per-tenant admission quotas ride on the ``X-Quest-Tenant`` header: a
+tenant that exhausts its own slots gets 429 + Retry-After while other
+tenants keep flowing; a service-wide overload is 503. SIGTERM drains
+gracefully — workers finish in-flight requests before exiting.
+
+Run with::
+
+    python examples/serve.py                 # serve until Ctrl-C
+    python examples/serve.py --demo          # boot, fire demo queries, exit
+    python examples/serve.py --workers 4 --port 8080
+
+Then, from another shell::
+
+    curl 'http://127.0.0.1:8080/search?q=ruritania+rivers&k=3'
+    curl -H 'X-Quest-Tenant: acme' 'http://127.0.0.1:8080/search?q=cities'
+"""
+
+import argparse
+import tempfile
+from pathlib import Path
+
+from repro.datasets import mondial
+from repro.service import (
+    PreforkServer,
+    PreforkSettings,
+    ServiceSettings,
+    TenantQuotas,
+    shared_artifact_engine,
+)
+from repro.service.prefork import fetch_json
+
+
+def build_server(workers: int, port: int, artifact_dir: Path) -> PreforkServer:
+    db = mondial.generate(countries=30, seed=23)
+    print(f"Demo instance: {db}")
+    artifact = artifact_dir / "mondial-fulltext.npz"
+    prepare, factory = shared_artifact_engine(db, artifact)
+    return PreforkServer(
+        factory,
+        service_settings=ServiceSettings(),
+        quotas_factory=lambda: TenantQuotas(max_concurrent=4, max_queue=8),
+        settings=PreforkSettings(workers=workers, port=port),
+        prepare=prepare,
+    )
+
+
+def demo(server: PreforkServer) -> None:
+    """Boot the fleet, fire a few queries, show the answers, drain."""
+    with server:
+        server.wait_ready()
+        print(
+            f"Fleet ready: {len(server.worker_pids())} workers on "
+            f"port {server.port}\n"
+        )
+        for query in ("ruritania rivers", "cities population", "capital language"):
+            status, body = fetch_json(
+                "127.0.0.1", server.port, f"/search?q={query.replace(' ', '+')}&k=3"
+            )
+            print(f'  "{query}" -> {status} (worker pid {body.get("pid")})')
+            for result in body.get("results", []):
+                print(
+                    f"    #{result['rank'] + 1} p={result['probability']:.4f} "
+                    f"rows={result['result_count']} {result['sql'][:80]}"
+                )
+            print()
+        status, metrics = fetch_json("127.0.0.1", server.port, "/metrics")
+        service = metrics.get("service", {})
+        print(
+            f"Worker {metrics.get('pid')} metrics: "
+            f"{service.get('requests')} requests, "
+            f"p95 {1e3 * (service.get('p95_latency_s') or 0):.1f}ms"
+        )
+    print("Fleet drained.")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="boot the fleet, run a few demo queries, drain and exit",
+    )
+    args = parser.parse_args()
+    with tempfile.TemporaryDirectory() as scratch:
+        server = build_server(
+            args.workers, 0 if args.demo else args.port, Path(scratch)
+        )
+        if args.demo:
+            demo(server)
+        else:
+            raise SystemExit(server.run())
+
+
+if __name__ == "__main__":
+    main()

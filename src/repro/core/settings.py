@@ -86,6 +86,16 @@ class QuestSettings:
             a bounded ``COUNT(*) ... LIMIT`` probe instead of an exact
             count; ``False`` keeps everything in-process. Reported
             results and counts are identical either way.
+        artifact_mmap: open persisted ``.npz`` columnar index artifacts
+            memory-mapped (``np.memmap`` views over the artifact file)
+            instead of materialising private in-heap copies. Scores are
+            bit-identical either way; the flag exists for deployment
+            shape — N preforked serving workers mapping one artifact
+            share a single set of physical pages through the OS page
+            cache, so worker warm start costs an open+validate instead
+            of a rebuild. Consumed by the serving tier's engine
+            factories (:mod:`repro.service.prefork`); in-process engines
+            that never load artifacts ignore it.
         batch_workers: process-pool width for ``search_many`` batch
             fan-out. ``1`` (the default) runs queries sequentially in
             process; ``N > 1`` forks N workers for CPU-bound multi-query
@@ -117,6 +127,7 @@ class QuestSettings:
     batched_shortest_paths: bool = True
     steiner_plan_cache: bool = True
     sql_pushdown: bool = True
+    artifact_mmap: bool = True
     batch_workers: int = 1
 
     @classmethod

@@ -37,6 +37,15 @@ The columnar snapshot is also a **persistable artifact**: ``save(path)``
 writes one ``.npz`` file (arrays + a JSON catalog header), ``load(path,
 db)`` re-attaches it to a database after validating the header against the
 live schema and mutation counter — a warm process skips the whole build.
+
+Artifacts can additionally be **memory-mapped** (``load(path, db,
+mmap=True)``): ``np.savez`` stores its members uncompressed, so each array
+is one contiguous byte range of the archive file and can be handed back as
+an ``np.memmap`` view instead of a private in-heap copy. N preforked
+serving workers mapping the same artifact then share one set of physical
+pages through the OS page cache — warm start for N workers at the memory
+cost of one. The mapped arrays are read-only, matching the snapshot's
+immutability contract, and bit-identical to a materialised load.
 """
 
 from __future__ import annotations
@@ -76,6 +85,133 @@ def tokenize_value(value: object) -> list[str]:
     if value is None:
         return []
     return _TOKEN_RE.findall(str(value).casefold())
+
+
+#: Fixed part of a ZIP local file header: signature, versions, flags,
+#: method, times, CRC, sizes, then the name/extra lengths at bytes 26/28.
+_ZIP_LOCAL_HEADER_SIZE = 30
+
+
+def _mmap_member(
+    path: Path, raw, info: zipfile.ZipInfo
+) -> np.ndarray | None:
+    """A read-only ``np.memmap`` view of one stored (uncompressed) member.
+
+    ``np.load`` memory-maps only bare ``.npy`` files, but an ``.npz``
+    written by ``np.savez`` stores members with ``ZIP_STORED``, so the
+    member's payload is a contiguous range of the archive: seek past the
+    local file header (whose name/extra lengths vary per member), parse
+    the ``.npy`` header in place, and map the array data that follows.
+    Returns ``None`` for members that cannot be mapped (compressed or
+    object-dtype) — the caller falls back to a materialised read.
+    """
+    if info.compress_type != zipfile.ZIP_STORED:
+        return None
+    raw.seek(info.header_offset)
+    local = raw.read(_ZIP_LOCAL_HEADER_SIZE)
+    if len(local) != _ZIP_LOCAL_HEADER_SIZE or local[:4] != b"PK\x03\x04":
+        raise IndexArtifactError(
+            f"index artifact {path}: corrupt local header for {info.filename!r}"
+        )
+    name_len = int.from_bytes(local[26:28], "little")
+    extra_len = int.from_bytes(local[28:30], "little")
+    raw.seek(info.header_offset + _ZIP_LOCAL_HEADER_SIZE + name_len + extra_len)
+    version = np.lib.format.read_magic(raw)
+    if version == (1, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_1_0(raw)
+    elif version == (2, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_2_0(raw)
+    else:  # pragma: no cover - numpy writes 1.0/2.0 only
+        return None
+    if dtype.hasobject:  # pragma: no cover - we never save object arrays
+        return None
+    return np.memmap(
+        path,
+        dtype=dtype,
+        mode="r",
+        offset=raw.tell(),
+        shape=shape,
+        order="F" if fortran else "C",
+    )
+
+
+def _read_artifact(
+    path: str | Path, mmap: bool
+) -> tuple[dict, dict[str, np.ndarray]]:
+    """The artifact's ``(catalog header, arrays)``; arrays are memory-mapped
+    views when *mmap* is set (falling back per member where impossible)."""
+    path = Path(path)
+    try:
+        if not mmap:
+            with np.load(path, allow_pickle=False) as data:
+                header = json.loads(str(data["header"]))
+                arrays = {
+                    name: data[name] for name in data.files if name != "header"
+                }
+            return header, arrays
+        arrays = {}
+        header = None
+        with zipfile.ZipFile(path) as archive, open(path, "rb") as raw:
+            for info in archive.infolist():
+                name = info.filename
+                if name.endswith(".npy"):
+                    name = name[: -len(".npy")]
+                if name == "header":
+                    # The tiny JSON header is read, never mapped.
+                    with archive.open(info) as member:
+                        header = json.loads(
+                            str(np.lib.format.read_array(member, allow_pickle=False))
+                        )
+                    continue
+                mapped = _mmap_member(path, raw, info)
+                if mapped is None:  # pragma: no cover - savez never compresses
+                    with archive.open(info) as member:
+                        mapped = np.lib.format.read_array(
+                            member, allow_pickle=False
+                        )
+                arrays[name] = mapped
+        if header is None:
+            raise KeyError("header")
+        return header, arrays
+    except (
+        OSError,
+        KeyError,
+        ValueError,
+        zipfile.BadZipFile,  # truncated/corrupt archive (a cache casualty)
+        zlib.error,  # truncated member payload
+    ) as exc:
+        raise IndexArtifactError(
+            f"unreadable index artifact {path}: {exc}"
+        ) from exc
+
+
+def _field_mismatch(artifact_fields: list[str], live_fields: list[str]) -> str:
+    """Which field(s) differ between an artifact header and the live schema.
+
+    A stale-artifact refusal that names the exact offending attribute(s)
+    turns "covers a different field set" from a shrug into a diagnosis
+    (a migrated column, a renamed table, a reordered schema).
+    """
+    artifact_set, live_set = set(artifact_fields), set(live_fields)
+    missing = sorted(live_set - artifact_set)
+    extra = sorted(artifact_set - live_set)
+    parts: list[str] = []
+    if missing:
+        parts.append(f"missing from artifact: {', '.join(missing)}")
+    if extra:
+        parts.append(f"unknown to schema: {', '.join(extra)}")
+    if not parts:
+        # Same set, different order: name the first disagreeing slot.
+        for position, (got, expected) in enumerate(
+            zip(artifact_fields, live_fields)
+        ):
+            if got != expected:
+                parts.append(
+                    f"field order differs at position {position}: "
+                    f"artifact has {got}, schema has {expected}"
+                )
+                break
+    return "; ".join(parts) or "field lists differ"
 
 
 class ColumnarPostings:
@@ -369,18 +505,24 @@ class ColumnarPostings:
     def from_arrays(
         cls, data: dict[str, np.ndarray], fields: tuple[ColumnRef, ...]
     ) -> "ColumnarPostings":
-        """Rehydrate a snapshot from a saved array payload."""
+        """Rehydrate a snapshot from a saved array payload.
+
+        ``asanyarray`` keeps ``np.memmap`` inputs as memmaps (same-dtype
+        conversion is a no-op view, and ``asarray`` would launder the
+        subclass away) — a snapshot attached by a mmap load stays
+        visibly backed by the artifact file.
+        """
         terms = [str(t) for t in data["terms"]]
         return cls(
             vocabulary={term: i for i, term in enumerate(terms)},
-            term_offsets=np.asarray(data["term_offsets"], dtype=np.int64),
-            entry_fields=np.asarray(data["entry_fields"], dtype=np.int32),
-            entry_counts=np.asarray(data["entry_counts"], dtype=np.int64),
-            entry_offsets=np.asarray(data["entry_offsets"], dtype=np.int64),
-            row_positions=np.asarray(data["row_positions"], dtype=np.int64),
-            row_tfs=np.asarray(data["row_tfs"], dtype=np.int64),
-            field_sizes=np.asarray(data["field_sizes"], dtype=np.int64),
-            field_tokens=np.asarray(data["field_tokens"], dtype=np.int64),
+            term_offsets=np.asanyarray(data["term_offsets"], dtype=np.int64),
+            entry_fields=np.asanyarray(data["entry_fields"], dtype=np.int32),
+            entry_counts=np.asanyarray(data["entry_counts"], dtype=np.int64),
+            entry_offsets=np.asanyarray(data["entry_offsets"], dtype=np.int64),
+            row_positions=np.asanyarray(data["row_positions"], dtype=np.int64),
+            row_tfs=np.asanyarray(data["row_tfs"], dtype=np.int64),
+            field_sizes=np.asanyarray(data["field_sizes"], dtype=np.int64),
+            field_tokens=np.asanyarray(data["field_tokens"], dtype=np.int64),
             fields=fields,
         )
 
@@ -418,6 +560,9 @@ class FullTextIndex:
         self._n_fields = len(self._field_sizes)
         #: The sealed columnar layout; None = stale (resealed on demand).
         self._snapshot: ColumnarPostings | None = None
+        #: True while the snapshot arrays are np.memmap views of a saved
+        #: artifact (reset when a mutation forces a fresh in-heap seal).
+        self._mmapped = False
         # Built lazily: the first read triggers the initial refresh, so
         # constructing an index (e.g. for an execute-only endpoint that
         # never searches) costs nothing.
@@ -432,6 +577,11 @@ class FullTextIndex:
     def columnar(self) -> bool:
         """Whether reads are served from the columnar snapshot."""
         return self._columnar
+
+    @property
+    def mmapped(self) -> bool:
+        """Whether the snapshot is memory-mapped from a saved artifact."""
+        return self._mmapped
 
     def refresh(self) -> None:
         """Index rows inserted since the last build.
@@ -497,6 +647,7 @@ class FullTextIndex:
             self._indexed_rows[table.name] = end
         if changed:
             self._snapshot = None  # stale: resealed on the next read
+            self._mmapped = False  # the reseal materialises in heap
         self._built_version = version
 
     def _seal_locked(self) -> None:
@@ -703,29 +854,26 @@ class FullTextIndex:
 
     @classmethod
     def load(
-        cls, path: str | Path, db: Database, columnar: bool = True
+        cls,
+        path: str | Path,
+        db: Database,
+        columnar: bool = True,
+        mmap: bool = False,
     ) -> "FullTextIndex":
         """Attach a saved artifact to *db*, skipping the build entirely.
+
+        With ``mmap=True`` the snapshot arrays are read-only
+        ``np.memmap`` views over the artifact file instead of private
+        in-heap copies — preforked serving workers mapping the same file
+        share one set of physical pages through the page cache. Scores
+        are bit-identical either way.
 
         Raises :class:`~repro.errors.IndexArtifactError` when the artifact
         does not describe *db*'s current state: wrong format, wrong
         schema, different field set, or a mutation-counter / row-count
         mismatch (the database moved since the artifact was written).
         """
-        try:
-            with np.load(path, allow_pickle=False) as data:
-                header = json.loads(str(data["header"]))
-                arrays = {
-                    name: data[name] for name in data.files if name != "header"
-                }
-        except (
-            OSError,
-            KeyError,
-            ValueError,
-            zipfile.BadZipFile,  # truncated/corrupt archive (a cache casualty)
-            zlib.error,  # truncated member payload
-        ) as exc:
-            raise IndexArtifactError(f"unreadable index artifact {path}: {exc}") from exc
+        header, arrays = _read_artifact(path, mmap=mmap)
         if header.get("format") != _ARTIFACT_FORMAT:
             raise IndexArtifactError(
                 f"index artifact {path} has format {header.get('format')!r}, "
@@ -738,9 +886,11 @@ class FullTextIndex:
             )
         index = cls(db, columnar=columnar)
         fields = [str(ref) for ref in index._field_sizes]
-        if header.get("fields") != fields:
+        artifact_fields = header.get("fields") or []
+        if artifact_fields != fields:
             raise IndexArtifactError(
-                f"index artifact {path} covers a different field set"
+                f"index artifact {path} covers a different field set: "
+                + _field_mismatch(artifact_fields, fields)
             )
         indexed_rows = header.get("indexed_rows", {})
         for table in db.tables:
@@ -757,6 +907,7 @@ class FullTextIndex:
             )
         snapshot = ColumnarPostings.from_arrays(arrays, tuple(index._field_sizes))
         index._snapshot = snapshot
+        index._mmapped = mmap
         index._field_sizes = dict(
             zip(snapshot.fields, (int(s) for s in snapshot.field_sizes))
         )
@@ -776,20 +927,46 @@ class FullTextIndex:
 
     @classmethod
     def load_or_build(
-        cls, path: str | Path, db: Database, columnar: bool = True
+        cls,
+        path: str | Path,
+        db: Database,
+        columnar: bool = True,
+        mmap: bool = False,
+        readonly: bool = False,
     ) -> "FullTextIndex":
         """Load the artifact at *path* if it matches *db*, else build and
         (re)write it — the warm-process entry point and what CI's cached
-        index step calls."""
+        index step calls.
+
+        ``readonly=True`` opens the artifact without ever touching it: a
+        stale or missing artifact raises :class:`IndexArtifactError`
+        instead of being rebuilt and rewritten. That is the contract
+        preforked serving workers need — N workers racing to "repair"
+        one shared artifact file would corrupt each other's reads; only
+        the parent (readonly off) builds, exactly once, before forking.
+
+        ``mmap=True`` maps the snapshot arrays from the artifact file
+        (see :meth:`load`); combined with the build path, a freshly
+        built artifact is re-opened mapped so the returned index serves
+        from shared pages rather than the private build-time heap.
+        """
         artifact = Path(path)
+        stale: IndexArtifactError | None = None
         if artifact.exists():
             try:
-                return cls.load(artifact, db, columnar=columnar)
-            except IndexArtifactError:
-                pass
+                return cls.load(artifact, db, columnar=columnar, mmap=mmap)
+            except IndexArtifactError as exc:
+                stale = exc
+        if readonly:
+            raise IndexArtifactError(
+                f"index artifact {artifact} unusable in read-only mode "
+                f"({stale if stale is not None else 'no artifact present'})"
+            )
         index = cls(db, columnar=columnar)
         index.warm()
         index.save(artifact)
+        if mmap:
+            return cls.load(artifact, db, columnar=columnar, mmap=True)
         return index
 
     def __repr__(self) -> str:

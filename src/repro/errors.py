@@ -87,6 +87,25 @@ class ServiceOverloadedError(ServiceError):
     """
 
 
+class QuotaExceededError(ServiceError):
+    """One tenant exhausted its admission quota.
+
+    Raised by the per-tenant quota tier in front of
+    :class:`repro.service.QuestService` when a single tenant's in-flight
+    requests hit its cap while the service as a whole still has capacity
+    — the HTTP front end maps it to 429 (the tenant should back off)
+    rather than 503 (the service is overloaded).
+    """
+
+    def __init__(self, tenant: str, limit: int) -> None:
+        super().__init__(
+            f"tenant {tenant!r} exceeded its admission quota "
+            f"({limit} concurrent requests)"
+        )
+        self.tenant = tenant
+        self.limit = limit
+
+
 class IndexArtifactError(QuestError):
     """A persisted index artifact is unreadable or stale.
 

@@ -5,19 +5,42 @@ tiers an interactive deployment needs — TTL'd result caching, in-flight
 request coalescing, admission control with fast-fail shedding, and an
 operator metrics snapshot. See :mod:`repro.service.service` for the
 full story.
+
+On top of it sits the network tier: :class:`QuestHttpServer` puts a
+stdlib-asyncio HTTP front end over one service (with per-tenant
+:class:`TenantQuotas` admission), and :class:`PreforkServer` runs N of
+those as supervised forked workers mmap-sharing one columnar index
+artifact. See :mod:`repro.service.http` and
+:mod:`repro.service.prefork`.
 """
 
-from repro.errors import ServiceError, ServiceOverloadedError
+from repro.errors import (
+    QuotaExceededError,
+    ServiceError,
+    ServiceOverloadedError,
+)
 from repro.service.admission import AdmissionController
+from repro.service.http import HttpServerSettings, QuestHttpServer
 from repro.service.metrics import MetricsSnapshot, ServiceMetrics
+from repro.service.prefork import (
+    PreforkServer,
+    PreforkSettings,
+    shared_artifact_engine,
+)
+from repro.service.quota import TenantQuotas
 from repro.service.result_cache import TTLResultCache
 from repro.service.service import QuestService, ServiceResponse, ServiceSettings
 from repro.service.singleflight import SingleFlight
 
 __all__ = [
     "AdmissionController",
+    "HttpServerSettings",
     "MetricsSnapshot",
+    "PreforkServer",
+    "PreforkSettings",
+    "QuestHttpServer",
     "QuestService",
+    "QuotaExceededError",
     "ServiceError",
     "ServiceMetrics",
     "ServiceOverloadedError",
@@ -25,4 +48,6 @@ __all__ = [
     "ServiceSettings",
     "SingleFlight",
     "TTLResultCache",
+    "TenantQuotas",
+    "shared_artifact_engine",
 ]

@@ -1,0 +1,151 @@
+"""Per-tenant admission quotas: fairness in front of the shared house.
+
+:class:`~repro.service.admission.AdmissionController` bounds the *total*
+work the service accepts; it cannot stop one hot tenant from filling
+every slot and starving the rest. This tier layers a per-tenant
+controller in front of the shared one: each tenant gets its own small
+house (``max_concurrent`` executing + ``max_queue`` waiting), and a
+tenant that exhausts it fails fast with
+:class:`~repro.errors.QuotaExceededError` — mapped to HTTP 429 by the
+front end, distinct from the service-wide 503 — while other tenants'
+requests keep flowing.
+
+Tenant controllers are created on first sight (an unknown tenant gets
+the default quota) and capped in number so a tenant-id-per-request abuse
+pattern cannot grow the registry without bound: beyond ``max_tenants``
+distinct ids, the least-recently-active idle tenant is evicted.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import QuestError, QuotaExceededError, ServiceOverloadedError
+from repro.service.admission import AdmissionController
+
+__all__ = ["TenantQuotas"]
+
+#: Tenant requests use when the caller supplies no tenant id.
+DEFAULT_TENANT = "default"
+#: Distinct tenant ids tracked before idle controllers are evicted.
+DEFAULT_MAX_TENANTS = 1024
+
+
+class TenantQuotas:
+    """A registry of per-tenant :class:`AdmissionController` gates.
+
+    Args:
+        max_concurrent: execution slots per tenant.
+        max_queue: admitted-but-waiting slots per tenant.
+        overrides: per-tenant ``(max_concurrent, max_queue)`` exceptions
+            to the default quota (a paying tenant's higher cap, an
+            abusive one's lower).
+        max_tenants: distinct tenant ids tracked at once; idle tenants
+            beyond this are evicted least-recently-active first.
+    """
+
+    def __init__(
+        self,
+        max_concurrent: int = 4,
+        max_queue: int = 8,
+        overrides: dict[str, tuple[int, int]] | None = None,
+        max_tenants: int = DEFAULT_MAX_TENANTS,
+    ) -> None:
+        if max_concurrent <= 0:
+            raise QuestError(
+                f"max_concurrent must be positive, got {max_concurrent}"
+            )
+        if max_queue < 0:
+            raise QuestError(f"max_queue must be non-negative, got {max_queue}")
+        if max_tenants <= 0:
+            raise QuestError(f"max_tenants must be positive, got {max_tenants}")
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self._overrides = dict(overrides or {})
+        self._max_tenants = max_tenants
+        self._lock = threading.Lock()
+        #: tenant -> controller, in least-recently-admitted order.
+        self._tenants: "OrderedDict[str, AdmissionController]" = OrderedDict()
+        self._rejections = 0
+
+    def _controller(self, tenant: str) -> AdmissionController:
+        with self._lock:
+            controller = self._tenants.get(tenant)
+            if controller is None:
+                limits = self._overrides.get(
+                    tenant, (self.max_concurrent, self.max_queue)
+                )
+                controller = AdmissionController(*limits)
+                self._tenants[tenant] = controller
+                if len(self._tenants) > self._max_tenants:
+                    # Evict the least-recently-active *idle* tenant; a
+                    # tenant with requests in flight keeps its gate (the
+                    # exiting context manager still holds it).
+                    for candidate in list(self._tenants):
+                        if (
+                            candidate != tenant
+                            and self._tenants[candidate].admitted == 0
+                        ):
+                            del self._tenants[candidate]
+                            break
+            else:
+                self._tenants.move_to_end(tenant)
+            return controller
+
+    @contextmanager
+    def admit(self, tenant: str | None) -> Iterator[None]:
+        """Hold one of *tenant*'s slots for the body's duration.
+
+        Raises :class:`QuotaExceededError` without blocking when the
+        tenant's own house is full. A missing tenant id shares the
+        :data:`DEFAULT_TENANT` quota — anonymous traffic is one tenant,
+        not infinitely many.
+        """
+        name = tenant if tenant else DEFAULT_TENANT
+        controller = self._controller(name)
+        gate = controller.admit()
+        # Enter the gate outside the body's try: only the per-tenant
+        # refusal translates to the quota error. A ServiceOverloadedError
+        # raised *inside* the body (the shared service-wide controller
+        # shedding) must propagate untouched — it means 503, not 429.
+        try:
+            gate.__enter__()
+        except ServiceOverloadedError:
+            with self._lock:
+                self._rejections += 1
+            raise QuotaExceededError(
+                name, controller.max_concurrent + controller.max_queue
+            ) from None
+        try:
+            yield
+        finally:
+            gate.__exit__(None, None, None)
+
+    def in_flight(self, tenant: str | None = None) -> int:
+        """Admitted requests of one tenant (or of every tenant summed)."""
+        with self._lock:
+            if tenant is not None:
+                controller = self._tenants.get(tenant)
+                return controller.admitted if controller is not None else 0
+            return sum(c.admitted for c in self._tenants.values())
+
+    @property
+    def rejections(self) -> int:
+        """Requests refused by per-tenant gates since construction."""
+        with self._lock:
+            return self._rejections
+
+    @property
+    def tenants(self) -> int:
+        """Distinct tenant ids currently tracked."""
+        with self._lock:
+            return len(self._tenants)
+
+    def __repr__(self) -> str:
+        return (
+            f"TenantQuotas(max_concurrent={self.max_concurrent}, "
+            f"max_queue={self.max_queue}, tenants={self.tenants})"
+        )

@@ -189,11 +189,15 @@ class StorageBackend(abc.ABC):
         """
         return False
 
-    def load_index(self, path: str | Path) -> bool:
+    def load_index(self, path: str | Path, mmap: bool = False) -> bool:
         """Re-attach a saved index artifact, skipping the build.
 
-        Raises :class:`~repro.errors.IndexArtifactError` on a stale or
-        foreign artifact; returns ``False`` when the backend does not use
+        With ``mmap=True`` the artifact arrays are memory-mapped rather
+        than materialised, so co-located processes attaching the same
+        file share physical pages (the preforked serving tier's
+        warm-start path). Raises
+        :class:`~repro.errors.IndexArtifactError` on a stale or foreign
+        artifact; returns ``False`` when the backend does not use
         separable index artifacts.
         """
         return False

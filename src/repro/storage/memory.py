@@ -92,11 +92,12 @@ class MemoryBackend(StorageBackend):
         self.fulltext.save(path)
         return True
 
-    def load_index(self, path: str | Path) -> bool:
+    def load_index(self, path: str | Path, mmap: bool = False) -> bool:
         """Replace the index with the artifact at *path* (validated
-        against the wrapped database — see :meth:`FullTextIndex.load`)."""
+        against the wrapped database — see :meth:`FullTextIndex.load`).
+        ``mmap=True`` maps the arrays instead of materialising them."""
         self.fulltext = FullTextIndex.load(
-            path, self.database, columnar=self.fulltext.columnar
+            path, self.database, columnar=self.fulltext.columnar, mmap=mmap
         )
         return True
 

@@ -84,6 +84,12 @@ _FTS_TERM_RE = re.compile(r"[a-z0-9]+$")
 
 _POSITION_COLUMN = "_quest_pos"
 
+#: How long a connection waits on a writer's lock before giving up.
+#: Multi-process serving (preforked workers over one database file) makes
+#: brief lock collisions routine; failing them instantly with "database
+#: is locked" would shed healthy requests.
+_BUSY_TIMEOUT_MS = 5_000
+
 
 def _encode(value: Any) -> Any:
     """A Python value as stored in SQLite (bool -> int, date -> ISO text)."""
@@ -145,6 +151,19 @@ class SQLiteBackend(StorageBackend):
     def _connect(self) -> sqlite3.Connection:
         connection = sqlite3.connect(self.path, check_same_thread=False)
         connection.isolation_level = None  # autocommit; we batch manually
+        # Multi-process read posture (file-backed stores only — a
+        # ``:memory:`` database is private to this process and supports
+        # neither WAL nor cross-process contention):
+        # - WAL lets N serving workers read while a writer commits, with
+        #   none of rollback journal's writer-starves-readers locking;
+        # - synchronous=NORMAL is WAL's recommended durability point
+        #   (fsync on checkpoint, not on every commit);
+        # - busy_timeout absorbs brief lock collisions instead of
+        #   surfacing "database is locked" to a healthy request.
+        if self.path != ":memory:":
+            connection.execute("PRAGMA journal_mode=WAL")
+            connection.execute("PRAGMA synchronous=NORMAL")
+        connection.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
         connection.create_function(
             "QUEST_CONTAINS", 2, self._contains_udf, deterministic=True
         )
@@ -158,10 +177,14 @@ class SQLiteBackend(StorageBackend):
         """The live connection, reopened after a fork for file-backed stores.
 
         SQLite forbids carrying a connection across ``fork()`` — workers
-        of the forked batch tier would otherwise share the parent's open
-        file description. ``:memory:`` databases are exempt: fork copies
-        the whole in-process store, so the child's connection is private
-        (and reconnecting would open an empty database).
+        of the forked batch tier and the preforked serving tier would
+        otherwise share the parent's open file description (and its
+        POSIX locks, which fork silently drops). The guard is keyed on
+        pid: the first statement a forked child runs opens its own
+        connection, which re-applies the WAL/busy_timeout pragmas.
+        ``:memory:`` databases are exempt: fork copies the whole
+        in-process store, so the child's connection is private (and
+        reconnecting would open an empty database).
         """
         if self._pid != os.getpid() and self.path != ":memory:":
             self._conn = self._connect()

@@ -296,6 +296,167 @@ def test_load_or_build_builds_then_reuses(mondial_db, tmp_path):
     )
 
 
+# -- memory-mapped artifacts -------------------------------------------------
+
+
+def test_mmap_load_is_memmap_backed_and_bit_identical(mondial_db, tmp_path):
+    artifact = tmp_path / "mapped.npz"
+    built = FullTextIndex(mondial_db)
+    built.warm()
+    built.save(artifact)
+    mapped = FullTextIndex.load(artifact, mondial_db, mmap=True)
+    assert mapped.mmapped
+    snapshot = mapped._snapshot
+    assert isinstance(snapshot.row_positions, np.memmap)
+    assert isinstance(snapshot.entry_counts, np.memmap)
+    heap = FullTextIndex.load(artifact, mondial_db, mmap=False)
+    assert not heap.mmapped
+    for keyword in ("ruritania", "blue", "1994"):
+        assert mapped.attribute_scores(keyword) == heap.attribute_scores(keyword)
+        assert mapped.attribute_scores(keyword) == built.attribute_scores(keyword)
+
+
+def test_load_or_build_reopens_a_fresh_build_mapped(mondial_db, tmp_path):
+    artifact = tmp_path / "fresh.npz"
+    index = FullTextIndex.load_or_build(artifact, mondial_db, mmap=True)
+    # Even the build path must hand back a mapped index — the pages a
+    # prefork parent touches here are the ones its workers will share.
+    assert index.mmapped
+    assert artifact.exists()
+
+
+def test_mutation_after_mmap_load_materialises_in_heap(tmp_path):
+    db = mondial.generate(countries=6, seed=3)
+    artifact = tmp_path / "mut.npz"
+    FullTextIndex.load_or_build(artifact, db)
+    mapped = FullTextIndex.load(artifact, db, mmap=True)
+    assert mapped.mmapped
+    country = db.table("country").rows[0]
+    db.insert(
+        "country",
+        {
+            "code": "XX",
+            "name": "Zzyzxstan unique",
+            **{
+                column.name: value
+                for column, value in zip(
+                    db.schema.table("country").columns, country
+                )
+                if column.name not in ("code", "name")
+            },
+        },
+    )
+    assert mapped.attribute_scores("zzyzxstan")
+    assert not mapped.mmapped  # the refresh resealed into private heap
+    assert mapped.attribute_scores("zzyzxstan") == FullTextIndex(
+        db
+    ).attribute_scores("zzyzxstan")
+
+
+def test_readonly_refuses_missing_and_stale_artifacts(mondial_db, tmp_path):
+    missing = tmp_path / "absent.npz"
+    with pytest.raises(IndexArtifactError, match="read-only"):
+        FullTextIndex.load_or_build(missing, mondial_db, readonly=True)
+    assert not missing.exists()  # read-only must never write
+
+    stale = tmp_path / "stale.npz"
+    index = FullTextIndex(mondial_db)
+    index.warm()
+    index.save(stale)
+    other = mondial.generate(countries=4, seed=99)
+    before = stale.read_bytes()
+    with pytest.raises(IndexArtifactError, match="read-only"):
+        FullTextIndex.load_or_build(stale, other, readonly=True)
+    assert stale.read_bytes() == before  # ... nor repair in place
+
+
+def _tampered_header(source, destination, mutate):
+    """Rewrite *source*'s artifact with a mutated catalog header."""
+    import json
+
+    with np.load(source, allow_pickle=False) as data:
+        arrays = {name: data[name] for name in data.files if name != "header"}
+        header = json.loads(str(data["header"]))
+    mutate(header)
+    with open(destination, "wb") as handle:
+        np.savez(
+            handle,
+            header=np.asarray(json.dumps(header, sort_keys=True)),
+            **arrays,
+        )
+
+
+def test_field_set_refusal_names_the_offending_fields(mondial_db, tmp_path):
+    artifact = tmp_path / "fields.npz"
+    index = FullTextIndex(mondial_db)
+    index.warm()
+    index.save(artifact)
+
+    tampered = tmp_path / "tampered.npz"
+    dropped = {}
+
+    def swap_field(header):
+        dropped["name"] = header["fields"][0]
+        header["fields"] = header["fields"][1:] + ["bogus.column"]
+
+    _tampered_header(artifact, tampered, swap_field)
+    with pytest.raises(IndexArtifactError) as info:
+        FullTextIndex.load(tampered, mondial_db)
+    message = str(info.value)
+    assert f"missing from artifact: {dropped['name']}" in message
+    assert "unknown to schema: bogus.column" in message
+
+    reordered = tmp_path / "reordered.npz"
+
+    def reverse_fields(header):
+        header["fields"] = list(reversed(header["fields"]))
+
+    _tampered_header(artifact, reordered, reverse_fields)
+    with pytest.raises(
+        IndexArtifactError, match="field order differs at position 0"
+    ):
+        FullTextIndex.load(reordered, mondial_db)
+
+
+def test_corrupt_artifact_raises_artifact_error(mondial_db, tmp_path):
+    garbage = tmp_path / "garbage.npz"
+    garbage.write_bytes(b"this is not a zip archive at all")
+    with pytest.raises(IndexArtifactError):
+        FullTextIndex.load(garbage, mondial_db, mmap=True)
+    with pytest.raises(IndexArtifactError):
+        FullTextIndex.load(garbage, mondial_db, mmap=False)
+
+    truncated = tmp_path / "truncated.npz"
+    index = FullTextIndex(mondial_db)
+    index.warm()
+    index.save(tmp_path / "whole.npz")
+    truncated.write_bytes((tmp_path / "whole.npz").read_bytes()[:128])
+    with pytest.raises(IndexArtifactError):
+        FullTextIndex.load(truncated, mondial_db, mmap=True)
+
+
+def test_mmap_search_rankings_bit_identical(mondial_db, tmp_path):
+    artifact = tmp_path / "serve.npz"
+    FullTextIndex.load_or_build(artifact, mondial_db)
+    mapped = FullTextIndex.load(artifact, mondial_db, mmap=True)
+    heap = FullTextIndex.load(artifact, mondial_db, mmap=False)
+    workload = mondial.workload(mondial_db, queries_per_kind=2, seed=31)
+    texts = [q.text for q in workload][:4]
+    from_mapped = Quest(
+        FullAccessWrapper(MemoryBackend(mondial_db, fulltext=mapped))
+    ).search_many(texts, strict=False)
+    from_heap = Quest(
+        FullAccessWrapper(MemoryBackend(mondial_db, fulltext=heap))
+    ).search_many(texts, strict=False)
+    assert [
+        [(e.sql, e.probability, e.result_count) for e in answers]
+        for answers in from_mapped
+    ] == [
+        [(e.sql, e.probability, e.result_count) for e in answers]
+        for answers in from_heap
+    ]
+
+
 # -- forked batch tier -------------------------------------------------------
 
 

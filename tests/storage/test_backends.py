@@ -295,6 +295,82 @@ class TestSQLitePersistence:
         assert ("fts5" in repr(backend)) == backend.fts_enabled
 
 
+class TestSQLiteServingPosture:
+    """The pragmas and fork behaviour multi-process serving relies on."""
+
+    @staticmethod
+    def _pragma(backend, name):
+        return backend._connection.execute(f"PRAGMA {name}").fetchone()[0]
+
+    def test_file_backed_store_runs_wal_normal_with_busy_timeout(self, tmp_path):
+        backend = SQLiteBackend.from_database(
+            build_mini_db(), path=str(tmp_path / "wal.db")
+        )
+        assert self._pragma(backend, "journal_mode") == "wal"
+        assert self._pragma(backend, "synchronous") == 1  # NORMAL
+        assert self._pragma(backend, "busy_timeout") == 5000
+        backend.close()
+
+    def test_memory_store_skips_wal_but_keeps_busy_timeout(self):
+        backend = SQLiteBackend.from_database(build_mini_db())
+        assert self._pragma(backend, "journal_mode") != "wal"
+        assert self._pragma(backend, "busy_timeout") == 5000
+
+    def test_forked_child_gets_its_own_connection_with_pragmas(self, tmp_path):
+        backend = SQLiteBackend.from_database(
+            build_mini_db(), path=str(tmp_path / "forked.db")
+        )
+        parent_connection = backend._connection
+        expected = backend.table_rows("movie")
+        # Simulate waking up in a forked child: the pid guard must swap
+        # in a fresh connection (SQLite handles don't survive fork) and
+        # re-apply the serving pragmas on it.
+        backend._pid = -1
+        child_connection = backend._connection
+        assert child_connection is not parent_connection
+        assert self._pragma(backend, "journal_mode") == "wal"
+        assert self._pragma(backend, "busy_timeout") == 5000
+        assert backend.table_rows("movie") == expected
+        backend.close()
+
+    def test_memory_store_keeps_its_connection_across_pid_change(self):
+        backend = SQLiteBackend.from_database(build_mini_db())
+        connection = backend._connection
+        backend._pid = -1
+        # Reconnecting a :memory: store would open an *empty* database;
+        # the fork-copied connection is private to the child and correct.
+        assert backend._connection is connection
+
+    def test_concurrent_process_reads_same_wal_file(self, tmp_path):
+        import os as _os
+
+        path = str(tmp_path / "shared.db")
+        backend = SQLiteBackend.from_database(build_mini_db(), path=path)
+        expected = backend.attribute_scores("kubrick")
+        read_fd, write_fd = _os.pipe()
+        pid = _os.fork()
+        if pid == 0:
+            status = 1
+            try:
+                _os.close(read_fd)
+                child_scores = backend.attribute_scores("kubrick")
+                verdict = b"ok" if child_scores == expected else b"differs"
+                _os.write(write_fd, verdict)
+                _os.close(write_fd)
+                status = 0
+            finally:
+                _os._exit(status)
+        _os.close(write_fd)
+        verdict = _os.read(read_fd, 16)
+        _os.close(read_fd)
+        _, wait_status = _os.waitpid(pid, 0)
+        assert _os.waitstatus_to_exitcode(wait_status) == 0
+        assert verdict == b"ok"
+        # The parent's own connection is untouched by the child's reads.
+        assert backend.attribute_scores("kubrick") == expected
+        backend.close()
+
+
 class TestWrapperBinding:
     def test_wrapper_accepts_backend(self, mini_db):
         for name in BACKENDS:
