@@ -378,6 +378,111 @@ def _service_throughput(sc, repeats: int, columnar: bool) -> dict:
     return report
 
 
+#: Flake probability of the degraded-mode section's storage faults, and
+#: the seed that makes its schedule replayable across runs.
+DEGRADED_FLAKE_RATE = 0.10
+DEGRADED_FAULT_SEED = 17
+
+
+def _degraded_mode(sc, repeats: int, columnar: bool) -> dict:
+    """Service throughput under a 10% storage-flake rate (not gated).
+
+    One SQLite-backed engine (the ``storage.query`` fault point fires
+    inside its SQL read path), warmed over the workload, then stormed
+    twice per repeat: once healthy, once with a seeded ``FaultPlan``
+    flipping 10% of storage reads into transient
+    ``sqlite3.OperationalError``. The in-call retry absorbs most flakes;
+    a read that exhausts its retries falls through to the revision-stale
+    cache (primed by a healthy pass over every distinct query), so every
+    request is still answered. Everything here is recorded, never
+    gated — the section exists so the cost of running degraded shows up
+    in the BENCH history, not to fail CI on a slow runner.
+    """
+    import sqlite3
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro import faults
+    from repro.faults import FaultPlan
+    from repro.service import QuestService, ServiceSettings
+    from repro.storage.sqlite import SQLiteBackend
+
+    texts = [q.text for q in sc.workload]
+    backend = SQLiteBackend.from_database(sc.db)
+    engine = Quest(FullAccessWrapper(backend), _settings(True, columnar))
+    engine.search_many(texts)  # warm the emission/Steiner caches
+    jobs = [text for text in texts for _ in range(SERVICE_THREADS)]
+    service = QuestService(
+        engine,
+        ServiceSettings(
+            cache_results=False,
+            coalesce=False,
+            max_concurrent=SERVICE_THREADS,
+            max_queue=len(jobs),
+        ),
+    )
+    for text in texts:  # prime the revision-stale tier once per query
+        service.search(text)
+
+    def answered(text: str) -> str:
+        try:
+            response = service.search(text)
+        except Exception:
+            return "failed"
+        return "stale" if response.stale else "ok"
+
+    report: dict[str, object] = {
+        "cpus": os.cpu_count(),
+        "threads": SERVICE_THREADS,
+        "queries": len(texts),
+        "requests_per_run": len(jobs),
+        "flake_rate": DEGRADED_FLAKE_RATE,
+        "fault_seed": DEGRADED_FAULT_SEED,
+    }
+    medians: dict[str, float] = {}
+    for mode in ("healthy", "degraded"):
+        plan = None
+        if mode == "degraded":
+            plan = FaultPlan(seed=DEGRADED_FAULT_SEED).inject(
+                "storage.query",
+                kind="error",
+                rate=DEGRADED_FLAKE_RATE,
+                error=sqlite3.OperationalError,
+            )
+        before = service.metrics()
+        runs: list[float] = []
+        outcomes: list[str] = []
+        with faults.injected(plan) if plan is not None else _noop():
+            for _ in range(repeats):
+                with ThreadPoolExecutor(max_workers=SERVICE_THREADS) as pool:
+                    start = time.perf_counter()
+                    outcomes.extend(pool.map(answered, jobs))
+                    runs.append(time.perf_counter() - start)
+        after = service.metrics()
+        stats = _stats_of(runs)
+        medians[mode] = stats["median_s"]  # type: ignore[assignment]
+        entry: dict[str, object] = {
+            **stats,
+            "requests_per_second": len(jobs) / medians[mode],
+            "answered": outcomes.count("ok") + outcomes.count("stale"),
+            "failed": outcomes.count("failed"),
+            "stale_served": after.stale_served - before.stale_served,
+            "errors": after.errors - before.errors,
+        }
+        if plan is not None:
+            decisions = plan.decisions("storage.query")
+            entry["storage_reads"] = len(decisions)
+            entry["injected_faults"] = decisions.count("error")
+        report[mode] = entry
+    report["degraded_overhead"] = medians["degraded"] / medians["healthy"]
+    return report
+
+
+def _noop():
+    import contextlib
+
+    return contextlib.nullcontext()
+
+
 #: Client threads and forked workers of the serving storm.
 STORM_CLIENTS = 8
 STORM_WORKERS = 2
@@ -672,6 +777,8 @@ def run_suite(
     batch = _batch_throughput(sc, repeats, columnar)
     print("-- measuring service throughput ...", flush=True)
     service = _service_throughput(sc, repeats, columnar)
+    print("-- measuring degraded mode (10% storage flakes) ...", flush=True)
+    degraded = _degraded_mode(sc, repeats, columnar)
     print("-- measuring serving storm (preforked HTTP tier) ...", flush=True)
     if index_cache is None:
         with tempfile.TemporaryDirectory() as scratch:
@@ -694,6 +801,7 @@ def run_suite(
         "index": index,
         "batch_throughput": batch,
         "service_throughput": service,
+        "degraded_mode": degraded,
         "serving_storm": serving,
     }
 
@@ -984,6 +1092,17 @@ def main(argv: list[str] | None = None) -> int:
         "baseline without touching its other entries",
     )
     parser.add_argument(
+        "--degraded-only",
+        action="store_true",
+        help="measure only the degraded_mode section (CI chaos smoke): "
+        "service throughput under a seeded 10%% storage-flake rate, with "
+        "retries absorbing single flakes and the revision-stale tier "
+        "answering double-flakes; recorded, not gated — the only failure "
+        "is a request that goes unanswered; with --update-baseline the "
+        "section is merged into the committed baseline without touching "
+        "its other entries",
+    )
+    parser.add_argument(
         "--backward-only",
         action="store_true",
         help="CI smoke of the backward stage alone: one cold-search pass "
@@ -1057,6 +1176,40 @@ def main(argv: list[str] | None = None) -> int:
                 json.dumps(baseline, indent=2, sort_keys=True) + "\n"
             )
             print(f"merged serving_storm into {args.baseline}")
+        return 0
+
+    if args.degraded_only:
+        degraded = _degraded_mode(scenario("mondial"), repeats, not args.no_columnar)
+        print(json.dumps(degraded, indent=2, sort_keys=True))
+        flaky = degraded["degraded"]
+        print(
+            f"degraded mode: {flaky['requests_per_second']:.1f} req/s at a "
+            f"{degraded['flake_rate']:.0%} flake rate "
+            f"({flaky['injected_faults']} faults over "
+            f"{flaky['storage_reads']} reads, "
+            f"{flaky['stale_served']} stale answers), "
+            f"{degraded['degraded_overhead']:.2f}x the healthy pass"
+        )
+        # The one hard claim: degradation never loses a request — every
+        # storm request was answered (fresh or revision-stale).
+        unanswered = degraded["healthy"]["failed"] + flaky["failed"]
+        if unanswered:
+            print(f"ERROR: {unanswered} storm requests went unanswered")
+            return 1
+        if args.update_baseline:
+            # Merge only this section into the committed baseline — the
+            # other entries were measured on a different run and must
+            # not be silently replaced.
+            baseline = (
+                json.loads(args.baseline.read_text())
+                if args.baseline.exists()
+                else {}
+            )
+            baseline["degraded_mode"] = degraded
+            args.baseline.write_text(
+                json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"merged degraded_mode into {args.baseline}")
         return 0
 
     if args.backward_only:

@@ -8,7 +8,7 @@ answer keyword queries over a tiny JSON-over-HTTP protocol::
     GET /search?q=ruritania+rivers&k=5   # ranked explanations
     GET /metrics                         # service + quota counters
     GET /healthz                         # liveness
-    GET /readyz                          # readiness (503 while draining)
+    GET /readyz                          # readiness: ok | degraded | unhealthy
 
 Per-tenant admission quotas ride on the ``X-Quest-Tenant`` header: a
 tenant that exhausts its own slots gets 429 + Retry-After while other
@@ -81,6 +81,12 @@ def demo(server: PreforkServer) -> None:
             f"Worker {metrics.get('pid')} metrics: "
             f"{service.get('requests')} requests, "
             f"p95 {1e3 * (service.get('p95_latency_s') or 0):.1f}ms"
+        )
+        status, ready = fetch_json("127.0.0.1", server.port, "/readyz")
+        reasons = ready.get("reasons") or []
+        print(
+            f"Readiness: {ready.get('status')} (HTTP {status})"
+            + (f" — {'; '.join(reasons)}" if reasons else "")
         )
     print("Fleet drained.")
 

@@ -46,6 +46,7 @@ from repro.db.query import SelectQuery
 from repro.errors import QuestError
 from repro.forksafe import register_lock_holder
 from repro.hmm.apriori import AprioriWeights, build_apriori_model
+from repro.resilience import Deadline
 from repro.hmm.model import HiddenMarkovModel
 from repro.hmm.states import StateSpace
 from repro.hmm.viterbi import list_viterbi
@@ -306,6 +307,7 @@ class Quest:
         query: str | None = None,
         keywords: Sequence[str] | None = None,
         k: int | None = None,
+        deadline: "Deadline | None" = None,
     ) -> "SearchContext":
         """Answer one query, returning its full :class:`SearchContext`.
 
@@ -316,8 +318,21 @@ class Quest:
         threads may call this on one shared engine; the deprecated
         :attr:`last_trace` mirror is still refreshed (under a lock) for
         old single-threaded callers.
+
+        *deadline* (or, when absent, ``settings.default_deadline_ms``)
+        bounds the run: stages degrade cooperatively to best-so-far
+        answers with ``trace.degraded`` set, or raise
+        :class:`~repro.errors.DeadlineExceededError` when the budget dies
+        before anything salvageable exists.
         """
-        context = self.pipeline.run(self, query=query, keywords=keywords, k=k)
+        if deadline is None:
+            deadline = Deadline.from_ms(self.settings.default_deadline_ms)
+        # The kwarg is passed only when a budget exists, so pipeline
+        # stand-ins predating deadlines keep working unbounded.
+        extra = {} if deadline is None else {"deadline": deadline}
+        context = self.pipeline.run(
+            self, query=query, keywords=keywords, k=k, **extra
+        )
         self._publish_trace(context.trace)
         return context
 

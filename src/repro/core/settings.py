@@ -96,6 +96,13 @@ class QuestSettings:
             of a rebuild. Consumed by the serving tier's engine
             factories (:mod:`repro.service.prefork`); in-process engines
             that never load artifacts ignore it.
+        default_deadline_ms: per-request time budget applied when the
+            caller supplies none (HTTP requests without an
+            ``X-Quest-Deadline-Ms`` header, direct ``QuestService.search``
+            calls). ``None`` (the default) means unbounded. On expiry the
+            pipeline returns best-so-far results with ``trace.degraded``
+            set, or raises :class:`repro.errors.DeadlineExceededError`
+            (HTTP 504) when nothing salvageable exists yet.
         batch_workers: process-pool width for ``search_many`` batch
             fan-out. ``1`` (the default) runs queries sequentially in
             process; ``N > 1`` forks N workers for CPU-bound multi-query
@@ -128,6 +135,7 @@ class QuestSettings:
     steiner_plan_cache: bool = True
     sql_pushdown: bool = True
     artifact_mmap: bool = True
+    default_deadline_ms: float | None = None
     batch_workers: int = 1
 
     @classmethod
@@ -167,6 +175,10 @@ class QuestSettings:
             raise QuestError("at least one forward operating mode must be enabled")
         if self.min_explanation_results < 0:
             raise QuestError("min_explanation_results must be non-negative")
+        if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
+            raise QuestError(
+                f"default_deadline_ms must be positive, got {self.default_deadline_ms}"
+            )
         if self.batch_workers <= 0:
             raise QuestError(
                 f"batch_workers must be positive, got {self.batch_workers}"

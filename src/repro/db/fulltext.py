@@ -50,10 +50,12 @@ immutability contract, and bit-identical to a materialised load.
 
 from __future__ import annotations
 
+import itertools
 import json
 import math
 import re
 import threading
+import time
 import zipfile
 import zlib
 from collections import Counter, defaultdict
@@ -63,10 +65,12 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import faults
 from repro.db.database import Database
 from repro.db.schema import ColumnRef
 from repro.errors import IndexArtifactError
 from repro.forksafe import register_lock_holder
+from repro.resilience import RetryPolicy
 
 __all__ = ["ColumnarPostings", "FullTextIndex", "tokenize_value"]
 
@@ -873,6 +877,7 @@ class FullTextIndex:
         schema, different field set, or a mutation-counter / row-count
         mismatch (the database moved since the artifact was written).
         """
+        faults.fire("artifact.load")
         header, arrays = _read_artifact(path, mmap=mmap)
         if header.get("format") != _ARTIFACT_FORMAT:
             raise IndexArtifactError(
@@ -952,11 +957,19 @@ class FullTextIndex:
         """
         artifact = Path(path)
         stale: IndexArtifactError | None = None
-        if artifact.exists():
-            try:
-                return cls.load(artifact, db, columnar=columnar, mmap=mmap)
-            except IndexArtifactError as exc:
-                stale = exc
+        # Read-only openers retry briefly: an unreadable artifact can be a
+        # sibling process mid-rewrite, which resolves itself in tens of
+        # milliseconds — jittered-exponential so racing workers decorrelate.
+        schedule = RetryPolicy(attempts=3, base_delay_s=0.05, max_delay_s=0.2)
+        for delay in itertools.chain(schedule.delays(), (None,)):
+            if artifact.exists():
+                try:
+                    return cls.load(artifact, db, columnar=columnar, mmap=mmap)
+                except IndexArtifactError as exc:
+                    stale = exc
+            if not readonly or delay is None:
+                break
+            time.sleep(delay)
         if readonly:
             raise IndexArtifactError(
                 f"index artifact {artifact} unusable in read-only mode "
@@ -966,7 +979,12 @@ class FullTextIndex:
         index.warm()
         index.save(artifact)
         if mmap:
-            return cls.load(artifact, db, columnar=columnar, mmap=True)
+            try:
+                return cls.load(artifact, db, columnar=columnar, mmap=True)
+            except IndexArtifactError:
+                # A racing writer replaced the file between our save and
+                # re-open; the in-heap build we just made is still correct.
+                return index
         return index
 
     def __repr__(self) -> str:

@@ -106,6 +106,52 @@ class QuotaExceededError(ServiceError):
         self.limit = limit
 
 
+class DeadlineExceededError(QuestError):
+    """A request exhausted its time budget before producing any answer.
+
+    Raised on the search path when a per-request deadline (the
+    ``X-Quest-Deadline-Ms`` header or ``QuestSettings.default_deadline_ms``)
+    expires while nothing salvageable has been computed yet. When partial
+    results *do* exist at expiry, the pipeline returns them with
+    ``trace.degraded`` set instead of raising — this error means the
+    caller gets nothing, and the HTTP tier maps it to 504.
+    """
+
+    def __init__(self, budget_ms: float | None = None) -> None:
+        detail = "" if budget_ms is None else f" ({budget_ms:.0f}ms budget)"
+        super().__init__(f"request deadline exceeded{detail}")
+        self.budget_ms = budget_ms
+
+
+class CircuitOpenError(QuestError):
+    """A circuit breaker refused a call because its circuit is open.
+
+    Raised by :class:`repro.resilience.CircuitBreaker` guarded call sites
+    while the breaker is shedding load after repeated failures. Optional
+    fast paths (SQL pushdown) treat it as "take the in-process route";
+    the serving tier treats it like a storage failure and falls back to
+    revision-stale cache entries.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"circuit {name!r} is open")
+        self.name = name
+
+
+class FaultInjectedError(QuestError):
+    """An error deliberately raised by the fault-injection harness.
+
+    Only ever raised when a :class:`repro.faults.FaultPlan` is installed —
+    production code paths never construct it themselves. Chaos tests that
+    need a *specific* exception type (e.g. ``sqlite3.OperationalError``)
+    configure the plan with that type instead.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"injected fault at {point!r}")
+        self.point = point
+
+
 class IndexArtifactError(QuestError):
     """A persisted index artifact is unreadable or stale.
 

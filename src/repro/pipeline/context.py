@@ -22,6 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover - hints only
     from repro.core.configuration import Configuration
     from repro.core.explanation import Explanation
     from repro.core.interpretation import Interpretation
+    from repro.resilience import Deadline
 
 __all__ = ["SearchContext", "SearchTrace", "StageReport"]
 
@@ -53,6 +54,11 @@ class SearchTrace:
             rows and singleton distance rows) hits/misses during this run.
         notes: free-form engine decisions recorded for this run (e.g. the
             batch fan-out degrading to sequential on a single-CPU host).
+        degraded: the run was served on a degraded path — its deadline
+            expired mid-pipeline (best-so-far results were returned
+            instead of running to completion) or a fallback route was
+            taken. Why is always recorded in ``notes``. Degraded results
+            are never published to the serving tier's result cache.
 
     The cache deltas are *exact per run*: the pipeline installs a
     context-local :class:`~repro.cache.CacheRecorder` around its stages,
@@ -70,6 +76,7 @@ class SearchTrace:
     steiner_cache: CacheStats = field(default_factory=CacheStats)
     steiner_subset_cache: CacheStats = field(default_factory=CacheStats)
     notes: list[str] = field(default_factory=list)
+    degraded: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -112,6 +119,9 @@ class SearchContext:
         interpretations: backward-stage output.
         ranked: combine-stage output (re-scored interpretations).
         explanations: explain-stage output — the final answers.
+        deadline: the request's time budget (``None`` = unbounded). Each
+            stage checks remaining budget and degrades cooperatively —
+            see :mod:`repro.resilience.deadline`.
         trace: per-stage diagnostics for this run.
         error: the failure that aborted the run, when batch callers opt
             into collecting errors instead of raising.
@@ -128,12 +138,19 @@ class SearchContext:
     interpretations: list["Interpretation"] = field(default_factory=list)
     ranked: list["Interpretation"] = field(default_factory=list)
     explanations: list["Explanation"] = field(default_factory=list)
+    deadline: "Deadline | None" = None
     trace: SearchTrace = field(default_factory=lambda: SearchTrace(query=""))
     error: Exception | None = None
 
     @classmethod
     def for_query(
-        cls, query: str | None, keywords: list[str], k: int, pool: int, tree_k: int
+        cls,
+        query: str | None,
+        keywords: list[str],
+        k: int,
+        pool: int,
+        tree_k: int,
+        deadline: "Deadline | None" = None,
     ) -> "SearchContext":
         """A context primed for a full pipeline run."""
         text = query if query is not None else " ".join(keywords)
@@ -144,5 +161,12 @@ class SearchContext:
             pool=pool,
             tree_k=tree_k,
             limit=k,
+            deadline=deadline,
             trace=SearchTrace(query=text, keywords=tuple(keywords)),
         )
+
+    def mark_degraded(self, note: str) -> None:
+        """Flag this run as degraded, recording *note* once in the trace."""
+        self.trace.degraded = True
+        if note not in self.trace.notes:
+            self.trace.notes.append(note)

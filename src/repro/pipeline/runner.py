@@ -23,7 +23,7 @@ import time
 from typing import TYPE_CHECKING, Sequence
 
 from repro.cache import CacheRecorder, CacheStats, recording
-from repro.errors import QuestError
+from repro.errors import DeadlineExceededError, QuestError
 from repro.pipeline.context import SearchContext, SearchTrace, StageReport
 from repro.pipeline.stages import (
     BackwardStage,
@@ -38,6 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - hints only
     from repro.core.engine import Quest
     from repro.core.explanation import Explanation
     from repro.core.interpretation import Interpretation
+    from repro.resilience import Deadline
 
 __all__ = ["SearchPipeline"]
 
@@ -76,12 +77,16 @@ class SearchPipeline:
         query: str | None = None,
         keywords: Sequence[str] | None = None,
         k: int | None = None,
+        deadline: "Deadline | None" = None,
     ) -> SearchContext:
         """Drive one query through every stage and return its context.
 
         Either *query* (tokenised here) or pre-tokenised *keywords* must be
         given; passing keywords lets batch callers (multi-source search)
-        tokenise once and fan out.
+        tokenise once and fan out. *deadline* bounds the run: stages
+        degrade cooperatively and the trace comes back with
+        ``degraded=True``, or :class:`DeadlineExceededError` is raised
+        when the budget dies before anything salvageable exists.
         """
         settings = engine.settings
         k = k or settings.k
@@ -97,6 +102,7 @@ class SearchPipeline:
             k=k,
             pool=k * settings.candidate_factor,
             tree_k=settings.k,
+            deadline=deadline,
         )
         self.execute(engine, context)
         return context
@@ -117,6 +123,7 @@ class SearchPipeline:
         recorder = CacheRecorder()
         with recording(recorder):
             for stage in self.stages:
+                self._check_deadline(context)
                 start = time.perf_counter()
                 stage.run(engine, context)
                 context.trace.stages.append(
@@ -153,6 +160,28 @@ class SearchPipeline:
             maxsize=subset_now.maxsize,
         )
         return context
+
+    @staticmethod
+    def _check_deadline(context: SearchContext) -> None:
+        """The between-stages deadline backstop.
+
+        Stages also check cooperatively *inside* their loops; this catch
+        guards the seams. An expired budget with nothing salvageable yet
+        (no interpretations and no explanations — the combine/explain
+        stages could not produce an answer from what exists) aborts with
+        :class:`DeadlineExceededError`; with salvageable products the run
+        continues degraded so the remaining cheap stages can turn them
+        into best-effort answers.
+        """
+        deadline = context.deadline
+        if deadline is None or not deadline.expired():
+            return
+        if not (context.interpretations or context.explanations):
+            raise DeadlineExceededError(deadline.budget_ms)
+        context.mark_degraded(
+            f"deadline: budget {deadline.budget_ms:.0f}ms exhausted "
+            "mid-pipeline; serving best-so-far results"
+        )
 
     def run_many(
         self,

@@ -47,6 +47,24 @@ __all__ = [
 ]
 
 
+def _pushdown_allowed(context: SearchContext, backend: object) -> bool:
+    """Whether the backend's optional SQL pushdown surfaces may be used.
+
+    When the backend carries a circuit breaker and it refuses the call,
+    the stage transparently takes the in-process route instead — the
+    bit-identical fallback the parity flags guarantee — and records the
+    decision in the trace. The run is *not* marked degraded: answers are
+    unaffected, only the route changed.
+    """
+    breaker = getattr(backend, "breaker", None)
+    if breaker is None or breaker.allow():
+        return True
+    note = f"sql pushdown bypassed: circuit {breaker.name!r} {breaker.state}"
+    if note not in context.trace.notes:
+        context.trace.notes.append(note)
+    return False
+
+
 class PipelineStage(abc.ABC):
     """One step of the search pipeline."""
 
@@ -203,15 +221,30 @@ class BackwardStage(PipelineStage):
             settings.sql_pushdown
             and backend is not None
             and getattr(backend, "supports_graph_pushdown", False)
+            and _pushdown_allowed(context, backend)
         ):
             connected = self._prefilter_pushdown(engine, backend, terminal_sets)
         else:
             connected = [None] * len(configs)
 
+        deadline = context.deadline
         interpretations: list[Interpretation] = []
         for (configuration, terminals), is_connected in zip(configs, connected):
             if is_connected is False:
                 continue
+            if (
+                deadline is not None
+                and deadline.expired()
+                and interpretations
+            ):
+                # Budget died with join paths already in hand: stop
+                # enumerating further configurations and let the cheap
+                # combine/explain stages turn them into answers.
+                context.mark_degraded(
+                    f"deadline: backward stage stopped after "
+                    f"{len(interpretations)} interpretations"
+                )
+                break
             try:
                 trees = top_k_steiner_trees(
                     engine.schema_graph,
@@ -220,9 +253,16 @@ class BackwardStage(PipelineStage):
                     prune_supertrees=settings.prune_supertrees,
                     interned=settings.fast_steiner,
                     assume_connected=bool(is_connected),
+                    deadline=deadline,
                 )
             except SteinerError:
                 continue
+            if deadline is not None and deadline.expired() and trees:
+                # The enumeration itself was cut short: the trees are
+                # best-so-far, not the provably cheapest k.
+                context.mark_degraded(
+                    "deadline: steiner enumeration truncated mid-search"
+                )
             for tree in trees:
                 interpretations.append(
                     Interpretation(configuration, tree, tree_score(tree.weight))
@@ -438,10 +478,24 @@ class ExplainStage(PipelineStage):
             and probe_limit > 0
             and backend is not None
             and getattr(backend, "supports_count_pushdown", False)
+            and _pushdown_allowed(context, backend)
         )
+        deadline = context.deadline
         explanations: list[Explanation] = []
         seen_queries: set[tuple] = set()
         for interpretation in context.ranked:
+            if (
+                deadline is not None
+                and deadline.expired()
+                and explanations
+            ):
+                # Budget died with answers in hand: stop executing SQL
+                # for the remaining candidates and serve what exists.
+                context.mark_degraded(
+                    f"deadline: explain stage stopped after "
+                    f"{len(explanations)} explanations"
+                )
+                break
             query = build_query(engine.schema, interpretation)
             identity = query.signature()
             if identity in seen_queries:

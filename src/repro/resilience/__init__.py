@@ -1,0 +1,21 @@
+"""Resilience primitives: deadlines, circuit breakers, retries, health.
+
+The building blocks the serving and storage tiers compose into graceful
+degradation — see ARCHITECTURE.md "Resilience tier". Everything here is
+dependency-free (stdlib only) and injectable (clocks, RNG seeds) so
+chaos tests can drive each state machine deterministically.
+"""
+
+from repro.resilience.breaker import BreakerSettings, CircuitBreaker
+from repro.resilience.deadline import Deadline
+from repro.resilience.health import HealthRegistry, process_health
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "BreakerSettings",
+    "CircuitBreaker",
+    "Deadline",
+    "HealthRegistry",
+    "RetryPolicy",
+    "process_health",
+]

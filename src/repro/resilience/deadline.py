@@ -1,0 +1,67 @@
+"""Per-request time budgets, threaded through the search pipeline.
+
+A :class:`Deadline` is created once at the service edge (from the
+``X-Quest-Deadline-Ms`` header or ``QuestSettings.default_deadline_ms``)
+and carried down through ``QuestService`` → ``Quest.search_context`` →
+``SearchContext`` so every pipeline stage can ask one cheap question:
+*is there budget left?* Stages react cooperatively — the Steiner pop
+loop checks every few dozen pops and returns best-so-far trees, the
+explain stage stops executing SQL once at least one explanation exists —
+so a worker thread is never blocked much past the budget.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["Deadline"]
+
+
+class Deadline:
+    """A monotonic-clock expiry point with a remembered budget.
+
+    The clock is injectable so chaos tests can drive expiry
+    deterministically instead of sleeping.
+    """
+
+    __slots__ = ("budget_ms", "_clock", "_started", "_expires")
+
+    def __init__(
+        self, budget_ms: float, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        if budget_ms <= 0:
+            raise ValueError(f"deadline budget must be positive, got {budget_ms}")
+        self.budget_ms = float(budget_ms)
+        self._clock = clock
+        self._started = clock()
+        self._expires = self._started + budget_ms / 1e3
+
+    @classmethod
+    def from_ms(
+        cls,
+        budget_ms: float | None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Deadline | None":
+        """A deadline for *budget_ms*, or ``None`` for an unbounded request."""
+        if budget_ms is None:
+            return None
+        return cls(budget_ms, clock=clock)
+
+    def remaining_s(self) -> float:
+        """Seconds of budget left (clamped at zero)."""
+        return max(0.0, self._expires - self._clock())
+
+    def elapsed_ms(self) -> float:
+        """Milliseconds since the deadline was armed."""
+        return (self._clock() - self._started) * 1e3
+
+    def expired(self) -> bool:
+        """Whether the budget is exhausted."""
+        return self._clock() >= self._expires
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Deadline(budget_ms={self.budget_ms:.0f}, "
+            f"remaining_s={self.remaining_s():.3f})"
+        )

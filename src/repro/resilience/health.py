@@ -1,0 +1,53 @@
+"""Process-level degradation marks, surfaced through ``/readyz``.
+
+Anything that silently switches the process onto a slower-but-correct
+path (artifact corruption → dict-layout index fallback, persistent
+storage failures → stale-cache serving) records a named mark here; the
+HTTP tier folds the marks into the ``ok`` / ``degraded`` / ``unhealthy``
+readiness answer. Marks are per-process — forked serving workers each
+report their own state, so one worker running on a fallback index shows
+up without tainting its siblings.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["HealthRegistry", "process_health"]
+
+
+class HealthRegistry:
+    """Thread-safe named degradation marks for one process."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._marks: dict[str, str] = {}
+
+    def mark(self, reason: str, detail: str = "") -> None:
+        """Record (or refresh) one degradation mark."""
+        with self._lock:
+            self._marks[reason] = detail
+
+    def clear(self, reason: str) -> None:
+        """Drop one mark (the condition healed)."""
+        with self._lock:
+            self._marks.pop(reason, None)
+
+    def reset(self) -> None:
+        """Drop every mark (test isolation)."""
+        with self._lock:
+            self._marks.clear()
+
+    def degraded(self) -> bool:
+        """Whether any mark is active."""
+        with self._lock:
+            return bool(self._marks)
+
+    def reasons(self) -> dict[str, str]:
+        """A snapshot of the active marks (reason -> detail)."""
+        with self._lock:
+            return dict(self._marks)
+
+
+#: The per-process registry every tier reports into.
+process_health = HealthRegistry()

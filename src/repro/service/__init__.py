@@ -12,12 +12,29 @@ stdlib-asyncio HTTP front end over one service (with per-tenant
 those as supervised forked workers mmap-sharing one columnar index
 artifact. See :mod:`repro.service.http` and
 :mod:`repro.service.prefork`.
+
+Cutting across all three is the resilience tier
+(:mod:`repro.resilience`): per-request deadlines propagated down to the
+Steiner search (``X-Quest-Deadline-Ms`` → 504 or degraded best-so-far
+answers), a circuit breaker over SQLite that sheds only the optional
+pushdown surfaces (rankings stay bit-identical), revision-stale serving
+when storage fails outright, and jittered-exponential worker respawn
+backoff — all testable deterministically through :mod:`repro.faults`.
 """
 
 from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
     QuotaExceededError,
     ServiceError,
     ServiceOverloadedError,
+)
+from repro.resilience import (
+    BreakerSettings,
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+    process_health,
 )
 from repro.service.admission import AdmissionController
 from repro.service.http import HttpServerSettings, QuestHttpServer
@@ -34,6 +51,11 @@ from repro.service.singleflight import SingleFlight
 
 __all__ = [
     "AdmissionController",
+    "BreakerSettings",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Deadline",
+    "DeadlineExceededError",
     "HttpServerSettings",
     "MetricsSnapshot",
     "PreforkServer",
@@ -41,6 +63,7 @@ __all__ = [
     "QuestHttpServer",
     "QuestService",
     "QuotaExceededError",
+    "RetryPolicy",
     "ServiceError",
     "ServiceMetrics",
     "ServiceOverloadedError",
@@ -49,5 +72,6 @@ __all__ = [
     "SingleFlight",
     "TTLResultCache",
     "TenantQuotas",
+    "process_health",
     "shared_artifact_engine",
 ]

@@ -22,7 +22,14 @@ Error mapping follows the shedding semantics of the tiers underneath:
 a per-tenant quota refusal (:class:`QuotaExceededError`) is **429** with
 ``Retry-After`` — *you* should back off; a service-wide admission shed
 (:class:`ServiceOverloadedError`) is **503** with ``Retry-After`` — *we*
-are saturated; an unusable query is 400; everything else is 500.
+are saturated; an exhausted request budget
+(:class:`DeadlineExceededError`) is **504**; an unusable query is 400;
+everything else is 500. Every error body is a structured envelope —
+``{"error": {"code", "message", "request_id", ...}}`` — so clients and
+log pipelines key on stable codes, never on message prose. A request
+budget rides in on the ``X-Quest-Deadline-Ms`` header; degraded and
+revision-stale answers are flagged in the payload (stale ones also
+carry an RFC 7234 ``Warning`` header).
 
 The engine's ``search`` is CPU-bound Python, so the event loop never
 runs it: requests are handed to a thread pool sized to the service's
@@ -35,7 +42,9 @@ the preforked supervisor drives exactly this on SIGTERM.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
+import math
 import os
 import socket
 from concurrent.futures import ThreadPoolExecutor
@@ -44,6 +53,7 @@ from typing import Any, Callable, Mapping
 from urllib.parse import parse_qs, unquote, urlsplit
 
 from repro.errors import (
+    DeadlineExceededError,
     QuestError,
     QuotaExceededError,
     ServiceError,
@@ -65,6 +75,11 @@ _RETRY_AFTER_S = 1
 
 #: The header tenants identify themselves with (case-insensitive).
 TENANT_HEADER = "x-quest-tenant"
+#: The header carrying the caller's request budget in milliseconds.
+DEADLINE_HEADER = "x-quest-deadline-ms"
+#: ``Warning`` header value stamped on revision-stale answers (RFC 7234
+#: warn-code 110, "Response is Stale").
+_STALE_WARNING = '110 quest "stale result: storage degraded"'
 
 
 @dataclass(frozen=True)
@@ -105,6 +120,19 @@ class _Request:
 
 class _BadRequest(Exception):
     """The bytes on the wire were not a usable HTTP request."""
+
+
+def _error(
+    code: str, message: str, request_id: str, **extra: Any
+) -> dict[str, Any]:
+    """The structured error envelope every non-2xx body uses."""
+    envelope: dict[str, Any] = {
+        "code": code,
+        "message": message,
+        "request_id": request_id,
+    }
+    envelope.update(extra)
+    return {"error": envelope}
 
 
 def explanation_payload(explanations: tuple[Any, ...]) -> list[dict[str, Any]]:
@@ -173,6 +201,10 @@ class QuestHttpServer:
         self._idle.set()
         self._accepting = False
         self._ready = False
+        #: Monotone per-process counter behind request ids: correlating a
+        #: client-visible error envelope with a worker's logs needs both
+        #: the pid and a within-process ordinal.
+        self._request_ids = itertools.count()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -240,7 +272,10 @@ class QuestHttpServer:
                     break
                 except _BadRequest as exc:
                     await self._write_response(
-                        writer, 400, {"error": str(exc)}, close=True
+                        writer,
+                        400,
+                        _error("bad_request", str(exc), self._request_id()),
+                        close=True,
                     )
                     break
                 if request is None:
@@ -335,6 +370,7 @@ class QuestHttpServer:
             429: "Too Many Requests",
             500: "Internal Server Error",
             503: "Service Unavailable",
+            504: "Gateway Timeout",
         }
         body = json.dumps(payload).encode("utf-8")
         headers = [
@@ -350,27 +386,92 @@ class QuestHttpServer:
 
     # -- routing -------------------------------------------------------------
 
+    def _request_id(self) -> str:
+        return f"{os.getpid():x}-{next(self._request_ids):06x}"
+
     async def _dispatch(
         self, request: _Request
+    ) -> tuple[int, dict[str, Any], dict[str, str] | None]:
+        request_id = self._request_id()
+        try:
+            return await self._route(request, request_id)
+        except Exception as exc:
+            # The last-resort guard: a bug anywhere in a route handler
+            # becomes a structured 500 on a still-healthy keep-alive
+            # connection, never a dropped socket.
+            return (
+                500,
+                _error(
+                    "internal",
+                    f"{type(exc).__name__}: {exc}",
+                    request_id,
+                ),
+                None,
+            )
+
+    async def _route(
+        self, request: _Request, request_id: str
     ) -> tuple[int, dict[str, Any], dict[str, str] | None]:
         route = (request.method, request.path)
         if request.path == "/healthz":
             if request.method != "GET":
-                return 405, {"error": "method not allowed"}, None
-            return 200, {"status": "ok", "pid": os.getpid()}, None
+                return self._method_not_allowed(request_id)
+            # Liveness: the loop turns, so the process is alive — a
+            # degraded process is still a live one (200, state inside).
+            state = self._degradation()
+            status = "degraded" if state["degraded"] else "ok"
+            return 200, {"status": status, "pid": os.getpid()}, None
         if request.path == "/readyz":
             if request.method != "GET":
-                return 405, {"error": "method not allowed"}, None
-            if self._ready:
-                return 200, {"status": "ready", "pid": os.getpid()}, None
-            return 503, {"status": "draining", "pid": os.getpid()}, None
+                return self._method_not_allowed(request_id)
+            if not self._ready:
+                return (
+                    503,
+                    {
+                        "status": "unhealthy",
+                        "reasons": ["draining"],
+                        "pid": os.getpid(),
+                    },
+                    None,
+                )
+            state = self._degradation()
+            status = "degraded" if state["degraded"] else "ok"
+            return (
+                200,
+                {
+                    "status": status,
+                    "reasons": state["reasons"],
+                    "pid": os.getpid(),
+                },
+                None,
+            )
         if route == ("GET", "/metrics"):
             return 200, self._metrics_payload(), None
         if request.path == "/search":
             if request.method not in ("GET", "POST"):
-                return 405, {"error": "method not allowed"}, None
-            return await self._search(request)
-        return 404, {"error": f"no route for {request.path}"}, None
+                return self._method_not_allowed(request_id)
+            return await self._search(request, request_id)
+        return (
+            404,
+            _error("not_found", f"no route for {request.path}", request_id),
+            None,
+        )
+
+    @staticmethod
+    def _method_not_allowed(
+        request_id: str,
+    ) -> tuple[int, dict[str, Any], dict[str, str] | None]:
+        return (
+            405,
+            _error("method_not_allowed", "method not allowed", request_id),
+            None,
+        )
+
+    def _degradation(self) -> dict[str, Any]:
+        degradation = getattr(self.service, "degradation", None)
+        if degradation is None:  # a bare engine shim in tests
+            return {"degraded": False, "reasons": []}
+        return degradation()
 
     def _metrics_payload(self) -> dict[str, Any]:
         snapshot = self.service.metrics()
@@ -380,6 +481,7 @@ class QuestHttpServer:
                 field: getattr(snapshot, field)
                 for field in snapshot.__dataclass_fields__
             },
+            "degradation": self._degradation(),
         }
         if self.quotas is not None:
             payload["quota"] = {
@@ -392,41 +494,103 @@ class QuestHttpServer:
     # -- the search endpoint -------------------------------------------------
 
     async def _search(
-        self, request: _Request
+        self, request: _Request, request_id: str
     ) -> tuple[int, dict[str, Any], dict[str, str] | None]:
         try:
             query, k = self._search_arguments(request)
+            deadline_ms = self._deadline_argument(request)
         except _BadRequest as exc:
-            return 400, {"error": str(exc)}, None
+            return 400, _error("bad_request", str(exc), request_id), None
         tenant = request.headers.get(TENANT_HEADER) or None
         loop = asyncio.get_running_loop()
         retry = {"Retry-After": str(_RETRY_AFTER_S)}
         try:
             response = await loop.run_in_executor(
-                self._executor, self._search_blocking, tenant, query, k
+                self._executor,
+                self._search_blocking,
+                tenant,
+                query,
+                k,
+                deadline_ms,
             )
         except QuotaExceededError as exc:
-            return 429, {"error": str(exc), "tenant": exc.tenant}, retry
+            return (
+                429,
+                _error(
+                    "quota_exceeded", str(exc), request_id, tenant=exc.tenant
+                ),
+                retry,
+            )
         except ServiceOverloadedError as exc:
-            return 503, {"error": str(exc)}, retry
+            return 503, _error("overloaded", str(exc), request_id), retry
+        except DeadlineExceededError as exc:
+            return (
+                504,
+                _error(
+                    "deadline_exceeded",
+                    str(exc),
+                    request_id,
+                    budget_ms=exc.budget_ms,
+                ),
+                None,
+            )
         except QuestError as exc:
-            return 400, {"error": str(exc)}, None
+            return 400, _error("bad_request", str(exc), request_id), None
         except Exception as exc:  # pragma: no cover - engine bugs
-            return 500, {"error": f"{type(exc).__name__}: {exc}"}, None
-        return 200, self._search_payload(response), None
+            return (
+                500,
+                _error(
+                    "internal", f"{type(exc).__name__}: {exc}", request_id
+                ),
+                None,
+            )
+        extra = {"Warning": _STALE_WARNING} if response.stale else None
+        return 200, self._search_payload(response, request_id), extra
+
+    @staticmethod
+    def _deadline_argument(request: _Request) -> float | None:
+        raw = request.headers.get(DEADLINE_HEADER)
+        if raw is None:
+            return None
+        try:
+            deadline_ms = float(raw)
+        except ValueError as exc:
+            raise _BadRequest(
+                f"{DEADLINE_HEADER} must be a number of milliseconds, "
+                f"got {raw!r}"
+            ) from exc
+        if not math.isfinite(deadline_ms) or deadline_ms <= 0:
+            raise _BadRequest(
+                f"{DEADLINE_HEADER} must be a positive finite number of "
+                f"milliseconds, got {raw!r}"
+            )
+        return deadline_ms
 
     def _search_blocking(
-        self, tenant: str | None, query: str, k: int | None
+        self,
+        tenant: str | None,
+        query: str,
+        k: int | None,
+        deadline_ms: float | None,
     ) -> ServiceResponse:
         """The blocking slice, run on the executor: quota gate + search.
 
         The whole gate-and-search runs off the event loop so a tenant's
         queued requests block an executor thread, never the accept loop.
         """
+
+        def run() -> ServiceResponse:
+            # deadline_ms is forwarded only when the caller sent the
+            # header, so stand-in search callables with the plain
+            # ``(query, k=None)`` signature keep working.
+            if deadline_ms is not None:
+                return self.service.search(query, k=k, deadline_ms=deadline_ms)
+            return self.service.search(query, k=k)
+
         if self.quotas is not None:
             with self.quotas.admit(tenant):
-                return self.service.search(query, k=k)
-        return self.service.search(query, k=k)
+                return run()
+        return run()
 
     def _search_arguments(self, request: _Request) -> tuple[str, int | None]:
         query: str | None = None
@@ -459,13 +623,18 @@ class QuestHttpServer:
                 raise _BadRequest(f"k must be positive, got {k}")
         return query, k
 
-    def _search_payload(self, response: ServiceResponse) -> dict[str, Any]:
+    def _search_payload(
+        self, response: ServiceResponse, request_id: str
+    ) -> dict[str, Any]:
         return {
             "query": response.query,
             "keywords": list(response.keywords),
             "k": response.k,
             "source": response.source,
             "latency_s": response.latency_s,
+            "degraded": response.degraded,
+            "stale": response.stale,
+            "request_id": request_id,
             "pid": os.getpid(),
             "results": explanation_payload(response.explanations),
         }

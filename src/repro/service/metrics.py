@@ -45,6 +45,12 @@ class MetricsSnapshot:
         shed: admission-control refusals — one per refused computation
             (coalesced followers of a shed leader share its one count).
         errors: searches that raised (engine failures, not sheds).
+        deadline_expired: searches aborted by their time budget with
+            nothing salvageable (the HTTP tier's 504s).
+        degraded: searches answered on a degraded path — best-so-far
+            results after deadline expiry (``trace.degraded``).
+        stale_served: searches answered from the revision-stale fallback
+            cache because the engine's storage was failing.
         in_flight: requests currently admitted (executing or queued).
         coalesce_waiting: followers currently parked behind an in-flight
             leader — hot-key backlog that never enters the admission
@@ -63,6 +69,9 @@ class MetricsSnapshot:
     cache_misses: int = 0
     shed: int = 0
     errors: int = 0
+    deadline_expired: int = 0
+    degraded: int = 0
+    stale_served: int = 0
     in_flight: int = 0
     coalesce_waiting: int = 0
     qps: float = 0.0
@@ -98,6 +107,9 @@ class ServiceMetrics:
         self._cache_misses = 0
         self._shed = 0
         self._errors = 0
+        self._deadline_expired = 0
+        self._degraded = 0
+        self._stale_served = 0
         #: (completion timestamp, latency seconds), bounded.
         self._latencies: deque[tuple[float, float]] = deque(maxlen=window)
 
@@ -112,6 +124,18 @@ class ServiceMetrics:
     def record_error(self) -> None:
         with self._lock:
             self._errors += 1
+
+    def record_deadline_expired(self) -> None:
+        with self._lock:
+            self._deadline_expired += 1
+
+    def record_degraded(self) -> None:
+        with self._lock:
+            self._degraded += 1
+
+    def record_stale_served(self) -> None:
+        with self._lock:
+            self._stale_served += 1
 
     def record_completion(
         self,
@@ -165,6 +189,9 @@ class ServiceMetrics:
                 cache_misses=self._cache_misses,
                 shed=self._shed,
                 errors=self._errors,
+                deadline_expired=self._deadline_expired,
+                degraded=self._degraded,
+                stale_served=self._stale_served,
                 in_flight=in_flight,
                 coalesce_waiting=coalesce_waiting,
                 qps=qps,

@@ -32,9 +32,22 @@ The accept model, in order of events:
    which each worker turns into a graceful drain — stop accepting,
    finish in-flight requests, exit 0.
 
+Respawns are paced, not immediate: a slot that keeps dying waits out a
+jittered exponential backoff (``restart_backoff_s`` doubling up to
+``restart_backoff_max_s``) before its replacement forks, so a worker
+that crashes on startup burns its restart budget over seconds rather
+than milliseconds — and a worker that stayed up ``healthy_interval_s``
+resets both its slot's backoff and the fleet-wide budget, so one bad
+deploy followed by a fix does not leave the supervisor primed to give
+up on the next transient crash.
+
 Only the parent ever writes the artifact; workers open it read-only
 (``load_or_build(..., readonly=True)``), so a crashed-and-restarted
-worker can never race a sibling through the file.
+worker can never race a sibling through the file. A worker that cannot
+use the artifact at all (corrupt or replaced mid-read) falls back to
+building a dict-layout index in-process — slower to start, but
+rank-identical — and marks itself degraded in
+:data:`~repro.resilience.health.process_health`.
 """
 
 from __future__ import annotations
@@ -42,6 +55,7 @@ from __future__ import annotations
 import http.client
 import json
 import os
+import random
 import signal
 import socket
 import threading
@@ -50,7 +64,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
 
+from repro import faults
 from repro.errors import ServiceError
+from repro.resilience import process_health
 from repro.service.http import HttpServerSettings, QuestHttpServer
 from repro.service.quota import TenantQuotas
 from repro.service.service import QuestService, ServiceSettings
@@ -82,6 +98,14 @@ class PreforkSettings:
             before escalating to SIGKILL.
         max_restarts: worker deaths the supervisor will absorb (fork a
             replacement) before declaring the deployment failed.
+        restart_backoff_s: base respawn delay for a slot's first crash;
+            doubles per consecutive crash of the same slot.
+        restart_backoff_max_s: respawn delay ceiling per slot.
+        healthy_interval_s: a worker that lived this long before dying
+            resets its slot's backoff *and* the fleet-wide restart
+            budget — only crash *storms* should exhaust ``max_restarts``.
+        backoff_seed: seed for the respawn jitter (``None`` = entropy);
+            fixed in tests so restart schedules replay exactly.
     """
 
     workers: int = 2
@@ -92,6 +116,10 @@ class PreforkSettings:
     drain_timeout_s: float = 10.0
     stop_timeout_s: float = 15.0
     max_restarts: int = 8
+    restart_backoff_s: float = 0.1
+    restart_backoff_max_s: float = 5.0
+    healthy_interval_s: float = 30.0
+    backoff_seed: int | None = None
 
     def __post_init__(self) -> None:
         if self.workers <= 0:
@@ -99,6 +127,19 @@ class PreforkSettings:
         if self.max_restarts < 0:
             raise ServiceError(
                 f"max_restarts must be non-negative, got {self.max_restarts}"
+            )
+        if self.restart_backoff_s <= 0:
+            raise ServiceError(
+                f"restart_backoff_s must be positive, got {self.restart_backoff_s}"
+            )
+        if self.restart_backoff_max_s < self.restart_backoff_s:
+            raise ServiceError(
+                "restart_backoff_max_s must be >= restart_backoff_s, got "
+                f"{self.restart_backoff_max_s} < {self.restart_backoff_s}"
+            )
+        if self.healthy_interval_s <= 0:
+            raise ServiceError(
+                f"healthy_interval_s must be positive, got {self.healthy_interval_s}"
             )
 
 
@@ -129,12 +170,26 @@ def shared_artifact_engine(
         FullTextIndex.load_or_build(artifact_path, db)
 
     def factory() -> Any:
-        index = FullTextIndex.load_or_build(
-            artifact_path,
-            db,
-            mmap=engine_settings.artifact_mmap,
-            readonly=True,
-        )
+        try:
+            index = FullTextIndex.load_or_build(
+                artifact_path,
+                db,
+                mmap=engine_settings.artifact_mmap,
+                readonly=True,
+            )
+        except Exception as exc:
+            # Degraded-but-correct: a corrupt (or mid-replacement)
+            # artifact must not keep the worker down. The dict-layout
+            # index is built from the same database, so rankings are
+            # bit-identical — only startup cost and per-query constants
+            # change. The mark surfaces through /readyz.
+            process_health.mark(
+                "index-artifact-fallback",
+                f"columnar artifact unusable ({exc}); "
+                "serving from an in-process dict-layout index",
+            )
+            index = FullTextIndex(db, columnar=False)
+            index.warm()
         backend = MemoryBackend(db, fulltext=index)
         return Quest(FullAccessWrapper(backend), engine_settings)
 
@@ -175,6 +230,13 @@ class PreforkServer:
         self._state_lock = threading.Lock()
         #: pid -> worker slot index, for every live worker.
         self._children: dict[int, int] = {}
+        #: pid -> monotonic fork time, for healthy-interval accounting.
+        self._spawn_times: dict[int, float] = {}
+        #: slot -> consecutive crashes (cleared by a healthy lifetime).
+        self._crash_streak: dict[int, int] = {}
+        #: slot -> monotonic respawn-at time for slots waiting out backoff.
+        self._pending: dict[int, float] = {}
+        self._backoff_rng = random.Random(self.settings.backoff_seed)
         self._restarts = 0
         self._stopping = False
         self._failed = False
@@ -333,6 +395,19 @@ class PreforkServer:
                 os._exit(code)
         with self._state_lock:
             self._children[pid] = slot
+            self._spawn_times[pid] = time.monotonic()
+
+    def _respawn_delay(self, streak: int) -> float:
+        """Equal-jitter exponential backoff for the *streak*-th crash.
+
+        Jitter decorrelates slots: two workers killed by the same event
+        must not refork (and re-crash) in lockstep forever.
+        """
+        capped = min(
+            self.settings.restart_backoff_max_s,
+            self.settings.restart_backoff_s * (2.0**streak),
+        )
+        return capped / 2.0 + self._backoff_rng.random() * capped / 2.0
 
     def _supervise(self) -> None:
         """Reap dead workers; replace them while the budget allows.
@@ -340,12 +415,18 @@ class PreforkServer:
         Polls each known worker pid individually — a ``waitpid(-1)``
         would steal exit notifications from unrelated children of this
         process (the batch tier's process pools live in the same
-        parent).
+        parent). Replacements respect the per-slot backoff schedule:
+        a reaped slot is queued with a respawn time and forked only
+        once that time passes.
         """
         while True:
             with self._state_lock:
                 pids = list(self._children)
-                if not pids and (self._stopping or self._failed):
+                if (
+                    not pids
+                    and not self._pending
+                    and (self._stopping or self._failed)
+                ):
                     return
             for pid in pids:
                 try:
@@ -355,17 +436,46 @@ class PreforkServer:
                     status = 0
                 if reaped == 0:
                     continue
+                now = time.monotonic()
                 with self._state_lock:
                     slot = self._children.pop(pid, None)
+                    born = self._spawn_times.pop(pid, None)
                     stopping = self._stopping
                     if slot is not None and not stopping:
+                        healthy = (
+                            born is not None
+                            and now - born >= self.settings.healthy_interval_s
+                        )
+                        if healthy:
+                            # A long-lived worker dying is churn, not a
+                            # storm: forgive the slot and the fleet.
+                            self._crash_streak.pop(slot, None)
+                            self._restarts = 0
+                        streak = self._crash_streak.get(slot, 0)
+                        self._crash_streak[slot] = streak + 1
                         self._restarts += 1
                         if self._restarts > self.settings.max_restarts:
                             self._failed = True
                             self._stopping = True
                             stopping = True
-                if slot is not None and not stopping:
-                    self._spawn(slot)
+                        else:
+                            self._pending[slot] = now + self._respawn_delay(
+                                streak
+                            )
+            # Fork replacements whose backoff has elapsed.
+            now = time.monotonic()
+            with self._state_lock:
+                if self._stopping or self._failed:
+                    self._pending.clear()
+                due = [
+                    slot
+                    for slot, respawn_at in self._pending.items()
+                    if respawn_at <= now
+                ]
+                for slot in due:
+                    del self._pending[slot]
+            for slot in due:
+                self._spawn(slot)
             time.sleep(_SUPERVISE_POLL_S)
 
     # -- the worker ----------------------------------------------------------
@@ -389,6 +499,9 @@ class PreforkServer:
         import asyncio
 
         try:
+            # Chaos hook: an installed FaultPlan (inherited across the
+            # fork) can delay, fail or crash worker startup here.
+            faults.fire("worker.start")
             engine = self._engine_factory()
         except Exception as exc:
             print(f"quest-serve worker {os.getpid()}: engine build failed: {exc}")

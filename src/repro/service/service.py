@@ -29,11 +29,19 @@ engine runs, never what it returns.
 
 from __future__ import annotations
 
+import inspect
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.errors import QuestError, ServiceOverloadedError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ExecutionError,
+    QuestError,
+    ServiceOverloadedError,
+)
+from repro.resilience import Deadline, process_health
 from repro.semantics.tokenize import tokenize_query
 from repro.service.admission import AdmissionController
 from repro.service.metrics import DEFAULT_WINDOW, MetricsSnapshot, ServiceMetrics
@@ -67,6 +75,14 @@ class ServiceSettings:
         result_ttl_s: seconds a cached ranking stays servable.
         result_cache_size: rankings retained (LRU beyond that).
         metrics_window: completed requests kept for quantiles/QPS.
+        serve_stale: when the engine fails on a *storage* error
+            (:class:`ExecutionError`, :class:`CircuitOpenError`), answer
+            from the long-TTL stale cache — rankings from an earlier
+            engine revision — instead of failing the request. Stale
+            responses carry ``source="stale"`` (the HTTP tier adds a
+            ``Warning`` header) and count in ``metrics().stale_served``.
+        stale_ttl_s: seconds a ranking stays eligible for stale serving.
+        stale_cache_size: stale rankings retained (LRU beyond that).
     """
 
     k: int | None = None
@@ -77,6 +93,9 @@ class ServiceSettings:
     result_ttl_s: float = 30.0
     result_cache_size: int = 256
     metrics_window: int = DEFAULT_WINDOW
+    serve_stale: bool = True
+    stale_ttl_s: float = 300.0
+    stale_cache_size: int = 256
 
     def __post_init__(self) -> None:
         if self.k is not None and self.k <= 0:
@@ -101,6 +120,14 @@ class ServiceSettings:
             raise QuestError(
                 f"metrics_window must be positive, got {self.metrics_window}"
             )
+        if self.stale_ttl_s <= 0:
+            raise QuestError(
+                f"stale_ttl_s must be positive, got {self.stale_ttl_s}"
+            )
+        if self.stale_cache_size <= 0:
+            raise QuestError(
+                f"stale_cache_size must be positive, got {self.stale_cache_size}"
+            )
 
 
 @dataclass(frozen=True)
@@ -119,8 +146,10 @@ class ServiceResponse:
             ``None`` for multi-source engines, which have no single
             trace.
         source: ``"engine"`` (this request ran the pipeline),
-            ``"coalesced"`` (joined another request's run) or
-            ``"cache"`` (TTL result cache).
+            ``"coalesced"`` (joined another request's run),
+            ``"cache"`` (TTL result cache) or ``"stale"`` (the
+            revision-stale fallback cache, served because the engine's
+            storage was failing).
         latency_s: wall time this request spent in the service.
     """
 
@@ -139,6 +168,16 @@ class ServiceResponse:
     @property
     def coalesced(self) -> bool:
         return self.source == "coalesced"
+
+    @property
+    def stale(self) -> bool:
+        return self.source == "stale"
+
+    @property
+    def degraded(self) -> bool:
+        """Served on a degraded path: stale fallback, or a pipeline run
+        whose deadline expired mid-flight (best-so-far answers)."""
+        return self.stale or (self.trace is not None and self.trace.degraded)
 
 
 @dataclass(frozen=True)
@@ -183,10 +222,26 @@ class QuestService:
             window=self.settings.metrics_window, clock=clock
         )
         self._clock = clock
+        #: Long-TTL fallback rankings keyed on (keywords, k) — the engine
+        #: version is deliberately absent: when live storage is failing,
+        #: an answer from an earlier revision beats no answer.
+        self._stale = TTLResultCache(
+            maxsize=self.settings.stale_cache_size,
+            ttl=self.settings.stale_ttl_s,
+            clock=clock,
+        )
+        #: When the stale tier last had to answer (degradation signal).
+        self._last_stale_at: float | None = None
+        search_context = getattr(engine, "search_context", None)
+        self._engine_takes_deadline = search_context is not None and (
+            "deadline" in inspect.signature(search_context).parameters
+        )
 
     # -- the front door ------------------------------------------------------
 
-    def search(self, query: str, k: int | None = None) -> ServiceResponse:
+    def search(
+        self, query: str, k: int | None = None, deadline_ms: float | None = None
+    ) -> ServiceResponse:
         """Answer one query through the serving tiers.
 
         Thread-safe; any number of callers may be in flight. Raises
@@ -194,12 +249,27 @@ class QuestService:
         request (also for followers whose leader was shed — they were
         promised that computation), and propagates engine failures
         (e.g. :class:`QuestError` for an unusable query) unchanged.
+
+        *deadline_ms* (or, when absent, the engine's
+        ``settings.default_deadline_ms``) bounds the request end to end —
+        queueing time included. On expiry the pipeline degrades to
+        best-so-far answers (``response.degraded``) or, with nothing
+        salvageable, raises :class:`DeadlineExceededError` (HTTP 504).
+        A storage failure (:class:`ExecutionError` /
+        :class:`CircuitOpenError`) falls back to the revision-stale cache
+        when ``settings.serve_stale`` allows.
         """
         start = self._clock()
         self._metrics.record_request()
         try:
             if k is not None and k <= 0:
                 raise QuestError(f"k must be positive, got {k}")
+            deadline = Deadline.from_ms(
+                deadline_ms
+                if deadline_ms is not None
+                else self._default_deadline_ms(),
+                clock=self._clock,
+            )
             keywords = self._keywords_of(query)
             k = k if k is not None else self._default_k()
             key = (keywords, k, self._engine_version())
@@ -212,7 +282,11 @@ class QuestService:
             def compute() -> _Computed:
                 try:
                     with self._admission.admit():
-                        computed = self._run_engine(query, keywords, k)
+                        if deadline is not None and deadline.expired():
+                            # The budget died in the queue: fail before
+                            # burning an execution slot on a dead request.
+                            raise DeadlineExceededError(deadline.budget_ms)
+                        computed = self._run_engine(query, keywords, k, deadline)
                 except ServiceOverloadedError:
                     # Count the shed where admission refused it — once.
                     # Followers re-raising the leader's error must not
@@ -223,19 +297,41 @@ class QuestService:
                 # the leader here): a same-key request arriving between
                 # flight release and a later put would find neither the
                 # flight nor the cache and redundantly re-run the engine.
-                if self.settings.cache_results:
-                    self._results.put(key, computed)
+                # Degraded (deadline-truncated) rankings are never
+                # published — a later unbounded request must not inherit
+                # a partial answer.
+                degraded = computed.trace is not None and computed.trace.degraded
+                if not degraded:
+                    if self.settings.cache_results:
+                        self._results.put(key, computed)
+                    if self.settings.serve_stale:
+                        self._stale.put((keywords, k), computed)
                 return computed
 
-            if self.settings.coalesce:
-                computed, shared = self._flights.do(key, compute)
-            else:
-                computed, shared = compute(), False
+            try:
+                if self.settings.coalesce:
+                    computed, shared = self._flights.do(key, compute)
+                else:
+                    computed, shared = compute(), False
+            except (ExecutionError, CircuitOpenError):
+                fallback = self._stale_lookup(keywords, k)
+                if fallback is None:
+                    raise
+                self._last_stale_at = self._clock()
+                self._metrics.record_stale_served()
+                return self._respond(
+                    query, keywords, k, fallback, "stale", start
+                )
             source = "coalesced" if shared else "engine"
             return self._respond(query, keywords, k, computed, source, start)
         except ServiceOverloadedError:
             # Already counted at the admission point (exactly once per
             # refusal, whether one caller or a coalesced burst saw it).
+            raise
+        except DeadlineExceededError:
+            # Counted separately from errors: the service behaved as
+            # asked — the caller's budget was simply too small.
+            self._metrics.record_deadline_expired()
             raise
         except BaseException:
             self._metrics.record_error()
@@ -247,6 +343,33 @@ class QuestService:
             in_flight=self._admission.admitted,
             coalesce_waiting=self._flights.waiting(),
         )
+
+    def degradation(self) -> dict[str, Any]:
+        """The service's current degradation state, for health endpoints.
+
+        Aggregates three signals: process-level health marks (e.g. a
+        worker that fell back to the dict-layout index), the storage
+        circuit breaker's state, and recent stale-cache serving. Returns
+        ``{"degraded": bool, "reasons": [str, ...]}`` — an empty reason
+        list means fully healthy.
+        """
+        reasons = [
+            f"{name}: {detail}" if detail else name
+            for name, detail in sorted(process_health.reasons().items())
+        ]
+        breaker = getattr(
+            getattr(getattr(self.engine, "wrapper", None), "backend", None),
+            "breaker",
+            None,
+        )
+        if breaker is not None and breaker.state != "closed":
+            reasons.append(
+                f"storage circuit {breaker.name!r} {breaker.state}"
+            )
+        last = self._last_stale_at
+        if last is not None and self._clock() - last < self.settings.stale_ttl_s:
+            reasons.append("recently served revision-stale results")
+        return {"degraded": bool(reasons), "reasons": reasons}
 
     def invalidate(self) -> None:
         """Drop every cached ranking (mutations do this implicitly via
@@ -276,12 +399,31 @@ class QuestService:
     def _engine_version(self) -> Any:
         return getattr(self.engine, "version", 0)
 
+    def _default_deadline_ms(self) -> float | None:
+        engine_settings = getattr(self.engine, "settings", None)
+        return getattr(engine_settings, "default_deadline_ms", None)
+
+    def _stale_lookup(self, keywords: tuple[str, ...], k: int) -> _Computed | None:
+        """The last good (non-degraded) ranking for this query, any revision."""
+        if not self.settings.serve_stale:
+            return None
+        return self._stale.get((keywords, k))
+
     def _run_engine(
-        self, query: str, keywords: tuple[str, ...], k: int
+        self,
+        query: str,
+        keywords: tuple[str, ...],
+        k: int,
+        deadline: "Deadline | None" = None,
     ) -> _Computed:
         search_context = getattr(self.engine, "search_context", None)
         if search_context is not None:
-            context = search_context(keywords=list(keywords), k=k)
+            if deadline is not None and self._engine_takes_deadline:
+                context = search_context(
+                    keywords=list(keywords), k=k, deadline=deadline
+                )
+            else:
+                context = search_context(keywords=list(keywords), k=k)
             return _Computed(tuple(context.explanations), context.trace)
         # Multi-source (or any foreign) engine: no per-run trace surface.
         return _Computed(tuple(self.engine.search(query, k)), None)
@@ -303,6 +445,10 @@ class QuestService:
             # None = the result cache was never consulted for this request.
             cache_hit=(source == "cache") if self.settings.cache_results else None,
         )
+        if source == "stale" or (
+            computed.trace is not None and computed.trace.degraded
+        ):
+            self._metrics.record_degraded()
         return ServiceResponse(
             query=query,
             keywords=keywords,

@@ -37,13 +37,17 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
+from repro import faults
 from repro.bits import iter_bits
 from repro.db.schema import ColumnRef
 from repro.errors import SteinerError
 from repro.steiner.graph import SchemaGraph
 from repro.steiner.tree import SteinerTree
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.resilience import Deadline
 
 __all__ = ["top_k_steiner_trees"]
 
@@ -60,6 +64,7 @@ def top_k_steiner_trees(
     max_pops: int = 200_000,
     interned: bool = True,
     assume_connected: bool = False,
+    deadline: "Deadline | None" = None,
 ) -> list[SteinerTree]:
     """Enumerate up to *k* cheapest Steiner trees connecting *terminals*.
 
@@ -77,6 +82,11 @@ def top_k_steiner_trees(
             when the caller has already established that the terminals
             share a component (the backward stage's batched prefilter);
             results are then identical to the checked path.
+        deadline: cooperative cancellation point. The pop loop checks
+            remaining budget every 64 pops and, on expiry, stops and
+            returns the trees emitted so far (possibly none) — best-effort
+            partial results, which are deliberately *not* memoised in the
+            graph's Steiner cache.
 
     Returns:
         Trees in increasing weight order (possibly fewer than *k*).
@@ -119,9 +129,13 @@ def top_k_steiner_trees(
         raise SteinerError(f"terminals are disconnected: {terminal_list}")
 
     search = _search_interned if interned else _search_reference
-    results = search(graph, terminal_list, terminal_set, k, prune_supertrees, max_pops)
+    results = search(
+        graph, terminal_list, terminal_set, k, prune_supertrees, max_pops, deadline
+    )
 
-    if cache is not None:
+    # A run whose deadline died mid-enumeration may be truncated; caching
+    # it would serve partial answers to later unbounded requests.
+    if cache is not None and not (deadline is not None and deadline.expired()):
         # Trees are frozen; storing a tuple keeps cached results immutable.
         cache.put(cache_key, tuple(results))
     return results
@@ -134,6 +148,7 @@ def _search_interned(
     k: int,
     prune_supertrees: bool,
     max_pops: int,
+    deadline: "Deadline | None" = None,
 ) -> list[SteinerTree]:
     """The bitmask DPBF search (every in-flight tree is two integers)."""
     compact = graph.compact()
@@ -168,6 +183,10 @@ def _search_interned(
     pops = 0
 
     while heap and len(results) < k and pops < max_pops:
+        if pops & 63 == 0:
+            faults.fire("steiner.expand")
+            if deadline is not None and deadline.expired():
+                break  # cooperative cancellation: emit best-so-far trees
         cost, _tie, root, mask, edges, tree_nodes = heapq.heappop(heap)
         pops += 1
         by_mask = accepted.get(root)
@@ -254,6 +273,7 @@ def _search_reference(
     k: int,
     prune_supertrees: bool,
     max_pops: int,
+    deadline: "Deadline | None" = None,
 ) -> list[SteinerTree]:
     """The frozenset DPBF search (executable specification).
 
@@ -279,6 +299,10 @@ def _search_reference(
     pops = 0
 
     while heap and len(results) < k and pops < max_pops:
+        if pops & 63 == 0:
+            faults.fire("steiner.expand")
+            if deadline is not None and deadline.expired():
+                break  # cooperative cancellation: emit best-so-far trees
         cost, _tie, root, mask, edges = heapq.heappop(heap)
         pops += 1
         state = (root, mask)

@@ -54,7 +54,14 @@ from repro.forksafe import register_lock_holder
 from repro.db.sqlgen import quote_identifier, render_sql
 from repro.db.table import Row, normalise_row
 from repro.db.types import DataType, coerce
-from repro.errors import ExecutionError, IntegrityError, UnknownTableError
+from repro.errors import (
+    CircuitOpenError,
+    ExecutionError,
+    IntegrityError,
+    UnknownTableError,
+)
+from repro import faults
+from repro.resilience import CircuitBreaker, RetryPolicy
 from repro.storage.base import StorageBackend
 
 __all__ = ["SQLiteBackend"]
@@ -102,6 +109,9 @@ def _encode(value: Any) -> Any:
 
 def _reset_sqlite_lock(backend: "SQLiteBackend") -> None:
     backend._lock = threading.RLock()
+    # The breaker's lock is held only for counter updates, but a fork
+    # landing inside one would deadlock the child — reset it too.
+    backend.breaker._lock = threading.Lock()
 
 
 class SQLiteBackend(StorageBackend):
@@ -112,10 +122,25 @@ class SQLiteBackend(StorageBackend):
     supports_count_pushdown = True
 
     def __init__(
-        self, schema: Schema, path: str = ":memory:", initialize: bool = True
+        self,
+        schema: Schema,
+        path: str = ":memory:",
+        initialize: bool = True,
+        breaker: CircuitBreaker | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         super().__init__(schema)
         self.path = str(path)
+        #: Records the outcome of every read-path SQL call. Open, the
+        #: *optional* pushdown surfaces (connected_nodes,
+        #: join_path_candidates) fast-fail so the pipeline routes around
+        #: a sick database via its in-process kernels; mandatory reads
+        #: keep executing (with bounded retry) and their successes drive
+        #: half-open recovery.
+        self.breaker = breaker or CircuitBreaker(f"sqlite:{path}")
+        #: Bounded jittered-exponential retry for transient
+        #: OperationalError (busy/locked under WAL writer contention).
+        self._retry = retry or RetryPolicy()
         # One connection guarded by a lock: the threaded multi-source tier
         # may execute queries from worker threads. Forked children get a
         # fresh lock (see repro.forksafe) — and a fresh connection too,
@@ -515,15 +540,60 @@ class SQLiteBackend(StorageBackend):
         # scores stay bit-identical across backends.
         return math.log(1.0 + self._n_fields / field_count)
 
+    def _read_sql(self, thunk, label: str):
+        """Run one read-path SQL operation with the resilience wrapping.
+
+        Every read funnels through here: the ``storage.query`` fault
+        point fires first (chaos tests inject latency or
+        ``OperationalError`` schedules), transient
+        ``sqlite3.OperationalError`` is retried on the bounded
+        jittered-exponential schedule, and every final outcome lands in
+        the circuit breaker — failures push it toward open, successes
+        (including half-open probes) heal it. Non-transient SQLite errors
+        are wrapped into :class:`ExecutionError` as before.
+        """
+
+        def attempt():
+            faults.fire("storage.query")
+            return thunk()
+
+        try:
+            result = self._retry.call(
+                attempt,
+                retry_on=(sqlite3.OperationalError,),
+                on_retry=lambda _exc, _n: self.breaker.record_failure(),
+            )
+        except sqlite3.Error as exc:
+            self.breaker.record_failure()
+            raise ExecutionError(f"sqlite error {label}: {exc}") from exc
+        self.breaker.record_success()
+        return result
+
+    def _check_pushdown_circuit(self) -> None:
+        """Fast-fail an *optional* pushdown surface while the circuit is open.
+
+        The pipeline normally routes around an open breaker before ever
+        calling these surfaces (see ``_pushdown_allowed`` in the stages);
+        this guard covers direct callers. It reads the state without
+        consuming a half-open probe slot — probes are admitted by the
+        pipeline's ``allow()`` call.
+        """
+        if self.breaker.state == "open":
+            raise CircuitOpenError(self.breaker.name)
+
     def attribute_scores(self, keyword: str) -> dict[ColumnRef, float]:
         """TF-IDF relevance per attribute, from SQL-aggregated counts."""
         term = keyword.casefold()
-        with self._lock:
-            grouped = self._connection.execute(
-                'SELECT tbl, col, COUNT(*) FROM "_quest_postings" '
-                "WHERE term = ? GROUP BY tbl, col",
-                (term,),
-            ).fetchall()
+
+        def fetch():
+            with self._lock:
+                return self._connection.execute(
+                    'SELECT tbl, col, COUNT(*) FROM "_quest_postings" '
+                    "WHERE term = ? GROUP BY tbl, col",
+                    (term,),
+                ).fetchall()
+
+        grouped = self._read_sql(fetch, f"scoring {term!r}")
         if not grouped:
             return {}
         idf = self._idf(len(grouped))
@@ -546,12 +616,16 @@ class SQLiteBackend(StorageBackend):
         if not unique:
             return []
         placeholders = ", ".join("?" * len(unique))
-        with self._lock:
-            grouped = self._connection.execute(
-                'SELECT term, tbl, col, COUNT(*) FROM "_quest_postings" '
-                f"WHERE term IN ({placeholders}) GROUP BY term, tbl, col",
-                unique,
-            ).fetchall()
+
+        def fetch():
+            with self._lock:
+                return self._connection.execute(
+                    'SELECT term, tbl, col, COUNT(*) FROM "_quest_postings" '
+                    f"WHERE term IN ({placeholders}) GROUP BY term, tbl, col",
+                    unique,
+                ).fetchall()
+
+        grouped = self._read_sql(fetch, "batch scoring")
         entries: dict[str, list[tuple[str, str, int]]] = {t: [] for t in unique}
         for term, tbl, col, count in grouped:
             entries[term].append((tbl, col, count))
@@ -579,49 +653,62 @@ class SQLiteBackend(StorageBackend):
         field_size = self._field_sizes.get(ref, 0)
         if field_size == 0:
             return 0.0
-        with self._lock:
-            matches = self._connection.execute(
-                'SELECT COUNT(*) FROM "_quest_postings" '
-                "WHERE term = ? AND tbl = ? AND col = ?",
-                (term, ref.table, ref.column),
-            ).fetchone()[0]
-            if not matches:
-                return 0.0
-            fields = self._connection.execute(
-                'SELECT COUNT(*) FROM (SELECT 1 FROM "_quest_postings" '
-                "WHERE term = ? GROUP BY tbl, col)",
-                (term,),
-            ).fetchone()[0]
+
+        def fetch():
+            with self._lock:
+                matches = self._connection.execute(
+                    'SELECT COUNT(*) FROM "_quest_postings" '
+                    "WHERE term = ? AND tbl = ? AND col = ?",
+                    (term, ref.table, ref.column),
+                ).fetchone()[0]
+                if not matches:
+                    return 0, 0
+                fields = self._connection.execute(
+                    'SELECT COUNT(*) FROM (SELECT 1 FROM "_quest_postings" '
+                    "WHERE term = ? GROUP BY tbl, col)",
+                    (term,),
+                ).fetchone()[0]
+            return matches, fields
+
+        matches, fields = self._read_sql(fetch, f"scoring {term!r}")
+        if not matches:
+            return 0.0
         return (matches / field_size) * self._idf(fields)
 
     def selectivity(self, keyword: str, ref: ColumnRef) -> float:
         field_size = self._field_sizes.get(ref, 0)
         if field_size == 0:
             return 0.0
-        with self._lock:
-            matches = self._connection.execute(
-                'SELECT COUNT(*) FROM "_quest_postings" '
-                "WHERE term = ? AND tbl = ? AND col = ?",
-                (keyword.casefold(), ref.table, ref.column),
-            ).fetchone()[0]
-        return matches / field_size
+
+        def fetch():
+            with self._lock:
+                return self._connection.execute(
+                    'SELECT COUNT(*) FROM "_quest_postings" '
+                    "WHERE term = ? AND tbl = ? AND col = ?",
+                    (keyword.casefold(), ref.table, ref.column),
+                ).fetchone()[0]
+
+        return self._read_sql(fetch, "selectivity") / field_size
 
     def matching_row_positions(self, keyword: str, ref: ColumnRef) -> list[int]:
         term = keyword.casefold()
-        with self._lock:
-            if self._fts_enabled and _FTS_TERM_RE.fullmatch(term):
-                rows = self._connection.execute(
-                    'SELECT pos FROM "_quest_fts" '
-                    'WHERE "_quest_fts" MATCH ? AND tbl = ? AND col = ? '
-                    "ORDER BY pos",
-                    (f'doc:"{term}"', ref.table, ref.column),
-                ).fetchall()
-            else:
-                rows = self._connection.execute(
+
+        def fetch():
+            with self._lock:
+                if self._fts_enabled and _FTS_TERM_RE.fullmatch(term):
+                    return self._connection.execute(
+                        'SELECT pos FROM "_quest_fts" '
+                        'WHERE "_quest_fts" MATCH ? AND tbl = ? AND col = ? '
+                        "ORDER BY pos",
+                        (f'doc:"{term}"', ref.table, ref.column),
+                    ).fetchall()
+                return self._connection.execute(
                     'SELECT pos FROM "_quest_postings" '
                     "WHERE term = ? AND tbl = ? AND col = ? ORDER BY pos",
                     (term, ref.table, ref.column),
                 ).fetchall()
+
+        rows = self._read_sql(fetch, f"matching positions for {term!r}")
         return [int(row[0]) for row in rows]
 
     @property
@@ -675,17 +762,22 @@ class SQLiteBackend(StorageBackend):
         compact = graph.compact()
         if start not in compact.index:
             return set()
+        self._check_pushdown_circuit()
         self.sync_schema_graph(graph)
-        with self._lock:
-            fetched = self._connection.execute(
-                "WITH RECURSIVE reach(node) AS ("
-                "  SELECT ?"
-                "  UNION"
-                '  SELECT e.dst FROM "_quest_graph_edges" e'
-                "  JOIN reach r ON e.src = r.node"
-                ") SELECT node FROM reach",
-                (str(start),),
-            ).fetchall()
+
+        def fetch():
+            with self._lock:
+                return self._connection.execute(
+                    "WITH RECURSIVE reach(node) AS ("
+                    "  SELECT ?"
+                    "  UNION"
+                    '  SELECT e.dst FROM "_quest_graph_edges" e'
+                    "  JOIN reach r ON e.src = r.node"
+                    ") SELECT node FROM reach",
+                    (str(start),),
+                ).fetchall()
+
+        fetched = self._read_sql(fetch, "computing reachability")
         by_name = {str(node): node for node in compact.nodes}
         return {by_name[name] for (name,) in fetched if name in by_name}
 
@@ -748,13 +840,13 @@ class SQLiteBackend(StorageBackend):
             " WHERE rank <= ? ORDER BY pair_id, rank"
         )
         parameters.extend((max_hops, k))
-        with self._lock:
-            try:
-                fetched = self._connection.execute(sql, parameters).fetchall()
-            except sqlite3.Error as exc:
-                raise ExecutionError(
-                    f"sqlite error enumerating join paths: {exc}"
-                ) from exc
+        self._check_pushdown_circuit()
+
+        def fetch():
+            with self._lock:
+                return self._connection.execute(sql, parameters).fetchall()
+
+        fetched = self._read_sql(fetch, "enumerating join paths")
         results: list[list[tuple[tuple[str, ...], float]]] = [
             [] for _ in pairs
         ]
@@ -810,11 +902,12 @@ class SQLiteBackend(StorageBackend):
 
     def execute(self, query: SelectQuery) -> ResultSet:
         sql, columns = self._prepare(query)
-        with self._lock:
-            try:
-                fetched = self._connection.execute(sql).fetchall()
-            except sqlite3.Error as exc:
-                raise ExecutionError(f"sqlite error for {sql!r}: {exc}") from exc
+
+        def fetch():
+            with self._lock:
+                return self._connection.execute(sql).fetchall()
+
+        fetched = self._read_sql(fetch, f"for {sql!r}")
         dtypes = [dtype for _name, dtype in columns]
         rows = [
             tuple(coerce(value, dtype) for value, dtype in zip(row, dtypes))
@@ -835,11 +928,12 @@ class SQLiteBackend(StorageBackend):
             counted = f"SELECT COUNT(*) FROM (SELECT * FROM ({sql}) LIMIT {int(limit)})"
         else:
             counted = f"SELECT COUNT(*) FROM ({sql})"
-        with self._lock:
-            try:
-                row = self._connection.execute(counted).fetchone()
-            except sqlite3.Error as exc:
-                raise ExecutionError(f"sqlite error for {sql!r}: {exc}") from exc
+
+        def fetch():
+            with self._lock:
+                return self._connection.execute(counted).fetchone()
+
+        row = self._read_sql(fetch, f"for {sql!r}")
         return int(row[0])
 
     # -- lifecycle ---------------------------------------------------------

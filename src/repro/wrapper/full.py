@@ -19,6 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import faults
 from repro.db.catalog import Catalog
 from repro.db.database import Database
 from repro.db.executor import ResultSet
@@ -120,6 +121,7 @@ class FullAccessWrapper(SourceWrapper):
 
     def compute_emission_scores(self, keyword: str, states: StateSpace) -> np.ndarray:
         """Full-text scores for DOMAIN states, ontology for schema states."""
+        faults.fire("emission.compute")
         scores = np.zeros(len(states))
         domain_scores = self._backend.attribute_scores(keyword)
         for position, state in enumerate(states):
@@ -173,6 +175,7 @@ class FullAccessWrapper(SourceWrapper):
         per-keyword hook, so the matrix rows are bit-identical to
         :meth:`compute_emission_scores`.
         """
+        faults.fire("emission.compute")
         domain_positions, domain_refs, schema_states = self._state_layout(states)
         matrix = np.zeros((len(keywords), len(states)))
         if len(domain_positions):

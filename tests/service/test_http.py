@@ -188,12 +188,15 @@ class TestRouting:
         status, payload, _ = served.get("/healthz")
         assert status == 200 and payload["status"] == "ok"
         status, payload, _ = served.get("/readyz")
-        assert status == 200 and payload["status"] == "ready"
+        assert status == 200 and payload["status"] == "ok"
+        assert payload["reasons"] == []
 
     def test_unknown_route_404(self, served):
         status, payload, _ = served.get("/nope")
         assert status == 404
-        assert "/nope" in payload["error"]
+        assert payload["error"]["code"] == "not_found"
+        assert "/nope" in payload["error"]["message"]
+        assert payload["error"]["request_id"]
 
     def test_wrong_method_405(self, served):
         status, _, _ = served.request("DELETE", "/search")
@@ -260,7 +263,7 @@ class TestSearch:
     def test_missing_query_400(self, served):
         status, payload, _ = served.get("/search")
         assert status == 400
-        assert "missing query" in payload["error"]
+        assert "missing query" in payload["error"]["message"]
 
     def test_bad_k_400(self, served):
         status, payload, _ = served.get("/search?q=x&k=three")
@@ -273,7 +276,7 @@ class TestSearch:
             "POST", "/search", body="{not json"
         )
         assert status == 400
-        assert "JSON" in payload["error"]
+        assert "JSON" in payload["error"]["message"]
 
     def test_unusable_query_400(self, served):
         status, payload, _ = served.get("/search?q=%3F%3F%3F")
@@ -291,7 +294,8 @@ class TestShedding:
             status, payload, headers = harness.get("/search?q=kubrick")
             assert status == 503
             assert headers.get("Retry-After") == "1"
-            assert "house full" in payload["error"]
+            assert payload["error"]["code"] == "overloaded"
+            assert "house full" in payload["error"]["message"]
 
     def test_tenant_quota_maps_to_429_with_retry_after(self, mini_engine):
         service = QuestService(mini_engine)
@@ -325,7 +329,8 @@ class TestShedding:
             thread.join(15)
             assert status == 429
             assert headers.get("Retry-After") == "1"
-            assert payload["tenant"] == "acme"
+            assert payload["error"]["code"] == "quota_exceeded"
+            assert payload["error"]["tenant"] == "acme"
             assert results["holder"][0] == 200
 
             status, _, _ = harness.get("/metrics")
@@ -393,7 +398,8 @@ class TestDrain:
             harness.server._ready = False
             status, payload, _ = harness.get("/readyz")
             assert status == 503
-            assert payload["status"] == "draining"
+            assert payload["status"] == "unhealthy"
+            assert "draining" in payload["reasons"]
             harness.server._ready = True
 
 
