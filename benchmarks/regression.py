@@ -483,6 +483,99 @@ def _noop():
     return contextlib.nullcontext()
 
 
+#: Mixed read/write workload shape: ops per pass and generator seed.
+MIXED_OPS = 80
+MIXED_SEED = 11
+MIXED_PROFILES = ("ecommerce", "oltp")
+
+
+def _mixed_workload(repeats: int, columnar: bool) -> dict:
+    """Search latency while writers churn (the live-mutation section).
+
+    One memory-backed engine per profile over a *private* mondial
+    instance (the shared scenario database must survive this section
+    unmutated), driven by :func:`repro.datasets.mixed.generate_ops` —
+    a deterministic interleaving of searches, batched journaled inserts
+    and batched deletes. Three latency families are recorded per
+    profile: plain searches racing the writer, write applies
+    (validate + journal-ack + delta-index), and **fresh reads** — a
+    search for the probe keyword an ``add`` just inserted, answerable
+    only by the delta layer over the sealed snapshot.
+
+    Timings are recorded, never gated. The one hard claim (enforced by
+    ``--mixed-only``) is read-your-writes: every probe is visible in
+    the index the moment its batch is acknowledged.
+    """
+    from repro.datasets import mixed, mondial
+    from repro.journal import MutationJournal
+
+    report: dict[str, object] = {
+        "ops": MIXED_OPS,
+        "seed": MIXED_SEED,
+        "repeats": repeats,
+        "profiles": {},
+        "missing_probes": 0,
+    }
+    missing_probes = 0
+    for profile in MIXED_PROFILES:
+        searches: list[float] = []
+        fresh_reads: list[float] = []
+        write_applies: list[float] = []
+        totals: list[float] = []
+        counts = {"search": 0, "add": 0, "delete": 0}
+        with tempfile.TemporaryDirectory() as scratch:
+            for repeat in range(repeats):
+                db = mondial.generate(countries=10, seed=31)
+                backend = create_backend("memory", db)
+                journal = MutationJournal(
+                    Path(scratch) / f"{profile}-{repeat}.journal"
+                )
+                backend.attach_journal(journal)
+                engine = Quest(
+                    FullAccessWrapper(backend), _settings(True, columnar)
+                )
+                ops = mixed.generate_ops(
+                    db, MIXED_OPS, profile=profile, seed=MIXED_SEED
+                )
+                engine.search(ops[0].query or "quest", 5)  # warm caches
+                pass_start = time.perf_counter()
+                for op in ops:
+                    if repeat == 0:
+                        counts[op.kind] += 1
+                    if op.kind == "search":
+                        start = time.perf_counter()
+                        engine.search(op.query, 5)
+                        searches.append(time.perf_counter() - start)
+                        continue
+                    start = time.perf_counter()
+                    mixed.apply_op(backend, op)
+                    write_applies.append(time.perf_counter() - start)
+                    if op.kind == "add":
+                        start = time.perf_counter()
+                        engine.search(op.probe, 5)
+                        fresh_reads.append(time.perf_counter() - start)
+                        # Read-your-writes: an acknowledged batch's rows
+                        # are searchable immediately (delta layer).
+                        if not backend.fulltext.attribute_scores(op.probe):
+                            missing_probes += 1
+                totals.append(time.perf_counter() - pass_start)
+                journal.close()
+        entry: dict[str, object] = {
+            **counts,
+            "total": _stats_of(totals),
+            "ops_per_second": MIXED_OPS / statistics.median(totals),
+        }
+        if searches:
+            entry["search"] = _stats_of(searches)
+        if fresh_reads:
+            entry["fresh_read"] = _stats_of(fresh_reads)
+        if write_applies:
+            entry["write_apply"] = _stats_of(write_applies)
+        report["profiles"][profile] = entry  # type: ignore[index]
+    report["missing_probes"] = missing_probes
+    return report
+
+
 #: Client threads and forked workers of the serving storm.
 STORM_CLIENTS = 8
 STORM_WORKERS = 2
@@ -779,6 +872,8 @@ def run_suite(
     service = _service_throughput(sc, repeats, columnar)
     print("-- measuring degraded mode (10% storage flakes) ...", flush=True)
     degraded = _degraded_mode(sc, repeats, columnar)
+    print("-- measuring mixed read/write workload ...", flush=True)
+    mixed_section = _mixed_workload(repeats, columnar)
     print("-- measuring serving storm (preforked HTTP tier) ...", flush=True)
     if index_cache is None:
         with tempfile.TemporaryDirectory() as scratch:
@@ -802,6 +897,7 @@ def run_suite(
         "batch_throughput": batch,
         "service_throughput": service,
         "degraded_mode": degraded,
+        "mixed_workload": mixed_section,
         "serving_storm": serving,
     }
 
@@ -1103,6 +1199,17 @@ def main(argv: list[str] | None = None) -> int:
         "its other entries",
     )
     parser.add_argument(
+        "--mixed-only",
+        action="store_true",
+        help="measure only the mixed_workload section (CI recovery "
+        "smoke): fresh-read/search/write-apply latency while journaled "
+        "writers churn the delta layer; recorded, not gated — the only "
+        "failure is a broken read-your-writes (an acknowledged batch "
+        "whose probe keyword a search cannot see); with "
+        "--update-baseline the section is merged into the committed "
+        "baseline without touching its other entries",
+    )
+    parser.add_argument(
         "--backward-only",
         action="store_true",
         help="CI smoke of the backward stage alone: one cold-search pass "
@@ -1210,6 +1317,44 @@ def main(argv: list[str] | None = None) -> int:
                 json.dumps(baseline, indent=2, sort_keys=True) + "\n"
             )
             print(f"merged degraded_mode into {args.baseline}")
+        return 0
+
+    if args.mixed_only:
+        mixed_section = _mixed_workload(repeats, not args.no_columnar)
+        print(json.dumps(mixed_section, indent=2, sort_keys=True))
+        for profile, entry in sorted(mixed_section["profiles"].items()):
+            fresh = entry.get("fresh_read", {}).get("median_s")
+            search = entry.get("search", {}).get("median_s")
+            apply_ = entry.get("write_apply", {}).get("median_s")
+            print(
+                f"mixed workload [{profile}]: "
+                f"{entry['ops_per_second']:.1f} ops/s "
+                f"(search p50 {float(search or 0) * 1e3:.3f}ms, "
+                f"fresh read p50 {float(fresh or 0) * 1e3:.3f}ms, "
+                f"write apply p50 {float(apply_ or 0) * 1e3:.3f}ms)"
+            )
+        # The one hard claim: read-your-writes — every acknowledged
+        # add's probe keyword was searchable immediately.
+        if mixed_section["missing_probes"]:
+            print(
+                f"ERROR: {mixed_section['missing_probes']} acknowledged "
+                "batches were invisible to an immediate search"
+            )
+            return 1
+        if args.update_baseline:
+            # Merge only this section into the committed baseline — the
+            # other entries were measured on a different run and must
+            # not be silently replaced.
+            baseline = (
+                json.loads(args.baseline.read_text())
+                if args.baseline.exists()
+                else {}
+            )
+            baseline["mixed_workload"] = mixed_section
+            args.baseline.write_text(
+                json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"merged mixed_workload into {args.baseline}")
         return 0
 
     if args.backward_only:

@@ -111,7 +111,9 @@ class BanksBaseline:
                 table.column_position(c) for c in table.schema.primary_key
             ]
             for position in self.fulltext.matching_row_positions(keyword, ref):
-                row = table.rows[position]
+                # Posting positions are physical (tombstones never
+                # renumber them), so index the physical list.
+                row = table.storage_rows[position]
                 nodes.add(
                     TupleNode(ref.table, tuple(row[p] for p in key_positions))
                 )

@@ -47,7 +47,8 @@ class IRBaseline:
                     table.column_position(c) for c in table.schema.primary_key
                 ]
                 for position in self.fulltext.matching_row_positions(keyword, ref):
-                    row = table.rows[position]
+                    # Posting positions are physical — see Table.storage_rows.
+                    row = table.storage_rows[position]
                     identity = (ref.table, tuple(row[p] for p in key_positions))
                     scores[identity] = scores.get(identity, 0.0) + attribute_score
                     matched.setdefault(identity, set()).add(keyword)

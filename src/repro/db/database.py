@@ -82,6 +82,16 @@ class Database:
         """Bulk-insert rows into *table*; returns the number inserted."""
         return self.table(table).insert_many(iter(rows))
 
+    def insert_rows(
+        self, table: str, rows: Sequence[Mapping[str, Any] | Sequence[Any]]
+    ) -> list[Row]:
+        """Batch-insert into *table*, validating all rows before any apply."""
+        return self.table(table).insert_rows(rows)
+
+    def delete_rows(self, table: str, keys: Sequence[tuple[Any, ...] | Any]) -> int:
+        """Tombstone the *table* rows behind *keys*; returns how many existed."""
+        return self.table(table).delete_rows(keys)
+
     # -- integrity --------------------------------------------------------
 
     def check_integrity(self) -> None:

@@ -10,11 +10,23 @@ Only TEXT columns are tokenised; numeric, boolean and date columns are
 indexed by their literal rendering so keywords like ``1994`` still hit a
 ``year`` column.
 
-The index stays correct under row inserts: tables are append-only, so
-:meth:`FullTextIndex.refresh` indexes only the rows added since the last
-build, and every read path checks the database's mutation counter first
-(lazy refresh — the same invalidation contract the Steiner cache honours
-on ``SchemaGraph.add_edge``).
+The index stays correct under row inserts *and* tombstoned deletes: the
+physical row list is append-only, so :meth:`FullTextIndex.refresh`
+indexes only the physical tail added since the last build and unindexes
+exactly the tail of the table's deletion log, and every read path checks
+the database's mutation counter first (lazy refresh — the same
+invalidation contract the Steiner cache honours on
+``SchemaGraph.add_edge``).
+
+Under live mutation the sealed snapshot is not discarded per write:
+refresh records the set of *touched terms* as a *delta* over the
+snapshot. Reads then layer — touched terms are answered from the mutable
+dicts (which always hold the full current state), untouched terms from
+the snapshot arrays with the current field sizes substituted — so every
+score stays bit-identical to a full rebuild while a background merge
+reseals the CSR layout. A delta that outgrows ``DELTA_HARD_LIMIT`` drops
+the snapshot (the next read reseals synchronously, the pre-delta
+behaviour).
 
 Two storage layouts back the read paths:
 
@@ -53,6 +65,7 @@ from __future__ import annotations
 import itertools
 import json
 import math
+import os
 import re
 import threading
 import time
@@ -80,8 +93,10 @@ _TOKEN_RE = re.compile(r"[a-z0-9]+")
 def _reset_fulltext_lock(index: "FullTextIndex") -> None:
     index._lock = threading.RLock()
 
-#: Artifact format identifier; bumped whenever the array layout changes.
-_ARTIFACT_FORMAT = "quest-fulltext-v1"
+#: Artifact format identifier; bumped whenever the array layout or the
+#: catalog header changes (v2 added per-array content checksums, the
+#: mutation generation and per-table deletion counts).
+_ARTIFACT_FORMAT = "quest-fulltext-v2"
 
 
 def tokenize_value(value: object) -> list[str]:
@@ -405,13 +420,21 @@ class ColumnarPostings:
         # Same expression over the same integers as the dict layout.
         return math.log(1.0 + self.n_fields / entry_count)
 
-    def attribute_scores(self, keyword: str) -> dict[ColumnRef, float]:
-        """TF-IDF relevance of *keyword* per attribute (array slicing)."""
+    def attribute_scores(
+        self, keyword: str, field_sizes: np.ndarray | None = None
+    ) -> dict[ColumnRef, float]:
+        """TF-IDF relevance of *keyword* per attribute (array slicing).
+
+        *field_sizes* substitutes the sealed per-field sizes — the delta
+        layer passes the database's *current* sizes so an untouched
+        term's scores track live mutations bit-identically to a rebuild.
+        """
         entries = self._term_entries(keyword.casefold())
         if entries is None:
             return {}
         fields = self.entry_fields[entries]
-        sizes = self.field_sizes[fields]
+        all_sizes = self.field_sizes if field_sizes is None else field_sizes
+        sizes = all_sizes[fields]
         # int64 / int64 -> float64 matches Python's int / int division;
         # the subsequent `* idf` keeps the reference association order.
         values = (self.entry_counts[entries] / sizes) * self._idf(
@@ -423,13 +446,19 @@ class ColumnarPostings:
             if size > 0
         }
 
-    def score(self, keyword: str, ref: ColumnRef) -> float:
+    def score(
+        self,
+        keyword: str,
+        ref: ColumnRef,
+        field_sizes: np.ndarray | None = None,
+    ) -> float:
         """Relevance of *keyword* for one attribute (0.0 when absent)."""
         term = keyword.casefold()
         e = self._entry_of(term, ref)
         if e is None:
             return 0.0
-        field_size = int(self.field_sizes[self.field_ids[ref]])
+        all_sizes = self.field_sizes if field_sizes is None else field_sizes
+        field_size = int(all_sizes[self.field_ids[ref]])
         if field_size == 0:
             return 0.0
         entries = self._term_entries(term)
@@ -438,12 +467,18 @@ class ColumnarPostings:
             entries.stop - entries.start
         )
 
-    def selectivity(self, keyword: str, ref: ColumnRef) -> float:
+    def selectivity(
+        self,
+        keyword: str,
+        ref: ColumnRef,
+        field_sizes: np.ndarray | None = None,
+    ) -> float:
         """Fraction of the attribute's values matching *keyword*."""
         e = self._entry_of(keyword.casefold(), ref)
         if e is None:
             return 0.0
-        field_size = int(self.field_sizes[self.field_ids[ref]])
+        all_sizes = self.field_sizes if field_sizes is None else field_sizes
+        field_size = int(all_sizes[self.field_ids[ref]])
         if field_size == 0:
             return 0.0
         return int(self.entry_counts[e]) / field_size
@@ -457,7 +492,10 @@ class ColumnarPostings:
         return [int(p) for p in self.row_positions[lo:hi]]
 
     def emission_block(
-        self, keywords: Sequence[str], refs: Sequence[ColumnRef]
+        self,
+        keywords: Sequence[str],
+        refs: Sequence[ColumnRef],
+        field_sizes: np.ndarray | None = None,
     ) -> np.ndarray:
         """Scores of every keyword against every requested attribute.
 
@@ -469,6 +507,7 @@ class ColumnarPostings:
         ref_ids = np.asarray(
             [self.field_ids.get(ref, -1) for ref in refs], dtype=np.int64
         )
+        all_sizes = self.field_sizes if field_sizes is None else field_sizes
         # Scatter per-keyword field scores into a dense per-field row, then
         # gather the requested columns: O(nnz + len(refs)) per keyword.
         out = np.zeros((len(keywords), len(refs)))
@@ -479,7 +518,7 @@ class ColumnarPostings:
                 continue
             fields = self.entry_fields[entries]
             row[fields] = (
-                self.entry_counts[entries] / self.field_sizes[fields]
+                self.entry_counts[entries] / all_sizes[fields]
             ) * self._idf(entries.stop - entries.start)
             out[i] = row[ref_ids]
             row[fields] = 0.0
@@ -540,6 +579,14 @@ class ColumnarPostings:
 class FullTextIndex:
     """Inverted index mapping terms to per-attribute posting lists."""
 
+    #: Touched-term count past which a background merge reseals the CSR
+    #: snapshot (reads stay layered and lock-held meanwhile).
+    DELTA_SOFT_LIMIT = 256
+    #: Touched-term count past which the snapshot is dropped outright
+    #: and the next read reseals synchronously — layering a huge delta
+    #: would serve most reads from the dicts anyway.
+    DELTA_HARD_LIMIT = 4096
+
     def __init__(self, db: Database, columnar: bool = True) -> None:
         self._db = db
         self._columnar = columnar
@@ -562,8 +609,24 @@ class FullTextIndex:
                 self._field_tokens[ref] = 0
             self._indexed_rows[table.name] = 0
         self._n_fields = len(self._field_sizes)
+        #: table name -> number of deletion-log entries already unindexed
+        self._indexed_deletions: dict[str, int] = {
+            table.name: 0 for table in db.tables
+        }
         #: The sealed columnar layout; None = stale (resealed on demand).
         self._snapshot: ColumnarPostings | None = None
+        #: Terms whose postings differ from the sealed snapshot. While
+        #: non-empty, reads *layer*: these terms come from the dicts,
+        #: everything else from the snapshot with live field sizes.
+        self._delta_terms: set[str] = set()
+        #: Current per-field sizes in snapshot field order (the override
+        #: array layered reads pass); invalidated by every mutation.
+        self._live_sizes: np.ndarray | None = None
+        self._merge_thread: threading.Thread | None = None
+        #: Mutation generation the index state corresponds to — the last
+        #: applied journal sequence number at save/load time. Purely
+        #: bookkeeping for the artifact republish cycle; 0 = unmanaged.
+        self.generation = 0
         #: True while the snapshot arrays are np.memmap views of a saved
         #: artifact (reset when a mutation forces a fresh in-heap seal).
         self._mmapped = False
@@ -607,8 +670,34 @@ class FullTextIndex:
         """
         with self._lock:
             self._refresh_locked()
-            if self._columnar and self._snapshot is None:
+            if self._columnar and (self._snapshot is None or self._delta_terms):
                 self._seal_locked()
+
+    def merge(self) -> None:
+        """Fold the write delta back into a sealed columnar snapshot.
+
+        Runs in the background once a delta outgrows ``DELTA_SOFT_LIMIT``
+        (reads stay layered and correct meanwhile); callable directly by
+        anything that wants the CSR layout current *now*.
+        """
+        with self._lock:
+            self._refresh_locked()
+            if self._columnar and (self._snapshot is None or self._delta_terms):
+                self._seal_locked()
+
+    @property
+    def delta_terms(self) -> frozenset[str]:
+        """Terms currently layered over the sealed snapshot."""
+        with self._lock:
+            return frozenset(self._delta_terms)
+
+    def _hydrate_locked(self) -> None:
+        # Loaded from an artifact and now needed mutably: rebuild the
+        # mutable layout from the snapshot once, then append normally.
+        if not self._postings_hydrated:
+            assert self._snapshot is not None
+            self._postings = defaultdict(dict, self._snapshot.to_postings())
+            self._postings_hydrated = True
 
     def _refresh_locked(self) -> None:
         # Snapshot the version (and each table's length) BEFORE scanning:
@@ -618,18 +707,26 @@ class FullTextIndex:
         version = self._db.version
         if version == self._built_version:
             return
-        if not self._postings_hydrated:
-            # Loaded from an artifact and now mutated: rebuild the mutable
-            # layout from the snapshot once, then append normally.
-            assert self._snapshot is not None
-            self._postings = defaultdict(dict, self._snapshot.to_postings())
-            self._postings_hydrated = True
+        self._hydrate_locked()
         changed = False
+        touched: set[str] = set()
         for table in self._db.tables:
-            start = self._indexed_rows[table.name]
-            rows = table.rows
+            watermark = self._indexed_rows[table.name]
+            # 1. Unindex the deletion-log tail. Entries at or past the
+            # indexed watermark were never indexed — the tail scan below
+            # skips their tombstones, so there is nothing to remove.
+            log = table.deletion_log
+            done = self._indexed_deletions.get(table.name, 0)
+            if done < len(log):
+                changed = True
+                for position in log[done:]:
+                    if position < watermark:
+                        self._unindex_position_locked(table, position, touched)
+                self._indexed_deletions[table.name] = len(log)
+            # 2. Index the physical tail, skipping rows already deleted.
+            rows = table.storage_rows
             end = len(rows)
-            if start >= end:
+            if watermark >= end:
                 continue
             changed = True
             for column in table.schema.columns:
@@ -637,7 +734,9 @@ class FullTextIndex:
                 position = table.column_position(column.name)
                 indexed = 0
                 tokens_total = 0
-                for row_position in range(start, end):
+                for row_position in range(watermark, end):
+                    if table.is_deleted(row_position):
+                        continue
                     tokens = tokenize_value(rows[row_position][position])
                     if not tokens:
                         continue
@@ -646,18 +745,82 @@ class FullTextIndex:
                     for term, frequency in Counter(tokens).items():
                         field_postings = self._postings[term].setdefault(ref, {})
                         field_postings[row_position] = frequency
+                        touched.add(term)
                 self._field_sizes[ref] += indexed
                 self._field_tokens[ref] += tokens_total
             self._indexed_rows[table.name] = end
         if changed:
-            self._snapshot = None  # stale: resealed on the next read
-            self._mmapped = False  # the reseal materialises in heap
+            self._live_sizes = None
+            if not self._columnar or self._snapshot is None:
+                self._snapshot = None  # stale: resealed on the next read
+                self._mmapped = False  # the reseal materialises in heap
+                self._delta_terms.clear()
+            else:
+                # Keep the sealed snapshot and layer the delta over it.
+                self._delta_terms |= touched
+                if len(self._delta_terms) > self.DELTA_HARD_LIMIT:
+                    self._snapshot = None
+                    self._mmapped = False
+                    self._delta_terms.clear()
+                else:
+                    self._maybe_merge_in_background_locked()
         self._built_version = version
 
+    def _unindex_position_locked(
+        self, table, position: int, touched: set[str]
+    ) -> None:
+        """Remove one tombstoned row's postings (the inverse of indexing).
+
+        The physical row tuple is still readable (tombstones never
+        reclaim storage), so the exact tokens indexed earlier can be
+        re-derived and removed symmetrically.
+        """
+        row = table.storage_rows[position]
+        for column in table.schema.columns:
+            ref = ColumnRef(table.name, column.name)
+            value_position = table.column_position(column.name)
+            tokens = tokenize_value(row[value_position])
+            if not tokens:
+                continue
+            self._field_sizes[ref] -= 1
+            self._field_tokens[ref] -= len(tokens)
+            for term in set(tokens):
+                by_field = self._postings.get(term)
+                if by_field is None:
+                    continue
+                field_postings = by_field.get(ref)
+                if field_postings is None:
+                    continue
+                field_postings.pop(position, None)
+                # Prune empty levels so the dict layout stays exactly
+                # what a from-scratch build of the live rows produces
+                # (vocabulary size and idf read structure, not values).
+                if not field_postings:
+                    del by_field[ref]
+                if not by_field:
+                    del self._postings[term]
+                touched.add(term)
+
+    def _maybe_merge_in_background_locked(self) -> None:
+        if len(self._delta_terms) < self.DELTA_SOFT_LIMIT:
+            return
+        thread = self._merge_thread
+        if thread is not None and thread.is_alive():
+            return
+        thread = threading.Thread(
+            target=self.merge, name="fulltext-merge", daemon=True
+        )
+        self._merge_thread = thread
+        thread.start()
+
     def _seal_locked(self) -> None:
+        self._hydrate_locked()
         self._snapshot = ColumnarPostings.from_postings(
             self._postings, self._field_sizes, self._field_tokens
         )
+        self._mmapped = False
+        self._delta_terms.clear()
+        self._live_sizes = None
 
     # -- read-path plumbing ------------------------------------------------
 
@@ -668,7 +831,10 @@ class FullTextIndex:
         compared (and a lazy refresh run) under the lock a single time,
         and columnar reads then proceed lock-free on the immutable
         snapshot. Returns ``None`` when the index runs in dict mode — the
-        caller falls back to the reference path under :meth:`_reading`.
+        caller falls back to the reference path under :meth:`_reading` —
+        *or* while a write delta is layered over the snapshot, in which
+        case the caller's ``_reading`` block routes each term to the
+        delta dicts or the snapshot (with live field sizes) per term.
         """
         if not self._columnar:
             return None
@@ -676,6 +842,8 @@ class FullTextIndex:
             self._refresh_locked()
             if self._snapshot is None:
                 self._seal_locked()
+            if self._delta_terms:
+                return None
             return self._snapshot
 
     @contextmanager
@@ -690,11 +858,32 @@ class FullTextIndex:
         """
         with self._lock:
             self._refresh_locked()
-            if not self._postings_hydrated:
-                assert self._snapshot is not None
-                self._postings = defaultdict(dict, self._snapshot.to_postings())
-                self._postings_hydrated = True
+            self._hydrate_locked()
             yield
+
+    def _layered_locked(self, term: str) -> ColumnarPostings | None:
+        """The snapshot to answer *term* from under a write delta.
+
+        ``None`` routes the term to the mutable dicts: either the index
+        runs in dict mode, no snapshot exists, or *term* was touched
+        since the seal. Untouched terms read the snapshot arrays with
+        :meth:`_live_sizes_locked` substituted — bit-identical to a full
+        rebuild because neither the term's postings nor its entry span
+        changed, and the tf denominator is taken from the live counts.
+        """
+        if not self._columnar or not self._delta_terms:
+            return None
+        if self._snapshot is None or term in self._delta_terms:
+            return None
+        return self._snapshot
+
+    def _live_sizes_locked(self, snapshot: ColumnarPostings) -> np.ndarray:
+        if self._live_sizes is None:
+            self._live_sizes = np.asarray(
+                [self._field_sizes[ref] for ref in snapshot.fields],
+                dtype=np.int64,
+            )
+        return self._live_sizes
 
     # -- vocabulary --------------------------------------------------------
 
@@ -736,19 +925,27 @@ class FullTextIndex:
         if snapshot is not None:
             return snapshot.attribute_scores(keyword)
         with self._reading():
-            term = keyword.casefold()
-            by_field = self._postings.get(term)
-            if not by_field:
-                return {}
-            idf = self._idf(by_field)
-            scores: dict[ColumnRef, float] = {}
-            for ref, rows in by_field.items():
-                field_size = self._field_sizes.get(ref, 0)
-                if field_size == 0:
-                    continue
-                tf = len(rows) / field_size
-                scores[ref] = tf * idf
-            return scores
+            return self._attribute_scores_locked(keyword)
+
+    def _attribute_scores_locked(self, keyword: str) -> dict[ColumnRef, float]:
+        term = keyword.casefold()
+        snapshot = self._layered_locked(term)
+        if snapshot is not None:
+            return snapshot.attribute_scores(
+                keyword, field_sizes=self._live_sizes_locked(snapshot)
+            )
+        by_field = self._postings.get(term)
+        if not by_field:
+            return {}
+        idf = self._idf(by_field)
+        scores: dict[ColumnRef, float] = {}
+        for ref, rows in by_field.items():
+            field_size = self._field_sizes.get(ref, 0)
+            if field_size == 0:
+                continue
+            tf = len(rows) / field_size
+            scores[ref] = tf * idf
+        return scores
 
     def attribute_scores_many(
         self, keywords: Sequence[str]
@@ -758,7 +955,7 @@ class FullTextIndex:
         if snapshot is not None:
             return [snapshot.attribute_scores(keyword) for keyword in keywords]
         with self._reading():
-            return [self.attribute_scores(keyword) for keyword in keywords]
+            return [self._attribute_scores_locked(keyword) for keyword in keywords]
 
     def emission_block(
         self, keywords: Sequence[str], refs: Sequence[ColumnRef]
@@ -770,8 +967,26 @@ class FullTextIndex:
             return snapshot.emission_block(keywords, refs)
         out = np.zeros((len(keywords), len(refs)))
         with self._reading():
-            for i, keyword in enumerate(keywords):
-                scores = self.attribute_scores(keyword)
+            snapshot = self._snapshot if self._columnar else None
+            if snapshot is not None and self._delta_terms:
+                # Layered batch: untouched keywords in one snapshot pass
+                # (live sizes substituted), touched ones from the dicts.
+                untouched = [
+                    i
+                    for i, keyword in enumerate(keywords)
+                    if keyword.casefold() not in self._delta_terms
+                ]
+                if untouched:
+                    out[untouched] = snapshot.emission_block(
+                        [keywords[i] for i in untouched],
+                        refs,
+                        field_sizes=self._live_sizes_locked(snapshot),
+                    )
+                remaining = set(range(len(keywords))) - set(untouched)
+            else:
+                remaining = set(range(len(keywords)))
+            for i in sorted(remaining):
+                scores = self._attribute_scores_locked(keywords[i])
                 if scores:
                     out[i] = [scores.get(ref, 0.0) for ref in refs]
         return out
@@ -787,7 +1002,13 @@ class FullTextIndex:
         if snapshot is not None:
             return snapshot.score(keyword, ref)
         with self._reading():
-            by_field = self._postings.get(keyword.casefold())
+            term = keyword.casefold()
+            snapshot = self._layered_locked(term)
+            if snapshot is not None:
+                return snapshot.score(
+                    keyword, ref, field_sizes=self._live_sizes_locked(snapshot)
+                )
+            by_field = self._postings.get(term)
             if not by_field:
                 return 0.0
             rows = by_field.get(ref)
@@ -807,6 +1028,11 @@ class FullTextIndex:
             return snapshot.matching_row_positions(keyword, ref)
         with self._reading():
             term = keyword.casefold()
+            snapshot = self._layered_locked(term)
+            if snapshot is not None:
+                # Positions need no size override: an untouched term's
+                # posting rows are exactly current.
+                return snapshot.matching_row_positions(keyword, ref)
             by_field = self._postings.get(term, {})
             return sorted(by_field.get(ref, {}))
 
@@ -820,41 +1046,88 @@ class FullTextIndex:
         if snapshot is not None:
             return snapshot.selectivity(keyword, ref)
         with self._reading():
+            term = keyword.casefold()
+            snapshot = self._layered_locked(term)
+            if snapshot is not None:
+                return snapshot.selectivity(
+                    keyword, ref, field_sizes=self._live_sizes_locked(snapshot)
+                )
             field_size = self._field_sizes.get(ref, 0)
             if field_size == 0:
                 return 0.0
-            by_field = self._postings.get(keyword.casefold(), {})
+            by_field = self._postings.get(term, {})
             return len(by_field.get(ref, ())) / field_size
 
     # -- persistence ---------------------------------------------------------
 
-    def save(self, path: str | Path) -> None:
-        """Write the built index to *path* as one ``.npz`` artifact.
+    def save(self, path: str | Path, generation: int | None = None) -> None:
+        """Atomically write the built index to *path* as one ``.npz`` artifact.
 
         The artifact holds the columnar arrays plus a JSON catalog header
-        (schema name, field list, per-table indexed row counts, source
-        mutation counter) that :meth:`load` validates against the live
-        database — a stale artifact is refused, never silently served.
+        (schema name, field list, per-table indexed row counts and
+        processed deletion counts, source mutation counter, the applied
+        journal *generation*, and a per-array content checksum) that
+        :meth:`load` validates against the live database — a stale or
+        torn artifact is refused, never silently served.
+
+        Publication is crash-atomic: the archive is written to a
+        same-directory temp file, flushed and fsynced, then renamed over
+        *path* with ``os.replace``. Readers therefore only ever observe
+        the previous complete generation or the new complete generation;
+        warm mmap readers keep serving the inode they have open until
+        they re-attach between requests.
         """
+        path = Path(path)
         with self._lock:
             self._refresh_locked()
-            if self._snapshot is None:
+            if self._snapshot is None or self._delta_terms:
                 self._seal_locked()
             snapshot = self._snapshot
+            assert snapshot is not None
+            if generation is not None:
+                self.generation = generation
+            arrays = snapshot.arrays()
             header = {
                 "format": _ARTIFACT_FORMAT,
                 "schema": self._db.schema.name,
                 "fields": [str(ref) for ref in self._field_sizes],
                 "indexed_rows": dict(self._indexed_rows),
+                "deleted_rows": dict(self._indexed_deletions),
                 "source_version": self._built_version,
+                "generation": self.generation,
+                "checksums": {
+                    name: zlib.crc32(np.ascontiguousarray(array).tobytes())
+                    for name, array in arrays.items()
+                },
             }
-        assert snapshot is not None
-        with open(path, "wb") as handle:
-            np.savez(
-                handle,
-                header=np.asarray(json.dumps(header, sort_keys=True)),
-                **snapshot.arrays(),
-            )
+        temp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        try:
+            with open(temp, "wb") as handle:
+                np.savez(
+                    handle,
+                    header=np.asarray(json.dumps(header, sort_keys=True)),
+                    **arrays,
+                )
+                handle.flush()
+                faults.fire("fs.fsync")
+                os.fsync(handle.fileno())
+            faults.fire("artifact.replace")
+            os.replace(temp, path)
+        except BaseException:
+            temp.unlink(missing_ok=True)
+            raise
+        # Make the rename itself durable (best effort — not every
+        # filesystem supports opening a directory for fsync).
+        try:
+            dir_fd = os.open(path.parent, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        finally:
+            os.close(dir_fd)
 
     @classmethod
     def load(
@@ -889,6 +1162,21 @@ class FullTextIndex:
                 f"index artifact {path} was built for schema "
                 f"{header.get('schema')!r}, not {db.schema.name!r}"
             )
+        # Verify every array's content checksum BEFORE handing anything
+        # to numpy parsing or mmap-backed readers: a byte-truncated or
+        # bit-flipped member must surface here as a stale-artifact
+        # refusal, not as a downstream parse error or silent bad scores
+        # (the mmap fast path bypasses the ZIP CRC entirely).
+        checksums = header.get("checksums") or {}
+        for name, array in arrays.items():
+            expected = checksums.get(name)
+            actual = zlib.crc32(np.ascontiguousarray(array).tobytes())
+            if expected is None or int(expected) != actual:
+                raise IndexArtifactError(
+                    f"index artifact {path}: checksum mismatch for array "
+                    f"{name!r} (expected {expected}, got {actual}) — "
+                    f"the artifact is truncated or corrupt"
+                )
         index = cls(db, columnar=columnar)
         fields = [str(ref) for ref in index._field_sizes]
         artifact_fields = header.get("fields") or []
@@ -898,12 +1186,20 @@ class FullTextIndex:
                 + _field_mismatch(artifact_fields, fields)
             )
         indexed_rows = header.get("indexed_rows", {})
+        deleted_rows = header.get("deleted_rows", {})
         for table in db.tables:
-            if indexed_rows.get(table.name) != len(table.rows):
+            if indexed_rows.get(table.name) != table.physical_count:
                 raise IndexArtifactError(
                     f"index artifact {path} indexed "
                     f"{indexed_rows.get(table.name)} rows of {table.name!r}, "
-                    f"database holds {len(table.rows)}"
+                    f"database holds {table.physical_count}"
+                )
+            if deleted_rows.get(table.name, 0) != len(table.deletion_log):
+                raise IndexArtifactError(
+                    f"index artifact {path} processed "
+                    f"{deleted_rows.get(table.name, 0)} deletions of "
+                    f"{table.name!r}, database logged "
+                    f"{len(table.deletion_log)}"
                 )
         if header.get("source_version") != db.version:
             raise IndexArtifactError(
@@ -920,7 +1216,12 @@ class FullTextIndex:
             zip(snapshot.fields, (int(t) for t in snapshot.field_tokens))
         )
         index._indexed_rows = {name: int(n) for name, n in indexed_rows.items()}
+        index._indexed_deletions = {
+            table.name: int(deleted_rows.get(table.name, 0))
+            for table in db.tables
+        }
         index._built_version = int(header["source_version"])
+        index.generation = int(header.get("generation", 0))
         # The dict layout is rebuilt from the snapshot only when needed:
         # lazily on the next mutation (columnar mode) or right now
         # (dict mode, whose reads walk the dicts).
@@ -929,6 +1230,26 @@ class FullTextIndex:
             index._postings = defaultdict(dict, snapshot.to_postings())
             index._postings_hydrated = True
         return index
+
+    @staticmethod
+    def peek_generation(path: str | Path) -> int | None:
+        """The mutation generation stamped into the artifact at *path*.
+
+        A tolerant header-only read (no array payload touched): recovery
+        uses it to decide how far back in the journal replay must start.
+        Any unreadable, missing or pre-v2 artifact answers ``None`` —
+        the caller then replays from the beginning.
+        """
+        try:
+            with zipfile.ZipFile(path) as archive:
+                with archive.open("header.npy") as member:
+                    header = json.loads(
+                        str(np.lib.format.read_array(member, allow_pickle=False))
+                    )
+            generation = header.get("generation")
+            return None if generation is None else int(generation)
+        except (OSError, KeyError, ValueError, zipfile.BadZipFile, zlib.error):
+            return None
 
     @classmethod
     def load_or_build(

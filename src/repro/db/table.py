@@ -4,6 +4,14 @@ Rows are stored as tuples in declaration order; the table maintains a
 unique index on the primary key and builds hash indexes on demand for the
 join executor. The representation favours clarity over raw speed but still
 keeps point lookups and equi-join probes O(1).
+
+Deletes are *tombstones*: the physical row list is append-only forever,
+so a row's position — the coordinate every full-text posting and sealed
+columnar snapshot speaks in — stays valid across any mutation history.
+``rows`` serves the live view (tombstones filtered); ``storage_rows``
+serves the physical list for positional consumers (the full-text
+refresher, the persisted artifact's row counts, position-addressed
+baselines).
 """
 
 from __future__ import annotations
@@ -69,6 +77,13 @@ class Table:
         )
         self._pk_index: dict[tuple[Any, ...], int] = {}
         self._secondary: dict[str, dict[Any, list[int]]] = {}
+        #: Tombstoned physical positions (never reused, never renumbered).
+        self._deleted: set[int] = set()
+        #: Append-only history of tombstoned positions, in deletion
+        #: order — the full-text refresher consumes its tail to unindex
+        #: exactly the rows deleted since its last pass.
+        self._deletion_log: list[int] = []
+        self._live_cache: tuple[int, list[Row]] | None = None
 
     # -- schema helpers ---------------------------------------------------
 
@@ -114,6 +129,100 @@ class Table:
             count += 1
         return count
 
+    def insert_rows(
+        self, rows: Sequence[Mapping[str, Any] | Sequence[Any]]
+    ) -> list[Row]:
+        """Insert a batch, validating *every* row before applying any.
+
+        The all-then-apply split is what the write-ahead journal leans
+        on: once a batch validates, applying it cannot fail, so the
+        journal may durably record the mutation before a single row
+        lands — an acknowledged batch is always replayable in full.
+        """
+        normalised = self.prepare_rows(rows)
+        self.apply_prepared(normalised)
+        return normalised
+
+    def prepare_rows(
+        self, rows: Sequence[Mapping[str, Any] | Sequence[Any]]
+    ) -> list[Row]:
+        """Validate a batch without applying it (the journal's first half).
+
+        Normalises every row, enforces PK non-NULL and uniqueness against
+        both the stored index and the batch itself. The returned rows are
+        guaranteed to apply cleanly via :meth:`apply_prepared` — nothing
+        between the two calls can make the batch fail.
+        """
+        normalised: list[Row] = []
+        seen: set[tuple[Any, ...]] = set()
+        for values in rows:
+            row = self._normalise(values)
+            key = tuple(row[p] for p in self._pk_positions)
+            if any(part is None for part in key):
+                raise IntegrityError(f"{self.name}: primary key may not be NULL")
+            if key in self._pk_index or key in seen:
+                raise IntegrityError(f"{self.name}: duplicate primary key {key!r}")
+            seen.add(key)
+            normalised.append(row)
+        return normalised
+
+    def apply_prepared(self, normalised: Sequence[Row]) -> None:
+        """Apply rows previously validated by :meth:`prepare_rows`."""
+        for row in normalised:
+            key = tuple(row[p] for p in self._pk_positions)
+            position = len(self._rows)
+            self._rows.append(row)
+            self._pk_index[key] = position
+            self.version += 1
+            for column, index in self._secondary.items():
+                index[row[self._col_index[column]]].append(position)
+
+    def delete_rows(self, keys: Sequence[tuple[Any, ...] | Any]) -> int:
+        """Tombstone the rows behind *keys*; returns how many existed.
+
+        Physical positions are never reclaimed or renumbered — the row
+        tuple stays readable (so index maintenance can re-tokenise it)
+        but disappears from every live view, lookup and secondary index.
+        Absent keys are skipped, which makes replaying a journaled
+        delete idempotent.
+        """
+        deleted = 0
+        for key in keys:
+            key = self.normalise_key(key)
+            position = self._pk_index.pop(key, None)
+            if position is None:
+                continue
+            self._deleted.add(position)
+            self._deletion_log.append(position)
+            self.version += 1
+            deleted += 1
+            row = self._rows[position]
+            for column, index in self._secondary.items():
+                postings = index.get(row[self._col_index[column]])
+                if postings is not None:
+                    postings.remove(position)
+        return deleted
+
+    def normalise_key(self, key: tuple[Any, ...] | Any) -> tuple[Any, ...]:
+        """Coerce *key* to the primary key's declared column types.
+
+        Scalar keys may be passed bare. Journaled keys round-trip
+        through JSON (dates become ISO strings), so replay funnels them
+        back through :func:`~repro.db.types.coerce` here.
+        """
+        if not isinstance(key, tuple):
+            key = tuple(key) if isinstance(key, list) else (key,)
+        if len(key) != len(self._pk_positions):
+            raise IntegrityError(
+                f"{self.name}: primary key takes {len(self._pk_positions)} "
+                f"values, got {len(key)}"
+            )
+        columns = self.schema.columns
+        return tuple(
+            coerce(part, columns[p].dtype)
+            for part, p in zip(key, self._pk_positions)
+        )
+
     def _normalise(self, values: Mapping[str, Any] | Sequence[Any]) -> Row:
         return normalise_row(self.schema, values)
 
@@ -121,14 +230,59 @@ class Table:
 
     @property
     def rows(self) -> list[Row]:
-        """All stored rows (live list — do not mutate)."""
+        """All *live* rows in insertion order (do not mutate).
+
+        With no deletions this is the physical list itself (zero-copy,
+        the overwhelmingly common case); once tombstones exist it is a
+        filtered copy cached per mutation version.
+        """
+        if not self._deleted:
+            return self._rows
+        cached = self._live_cache
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        live = [
+            row
+            for position, row in enumerate(self._rows)
+            if position not in self._deleted
+        ]
+        self._live_cache = (self.version, live)
+        return live
+
+    @property
+    def storage_rows(self) -> list[Row]:
+        """The physical row list, tombstones included (do not mutate).
+
+        Positional consumers — the full-text refresher, artifact row
+        counts, baselines addressing rows by posting position — must
+        read this, never :attr:`rows`.
+        """
         return self._rows
 
-    def __len__(self) -> int:
+    @property
+    def physical_count(self) -> int:
+        """Physical rows ever inserted (tombstones included)."""
         return len(self._rows)
 
+    @property
+    def deleted_count(self) -> int:
+        """How many rows have been tombstoned."""
+        return len(self._deleted)
+
+    @property
+    def deletion_log(self) -> list[int]:
+        """Tombstoned positions in deletion order (do not mutate)."""
+        return self._deletion_log
+
+    def is_deleted(self, position: int) -> bool:
+        """Whether physical *position* is tombstoned."""
+        return position in self._deleted
+
+    def __len__(self) -> int:
+        return len(self._rows) - len(self._deleted)
+
     def __iter__(self) -> Iterator[Row]:
-        return iter(self._rows)
+        return iter(self.rows)
 
     def get(self, key: tuple[Any, ...] | Any) -> Row | None:
         """Point lookup by primary key; scalar keys may be passed bare."""
@@ -138,14 +292,14 @@ class Table:
         return None if position is None else self._rows[position]
 
     def column_values(self, column: str) -> list[Any]:
-        """All values of *column*, in row order (including NULLs)."""
+        """All live values of *column*, in row order (including NULLs)."""
         position = self.column_position(column)
-        return [row[position] for row in self._rows]
+        return [row[position] for row in self.rows]
 
     def distinct_values(self, column: str) -> set[Any]:
-        """Distinct non-NULL values of *column*."""
+        """Distinct non-NULL live values of *column*."""
         position = self.column_position(column)
-        return {row[position] for row in self._rows if row[position] is not None}
+        return {row[position] for row in self.rows if row[position] is not None}
 
     # -- indexing ---------------------------------------------------------
 
@@ -155,7 +309,8 @@ class Table:
             position = self.column_position(column)
             index: dict[Any, list[int]] = defaultdict(list)
             for row_position, row in enumerate(self._rows):
-                index[row[position]].append(row_position)
+                if row_position not in self._deleted:
+                    index[row[position]].append(row_position)
             self._secondary[column] = index
         return self._secondary[column]
 
@@ -165,4 +320,7 @@ class Table:
         return [self._rows[p] for p in index.get(value, ())]
 
     def __repr__(self) -> str:
-        return f"Table({self.name!r}, rows={len(self._rows)})"
+        detail = f"Table({self.name!r}, rows={len(self)}"
+        if self._deleted:
+            detail += f", deleted={len(self._deleted)}"
+        return detail + ")"

@@ -152,6 +152,26 @@ class FaultInjectedError(QuestError):
         self.point = point
 
 
+class JournalError(QuestError):
+    """A write-ahead mutation journal operation failed.
+
+    Raised by :class:`repro.journal.MutationJournal` on misuse (append
+    after close, unknown op) — the operational failures, as opposed to
+    the on-disk corruption :class:`JournalCorruptError` reports.
+    """
+
+
+class JournalCorruptError(JournalError):
+    """A mutation journal holds CRC-valid but unreplayable history.
+
+    A torn *tail* (partial final record after a crash mid-append) is
+    expected and silently truncated on open; this error is for the
+    unexpected cases — an interior record whose payload is not a
+    mutation, or a sequence-number gap — where silently dropping
+    acknowledged history would be worse than refusing to start.
+    """
+
+
 class IndexArtifactError(QuestError):
     """A persisted index artifact is unreadable or stale.
 

@@ -29,6 +29,12 @@ Injection points:
 ``worker.start``     ``PreforkServer`` worker boot, before the engine builds
 ``emission.compute`` ``FullAccessWrapper`` emission scoring entry
 ``steiner.expand``   the top-k Steiner enumeration loop (every 64 pops)
+``journal.append``   ``MutationJournal.append``, before the record is written
+``fs.fsync``         before every durability fsync (journal append, artifact
+                     temp file) — the "power loss before the sync" window
+``artifact.replace`` ``FullTextIndex.save``, before the atomic ``os.replace``
+                     publishes the new artifact generation
+``journal.replay``   recovery replay, before each journaled record re-applies
 =================== =====================================================
 
 Fault kinds: ``latency`` (sleep ``delay_s``), ``error`` (raise), ``crash``
@@ -68,6 +74,10 @@ POINTS = (
     "worker.start",
     "emission.compute",
     "steiner.expand",
+    "journal.append",
+    "fs.fsync",
+    "artifact.replace",
+    "journal.replay",
 )
 
 _KINDS = ("latency", "error", "crash", "flake")

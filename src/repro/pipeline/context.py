@@ -14,7 +14,7 @@ engine and the pipeline reference each other.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.cache import CacheStats
 
@@ -59,6 +59,11 @@ class SearchTrace:
             instead of running to completion) or a fallback route was
             taken. Why is always recorded in ``notes``. Degraded results
             are never published to the serving tier's result cache.
+        stale_revision: the engine revision this ranking was computed at,
+            stamped by the serving tier *only* when the ranking is served
+            from the revision-stale fallback cache — ``None`` on every
+            fresh response. Lets operators (and the ``/metrics``
+            endpoint) see exactly how far behind a stale answer is.
 
     The cache deltas are *exact per run*: the pipeline installs a
     context-local :class:`~repro.cache.CacheRecorder` around its stages,
@@ -77,6 +82,7 @@ class SearchTrace:
     steiner_subset_cache: CacheStats = field(default_factory=CacheStats)
     notes: list[str] = field(default_factory=list)
     degraded: bool = False
+    stale_revision: Any = None
 
     @property
     def total_seconds(self) -> float:

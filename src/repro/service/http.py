@@ -122,6 +122,18 @@ class _BadRequest(Exception):
     """The bytes on the wire were not a usable HTTP request."""
 
 
+def _json_safe(value: Any) -> Any:
+    """*value* if JSON can carry it, else its ``repr``.
+
+    Engine revisions are opaque composite objects (e.g. a tuple closing
+    over the settings object); the wire format only promises operators a
+    stable *identifier*, not a decomposable structure.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
 def _error(
     code: str, message: str, request_id: str, **extra: Any
 ) -> dict[str, Any]:
@@ -478,7 +490,7 @@ class QuestHttpServer:
         payload: dict[str, Any] = {
             "pid": os.getpid(),
             "service": {
-                field: getattr(snapshot, field)
+                field: _json_safe(getattr(snapshot, field))
                 for field in snapshot.__dataclass_fields__
             },
             "degradation": self._degradation(),
@@ -634,6 +646,7 @@ class QuestHttpServer:
             "latency_s": response.latency_s,
             "degraded": response.degraded,
             "stale": response.stale,
+            "stale_revision": _json_safe(response.stale_revision),
             "request_id": request_id,
             "pid": os.getpid(),
             "results": explanation_payload(response.explanations),

@@ -13,7 +13,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable
 
 __all__ = ["MetricsSnapshot", "ServiceMetrics"]
 
@@ -51,6 +51,10 @@ class MetricsSnapshot:
             results after deadline expiry (``trace.degraded``).
         stale_served: searches answered from the revision-stale fallback
             cache because the engine's storage was failing.
+        stale_last_revision: the engine revision of the most recent
+            stale-served ranking — tells an operator how old the data
+            behind the last fallback answer was (``None`` until a stale
+            serve happens).
         in_flight: requests currently admitted (executing or queued).
         coalesce_waiting: followers currently parked behind an in-flight
             leader — hot-key backlog that never enters the admission
@@ -72,6 +76,7 @@ class MetricsSnapshot:
     deadline_expired: int = 0
     degraded: int = 0
     stale_served: int = 0
+    stale_last_revision: Any = None
     in_flight: int = 0
     coalesce_waiting: int = 0
     qps: float = 0.0
@@ -110,6 +115,7 @@ class ServiceMetrics:
         self._deadline_expired = 0
         self._degraded = 0
         self._stale_served = 0
+        self._stale_last_revision: Any = None
         #: (completion timestamp, latency seconds), bounded.
         self._latencies: deque[tuple[float, float]] = deque(maxlen=window)
 
@@ -133,9 +139,11 @@ class ServiceMetrics:
         with self._lock:
             self._degraded += 1
 
-    def record_stale_served(self) -> None:
+    def record_stale_served(self, revision: Any = None) -> None:
+        """Count a stale serve, remembering the revision it came from."""
         with self._lock:
             self._stale_served += 1
+            self._stale_last_revision = revision
 
     def record_completion(
         self,
@@ -192,6 +200,7 @@ class ServiceMetrics:
                 deadline_expired=self._deadline_expired,
                 degraded=self._degraded,
                 stale_served=self._stale_served,
+                stale_last_revision=self._stale_last_revision,
                 in_flight=in_flight,
                 coalesce_waiting=coalesce_waiting,
                 qps=qps,

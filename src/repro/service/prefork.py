@@ -106,6 +106,10 @@ class PreforkSettings:
             budget — only crash *storms* should exhaust ``max_restarts``.
         backoff_seed: seed for the respawn jitter (``None`` = entropy);
             fixed in tests so restart schedules replay exactly.
+        artifact_poll_s: seconds between worker checks for a republished
+            index artifact (engines exposing ``artifact_reload`` — see
+            :func:`shared_artifact_engine`). ``0`` disables polling;
+            workers then serve their attached generation for life.
     """
 
     workers: int = 2
@@ -120,6 +124,7 @@ class PreforkSettings:
     restart_backoff_max_s: float = 5.0
     healthy_interval_s: float = 30.0
     backoff_seed: int | None = None
+    artifact_poll_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.workers <= 0:
@@ -141,12 +146,17 @@ class PreforkSettings:
             raise ServiceError(
                 f"healthy_interval_s must be positive, got {self.healthy_interval_s}"
             )
+        if self.artifact_poll_s < 0:
+            raise ServiceError(
+                f"artifact_poll_s must be non-negative, got {self.artifact_poll_s}"
+            )
 
 
 def shared_artifact_engine(
     db: Any,
     artifact: str | Path,
     settings: Any = None,
+    journal: str | Path | None = None,
 ) -> tuple[Callable[[], Any], Callable[[], Any]]:
     """``(prepare, factory)`` for serving one database via a shared artifact.
 
@@ -156,15 +166,28 @@ def shared_artifact_engine(
     after the fork: it re-attaches the artifact read-only — memory-mapped
     when ``settings.artifact_mmap`` holds (the default) — and wires a
     fresh :class:`Quest` over it. Workers never write the artifact.
+
+    The built engine exposes an ``artifact_reload()`` callable: a pinned
+    reader's republish hook. It peeks the published artifact generation
+    and, when it has advanced past the attached one, catches the
+    worker's forked database copy up by replaying the mutation
+    *journal* (opened readonly — followers never repair the writer's
+    file) to exactly that generation, then swaps the new artifact in
+    atomically. Any failure leaves the current snapshot serving and is
+    retried on the next poll; a successful swap clears the
+    ``index-artifact-fallback`` health mark. The prefork worker loop
+    calls it every ``PreforkSettings.artifact_poll_s`` seconds.
     """
     from repro.core.engine import Quest
     from repro.core.settings import QuestSettings
     from repro.db.fulltext import FullTextIndex
+    from repro.journal import MutationJournal
     from repro.storage.memory import MemoryBackend
     from repro.wrapper.full import FullAccessWrapper
 
     engine_settings = settings if settings is not None else QuestSettings()
     artifact_path = Path(artifact)
+    journal_path = Path(journal) if journal is not None else None
 
     def prepare() -> None:
         FullTextIndex.load_or_build(artifact_path, db)
@@ -191,7 +214,30 @@ def shared_artifact_engine(
             index = FullTextIndex(db, columnar=False)
             index.warm()
         backend = MemoryBackend(db, fulltext=index)
-        return Quest(FullAccessWrapper(backend), engine_settings)
+        engine = Quest(FullAccessWrapper(backend), engine_settings)
+
+        def artifact_reload() -> bool:
+            try:
+                published = FullTextIndex.peek_generation(artifact_path)
+                if published is None or published <= backend.fulltext.generation:
+                    return False
+                if journal_path is not None and published > backend.applied_seq:
+                    with MutationJournal(journal_path, readonly=True) as follow:
+                        backend.replay_journal(follow, up_to_seq=published)
+                if not backend.maybe_reload_index(
+                    artifact_path, mmap=engine_settings.artifact_mmap
+                ):
+                    return False
+            except Exception:
+                # Mid-republish torn reads, a journal not yet caught up,
+                # validation mismatches: keep serving the pinned
+                # generation and try again next poll.
+                return False
+            process_health.clear("index-artifact-fallback")
+            return True
+
+        engine.artifact_reload = artifact_reload
+        return engine
 
     return prepare, factory
 
@@ -521,12 +567,32 @@ class PreforkServer:
             sock=self._worker_listener(),
         )
 
+        reload_artifact = getattr(engine, "artifact_reload", None)
+
+        async def poll_artifact() -> None:
+            # Between-requests republish pickup: the swap itself is an
+            # atomic attribute replace, so requests in flight keep the
+            # generation they started on.
+            while True:
+                await asyncio.sleep(self.settings.artifact_poll_s)
+                try:
+                    reload_artifact()
+                except Exception:  # pragma: no cover - reload never raises
+                    pass
+
         async def serve() -> None:
             await server.start()
             stopped = asyncio.Event()
             loop = asyncio.get_running_loop()
             loop.add_signal_handler(signal.SIGTERM, stopped.set)
-            await stopped.wait()
+            poller = None
+            if reload_artifact is not None and self.settings.artifact_poll_s > 0:
+                poller = asyncio.ensure_future(poll_artifact())
+            try:
+                await stopped.wait()
+            finally:
+                if poller is not None:
+                    poller.cancel()
             # Graceful drain: refuse new connections, finish in-flight.
             await server.close()
 

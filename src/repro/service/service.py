@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import inspect
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import (
@@ -174,6 +174,15 @@ class ServiceResponse:
         return self.source == "stale"
 
     @property
+    def stale_revision(self) -> Any:
+        """The engine revision a stale answer was computed at.
+
+        ``None`` on fresh responses, and on stale ones whose engine is
+        multi-source (no single trace to carry the stamp).
+        """
+        return self.trace.stale_revision if self.trace is not None else None
+
+    @property
     def degraded(self) -> bool:
         """Served on a degraded path: stale fallback, or a pipeline run
         whose deadline expired mid-flight (best-so-far answers)."""
@@ -305,7 +314,13 @@ class QuestService:
                     if self.settings.cache_results:
                         self._results.put(key, computed)
                     if self.settings.serve_stale:
-                        self._stale.put((keywords, k), computed)
+                        # Remember the engine revision alongside the
+                        # ranking, so a later stale serve can stamp how
+                        # far behind the answer is (satellite: stale
+                        # responses are auditable in /metrics).
+                        self._stale.put(
+                            (keywords, k), (computed, self._engine_version())
+                        )
                 return computed
 
             try:
@@ -314,11 +329,20 @@ class QuestService:
                 else:
                     computed, shared = compute(), False
             except (ExecutionError, CircuitOpenError):
-                fallback = self._stale_lookup(keywords, k)
-                if fallback is None:
+                entry = self._stale_lookup(keywords, k)
+                if entry is None:
                     raise
+                fallback, revision = entry
+                if fallback.trace is not None:
+                    # Stamp a *copy*: _results may share this _Computed,
+                    # and a stale marker must never leak into fresh
+                    # responses for the same key.
+                    fallback = _Computed(
+                        fallback.explanations,
+                        replace(fallback.trace, stale_revision=revision),
+                    )
                 self._last_stale_at = self._clock()
-                self._metrics.record_stale_served()
+                self._metrics.record_stale_served(revision)
                 return self._respond(
                     query, keywords, k, fallback, "stale", start
                 )
@@ -403,8 +427,15 @@ class QuestService:
         engine_settings = getattr(self.engine, "settings", None)
         return getattr(engine_settings, "default_deadline_ms", None)
 
-    def _stale_lookup(self, keywords: tuple[str, ...], k: int) -> _Computed | None:
-        """The last good (non-degraded) ranking for this query, any revision."""
+    def _stale_lookup(
+        self, keywords: tuple[str, ...], k: int
+    ) -> tuple[_Computed, Any] | None:
+        """The last good (non-degraded) ranking for this query, any revision.
+
+        Returns the ranking together with the engine revision it was
+        computed at, or ``None`` when stale serving is off or nothing
+        was ever published for the key.
+        """
         if not self.settings.serve_stale:
             return None
         return self._stale.get((keywords, k))

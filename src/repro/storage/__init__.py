@@ -26,15 +26,18 @@ from repro.db.database import Database
 from repro.errors import QuestError
 from repro.storage.base import StorageBackend
 from repro.storage.memory import MemoryBackend
+from repro.storage.recovery import RecoveryReport, recover
 from repro.storage.sqlite import SQLiteBackend
 
 __all__ = [
     "BACKENDS",
     "MemoryBackend",
+    "RecoveryReport",
     "SQLiteBackend",
     "StorageBackend",
     "as_backend",
     "create_backend",
+    "recover",
 ]
 
 #: Registry of available backends, keyed by the name loaders accept.

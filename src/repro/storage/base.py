@@ -26,11 +26,15 @@ from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro import faults
 from repro.db.catalog import Catalog
 from repro.db.executor import ResultSet
 from repro.db.query import SelectQuery
 from repro.db.schema import ColumnRef, Schema
-from repro.db.table import Row
+from repro.db.table import Row, normalise_row
+from repro.db.types import coerce
+from repro.errors import IntegrityError
+from repro.journal import MutationJournal, MutationRecord
 
 __all__ = ["StorageBackend"]
 
@@ -67,6 +71,11 @@ class StorageBackend(abc.ABC):
     def __init__(self, schema: Schema) -> None:
         self.schema = schema
         self._catalog: Catalog | None = None
+        #: The attached write-ahead mutation journal (None = unjournaled;
+        #: batched mutations then apply directly, without durability).
+        self._journal: MutationJournal | None = None
+        #: Last journal sequence number whose mutation has been applied.
+        self._applied_seq = 0
 
     # -- construction ------------------------------------------------------
 
@@ -144,6 +153,182 @@ class StorageBackend(abc.ABC):
         ``Database`` mutated directly, a SQLite file written by another
         process).
         """
+
+    # -- batched, journaled mutation ---------------------------------------
+
+    def add_rows(
+        self, table: str, rows: Sequence[Mapping[str, Any] | Sequence[Any]]
+    ) -> list[Row]:
+        """Insert a batch into *table*, journal-first.
+
+        The write path is **validate → journal → apply**: every row is
+        normalised and checked before anything happens, the whole batch
+        is appended (and fsynced) to the attached mutation journal, and
+        only then applied — so the moment this method returns, the
+        mutation both *happened* and *survives a crash*: replaying the
+        journal after a ``kill -9`` reconstructs exactly the acknowledged
+        state. Without a journal attached the apply runs directly.
+
+        Applies are atomic with respect to concurrent searches:
+        implementations publish either the pre-batch or post-batch
+        rankings, never a torn intermediate.
+        """
+        normalised = self._validate_add_rows(table, rows)
+        seq = self._journal_append("add", table, rows=[list(r) for r in normalised])
+        self._apply_add_rows(table, normalised, seq)
+        self._applied_seq = seq
+        return normalised
+
+    def delete_rows(
+        self, table: str, keys: Sequence[tuple[Any, ...] | Any]
+    ) -> int:
+        """Delete the *table* rows behind *keys*, journal-first.
+
+        Same **validate → journal → apply** discipline as
+        :meth:`add_rows`. Absent keys are skipped (deletes are
+        idempotent, which is what makes journal replay safe). Returns
+        how many rows actually existed.
+        """
+        normalised = [self._normalise_key(table, key) for key in keys]
+        seq = self._journal_append(
+            "delete", table, keys=[list(k) for k in normalised]
+        )
+        count = self._apply_delete_rows(table, normalised, seq)
+        self._applied_seq = seq
+        return count
+
+    def _journal_append(self, op: str, table: str, **payload: Any) -> int:
+        if self._journal is None:
+            return self._applied_seq + 1
+        return self._journal.append(op, table, **payload)
+
+    def _validate_add_rows(
+        self, table: str, rows: Sequence[Mapping[str, Any] | Sequence[Any]]
+    ) -> list[Row]:
+        """Normalise and fully validate a batch (no application).
+
+        The base implementation normalises and enforces PK non-NULL plus
+        batch-local uniqueness; backends layer their stored-duplicate
+        check on top via :meth:`_pk_exists`.
+        """
+        schema = self.schema.table(table)
+        pk_positions = [schema.column_names.index(n) for n in schema.primary_key]
+        normalised: list[Row] = []
+        seen: set[tuple[Any, ...]] = set()
+        for values in rows:
+            row = normalise_row(schema, values)
+            key = tuple(row[p] for p in pk_positions)
+            if any(part is None for part in key):
+                raise IntegrityError(f"{table}: primary key may not be NULL")
+            if key in seen or self._pk_exists(table, key):
+                raise IntegrityError(f"{table}: duplicate primary key {key!r}")
+            seen.add(key)
+            normalised.append(row)
+        return normalised
+
+    def _pk_exists(self, table: str, key: tuple[Any, ...]) -> bool:
+        """Whether *key* is already stored in *table* (live rows only)."""
+        raise NotImplementedError
+
+    def _apply_add_rows(
+        self, table: str, rows: Sequence[Row], seq: int
+    ) -> None:
+        """Apply a validated batch (guaranteed not to fail).
+
+        *seq* is the journal sequence number this apply corresponds to;
+        transactional backends persist it atomically with the rows so a
+        crash can never leave "applied but not recorded as applied" (or
+        vice versa) on disk.
+        """
+        raise NotImplementedError
+
+    def _apply_delete_rows(
+        self, table: str, keys: Sequence[tuple[Any, ...]], seq: int
+    ) -> int:
+        """Apply a batch of normalised-key deletes; returns rows removed."""
+        raise NotImplementedError
+
+    def _normalise_key(self, table: str, key: tuple[Any, ...] | Any) -> tuple[Any, ...]:
+        """Coerce *key* to the primary key's declared column types.
+
+        Journaled keys round-trip through JSON (tuples become lists,
+        dates become ISO strings); this funnels them back through the
+        shared type coercion so replay compares keys bit-identically.
+        """
+        schema = self.schema.table(table)
+        if not isinstance(key, tuple):
+            key = tuple(key) if isinstance(key, list) else (key,)
+        primary = schema.primary_key
+        if len(key) != len(primary):
+            raise IntegrityError(
+                f"{table}: primary key takes {len(primary)} values, "
+                f"got {len(key)}"
+            )
+        dtypes = {column.name: column.dtype for column in schema.columns}
+        return tuple(
+            coerce(part, dtypes[name]) for part, name in zip(key, primary)
+        )
+
+    # -- journal lifecycle -------------------------------------------------
+
+    @property
+    def journal(self) -> MutationJournal | None:
+        """The attached write-ahead mutation journal, if any."""
+        return self._journal
+
+    @property
+    def applied_seq(self) -> int:
+        """Last journal sequence number applied to the stored state."""
+        return self._applied_seq
+
+    def attach_journal(
+        self, journal: MutationJournal, replay: bool = True
+    ) -> int:
+        """Attach *journal* so future batched mutations are journaled.
+
+        With *replay* (the default), records past :attr:`applied_seq`
+        are re-applied first — the recovery path that reconstructs
+        acknowledged mutations after a crash. Returns how many records
+        were replayed.
+        """
+        replayed = 0
+        if replay:
+            replayed = self.replay_journal(journal)
+        self._journal = journal
+        return replayed
+
+    def replay_journal(
+        self, journal: MutationJournal, up_to_seq: int | None = None
+    ) -> int:
+        """Re-apply journal records past :attr:`applied_seq`.
+
+        Stops after *up_to_seq* when given (recovery uses this to bring
+        the state exactly to a sealed artifact's generation before
+        attempting the artifact load). Returns the number of records
+        applied.
+        """
+        replayed = 0
+        for record in journal.records(after_seq=self._applied_seq):
+            if up_to_seq is not None and record.seq > up_to_seq:
+                break
+            faults.fire("journal.replay")
+            self._replay_record(record)
+            self._applied_seq = record.seq
+            replayed += 1
+        return replayed
+
+    def _replay_record(self, record: MutationRecord) -> None:
+        """Apply one journaled mutation without re-journaling it."""
+        if record.op == "add":
+            schema = self.schema.table(record.table)
+            rows = [normalise_row(schema, values) for values in record.rows or []]
+            self._apply_add_rows(record.table, rows, record.seq)
+        else:
+            keys = [
+                self._normalise_key(record.table, key)
+                for key in record.keys or []
+            ]
+            self._apply_delete_rows(record.table, keys, record.seq)
 
     # -- full-text search --------------------------------------------------
 

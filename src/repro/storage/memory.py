@@ -70,6 +70,36 @@ class MemoryBackend(StorageBackend):
     def refresh(self) -> None:
         self.fulltext.refresh()
 
+    # -- batched, journaled mutation ---------------------------------------
+
+    def _validate_add_rows(
+        self, table: str, rows: Sequence[Mapping[str, Any] | Sequence[Any]]
+    ) -> list[Row]:
+        return self.database.table(table).prepare_rows(rows)
+
+    def _pk_exists(self, table: str, key: tuple[Any, ...]) -> bool:
+        return self.database.table(table).get(key) is not None
+
+    def _apply_add_rows(
+        self, table: str, rows: Sequence[Row], seq: int
+    ) -> None:
+        # Table mutation and index refresh commit under the index lock,
+        # so a concurrent search (whose read path takes the same lock
+        # for its version check) observes the pre-batch or post-batch
+        # rankings — never a torn intermediate where the rows are stored
+        # but unindexed.
+        with self.fulltext._lock:
+            self.database.table(table).apply_prepared(rows)
+            self.fulltext.refresh()
+
+    def _apply_delete_rows(
+        self, table: str, keys: Sequence[tuple[Any, ...]], seq: int
+    ) -> int:
+        with self.fulltext._lock:
+            count = self.database.table(table).delete_rows(keys)
+            self.fulltext.refresh()
+        return count
+
     # -- full-text search --------------------------------------------------
 
     def attribute_scores(self, keyword: str) -> dict[ColumnRef, float]:
@@ -88,8 +118,13 @@ class MemoryBackend(StorageBackend):
     # -- index artifacts ---------------------------------------------------
 
     def save_index(self, path: str | Path) -> bool:
-        """Persist the full-text index as a ``.npz`` artifact."""
-        self.fulltext.save(path)
+        """Persist the full-text index as a ``.npz`` artifact.
+
+        The artifact is stamped with the backend's applied journal
+        sequence number as its *generation* and published atomically
+        (temp + fsync + rename) — see :meth:`FullTextIndex.save`.
+        """
+        self.fulltext.save(path, generation=self._applied_seq)
         return True
 
     def load_index(self, path: str | Path, mmap: bool = False) -> bool:
@@ -100,6 +135,20 @@ class MemoryBackend(StorageBackend):
             path, self.database, columnar=self.fulltext.columnar, mmap=mmap
         )
         return True
+
+    def maybe_reload_index(self, path: str | Path, mmap: bool = False) -> bool:
+        """Attach the artifact at *path* iff it is a *newer* generation.
+
+        The warm-reader republish hook: a pinned reader stays on the
+        generation it has open (its mapped inode survives the rename)
+        and calls this between requests; the swap happens only when the
+        published artifact's generation advanced past the attached one
+        and the artifact validates in full. Returns ``True`` on swap.
+        """
+        published = FullTextIndex.peek_generation(path)
+        if published is None or published <= self.fulltext.generation:
+            return False
+        return self.load_index(path, mmap=mmap)
 
     def score(self, keyword: str, ref: ColumnRef) -> float:
         return self.fulltext.score(keyword, ref)

@@ -167,10 +167,12 @@ class SQLiteBackend(StorageBackend):
         if initialize:
             self._create_tables()
             self._fts_enabled = self._create_fts()
+            self._has_meta = True
             for table in schema.tables:
                 self._positions[table.name] = 0
         else:
             self._fts_enabled = self._table_exists("_quest_fts")
+            self._has_meta = self._table_exists("_quest_meta")
             self._load_state()
 
     def _connect(self) -> sqlite3.Connection:
@@ -240,7 +242,7 @@ class SQLiteBackend(StorageBackend):
         for table in self.schema.tables:
             cursor.execute(f"DROP TABLE IF EXISTS {quote_identifier(table.name)}")
             cursor.execute(self._create_table_sql(table))
-        for name in ("_quest_postings", "_quest_fields"):
+        for name in ("_quest_postings", "_quest_fields", "_quest_meta"):
             cursor.execute(f"DROP TABLE IF EXISTS {quote_identifier(name)}")
         cursor.execute(
             'CREATE TABLE "_quest_postings" ('
@@ -257,6 +259,18 @@ class SQLiteBackend(StorageBackend):
         cursor.executemany(
             'INSERT INTO "_quest_fields" (tbl, col, indexed, tokens) VALUES (?, ?, 0, 0)',
             [(ref.table, ref.column) for ref in self._field_sizes],
+        )
+        # Durable backend state; holds the applied journal sequence
+        # number, updated in the same transaction as each batched
+        # mutation so replay after a crash resumes at exactly the right
+        # record (never re-applying, never skipping).
+        cursor.execute(
+            'CREATE TABLE "_quest_meta" ('
+            "key TEXT PRIMARY KEY, value INTEGER NOT NULL)"
+        )
+        cursor.execute(
+            'INSERT INTO "_quest_meta" (key, value) VALUES (?, 0)',
+            ("applied_seq",),
         )
         cursor.execute("COMMIT")
 
@@ -297,6 +311,13 @@ class SQLiteBackend(StorageBackend):
             if not self._table_exists(table.name):
                 raise UnknownTableError(table.name)
         self._reload_counters()
+        if self._has_meta:
+            row = self._connection.execute(
+                'SELECT value FROM "_quest_meta" WHERE key = ?',
+                ("applied_seq",),
+            ).fetchone()
+            if row is not None:
+                self._applied_seq = int(row[0])
 
     def _bulk_load(self, database: Database) -> None:
         with self._lock:
@@ -374,10 +395,18 @@ class SQLiteBackend(StorageBackend):
         only truth, so the mirrors are re-read from them.
         """
         for table in self.schema.tables:
-            self._positions[table.name] = int(
-                self._connection.execute(
-                    f"SELECT COUNT(*) FROM {quote_identifier(table.name)}"
-                ).fetchone()[0]
+            # MAX(pos) + 1, not COUNT(*): positions are never reused, so
+            # after a physical delete the next insert must still land
+            # past every position ever handed out (posting lists and the
+            # memory backend's append-only physical list speak in them).
+            self._positions[table.name] = (
+                int(
+                    self._connection.execute(
+                        f"SELECT COALESCE(MAX({quote_identifier(_POSITION_COLUMN)}), -1) "
+                        f"FROM {quote_identifier(table.name)}"
+                    ).fetchone()[0]
+                )
+                + 1
             )
         for tbl, col, indexed in self._connection.execute(
             'SELECT tbl, col, indexed FROM "_quest_fields"'
@@ -461,10 +490,14 @@ class SQLiteBackend(StorageBackend):
                 for ref in self._field_sizes:
                     self._field_sizes[ref] = 0
                 for table in self.schema.tables:
-                    self._positions[table.name] = int(
-                        cursor.execute(
-                            f"SELECT COUNT(*) FROM {quote_identifier(table.name)}"
-                        ).fetchone()[0]
+                    self._positions[table.name] = (
+                        int(
+                            cursor.execute(
+                                f"SELECT COALESCE(MAX({quote_identifier(_POSITION_COLUMN)}), -1) "
+                                f"FROM {quote_identifier(table.name)}"
+                            ).fetchone()[0]
+                        )
+                        + 1
                     )
                     for column in table.columns:
                         self._index_column(cursor, table, column.name)
@@ -499,6 +532,116 @@ class SQLiteBackend(StorageBackend):
             (indexed, tokens_total, table.name, column),
         )
         self._field_sizes[ref] = indexed
+
+    # -- batched, journaled mutation ---------------------------------------
+
+    def _pk_exists(self, table: str, key: tuple[Any, ...]) -> bool:
+        schema = self._table_schema(table)
+        where = " AND ".join(
+            f"{quote_identifier(name)} = ?" for name in schema.primary_key
+        )
+        with self._lock:
+            row = self._connection.execute(
+                f"SELECT 1 FROM {quote_identifier(table)} WHERE {where}",
+                [_encode(part) for part in key],
+            ).fetchone()
+        return row is not None
+
+    def _persist_applied_seq(self, cursor: sqlite3.Cursor, seq: int) -> None:
+        if self._has_meta:
+            cursor.execute(
+                'UPDATE "_quest_meta" SET value = ? WHERE key = ?',
+                (seq, "applied_seq"),
+            )
+
+    def _apply_add_rows(
+        self, table: str, rows: Sequence[Row], seq: int
+    ) -> None:
+        table_schema = self._table_schema(table)
+        with self._lock:
+            cursor = self._connection.cursor()
+            cursor.execute("BEGIN")
+            try:
+                for row in rows:
+                    self._insert_row(cursor, table_schema, row)
+                # The applied sequence number commits with the rows: a
+                # crash either keeps both or neither, so replay resumes
+                # at exactly the right record.
+                self._persist_applied_seq(cursor, seq)
+                cursor.execute("COMMIT")
+            except BaseException:
+                cursor.execute("ROLLBACK")
+                self._reload_counters()
+                raise
+            self._version += 1
+
+    def _apply_delete_rows(
+        self, table: str, keys: Sequence[tuple[Any, ...]], seq: int
+    ) -> int:
+        """Delete rows and unindex their tokens, one transaction.
+
+        The stored row is read back first so its token streams can be
+        removed symmetrically to how :meth:`_insert_row` added them —
+        posting rows deleted by position, ``_quest_fields`` counters
+        decremented per tokenised column — keeping scores bit-identical
+        to the memory backend's tombstone unindexing. Positions are
+        never reused (``_reload_counters`` advances past ``MAX(pos)``).
+        """
+        table_schema = self._table_schema(table)
+        where = " AND ".join(
+            f"{quote_identifier(name)} = ?" for name in table_schema.primary_key
+        )
+        column_list = ", ".join(
+            [quote_identifier(column.name) for column in table_schema.columns]
+            + [quote_identifier(_POSITION_COLUMN)]
+        )
+        deleted = 0
+        with self._lock:
+            cursor = self._connection.cursor()
+            cursor.execute("BEGIN")
+            try:
+                for key in keys:
+                    parameters = [_encode(part) for part in key]
+                    row = cursor.execute(
+                        f"SELECT {column_list} FROM {quote_identifier(table)} "
+                        f"WHERE {where}",
+                        parameters,
+                    ).fetchone()
+                    if row is None:  # absent: journaled replay stays idempotent
+                        continue
+                    position = int(row[-1])
+                    for column, stored in zip(table_schema.columns, row):
+                        tokens = tokenize_value(coerce(stored, column.dtype))
+                        if not tokens:
+                            continue
+                        cursor.execute(
+                            'UPDATE "_quest_fields" SET indexed = indexed - 1, '
+                            "tokens = tokens - ? WHERE tbl = ? AND col = ?",
+                            (len(tokens), table, column.name),
+                        )
+                        self._field_sizes[ColumnRef(table, column.name)] -= 1
+                    cursor.execute(
+                        'DELETE FROM "_quest_postings" WHERE tbl = ? AND pos = ?',
+                        (table, position),
+                    )
+                    if self._fts_enabled:
+                        cursor.execute(
+                            'DELETE FROM "_quest_fts" WHERE tbl = ? AND pos = ?',
+                            (table, position),
+                        )
+                    cursor.execute(
+                        f"DELETE FROM {quote_identifier(table)} WHERE {where}",
+                        parameters,
+                    )
+                    deleted += 1
+                self._persist_applied_seq(cursor, seq)
+                cursor.execute("COMMIT")
+            except BaseException:
+                cursor.execute("ROLLBACK")
+                self._reload_counters()
+                raise
+            self._version += 1
+        return deleted
 
     # -- row access --------------------------------------------------------
 

@@ -128,3 +128,70 @@ class TestRefresh:
         index.refresh()
         index.refresh()
         assert index.attribute_scores("kubrick") == before
+
+
+class TestDeltaLayer:
+    """Mutations after a seal layer a write delta over the CSR snapshot
+    (live-mutation tentpole): reads stay bit-identical to a rebuild."""
+
+    KEYWORDS = ("kubrick", "odyssey", "the", "2001", "akerman")
+
+    def _assert_matches_rebuild(self, index, db):
+        rebuilt = FullTextIndex(db)
+        for keyword in self.KEYWORDS:
+            assert index.attribute_scores(keyword) == rebuilt.attribute_scores(
+                keyword
+            ), keyword
+            for ref in (ColumnRef("person", "name"), ColumnRef("movie", "title")):
+                assert index.matching_row_positions(
+                    keyword, ref
+                ) == rebuilt.matching_row_positions(keyword, ref)
+                assert index.selectivity(keyword, ref) == rebuilt.selectivity(
+                    keyword, ref
+                )
+
+    def test_insert_after_seal_layers_a_delta(self, mini_db):
+        index = FullTextIndex(mini_db)
+        index.warm()  # seal the columnar snapshot
+        assert index.delta_terms == frozenset()
+        mini_db.insert("person", {"id": 9, "name": "Chantal Akerman"})
+        index.refresh()
+        assert "akerman" in index.delta_terms
+        self._assert_matches_rebuild(index, mini_db)
+
+    def test_delete_after_seal_layers_a_delta(self, mini_db):
+        index = FullTextIndex(mini_db)
+        index.warm()
+        mini_db.table("person").delete_rows([(1,)])
+        index.refresh()
+        assert index.delta_terms  # the deleted row's terms are layered
+        self._assert_matches_rebuild(index, mini_db)
+
+    def test_merge_reseals_with_identical_scores(self, mini_db):
+        index = FullTextIndex(mini_db)
+        index.warm()
+        mini_db.insert("person", {"id": 9, "name": "Chantal Akerman"})
+        mini_db.table("movie").delete_rows([(2,)])
+        index.refresh()
+        before = {k: index.attribute_scores(k) for k in self.KEYWORDS}
+        index.merge()
+        assert index.delta_terms == frozenset()
+        for keyword in self.KEYWORDS:
+            assert index.attribute_scores(keyword) == before[keyword]
+        self._assert_matches_rebuild(index, mini_db)
+
+    def test_save_seals_a_live_delta_first(self, mini_db, tmp_path):
+        index = FullTextIndex(mini_db)
+        index.warm()
+        mini_db.insert("person", {"id": 9, "name": "Chantal Akerman"})
+        index.refresh()
+        assert index.delta_terms
+        artifact = tmp_path / "index.npz"
+        index.save(artifact, generation=7)
+        assert index.delta_terms == frozenset()  # save sealed the delta
+        assert FullTextIndex.peek_generation(artifact) == 7
+        loaded = FullTextIndex.load(artifact, mini_db)
+        for keyword in self.KEYWORDS:
+            assert loaded.attribute_scores(keyword) == index.attribute_scores(
+                keyword
+            )

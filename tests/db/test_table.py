@@ -143,3 +143,96 @@ def test_pk_index_finds_every_inserted_row(keys):
     for key in keys:
         assert table.get(key) == (key,)
     assert len(table) == len(keys)
+
+
+class TestTombstones:
+    def _seeded(self, table):
+        table.insert_many(
+            iter(
+                [
+                    {"id": 1, "title": "Alien", "year": 1979},
+                    {"id": 2, "title": "Aliens", "year": 1986},
+                    {"id": 3, "title": "Solaris", "year": 1972},
+                ]
+            )
+        )
+        return table
+
+    def test_delete_rows_tombstones_without_renumbering(self, table):
+        table = self._seeded(table)
+        assert table.delete_rows([(2,)]) == 1
+        assert len(table) == 2
+        assert table.physical_count == 3  # the physical slot survives
+        assert table.deleted_count == 1
+        assert table.deletion_log == [1]
+        assert table.is_deleted(1) and not table.is_deleted(0)
+        assert [row[0] for row in table.rows] == [1, 3]
+        assert [row[0] for row in table.storage_rows] == [1, 2, 3]
+        assert table.get(2) is None
+
+    def test_delete_is_idempotent_and_skips_absent_keys(self, table):
+        table = self._seeded(table)
+        assert table.delete_rows([(2,), (2,), (99,)]) == 1
+        assert table.delete_rows([(2,)]) == 0
+
+    def test_scalar_keys_accepted(self, table):
+        table = self._seeded(table)
+        assert table.delete_rows([3]) == 1
+        assert table.get(3) is None
+
+    def test_deleted_key_can_be_reinserted_at_a_new_position(self, table):
+        table = self._seeded(table)
+        table.delete_rows([(1,)])
+        table.insert({"id": 1, "title": "Alien (restored)", "year": 1979})
+        assert table.get(1) == (1, "Alien (restored)", 1979)
+        # The old physical slot stays tombstoned; the row lives at the end.
+        assert table.physical_count == 4
+        assert table.is_deleted(0)
+        assert table.storage_rows[3][1] == "Alien (restored)"
+
+    def test_secondary_index_ignores_tombstoned_rows(self, table):
+        table = self._seeded(table)
+        table.ensure_index("year")
+        assert len(table.lookup("year", 1986)) == 1
+        table.delete_rows([(2,)])
+        assert table.lookup("year", 1986) == []
+
+    def test_live_view_cached_per_version(self, table):
+        table = self._seeded(table)
+        table.delete_rows([(1,)])
+        first = table.rows
+        assert table.rows is first  # cached: same version, same list
+        table.insert({"id": 4, "title": "Stalker", "year": 1979})
+        assert table.rows is not first
+        assert [row[0] for row in table.rows] == [2, 3, 4]
+
+
+class TestPrepareApplySplit:
+    def test_prepare_validates_without_applying(self, table):
+        normalised = table.prepare_rows([{"id": 1, "title": "X", "year": None}])
+        assert normalised == [(1, "X", None)]
+        assert len(table) == 0  # nothing applied yet
+        table.apply_prepared(normalised)
+        assert table.get(1) == (1, "X", None)
+
+    def test_prepare_rejects_batch_internal_duplicates(self, table):
+        with pytest.raises(IntegrityError):
+            table.prepare_rows(
+                [
+                    {"id": 1, "title": "A", "year": None},
+                    {"id": 1, "title": "B", "year": None},
+                ]
+            )
+        assert len(table) == 0  # all-or-nothing: the valid prefix too
+
+    def test_prepare_rejects_stored_duplicates(self, table):
+        table.insert({"id": 1, "title": "A", "year": None})
+        with pytest.raises(IntegrityError):
+            table.prepare_rows([{"id": 1, "title": "B", "year": None}])
+
+    def test_insert_rows_is_prepare_plus_apply(self, table):
+        rows = table.insert_rows(
+            [{"id": 1, "title": "A", "year": None}, (2, "B", 1990)]
+        )
+        assert rows == [(1, "A", None), (2, "B", 1990)]
+        assert len(table) == 2

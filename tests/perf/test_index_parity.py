@@ -325,7 +325,7 @@ def test_load_or_build_reopens_a_fresh_build_mapped(mondial_db, tmp_path):
     assert artifact.exists()
 
 
-def test_mutation_after_mmap_load_materialises_in_heap(tmp_path):
+def test_mutation_after_mmap_load_layers_then_merges_into_heap(tmp_path):
     db = mondial.generate(countries=6, seed=3)
     artifact = tmp_path / "mut.npz"
     FullTextIndex.load_or_build(artifact, db)
@@ -346,8 +346,17 @@ def test_mutation_after_mmap_load_materialises_in_heap(tmp_path):
             },
         },
     )
+    # A small mutation layers over the retained mapped snapshot ...
     assert mapped.attribute_scores("zzyzxstan")
-    assert not mapped.mmapped  # the refresh resealed into private heap
+    assert mapped.mmapped
+    assert mapped.delta_terms
+    assert mapped.attribute_scores("zzyzxstan") == FullTextIndex(
+        db
+    ).attribute_scores("zzyzxstan")
+    # ... until a merge reseals the delta into a private in-heap snapshot.
+    mapped.merge()
+    assert not mapped.mmapped
+    assert not mapped.delta_terms
     assert mapped.attribute_scores("zzyzxstan") == FullTextIndex(
         db
     ).attribute_scores("zzyzxstan")

@@ -455,3 +455,112 @@ class TestDatasetLoaders:
         backend = mondial.generate(countries=5, seed=23, backend="sqlite", path=path)
         assert backend.path == path
         assert backend.row_count("country") == 5
+
+
+class TestBatchedMutation:
+    """``add_rows``/``delete_rows`` — the journaled batch write path.
+
+    Contrast with ``insert_many`` above: the legacy path keeps the
+    prefix of a failed batch, the batched path validates everything
+    up front and lands all rows or none.
+    """
+
+    BATCH = [
+        {"id": 60, "name": "Claire Denis"},
+        {"id": 61, "name": "Lucrecia Martel"},
+    ]
+
+    def test_add_rows_parity(self, mini_backends):
+        for backend in mini_backends.values():
+            landed = backend.add_rows("person", self.BATCH)
+            assert len(landed) == 2
+            assert backend.row_count("person") == 5
+        memory, sqlite = mini_backends["memory"], mini_backends["sqlite"]
+        for keyword in ("denis", "martel", "kubrick"):
+            assert memory.attribute_scores(keyword) == sqlite.attribute_scores(
+                keyword
+            ), keyword
+        assert memory.table_rows("person") == sqlite.table_rows("person")
+
+    def test_add_rows_accepts_positional_rows(self, mini_backends):
+        for backend in mini_backends.values():
+            backend.add_rows("person", [[70, "Agnes Varda"]])
+            assert backend.attribute_scores("varda")
+
+    def test_failed_batch_lands_nothing(self, mini_backends):
+        # All-or-nothing: the valid first row must NOT land when a later
+        # row fails validation (unlike insert_many's prefix semantics).
+        rows = [
+            {"id": 60, "name": "Claire Denis"},
+            {"id": 1, "name": "Duplicate Key"},
+        ]
+        for backend in mini_backends.values():
+            with pytest.raises(IntegrityError):
+                backend.add_rows("person", rows)
+            assert backend.row_count("person") == 3
+            assert backend.attribute_scores("denis") == {}
+        memory, sqlite = mini_backends["memory"], mini_backends["sqlite"]
+        assert memory.table_rows("person") == sqlite.table_rows("person")
+
+    def test_batch_internal_duplicate_lands_nothing(self, mini_backends):
+        rows = [
+            {"id": 60, "name": "Claire Denis"},
+            {"id": 60, "name": "Clone Denis"},
+        ]
+        for backend in mini_backends.values():
+            with pytest.raises(IntegrityError, match="duplicate"):
+                backend.add_rows("person", rows)
+            assert backend.row_count("person") == 3
+
+    def test_delete_rows_idempotent_parity(self, mini_backends):
+        for backend in mini_backends.values():
+            backend.add_rows("person", self.BATCH)
+            assert backend.delete_rows("person", [(60,), (61,)]) == 2
+            assert backend.delete_rows("person", [(60,), (99,)]) == 0
+            assert backend.row_count("person") == 3
+            assert backend.attribute_scores("denis") == {}
+        memory, sqlite = mini_backends["memory"], mini_backends["sqlite"]
+        for keyword in KEYWORDS:
+            assert memory.attribute_scores(keyword) == sqlite.attribute_scores(
+                keyword
+            ), keyword
+
+    def test_positions_never_reused_after_delete(self, mini_backends):
+        # Tombstoned positions stay dead: a row added after a delete gets
+        # a fresh position, so sealed artifacts and mmap readers never
+        # see a recycled slot with different content.
+        ref = ColumnRef("person", "name")
+        for backend in mini_backends.values():
+            before = max(backend.matching_row_positions("kubrick", ref) or [0])
+            backend.delete_rows("person", [(1,)])
+            backend.add_rows("person", [{"id": 80, "name": "Kelly Reichardt"}])
+            positions = backend.matching_row_positions("reichardt", ref)
+            assert positions and min(positions) > before
+        memory, sqlite = mini_backends["memory"], mini_backends["sqlite"]
+        assert memory.matching_row_positions(
+            "reichardt", ref
+        ) == sqlite.matching_row_positions("reichardt", ref)
+
+    def test_applied_seq_advances_with_journal(self, tmp_path):
+        from repro.journal import MutationJournal
+
+        for name in BACKENDS:
+            backend = create_backend(name, build_mini_db())
+            journal = MutationJournal(tmp_path / f"{name}.journal")
+            backend.attach_journal(journal)
+            assert backend.applied_seq == 0
+            backend.add_rows("person", self.BATCH)
+            assert backend.applied_seq == 1
+            backend.delete_rows("person", [(60,)])
+            assert backend.applied_seq == 2
+            assert [r.seq for r in journal.records()] == [1, 2]
+            journal.close()
+
+    def test_version_advances_on_batched_writes(self, mini_backends):
+        for backend in mini_backends.values():
+            v0 = backend.version
+            backend.add_rows("person", self.BATCH)
+            assert backend.version > v0
+            v1 = backend.version
+            backend.delete_rows("person", [(60,)])
+            assert backend.version > v1
