@@ -1,0 +1,63 @@
+"""questlint: project-specific static analysis for hard-won invariants.
+
+Nine PRs of growth accreted invariants that nothing enforced
+mechanically — every one added after a real bug, every one guarded only
+by reviewer memory. This package closes that gap the way race detectors
+and sanitizers gate large concurrent systems: an AST-walking analyzer
+(stdlib :mod:`ast`, no third-party dependencies) with one checker per
+invariant, runnable as ``python -m repro.analysis src/`` and wired into
+CI as a hard gate alongside the perf and parity harnesses.
+
+The enforced invariants (see ARCHITECTURE.md, "Correctness tooling"):
+
+=================== =====================================================
+``fork-safety``      every ``threading.Lock``/``RLock``/``Condition``
+                     assigned to ``self.*`` must be re-initialised in
+                     forked children via ``repro.forksafe`` (PR 5: a fork
+                     while a sibling thread holds a copied lock deadlocks
+                     the child).
+``lock-order``       the static lock-acquisition graph built from nested
+                     ``with self._lock``-style blocks must be acyclic
+                     (a cycle is a potential ABBA deadlock).
+``cache-revision``   cross-query cache keys must carry a revision /
+                     version / generation stamp (PR 5: clear-then-stale-
+                     put races poison unstamped caches).
+``journal-discipline`` storage-backend mutations must journal before they
+                     apply — validate → journal → apply (PR 9: the
+                     journal append *is* the durability ack).
+``fault-points``     every ``faults.fire("...")`` literal must be in the
+                     declared ``POINTS`` registry, and every declared
+                     point must be fired somewhere (PR 8: a typo'd point
+                     silently injects nothing).
+``clock-discipline`` deadline-aware layers (``pipeline``, ``resilience``,
+                     ``service``) never read ``time.time()`` /
+                     ``time.monotonic()`` directly — clocks are injected
+                     so chaos tests can drive expiry deterministically.
+=================== =====================================================
+
+Suppressions: append ``# questlint: disable=RULE  # reason`` to the
+flagged line, or put ``# questlint: disable-file=RULE`` anywhere in a
+file to waive the rule file-wide. Findings can also be parked in a
+committed baseline file (``questlint-baseline.json``) with a written
+justification per entry; the CI gate fails on any non-baselined finding.
+
+The runtime counterpart lives in :mod:`repro.analysis.lockwatch`: an
+opt-in instrumented lock wrapper that records per-thread acquisition
+order at test time, catching the inversions the static ``lock-order``
+checker cannot see (locks acquired across call boundaries) plus
+fork-while-held events. The concurrency and chaos suites run under it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.driver import AnalysisResult, analyze_paths, main
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "AnalysisResult",
+    "Baseline",
+    "Finding",
+    "analyze_paths",
+    "main",
+]

@@ -1,0 +1,10 @@
+"""CLI entry point: ``python -m repro.analysis [paths ...]``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.driver import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""The committed questlint baseline: parked findings with justifications.
+
+The baseline is a JSON file listing finding fingerprints the team has
+explicitly accepted, each with a written justification. The CI gate
+fails on any finding *not* in the baseline, so the file is a ratchet:
+it should only ever shrink. (Prefer inline
+``# questlint: disable=RULE  # reason`` for intentionally-exempt sites;
+the baseline is for bulk onboarding of pre-existing debt.)
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "questlint-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """Accepted findings, keyed by fingerprint."""
+
+    entries: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    @staticmethod
+    def load(path: Path) -> "Baseline":
+        if not path.exists():
+            return Baseline()
+        raw = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+            raise ValueError(f"unsupported baseline format in {path}")
+        entries: dict[str, dict[str, Any]] = {}
+        for entry in raw.get("entries", []):
+            fingerprint = str(entry["fingerprint"])
+            entries[fingerprint] = dict(entry)
+        return Baseline(entries=entries)
+
+    @staticmethod
+    def from_findings(
+        findings: Iterable[Finding],
+        justification: str = "TODO: justify or fix",
+    ) -> "Baseline":
+        entries: dict[str, dict[str, Any]] = {}
+        for finding in findings:
+            entries[finding.fingerprint] = {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+                "justification": justification,
+            }
+        return Baseline(entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": sorted(
+                self.entries.values(),
+                key=lambda e: (str(e.get("path", "")), str(e.get("fingerprint", ""))),
+            ),
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -1,0 +1,142 @@
+"""Checker protocol plus the shared AST plumbing every checker leans on.
+
+Checkers see one :class:`ModuleInfo` at a time via ``check_module`` and
+may hold cross-file state for a final ``finalize`` pass (the lock-order
+graph and the fault-point registry are whole-program properties). The
+driver guarantees ``check_module`` is called for every module before
+``finalize``.
+
+The helpers here deliberately stay *syntactic*: questlint never imports
+the code it analyses, so "what does this name refer to" is answered by
+the module's import table and simple assignment scans, not a type
+system. That is the right trade for invariant linting — heuristic
+receivers plus inline suppressions beat a type-checker-shaped
+dependency the container cannot install.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.analysis.suppress import Suppressions
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus everything checkers need about it."""
+
+    path: Path
+    rel_path: str
+    module_name: str
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+    imports: "ImportMap" = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.imports = ImportMap.from_tree(self.tree)
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        return Finding.make(rule, self.rel_path, int(line), int(col), message)
+
+
+class Checker:
+    """Base class for questlint checkers."""
+
+    rule: str = ""
+    description: str = ""
+
+    def check_module(self, module: ModuleInfo) -> list[Finding]:
+        return []
+
+    def finalize(self) -> list[Finding]:
+        """Whole-program findings, after every module has been visited."""
+        return []
+
+
+class ImportMap:
+    """Local name → dotted origin, from a module's import statements.
+
+    ``import threading`` maps ``threading -> threading``;
+    ``from threading import Lock as L`` maps ``L -> threading.Lock``;
+    ``from repro import faults`` maps ``faults -> repro.faults``.
+    """
+
+    def __init__(self, names: dict[str, str]) -> None:
+        self._names = names
+
+    @staticmethod
+    def from_tree(tree: ast.Module) -> "ImportMap":
+        names: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    origin = alias.name if alias.asname else local
+                    names[local] = origin
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    names[local] = f"{node.module}.{alias.name}"
+        return ImportMap(names)
+
+    def resolve(self, name: str) -> str:
+        return self._names.get(name, name)
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """Render ``a.b.c`` attribute/name chains; None for anything else."""
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolved_call_name(module: ModuleInfo, call: ast.Call) -> str | None:
+    """Dotted name of a call target with its head import-resolved.
+
+    ``Lock()`` after ``from threading import Lock`` resolves to
+    ``threading.Lock``; ``threading.RLock()`` stays ``threading.RLock``;
+    ``self.thing()`` resolves to ``self.thing``.
+    """
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    resolved_head = module.imports.resolve(head)
+    return f"{resolved_head}.{rest}" if rest else resolved_head
+
+
+def terminal_attr(node: ast.expr) -> str | None:
+    """The last identifier of a name/attribute chain (``a.b.c`` → ``c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def is_self_attribute(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def class_functions(cls: ast.ClassDef) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+    return [
+        item
+        for item in cls.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]

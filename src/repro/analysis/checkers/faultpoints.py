@@ -1,0 +1,132 @@
+"""fault-points: fire("...") literals and the POINTS registry must agree.
+
+PR 8's fault-injection harness is only as good as its point names: a
+typo'd ``faults.fire("storage.qurey")`` silently injects nothing and the
+chaos suite quietly stops covering that path. Both directions are
+checked, whole-program:
+
+- every ``faults.fire("<literal>")`` must name a point declared in the
+  ``POINTS`` registry (anchored at the fire site);
+- every declared point must be fired somewhere in the analysed tree
+  (anchored at the POINTS declaration) — a declared-but-never-fired
+  point means a fault plan targeting it is dead configuration.
+
+Non-literal fire arguments are ignored (the runtime guard in
+``repro.faults`` covers those; see FaultPlan.fire). If no POINTS
+declaration is in the analysed tree (e.g. a partial run over one
+subpackage), the checker stays silent rather than guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.checkers.base import Checker, ModuleInfo, resolved_call_name
+from repro.analysis.findings import Finding
+
+RULE = "fault-points"
+
+
+@dataclass(frozen=True)
+class _FireSite:
+    point: str
+    rel_path: str
+    line: int
+    col: int
+
+
+class FaultPointChecker(Checker):
+    rule = RULE
+    description = (
+        'every faults.fire("...") literal must be a declared POINT, and '
+        "every declared POINT must be fired somewhere"
+    )
+
+    def __init__(self) -> None:
+        self._declared: dict[str, tuple[str, int, int]] = {}
+        self._declaring_modules: set[str] = set()
+        self._fires: list[_FireSite] = []
+
+    def check_module(self, module: ModuleInfo) -> list[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                self._maybe_record_registry(module, node)
+            elif isinstance(node, ast.Call):
+                self._maybe_record_fire(module, node)
+        return []
+
+    def _maybe_record_registry(self, module: ModuleInfo, node: ast.Assign) -> None:
+        if not any(
+            isinstance(t, ast.Name) and t.id == "POINTS" for t in node.targets
+        ):
+            return
+        if not isinstance(node.value, (ast.Tuple, ast.List)):
+            return
+        points: list[str] = []
+        for element in node.value.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                points.append(element.value)
+            else:
+                return  # not a pure string registry; ignore
+        if not points:
+            return
+        self._declaring_modules.add(module.rel_path)
+        for point in points:
+            self._declared.setdefault(
+                point, (module.rel_path, node.lineno, node.col_offset)
+            )
+
+    def _maybe_record_fire(self, module: ModuleInfo, node: ast.Call) -> None:
+        resolved = resolved_call_name(module, node)
+        if resolved is None or not resolved.endswith("faults.fire"):
+            return
+        if not node.args:
+            return
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            self._fires.append(
+                _FireSite(
+                    point=arg.value,
+                    rel_path=module.rel_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                )
+            )
+
+    def finalize(self) -> list[Finding]:
+        if not self._declared:
+            return []
+        findings: list[Finding] = []
+        for fire in self._fires:
+            if fire.point not in self._declared:
+                findings.append(
+                    Finding.make(
+                        RULE,
+                        fire.rel_path,
+                        fire.line,
+                        fire.col,
+                        f'fire point "{fire.point}" is not declared in the '
+                        "POINTS registry — this injection site is dead and "
+                        "the chaos suite cannot target it",
+                    )
+                )
+        fired = {f.point for f in self._fires}
+        fired_outside_registry = any(
+            f.rel_path not in self._declaring_modules for f in self._fires
+        )
+        if fired_outside_registry:
+            for point, (rel_path, line, col) in sorted(self._declared.items()):
+                if point not in fired:
+                    findings.append(
+                        Finding.make(
+                            RULE,
+                            rel_path,
+                            line,
+                            col,
+                            f'declared fault point "{point}" is never '
+                            "fired — fault plans targeting it are dead "
+                            "configuration",
+                        )
+                    )
+        return findings

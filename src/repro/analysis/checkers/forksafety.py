@@ -1,0 +1,109 @@
+"""fork-safety: every instance-held lock must register with repro.forksafe.
+
+PR 5's fork story: ``os.fork`` copies a lock in whatever state a sibling
+thread left it, so a child that inherits a *held* lock deadlocks the
+first time it touches the guarded structure. ``repro.forksafe`` fixes
+this by re-initialising registered locks in ``after_in_child`` hooks —
+but only for holders that actually registered. This checker makes the
+registration mechanical: any class that assigns a
+``threading.Lock``/``RLock``/``Condition`` to ``self.*`` must call
+``register_lock_holder`` somewhere in its body (the universal idiom in
+this codebase is a module-level resetter plus a
+``register_lock_holder(self, _reset_x)`` call in ``__init__``).
+
+Module-level locks are exempt: they are rebuilt per-process on import in
+forked *spawn* children and reset explicitly where it matters
+(``core/batch.py``); the fork-deadlock bugs PR 5 chased all involved
+instance state captured by a live engine.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checkers.base import (
+    Checker,
+    ModuleInfo,
+    is_self_attribute,
+    resolved_call_name,
+)
+from repro.analysis.findings import Finding
+
+LOCK_CONSTRUCTORS = {
+    "threading.Lock": "Lock",
+    "threading.RLock": "RLock",
+    "threading.Condition": "Condition",
+}
+
+RULE = "fork-safety"
+
+
+def self_lock_assignments(
+    module: ModuleInfo, cls: ast.ClassDef
+) -> list[tuple[ast.AST, str, str]]:
+    """``(node, attr, kind)`` for each ``self.X = threading.Lock()`` in *cls*.
+
+    Shared with the lock-order checker, which needs lock kinds to decide
+    whether a nested re-acquisition is a self-deadlock (Lock) or benign
+    reentrancy (RLock).
+    """
+    found: list[tuple[ast.AST, str, str]] = []
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign):
+            targets: list[ast.expr] = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if not isinstance(value, ast.Call):
+            continue
+        resolved = resolved_call_name(module, value)
+        kind = LOCK_CONSTRUCTORS.get(resolved or "")
+        if kind is None:
+            continue
+        for target in targets:
+            if is_self_attribute(target):
+                assert isinstance(target, ast.Attribute)
+                found.append((node, target.attr, kind))
+    return found
+
+
+def _registers_forksafe(module: ModuleInfo, cls: ast.ClassDef) -> bool:
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = resolved_call_name(module, node)
+        if resolved is not None and resolved.endswith("register_lock_holder"):
+            return True
+    return False
+
+
+class ForkSafetyChecker(Checker):
+    rule = RULE
+    description = (
+        "threading locks assigned to self.* must register with "
+        "repro.forksafe.register_lock_holder so forked children reset them"
+    )
+
+    def check_module(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            locks = self_lock_assignments(module, node)
+            if not locks or _registers_forksafe(module, node):
+                continue
+            for assign, attr, kind in locks:
+                findings.append(
+                    module.finding(
+                        RULE,
+                        assign,
+                        f"{node.name}.{attr} is a threading.{kind} held on "
+                        f"self, but {node.name} never calls "
+                        "repro.forksafe.register_lock_holder — a fork while "
+                        "a sibling thread holds it deadlocks the child",
+                    )
+                )
+        return findings

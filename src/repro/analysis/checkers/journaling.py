@@ -1,0 +1,102 @@
+"""journal-discipline: storage mutations journal before they apply.
+
+PR 9's durability contract: ``add_rows``/``delete_rows`` return ⇒ the
+batch is fsync'd in the journal, because the journal append *is* the
+durability ack and crash recovery replays from it. The shape that makes
+that true is validate → journal → apply — an apply-side helper invoked
+before its batch is journaled acknowledges state that a crash would
+silently lose.
+
+Mechanically: inside any class whose name (or base) mentions
+``Backend``, a method that calls a ``self._apply_*`` helper must make a
+journal call (an attribute access whose name contains ``journal``, e.g.
+``self._journal_append(...)`` or ``self._journal.append(...)``) on an
+earlier line of the same method. Textual order approximates dominance —
+exact for the straight-line mutation paths this codebase uses. The
+``_apply_*`` definitions themselves are exempt (they are the apply
+side); the recovery replay path re-applies *already-journaled* records
+and carries an inline disable explaining exactly that.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checkers.base import (
+    Checker,
+    ModuleInfo,
+    class_functions,
+    terminal_attr,
+)
+from repro.analysis.findings import Finding
+
+RULE = "journal-discipline"
+
+
+def _is_backend_class(cls: ast.ClassDef) -> bool:
+    if "Backend" in cls.name:
+        return True
+    for base in cls.bases:
+        base_name = terminal_attr(base)
+        if base_name is not None and "Backend" in base_name:
+            return True
+    return False
+
+
+class JournalDisciplineChecker(Checker):
+    rule = RULE
+    description = (
+        "storage-backend methods must journal (validate -> journal -> "
+        "apply) before invoking self._apply_* helpers"
+    )
+
+    def check_module(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef) or not _is_backend_class(node):
+                continue
+            for method in class_functions(node):
+                if method.name.startswith("_apply_"):
+                    continue
+                findings.extend(self._check_method(module, node, method))
+        return findings
+
+    def _check_method(
+        self,
+        module: ModuleInfo,
+        cls: ast.ClassDef,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> list[Finding]:
+        apply_calls: list[ast.Call] = []
+        journal_lines: list[int] = []
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if (
+                func.attr.startswith("_apply_")
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+            ):
+                apply_calls.append(node)
+            elif "journal" in func.attr.lower():
+                journal_lines.append(node.lineno)
+        findings: list[Finding] = []
+        for call in apply_calls:
+            if any(line <= call.lineno for line in journal_lines):
+                continue
+            func = call.func
+            assert isinstance(func, ast.Attribute)
+            findings.append(
+                module.finding(
+                    RULE,
+                    call,
+                    f"{cls.name}.{method.name} calls self.{func.attr}() "
+                    "without a preceding journal append — applied state "
+                    "would not survive crash recovery (validate -> "
+                    "journal -> apply)",
+                )
+            )
+        return findings

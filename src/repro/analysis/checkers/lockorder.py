@@ -1,0 +1,216 @@
+"""lock-order: the static lock-acquisition graph must be acyclic.
+
+Builds a whole-program directed graph from *textually nested* ``with``
+blocks over lock-like expressions: an edge A → B means some function
+acquires B while (statically) holding A. A cycle in that graph is a
+potential ABBA deadlock — two threads entering the cycle from different
+points block each other forever.
+
+Lock identity is a *role*, not an instance: ``self._lock`` inside class
+``C`` of module ``m`` is the node ``m.C._lock``, module-level ``_X_LOCK``
+is ``m._X_LOCK``. Two instances of the same class share a node — which is
+what you want, because the ordering discipline is per-role.
+
+Also flagged: statically nested re-acquisition of a lock known (from its
+same-class ``threading.Lock()`` assignment) to be non-reentrant — a
+guaranteed self-deadlock, no second thread required.
+
+This checker sees only lexical nesting; inversions assembled across call
+boundaries are the runtime detector's job (`repro.analysis.lockwatch`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.checkers.base import Checker, ModuleInfo
+from repro.analysis.checkers.forksafety import self_lock_assignments
+from repro.analysis.findings import Finding
+
+RULE = "lock-order"
+
+
+@dataclass(frozen=True)
+class _Edge:
+    src: str
+    dst: str
+    rel_path: str
+    line: int
+    col: int
+
+
+def _lock_node_id(
+    module: ModuleInfo, class_name: str | None, expr: ast.expr
+) -> str | None:
+    """Role id for a lock-like with-expression, or None if not a lock."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and "lock" in expr.attr.lower()
+    ):
+        owner = class_name or "<module>"
+        return f"{module.module_name}.{owner}.{expr.attr}"
+    if isinstance(expr, ast.Name) and "lock" in expr.id.lower():
+        return f"{module.module_name}.{expr.id}"
+    return None
+
+
+class _FunctionLockVisitor(ast.NodeVisitor):
+    """Walks one function body tracking the stack of held lock roles."""
+
+    def __init__(
+        self,
+        module: ModuleInfo,
+        class_name: str | None,
+        lock_kinds: dict[str, str],
+        edges: list[_Edge],
+        self_findings: list[Finding],
+    ) -> None:
+        self.module = module
+        self.class_name = class_name
+        self.lock_kinds = lock_kinds
+        self.edges = edges
+        self.self_findings = self_findings
+        self.held: list[str] = []
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        acquired: list[str] = []
+        for item in node.items:
+            lock_id = _lock_node_id(self.module, self.class_name, item.context_expr)
+            if lock_id is None:
+                continue
+            if lock_id in self.held:
+                if self.lock_kinds.get(lock_id) == "Lock":
+                    self.self_findings.append(
+                        self.module.finding(
+                            RULE,
+                            item.context_expr,
+                            f"nested acquisition of non-reentrant lock "
+                            f"{lock_id} — guaranteed self-deadlock",
+                        )
+                    )
+                continue
+            for holder in self.held:
+                self.edges.append(
+                    _Edge(
+                        src=holder,
+                        dst=lock_id,
+                        rel_path=self.module.rel_path,
+                        line=item.context_expr.lineno,
+                        col=item.context_expr.col_offset,
+                    )
+                )
+            self.held.append(lock_id)
+            acquired.append(lock_id)
+        for child in node.body:
+            self.visit(child)
+        for lock_id in reversed(acquired):
+            self.held.remove(lock_id)
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    # Nested defs get their own visitor (fresh held-stack): a closure is
+    # not statically "inside" the enclosing with at call time.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        return
+
+
+class LockOrderChecker(Checker):
+    rule = RULE
+    description = (
+        "nested `with lock` blocks define a lock-acquisition order; "
+        "a cycle across the codebase is a potential ABBA deadlock"
+    )
+
+    def __init__(self) -> None:
+        self._edges: list[_Edge] = []
+        self._self_findings: list[Finding] = []
+        self._lock_kinds: dict[str, str] = {}
+
+    def check_module(self, module: ModuleInfo) -> list[Finding]:
+        # Pass 1: lock kinds, so nested same-lock `with`s can tell a
+        # Lock (self-deadlock) from an RLock (fine).
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                for _, attr, kind in self_lock_assignments(module, node):
+                    lock_id = f"{module.module_name}.{node.name}.{attr}"
+                    self._lock_kinds[lock_id] = kind
+
+        # Pass 2: per-function lexical nesting.
+        def walk_scope(body: list[ast.stmt], class_name: str | None) -> None:
+            for item in body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    visitor = _FunctionLockVisitor(
+                        module, class_name, self._lock_kinds,
+                        self._edges, self._self_findings,
+                    )
+                    for stmt in item.body:
+                        visitor.visit(stmt)
+                    walk_scope(item.body, class_name)
+                elif isinstance(item, ast.ClassDef):
+                    walk_scope(item.body, item.name)
+
+        walk_scope(module.tree.body, None)
+        return []
+
+    def finalize(self) -> list[Finding]:
+        findings = list(self._self_findings)
+        adjacency: dict[str, dict[str, _Edge]] = {}
+        for edge in self._edges:
+            adjacency.setdefault(edge.src, {}).setdefault(edge.dst, edge)
+
+        # DFS cycle detection; report each cycle once, anchored at its
+        # lexicographically-first edge so the finding is deterministic.
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: dict[str, int] = {}
+        stack: list[str] = []
+        cycles: list[list[str]] = []
+
+        def dfs(node: str) -> None:
+            color[node] = GRAY
+            stack.append(node)
+            for neighbor in sorted(adjacency.get(node, {})):
+                state = color.get(neighbor, WHITE)
+                if state == GRAY:
+                    cycle = stack[stack.index(neighbor):] + [neighbor]
+                    cycles.append(cycle)
+                elif state == WHITE:
+                    dfs(neighbor)
+            stack.pop()
+            color[node] = BLACK
+
+        for node in sorted(adjacency):
+            if color.get(node, WHITE) == WHITE:
+                dfs(node)
+
+        seen: set[frozenset[str]] = set()
+        for cycle in cycles:
+            key = frozenset(cycle)
+            if key in seen:
+                continue
+            seen.add(key)
+            edge_sites = []
+            for src, dst in zip(cycle, cycle[1:]):
+                edge = adjacency[src][dst]
+                edge_sites.append(f"{src} -> {dst} ({edge.rel_path}:{edge.line})")
+            anchor = adjacency[cycle[0]][cycle[1]]
+            findings.append(
+                Finding.make(
+                    RULE,
+                    anchor.rel_path,
+                    anchor.line,
+                    anchor.col,
+                    "lock-acquisition cycle (potential ABBA deadlock): "
+                    + "; ".join(edge_sites),
+                )
+            )
+        return findings

@@ -1,0 +1,213 @@
+"""questlint driver: walk files, run checkers, filter, report.
+
+The pipeline is deliberately boring: collect ``.py`` files, parse each
+once, hand every module to every checker, then run whole-program
+``finalize`` passes, then filter through inline suppressions and the
+baseline. Exit code 1 iff any active (unsuppressed, non-baselined)
+finding survives — that is the CI contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence, TextIO
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.checkers import Checker, ModuleInfo, all_checkers
+from repro.analysis.findings import Finding
+from repro.analysis.report import render_json, render_text
+from repro.analysis.suppress import parse_suppressions
+
+_SKIP_DIR_NAMES = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one questlint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+
+def collect_files(paths: Sequence[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                files.append(path)
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if any(
+                    part in _SKIP_DIR_NAMES or part.startswith(".")
+                    for part in candidate.parts
+                ):
+                    continue
+                files.append(candidate)
+    unique: dict[Path, None] = {}
+    for file in files:
+        unique.setdefault(file.resolve(), None)
+    return sorted(unique)
+
+
+def _rel_path(path: Path, root: Path) -> str:
+    try:
+        return path.relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _module_name(rel_path: str) -> str:
+    parts = Path(rel_path).with_suffix("").parts
+    # Strip a leading source-root segment so lock-role ids read as
+    # import paths ("repro.cache"), matching how developers name them.
+    if parts and parts[0] in ("src", "lib"):
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or "<module>"
+
+
+def load_module(path: Path, root: Path) -> ModuleInfo | Finding:
+    rel = _rel_path(path, root)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return Finding.make(
+            "syntax", rel, exc.lineno or 0, exc.offset or 0,
+            f"file does not parse: {exc.msg}",
+        )
+    return ModuleInfo(
+        path=path,
+        rel_path=rel,
+        module_name=_module_name(rel),
+        source=source,
+        tree=tree,
+        suppressions=parse_suppressions(source),
+    )
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    checkers: Sequence[Checker] | None = None,
+    baseline: Baseline | None = None,
+    root: Path | None = None,
+) -> AnalysisResult:
+    active_checkers = list(checkers) if checkers is not None else all_checkers()
+    active_baseline = baseline if baseline is not None else Baseline()
+    anchor = root if root is not None else Path.cwd()
+    result = AnalysisResult(
+        rules={c.rule: c.description for c in active_checkers}
+    )
+
+    modules: list[ModuleInfo] = []
+    raw: list[tuple[Finding, ModuleInfo | None]] = []
+    for path in collect_files(paths):
+        loaded = load_module(path, anchor)
+        if isinstance(loaded, Finding):
+            raw.append((loaded, None))
+            continue
+        modules.append(loaded)
+    result.files_checked = len(modules)
+
+    for checker in active_checkers:
+        for module in modules:
+            for finding in checker.check_module(module):
+                raw.append((finding, module))
+    by_rel: dict[str, ModuleInfo] = {m.rel_path: m for m in modules}
+    for checker in active_checkers:
+        for finding in checker.finalize():
+            raw.append((finding, by_rel.get(finding.path)))
+
+    for finding, module in sorted(
+        raw, key=lambda pair: (pair[0].path, pair[0].line, pair[0].rule)
+    ):
+        if module is not None and module.suppressions.is_suppressed(
+            finding.rule, finding.line
+        ):
+            result.suppressed.append(finding)
+        elif finding.fingerprint in active_baseline:
+            result.baselined.append(finding)
+        else:
+            result.findings.append(finding)
+    return result
+
+
+def main(argv: Sequence[str] | None = None, out: TextIO | None = None) -> int:
+    stream = out if out is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="questlint: project-specific invariant analysis",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyse (default: src)",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE_NAME, metavar="FILE",
+        help="baseline file of accepted findings (default: %(default)s; "
+        "missing file means an empty baseline)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    parser.add_argument(
+        "--rules", metavar="R1,R2",
+        help="run only these rules (comma-separated)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list available rules and exit",
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    checkers = all_checkers()
+    if args.list_rules:
+        for checker in checkers:
+            stream.write(f"{checker.rule}: {checker.description}\n")
+        return 0
+    if args.rules:
+        wanted = {part.strip() for part in args.rules.split(",") if part.strip()}
+        unknown = wanted - {c.rule for c in checkers}
+        if unknown:
+            stream.write(f"unknown rules: {', '.join(sorted(unknown))}\n")
+            return 2
+        checkers = [c for c in checkers if c.rule in wanted]
+
+    baseline_path = Path(args.baseline)
+    baseline = Baseline.load(baseline_path)
+    result = analyze_paths(
+        [Path(p) for p in args.paths], checkers=checkers, baseline=baseline
+    )
+
+    if args.write_baseline:
+        merged = Baseline.from_findings(result.findings)
+        merged.entries.update(baseline.entries)
+        merged.save(baseline_path)
+        stream.write(
+            f"wrote {len(result.findings)} new entr"
+            f"{'y' if len(result.findings) == 1 else 'ies'} to "
+            f"{baseline_path} (justify each before committing)\n"
+        )
+        return 0
+
+    if args.json:
+        stream.write(render_json(result))
+    else:
+        stream.write(render_text(result))
+    return result.exit_code

@@ -1,0 +1,54 @@
+"""The unit of questlint output: a single rule violation at a location.
+
+Findings carry a *fingerprint* — a stable hash of (rule, path, message)
+that deliberately excludes line/column numbers, so a baseline entry
+keeps matching while unrelated edits shift the file around it. The
+fingerprint changes when the violation itself changes (different lock
+attribute, different cache receiver, ...), which is exactly when a
+stale baseline entry should die.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    fingerprint: str = field(default="", compare=False)
+
+    @staticmethod
+    def make(rule: str, path: str, line: int, col: int, message: str) -> "Finding":
+        digest = hashlib.sha256(
+            f"{rule}::{path}::{message}".encode("utf-8")
+        ).hexdigest()[:16]
+        return Finding(
+            rule=rule,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+            fingerprint=digest,
+        )
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }

@@ -1,0 +1,397 @@
+"""Runtime lock-order race detection for the test suites.
+
+The static ``lock-order`` questlint rule only sees *lexically* nested
+``with`` blocks; real inversions assemble across call boundaries — a
+method acquires the cache lock, then calls into the graph, which takes
+the derived lock. This module is the runtime half, in the spirit of
+pthread lock-order witnesses and Go's mutex profiling: an instrumented
+lock wrapper that maintains each thread's stack of held locks and a
+global acquired-after graph, flagging
+
+- **inversion** — acquiring B while holding A when some earlier
+  acquisition established the opposite order (an ABBA deadlock waiting
+  for the right interleaving, even if this run got lucky);
+- **self-deadlock** — re-acquiring a non-reentrant lock the same thread
+  already holds (raised immediately as :class:`LockWatchError` rather
+  than letting the test hang);
+- **fork-while-held** — an ``os.fork`` while *any* thread holds a
+  watched lock (recorded as an event, not a failure: the concurrency
+  suite deliberately forks under load to prove the
+  :mod:`repro.forksafe` resets work).
+
+Lock identity is the *creation site* (``module:line``), not the
+instance — matching the static checker's per-role graph, so two
+``LRUCache`` instances share one node and an ordering discipline is
+enforced per role. Edges between different instances of the *same* role
+are skipped (no ordering exists between sibling caches).
+
+Enabled per-test by the conftest fixture (see ``tests/conftest.py``):
+:func:`install` monkeypatches ``threading.Lock``/``RLock`` with
+factories that wrap locks created by ``repro.*`` modules only — stdlib
+internals (``threading.Condition``'s waiter locks, semaphores) keep
+their raw primitives. Overhead is a dict update and a list append per
+acquire; edge discovery work happens only the first time a new ordered
+pair appears.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = [
+    "LockWatchError",
+    "LockWatcher",
+    "Violation",
+    "WatchedLock",
+    "install",
+    "uninstall",
+    "active_watcher",
+]
+
+
+class LockWatchError(RuntimeError):
+    """Raised on a guaranteed self-deadlock instead of hanging the test."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected ordering violation."""
+
+    kind: str  # "inversion" | "self-deadlock"
+    message: str
+    stack: str = ""
+
+
+@dataclass(frozen=True)
+class ForkEvent:
+    """A fork observed while watched locks were held."""
+
+    held: tuple[str, ...]
+    forking_thread_held: tuple[str, ...]
+
+
+@dataclass
+class _ThreadState:
+    """Held-lock bookkeeping for one thread."""
+
+    stack: list["WatchedLock"] = field(default_factory=list)
+    counts: dict[int, int] = field(default_factory=dict)  # id(lock) -> depth
+
+
+class WatchedLock:
+    """A Lock/RLock wrapper reporting acquisitions to its watcher.
+
+    Duck-compatible with the stdlib primitives for every use in this
+    codebase (``with``, ``acquire``/``release``, ``locked``), and safe
+    to hand to ``threading.Condition`` (which falls back to plain
+    acquire/release when ``_release_save`` is absent).
+    """
+
+    __slots__ = ("name", "reentrant", "_lock", "_watcher")
+
+    def __init__(
+        self,
+        watcher: "LockWatcher",
+        name: str,
+        lock: Any,
+        reentrant: bool,
+    ) -> None:
+        self.name = name
+        self.reentrant = reentrant
+        self._lock = lock
+        self._watcher = watcher
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._watcher._before_acquire(self)
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            self._watcher._note_acquired(self)
+        return acquired
+
+    def release(self) -> None:
+        self._lock.release()
+        self._watcher._note_released(self)
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return bool(self._lock.locked())
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        kind = "RLock" if self.reentrant else "Lock"
+        return f"<WatchedLock {kind} {self.name}>"
+
+
+class LockWatcher:
+    """Collects acquisition order across threads; owns the violation list.
+
+    One watcher per test: the acquired-after graph is cumulative, so a
+    shared watcher would let an edge from one test convict an unrelated
+    ordering in another.
+    """
+
+    def __init__(self) -> None:
+        # The watcher's own mutex is a raw lock (never watched), held
+        # only for short bookkeeping sections that acquire nothing else.
+        self._mutex = _RAW_LOCK()
+        self._threads: dict[int, _ThreadState] = {}
+        #: src role -> dst role -> site description of the first edge.
+        self._edges: dict[str, dict[str, str]] = {}
+        self._violations: list[Violation] = []
+        self._fork_events: list[ForkEvent] = []
+
+    # -- public API --------------------------------------------------------
+
+    def lock(self, name: str, reentrant: bool = False) -> WatchedLock:
+        """A watched lock with an explicit role name (for tests)."""
+        raw = _RAW_RLOCK() if reentrant else _RAW_LOCK()
+        return WatchedLock(self, name, raw, reentrant)
+
+    def wrap(self, name: str, lock: Any, reentrant: bool) -> WatchedLock:
+        """Wrap an existing primitive under a role name."""
+        return WatchedLock(self, name, lock, reentrant)
+
+    def violations(self) -> tuple[Violation, ...]:
+        with self._mutex:
+            return tuple(self._violations)
+
+    def fork_events(self) -> tuple[ForkEvent, ...]:
+        with self._mutex:
+            return tuple(self._fork_events)
+
+    def held_by_current_thread(self) -> tuple[str, ...]:
+        state = self._thread_state()
+        return tuple(lock.name for lock in state.stack)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _thread_state(self) -> _ThreadState:
+        ident = threading.get_ident()
+        with self._mutex:
+            state = self._threads.get(ident)
+            if state is None:
+                state = self._threads[ident] = _ThreadState()
+            return state
+
+    def _before_acquire(self, lock: WatchedLock) -> None:
+        state = self._thread_state()
+        if not lock.reentrant and state.counts.get(id(lock), 0) > 0:
+            message = (
+                f"self-deadlock: thread would re-acquire non-reentrant "
+                f"lock {lock.name} it already holds "
+                f"(held: {[l.name for l in state.stack]})"
+            )
+            with self._mutex:
+                self._violations.append(
+                    Violation(
+                        kind="self-deadlock",
+                        message=message,
+                        stack="".join(traceback.format_stack(limit=12)),
+                    )
+                )
+            raise LockWatchError(message)
+
+    def _note_acquired(self, lock: WatchedLock) -> None:
+        state = self._thread_state()
+        depth = state.counts.get(id(lock), 0)
+        state.counts[id(lock)] = depth + 1
+        if depth > 0:  # reentrant re-acquisition: no new ordering facts
+            state.stack.append(lock)
+            return
+        holders = [
+            held for held in state.stack
+            # Same-role siblings (two caches from one creation site)
+            # carry no ordering discipline between them.
+            if held.name != lock.name
+        ]
+        if holders:
+            site = _caller_site()
+            with self._mutex:
+                for held in holders:
+                    self._record_edge(held.name, lock.name, site)
+        state.stack.append(lock)
+
+    def _note_released(self, lock: WatchedLock) -> None:
+        state = self._thread_state()
+        depth = state.counts.get(id(lock), 0)
+        if depth <= 1:
+            state.counts.pop(id(lock), None)
+        else:
+            state.counts[id(lock)] = depth - 1
+        # Remove the most recent occurrence (locks release LIFO in
+        # practice, but tolerate out-of-order release).
+        for i in range(len(state.stack) - 1, -1, -1):
+            if state.stack[i] is lock:
+                del state.stack[i]
+                break
+
+    def _record_edge(self, src: str, dst: str, site: str) -> None:
+        """Add src -> dst (mutex held); flag if a reverse path exists."""
+        targets = self._edges.setdefault(src, {})
+        if dst in targets:
+            return
+        targets[dst] = site
+        reverse = self._find_path(dst, src)
+        if reverse is not None:
+            chain = " -> ".join(reverse)
+            first_site = self._edges[dst][reverse[1]]
+            self._violations.append(
+                Violation(
+                    kind="inversion",
+                    message=(
+                        f"lock-order inversion: acquired {dst} before "
+                        f"{src} (at {first_site}), but now {src} is held "
+                        f"while acquiring {dst} (at {site}); cycle: "
+                        f"{src} -> {dst}, {chain}"
+                    ),
+                    stack="".join(traceback.format_stack(limit=16)),
+                )
+            )
+
+    def _find_path(self, start: str, goal: str) -> list[str] | None:
+        """A path start -> ... -> goal in the edge graph, if any."""
+        stack = [(start, [start])]
+        seen = {start}
+        while stack:
+            node, path = stack.pop()
+            for neighbor in self._edges.get(node, {}):
+                if neighbor == goal:
+                    return path + [goal]
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append((neighbor, path + [neighbor]))
+        return None
+
+    # -- fork integration --------------------------------------------------
+
+    def _note_fork(self) -> None:
+        """Called in the parent immediately before a fork."""
+        ident = threading.get_ident()
+        with self._mutex:
+            held: list[str] = []
+            own: list[str] = []
+            for thread_ident, state in self._threads.items():
+                names = [lock.name for lock in state.stack]
+                held.extend(names)
+                if thread_ident == ident:
+                    own.extend(names)
+            if held:
+                self._fork_events.append(
+                    ForkEvent(
+                        held=tuple(sorted(held)),
+                        forking_thread_held=tuple(sorted(own)),
+                    )
+                )
+
+    def _reset_in_child(self) -> None:
+        """Called in a forked child: sibling threads do not survive."""
+        self._mutex = _RAW_LOCK()
+        ident = threading.get_ident()
+        self._threads = {
+            ident: self._threads.get(ident, _ThreadState())
+        }
+
+
+# -- monkeypatch installation ---------------------------------------------
+
+#: Pristine primitives, captured at import before any patching.
+_RAW_LOCK = threading.Lock
+_RAW_RLOCK = threading.RLock
+
+_active: LockWatcher | None = None
+_active_prefixes: tuple[str, ...] = ()
+_fork_hooks_registered = False
+
+
+def active_watcher() -> LockWatcher | None:
+    return _active
+
+
+def _caller_site(depth: int = 2) -> str:
+    frame = sys._getframe(depth)
+    # Walk out of this module's own frames to the acquiring code.
+    while frame is not None and frame.f_globals.get("__name__") == __name__:
+        frame = frame.f_back  # type: ignore[assignment]
+    if frame is None:  # pragma: no cover - defensive
+        return "<unknown>"
+    module = frame.f_globals.get("__name__", "<unknown>")
+    return f"{module}:{frame.f_lineno}"
+
+
+def _creation_site() -> tuple[str, str]:
+    """(module, module:line) of the frame creating a lock."""
+    frame = sys._getframe(2)
+    while frame is not None and frame.f_globals.get("__name__") == __name__:
+        frame = frame.f_back  # type: ignore[assignment]
+    if frame is None:  # pragma: no cover - defensive
+        return "<unknown>", "<unknown>"
+    module = frame.f_globals.get("__name__", "<unknown>")
+    return module, f"{module}:{frame.f_lineno}"
+
+
+def _make_factory(raw: Callable[[], Any], reentrant: bool) -> Callable[..., Any]:
+    def factory(*args: Any, **kwargs: Any) -> Any:
+        lock = raw(*args, **kwargs)
+        watcher = _active
+        if watcher is None:
+            return lock
+        module, site = _creation_site()
+        if not module.startswith(_active_prefixes):
+            return lock
+        return WatchedLock(watcher, site, lock, reentrant)
+
+    return factory
+
+
+def _fork_before() -> None:
+    watcher = _active
+    if watcher is not None:
+        watcher._note_fork()
+
+
+def _fork_after_in_child() -> None:
+    watcher = _active
+    if watcher is not None:
+        watcher._reset_in_child()
+
+
+def install(
+    watcher: LockWatcher, module_prefixes: tuple[str, ...] = ("repro",)
+) -> None:
+    """Patch ``threading.Lock``/``RLock`` to watch *module_prefixes* locks.
+
+    Only locks *created while installed* are watched — long-lived
+    session objects keep their raw (or previously-wrapped) locks. The
+    :mod:`repro.forksafe` child resets re-create locks through the
+    patched factories, so forked children stay watched too.
+    """
+    global _active, _active_prefixes, _fork_hooks_registered
+    if _active is not None:
+        raise LockWatchError("a LockWatcher is already installed")
+    _active = watcher
+    _active_prefixes = module_prefixes
+    if not _fork_hooks_registered:
+        os.register_at_fork(
+            before=_fork_before, after_in_child=_fork_after_in_child
+        )
+        _fork_hooks_registered = True
+    threading.Lock = _make_factory(_RAW_LOCK, reentrant=False)  # type: ignore[misc,assignment]
+    threading.RLock = _make_factory(_RAW_RLOCK, reentrant=True)  # type: ignore[misc,assignment]
+
+
+def uninstall() -> None:
+    """Restore the raw primitives; already-wrapped locks keep reporting
+    to their (now inert) watcher, which is harmless."""
+    global _active
+    threading.Lock = _RAW_LOCK  # type: ignore[misc]
+    threading.RLock = _RAW_RLOCK  # type: ignore[misc]
+    _active = None

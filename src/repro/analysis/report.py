@@ -1,0 +1,52 @@
+"""Rendering questlint results: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.analysis.driver import AnalysisResult
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: "AnalysisResult") -> str:
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(finding.render())
+    counts: dict[str, int] = {}
+    for finding in result.findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    if result.findings:
+        lines.append("")
+        summary = ", ".join(f"{rule}: {n}" for rule, n in sorted(counts.items()))
+        lines.append(
+            f"questlint: {len(result.findings)} finding"
+            f"{'' if len(result.findings) == 1 else 's'} ({summary}) "
+            f"across {result.files_checked} files"
+        )
+    else:
+        lines.append(
+            f"questlint: clean ({result.files_checked} files, "
+            f"{len(result.suppressed)} suppressed, "
+            f"{len(result.baselined)} baselined)"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(result: "AnalysisResult") -> str:
+    counts: dict[str, int] = {}
+    for finding in result.findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    payload = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "files_checked": result.files_checked,
+        "rules": result.rules,
+        "findings": [f.to_json() for f in result.findings],
+        "counts": counts,
+        "suppressed": len(result.suppressed),
+        "baselined": len(result.baselined),
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(payload, indent=2) + "\n"

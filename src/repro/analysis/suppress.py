@@ -1,0 +1,59 @@
+"""Suppression comments: ``# questlint: disable=RULE`` parsing.
+
+Two forms, both parsed from raw source lines (not the AST, so comments
+on any line work — including lines the parser folds away):
+
+- ``# questlint: disable=rule-a,rule-b`` — suppresses those rules for
+  findings anchored to *that line*. Convention: follow with a second
+  ``#`` comment giving the reason, e.g.
+  ``# questlint: disable=cache-revision  # sealed snapshot, cache dies with it``.
+- ``# questlint: disable-file=rule-a`` — anywhere in the file,
+  suppresses the rule for the whole file.
+
+``disable=all`` / ``disable-file=all`` waive every rule.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_LINE_RE = re.compile(r"#\s*questlint:\s*disable=([A-Za-z0-9_,\- ]+)")
+_FILE_RE = re.compile(r"#\s*questlint:\s*disable-file=([A-Za-z0-9_,\- ]+)")
+
+
+def _split_rules(raw: str) -> frozenset[str]:
+    return frozenset(part.strip() for part in raw.split(",") if part.strip())
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression directives for one file."""
+
+    by_line: dict[int, frozenset[str]] = field(default_factory=dict)
+    file_wide: frozenset[str] = field(default_factory=frozenset)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if rule in self.file_wide or "all" in self.file_wide:
+            return True
+        rules = self.by_line.get(line)
+        if rules is None:
+            return False
+        return rule in rules or "all" in rules
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    by_line: dict[int, frozenset[str]] = {}
+    file_wide: set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "questlint" not in text:
+            continue
+        match = _FILE_RE.search(text)
+        if match:
+            file_wide.update(_split_rules(match.group(1)))
+            continue
+        match = _LINE_RE.search(text)
+        if match:
+            existing = by_line.get(lineno, frozenset())
+            by_line[lineno] = existing | _split_rules(match.group(1))
+    return Suppressions(by_line=by_line, file_wide=frozenset(file_wide))

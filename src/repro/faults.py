@@ -54,6 +54,11 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.errors import FaultInjectedError, QuestError
+from repro.forksafe import register_lock_holder
+
+
+def _reset_plan_lock(plan: "FaultPlan") -> None:
+    plan._lock = threading.Lock()
 
 __all__ = [
     "POINTS",
@@ -148,6 +153,9 @@ class FaultPlan:
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         self._lock = threading.Lock()
+        # Installed plans are inherited across the prefork fork; a child
+        # must not start life with this lock held (see repro.forksafe).
+        register_lock_holder(self, _reset_plan_lock)
         self._specs: dict[str, FaultSpec] = {}
         self._streams: dict[str, random.Random] = {}
         self._decisions: dict[str, list[str]] = {}
@@ -194,7 +202,20 @@ class FaultPlan:
         return spec
 
     def fire(self, point: str) -> None:
-        """Apply *point*'s schedule to the current call (may sleep/raise)."""
+        """Apply *point*'s schedule to the current call (may sleep/raise).
+
+        Unknown point names are a hard error: a typo'd instrumentation
+        site would otherwise silently inject nothing and the chaos
+        suite would quietly stop covering that seam. (The check runs
+        only when a plan is installed, so the production fast path —
+        no plan, module-level ``fire`` returns immediately — never
+        pays for it; the static ``fault-points`` questlint rule covers
+        the uninstalled case.)
+        """
+        if point not in POINTS:
+            raise QuestError(
+                f"unknown injection point {point!r} fired (use {POINTS})"
+            )
         with self._lock:
             spec = self._decide(point)
         if spec is None:

@@ -327,11 +327,16 @@ class BackwardStage(PipelineStage):
         row_of: dict = {}
         if known:
             cache = graph.plan_cache if settings.steiner_plan_cache else None
+            # Rows are shared with the DP base cases, so they carry the
+            # same (subset, snapshot topology version) keys.
+            cache_version = compact.version
             if cache is not None:
                 cache.trim()
                 missing = []
                 for terminal in known:
-                    entry = cache.get(frozenset((index[terminal],)))
+                    entry = cache.get(
+                        (frozenset((index[terminal],)), cache_version)
+                    )
                     if entry is None:
                         missing.append(terminal)
                     else:
@@ -349,7 +354,7 @@ class BackwardStage(PipelineStage):
                     row_of[terminal] = row
                     if cache is not None:
                         cache.put(
-                            frozenset((index[terminal],)),
+                            (frozenset((index[terminal],)), cache_version),
                             PlanEntry(costs=tuple(row)),
                         )
 

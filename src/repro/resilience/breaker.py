@@ -28,6 +28,12 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.forksafe import register_lock_holder
+
+
+def _reset_breaker_lock(breaker: "CircuitBreaker") -> None:
+    breaker._lock = threading.Lock()
+
 from repro.errors import CircuitOpenError, QuestError
 
 __all__ = ["BreakerSettings", "CircuitBreaker"]
@@ -97,6 +103,9 @@ class CircuitBreaker:
         self._clock = clock
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
+        # Breakers ride into forked serving workers attached to the
+        # backend; reset the lock in children (see repro.forksafe).
+        register_lock_holder(self, _reset_breaker_lock)
         self._outcomes: deque[bool] = deque(maxlen=self.settings.window)
         self._state = CLOSED
         self._opened_at = 0.0

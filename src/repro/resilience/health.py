@@ -13,7 +13,13 @@ from __future__ import annotations
 
 import threading
 
+from repro.forksafe import register_lock_holder
+
 __all__ = ["HealthRegistry", "process_health"]
+
+
+def _reset_health_lock(registry: "HealthRegistry") -> None:
+    registry._lock = threading.Lock()
 
 
 class HealthRegistry:
@@ -21,6 +27,9 @@ class HealthRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
+        # The module-global registry exists before the prefork fork;
+        # children must get an unheld lock (see repro.forksafe).
+        register_lock_holder(self, _reset_health_lock)
         self._marks: dict[str, str] = {}
 
     def mark(self, reason: str, detail: str = "") -> None:

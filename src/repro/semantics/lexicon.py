@@ -95,6 +95,10 @@ class Lexicon:
         self._synonyms: dict[str, set[str]] = defaultdict(set)
         self._hypernyms: dict[str, set[str]] = defaultdict(set)
         self._hyponyms: dict[str, set[str]] = defaultdict(set)
+        #: Bumped on every mutation; consumers (the ontology score memo)
+        #: stamp it into cache keys so entries computed against an older
+        #: vocabulary become unreachable instead of stale.
+        self.version = 0
         for ring in synonym_rings:
             self.add_synonym_ring(*ring)
         for specific, general in hypernym_edges:
@@ -107,12 +111,14 @@ class Lexicon:
         stems = {stem(word) for word in words}
         for word_stem in stems:
             self._synonyms[word_stem] |= stems - {word_stem}
+        self.version += 1
 
     def add_hypernym(self, specific: str, general: str) -> None:
         """Declare *general* a hypernym of *specific*."""
         specific_stem, general_stem = stem(specific), stem(general)
         self._hypernyms[specific_stem].add(general_stem)
         self._hyponyms[general_stem].add(specific_stem)
+        self.version += 1
 
     # -- queries -----------------------------------------------------------
 

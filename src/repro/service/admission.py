@@ -20,8 +20,18 @@ from contextlib import contextmanager
 from typing import Iterator
 
 from repro.errors import ServiceOverloadedError
+from repro.forksafe import register_lock_holder
 
 __all__ = ["AdmissionController"]
+
+
+def _reset_admission_lock(gate: "AdmissionController") -> None:
+    gate._gauge_lock = threading.Lock()
+    # Admitted requests do not survive the fork; rebuild the semaphores
+    # at full capacity so children start with an empty house.
+    gate._presence = threading.Semaphore(gate.max_concurrent + gate.max_queue)
+    gate._execution = threading.Semaphore(gate.max_concurrent)
+    gate._admitted = 0
 
 
 class AdmissionController:
@@ -47,6 +57,7 @@ class AdmissionController:
         self._presence = threading.Semaphore(max_concurrent + max_queue)
         self._execution = threading.Semaphore(max_concurrent)
         self._gauge_lock = threading.Lock()
+        register_lock_holder(self, _reset_admission_lock)
         self._admitted = 0
 
     @property

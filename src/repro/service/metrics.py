@@ -15,7 +15,13 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.forksafe import register_lock_holder
+
 __all__ = ["MetricsSnapshot", "ServiceMetrics"]
+
+
+def _reset_metrics_lock(metrics: "ServiceMetrics") -> None:
+    metrics._lock = threading.Lock()
 
 #: Completed-request timestamps/latencies retained for quantiles and QPS.
 DEFAULT_WINDOW = 1024
@@ -103,6 +109,7 @@ class ServiceMetrics:
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self._lock = threading.Lock()
+        register_lock_holder(self, _reset_metrics_lock)
         self._clock = clock
         self._requests = 0
         self._completed = 0

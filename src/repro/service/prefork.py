@@ -66,6 +66,7 @@ from typing import Any, Callable
 
 from repro import faults
 from repro.errors import ServiceError
+from repro.forksafe import register_lock_holder
 from repro.resilience import process_health
 from repro.service.http import HttpServerSettings, QuestHttpServer
 from repro.service.quota import TenantQuotas
@@ -242,6 +243,10 @@ def shared_artifact_engine(
     return prepare, factory
 
 
+def _reset_prefork_lock(server: "PreforkServer") -> None:
+    server._state_lock = threading.Lock()
+
+
 class PreforkServer:
     """A supervised fleet of forked HTTP serving workers.
 
@@ -265,15 +270,20 @@ class PreforkServer:
         quotas_factory: Callable[[], TenantQuotas] | None = None,
         settings: PreforkSettings | None = None,
         prepare: Callable[[], Any] | None = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.settings = settings if settings is not None else PreforkSettings()
         self._engine_factory = engine_factory
         self._service_settings = service_settings
         self._quotas_factory = quotas_factory
         self._prepare = prepare
+        self._clock = clock
         self._listener: socket.socket | None = None
         self._port: int | None = None
         self._state_lock = threading.Lock()
+        # The supervisor forks while potentially holding this lock in a
+        # sibling thread; workers must reset it (see repro.forksafe).
+        register_lock_holder(self, _reset_prefork_lock)
         #: pid -> worker slot index, for every live worker.
         self._children: dict[int, int] = {}
         #: pid -> monotonic fork time, for healthy-interval accounting.
@@ -347,9 +357,9 @@ class PreforkServer:
 
     def wait_ready(self, timeout: float = 30.0) -> None:
         """Block until a worker answers ``/readyz`` (or raise)."""
-        deadline = time.monotonic() + timeout
+        deadline = self._clock() + timeout
         last_error: Exception | None = None
-        while time.monotonic() < deadline:
+        while self._clock() < deadline:
             try:
                 connection = http.client.HTTPConnection(
                     self.settings.host, self.port, timeout=5.0
@@ -382,10 +392,10 @@ class PreforkServer:
                 os.kill(pid, signal.SIGTERM if graceful else signal.SIGKILL)
             except ProcessLookupError:  # pragma: no cover - racing a death
                 pass
-        deadline = time.monotonic() + (
+        deadline = self._clock() + (
             self.settings.stop_timeout_s if graceful else 1.0
         )
-        while time.monotonic() < deadline:
+        while self._clock() < deadline:
             with self._state_lock:
                 if not self._children:
                     break
@@ -441,7 +451,7 @@ class PreforkServer:
                 os._exit(code)
         with self._state_lock:
             self._children[pid] = slot
-            self._spawn_times[pid] = time.monotonic()
+            self._spawn_times[pid] = self._clock()
 
     def _respawn_delay(self, streak: int) -> float:
         """Equal-jitter exponential backoff for the *streak*-th crash.
@@ -482,7 +492,7 @@ class PreforkServer:
                     status = 0
                 if reaped == 0:
                     continue
-                now = time.monotonic()
+                now = self._clock()
                 with self._state_lock:
                     slot = self._children.pop(pid, None)
                     born = self._spawn_times.pop(pid, None)
@@ -509,7 +519,7 @@ class PreforkServer:
                                 streak
                             )
             # Fork replacements whose backoff has elapsed.
-            now = time.monotonic()
+            now = self._clock()
             with self._state_lock:
                 if self._stopping or self._failed:
                     self._pending.clear()

@@ -24,9 +24,14 @@ from contextlib import contextmanager
 from typing import Iterator
 
 from repro.errors import QuestError, QuotaExceededError, ServiceOverloadedError
+from repro.forksafe import register_lock_holder
 from repro.service.admission import AdmissionController
 
 __all__ = ["TenantQuotas"]
+
+
+def _reset_quota_lock(quotas: "TenantQuotas") -> None:
+    quotas._lock = threading.Lock()
 
 #: Tenant requests use when the caller supplies no tenant id.
 DEFAULT_TENANT = "default"
@@ -67,6 +72,7 @@ class TenantQuotas:
         self._overrides = dict(overrides or {})
         self._max_tenants = max_tenants
         self._lock = threading.Lock()
+        register_lock_holder(self, _reset_quota_lock)
         #: tenant -> controller, in least-recently-admitted order.
         self._tenants: "OrderedDict[str, AdmissionController]" = OrderedDict()
         self._rejections = 0

@@ -19,9 +19,15 @@ import time
 from collections import OrderedDict
 from typing import Any, Callable, Hashable
 
+from repro.forksafe import register_lock_holder
+
 __all__ = ["TTLResultCache"]
 
 _MISSING = object()
+
+
+def _reset_result_cache_lock(cache: "TTLResultCache") -> None:
+    cache._lock = threading.Lock()
 
 
 class TTLResultCache:
@@ -47,6 +53,7 @@ class TTLResultCache:
         #: key -> (expiry deadline, value); insertion/refresh order = LRU.
         self._data: OrderedDict[Hashable, tuple[float, Any]] = OrderedDict()
         self._lock = threading.Lock()
+        register_lock_holder(self, _reset_result_cache_lock)
         self._hits = 0
         self._misses = 0
 

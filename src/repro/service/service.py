@@ -318,7 +318,7 @@ class QuestService:
                         # ranking, so a later stale serve can stamp how
                         # far behind the answer is (satellite: stale
                         # responses are auditable in /metrics).
-                        self._stale.put(
+                        self._stale.put(  # questlint: disable=cache-revision  # deliberately version-free: the stale cache exists to answer ACROSS revisions when storage fails; the revision rides in the value and is stamped into the response
                             (keywords, k), (computed, self._engine_version())
                         )
                 return computed
@@ -438,7 +438,7 @@ class QuestService:
         """
         if not self.settings.serve_stale:
             return None
-        return self._stale.get((keywords, k))
+        return self._stale.get((keywords, k))  # questlint: disable=cache-revision  # deliberately version-free: a stale lookup *wants* the last good answer from any revision (see _stale.put)
 
     def _run_engine(
         self,

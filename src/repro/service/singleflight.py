@@ -20,9 +20,19 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Hashable
 
+from repro.forksafe import register_lock_holder
+
 __all__ = ["SingleFlight"]
 
 _PENDING = object()
+
+
+def _reset_singleflight_lock(flights: "SingleFlight") -> None:
+    flights._lock = threading.Lock()
+    # In-flight leaders do not survive the fork; drop their flights so
+    # children never wait on an Event no thread will ever set.
+    flights._flights = {}
+    flights._waiting = 0
 
 
 class _Flight:
@@ -48,6 +58,7 @@ class SingleFlight:
     def __init__(self) -> None:
         self._flights: dict[Hashable, _Flight] = {}
         self._lock = threading.Lock()
+        register_lock_holder(self, _reset_singleflight_lock)
         self._waiting = 0
 
     def in_flight(self) -> int:

@@ -139,6 +139,10 @@ def exact_steiner_tree(
     terminal_indices = [compact.index[t] for t in terminal_list]
 
     cache = getattr(graph, "plan_cache", None) if plan_cache else None
+    #: Every cache key this run makes is stamped with the snapshot's
+    #: topology version: rows computed over this (possibly retained)
+    #: snapshot can never be read back under a mutated topology.
+    cache_version = compact.version
     if cache is not None:
         # Whole-cache eviction only ever happens here, between DP runs, so
         # a run's back-pointer chains can never be partially evicted.
@@ -165,12 +169,16 @@ def exact_steiner_tree(
 
     for i, terminal_index in enumerate(terminal_indices):
         bit = 1 << i
-        entry = cache.get(subset_of[bit]) if cache is not None else None
+        entry = (
+            cache.get((subset_of[bit], cache_version))
+            if cache is not None
+            else None
+        )
         if entry is None:
             distances, _predecessors = compact.dijkstra(terminal_index)
             entry = PlanEntry(costs=tuple(distances))
             if cache is not None:
-                cache.put(subset_of[bit], entry)
+                cache.put((subset_of[bit], cache_version), entry)
         rows[bit] = entry
 
     masks_by_bits: dict[int, list[int]] = {}
@@ -182,7 +190,11 @@ def exact_steiner_tree(
             continue
         for mask in masks_by_bits[bits]:
             subset = subset_of[mask]
-            entry = cache.get(subset) if cache is not None else None
+            entry = (
+                cache.get((subset, cache_version))
+                if cache is not None
+                else None
+            )
             if entry is not None:
                 # A cached row implies its whole derivation is cached
                 # (rows are stored children-first and eviction is
@@ -240,7 +252,7 @@ def exact_steiner_tree(
             entry = PlanEntry(costs=tuple(best), back=back_row)
             rows[mask] = entry
             if cache is not None:
-                cache.put(subset, entry)
+                cache.put((subset, cache_version), entry)
 
     root = terminal_indices[0]
     total = rows[full_mask].costs[root]

@@ -114,11 +114,18 @@ class CompactGraph:
         "edge_list",
         "edge_index",
         "edge_node_masks",
+        "version",
         "_dijkstra_cache",
         "_edge_arrays",
     )
 
     def __init__(self, graph: "SchemaGraph") -> None:
+        #: The topology revision this snapshot was built from — coherent
+        #: because snapshots build under the same lock mutations hold.
+        #: Consumers stamp it into shared-cache keys (the Steiner plan
+        #: cache), so a row computed over a retained pre-mutation
+        #: snapshot can never be read back under the new topology.
+        self.version: int = graph.version
         self.nodes: tuple[ColumnRef, ...] = tuple(graph._adjacency)
         self.index: dict[ColumnRef, int] = {
             node: i for i, node in enumerate(self.nodes)
@@ -253,7 +260,7 @@ class CompactGraph:
         sorts first, making the maps independent of adjacency order (see
         :func:`repro.steiner.exact.shortest_paths`).
         """
-        cached = self._dijkstra_cache.get(source)
+        cached = self._dijkstra_cache.get(source)  # questlint: disable=cache-revision  # sealed per-snapshot cache: CompactGraph is immutable, mutation discards the whole snapshot (and this cache with it)
         if cached is not None:
             return cached
         n = len(self.nodes)

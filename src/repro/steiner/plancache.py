@@ -5,10 +5,15 @@ subset* — and those rows are query-independent: with terminals
 canonically ordered (sorted by ``str``), a subset's merge-split
 enumeration order, its tie-breaks and its relaxation heap order depend
 only on the subset itself and the topology, never on which query asked.
-This cache keys the rows by the frozen set of interned node indices, so
-a query whose terminals form a superset (or overlap) of an earlier
-query's reuses the shared rows instead of recomputing them; the steiner
-LRU by contrast only ever hits on *exact* terminal sets.
+This cache keys the rows by ``(frozen node-index subset, topology
+version)``, so a query whose terminals form a superset (or overlap) of
+an earlier query's reuses the shared rows instead of recomputing them;
+the steiner LRU by contrast only ever hits on *exact* terminal sets.
+The version component (read off the immutable ``CompactGraph`` snapshot
+the run computed over) makes the clear-on-mutation lifetime airtight
+under concurrency: a row computed against a retained pre-mutation
+snapshot but stored *after* ``add_edge`` cleared the cache lands under
+the old version — unreachable garbage, never a wrong answer.
 
 Two row shapes are stored:
 
@@ -79,17 +84,17 @@ class SteinerPlanCache:
 
     def __init__(self, max_entries: int = PLAN_CACHE_MAX_ENTRIES) -> None:
         self.max_entries = max_entries
-        self._rows: dict[frozenset, PlanEntry] = {}
+        self._rows: dict[tuple[frozenset, int], PlanEntry] = {}
         self._hits = 0
         self._misses = 0
         self._lock = threading.Lock()
         # Forked batch workers get a fresh lock (see repro.forksafe).
         register_lock_holder(self, _reset_plan_cache_lock)
 
-    def get(self, subset: frozenset) -> PlanEntry | None:
-        """The cached row for *subset*, counting a hit or a miss."""
+    def get(self, key: tuple[frozenset, int]) -> PlanEntry | None:
+        """The cached row for ``(subset, version)``, counting hit/miss."""
         with self._lock:
-            entry = self._rows.get(subset)
+            entry = self._rows.get(key)
             if entry is None:
                 self._misses += 1
             else:
@@ -97,15 +102,15 @@ class SteinerPlanCache:
         record_lookup(self.label, entry is not None)
         return entry
 
-    def peek(self, subset: frozenset) -> PlanEntry | None:
+    def peek(self, key: tuple[frozenset, int]) -> PlanEntry | None:
         """The cached row without touching counters (diagnostics)."""
         with self._lock:
-            return self._rows.get(subset)
+            return self._rows.get(key)
 
-    def put(self, subset: frozenset, entry: PlanEntry) -> None:
+    def put(self, key: tuple[frozenset, int], entry: PlanEntry) -> None:
         """Store one subset row (rows are immutable once stored)."""
         with self._lock:
-            self._rows[subset] = entry
+            self._rows[key] = entry
 
     def trim(self) -> None:
         """Clear everything if over budget — called *between* DP runs only,
@@ -123,9 +128,9 @@ class SteinerPlanCache:
         with self._lock:
             return len(self._rows)
 
-    def __contains__(self, subset: frozenset) -> bool:
+    def __contains__(self, key: tuple[frozenset, int]) -> bool:
         with self._lock:
-            return subset in self._rows
+            return key in self._rows
 
     @property
     def stats(self) -> CacheStats:

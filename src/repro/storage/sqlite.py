@@ -109,9 +109,8 @@ def _encode(value: Any) -> Any:
 
 def _reset_sqlite_lock(backend: "SQLiteBackend") -> None:
     backend._lock = threading.RLock()
-    # The breaker's lock is held only for counter updates, but a fork
-    # landing inside one would deadlock the child — reset it too.
-    backend.breaker._lock = threading.Lock()
+    # The breaker registers its own lock holder (see resilience.breaker),
+    # so its lock is reset independently of ours.
 
 
 class SQLiteBackend(StorageBackend):

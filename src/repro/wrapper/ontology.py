@@ -26,12 +26,12 @@ _SCORE_CACHE_SIZE = 16384
 class SchemaOntology:
     """Relatedness between keywords and the terms of one schema.
 
-    Scores are memoised per ``(keyword, term, partial_scale)``: the same
-    identifier ("name", "id") recurs across many tables, so one keyword's
-    emission pass asks for far fewer distinct scores than it has states.
-    The lexicon is therefore treated as frozen once the ontology exists —
-    add synonym rings *before* constructing it (or call
-    :meth:`clear_score_cache` after mutating).
+    Scores are memoised per ``(keyword, term, partial_scale, lexicon
+    version)``: the same identifier ("name", "id") recurs across many
+    tables, so one keyword's emission pass asks for far fewer distinct
+    scores than it has states. The lexicon version in the key makes
+    post-mutation lookups miss instead of returning scores computed
+    against the old vocabulary — mutate the lexicon whenever you like.
     """
 
     def __init__(self, schema: Schema, lexicon: Lexicon | None = None) -> None:
@@ -47,7 +47,9 @@ class SchemaOntology:
         self._score_cache = LRUCache(_SCORE_CACHE_SIZE)
 
     def clear_score_cache(self) -> None:
-        """Drop memoised scores (call after mutating the lexicon)."""
+        """Drop memoised scores (reclaims memory; correctness never
+        needs this — the lexicon version in the key already retires
+        entries from older vocabularies)."""
         self._score_cache.clear()
 
     def term_score(
@@ -60,7 +62,7 @@ class SchemaOntology:
         matches the keyword ``date`` through the lexicon entry for
         ``year``, discounted by *partial_scale* for being a partial hit.
         """
-        key = (keyword, term, partial_scale)
+        key = (keyword, term, partial_scale, self.lexicon.version)
         cached = self._score_cache.get(key)
         if cached is not None:
             return cached

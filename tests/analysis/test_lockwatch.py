@@ -1,0 +1,225 @@
+"""Unit tests for the runtime lock-order witness."""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.analysis import lockwatch
+from repro.analysis.lockwatch import LockWatcher, LockWatchError
+
+
+@pytest.fixture()
+def watcher():
+    return LockWatcher()
+
+
+def test_consistent_order_is_silent(watcher):
+    a, b = watcher.lock("A"), watcher.lock("B")
+    for _ in range(3):
+        with a:
+            with b:
+                pass
+    assert watcher.violations() == ()
+
+
+def test_seeded_inversion_is_detected(watcher):
+    """The acceptance scenario: A-then-B in one place, B-then-A in
+    another. The run itself never deadlocks — the witness flags the
+    *potential* ABBA interleaving."""
+    a, b = watcher.lock("A"), watcher.lock("B")
+    with a:
+        with b:
+            pass
+    with b:
+        with a:
+            pass
+    (violation,) = watcher.violations()
+    assert violation.kind == "inversion"
+    assert "A" in violation.message and "B" in violation.message
+    assert "cycle" in violation.message
+    assert violation.stack  # carries a traceback for the failure report
+
+
+def test_inversion_detected_across_threads(watcher):
+    a, b = watcher.lock("A"), watcher.lock("B")
+
+    def forward():
+        with a:
+            with b:
+                pass
+
+    def backward():
+        with b:
+            with a:
+                pass
+
+    t = threading.Thread(target=forward)
+    t.start()
+    t.join()
+    backward()  # opposite order on the main thread
+    assert [v.kind for v in watcher.violations()] == ["inversion"]
+
+
+def test_transitive_inversion_detected(watcher):
+    """A->B and B->C teach the graph A-before-C; C->A closes the cycle
+    even though A and C were never directly nested."""
+    a, b, c = watcher.lock("A"), watcher.lock("B"), watcher.lock("C")
+    with a:
+        with b:
+            pass
+    with b:
+        with c:
+            pass
+    with c:
+        with a:
+            pass
+    (violation,) = watcher.violations()
+    assert violation.kind == "inversion"
+
+
+def test_same_role_siblings_carry_no_ordering(watcher):
+    """Two locks sharing one role (creation site) — e.g. the per-instance
+    lock of two LRUCaches — may nest in either order."""
+    one = watcher.lock("repro.cache:31")
+    two = watcher.lock("repro.cache:31")
+    with one:
+        with two:
+            pass
+    with two:
+        with one:
+            pass
+    assert watcher.violations() == ()
+
+
+def test_self_deadlock_raises_immediately(watcher):
+    lock = watcher.lock("A")
+    with lock:
+        with pytest.raises(LockWatchError, match="self-deadlock"):
+            lock.acquire()
+    (violation,) = watcher.violations()
+    assert violation.kind == "self-deadlock"
+
+
+def test_reentrant_lock_may_nest(watcher):
+    lock = watcher.lock("R", reentrant=True)
+    with lock:
+        with lock:
+            pass
+    assert watcher.violations() == ()
+
+
+def test_release_unwinds_held_stack(watcher):
+    a, b = watcher.lock("A"), watcher.lock("B")
+    with a:
+        pass
+    with b:
+        with a:  # no inversion: A was released before B was taken
+            pass
+    assert watcher.violations() == ()
+    assert watcher.held_by_current_thread() == ()
+
+
+def test_install_wraps_repro_locks_only(watcher):
+    lockwatch.install(watcher)
+    try:
+        from repro.cache import LRUCache
+
+        cache = LRUCache(4)
+        assert type(cache._lock).__name__ == "WatchedLock"
+        # Locks created from non-repro frames (this test module) stay raw.
+        plain = threading.Lock()
+        assert type(plain).__name__ != "WatchedLock"
+    finally:
+        lockwatch.uninstall()
+
+
+def test_install_is_exclusive(watcher):
+    lockwatch.install(watcher)
+    try:
+        with pytest.raises(LockWatchError, match="already installed"):
+            lockwatch.install(LockWatcher())
+    finally:
+        lockwatch.uninstall()
+    assert lockwatch.active_watcher() is None
+
+
+def test_watched_condition_still_works(watcher):
+    """threading.Condition built on a watched lock must still signal."""
+    lockwatch.install(watcher)
+    try:
+        from repro.cache import LRUCache  # noqa: F401 - patch sanity
+
+        cond = threading.Condition()
+        waiting = threading.Event()
+        hits = []
+
+        def waiter():
+            with cond:
+                waiting.set()
+                cond.wait(timeout=5.0)
+                hits.append(1)
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        waiting.wait(timeout=5.0)
+        with cond:  # also proves the cond lock round-trips acquire/release
+            cond.notify_all()
+        t.join(timeout=5.0)
+        assert hits == [1]
+    finally:
+        lockwatch.uninstall()
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="fork-only")
+def test_fork_while_held_is_recorded(watcher):
+    """Forking with a watched lock held is recorded (not failed) — fork
+    events only route through an *installed* watcher."""
+    lockwatch.install(watcher)
+    try:
+        lock = watcher.lock("F")
+        with lock:
+            pid = os.fork()
+            if pid == 0:
+                os._exit(0)
+            os.waitpid(pid, 0)
+    finally:
+        lockwatch.uninstall()
+    (event,) = watcher.fork_events()
+    assert event.held == ("F",)
+    assert event.forking_thread_held == ("F",)
+    assert watcher.violations() == ()
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="fork-only")
+def test_fork_with_nothing_held_records_no_event(watcher):
+    lockwatch.install(watcher)
+    try:
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        os.waitpid(pid, 0)
+    finally:
+        lockwatch.uninstall()
+    assert watcher.fork_events() == ()
+
+
+def test_clean_engine_search_under_watcher(mini_db):
+    """A real end-to-end search with the watcher installed: every repro
+    lock created while the engine is built and queried is watched, and
+    the run stays silent — the positive control for the conftest fixture."""
+    watcher = LockWatcher()
+    lockwatch.install(watcher)
+    try:
+        from repro.core import Quest
+        from repro.storage import create_backend
+        from repro.wrapper import FullAccessWrapper
+
+        engine = Quest(FullAccessWrapper(create_backend("memory", mini_db)))
+        results = engine.search("kubrick scifi")
+        assert results
+    finally:
+        lockwatch.uninstall()
+    assert watcher.violations() == ()

@@ -20,6 +20,47 @@ from repro.wrapper import FullAccessWrapper, HiddenSourceWrapper
 #: read-only databases through :func:`backend_for` to honour it.
 TEST_BACKEND = os.environ.get("QUEST_TEST_BACKEND", "memory")
 
+#: Test modules that always run under the runtime lock-order detector
+#: (the suites that exercise real cross-thread lock interleavings).
+#: ``QUEST_LOCKWATCH=1`` extends it to every test; ``=0`` disables it.
+_LOCKWATCH_MODULES = {"test_concurrent_search", "test_chaos"}
+
+
+@pytest.fixture(autouse=True)
+def _lockwatch(request):
+    """Watch repro lock acquisitions for order inversions (see
+    ``repro.analysis.lockwatch``); fail the test on any violation.
+
+    Fresh watcher per test: the acquired-after graph is cumulative, so
+    sharing one would let an edge from test A convict an unrelated
+    ordering in test B. Only locks created during the test are watched —
+    session-scoped fixtures built earlier keep raw locks, which is fine:
+    the suites this targets build their engines per-test.
+    """
+    env = os.environ.get("QUEST_LOCKWATCH", "")
+    module_name = getattr(request.module, "__name__", "").rpartition(".")[2]
+    enabled = env != "0" and (env == "1" or module_name in _LOCKWATCH_MODULES)
+    if not enabled:
+        yield
+        return
+    from repro.analysis import lockwatch
+
+    watcher = lockwatch.LockWatcher()
+    lockwatch.install(watcher)
+    try:
+        yield
+    finally:
+        lockwatch.uninstall()
+    problems = watcher.violations()
+    if problems:
+        details = "\n\n".join(
+            f"[{v.kind}] {v.message}\n{v.stack}" for v in problems
+        )
+        pytest.fail(
+            f"lockwatch detected {len(problems)} lock-order violation"
+            f"{'' if len(problems) == 1 else 's'}:\n\n{details}"
+        )
+
 
 def backend_for(db: Database):
     """The configured test backend, freshly loaded with *db*'s contents."""

@@ -177,6 +177,29 @@ class TestFaultPlan:
         assert faults.active() is None
         faults.fire("storage.query")  # must not raise
 
+    def test_fire_rejects_unknown_point_when_plan_installed(self):
+        """A typo'd instrumentation site must fail loudly under a plan —
+        otherwise the chaos suite silently stops covering that seam."""
+        plan = FaultPlan().inject("storage.query", kind="error")
+        with faults.injected(plan):
+            with pytest.raises(QuestError, match="unknown injection point"):
+                faults.fire("storage.qurey")
+
+    def test_fire_rejects_unknown_point_without_specs_for_it(self):
+        # The rejection is registry-based, not spec-based: a known point
+        # with no spec passes, an unknown one raises regardless.
+        plan = FaultPlan()
+        with faults.injected(plan):
+            faults.fire("journal.append")  # known, no spec: passes
+            with pytest.raises(QuestError, match="unknown injection point"):
+                plan.fire("bogus.point")
+
+    def test_module_fire_unknown_point_without_plan_is_noop(self):
+        # Production fast path: no plan installed means no registry check
+        # (the static fault-points rule covers uninstalled typos).
+        assert faults.active() is None
+        faults.fire("bogus.point")  # must not raise
+
 
 # -- the resilience primitives ------------------------------------------------
 
